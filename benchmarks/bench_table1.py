@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""E1/E6 — Table I: lap time, lateral error, scan alignment, compute load
+for SynPF vs Cartographer under HQ/LQ odometry, plus the §IV robustness
+deltas.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_table1.py --benchmark-only`` times one filter
+  update / one scan match on the replica track — the per-update costs
+  behind the table's Load column;
+* ``python benchmarks/bench_table1.py [--laps 10]`` runs the full lap
+  protocol and prints the regenerated table next to the paper's values.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf
+from repro.eval.experiment import (
+    ExperimentCondition,
+    LapExperiment,
+    format_table1,
+)
+from repro.maps import replica_test_track
+from repro.slam.cartographer import Cartographer
+
+PAPER_TABLE1 = {
+    # method, odom: (lap_mu, lap_sigma, err_mu_cm, err_sigma_cm, align_pct)
+    ("cartographer", "HQ"): (9.167, 0.097, 6.864, 0.264, 69.357),
+    ("cartographer", "LQ"): (9.428, 0.126, 11.432, 1.134, 61.710),
+    ("synpf", "HQ"): (9.184, 0.153, 8.223, 0.406, 80.603),
+    ("synpf", "LQ"): (9.280, 0.093, 7.686, 1.179, 79.924),
+}
+PAPER_LOAD = {"cartographer": 4.2, "synpf": 2.17}
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark micro entries (per-update costs behind the Load column)
+# ---------------------------------------------------------------------------
+def test_synpf_update_cost(benchmark, replica_track, particle_poses):
+    from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+    pf = make_synpf(replica_track.grid, num_particles=3000, seed=0)
+    start = replica_track.centerline.start_pose()
+    pf.initialize(start)
+    lidar = SimulatedLidar(replica_track.grid, LidarConfig(), seed=0)
+    scan = lidar.scan(start)
+    delta = OdometryDelta(0.11, 0.0, 0.01, velocity=4.5, dt=0.025)
+
+    benchmark(pf.update, delta, scan.ranges, scan.angles)
+
+
+def test_cartographer_update_cost(benchmark, replica_track):
+    from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+    carto = Cartographer(frozen_map=replica_track.grid)
+    start = replica_track.centerline.start_pose()
+    carto.initialize(start)
+    lidar = SimulatedLidar(replica_track.grid, LidarConfig(), seed=0)
+    scan = lidar.scan(start)
+    points = scan.points_in_sensor_frame(max_range=12.0)
+    delta = OdometryDelta(0.11, 0.0, 0.01, velocity=4.5, dt=0.025)
+
+    benchmark(carto.update, delta, points)
+
+
+# ---------------------------------------------------------------------------
+# Full table regeneration
+# ---------------------------------------------------------------------------
+def run_table1(num_laps: int = 10, seed: int = 7, speed_scale: float = 1.0):
+    track = replica_test_track(resolution=0.05)
+    experiment = LapExperiment(track)
+    results = []
+    for method in ("cartographer", "synpf"):
+        for quality in ("HQ", "LQ"):
+            condition = ExperimentCondition(
+                method=method, odom_quality=quality,
+                num_laps=num_laps, speed_scale=speed_scale, seed=seed,
+            )
+            results.append(
+                experiment.run(condition, progress=lambda m: print("   ", m))
+            )
+    return results
+
+
+def print_comparison(results) -> None:
+    print("\n=== Regenerated Table I (this reproduction) ===")
+    print(format_table1(results))
+
+    print("\n=== Paper Table I (physical F1TENTH car) ===")
+    print(f"{'Method':<14}{'Odom':<6}{'LapTime mu':>11}{'sigma':>8}"
+          f"{'Err[cm] mu':>12}{'sigma':>8}{'Align[%]':>10}{'Load[%]':>9}")
+    print("-" * 78)
+    for (method, quality), row in PAPER_TABLE1.items():
+        print(f"{method:<14}{quality:<6}{row[0]:>11.3f}{row[1]:>8.3f}"
+              f"{row[2]:>12.3f}{row[3]:>8.3f}{row[4]:>10.3f}"
+              f"{PAPER_LOAD[method]:>9.2f}")
+
+    # §IV robustness deltas (E6).
+    by_cell = {(r.condition.method, r.condition.odom_quality): r for r in results}
+    print("\n=== Robustness deltas, HQ -> LQ (paper §IV) ===")
+    for method, paper_delta in (("cartographer", "+66.6% error, -11.0% align"),
+                                ("synpf", "-6.9% error, -0.08% align")):
+        hq, lq = by_cell[(method, "HQ")], by_cell[(method, "LQ")]
+        d_err = (lq.lateral_error_cm.mean / hq.lateral_error_cm.mean - 1) * 100
+        d_align = (lq.scan_alignment.mean / hq.scan_alignment.mean - 1) * 100
+        d_loc = (lq.localization_error_cm.mean / hq.localization_error_cm.mean
+                 - 1) * 100
+        print(f"{method:<14} measured: {d_err:+6.1f}% lateral error, "
+              f"{d_align:+6.1f}% alignment, {d_loc:+6.1f}% loc. error   "
+              f"(paper: {paper_delta})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--laps", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    results = run_table1(num_laps=args.laps, seed=args.seed)
+    print_comparison(results)
+
+
+if __name__ == "__main__":
+    main()

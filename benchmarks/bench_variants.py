@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Grand comparison: every localization technique in the repository.
+
+The paper's title promises an *evaluation of localization techniques*;
+this bench lines up the whole field implemented here — vanilla MCL,
+SynPF, SynPF + KLD, SynPF + augmented recovery, and the pose-graph
+baseline — across both grip conditions in one table.
+
+* ``pytest --benchmark-only`` times one update of each variant;
+* ``python benchmarks/bench_variants.py`` races the full table (~15 min
+  at 2 laps per cell).
+"""
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf, make_vanilla_mcl
+from repro.eval.experiment import ExperimentCondition, LapExperiment
+from repro.maps import replica_test_track
+
+VARIANTS = (
+    ("vanilla MCL", "vanilla_mcl", {}),
+    ("SynPF", "synpf", {}),
+    ("SynPF+KLD", "synpf", {"adaptive": True, "kld_n_min": 400}),
+    ("SynPF+AMCL", "synpf", {"augmented": True}),
+    ("Cartographer", "cartographer", {}),
+)
+
+
+def test_vanilla_update_cost(benchmark, bench_track, bench_scan):
+    pf = make_vanilla_mcl(bench_track.grid, num_particles=3000, seed=0)
+    pf.initialize(bench_track.centerline.start_pose())
+    delta = OdometryDelta(0.1, 0.0, 0.01, velocity=4.0, dt=0.025)
+    benchmark(pf.update, delta, bench_scan.ranges, bench_scan.angles)
+
+
+def test_augmented_update_cost(benchmark, bench_track, bench_scan):
+    pf = make_synpf(bench_track.grid, num_particles=3000, seed=0,
+                    augmented=True)
+    pf.initialize(bench_track.centerline.start_pose())
+    delta = OdometryDelta(0.1, 0.0, 0.01, velocity=4.0, dt=0.025)
+    benchmark(pf.update, delta, bench_scan.ranges, bench_scan.angles)
+
+
+def run_comparison(laps: int = 2, seed: int = 7):
+    track = replica_test_track(resolution=0.05)
+    experiment = LapExperiment(track)
+    rows = []
+    for label, method, overrides in VARIANTS:
+        for quality in ("HQ", "LQ"):
+            condition = ExperimentCondition(
+                method=method, odom_quality=quality, num_laps=laps,
+                speed_scale=1.0, seed=seed,
+                localizer_overrides=dict(overrides),
+            )
+            result = experiment.run(condition)
+            rows.append(
+                {
+                    "variant": label,
+                    "odom": quality,
+                    "loc_err_cm": result.localization_error_cm.mean,
+                    "lateral_cm": result.lateral_error_cm.mean,
+                    "align_pct": result.scan_alignment.mean,
+                    "update_ms": result.mean_update_ms,
+                    "crashes": result.crashes,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    rows = run_comparison()
+    print("=== Localization techniques, head to head "
+          "(replica track, race pace) ===")
+    print(f"{'variant':<14}{'odom':<6}{'loc err [cm]':>14}"
+          f"{'lateral [cm]':>14}{'align [%]':>11}{'update [ms]':>13}"
+          f"{'crashes':>9}")
+    print("-" * 81)
+    for r in rows:
+        print(f"{r['variant']:<14}{r['odom']:<6}{r['loc_err_cm']:>14.2f}"
+              f"{r['lateral_cm']:>14.2f}{r['align_pct']:>11.2f}"
+              f"{r['update_ms']:>13.2f}{r['crashes']:>9}")
+
+    by = {(r["variant"], r["odom"]): r for r in rows}
+    print("\nHQ -> LQ localization-error inflation:")
+    for label, *_ in VARIANTS:
+        hq = by[(label, "HQ")]["loc_err_cm"]
+        lq = by[(label, "LQ")]["loc_err_cm"]
+        print(f"  {label:<14} {(lq / hq - 1) * 100:+7.1f}%")
+
+
+if __name__ == "__main__":
+    main()

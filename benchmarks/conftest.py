@@ -1,0 +1,46 @@
+"""Shared session fixtures for the benchmark suite.
+
+Track construction and LUT precomputation dominate setup cost, so they are
+built once per session.  Benchmarks must treat them as read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.maps import generate_track, replica_test_track
+
+
+@pytest.fixture(scope="session")
+def replica_track():
+    """The paper's test-track stand-in at experiment resolution."""
+    return replica_test_track(resolution=0.05)
+
+
+@pytest.fixture(scope="session")
+def bench_track():
+    """A smaller random track for micro-benchmarks (cheaper LUT builds)."""
+    return generate_track(seed=4, mean_radius=5.0, resolution=0.05)
+
+
+@pytest.fixture(scope="session")
+def bench_scan(bench_track):
+    """One noisy LiDAR scan from the track start, shared by benchmarks."""
+    from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+    lidar = SimulatedLidar(bench_track.grid, LidarConfig(), seed=0)
+    return lidar.scan(bench_track.centerline.start_pose())
+
+
+@pytest.fixture(scope="session")
+def particle_poses(bench_track):
+    """3000 plausible particle poses scattered along the raceline."""
+    rng = np.random.default_rng(0)
+    line = bench_track.centerline
+    n = 3000
+    poses = np.empty((n, 3))
+    for i, s in enumerate(rng.uniform(0, line.total_length, n)):
+        pt = line.point_at(float(s))
+        poses[i] = [pt[0], pt[1], line.heading_at(float(s))]
+    poses[:, :2] += rng.normal(0, 0.1, (n, 2))
+    poses[:, 2] += rng.normal(0, 0.05, n)
+    return poses

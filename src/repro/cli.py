@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin argparse shims over the library so the paper's experiments can be
+run without writing Python:
+
+========================  ====================================================
+``table1``                regenerate Table I (the headline experiment)
+``race``                  one (method, grip) condition, printed per lap
+``latency``               range-method / filter / scan-match latency report
+``fig1``                  motion-model spread series (paper Fig. 1)
+``fig2``                  track + grip-condition report (paper Fig. 2)
+``speed-sweep``           SynPF accuracy vs top speed (the 7.6 m/s claim)
+``generate-map``          write a synthetic track in ROS map_server format
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SynPF reproduction command line "
+                    "(DATE 2024 localization-robustness paper)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p_table.add_argument("--laps", type=int, default=10)
+    p_table.add_argument("--seed", type=int, default=7)
+
+    p_race = sub.add_parser("race", help="run one experiment condition")
+    p_race.add_argument("--method", choices=("synpf", "cartographer",
+                                             "vanilla_mcl"), default="synpf")
+    p_race.add_argument("--quality", choices=("HQ", "LQ"), default="HQ")
+    p_race.add_argument("--laps", type=int, default=3)
+    p_race.add_argument("--seed", type=int, default=7)
+    p_race.add_argument("--speed-scale", type=float, default=1.0)
+    p_race.add_argument("--particles", type=int, default=None,
+                        help="SynPF particle budget override")
+    p_race.add_argument("--fused-odometry", action="store_true",
+                        help="fuse wheel odometry with the IMU (EKF)")
+
+    sub.add_parser("latency", help="latency report (LUT / filter / matcher)")
+    sub.add_parser("fig1", help="motion-model spread series")
+    sub.add_parser("fig2", help="track and grip-condition report")
+    sub.add_parser("speed-sweep", help="SynPF accuracy vs top speed")
+
+    p_map = sub.add_parser("generate-map",
+                           help="write a synthetic track as YAML+PGM")
+    p_map.add_argument("out", help="output .yaml path")
+    p_map.add_argument("--seed", type=int, default=0)
+    p_map.add_argument("--replica", action="store_true",
+                       help="use the replica test track instead of a random one")
+    p_map.add_argument("--resolution", type=float, default=0.05)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        # The bench module owns the paper-vs-measured printing.
+        sys.path.insert(0, "benchmarks")
+        from repro.eval.experiment import format_table1
+        from repro.eval.experiment import ExperimentCondition, LapExperiment
+        from repro.maps import replica_test_track
+
+        track = replica_test_track(resolution=0.05)
+        experiment = LapExperiment(track)
+        results = []
+        for method in ("cartographer", "synpf"):
+            for quality in ("HQ", "LQ"):
+                condition = ExperimentCondition(
+                    method=method, odom_quality=quality,
+                    num_laps=args.laps, speed_scale=1.0, seed=args.seed,
+                )
+                results.append(
+                    experiment.run(condition, progress=lambda m: print("  ", m))
+                )
+        print()
+        print(format_table1(results))
+        return 0
+
+    if args.command == "race":
+        from repro.eval.experiment import (
+            ExperimentCondition, LapExperiment, format_table1,
+        )
+        from repro.maps import replica_test_track
+
+        overrides = {}
+        if args.particles is not None:
+            overrides["num_particles"] = args.particles
+        track = replica_test_track(resolution=0.05)
+        condition = ExperimentCondition(
+            method=args.method, odom_quality=args.quality,
+            num_laps=args.laps, speed_scale=args.speed_scale, seed=args.seed,
+            localizer_overrides=overrides,
+            odometry_source="fused" if args.fused_odometry else "wheel",
+        )
+        result = LapExperiment(track).run(condition, progress=print)
+        print()
+        print(format_table1([result]))
+        print(f"crashes: {result.crashes}   "
+              f"mean update: {result.mean_update_ms:.2f} ms   "
+              f"loc. error: {result.localization_error_cm.mean:.2f} cm")
+        return 0
+
+    if args.command == "latency":
+        from repro.eval.latency import (
+            measure_filter_latency,
+            measure_range_method_latency,
+            measure_scan_match_latency,
+        )
+        from repro.maps import replica_test_track
+
+        track = replica_test_track(resolution=0.05)
+        print("range methods (1000 particles x 60 beams):")
+        for r in measure_range_method_latency(track, num_particles=1000):
+            print(f"  {r['method']:<14} {r['batch_ms']:8.1f} ms/batch  "
+                  f"{r['per_query_ns']:8.0f} ns/query  "
+                  f"{r['memory_mb']:7.1f} MB")
+        print("\nSynPF update latency:")
+        for r in measure_filter_latency(track, particle_counts=(1000, 3000)):
+            print(f"  {r['num_particles']:>5} particles: "
+                  f"{r['update_ms']:.2f} ms")
+        sm = measure_scan_match_latency(track)
+        print(f"\nCartographer scan match: {sm['scan_match_ms']:.2f} ms")
+        return 0
+
+    if args.command == "fig1":
+        import importlib.util
+        import os
+
+        spec_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))),
+            "benchmarks", "bench_fig1_motion_models.py",
+        )
+        if os.path.exists(spec_path):
+            spec = importlib.util.spec_from_file_location("bench_fig1", spec_path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            module.main()
+            return 0
+        print("benchmarks/bench_fig1_motion_models.py not found; "
+              "run from the repository root")
+        return 1
+
+    if args.command == "fig2":
+        from repro.eval.experiment import TIRE_HQ, TIRE_LQ
+        from repro.maps import replica_test_track
+        from repro.sim.tire import pull_force_from_grip
+
+        track = replica_test_track(resolution=0.05)
+        print(f"replica track: lap {track.centerline.total_length:.1f} m, "
+              f"width {track.spec.track_width:.1f} m")
+        for name, tire, paper in (("HQ", TIRE_HQ, 26.0), ("LQ", TIRE_LQ, 19.0)):
+            force = pull_force_from_grip(tire.mu, 3.46)
+            print(f"  {name}: mu={tire.mu:.3f} -> pull force {force:.1f} N "
+                  f"(paper: {paper:.0f} N)")
+        return 0
+
+    if args.command == "speed-sweep":
+        from repro.eval.experiment import ExperimentCondition, LapExperiment
+        from repro.maps import replica_test_track
+
+        track = replica_test_track(resolution=0.05)
+        for v_max in (3.0, 5.0, 7.6):
+            experiment = LapExperiment(track, profile_kwargs={"v_max": v_max})
+            result = experiment.run(
+                ExperimentCondition(method="synpf", odom_quality="HQ",
+                                    num_laps=2, speed_scale=1.0, seed=5)
+            )
+            print(f"v_max {v_max:.1f} m/s: lap {result.lap_time.mean:.2f} s, "
+                  f"loc error {result.localization_error_cm.mean:.2f} cm, "
+                  f"crashes {result.crashes}")
+        return 0
+
+    if args.command == "generate-map":
+        from repro.maps import generate_track, replica_test_track, save_map_yaml
+
+        if args.replica:
+            track = replica_test_track(resolution=args.resolution)
+        else:
+            track = generate_track(seed=args.seed, resolution=args.resolution)
+        yaml_path, pgm_path = save_map_yaml(track.grid, args.out)
+        print(f"wrote {yaml_path} + {pgm_path} "
+              f"({track.grid.width} x {track.grid.height} cells, "
+              f"lap {track.centerline.total_length:.1f} m)")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

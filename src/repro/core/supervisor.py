@@ -1,0 +1,189 @@
+"""Localization health monitoring and automatic recovery.
+
+A racing localizer that silently diverges sends the car into a wall at
+7 m/s; operators need the failure *detected* and, when possible,
+*repaired*.  The supervisor wraps any SynPF-interface localizer with:
+
+* **health scoring** — the fraction of (subsampled) scan points that land
+  near mapped obstacles under the current estimate, i.e. the paper's
+  scan-alignment metric turned into an online signal;
+* **divergence detection** — health below a threshold for N consecutive
+  updates (single bad scans — occlusion, dropout bursts — must not
+  trigger);
+* **recovery** — re-initialise the filter around the last *healthy* pose
+  with a widened cloud, escalating through progressively wider spreads and
+  finally to a *global* re-initialisation if anchored attempts keep
+  failing.
+
+A scan-consistency monitor has an inherent limit worth stating: on a
+self-similar track section, a pose that is *wrong but locally consistent*
+scores healthy — no online metric without external information can do
+better.  What the supervisor guarantees is that the estimate it blesses
+explains the LiDAR data; aliased ambiguities resolve as the car drives
+through distinctive geometry.
+
+The supervisor is deliberately filter-agnostic: it consumes poses and
+scans, never filter internals, so it could wrap the SLAM baseline's output
+just as well (it just could not *recover* it — re-initialisation is an
+MCL capability, which is rather the point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+
+__all__ = ["SupervisorConfig", "LocalizationSupervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Detection and recovery thresholds.
+
+    ``healthy_score``/``unhealthy_score`` form a hysteresis band so the
+    status does not chatter around a single threshold.
+    """
+
+    healthy_score: float = 0.70
+    unhealthy_score: float = 0.60
+    tolerance: float = 0.12          # m: point-to-wall distance counted as hit
+    consecutive_bad: int = 8         # updates below threshold before recovery
+    max_beams: int = 120             # health-scoring subsample
+    recovery_spreads: tuple = (0.5, 1.5, 4.0)  # escalating sigma_xy, m
+    recovery_theta_spread: float = 0.4
+    min_valid_points: int = 10
+    # The sensor's true maximum range, used to discard no-return beams.
+    # None falls back to each scan's own maximum — fine for real scans,
+    # degenerate for pathological constant ones.
+    sensor_max_range: Optional[float] = None
+
+    def validate(self) -> None:
+        if not 0 < self.unhealthy_score <= self.healthy_score <= 1:
+            raise ValueError("need 0 < unhealthy <= healthy <= 1")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.consecutive_bad < 1:
+            raise ValueError("consecutive_bad must be >= 1")
+        if not self.recovery_spreads:
+            raise ValueError("need at least one recovery spread")
+
+
+@dataclass
+class SupervisorReport:
+    """One update's verdict."""
+
+    pose: np.ndarray
+    health: float
+    healthy: bool
+    recovered: bool
+    recovery_level: int
+
+
+class LocalizationSupervisor:
+    """Wraps a localizer's update loop with health checks and recovery.
+
+    Parameters
+    ----------
+    localizer:
+        Anything with ``initialize(pose, std_xy=..., std_theta=...)`` and
+        ``update(delta, ranges, angles)`` returning an estimate with
+        ``.pose`` — :class:`~repro.core.particle_filter.SynPF` natively.
+    grid:
+        The map used for health scoring.
+    """
+
+    def __init__(
+        self,
+        localizer,
+        grid: OccupancyGrid,
+        config: SupervisorConfig | None = None,
+    ) -> None:
+        self.config = config or SupervisorConfig()
+        self.config.validate()
+        self.localizer = localizer
+        self.grid = grid
+        self._bad_streak = 0
+        self._recovery_level = 0
+        self._last_healthy_pose: Optional[np.ndarray] = None
+        self.num_recoveries = 0
+        self.health_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def health_score(self, pose: np.ndarray, scan_ranges: np.ndarray,
+                     beam_angles: np.ndarray,
+                     lidar_offset_x: float = 0.27) -> float:
+        """Scan-alignment health of ``pose`` in [0, 1]."""
+        cfg = self.config
+        ranges = np.asarray(scan_ranges, dtype=float)
+        angles = np.asarray(beam_angles, dtype=float)
+        if ranges.size > cfg.max_beams:
+            idx = np.linspace(0, ranges.size - 1, cfg.max_beams).astype(int)
+            ranges, angles = ranges[idx], angles[idx]
+        if cfg.sensor_max_range is not None:
+            max_range = cfg.sensor_max_range
+        else:
+            max_range = float(ranges.max()) if ranges.size else 0.0
+        keep = (ranges > 0.05) & (ranges < max_range - 1e-6)
+        if keep.sum() < cfg.min_valid_points:
+            return 1.0  # blind scan: no evidence either way
+        r, a = ranges[keep], angles[keep]
+
+        sensor_x = pose[0] + lidar_offset_x * np.cos(pose[2])
+        sensor_y = pose[1] + lidar_offset_x * np.sin(pose[2])
+        world = np.empty((r.size, 2))
+        world[:, 0] = sensor_x + r * np.cos(pose[2] + a)
+        world[:, 1] = sensor_y + r * np.sin(pose[2] + a)
+        distances = self.grid.distance_at_world(world)
+        inside = self.grid.in_bounds(world)
+        return float(np.mean((distances <= cfg.tolerance) & inside))
+
+    # ------------------------------------------------------------------
+    def initialize(self, pose: np.ndarray) -> None:
+        self.localizer.initialize(pose)
+        self._last_healthy_pose = np.asarray(pose, dtype=float).copy()
+        self._bad_streak = 0
+        self._recovery_level = 0
+
+    def update(self, delta, scan_ranges, beam_angles) -> SupervisorReport:
+        estimate = self.localizer.update(delta, scan_ranges, beam_angles)
+        pose = estimate.pose if hasattr(estimate, "pose") else np.asarray(estimate)
+        health = self.health_score(pose, scan_ranges, beam_angles)
+        self.health_history.append(health)
+        cfg = self.config
+
+        healthy = health >= cfg.healthy_score
+        if healthy:
+            self._last_healthy_pose = pose.copy()
+            self._bad_streak = 0
+            self._recovery_level = 0
+            return SupervisorReport(pose, health, True, False, 0)
+
+        if health < cfg.unhealthy_score:
+            self._bad_streak += 1
+        recovered = False
+        if self._bad_streak >= cfg.consecutive_bad:
+            if (self._recovery_level >= len(cfg.recovery_spreads)
+                    and hasattr(self.localizer, "initialize_global")):
+                # Local recoveries exhausted: the car is not where any
+                # anchored cloud can reach — fall back to global MCL.
+                self.localizer.initialize_global()
+            else:
+                level = min(self._recovery_level,
+                            len(cfg.recovery_spreads) - 1)
+                anchor = (self._last_healthy_pose if self._last_healthy_pose
+                          is not None else pose)
+                self.localizer.initialize(
+                    anchor,
+                    std_xy=cfg.recovery_spreads[level],
+                    std_theta=cfg.recovery_theta_spread,
+                )
+            self.num_recoveries += 1
+            self._recovery_level += 1
+            self._bad_streak = 0
+            recovered = True
+        return SupervisorReport(pose, health, False, recovered,
+                                self._recovery_level)

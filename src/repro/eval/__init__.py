@@ -1,0 +1,54 @@
+"""Robustness evaluation harness.
+
+Reproduces the paper's experimental protocol (§III): N laps at a fixed
+speed scaling under each (localizer, grip) condition, collecting the
+Table I proxy measurements — lap time, lateral error w.r.t. the ideal race
+line, scan-alignment score, and compute load — plus the latency figures
+quoted in §I/§IV.
+"""
+
+from repro.eval.experiment import (
+    ConditionResult,
+    ExperimentCondition,
+    LapExperiment,
+    LapRecord,
+    format_table1,
+)
+from repro.eval.latency import (
+    measure_filter_latency,
+    measure_range_method_latency,
+    measure_scan_match_latency,
+)
+from repro.eval.metrics import (
+    compute_load_percent,
+    pose_error,
+    scan_alignment_score,
+    summarize,
+)
+from repro.eval.perturbations import OdometryPerturbation
+from repro.eval.trajectory import (
+    TrajectoryErrors,
+    absolute_trajectory_error,
+    align_trajectories,
+    relative_pose_error,
+)
+
+__all__ = [
+    "TrajectoryErrors",
+    "absolute_trajectory_error",
+    "align_trajectories",
+    "relative_pose_error",
+    "ConditionResult",
+    "ExperimentCondition",
+    "LapExperiment",
+    "LapRecord",
+    "OdometryPerturbation",
+    "compute_load_percent",
+    "format_table1",
+    "measure_filter_latency",
+    "measure_range_method_latency",
+    "measure_scan_match_latency",
+    "pose_error",
+    "scan_alignment_score",
+    "summarize",
+]

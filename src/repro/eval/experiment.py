@@ -1,0 +1,461 @@
+"""The lap experiment: the paper's §III protocol, end to end.
+
+For one *condition* — a localizer (SynPF / Cartographer / vanilla MCL), a
+grip level (nominal "HQ" vs taped-tire "LQ") and a speed scaling — the
+experiment:
+
+1. builds the simulator on the test track with that grip;
+2. wires the localizer's pose estimate into the pure-pursuit controller
+   (the car drives on what the localizer believes, as on the real car);
+3. runs one uncounted warm-up lap, then ``num_laps`` scored laps;
+4. records per lap: lap time, the driven path's lateral deviation from the
+   ideal race line, the scan-alignment score of the *estimated* pose, the
+   localizer's ground-truth error, and its update latency.
+
+:func:`format_table1` renders a list of condition results in the layout of
+the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import SynPF, make_synpf, make_vanilla_mcl
+from repro.eval.metrics import (
+    Summary,
+    compute_load_percent,
+    scan_alignment_score,
+    summarize,
+)
+from repro.eval.perturbations import OdometryPerturbation
+from repro.maps.track_generator import GeneratedTrack
+from repro.sim.controllers import PurePursuitController, SpeedProfile
+from repro.sim.lidar import LidarScan
+from repro.sim.simulator import SimConfig, Simulator
+from repro.sim.tire import TireModel
+from repro.slam.cartographer import Cartographer, CartographerConfig
+
+__all__ = [
+    "ExperimentCondition",
+    "LapRecord",
+    "ConditionResult",
+    "LapExperiment",
+    "format_table1",
+]
+
+# Paper §III grip conditions, converted via the pull-force protocol for the
+# 3.46 kg car: 26 N -> mu = 0.766 ("HQ"), 19 N -> mu = 0.560 ("LQ").
+GRIP_HQ: float = 0.766
+GRIP_LQ: float = 0.560
+
+# Tire presets for the two conditions.  Taping does more than lower the
+# friction ceiling: the smooth tape creeps under load, so the *stiffness*
+# (force per unit slip) collapses.  That is what corrupts wheel odometry at
+# driving demands below the friction limit — the paper's stated goal of
+# "isolating the odometry degradation effect" while racing the same speed
+# scaling in both settings.
+TIRE_HQ = TireModel(mu=GRIP_HQ, longitudinal_stiffness=12.0, cornering_stiffness=9.0)
+TIRE_LQ = TireModel(mu=GRIP_LQ, longitudinal_stiffness=2.2, cornering_stiffness=6.0)
+
+
+@dataclass(frozen=True)
+class ExperimentCondition:
+    """One cell of Table I.
+
+    ``odom_quality`` selects the tire preset ("HQ" -> :data:`TIRE_HQ`,
+    "LQ" -> :data:`TIRE_LQ`) unless an explicit ``tire`` is given.
+    """
+
+    method: str                 # "synpf" | "cartographer" | "vanilla_mcl"
+    odom_quality: str           # "HQ" | "LQ"
+    tire: Optional[TireModel] = None
+    speed_scale: float = 0.9
+    num_laps: int = 10
+    seed: int = 0
+    localizer_overrides: Dict = field(default_factory=dict)
+    perturbation: Optional[OdometryPerturbation] = None
+    # "wheel": raw wheel odometry (the paper's setup).
+    # "fused": wheel + IMU through the planar EKF.
+    # (Scan-to-scan laser odometry exists as a library component,
+    # repro.core.laser_odometry, but is not a viable sole odometry source
+    # at race pace in corridors — both ICP and the filter lack the
+    # longitudinal constraint there, so the errors compound.)
+    odometry_source: str = "wheel"
+    # Factory returning unmapped obstacles for this run (called with the
+    # track so followers can be built on its raceline).  Obstacles occlude
+    # LiDAR beams but are not collision-checked against the ego car.
+    obstacle_factory: Optional[Callable] = None
+
+    def resolved_tire(self) -> TireModel:
+        if self.tire is not None:
+            return self.tire
+        if self.odom_quality == "HQ":
+            return TIRE_HQ
+        if self.odom_quality == "LQ":
+            return TIRE_LQ
+        raise ValueError(
+            f"odom_quality {self.odom_quality!r} has no tire preset; "
+            "pass an explicit tire"
+        )
+
+    def label(self) -> str:
+        return f"{self.method}/{self.odom_quality}"
+
+
+@dataclass
+class LapRecord:
+    """Measurements from one scored lap."""
+
+    lap_time: float
+    lateral_error_mean_cm: float
+    lateral_error_max_cm: float
+    scan_alignment_percent: float
+    localization_error_mean_cm: float
+    localization_error_max_cm: float
+    valid: bool = True
+
+
+@dataclass
+class ConditionResult:
+    """Aggregated Table I row for one condition."""
+
+    condition: ExperimentCondition
+    laps: List[LapRecord]
+    mean_update_ms: float
+    compute_load_percent: float
+    crashes: int = 0
+
+    def _valid_laps(self) -> List[LapRecord]:
+        valid = [lap for lap in self.laps if lap.valid]
+        if not valid:
+            raise RuntimeError(
+                f"condition {self.condition.label()} has no valid laps"
+            )
+        return valid
+
+    @property
+    def lap_time(self) -> Summary:
+        return summarize([lap.lap_time for lap in self._valid_laps()])
+
+    @property
+    def lateral_error_cm(self) -> Summary:
+        return summarize([lap.lateral_error_mean_cm for lap in self._valid_laps()])
+
+    @property
+    def scan_alignment(self) -> Summary:
+        return summarize([lap.scan_alignment_percent for lap in self._valid_laps()])
+
+    @property
+    def localization_error_cm(self) -> Summary:
+        return summarize(
+            [lap.localization_error_mean_cm for lap in self._valid_laps()]
+        )
+
+
+class _SynPFAdapter:
+    """Uniform localizer interface over SynPF."""
+
+    def __init__(self, pf: SynPF):
+        self.pf = pf
+
+    def initialize(self, pose: np.ndarray) -> None:
+        self.pf.initialize(pose)
+
+    def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
+        return self.pf.update(delta, scan.ranges, scan.angles).pose
+
+    def mean_update_ms(self) -> float:
+        return self.pf.mean_update_latency_ms()
+
+
+class _CartographerAdapter:
+    """Uniform localizer interface over pure-localization Cartographer."""
+
+    def __init__(self, carto: Cartographer, max_range: float, offset_x: float):
+        self.carto = carto
+        self.max_range = max_range
+        self.offset_x = offset_x
+
+    def initialize(self, pose: np.ndarray) -> None:
+        self.carto.initialize(pose)
+
+    def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
+        points = scan.points_in_sensor_frame(max_range=self.max_range)
+        return self.carto.update(delta, points, sensor_offset_x=self.offset_x)
+
+    def mean_update_ms(self) -> float:
+        # Amortise the periodic sliding-window graph solves over the scans
+        # they smooth; both stages run on the same core on the real car.
+        timing = self.carto.timing
+        total = timing.total_s("scan_match") + timing.total_s("optimize")
+        return total / max(timing.count("scan_match"), 1) * 1e3
+
+
+class LapExperiment:
+    """Runs Table I conditions on one track.
+
+    Parameters
+    ----------
+    track:
+        The test track (grid + ideal raceline).
+    sim_config:
+        Base simulation config; the per-condition grip overrides its
+        vehicle's tire.
+    max_sim_time:
+        Hard wall per condition, seconds of sim time — guards against a
+        lost localizer driving in circles forever.
+    """
+
+    def __init__(
+        self,
+        track: GeneratedTrack,
+        sim_config: SimConfig | None = None,
+        max_sim_time: float = 600.0,
+        update_every_scans: int = 1,
+        alignment_tolerance: float = 0.05,
+        profile_kwargs: Optional[Dict] = None,
+    ) -> None:
+        self.track = track
+        self.base_config = sim_config or SimConfig()
+        self.max_sim_time = float(max_sim_time)
+        self.update_every_scans = int(update_every_scans)
+        self.alignment_tolerance = float(alignment_tolerance)
+        # Racing profile: top speed and acceleration matched to the paper's
+        # regime (straights up to ~7.5 m/s; lateral budget below the LQ
+        # friction ceiling so handling stays comparable across conditions).
+        self.profile_kwargs = {
+            "v_max": 7.5,
+            "a_lat_budget": 4.2,
+            "a_accel": 5.0,
+            "a_brake": 6.0,
+        }
+        if profile_kwargs:
+            self.profile_kwargs.update(profile_kwargs)
+
+    # ------------------------------------------------------------------
+    def _build_localizer(self, condition: ExperimentCondition):
+        overrides = dict(condition.localizer_overrides)
+        offset = self.base_config.lidar.mount_offset_x
+        max_range = self.base_config.lidar.max_range
+        if condition.method == "synpf":
+            overrides.setdefault("seed", condition.seed)
+            overrides.setdefault("lidar_offset_x", offset)
+            return _SynPFAdapter(make_synpf(self.track.grid, **overrides))
+        if condition.method == "vanilla_mcl":
+            overrides.setdefault("seed", condition.seed)
+            overrides.setdefault("lidar_offset_x", offset)
+            return _SynPFAdapter(make_vanilla_mcl(self.track.grid, **overrides))
+        if condition.method == "cartographer":
+            config = overrides.pop("config", None) or CartographerConfig()
+            if overrides:
+                raise ValueError(
+                    "cartographer accepts only a 'config' override, got "
+                    f"{sorted(overrides)}"
+                )
+            return _CartographerAdapter(
+                Cartographer(frozen_map=self.track.grid, config=config),
+                max_range=max_range,
+                offset_x=offset,
+            )
+        raise ValueError(f"unknown method {condition.method!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, condition: ExperimentCondition,
+            progress: Optional[Callable[[str], None]] = None) -> ConditionResult:
+        """Run one condition; returns its aggregated Table I row."""
+        raceline = self.track.centerline
+        import dataclasses as _dc
+
+        vehicle = _dc.replace(self.base_config.vehicle, tire=condition.resolved_tire())
+        sim_cfg = _dc.replace(self.base_config, vehicle=vehicle, seed=condition.seed)
+        sim = Simulator(self.track.grid, sim_cfg)
+        if condition.obstacle_factory is not None:
+            sim.obstacles.extend(condition.obstacle_factory(self.track))
+        profile = SpeedProfile(
+            raceline, speed_scale=condition.speed_scale, **self.profile_kwargs
+        )
+        controller = PurePursuitController(
+            raceline, profile, wheelbase=sim_cfg.vehicle.wheelbase,
+            max_steer=sim_cfg.vehicle.max_steer,
+        )
+        localizer = self._build_localizer(condition)
+        perturbation = condition.perturbation
+        if perturbation is not None:
+            perturbation.reset()
+
+        if condition.odometry_source not in ("wheel", "fused"):
+            raise ValueError(
+                f"unknown odometry_source {condition.odometry_source!r}"
+            )
+        fusion_ekf = None
+        imu = None
+        if condition.odometry_source == "fused":
+            from repro.core.odometry_fusion import OdometryImuEkf
+            from repro.sim.odometry import ImuSensor
+            from repro.utils.rng import make_rng
+
+            fusion_ekf = OdometryImuEkf()
+            imu = ImuSensor()
+            imu_rng = make_rng(condition.seed + 101)
+
+        start = raceline.start_pose()
+        sim.reset(start, speed=1.0)
+        localizer.initialize(start)
+
+        pose_est = start.copy()
+        speed_est = 1.0
+        pending: Optional[OdometryDelta] = None
+        scan_counter = 0
+
+        offset = sim_cfg.lidar.mount_offset_x
+
+        # Lap accounting via raceline progress of the ground-truth pose.
+        s_prev, _ = raceline.project(start[:2])
+        s_prev = float(s_prev[0])
+        progress_in_lap = 0.0
+        lap_index = -1  # lap -1 is the uncounted warm-up
+        lap_start_time = 0.0
+        lap_valid = True
+        lat_samples: List[float] = []
+        align_samples: List[float] = []
+        loc_err_samples: List[float] = []
+        laps: List[LapRecord] = []
+        crashes = 0
+
+        steps_per_lat_sample = 5  # 100 Hz physics / 5 = 20 Hz sampling
+
+        step_count = 0
+        while sim.time < self.max_sim_time and len(laps) < condition.num_laps:
+            target_speed, steer = controller.control(pose_est, speed_est)
+            frame = sim.step(target_speed, steer)
+            step_count += 1
+
+            delta = frame.odom_delta
+            if perturbation is not None:
+                delta = perturbation.apply(delta)
+            if fusion_ekf is not None:
+                # Re-derive the raw sensor channels the EKF fuses from the
+                # (possibly perturbed) wheel delta, plus a gyro reading.
+                wheel_yaw_rate = delta.dtheta / delta.dt if delta.dt > 0 else 0.0
+                imu_yaw_rate = imu.read(frame.state, imu_rng)
+                delta = fusion_ekf.step(
+                    delta.velocity, wheel_yaw_rate, imu_yaw_rate,
+                    sim_cfg.physics_dt,
+                )
+            pending = delta if pending is None else pending.compose(delta)
+            speed_est = delta.velocity
+
+            gt_pose = frame.state.pose()
+
+            if frame.scan is not None:
+                scan_counter += 1
+                if scan_counter % self.update_every_scans == 0:
+                    pose_est = np.asarray(
+                        localizer.update(pending, frame.scan), dtype=float
+                    )
+                    pending = None
+                    if lap_index >= 0:
+                        est_sensor = np.array(
+                            [
+                                pose_est[0] + offset * np.cos(pose_est[2]),
+                                pose_est[1] + offset * np.sin(pose_est[2]),
+                                pose_est[2],
+                            ]
+                        )
+                        align_samples.append(
+                            scan_alignment_score(
+                                self.track.grid, est_sensor, frame.scan,
+                                tolerance=self.alignment_tolerance,
+                                max_range=sim_cfg.lidar.max_range,
+                            )
+                        )
+                        loc_err_samples.append(
+                            float(np.hypot(*(pose_est[:2] - gt_pose[:2])))
+                        )
+
+            if step_count % steps_per_lat_sample == 0:
+                s_now, d_now = raceline.project(gt_pose[:2])
+                s_now = float(s_now[0])
+                progress_in_lap += raceline.progress_difference(s_now, s_prev)
+                s_prev = s_now
+                if lap_index >= 0:
+                    lat_samples.append(abs(float(d_now[0])))
+
+                if frame.collided:
+                    crashes += 1
+                    lap_valid = False
+                    # Re-rail the car on the centerline and re-seed the
+                    # localizer; the spoiled lap is recorded as invalid.
+                    rail = raceline.point_at(s_now)
+                    heading = raceline.heading_at(s_now)
+                    new_pose = np.array([rail[0], rail[1], heading])
+                    sim.reset(new_pose, speed=1.0, reset_time=False)
+                    localizer.initialize(new_pose)
+                    if fusion_ekf is not None:
+                        fusion_ekf.reset(new_pose, speed=1.0)
+                    pose_est = new_pose.copy()
+                    pending = None
+
+                if progress_in_lap >= raceline.total_length:
+                    progress_in_lap -= raceline.total_length
+                    lap_time = sim.time - lap_start_time
+                    if lap_index >= 0:
+                        laps.append(
+                            LapRecord(
+                                lap_time=lap_time,
+                                lateral_error_mean_cm=100.0 * float(np.mean(lat_samples))
+                                if lat_samples else float("nan"),
+                                lateral_error_max_cm=100.0 * float(np.max(lat_samples))
+                                if lat_samples else float("nan"),
+                                scan_alignment_percent=100.0 * float(np.mean(align_samples))
+                                if align_samples else float("nan"),
+                                localization_error_mean_cm=100.0
+                                * float(np.mean(loc_err_samples))
+                                if loc_err_samples else float("nan"),
+                                localization_error_max_cm=100.0
+                                * float(np.max(loc_err_samples))
+                                if loc_err_samples else float("nan"),
+                                valid=lap_valid,
+                            )
+                        )
+                        if progress is not None:
+                            progress(
+                                f"{condition.label()} lap {len(laps)}: "
+                                f"{lap_time:.2f} s"
+                            )
+                    lap_index += 1
+                    lap_start_time = sim.time
+                    lap_valid = True
+                    lat_samples, align_samples, loc_err_samples = [], [], []
+
+        if len(laps) < condition.num_laps and progress is not None:
+            progress(
+                f"{condition.label()}: wall-time cap hit after {len(laps)} laps"
+            )
+
+        mean_ms = localizer.mean_update_ms()
+        load = compute_load_percent(
+            mean_ms / 1e3, sim_cfg.lidar.rate_hz / self.update_every_scans
+        )
+        return ConditionResult(condition, laps, mean_ms, load, crashes)
+
+
+def format_table1(results: List[ConditionResult]) -> str:
+    """Render condition results in the layout of the paper's Table I."""
+    lines = [
+        f"{'Method':<14}{'Odom':<6}{'LapTime mu':>11}{'sigma':>8}"
+        f"{'Err[cm] mu':>12}{'sigma':>8}{'Align[%]':>10}{'Load[%]':>9}",
+        "-" * 78,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.condition.method:<14}{r.condition.odom_quality:<6}"
+            f"{r.lap_time.mean:>11.3f}{r.lap_time.std:>8.3f}"
+            f"{r.lateral_error_cm.mean:>12.3f}{r.lateral_error_cm.std:>8.3f}"
+            f"{r.scan_alignment.mean:>10.3f}{r.compute_load_percent:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Latency measurement harness (the paper's §I/§IV timing claims).
+
+Three measurements:
+
+* :func:`measure_range_method_latency` — per-query cost of each rangelibc
+  mode for the particle-filter workload (P particles x B beams), the basis
+  of the paper's LUT-on-CPU choice;
+* :func:`measure_filter_latency` — SynPF end-to-end update time vs
+  particle count (the 1.25 ms scan-matching figure, which on the real
+  system is the sensor-evaluation stage of the filter);
+* :func:`measure_scan_match_latency` — Cartographer's two-stage scan
+  match, the latency SynPF is compared against.
+
+Absolute numbers here are Python/NumPy, not C++/CUDA; DESIGN.md's
+reproduction criterion is the *ordering and scaling*, which these
+functions expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf
+from repro.maps.track_generator import GeneratedTrack
+from repro.raycast.factory import make_range_method
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.slam.cartographer import Cartographer
+from repro.utils.profiling import Stopwatch
+
+__all__ = [
+    "measure_range_method_latency",
+    "measure_filter_latency",
+    "measure_scan_match_latency",
+]
+
+
+def _warm_and_time(fn, repeats: int = 5) -> float:
+    """Median wall time of ``fn`` over ``repeats`` runs after one warm-up."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        with Stopwatch() as sw:
+            fn()
+        times.append(sw.elapsed)
+    return float(np.median(times))
+
+
+def measure_range_method_latency(
+    track: GeneratedTrack,
+    methods: Sequence[str] = ("bresenham", "ray_marching", "cddt", "pcddt", "lut"),
+    num_particles: int = 1000,
+    num_beams: int = 60,
+    max_range: float = 12.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Time one sensor-evaluation batch per range method.
+
+    Returns one record per method with construction time, batch query
+    time, per-query nanoseconds and memory footprint.
+    """
+    rng = np.random.default_rng(seed)
+    raceline = track.centerline
+    s_positions = rng.uniform(0.0, raceline.total_length, size=num_particles)
+    poses = np.empty((num_particles, 3))
+    for i, s in enumerate(s_positions):
+        pt = raceline.point_at(float(s))
+        poses[i] = [pt[0], pt[1], raceline.heading_at(float(s))]
+    angles = np.linspace(-np.pi / 2, np.pi / 2, num_beams)
+
+    records = []
+    for name in methods:
+        with Stopwatch() as build_sw:
+            method = make_range_method(name, track.grid, max_range=max_range)
+        query_s = _warm_and_time(
+            lambda m=method: m.calc_ranges_pose_batch(poses, angles), repeats
+        )
+        n_queries = num_particles * num_beams
+        records.append(
+            {
+                "method": name,
+                "build_s": build_sw.elapsed,
+                "batch_ms": query_s * 1e3,
+                "per_query_ns": query_s / n_queries * 1e9,
+                "memory_mb": method.memory_bytes() / 1e6,
+            }
+        )
+    return records
+
+
+def measure_filter_latency(
+    track: GeneratedTrack,
+    particle_counts: Iterable[int] = (500, 1000, 2000, 3000, 4000),
+    num_beams: int = 60,
+    repeats: int = 10,
+    seed: int = 0,
+    **filter_overrides,
+) -> List[Dict[str, float]]:
+    """SynPF update latency vs particle count, with stage breakdown."""
+    lidar = SimulatedLidar(track.grid, LidarConfig(), seed=seed)
+    start = track.centerline.start_pose()
+    scan = lidar.scan(start)
+    delta = OdometryDelta(0.08, 0.0, 0.01, velocity=4.0, dt=0.025)
+
+    records = []
+    for n in particle_counts:
+        pf = make_synpf(
+            track.grid, num_particles=int(n), num_beams=num_beams,
+            seed=seed, **filter_overrides,
+        )
+        pf.initialize(start)
+        pf.update(delta, scan.ranges, scan.angles)  # warm-up / JIT caches
+        for _ in range(repeats):
+            pf.update(delta, scan.ranges, scan.angles)
+        summary = pf.timing.summary()
+        records.append(
+            {
+                "num_particles": int(n),
+                "update_ms": summary["update"]["median_ms"],
+                "motion_ms": summary["motion"]["median_ms"],
+                "raycast_ms": summary["raycast"]["median_ms"],
+                "sensor_ms": summary["sensor"]["median_ms"],
+            }
+        )
+    return records
+
+
+def measure_scan_match_latency(
+    track: GeneratedTrack,
+    repeats: int = 10,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Cartographer pure-localization scan-match latency on this track."""
+    lidar = SimulatedLidar(track.grid, LidarConfig(), seed=seed)
+    start = track.centerline.start_pose()
+    scan = lidar.scan(start)
+    points = scan.points_in_sensor_frame(max_range=lidar.config.max_range)
+    delta = OdometryDelta(0.08, 0.0, 0.01, velocity=4.0, dt=0.025)
+
+    carto = Cartographer(frozen_map=track.grid)
+    carto.initialize(start)
+    for _ in range(repeats + 1):
+        carto.update(delta, points)
+    return {
+        "scan_match_ms": carto.timing.median_ms("scan_match"),
+        "num_scans": float(carto.timing.count("scan_match")),
+    }

@@ -1,0 +1,115 @@
+"""Localization-accuracy proxy metrics (Table I columns).
+
+The paper measures localization quality indirectly, through quantities
+observable on a real car; this module implements the same proxies so the
+simulated numbers are comparable in *kind*:
+
+* **lap time** — slower, more erratic driving indicates worse pose feed to
+  the controller;
+* **lateral error** — deviation of the driven path from the ideal race
+  line (cm in the paper's table);
+* **scan alignment** — "the average percentage of overlapping scans and
+  the track boundary" (§III, Tab. I caption): project the scan through the
+  *estimated* pose and count the fraction of points landing within a
+  tolerance of occupied map cells;
+* **compute load** — htop core percentage in the paper; here, update time
+  as a share of the sensor period (a 40 Hz sensor gives 25 ms per update).
+
+Ground-truth pose error (available only in simulation) is reported
+alongside as a sanity check that the proxies track the real quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.sim.lidar import LidarScan
+from repro.utils.angles import angle_diff
+from repro.utils.geometry import transform_points
+
+__all__ = [
+    "scan_alignment_score",
+    "pose_error",
+    "compute_load_percent",
+    "summarize",
+    "Summary",
+]
+
+
+def scan_alignment_score(
+    grid: OccupancyGrid,
+    estimated_sensor_pose: np.ndarray,
+    scan: LidarScan,
+    tolerance: float = 0.10,
+    max_range: float | None = None,
+) -> float:
+    """Fraction (0-1) of scan points that land on the track boundary.
+
+    Points are expressed in the world frame through the *estimated* sensor
+    pose; a point "overlaps" the boundary if it lies within ``tolerance``
+    metres of an occupied cell.  A perfectly localized scan scores close
+    to 1 (minus sensor noise and dropouts); a mislocalized one paints its
+    points into free space or beyond walls and scores low.
+    """
+    limit = max_range if max_range is not None else float(np.max(scan.ranges))
+    points_sensor = scan.points_in_sensor_frame(drop_max_range=True, max_range=limit)
+    if points_sensor.shape[0] == 0:
+        return 0.0
+    world = transform_points(np.asarray(estimated_sensor_pose, dtype=float), points_sensor)
+    distances = grid.distance_at_world(world)
+    inside = grid.in_bounds(world)
+    hits = (distances <= tolerance) & inside
+    return float(np.mean(hits))
+
+
+def pose_error(estimated: np.ndarray, ground_truth: np.ndarray) -> Dict[str, float]:
+    """Translation (m) and heading (rad) error between two poses."""
+    estimated = np.asarray(estimated, dtype=float)
+    ground_truth = np.asarray(ground_truth, dtype=float)
+    return {
+        "translation": float(np.hypot(*(estimated[:2] - ground_truth[:2]))),
+        "heading": float(abs(angle_diff(estimated[2], ground_truth[2]))),
+    }
+
+
+def compute_load_percent(mean_update_seconds: float, update_rate_hz: float) -> float:
+    """Update cost as a percentage of one core at the sensor rate.
+
+    ``100 * t_update / (1 / rate)`` — the simulation analogue of the
+    paper's htop core-utilisation column.
+    """
+    if update_rate_hz <= 0:
+        raise ValueError("update_rate_hz must be positive")
+    if mean_update_seconds < 0:
+        raise ValueError("mean_update_seconds must be non-negative")
+    return 100.0 * mean_update_seconds * update_rate_hz
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max of a sample, in the sample's own units."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics; std is the sample standard deviation (ddof=1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        min=float(arr.min()),
+        max=float(arr.max()),
+        count=int(arr.size),
+    )

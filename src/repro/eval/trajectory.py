@@ -1,0 +1,123 @@
+"""Trajectory accuracy metrics: ATE and RPE.
+
+The SLAM community's standard pair (Sturm et al., IROS 2012), complementing
+the racing proxies of Table I:
+
+* **ATE** (absolute trajectory error) — RMSE of positions after optimal
+  rigid alignment of the estimated trajectory onto ground truth.  The
+  alignment matters when comparing a SLAM-built (self-consistent but
+  globally warped) trajectory: without it, a constant frame offset
+  dominates.
+* **RPE** (relative pose error) — error of the *motion* over a fixed
+  horizon, insensitive to global drift; the right lens for odometry and
+  front-end quality.
+
+Both take ``(N, 3)`` pose arrays sampled at matching times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.slam.pose_graph import relative_pose
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["align_trajectories", "absolute_trajectory_error",
+           "relative_pose_error", "TrajectoryErrors"]
+
+
+def align_trajectories(estimated: np.ndarray, reference: np.ndarray):
+    """Optimal rigid (rotation + translation) alignment, Umeyama/Horn.
+
+    Returns ``(aligned_estimate, rotation_2x2, translation_2)`` minimising
+    the sum of squared position errors.  Headings are rotated consistently.
+    """
+    estimated = np.atleast_2d(np.asarray(estimated, dtype=float))
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    if estimated.shape != reference.shape:
+        raise ValueError(
+            f"trajectory shapes differ: {estimated.shape} vs {reference.shape}"
+        )
+    if estimated.shape[0] < 2:
+        raise ValueError("need at least 2 poses to align")
+
+    est_xy = estimated[:, :2]
+    ref_xy = reference[:, :2]
+    mu_e = est_xy.mean(axis=0)
+    mu_r = ref_xy.mean(axis=0)
+    cov = (ref_xy - mu_r).T @ (est_xy - mu_e)
+    u, _, vt = np.linalg.svd(cov)
+    d = np.sign(np.linalg.det(u @ vt))
+    rot = u @ np.diag([1.0, d]) @ vt
+    trans = mu_r - rot @ mu_e
+
+    aligned = estimated.copy()
+    aligned[:, :2] = est_xy @ rot.T + trans
+    dtheta = np.arctan2(rot[1, 0], rot[0, 0])
+    aligned[:, 2] = wrap_to_pi(estimated[:, 2] + dtheta)
+    return aligned, rot, trans
+
+
+@dataclass(frozen=True)
+class TrajectoryErrors:
+    """RMSE / mean / max of a per-pose error sequence (metres or radians)."""
+
+    rmse: float
+    mean: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: np.ndarray) -> "TrajectoryErrors":
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise ValueError("no error samples")
+        return TrajectoryErrors(
+            rmse=float(np.sqrt(np.mean(samples**2))),
+            mean=float(np.mean(samples)),
+            max=float(np.max(samples)),
+        )
+
+
+def absolute_trajectory_error(
+    estimated: np.ndarray, reference: np.ndarray, align: bool = True
+) -> TrajectoryErrors:
+    """ATE of positions, optionally after rigid alignment."""
+    estimated = np.atleast_2d(np.asarray(estimated, dtype=float))
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    if align:
+        estimated, _, _ = align_trajectories(estimated, reference)
+    errors = np.hypot(
+        estimated[:, 0] - reference[:, 0], estimated[:, 1] - reference[:, 1]
+    )
+    return TrajectoryErrors.from_samples(errors)
+
+
+def relative_pose_error(
+    estimated: np.ndarray, reference: np.ndarray, delta: int = 1
+) -> dict:
+    """RPE over a horizon of ``delta`` poses.
+
+    Returns ``{"translation": TrajectoryErrors (m), "rotation":
+    TrajectoryErrors (rad)}``: the error of each estimated relative motion
+    against the true relative motion over the same interval.
+    """
+    estimated = np.atleast_2d(np.asarray(estimated, dtype=float))
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    if estimated.shape != reference.shape:
+        raise ValueError("trajectory shapes differ")
+    if delta < 1 or delta >= estimated.shape[0]:
+        raise ValueError("delta must be in [1, len-1]")
+
+    trans_errors = []
+    rot_errors = []
+    for i in range(estimated.shape[0] - delta):
+        rel_est = relative_pose(estimated[i], estimated[i + delta])
+        rel_ref = relative_pose(reference[i], reference[i + delta])
+        trans_errors.append(float(np.hypot(*(rel_est[:2] - rel_ref[:2]))))
+        rot_errors.append(abs(float(wrap_to_pi(rel_est[2] - rel_ref[2]))))
+    return {
+        "translation": TrajectoryErrors.from_samples(np.array(trans_errors)),
+        "rotation": TrajectoryErrors.from_samples(np.array(rot_errors)),
+    }

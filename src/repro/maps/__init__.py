@@ -1,0 +1,46 @@
+"""Occupancy-grid map substrate.
+
+Everything the localization stack knows about the world flows through an
+:class:`~repro.maps.occupancy_grid.OccupancyGrid`: the ray casters trace
+through it, the particle filter scores scans against it, the SLAM baseline
+builds submaps shaped like it, and the simulator uses it as ground truth.
+
+The subpackage also ships a ROS ``map_server``-compatible YAML/PGM loader
+(the format F1TENTH maps are distributed in) and a synthetic racetrack
+generator standing in for the paper's physical test track (Fig. 2).
+"""
+
+from repro.maps.centerline import (
+    Raceline,
+    arclength_resample,
+    curvature_of_polyline,
+)
+from repro.maps.map_io import load_map_yaml, save_map_yaml
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.maps.quality import (
+    WallDistanceStats,
+    occupancy_overlap,
+    wall_distance_statistics,
+)
+from repro.maps.raceline_optimizer import (
+    RacelineOptimizerConfig,
+    optimize_raceline,
+)
+from repro.maps.track_generator import TrackSpec, generate_track, replica_test_track
+
+__all__ = [
+    "OccupancyGrid",
+    "Raceline",
+    "RacelineOptimizerConfig",
+    "TrackSpec",
+    "WallDistanceStats",
+    "optimize_raceline",
+    "arclength_resample",
+    "curvature_of_polyline",
+    "generate_track",
+    "load_map_yaml",
+    "occupancy_overlap",
+    "replica_test_track",
+    "save_map_yaml",
+    "wall_distance_statistics",
+]

@@ -1,0 +1,224 @@
+"""Raceline / centerline geometry.
+
+A racetrack's centerline (or ideal raceline) is a closed polyline.  The
+evaluation harness measures *lateral error with respect to the ideal race
+line* (Tab. I of the paper), which requires projecting arbitrary positions
+onto the polyline; the racing controller needs lookahead points and
+curvature.  This module provides all of that on top of a uniform-arclength
+resampled representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["Raceline", "arclength_resample", "curvature_of_polyline"]
+
+
+def arclength_resample(points: np.ndarray, spacing: float, closed: bool = True) -> np.ndarray:
+    """Resample a polyline to (approximately) uniform arclength spacing.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 2)`` vertices.  For a closed curve the last point must *not*
+        repeat the first.
+    spacing:
+        Target distance between consecutive output vertices, metres.
+    closed:
+        Whether the polyline is a loop.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (N, 2), got {points.shape}")
+    if points.shape[0] < 3:
+        raise ValueError("need at least 3 points")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+
+    if closed:
+        loop = np.vstack([points, points[:1]])
+    else:
+        loop = points
+    seg = np.diff(loop, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1])
+    s = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = s[-1]
+    if total <= 0:
+        raise ValueError("degenerate polyline with zero length")
+
+    n_out = max(int(round(total / spacing)), 4)
+    if closed:
+        s_new = np.linspace(0.0, total, n_out, endpoint=False)
+    else:
+        s_new = np.linspace(0.0, total, n_out)
+    x = np.interp(s_new, s, loop[:, 0])
+    y = np.interp(s_new, s, loop[:, 1])
+    return np.stack([x, y], axis=-1)
+
+
+def curvature_of_polyline(points: np.ndarray, closed: bool = True) -> np.ndarray:
+    """Signed curvature (1/m) at each vertex via finite differences.
+
+    Positive curvature = turning left (counter-clockwise).  Assumes roughly
+    uniform spacing; resample first if the input is uneven.
+    """
+    points = np.asarray(points, dtype=float)
+    if closed:
+        prev_pts = np.roll(points, 1, axis=0)
+        next_pts = np.roll(points, -1, axis=0)
+    else:
+        prev_pts = np.vstack([points[:1], points[:-1]])
+        next_pts = np.vstack([points[1:], points[-1:]])
+
+    d1 = (next_pts - prev_pts) / 2.0
+    d2 = next_pts - 2.0 * points + prev_pts
+    num = d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]
+    den = np.power(d1[:, 0] ** 2 + d1[:, 1] ** 2, 1.5)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        kappa = np.where(den > 1e-12, num / den, 0.0)
+    return kappa
+
+
+@dataclass
+class Raceline:
+    """A closed raceline with fast projection queries.
+
+    Construct via :meth:`from_waypoints`, which resamples to uniform
+    arclength.  ``points[i]`` sits at arclength ``s[i]``; ``headings[i]`` is
+    the tangent direction; ``curvature[i]`` the signed curvature.
+    """
+
+    points: np.ndarray
+    s: np.ndarray
+    headings: np.ndarray
+    curvature: np.ndarray
+    total_length: float
+    _tree: cKDTree = field(default=None, repr=False, compare=False)
+
+    @staticmethod
+    def from_waypoints(waypoints: np.ndarray, spacing: float = 0.05) -> "Raceline":
+        pts = arclength_resample(waypoints, spacing, closed=True)
+        nxt = np.roll(pts, -1, axis=0)
+        seg = nxt - pts
+        seg_len = np.hypot(seg[:, 0], seg[:, 1])
+        s = np.concatenate([[0.0], np.cumsum(seg_len)])[:-1]
+        total = float(np.sum(seg_len))
+        headings = np.arctan2(seg[:, 1], seg[:, 0])
+        kappa = curvature_of_polyline(pts, closed=True)
+        return Raceline(pts, s, headings, kappa, total)
+
+    def _kdtree(self) -> cKDTree:
+        if self._tree is None:
+            self._tree = cKDTree(self.points)
+        return self._tree
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    # ------------------------------------------------------------------
+    # Projection queries
+    # ------------------------------------------------------------------
+    def project(self, xy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Project world points onto the raceline.
+
+        Returns ``(s, d)``: arclength progress of the closest raceline point
+        and *signed* lateral offset (positive = left of travel direction).
+        Accepts ``(2,)`` or ``(N, 2)``.
+        """
+        xy = np.atleast_2d(np.asarray(xy, dtype=float))
+        _, idx = self._kdtree().query(xy)
+        n = len(self)
+
+        # Refine: project onto the segment before and after the closest
+        # vertex, keep the closer of the two.
+        best_s = np.empty(xy.shape[0])
+        best_d = np.empty(xy.shape[0])
+        for k, (p, i) in enumerate(zip(xy, idx)):
+            candidates = []
+            for j in (int(i) - 1, int(i)):
+                a = self.points[j % n]
+                b = self.points[(j + 1) % n]
+                ab = b - a
+                denom = float(ab @ ab)
+                t = float(np.clip((p - a) @ ab / denom, 0.0, 1.0)) if denom > 0 else 0.0
+                closest = a + t * ab
+                dist = float(np.hypot(*(p - closest)))
+                seg_s = self.s[j % n] + t * np.hypot(*ab)
+                heading = np.arctan2(ab[1], ab[0])
+                cross = np.cos(heading) * (p[1] - closest[1]) - np.sin(heading) * (
+                    p[0] - closest[0]
+                )
+                candidates.append((dist, seg_s % self.total_length, np.sign(cross) * dist))
+            dist, seg_s, signed = min(candidates, key=lambda c: c[0])
+            best_s[k] = seg_s
+            best_d[k] = signed
+        return best_s, best_d
+
+    def lateral_error(self, xy: np.ndarray) -> np.ndarray:
+        """Absolute lateral offset (metres) of each point — the Tab. I metric."""
+        _, d = self.project(xy)
+        return np.abs(d)
+
+    # ------------------------------------------------------------------
+    # Sampling queries
+    # ------------------------------------------------------------------
+    def point_at(self, s: float) -> np.ndarray:
+        """Interpolated raceline point at arclength ``s`` (wraps around)."""
+        s = float(s) % self.total_length
+        i = int(np.searchsorted(self.s, s, side="right")) - 1
+        i = max(i, 0)
+        a = self.points[i]
+        b = self.points[(i + 1) % len(self)]
+        seg = self.s[(i + 1) % len(self)] - self.s[i]
+        if seg <= 0:  # wrap segment
+            seg = self.total_length - self.s[i]
+        t = (s - self.s[i]) / seg if seg > 0 else 0.0
+        return a + t * (b - a)
+
+    def heading_at(self, s: float) -> float:
+        s = float(s) % self.total_length
+        i = int(np.searchsorted(self.s, s, side="right")) - 1
+        return float(self.headings[max(i, 0)])
+
+    def curvature_at(self, s: float) -> float:
+        s = float(s) % self.total_length
+        i = int(np.searchsorted(self.s, s, side="right")) - 1
+        return float(self.curvature[max(i, 0)])
+
+    def lookahead_point(self, xy: np.ndarray, lookahead: float) -> np.ndarray:
+        """The raceline point ``lookahead`` metres of arclength ahead of the
+        projection of ``xy`` — the pure-pursuit target."""
+        s, _ = self.project(np.asarray(xy, dtype=float))
+        return self.point_at(float(s[0]) + lookahead)
+
+    def progress_difference(self, s_now: float, s_prev: float) -> float:
+        """Forward arclength travelled from ``s_prev`` to ``s_now``.
+
+        Result in ``[-L/2, L/2)`` — small negative values mean the car moved
+        backwards slightly.  Lap counting accumulates these increments.
+        """
+        half = self.total_length / 2.0
+        delta = (s_now - s_prev + half) % self.total_length - half
+        return float(delta)
+
+    def start_pose(self) -> np.ndarray:
+        """Pose ``(x, y, theta)`` at the start/finish line, facing forward."""
+        return np.array([self.points[0, 0], self.points[0, 1], self.headings[0]])
+
+    def offset_polyline(self, offset: float) -> np.ndarray:
+        """Polyline shifted laterally by ``offset`` (positive = left).
+
+        Used by the track generator to derive wall outlines from the
+        centerline.
+        """
+        normals = np.stack(
+            [-np.sin(self.headings), np.cos(self.headings)], axis=-1
+        )
+        return self.points + offset * normals

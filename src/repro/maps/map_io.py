@@ -1,0 +1,157 @@
+"""ROS ``map_server``-compatible map file I/O (YAML metadata + PGM image).
+
+F1TENTH maps are distributed as a ``.yaml`` file describing resolution,
+origin and thresholds plus a ``.pgm`` grayscale image.  This module reads
+and writes that format without external dependencies (no PyYAML, no PIL):
+the YAML subset used by map_server is flat key/value pairs, and PGM is a
+trivial binary format.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+
+__all__ = ["load_map_yaml", "save_map_yaml", "read_pgm", "write_pgm"]
+
+
+def _parse_scalar(text: str):
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    try:
+        return float(text)
+    except ValueError:
+        return text.strip("'\"")
+
+
+def _parse_flat_yaml(text: str) -> Dict[str, object]:
+    """Parse the flat ``key: value`` (+ inline ``[a, b, c]`` lists) subset of
+    YAML that map_server metadata files use."""
+    out: Dict[str, object] = {}
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if not line.strip() or ":" not in line:
+            continue
+        key, value = line.split(":", 1)
+        value = value.strip()
+        if value.startswith("[") and value.endswith("]"):
+            items = [v for v in value[1:-1].split(",") if v.strip()]
+            out[key.strip()] = [_parse_scalar(v) for v in items]
+        else:
+            out[key.strip()] = _parse_scalar(value)
+    return out
+
+
+def read_pgm(path: str) -> np.ndarray:
+    """Read a binary (P5) or ASCII (P2) PGM file into a uint8/uint16 array."""
+    with open(path, "rb") as f:
+        raw = f.read()
+
+    # Tokenise the header: magic, width, height, maxval — comments start with #.
+    tokens = []
+    pos = 0
+    while len(tokens) < 4:
+        while pos < len(raw) and raw[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(raw) and raw[pos : pos + 1] == b"#":
+            while pos < len(raw) and raw[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(raw) and not raw[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(raw[start:pos])
+    magic = tokens[0].decode()
+    width, height, maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+    pos += 1  # single whitespace after maxval
+
+    dtype = np.uint8 if maxval < 256 else np.dtype(">u2")
+    if magic == "P5":
+        data = np.frombuffer(raw, dtype=dtype, count=width * height, offset=pos)
+    elif magic == "P2":
+        values = raw[pos:].split()
+        data = np.array([int(v) for v in values[: width * height]], dtype=dtype)
+    else:
+        raise ValueError(f"unsupported PGM magic {magic!r} in {path}")
+    return data.reshape(height, width)
+
+
+def write_pgm(path: str, image: np.ndarray) -> None:
+    """Write a uint8 image as a binary (P5) PGM file."""
+    image = np.asarray(image, dtype=np.uint8)
+    if image.ndim != 2:
+        raise ValueError("PGM image must be 2D")
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    with open(path, "wb") as f:
+        f.write(header)
+        f.write(image.tobytes())
+
+
+def load_map_yaml(yaml_path: str) -> OccupancyGrid:
+    """Load a map_server map (YAML + PGM) as an :class:`OccupancyGrid`.
+
+    Pixel-to-occupancy conversion follows map_server semantics: the image is
+    interpreted so white (255) is free and black (0) is occupied; with
+    ``negate: 0``, occupancy probability ``p = (255 - pixel) / 255``; cells
+    with ``p > occupied_thresh`` are occupied, ``p < free_thresh`` free, and
+    anything between is unknown.  PGM rows are stored top-to-bottom while
+    grid rows grow upward, so the image is vertically flipped.
+    """
+    with open(yaml_path, "r") as f:
+        meta = _parse_flat_yaml(f.read())
+    for key in ("image", "resolution", "origin"):
+        if key not in meta:
+            raise ValueError(f"map YAML missing required key {key!r}")
+
+    image_path = str(meta["image"])
+    if not os.path.isabs(image_path):
+        image_path = os.path.join(os.path.dirname(os.path.abspath(yaml_path)), image_path)
+    pixels = read_pgm(image_path).astype(float)
+
+    negate = int(meta.get("negate", 0))
+    occupied_thresh = float(meta.get("occupied_thresh", 0.65))
+    free_thresh = float(meta.get("free_thresh", 0.196))
+
+    if negate:
+        occ_prob = pixels / 255.0
+    else:
+        occ_prob = (255.0 - pixels) / 255.0
+
+    data = np.full(pixels.shape, UNKNOWN, dtype=np.int8)
+    data[occ_prob > occupied_thresh] = OCCUPIED
+    data[occ_prob < free_thresh] = FREE
+    data = data[::-1, :].copy()  # image row 0 is the top; grid row 0 is the bottom
+
+    origin = meta["origin"]
+    return OccupancyGrid(
+        data, float(meta["resolution"]), (float(origin[0]), float(origin[1]))
+    )
+
+
+def save_map_yaml(grid: OccupancyGrid, yaml_path: str) -> Tuple[str, str]:
+    """Save a grid in map_server format; returns ``(yaml_path, pgm_path)``."""
+    base, _ = os.path.splitext(yaml_path)
+    pgm_path = base + ".pgm"
+
+    pixels = np.full(grid.data.shape, 205, dtype=np.uint8)  # unknown = mid-grey
+    pixels[grid.data == FREE] = 255
+    pixels[grid.data == OCCUPIED] = 0
+    write_pgm(pgm_path, pixels[::-1, :])
+
+    yaml_text = (
+        f"image: {os.path.basename(pgm_path)}\n"
+        f"resolution: {grid.resolution}\n"
+        f"origin: [{grid.origin[0]}, {grid.origin[1]}, 0.0]\n"
+        "negate: 0\n"
+        "occupied_thresh: 0.65\n"
+        "free_thresh: 0.196\n"
+    )
+    with open(yaml_path, "w") as f:
+        f.write(yaml_text)
+    return yaml_path, pgm_path

@@ -1,0 +1,224 @@
+"""2D occupancy grid with world/grid transforms and distance fields.
+
+Conventions (matching ROS ``map_server`` / the F1TENTH stack):
+
+* the grid is stored row-major as ``grid[row, col]`` = ``grid[iy, ix]``;
+* cell values: ``0`` free, ``100`` occupied, ``-1`` unknown (int8);
+* ``origin`` is the world coordinate of the *centre* of cell ``(0, 0)``'s
+  lower-left corner, i.e. world ``(origin_x, origin_y)`` maps to grid index
+  ``(0, 0)``'s corner; axis-aligned maps only (origin yaw = 0), which is all
+  the localization stack requires;
+* ``resolution`` is metres per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["OccupancyGrid", "FREE", "OCCUPIED", "UNKNOWN"]
+
+FREE: int = 0
+OCCUPIED: int = 100
+UNKNOWN: int = -1
+
+
+@dataclass
+class OccupancyGrid:
+    """An axis-aligned 2D occupancy grid.
+
+    Parameters
+    ----------
+    data:
+        ``(height, width)`` int8 array of cell states (see module constants).
+    resolution:
+        Cell edge length in metres.
+    origin:
+        ``(x, y)`` world position of the grid's lower-left corner.
+    """
+
+    data: np.ndarray
+    resolution: float
+    origin: Tuple[float, float] = (0.0, 0.0)
+    _distance_field: np.ndarray = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.int8)
+        if self.data.ndim != 2:
+            raise ValueError(f"grid data must be 2D, got shape {self.data.shape}")
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.origin = (float(self.origin[0]), float(self.origin[1]))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def size_m(self) -> Tuple[float, float]:
+        """(width, height) of the map in metres."""
+        return (self.width * self.resolution, self.height * self.resolution)
+
+    @property
+    def max_range_m(self) -> float:
+        """Length of the map diagonal — an upper bound on any in-map range."""
+        w, h = self.size_m
+        return float(np.hypot(w, h))
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms
+    # ------------------------------------------------------------------
+    def world_to_grid(self, xy: np.ndarray) -> np.ndarray:
+        """Map world coordinates ``(..., 2)`` to integer cell indices ``(ix, iy)``.
+
+        Returned array has the same leading shape with last axis
+        ``(col, row)``.  No bounds clipping is performed.
+        """
+        xy = np.asarray(xy, dtype=float)
+        out = np.empty(xy.shape, dtype=np.int64)
+        out[..., 0] = np.floor((xy[..., 0] - self.origin[0]) / self.resolution)
+        out[..., 1] = np.floor((xy[..., 1] - self.origin[1]) / self.resolution)
+        return out
+
+    def grid_to_world(self, ij: np.ndarray) -> np.ndarray:
+        """Map cell indices ``(col, row)`` to the world position of the cell centre."""
+        ij = np.asarray(ij, dtype=float)
+        out = np.empty(ij.shape, dtype=float)
+        out[..., 0] = (ij[..., 0] + 0.5) * self.resolution + self.origin[0]
+        out[..., 1] = (ij[..., 1] + 0.5) * self.resolution + self.origin[1]
+        return out
+
+    def in_bounds(self, xy: np.ndarray) -> np.ndarray:
+        """Boolean mask: which world points fall inside the grid extent."""
+        ij = self.world_to_grid(xy)
+        return (
+            (ij[..., 0] >= 0)
+            & (ij[..., 0] < self.width)
+            & (ij[..., 1] >= 0)
+            & (ij[..., 1] < self.height)
+        )
+
+    # ------------------------------------------------------------------
+    # Occupancy queries
+    # ------------------------------------------------------------------
+    def is_occupied_world(self, xy: np.ndarray, unknown_is_occupied: bool = True) -> np.ndarray:
+        """Occupancy test for world points; out-of-bounds counts as occupied.
+
+        Treating unknown/out-of-map as occupied is the conservative choice
+        used by the ray casters: a ray leaving the mapped area terminates.
+        """
+        xy = np.atleast_2d(np.asarray(xy, dtype=float))
+        ij = self.world_to_grid(xy)
+        inside = (
+            (ij[:, 0] >= 0)
+            & (ij[:, 0] < self.width)
+            & (ij[:, 1] >= 0)
+            & (ij[:, 1] < self.height)
+        )
+        result = np.ones(xy.shape[0], dtype=bool)
+        if np.any(inside):
+            vals = self.data[ij[inside, 1], ij[inside, 0]]
+            if unknown_is_occupied:
+                result[inside] = vals != FREE
+            else:
+                result[inside] = vals == OCCUPIED
+        return result
+
+    def occupancy_mask(self, unknown_is_occupied: bool = True) -> np.ndarray:
+        """Boolean ``(H, W)`` mask of occupied cells."""
+        if unknown_is_occupied:
+            return self.data != FREE
+        return self.data == OCCUPIED
+
+    def free_mask(self) -> np.ndarray:
+        """Boolean ``(H, W)`` mask of definitely-free cells."""
+        return self.data == FREE
+
+    def occupied_cell_centers(self) -> np.ndarray:
+        """World coordinates ``(N, 2)`` of all occupied cell centres.
+
+        Used by the scan-alignment metric and by map visualisation.
+        """
+        rows, cols = np.nonzero(self.data == OCCUPIED)
+        return self.grid_to_world(np.stack([cols, rows], axis=-1))
+
+    # ------------------------------------------------------------------
+    # Derived fields
+    # ------------------------------------------------------------------
+    def distance_field(self) -> np.ndarray:
+        """Euclidean distance (metres) from each cell centre to the nearest
+        occupied cell.  Cached after the first call.
+
+        This is the substrate for distance-transform ray marching and for
+        the scan-alignment score; it is also what CDDT compresses
+        directionally.
+        """
+        if self._distance_field is None:
+            free = ~self.occupancy_mask(unknown_is_occupied=False)
+            self._distance_field = (
+                ndimage.distance_transform_edt(free) * self.resolution
+            ).astype(np.float32)
+        return self._distance_field
+
+    def distance_at_world(self, xy: np.ndarray) -> np.ndarray:
+        """Sample the distance field at world points (nearest cell).
+
+        Out-of-bounds points return 0 (treated as on an obstacle).
+        """
+        xy = np.atleast_2d(np.asarray(xy, dtype=float))
+        field = self.distance_field()
+        ij = self.world_to_grid(xy)
+        out = np.zeros(xy.shape[0], dtype=float)
+        inside = (
+            (ij[:, 0] >= 0)
+            & (ij[:, 0] < self.width)
+            & (ij[:, 1] >= 0)
+            & (ij[:, 1] < self.height)
+        )
+        out[inside] = field[ij[inside, 1], ij[inside, 0]]
+        return out
+
+    def inflate(self, radius_m: float) -> "OccupancyGrid":
+        """Return a copy with obstacles dilated by ``radius_m``.
+
+        Planning/control uses an inflated map so the car centre keeps a
+        safety margin; localization always uses the raw map.
+        """
+        if radius_m < 0:
+            raise ValueError("inflation radius must be non-negative")
+        if radius_m == 0:
+            return OccupancyGrid(self.data.copy(), self.resolution, self.origin)
+        dist = ndimage.distance_transform_edt(
+            ~self.occupancy_mask(unknown_is_occupied=False)
+        ) * self.resolution
+        data = self.data.copy()
+        data[dist <= radius_m] = OCCUPIED
+        return OccupancyGrid(data, self.resolution, self.origin)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty(width_m: float, height_m: float, resolution: float,
+              origin: Tuple[float, float] = (0.0, 0.0)) -> "OccupancyGrid":
+        """An all-free grid covering ``width_m`` x ``height_m``."""
+        w = int(np.ceil(width_m / resolution))
+        h = int(np.ceil(height_m / resolution))
+        return OccupancyGrid(np.zeros((h, w), dtype=np.int8), resolution, origin)
+
+    def copy(self) -> "OccupancyGrid":
+        return OccupancyGrid(self.data.copy(), self.resolution, self.origin)
+
+    def invalidate_cache(self) -> None:
+        """Drop cached derived fields after mutating ``data`` in place."""
+        self._distance_field = None

@@ -1,0 +1,147 @@
+"""Map-quality metrics: scoring a SLAM-built map against a reference.
+
+Used to evaluate the Cartographer baseline's *mapping* mode (the paper
+races on pre-built maps; how good those maps are is the preceding
+question).  A built map can be locally crisp yet globally warped, so two
+complementary views:
+
+* :func:`wall_distance_statistics` — for every occupied cell of the built
+  map, distance to the nearest occupied cell of the reference (and the
+  reverse direction): sub-resolution medians mean the walls are in the
+  right place; a long tail means ghosting or warp.
+* :func:`occupancy_overlap` — IoU-style agreement over the jointly known
+  region, per cell class.
+
+Both accept an optional rigid alignment (from
+:func:`repro.eval.trajectory.align_trajectories` on the trajectories) so a
+globally shifted but internally correct map can be scored fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+__all__ = ["wall_distance_statistics", "occupancy_overlap", "WallDistanceStats"]
+
+
+@dataclass(frozen=True)
+class WallDistanceStats:
+    """Distances (m) between built and reference walls, both directions."""
+
+    built_to_ref_median: float
+    built_to_ref_p95: float
+    ref_to_built_median: float
+    ref_to_built_p95: float
+    num_built_cells: int
+    num_ref_cells: int
+
+    @property
+    def symmetric_median(self) -> float:
+        return max(self.built_to_ref_median, self.ref_to_built_median)
+
+
+def _apply_transform(points: np.ndarray,
+                     transform: Optional[Tuple[np.ndarray, np.ndarray]]):
+    if transform is None:
+        return points
+    rot, trans = transform
+    return points @ np.asarray(rot, dtype=float).T + np.asarray(trans, dtype=float)
+
+
+def wall_distance_statistics(
+    built: OccupancyGrid,
+    reference: OccupancyGrid,
+    transform: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> WallDistanceStats:
+    """Two-sided nearest-wall distance statistics.
+
+    ``transform``: optional ``(R, t)`` mapping built-map coordinates into
+    the reference frame before scoring.
+    """
+    built_walls = _apply_transform(built.occupied_cell_centers(), transform)
+    ref_walls = reference.occupied_cell_centers()
+    if built_walls.shape[0] == 0 or ref_walls.shape[0] == 0:
+        raise ValueError("both maps need occupied cells to compare")
+
+    d_b2r = reference.distance_at_world(built_walls)
+    # Reverse direction: distance from reference walls to built walls via
+    # the built map's own distance field, transformed inversely.
+    if transform is not None:
+        rot, trans = transform
+        inv_pts = (ref_walls - np.asarray(trans)) @ np.asarray(rot)
+    else:
+        inv_pts = ref_walls
+    d_r2b = built.distance_at_world(inv_pts)
+
+    # Out-of-bounds probes return 0 ("on an obstacle") from
+    # distance_at_world; exclude them so unmapped regions do not fake
+    # perfect agreement.
+    b2r_in = reference.in_bounds(built_walls)
+    r2b_in = built.in_bounds(inv_pts)
+    d_b2r = d_b2r[b2r_in] if np.any(b2r_in) else d_b2r
+    d_r2b = d_r2b[r2b_in] if np.any(r2b_in) else d_r2b
+
+    return WallDistanceStats(
+        built_to_ref_median=float(np.median(d_b2r)),
+        built_to_ref_p95=float(np.quantile(d_b2r, 0.95)),
+        ref_to_built_median=float(np.median(d_r2b)),
+        ref_to_built_p95=float(np.quantile(d_r2b, 0.95)),
+        num_built_cells=int(built_walls.shape[0]),
+        num_ref_cells=int(ref_walls.shape[0]),
+    )
+
+
+def occupancy_overlap(
+    built: OccupancyGrid,
+    reference: OccupancyGrid,
+    transform: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    sample_step: int = 1,
+) -> dict:
+    """Cell-class agreement over the jointly *known* region.
+
+    Samples the built map's known cells (every ``sample_step``-th), maps
+    them into the reference frame, and compares classes where the
+    reference is also known.  Returns occupied-IoU, free-IoU and overall
+    accuracy.
+    """
+    known_mask = built.data != -1
+    rows, cols = np.nonzero(known_mask)
+    rows, cols = rows[::sample_step], cols[::sample_step]
+    if rows.size == 0:
+        raise ValueError("built map has no known cells")
+    centers = built.grid_to_world(
+        np.stack([cols, rows], axis=-1).astype(float)
+    )
+    built_vals = built.data[rows, cols]
+
+    probe = _apply_transform(centers, transform)
+    ij = reference.world_to_grid(probe)
+    inside = (
+        (ij[:, 0] >= 0) & (ij[:, 0] < reference.width)
+        & (ij[:, 1] >= 0) & (ij[:, 1] < reference.height)
+    )
+    ref_vals = np.full(rows.size, -1, dtype=np.int8)
+    ref_vals[inside] = reference.data[ij[inside, 1], ij[inside, 0]]
+    both_known = inside & (ref_vals != -1)
+    if not np.any(both_known):
+        raise ValueError("maps share no jointly known region")
+
+    b = built_vals[both_known]
+    r = ref_vals[both_known]
+
+    def iou(cls: int) -> float:
+        inter = np.sum((b == cls) & (r == cls))
+        union = np.sum((b == cls) | (r == cls))
+        return float(inter / union) if union else float("nan")
+
+    return {
+        "occupied_iou": iou(OCCUPIED),
+        "free_iou": iou(FREE),
+        "accuracy": float(np.mean(b == r)),
+        "jointly_known_cells": int(both_known.sum()),
+    }

@@ -1,0 +1,107 @@
+"""Raceline optimization: a better "ideal race line" than the centerline.
+
+The paper measures lateral error "with respect to the ideal race line"
+(Tab. I); racing teams compute that line by optimisation rather than using
+the track centerline.  This module implements the classic *elastic band*
+scheme with a curvature-smoothing term:
+
+1. parameterise the line by one lateral offset per centerline vertex,
+   bounded by the corridor half-width minus a safety margin;
+2. iteratively relax each vertex toward the midpoint of its neighbours
+   (shortening/straightening — the shortest-path pull) blended with a
+   second-difference smoothing term (curvature reduction);
+3. project offsets back into bounds after every sweep.
+
+The result hugs apexes and straightens corner sequences — lap-time gains
+of several percent on corridor tracks (see
+``examples/raceline_optimization.py``), with monotone convergence and no
+external solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.centerline import Raceline
+from repro.maps.track_generator import GeneratedTrack
+
+__all__ = ["RacelineOptimizerConfig", "optimize_raceline"]
+
+
+@dataclass(frozen=True)
+class RacelineOptimizerConfig:
+    """Optimizer knobs.
+
+    ``margin`` keeps the line away from the walls (car half-width plus
+    safety); ``shortening_weight``/``smoothing_weight`` blend the shortest-
+    path pull with curvature smoothing; ``iterations`` sweeps are cheap
+    (vectorised) so the default converges comfortably.
+    """
+
+    margin: float = 0.35
+    iterations: int = 3000
+    shortening_weight: float = 0.3
+    smoothing_weight: float = 0.2
+    spacing: float = 0.1
+
+    def validate(self, half_width: float) -> None:
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+        if self.margin >= half_width:
+            raise ValueError(
+                f"margin {self.margin} leaves no corridor (half-width "
+                f"{half_width})"
+            )
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0 < self.shortening_weight <= 1 or not 0 <= self.smoothing_weight <= 1:
+            raise ValueError("weights must be in (0, 1]")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+
+
+def optimize_raceline(
+    track: GeneratedTrack, config: RacelineOptimizerConfig | None = None
+) -> Raceline:
+    """Optimise a raceline inside ``track``'s corridor.
+
+    Returns a new :class:`~repro.maps.centerline.Raceline`; the input track
+    is not modified.  The line is guaranteed to stay ``config.margin``
+    inside the nominal corridor bounds.
+    """
+    config = config or RacelineOptimizerConfig()
+    half_width = track.spec.track_width / 2.0
+    config.validate(half_width)
+
+    center = Raceline.from_waypoints(track.centerline.points, spacing=config.spacing)
+    n = len(center)
+    normals = np.stack(
+        [-np.sin(center.headings), np.cos(center.headings)], axis=-1
+    )
+    bound = half_width - config.margin
+
+    offsets = np.zeros(n)
+    for _ in range(config.iterations):
+        pts = center.points + offsets[:, None] * normals
+
+        prev_pts = np.roll(pts, 1, axis=0)
+        next_pts = np.roll(pts, -1, axis=0)
+        midpoint_pull = 0.5 * (prev_pts + next_pts) - pts
+        # Second-difference smoothing on the offsets themselves damps
+        # oscillation without shrinking the line to a point.
+        offset_smooth = 0.5 * (np.roll(offsets, 1) + np.roll(offsets, -1)) - offsets
+
+        # Project the geometric pull onto each vertex's lateral direction —
+        # vertices may only move across the track, never along it (keeps
+        # the arclength parameterisation intact).
+        lateral_pull = np.einsum("ij,ij->i", midpoint_pull, normals)
+        offsets = offsets + (
+            config.shortening_weight * lateral_pull
+            + config.smoothing_weight * offset_smooth
+        )
+        np.clip(offsets, -bound, bound, out=offsets)
+
+    optimized_pts = center.points + offsets[:, None] * normals
+    return Raceline.from_waypoints(optimized_pts, spacing=0.05)

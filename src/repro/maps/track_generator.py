@@ -1,0 +1,174 @@
+"""Synthetic racetrack generation.
+
+Stands in for the paper's physical test track (Fig. 2).  Race tracks are
+"corridor-like environments" (paper §II): a closed driving corridor of
+roughly constant width bounded by walls.  The generator produces exactly
+that class of map from a closed centerline:
+
+1. build a closed centerline — a circle with smooth Fourier perturbations
+   (random tracks) or a hand-designed layout (:func:`replica_test_track`);
+2. rasterise it into an occupancy grid: cells within half the track width
+   of the centerline are free, a wall band beyond that is occupied, and
+   everything else is unknown (as a SLAM-built map would leave it).
+
+The returned :class:`GeneratedTrack` bundles the grid with the centerline
+:class:`~repro.maps.centerline.Raceline`, which doubles as the "ideal race
+line" for the lateral-error metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.maps.centerline import Raceline, arclength_resample
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+from repro.utils.rng import make_rng
+
+__all__ = ["TrackSpec", "GeneratedTrack", "generate_track", "replica_test_track"]
+
+
+@dataclass(frozen=True)
+class TrackSpec:
+    """Parameters of a synthetic racetrack.
+
+    Defaults approximate an F1TENTH-scale indoor track: ~2.2 m wide
+    corridor (the cars are 0.3 m wide), tens of metres per lap.
+    """
+
+    mean_radius: float = 8.0
+    track_width: float = 2.2
+    wall_thickness: float = 0.25
+    resolution: float = 0.05
+    num_harmonics: int = 4
+    irregularity: float = 0.22
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.mean_radius <= 0:
+            raise ValueError("mean_radius must be positive")
+        if self.track_width <= 0:
+            raise ValueError("track_width must be positive")
+        if self.track_width < 4 * self.resolution:
+            raise ValueError("track_width must span at least 4 cells")
+        if self.wall_thickness <= 0:
+            raise ValueError("wall_thickness must be positive")
+        if not 0 <= self.irregularity < 0.5:
+            raise ValueError("irregularity must be in [0, 0.5)")
+
+
+@dataclass
+class GeneratedTrack:
+    """A rasterised track: occupancy grid + centerline raceline."""
+
+    grid: OccupancyGrid
+    centerline: Raceline
+    spec: TrackSpec
+
+
+def _fourier_centerline(spec: TrackSpec, n_points: int = 720) -> np.ndarray:
+    """Closed centerline: a circle whose radius is modulated by a few random
+    low-order Fourier harmonics.  Low order keeps curvature drivable."""
+    rng = make_rng(spec.seed)
+    phi = np.linspace(0.0, 2.0 * np.pi, n_points, endpoint=False)
+    radius = np.full(n_points, spec.mean_radius)
+    for k in range(2, 2 + spec.num_harmonics):
+        amplitude = spec.irregularity * spec.mean_radius * rng.uniform(0.2, 1.0) / k
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        radius += amplitude * np.cos(k * phi + phase)
+    return np.stack([radius * np.cos(phi), radius * np.sin(phi)], axis=-1)
+
+
+def _rasterise(centerline_pts: np.ndarray, spec: TrackSpec) -> OccupancyGrid:
+    """Rasterise a corridor of width ``track_width`` around the centerline."""
+    half_width = spec.track_width / 2.0
+    margin = half_width + spec.wall_thickness + 10 * spec.resolution
+    lo = centerline_pts.min(axis=0) - margin
+    hi = centerline_pts.max(axis=0) + margin
+    origin = (float(lo[0]), float(lo[1]))
+    width = int(np.ceil((hi[0] - lo[0]) / spec.resolution))
+    height = int(np.ceil((hi[1] - lo[1]) / spec.resolution))
+
+    # Mark centerline cells, then threshold a Euclidean distance transform:
+    # this gives the exact distance-to-centerline field at cell resolution.
+    seed_mask = np.zeros((height, width), dtype=bool)
+    dense = arclength_resample(centerline_pts, spec.resolution / 2.0, closed=True)
+    cols = np.floor((dense[:, 0] - origin[0]) / spec.resolution).astype(int)
+    rows = np.floor((dense[:, 1] - origin[1]) / spec.resolution).astype(int)
+    valid = (cols >= 0) & (cols < width) & (rows >= 0) & (rows < height)
+    seed_mask[rows[valid], cols[valid]] = True
+
+    dist = ndimage.distance_transform_edt(~seed_mask) * spec.resolution
+    data = np.full((height, width), UNKNOWN, dtype=np.int8)
+    data[dist <= half_width] = FREE
+    wall_band = (dist > half_width) & (dist <= half_width + spec.wall_thickness)
+    data[wall_band] = OCCUPIED
+    return OccupancyGrid(data, spec.resolution, origin)
+
+
+def generate_track(spec: TrackSpec | None = None, **overrides) -> GeneratedTrack:
+    """Generate a random closed corridor track.
+
+    ``generate_track(seed=3, mean_radius=10.0)`` is shorthand for passing a
+    :class:`TrackSpec`.  The same spec always yields the same track.
+    """
+    if spec is None:
+        spec = TrackSpec(**overrides)
+    elif overrides:
+        raise TypeError("pass either a TrackSpec or keyword overrides, not both")
+    spec.validate()
+
+    pts = _fourier_centerline(spec)
+    grid = _rasterise(pts, spec)
+    raceline = Raceline.from_waypoints(pts, spacing=0.05)
+    return GeneratedTrack(grid, raceline, spec)
+
+
+def replica_test_track(resolution: float = 0.05, track_width: float = 2.2) -> GeneratedTrack:
+    """A hand-designed layout standing in for the paper's test track (Fig. 2).
+
+    The paper's track is a small indoor circuit with straights (where the
+    cars reach top speed and slip matters most) and tight corners.  This
+    layout is a rounded rectangle with one chicane: two long straights, four
+    90-degree corners and an S-section, lap length ~ 45 m — proportionally
+    similar to the published picture.
+    """
+    # Control points of the centerline (metres), traversed counter-clockwise.
+    # Five Chaikin passes converge close to the quadratic B-spline of this
+    # polygon, keeping every corner radius >= ~1.7 m — comfortably inside
+    # the car's 0.72 m minimum turning radius, as a drivable track must be.
+    control = np.array(
+        [
+            [0.0, 0.0], [4.0, 0.0], [8.0, 0.0], [12.0, 0.0],        # bottom straight
+            [15.0, 1.0], [16.5, 3.5],                                # corner 1 (wide)
+            [15.5, 6.0], [13.0, 7.2],                                # corner 2
+            [10.0, 6.2], [7.5, 5.2], [5.0, 5.8], [2.5, 7.0],         # gentle S chicane
+            [-0.5, 7.2], [-2.8, 5.5], [-3.2, 3.0], [-1.8, 0.8],      # left end
+        ]
+    )
+    smooth = _smooth_closed(control, passes=5)
+    spec = TrackSpec(
+        mean_radius=float(np.mean(np.hypot(*smooth.T))),
+        track_width=track_width,
+        resolution=resolution,
+        seed=-1,
+    )
+    grid = _rasterise(smooth, spec)
+    raceline = Raceline.from_waypoints(smooth, spacing=0.05)
+    return GeneratedTrack(grid, raceline, spec)
+
+
+def _smooth_closed(points: np.ndarray, passes: int = 2) -> np.ndarray:
+    """Chaikin corner cutting on a closed polyline — rounds sharp corners
+    into drivable arcs while staying close to the control polygon."""
+    pts = np.asarray(points, dtype=float)
+    for _ in range(passes):
+        nxt = np.roll(pts, -1, axis=0)
+        q = 0.75 * pts + 0.25 * nxt
+        r = 0.25 * pts + 0.75 * nxt
+        pts = np.empty((2 * len(q), 2))
+        pts[0::2] = q
+        pts[1::2] = r
+    return pts

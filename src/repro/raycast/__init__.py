@@ -1,0 +1,37 @@
+"""Ray casting on occupancy grids — a reproduction of ``rangelibc`` [3].
+
+The dominant cost in map-based MCL is evaluating the *expected* LiDAR range
+at a hypothesised pose (paper §II).  Walsh & Karaman's rangelibc offers a
+family of algorithms trading precomputation and memory for query speed; this
+subpackage reimplements the four relevant ones with a common interface:
+
+* :class:`BresenhamRayCast` — exact cell-by-cell grid traversal
+  (Amanatides–Woo), no precomputation, slowest queries;
+* :class:`RayMarching` — sphere tracing over the Euclidean distance
+  transform, cheap precomputation, fast on open maps;
+* :class:`CDDT` / :class:`PCDDT <repro.raycast.cddt.CDDT>` — the compressed
+  directional distance transform: per-heading-slice sorted obstacle
+  projections queried by binary search;
+* :class:`LookupTable` — ranges precomputed for every discretised
+  ``(x, y, theta)``; constant-time queries at the price of memory.  This is
+  the mode the paper runs on the GPU-less Intel NUC.
+
+All methods implement :class:`RangeMethod`; batch queries are NumPy-
+vectorised, standing in for rangelibc's GPU/SIMD parallelism.
+"""
+
+from repro.raycast.base import RangeMethod
+from repro.raycast.bresenham import BresenhamRayCast
+from repro.raycast.cddt import CDDT
+from repro.raycast.factory import make_range_method
+from repro.raycast.lut import LookupTable
+from repro.raycast.ray_marching import RayMarching
+
+__all__ = [
+    "CDDT",
+    "BresenhamRayCast",
+    "LookupTable",
+    "RangeMethod",
+    "RayMarching",
+    "make_range_method",
+]

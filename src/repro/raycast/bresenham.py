@@ -1,0 +1,110 @@
+"""Exact grid-traversal ray casting (the rangelibc "BL" baseline).
+
+Walks every cell a ray passes through, in order, until one is occupied.
+We use the Amanatides–Woo voxel-traversal algorithm rather than classic
+Bresenham because it visits *every* intersected cell (Bresenham skips
+corner-cut cells, which can tunnel rays through thin diagonal walls) while
+having the same incremental structure.
+
+The traversal state for a whole batch of rays is kept in NumPy arrays and
+all active rays advance one cell per iteration — the vectorised equivalent
+of rangelibc's per-ray C loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.raycast.base import RangeMethod
+
+__all__ = ["BresenhamRayCast"]
+
+
+class BresenhamRayCast(RangeMethod):
+    """Cell-by-cell exact ray casting.
+
+    No precomputation and exact results make this the reference
+    implementation the other methods are validated against; queries are
+    O(cells traversed), the slowest of the family.
+    """
+
+    def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        n = queries.shape[0]
+        grid = self.grid
+        res = grid.resolution
+        occ = grid.occupancy_mask(unknown_is_occupied=True)
+        height, width = occ.shape
+
+        ox = (queries[:, 0] - grid.origin[0]) / res
+        oy = (queries[:, 1] - grid.origin[1]) / res
+        dx = np.cos(queries[:, 2])
+        dy = np.sin(queries[:, 2])
+
+        ix = np.floor(ox).astype(np.int64)
+        iy = np.floor(oy).astype(np.int64)
+
+        step_x = np.where(dx >= 0, 1, -1).astype(np.int64)
+        step_y = np.where(dy >= 0, 1, -1).astype(np.int64)
+
+        # Parametric distance (in ray lengths) to the next vertical /
+        # horizontal cell boundary, and the per-cell increments.
+        with np.errstate(divide="ignore"):
+            inv_dx = np.where(dx != 0, 1.0 / dx, np.inf)
+            inv_dy = np.where(dy != 0, 1.0 / dy, np.inf)
+        next_x = np.where(step_x > 0, ix + 1.0, ix * 1.0)
+        next_y = np.where(step_y > 0, iy + 1.0, iy * 1.0)
+        t_max_x = np.abs((next_x - ox) * inv_dx)
+        t_max_y = np.abs((next_y - oy) * inv_dy)
+        t_delta_x = np.abs(inv_dx)
+        t_delta_y = np.abs(inv_dy)
+
+        max_range_cells = self.max_range / res
+        ranges = np.full(n, self.max_range)
+        active = np.ones(n, dtype=bool)
+
+        # A ray starting inside an obstacle (or off-map) has range 0.
+        inside = (ix >= 0) & (ix < width) & (iy >= 0) & (iy < height)
+        start_occupied = np.zeros(n, dtype=bool)
+        start_occupied[inside] = occ[iy[inside], ix[inside]]
+        ranges[start_occupied | ~inside] = np.where(
+            start_occupied[start_occupied | ~inside], 0.0, self.max_range
+        )
+        active &= inside & ~start_occupied
+
+        # Advance all active rays one cell per iteration.  A ray of length
+        # L cells crosses up to |dx|·L + |dy|·L <= sqrt(2)·L cell
+        # boundaries, one per iteration.
+        max_iters = int(np.ceil(max_range_cells * np.sqrt(2.0))) + 4
+        for _ in range(max_iters):
+            if not np.any(active):
+                break
+            go_x = active & (t_max_x < t_max_y)
+            go_y = active & ~go_x
+
+            # The parametric distance at which the ray *enters* the next
+            # cell is the range if that cell is occupied.
+            t_entry = np.where(go_x, t_max_x, t_max_y)
+
+            ix[go_x] += step_x[go_x]
+            t_max_x[go_x] += t_delta_x[go_x]
+            iy[go_y] += step_y[go_y]
+            t_max_y[go_y] += t_delta_y[go_y]
+
+            # Rays that left the map or exceeded max range: clamp and stop.
+            escaped = active & (
+                (ix < 0) | (ix >= width) | (iy < 0) | (iy >= height)
+                | (t_entry > max_range_cells)
+            )
+            ranges[escaped] = self.max_range
+            active &= ~escaped
+
+            if not np.any(active):
+                break
+            act = np.flatnonzero(active)
+            hit = occ[iy[act], ix[act]]
+            hit_idx = act[hit]
+            ranges[hit_idx] = t_entry[hit_idx] * res
+            active[hit_idx] = False
+
+        return np.minimum(ranges, self.max_range)

@@ -1,0 +1,51 @@
+"""String-keyed construction of range methods.
+
+Experiment configs select the ray-casting backend by name (mirroring the
+``range_method`` ROS parameter of the original particle-filter packages);
+this factory maps those names onto classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.raycast.base import RangeMethod
+from repro.raycast.bresenham import BresenhamRayCast
+from repro.raycast.cddt import CDDT
+from repro.raycast.lut import LookupTable
+from repro.raycast.ray_marching import RayMarching
+
+__all__ = ["make_range_method", "RANGE_METHODS"]
+
+RANGE_METHODS: Dict[str, Type[RangeMethod]] = {
+    "bresenham": BresenhamRayCast,
+    "bl": BresenhamRayCast,
+    "ray_marching": RayMarching,
+    "rm": RayMarching,
+    "cddt": CDDT,
+    "pcddt": CDDT,
+    "lut": LookupTable,
+    "glt": LookupTable,
+}
+
+
+def make_range_method(
+    name: str, grid: OccupancyGrid, max_range: float | None = None, **kwargs
+) -> RangeMethod:
+    """Build a range method by name.
+
+    Recognised names (rangelibc aliases in parentheses): ``bresenham``
+    (``bl``), ``ray_marching`` (``rm``), ``cddt``, ``pcddt``, ``lut``
+    (``glt``).  Extra keyword arguments are forwarded to the constructor;
+    ``pcddt`` implies ``pruned=True``.
+    """
+    key = name.lower()
+    if key not in RANGE_METHODS:
+        raise ValueError(
+            f"unknown range method {name!r}; choose from {sorted(RANGE_METHODS)}"
+        )
+    cls = RANGE_METHODS[key]
+    if key == "pcddt":
+        kwargs.setdefault("pruned", True)
+    return cls(grid, max_range=max_range, **kwargs)

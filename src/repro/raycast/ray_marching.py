@@ -1,0 +1,110 @@
+"""Distance-transform ray marching ("sphere tracing", rangelibc "RM").
+
+The Euclidean distance transform of the map tells us, at any point, the
+radius of the largest obstacle-free disc centred there.  A ray can therefore
+safely jump forward by that distance.  Repeating until the distance falls
+below a threshold converges on the first obstacle in a handful of
+iterations on corridor-like maps — far fewer steps than cell-by-cell
+traversal, at the cost of a one-off distance-transform precomputation.
+
+All rays in a batch march in lock-step as NumPy arrays; each iteration
+advances every still-active ray by its local clearance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.raycast.base import RangeMethod
+
+__all__ = ["RayMarching"]
+
+
+class RayMarching(RangeMethod):
+    """Sphere tracing over the map's Euclidean distance field.
+
+    Parameters
+    ----------
+    grid, max_range:
+        See :class:`~repro.raycast.base.RangeMethod`.
+    epsilon:
+        Convergence threshold in metres: a ray stops when local clearance
+        drops below this.  Defaults to half a cell, giving sub-cell accuracy
+        comparable to exact traversal.
+    max_iters:
+        Safety cap on marching iterations per batch.
+    """
+
+    def __init__(
+        self,
+        grid: OccupancyGrid,
+        max_range: float | None = None,
+        epsilon: float | None = None,
+        max_iters: int = 256,
+    ) -> None:
+        super().__init__(grid, max_range)
+        self.epsilon = float(epsilon) if epsilon is not None else grid.resolution / 2.0
+        self.max_iters = int(max_iters)
+        self._field = grid.distance_field()  # precompute once
+
+    def memory_bytes(self) -> int:
+        return self._field.nbytes
+
+    def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        n = queries.shape[0]
+        grid = self.grid
+        res = grid.resolution
+        field = self._field
+        height, width = field.shape
+
+        cos_t = np.cos(queries[:, 2])
+        sin_t = np.sin(queries[:, 2])
+        px = queries[:, 0].copy()
+        py = queries[:, 1].copy()
+        travelled = np.zeros(n)
+        ranges = np.full(n, self.max_range)
+        active = np.ones(n, dtype=bool)
+
+        # Minimum step prevents stalling when skimming along a wall: the
+        # clearance there is ~0 but the ray has not hit anything ahead.
+        min_step = res * 0.5
+
+        for _ in range(self.max_iters):
+            act = np.flatnonzero(active)
+            if act.size == 0:
+                break
+            ix = np.floor((px[act] - grid.origin[0]) / res).astype(np.int64)
+            iy = np.floor((py[act] - grid.origin[1]) / res).astype(np.int64)
+
+            inside = (ix >= 0) & (ix < width) & (iy >= 0) & (iy < height)
+            # Leaving the map = no obstacle found within the map: max_range.
+            out_idx = act[~inside]
+            ranges[out_idx] = self.max_range
+            active[out_idx] = False
+
+            in_idx = act[inside]
+            if in_idx.size == 0:
+                continue
+            clearance = field[iy[inside], ix[inside]].astype(float)
+
+            hit = clearance < self.epsilon
+            hit_idx = in_idx[hit]
+            ranges[hit_idx] = np.minimum(travelled[hit_idx], self.max_range)
+            active[hit_idx] = False
+
+            step_idx = in_idx[~hit]
+            step = np.maximum(clearance[~hit], min_step)
+            px[step_idx] += step * cos_t[step_idx]
+            py[step_idx] += step * sin_t[step_idx]
+            travelled[step_idx] += step
+
+            over = step_idx[travelled[step_idx] >= self.max_range]
+            ranges[over] = self.max_range
+            active[over] = False
+
+        # Any ray still active after max_iters is crawling along a wall;
+        # report the distance covered so far (best available estimate).
+        ranges[active] = np.minimum(travelled[active], self.max_range)
+        return ranges

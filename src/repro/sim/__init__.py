@@ -1,0 +1,55 @@
+"""F1TENTH vehicle & sensor simulation substrate.
+
+The paper's experiments run on a physical 1:10-scale car; this subpackage
+is the simulated stand-in (see DESIGN.md, substitution table).  The pieces:
+
+* :mod:`~repro.sim.tire` / :mod:`~repro.sim.vehicle` — single-track
+  (bicycle) vehicle with a friction-circle tire model.  Grip is a first-
+  class parameter: lowering it reproduces the paper's taped-tire "slippery"
+  condition, and *wheel* speed diverging from *ground* speed under slip is
+  exactly the odometry-degradation mechanism being studied.
+* :mod:`~repro.sim.lidar` — 2D scanning LiDAR ray-cast against the ground-
+  truth map with Gaussian range noise and dropouts.
+* :mod:`~repro.sim.odometry` — wheel odometry (integrates wheel speed and
+  steering kinematics, as a VESC does) and an IMU yaw-rate sensor.
+* :mod:`~repro.sim.controllers` — pure-pursuit steering + curvature-based
+  speed profile, driving on the *estimated* pose so that localization
+  errors feed back into racing performance, as on the real car.
+* :mod:`~repro.sim.simulator` — fixed-step scheduler tying it together.
+"""
+
+from repro.sim.controllers import PurePursuitController, SpeedProfile
+from repro.sim.lidar import LidarConfig, LidarScan, SimulatedLidar
+from repro.sim.obstacles import (
+    Obstacle,
+    RacelineFollower,
+    StaticObstacle,
+    ray_disc_ranges,
+)
+from repro.sim.odometry import ImuSensor, OdometryConfig, WheelOdometry
+from repro.sim.simulator import SimConfig, Simulator
+from repro.sim.tire import TireModel, grip_from_pull_force, pull_force_from_grip
+from repro.sim.vehicle import VehicleParams, VehicleState, Vehicle
+
+__all__ = [
+    "ImuSensor",
+    "LidarConfig",
+    "LidarScan",
+    "Obstacle",
+    "OdometryConfig",
+    "RacelineFollower",
+    "StaticObstacle",
+    "ray_disc_ranges",
+    "PurePursuitController",
+    "SimConfig",
+    "SimulatedLidar",
+    "Simulator",
+    "SpeedProfile",
+    "TireModel",
+    "Vehicle",
+    "VehicleParams",
+    "VehicleState",
+    "WheelOdometry",
+    "grip_from_pull_force",
+    "pull_force_from_grip",
+]

@@ -1,0 +1,149 @@
+"""Racing controller: pure pursuit steering + curvature-limited speed.
+
+The controller drives on whatever pose it is *given* — in the experiments
+that is the localizer's estimate, not ground truth, so localization error
+propagates into steering error, lateral deviation and ultimately lap time,
+exactly the causal chain the paper's Table I measures.
+
+``SpeedProfile`` precomputes a target speed per raceline point from the
+curvature and a lateral-acceleration budget, with a global ``speed_scale``
+mirroring the paper's protocol ("10 laps were completed at the same speed
+scaling in both settings", §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.maps.centerline import Raceline
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["SpeedProfile", "PurePursuitController"]
+
+
+@dataclass
+class SpeedProfile:
+    """Curvature-based target speeds along a raceline.
+
+    ``v(s) = clip(sqrt(a_lat_budget / |kappa(s)|), v_min, v_max) * speed_scale``
+
+    then smoothed by a forward/backward pass enforcing the longitudinal
+    acceleration/brake limits so the profile is actually drivable.
+    """
+
+    raceline: Raceline
+    v_max: float = 7.0
+    v_min: float = 1.2
+    a_lat_budget: float = 5.0
+    a_accel: float = 5.0
+    a_brake: float = 6.0
+    speed_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.speed_scale <= 1.5:
+            raise ValueError("speed_scale must be in (0, 1.5]")
+        if min(self.v_max, self.v_min, self.a_lat_budget, self.a_accel, self.a_brake) <= 0:
+            raise ValueError("speed-profile parameters must be positive")
+        self._speeds = self._compute()
+
+    def _compute(self) -> np.ndarray:
+        # Finite-difference curvature on closely spaced vertices is noisy;
+        # a short circular moving average removes dips that would otherwise
+        # propagate through the accel/brake sweeps and depress the profile.
+        kappa = np.abs(self.raceline.curvature)
+        window = 9
+        kernel = np.ones(window) / window
+        padded = np.concatenate([kappa[-window:], kappa, kappa[:window]])
+        kappa = np.convolve(padded, kernel, mode="same")[window:-window]
+        kappa = kappa + 1e-6
+        v = np.sqrt(self.a_lat_budget / kappa)
+        v = np.clip(v, self.v_min, self.v_max)
+
+        # Two smoothing sweeps around the loop make accel/brake feasible.
+        ds = self.raceline.total_length / len(self.raceline)
+        for _ in range(2):
+            for i in range(1, 2 * len(v)):  # forward: accel limit
+                j, k = i % len(v), (i - 1) % len(v)
+                v[j] = min(v[j], np.sqrt(v[k] ** 2 + 2 * self.a_accel * ds))
+            for i in range(2 * len(v) - 1, -1, -1):  # backward: brake limit
+                j, k = i % len(v), (i + 1) % len(v)
+                v[j] = min(v[j], np.sqrt(v[k] ** 2 + 2 * self.a_brake * ds))
+        return v * self.speed_scale
+
+    def speed_at(self, s: float) -> float:
+        """Target speed at arclength ``s`` (nearest raceline point)."""
+        s = float(s) % self.raceline.total_length
+        i = int(np.searchsorted(self.raceline.s, s, side="right")) - 1
+        return float(self._speeds[max(i, 0)])
+
+    @property
+    def speeds(self) -> np.ndarray:
+        return self._speeds.copy()
+
+    def top_speed(self) -> float:
+        return float(self._speeds.max())
+
+
+class PurePursuitController:
+    """Geometric path tracker.
+
+    Steers toward a point ``lookahead(v)`` metres of arclength ahead of the
+    car's projection onto the raceline; lookahead grows linearly with speed
+    for stability at pace.
+    """
+
+    def __init__(
+        self,
+        raceline: Raceline,
+        profile: SpeedProfile,
+        wheelbase: float = 0.321,
+        lookahead_base: float = 0.8,
+        lookahead_gain: float = 0.22,
+        max_steer: float = 0.4189,
+    ) -> None:
+        if lookahead_base <= 0 or lookahead_gain < 0:
+            raise ValueError("lookahead parameters must be positive")
+        self.raceline = raceline
+        self.profile = profile
+        self.wheelbase = wheelbase
+        self.lookahead_base = lookahead_base
+        self.lookahead_gain = lookahead_gain
+        self.max_steer = max_steer
+
+    def lookahead_distance(self, speed: float) -> float:
+        return self.lookahead_base + self.lookahead_gain * max(speed, 0.0)
+
+    def control(self, pose: np.ndarray, speed: float) -> Tuple[float, float]:
+        """Compute ``(target_speed, steering_angle)`` from the believed pose.
+
+        Parameters
+        ----------
+        pose:
+            The pose the controller believes the car is at — feed it the
+            localizer output to couple localization accuracy into driving.
+        speed:
+            Current measured speed (odometry), m/s.
+        """
+        pose = np.asarray(pose, dtype=float)
+        s_here, _ = self.raceline.project(pose[:2])
+        s_here = float(s_here[0])
+
+        ld = self.lookahead_distance(speed)
+        target = self.raceline.point_at(s_here + ld)
+
+        # Pure-pursuit law: curvature through the target point in the
+        # vehicle frame, kappa = 2 y_t / ld^2.
+        dx = target[0] - pose[0]
+        dy = target[1] - pose[1]
+        c, sn = np.cos(pose[2]), np.sin(pose[2])
+        y_vehicle = -sn * dx + c * dy
+        actual_ld = max(float(np.hypot(dx, dy)), 1e-6)
+        curvature = 2.0 * y_vehicle / actual_ld**2
+        steer = float(np.arctan(self.wheelbase * curvature))
+        steer = float(np.clip(steer, -self.max_steer, self.max_steer))
+
+        target_speed = self.profile.speed_at(s_here + ld)
+        return target_speed, steer

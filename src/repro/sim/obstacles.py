@@ -1,0 +1,134 @@
+"""Unmapped obstacles: the other cars on a race track.
+
+Racing is not a static world — opponents, gates and stray equipment
+produce LiDAR returns that are *not in the map*.  This is exactly the
+situation the beam sensor model's ``z_short`` component exists for
+(*Probabilistic Robotics* ch. 6.3), and a robustness axis the localization
+comparison should cover: an MCL filter expects unexpected short returns;
+a scan matcher's occupied-space cost treats them as misalignment evidence.
+
+Obstacles are discs (a 1:10 car is ~0.3 x 0.5 m; a disc of radius 0.25 m
+is the right scale and keeps ray intersection exact and cheap):
+
+* :class:`StaticObstacle` — fixed position;
+* :class:`RacelineFollower` — drives along a raceline at constant speed
+  with a lateral offset, i.e. an opponent car.
+
+:func:`ray_disc_ranges` computes exact ray/disc intersections for a whole
+beam fan at once; :class:`~repro.sim.lidar.SimulatedLidar` mins these with
+the map ranges.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.centerline import Raceline
+
+__all__ = ["Obstacle", "StaticObstacle", "RacelineFollower", "ray_disc_ranges"]
+
+
+class Obstacle(abc.ABC):
+    """Anything that occludes LiDAR beams but is absent from the map."""
+
+    radius: float
+
+    @abc.abstractmethod
+    def position(self, time: float) -> np.ndarray:
+        """World ``(x, y)`` centre at simulation time ``time``."""
+
+
+@dataclass
+class StaticObstacle(Obstacle):
+    """A fixed disc (cone, gate post, stopped car)."""
+
+    x: float
+    y: float
+    radius: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    def position(self, time: float) -> np.ndarray:
+        return np.array([self.x, self.y])
+
+
+@dataclass
+class RacelineFollower(Obstacle):
+    """An opponent car lapping the raceline at constant speed.
+
+    Parameters
+    ----------
+    raceline:
+        The line the opponent follows.
+    start_s:
+        Arclength position at t = 0.
+    speed:
+        Constant speed along the line, m/s.
+    lateral_offset:
+        Constant offset from the line (positive = left), m.
+    radius:
+        Collision/occlusion radius, m.
+    """
+
+    raceline: Raceline
+    start_s: float = 0.0
+    speed: float = 3.0
+    lateral_offset: float = 0.0
+    radius: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+
+    def position(self, time: float) -> np.ndarray:
+        s = self.start_s + self.speed * time
+        point = self.raceline.point_at(s)
+        if self.lateral_offset != 0.0:
+            heading = self.raceline.heading_at(s)
+            point = point + self.lateral_offset * np.array(
+                [-np.sin(heading), np.cos(heading)]
+            )
+        return point
+
+
+def ray_disc_ranges(
+    origin: np.ndarray,
+    angles_world: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Exact first-intersection distance of each ray with a disc.
+
+    Rays start at ``origin`` with world headings ``angles_world``; rays
+    that miss the disc (or whose intersection lies behind the origin)
+    return ``inf``.  An origin *inside* the disc returns 0 for every ray.
+    """
+    origin = np.asarray(origin, dtype=float)
+    center = np.asarray(center, dtype=float)
+    angles_world = np.asarray(angles_world, dtype=float)
+
+    to_center = center - origin[:2]
+    dist_sq = float(to_center @ to_center)
+    if dist_sq <= radius * radius:
+        return np.zeros(angles_world.shape)
+
+    dx = np.cos(angles_world)
+    dy = np.sin(angles_world)
+    # Ray: o + t d, |d| = 1.  Solve |o + t d - c|^2 = r^2.
+    b = dx * to_center[0] + dy * to_center[1]  # = t of closest approach
+    disc = b * b - (dist_sq - radius * radius)
+
+    out = np.full(angles_world.shape, np.inf)
+    hit = (disc >= 0) & (b > 0)
+    t_near = b[hit] - np.sqrt(disc[hit])
+    valid = t_near >= 0
+    idx = np.flatnonzero(hit)[valid]
+    out[idx] = t_near[valid]
+    return out

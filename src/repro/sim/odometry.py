@@ -1,0 +1,131 @@
+"""Proprioceptive sensors: wheel odometry and IMU yaw rate.
+
+Wheel odometry on an F1TENTH car is derived from the VESC's motor ERPM and
+the commanded steering angle, dead-reckoned through Ackermann kinematics.
+Crucially it measures **wheel** speed, not ground speed: every bit of tire
+slip the vehicle model produces passes straight into the integrated pose.
+That — not added Gaussian noise — is the paper's "low-quality odometry"
+mechanism; the noise terms here model the ordinary encoder/quantisation
+error present even with perfect grip.
+
+:class:`WheelOdometry` exposes both the integrated odometry-frame pose
+(what a ROS ``/odom`` topic carries) and per-interval
+:class:`~repro.core.motion_models.OdometryDelta` objects the localizers
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.sim.vehicle import VehicleState
+from repro.utils.angles import wrap_to_pi
+from repro.utils.rng import make_rng
+
+__all__ = ["OdometryConfig", "WheelOdometry", "ImuSensor"]
+
+
+@dataclass(frozen=True)
+class OdometryConfig:
+    """Noise/bias parameters of the wheel-odometry pipeline.
+
+    ``speed_noise_std`` and ``steer_noise_std`` model encoder and servo
+    quantisation.  ``speed_scale`` models systematic calibration error
+    (wrong wheel-diameter constant); the perturbation harness sweeps it.
+    """
+
+    wheelbase: float = 0.321
+    speed_noise_std: float = 0.02
+    steer_noise_std: float = 0.01
+    speed_scale: float = 1.0
+    yaw_bias: float = 0.0  # rad/s systematic yaw-rate bias
+
+    def validate(self) -> None:
+        if self.wheelbase <= 0:
+            raise ValueError("wheelbase must be positive")
+        if self.speed_noise_std < 0 or self.steer_noise_std < 0:
+            raise ValueError("noise stds must be non-negative")
+        if self.speed_scale <= 0:
+            raise ValueError("speed_scale must be positive")
+
+
+class WheelOdometry:
+    """Dead-reckons pose from wheel speed + steering angle.
+
+    The integrated pose lives in its own "odom" frame (starts at the
+    vehicle's initial pose); localizers consume only relative deltas, so
+    unbounded odom-frame drift is expected and harmless.
+    """
+
+    def __init__(self, config: OdometryConfig | None = None, seed=None) -> None:
+        self.config = config or OdometryConfig()
+        self.config.validate()
+        self.rng = make_rng(seed)
+        self.pose = np.zeros(3)
+        self._last_speed = 0.0
+
+    def reset(self, pose: np.ndarray | None = None) -> None:
+        self.pose = np.array(pose, dtype=float) if pose is not None else np.zeros(3)
+        self._last_speed = 0.0
+
+    def step(self, state: VehicleState, dt: float) -> OdometryDelta:
+        """Integrate one physics step; returns this interval's delta.
+
+        Reads ``state.wheel_speed`` (not ground speed!) and the actual
+        steering angle, through the same Ackermann kinematics a VESC
+        odometry node applies.
+        """
+        cfg = self.config
+        measured_speed = (
+            state.wheel_speed * cfg.speed_scale
+            + self.rng.normal(0.0, cfg.speed_noise_std)
+        )
+        measured_speed = max(measured_speed, 0.0)
+        measured_steer = state.steer + self.rng.normal(0.0, cfg.steer_noise_std)
+
+        yaw_rate = measured_speed * np.tan(measured_steer) / cfg.wheelbase
+        yaw_rate += cfg.yaw_bias
+        dtheta = yaw_rate * dt
+        ds = measured_speed * dt
+
+        # Constant-curvature chord, consistent with the motion models.
+        chord = ds * np.sinc(dtheta / (2.0 * np.pi))
+        dx = chord * np.cos(dtheta / 2.0)
+        dy = chord * np.sin(dtheta / 2.0)
+
+        c, s = np.cos(self.pose[2]), np.sin(self.pose[2])
+        self.pose = np.array(
+            [
+                self.pose[0] + c * dx - s * dy,
+                self.pose[1] + s * dx + c * dy,
+                wrap_to_pi(self.pose[2] + dtheta),
+            ]
+        )
+        self._last_speed = measured_speed
+        return OdometryDelta(float(dx), float(dy), float(dtheta), float(measured_speed), dt)
+
+    @property
+    def speed(self) -> float:
+        """Most recent measured (wheel) speed, m/s."""
+        return self._last_speed
+
+
+@dataclass
+class ImuSensor:
+    """Yaw-rate gyro with Gaussian noise and a slowly-wandering bias.
+
+    Provided for completeness of the F1TENTH sensor suite (the paper lists
+    IMUs among proprioceptive inputs); the reference experiments rely on
+    wheel odometry alone, matching the paper's focus.
+    """
+
+    noise_std: float = 0.02
+    bias_walk_std: float = 0.0005
+    bias: float = 0.0
+
+    def read(self, state: VehicleState, rng: np.random.Generator) -> float:
+        self.bias += rng.normal(0.0, self.bias_walk_std)
+        return float(state.yaw_rate + self.bias + rng.normal(0.0, self.noise_std))

@@ -1,0 +1,116 @@
+"""Fixed-step simulation scheduler.
+
+Advances the vehicle at a high-rate physics step (default 100 Hz), samples
+wheel odometry every step, and emits LiDAR scans at the sensor's own rate
+(default 40 Hz), mirroring the asynchronous sensor timing of the real car.
+
+The simulator is deliberately *passive about estimation*: it produces
+ground truth and sensor data; experiment loops (see
+:mod:`repro.eval.experiment`) own the localizer and controller wiring so
+that different algorithms are driven through identical physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.sim.lidar import LidarConfig, LidarScan, SimulatedLidar
+from repro.sim.odometry import OdometryConfig, WheelOdometry
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+from repro.utils.rng import make_rng, split_rng
+
+__all__ = ["SimConfig", "SimFrame", "Simulator"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation timing and component configuration."""
+
+    physics_dt: float = 0.01
+    vehicle: VehicleParams = field(default_factory=VehicleParams)
+    lidar: LidarConfig = field(default_factory=LidarConfig)
+    odometry: OdometryConfig = field(default_factory=OdometryConfig)
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.physics_dt <= 0:
+            raise ValueError("physics_dt must be positive")
+        self.vehicle.validate()
+        self.lidar.validate()
+        self.odometry.validate()
+
+
+@dataclass
+class SimFrame:
+    """Everything produced by one physics step."""
+
+    time: float
+    state: VehicleState
+    odom_delta: OdometryDelta
+    odom_pose: np.ndarray
+    scan: Optional[LidarScan]  # present only on LiDAR ticks
+    collided: bool
+
+
+class Simulator:
+    """Steps vehicle + sensors through a ground-truth map."""
+
+    def __init__(self, grid: OccupancyGrid, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+        self.config.validate()
+        self.grid = grid
+        root = make_rng(self.config.seed)
+        lidar_rng, odom_rng = split_rng(root, 2)
+
+        self.vehicle = Vehicle(self.config.vehicle)
+        self.lidar = SimulatedLidar(grid, self.config.lidar, seed=lidar_rng)
+        self.odometry = WheelOdometry(self.config.odometry, seed=odom_rng)
+        # Unmapped obstacles (opponent cars etc.); append Obstacle objects.
+        self.obstacles: list = []
+
+        self.time = 0.0
+        self._scan_period = 1.0 / self.config.lidar.rate_hz
+        self._next_scan_time = 0.0
+
+    def reset(self, pose: np.ndarray, speed: float = 0.0,
+              reset_time: bool = True) -> None:
+        """Place the car at ``pose`` and restart dead reckoning.
+
+        ``reset_time=False`` keeps the simulation clock running — used when
+        re-railing a crashed car mid-experiment, where lap timing must stay
+        monotone.
+        """
+        self.vehicle.reset(np.asarray(pose, dtype=float), speed)
+        self.odometry.reset(np.asarray(pose, dtype=float))
+        if reset_time:
+            self.time = 0.0
+            self._next_scan_time = 0.0
+
+    @property
+    def state(self) -> VehicleState:
+        return self.vehicle.state
+
+    def step(self, target_speed: float, target_steer: float) -> SimFrame:
+        """Advance one physics step under the given actuator targets."""
+        dt = self.config.physics_dt
+        state = self.vehicle.step(target_speed, target_steer, dt)
+        delta = self.odometry.step(state, dt)
+        self.time += dt
+
+        scan = None
+        if self.time + 1e-9 >= self._next_scan_time:
+            scan = self.lidar.scan(
+                state.pose(), timestamp=self.time, obstacles=self.obstacles
+            )
+            self._next_scan_time += self._scan_period
+
+        collided = bool(
+            self.grid.is_occupied_world(state.pose()[None, :2],
+                                        unknown_is_occupied=False)[0]
+        )
+        return SimFrame(self.time, state, delta, self.odometry.pose.copy(), scan, collided)

@@ -1,0 +1,167 @@
+"""Single-track vehicle dynamics with wheel slip.
+
+The model is a kinematic bicycle *augmented with the two slip phenomena the
+paper's experiment hinges on*:
+
+1. **Longitudinal slip** — the motor drives the *wheel*; the *chassis* only
+   accelerates through tire force, which saturates at ``mu m g``.  Under
+   hard throttle on low grip the wheel spins faster than the ground speed
+   (and slower under braking), so wheel odometry — which on the real car
+   integrates ERPM from the VESC — systematically mis-measures motion.
+
+2. **Lateral saturation** — steering demands a centripetal force
+   ``m v^2 tan(delta) / L``; when it exceeds the friction-circle remainder
+   the realised yaw rate is scaled down (understeer) and the deficit bleeds
+   into body-frame lateral drift that then decays at the kinetic-friction
+   rate.
+
+With nominal grip and gentle driving both mechanisms are negligible and the
+model collapses to the standard kinematic bicycle; with taped-tire grip and
+racing inputs they dominate — which is precisely the HQ/LQ contrast of
+Table I.
+
+Default parameters follow the F1TENTH reference vehicle (~3.5 kg, 0.32 m
+wheelbase, 0.42 rad steering lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.sim.tire import GRAVITY, TireModel
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["VehicleParams", "VehicleState", "Vehicle"]
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical and actuator parameters of the simulated car."""
+
+    mass: float = 3.46
+    wheelbase: float = 0.321
+    max_steer: float = 0.4189
+    steer_rate: float = 3.2       # rad/s actuator slew
+    max_accel: float = 6.0        # m/s^2 motor limit
+    max_brake: float = 8.0        # m/s^2 braking limit (at the wheel)
+    max_speed: float = 8.0        # m/s drivetrain limit
+    drag_coeff: float = 0.08      # N s/m, linear aero+rolling drag
+    tire: TireModel = field(default_factory=TireModel)
+
+    def validate(self) -> None:
+        if min(self.mass, self.wheelbase, self.max_steer, self.steer_rate,
+               self.max_accel, self.max_brake, self.max_speed) <= 0:
+            raise ValueError("all vehicle parameters must be positive")
+        if self.drag_coeff < 0:
+            raise ValueError("drag_coeff must be non-negative")
+
+    def with_grip(self, mu: float) -> "VehicleParams":
+        """Copy with a different friction coefficient (tire swap / taping)."""
+        return replace(self, tire=replace(self.tire, mu=mu))
+
+
+@dataclass
+class VehicleState:
+    """Full dynamic state.
+
+    ``v`` is body-frame longitudinal *ground* speed; ``wheel_speed`` is the
+    equivalent linear speed of the driven wheels — their difference is the
+    slip the odometry sensor cannot see past.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    theta: float = 0.0
+    v: float = 0.0
+    v_lateral: float = 0.0
+    wheel_speed: float = 0.0
+    steer: float = 0.0
+    yaw_rate: float = 0.0
+
+    def pose(self) -> np.ndarray:
+        return np.array([self.x, self.y, self.theta])
+
+    def speed(self) -> float:
+        """Total ground speed magnitude."""
+        return float(np.hypot(self.v, self.v_lateral))
+
+    def slip_ratio(self) -> float:
+        return (self.wheel_speed - self.v) / max(abs(self.v), 0.3)
+
+    def copy(self) -> "VehicleState":
+        return VehicleState(**vars(self))
+
+
+class Vehicle:
+    """Steps :class:`VehicleState` under (target speed, target steer) inputs.
+
+    The interface matches how F1TENTH cars are driven: the planner publishes
+    a desired speed and steering angle; a low-level controller (modelled
+    here as slew/acceleration limits) realises them.
+    """
+
+    def __init__(self, params: VehicleParams | None = None,
+                 state: VehicleState | None = None) -> None:
+        self.params = params or VehicleParams()
+        self.params.validate()
+        self.state = state or VehicleState()
+
+    def reset(self, pose: np.ndarray, speed: float = 0.0) -> None:
+        self.state = VehicleState(
+            x=float(pose[0]), y=float(pose[1]), theta=float(pose[2]),
+            v=speed, wheel_speed=speed,
+        )
+
+    def step(self, target_speed: float, target_steer: float, dt: float) -> VehicleState:
+        """Advance the dynamics by ``dt`` seconds; returns the new state."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        s = self.state
+        normal_load = p.mass * GRAVITY
+
+        # --- steering actuator (slew-rate limited) ---------------------
+        target_steer = float(np.clip(target_steer, -p.max_steer, p.max_steer))
+        steer_step = np.clip(target_steer - s.steer, -p.steer_rate * dt, p.steer_rate * dt)
+        steer = s.steer + steer_step
+
+        # --- drivetrain: the motor controls the WHEEL ------------------
+        target_speed = float(np.clip(target_speed, 0.0, p.max_speed))
+        wheel_accel = np.clip(
+            (target_speed - s.wheel_speed) / dt, -p.max_brake, p.max_accel
+        )
+        wheel_speed = max(s.wheel_speed + wheel_accel * dt, 0.0)
+
+        # --- longitudinal tire force from slip ratio --------------------
+        slip_ratio = (wheel_speed - s.v) / max(abs(s.v), 0.3)
+        f_x = p.tire.longitudinal_force(slip_ratio, normal_load)
+        f_drag = p.drag_coeff * s.v
+
+        # --- lateral dynamics under the friction circle ------------------
+        yaw_rate_kin = s.v * np.tan(steer) / p.wheelbase
+        f_y_required = p.mass * s.v * yaw_rate_kin
+        saturation = p.tire.lateral_saturation(f_y_required, normal_load, f_x)
+        yaw_rate = saturation * yaw_rate_kin
+
+        # Unmet centripetal demand becomes outward body-frame drift; when
+        # the tires have margin again, drift decays at the kinetic-friction
+        # rate (the car "catches" itself).
+        a_y_deficit = (1.0 - saturation) * s.v * yaw_rate_kin
+        v_lat = s.v_lateral - a_y_deficit * dt
+        decay = p.tire.mu * GRAVITY * dt
+        v_lat = float(np.sign(v_lat) * max(abs(v_lat) - decay, 0.0))
+
+        # --- integrate -------------------------------------------------
+        v = max(s.v + (f_x - f_drag) / p.mass * dt, 0.0)
+        c, sn = np.cos(s.theta), np.sin(s.theta)
+        x = s.x + (s.v * c - s.v_lateral * sn) * dt
+        y = s.y + (s.v * sn + s.v_lateral * c) * dt
+        theta = float(wrap_to_pi(s.theta + yaw_rate * dt))
+
+        self.state = VehicleState(
+            x=x, y=y, theta=theta, v=v, v_lateral=v_lat,
+            wheel_speed=wheel_speed, steer=float(steer), yaw_rate=float(yaw_rate),
+        )
+        return self.state

@@ -1,0 +1,410 @@
+"""Cartographer-style SLAM facade: mapping and pure-localization modes.
+
+**Pure localization** is the configuration raced in the paper's Table I:
+the map is frozen, and each incoming scan is matched against it starting
+from the odometry-extrapolated prediction; nodes and constraints
+(odometry + scan-match) accumulate in a pose graph optimised over a
+sliding window, which smooths the published trajectory.
+
+**Mapping** builds the map from scratch: scans are matched against the
+active submap, inserted into it, submaps are finished after a fixed number
+of insertions, and finished submaps are candidates for loop-closure
+matches that, once found, trigger a full graph optimisation.  The final
+map is rendered by re-inserting every scan at its optimised pose.
+
+Design notes on fidelity (see DESIGN.md):
+
+* odometry enters exactly as in Cartographer — as the scan matcher's
+  initial guess and as graph constraints with *fixed, pre-calibrated*
+  information.  Neither mechanism can know the tires were taped; that is
+  the robustness weakness the paper exposes.
+* scan matching is correlative search + Gauss-Newton refinement
+  (:mod:`repro.slam.scan_matcher`), the same two-stage structure as
+  Cartographer's online matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.slam.pose_graph import ORIGIN_NODE, PoseGraph, apply_relative, relative_pose
+from repro.slam.optimizer import optimize_pose_graph
+from repro.slam.scan_matcher import (
+    GaussNewtonRefiner,
+    LikelihoodField,
+    ScanMatcher,
+    ScanMatchResult,
+)
+from repro.slam.submap import ProbabilityGrid, Submap
+from repro.utils.profiling import TimingStats
+
+__all__ = ["CartographerConfig", "Cartographer"]
+
+
+@dataclass(frozen=True)
+class CartographerConfig:
+    """Tuning parameters for both modes."""
+
+    # Scan matching.  With odometry available Cartographer defaults to the
+    # Ceres-style matcher alone, anchored to the odometry extrapolation by
+    # the prior weights (translation_weight / rotation_weight); the online
+    # correlative matcher is opt-in.
+    linear_search_window: float = 0.15
+    angular_search_window: float = 0.10
+    match_max_points: int = 120
+    likelihood_sigma: float = 0.12
+    use_online_correlative: bool = False
+    prior_translation_weight: float = 0.1   # per scan point
+    prior_rotation_weight: float = 0.3      # per scan point
+    # Correlative-stage penalty on candidates far from the prediction
+    # (Cartographer's translation/rotation_delta_cost_weight): regularises
+    # featureless directions such as a corridor's axis.
+    translation_delta_cost: float = 100.0   # per m^2
+    rotation_delta_cost: float = 10.0       # per rad^2
+
+    # Pose graph
+    odom_info_xy: float = 400.0       # 1/(5 cm)^2 — calibrated for good odometry
+    odom_info_theta: float = 800.0
+    optimize_every: int = 10          # nodes between sliding-window solves
+    window_size: int = 30             # nodes per sliding window
+
+    # Mapping mode
+    submap_size_m: float = 14.0
+    submap_resolution: float = 0.05
+    scans_per_submap: int = 40
+    field_rebuild_every: int = 3
+    loop_closure_min_score: float = 0.65
+    loop_closure_search_window: float = 0.6
+    loop_closure_min_node_gap: int = 60
+
+    def validate(self) -> None:
+        if self.linear_search_window <= 0 or self.angular_search_window <= 0:
+            raise ValueError("search windows must be positive")
+        if self.optimize_every < 1 or self.window_size < 2:
+            raise ValueError("invalid optimisation cadence")
+        if self.scans_per_submap < 2:
+            raise ValueError("scans_per_submap must be >= 2")
+
+
+class Cartographer:
+    """Pose-graph SLAM / localizer.
+
+    Parameters
+    ----------
+    frozen_map:
+        If given, the system runs in *pure localization* mode against this
+        map (the Table I configuration).  If ``None``, it runs in mapping
+        mode and builds its own submaps.
+    config:
+        See :class:`CartographerConfig`.
+    """
+
+    def __init__(
+        self,
+        frozen_map: Optional[OccupancyGrid] = None,
+        config: CartographerConfig | None = None,
+    ) -> None:
+        self.config = config or CartographerConfig()
+        self.config.validate()
+        self.graph = PoseGraph()
+        self.timing = TimingStats()
+        self.pose = np.zeros(3)
+
+        self.frozen_map = frozen_map
+        self.pure_localization = frozen_map is not None
+        if self.pure_localization:
+            self._map_field = LikelihoodField(frozen_map, self.config.likelihood_sigma)
+            self._map_matcher = self._make_local_matcher(self._map_field)
+
+        # Mapping-mode state
+        self.submaps: List[Submap] = []
+        self._active_field: Optional[LikelihoodField] = None
+        self._active_matcher: Optional[ScanMatcher] = None
+        self._inserts_since_rebuild = 0
+        self._scan_cache: List[np.ndarray] = []  # sensor-frame points per node
+        self._node_ids: List[int] = []
+        self._last_node_pose: Optional[np.ndarray] = None
+        self._initialized = False
+        self.num_loop_closures = 0
+
+    # ------------------------------------------------------------------
+    # Common
+    # ------------------------------------------------------------------
+    def _make_local_matcher(self, field: LikelihoodField) -> ScanMatcher:
+        """Front-end matcher with the configured odometry anchoring."""
+        return ScanMatcher(
+            field,
+            linear_window=self.config.linear_search_window,
+            angular_window=self.config.angular_search_window,
+            max_points=self.config.match_max_points,
+            use_correlative=self.config.use_online_correlative,
+            prior_translation_weight=self.config.prior_translation_weight,
+            prior_rotation_weight=self.config.prior_rotation_weight,
+            translation_delta_cost=self.config.translation_delta_cost,
+            rotation_delta_cost=self.config.rotation_delta_cost,
+        )
+
+    def initialize(self, pose: np.ndarray) -> None:
+        """Set the starting pose (both modes require a known start)."""
+        self.pose = np.asarray(pose, dtype=float).copy()
+        node = self.graph.add_node(self.pose)
+        self._node_ids.append(node)
+        self._last_node_pose = self.pose.copy()
+        self._initialized = True
+        if not self.pure_localization:
+            self._start_submap(self.pose)
+
+    def _odom_information(self) -> np.ndarray:
+        cfg = self.config
+        return np.diag([cfg.odom_info_xy, cfg.odom_info_xy, cfg.odom_info_theta])
+
+    @staticmethod
+    def _match_information(result: ScanMatchResult) -> np.ndarray:
+        try:
+            info = np.linalg.inv(result.covariance)
+        except np.linalg.LinAlgError:
+            info = np.eye(3) * 100.0
+        # Down-weight poor matches: a half-score match carries half the
+        # information.
+        return info * max(result.score, 1e-3)
+
+    def update(self, delta: OdometryDelta, points_sensor: np.ndarray,
+               sensor_offset_x: float = 0.27) -> np.ndarray:
+        """Process one (odometry interval, scan) pair; returns the new pose.
+
+        ``points_sensor``: scan hit points in the sensor frame (max-range
+        returns removed); ``sensor_offset_x``: sensor mount ahead of base.
+        """
+        if not self._initialized:
+            raise RuntimeError("call initialize() first")
+        rel = np.array([delta.dx, delta.dy, delta.dtheta])
+        predicted = apply_relative(self.pose, rel)
+
+        # The matcher works in the sensor frame; shift prediction to the
+        # sensor, match, then shift back.
+        pred_sensor = self._base_to_sensor(predicted, sensor_offset_x)
+
+        with self.timing.time("scan_match"):
+            if self.pure_localization:
+                result = self._map_matcher.match(pred_sensor, points_sensor)
+            elif self._matching_submap().num_scans >= 2:
+                result = self._active_matcher.match(pred_sensor, points_sensor)
+            else:
+                # The matching submap is still (nearly) empty — e.g. the
+                # very first scans: trust the odometry extrapolation, as
+                # Cartographer does when inserting into a fresh submap.
+                result = ScanMatchResult(
+                    pred_sensor.copy(), 0.0, np.eye(3) * 1e-3, False
+                )
+
+        if not self.pure_localization and result.score < 0.15 \
+                and self._matching_submap().num_scans >= 2:
+            # A match this poor means the scan found no overlap (fast
+            # motion into unseen space); falling back to the prediction is
+            # safer than committing a random alignment.
+            result = ScanMatchResult(pred_sensor.copy(), 0.0, np.eye(3) * 1e-3, False)
+
+        matched_base = self._sensor_to_base(result.pose, sensor_offset_x)
+
+        node = self.graph.add_node(matched_base)
+        prev_node = self._node_ids[-1]
+        self._node_ids.append(node)
+
+        self.graph.add_constraint(
+            prev_node, node,
+            relative_pose(self._last_node_pose, predicted),
+            self._odom_information(), kind="odometry",
+        )
+        self.graph.add_constraint(
+            ORIGIN_NODE, node, matched_base,
+            self._match_information(result), kind="scan_match",
+        )
+
+        if not self.pure_localization:
+            self._mapping_insert(node, matched_base, points_sensor, sensor_offset_x)
+
+        if len(self._node_ids) % self.config.optimize_every == 0:
+            with self.timing.time("optimize"):
+                window = self._node_ids[-self.config.window_size :]
+                optimize_pose_graph(self.graph, free_nodes=window[1:])
+
+        self.pose = self.graph.poses[node].copy()
+        self._last_node_pose = self.pose.copy()
+        return self.pose.copy()
+
+    @staticmethod
+    def _base_to_sensor(pose: np.ndarray, offset: float) -> np.ndarray:
+        return np.array(
+            [
+                pose[0] + offset * np.cos(pose[2]),
+                pose[1] + offset * np.sin(pose[2]),
+                pose[2],
+            ]
+        )
+
+    @staticmethod
+    def _sensor_to_base(pose: np.ndarray, offset: float) -> np.ndarray:
+        return np.array(
+            [
+                pose[0] - offset * np.cos(pose[2]),
+                pose[1] - offset * np.sin(pose[2]),
+                pose[2],
+            ]
+        )
+
+    def mean_match_latency_ms(self) -> float:
+        """Mean scan-matching wall time — the latency compared in §I."""
+        if self.timing.count("scan_match") == 0:
+            raise RuntimeError("no scans processed yet")
+        return self.timing.mean_ms("scan_match")
+
+    # ------------------------------------------------------------------
+    # Mapping mode internals
+    # ------------------------------------------------------------------
+    # As in Cartographer, (up to) two submaps are active at once and every
+    # scan is inserted into both: a new submap is opened when the current
+    # one is half full, and a submap is finished once full.  Matching always
+    # targets the *fuller* active submap, so there is never a gap where the
+    # matcher faces an empty map.
+
+    def _unfinished_submaps(self) -> List[Submap]:
+        return [s for s in self.submaps if not s.finished]
+
+    def _matching_submap(self) -> Submap:
+        """The active submap the front-end matches against."""
+        active = self._unfinished_submaps()
+        if not active:
+            return self.submaps[-1]
+        return max(active, key=lambda s: s.num_scans)
+
+    def _start_submap(self, pose: np.ndarray) -> None:
+        submap = Submap.create(
+            pose[:2], len(self.submaps),
+            size_m=self.config.submap_size_m,
+            resolution=self.config.submap_resolution,
+        )
+        self.submaps.append(submap)
+        self._rebuild_active_field()
+
+    def _rebuild_active_field(self) -> None:
+        grid = self._matching_submap().grid.to_occupancy_grid()
+        # Neutral score for unmapped cells: the submap is partial by
+        # definition, and penalising scan points ahead of the mapped
+        # frontier would drag every match backwards (see LikelihoodField).
+        self._active_field = LikelihoodField(
+            grid, self.config.likelihood_sigma, unknown_value=0.45
+        )
+        self._active_matcher = self._make_local_matcher(self._active_field)
+        self._inserts_since_rebuild = 0
+
+    def _mapping_insert(self, node: int, base_pose: np.ndarray,
+                        points_sensor: np.ndarray, sensor_offset_x: float) -> None:
+        sensor_pose = self._base_to_sensor(base_pose, sensor_offset_x)
+        for submap in self._unfinished_submaps():
+            submap.insert(sensor_pose, points_sensor, node_id=node)
+        self._scan_cache.append(np.asarray(points_sensor, dtype=float))
+        self._inserts_since_rebuild += 1
+
+        if (len(self._unfinished_submaps()) == 1
+                and self.submaps[-1].num_scans >= self.config.scans_per_submap // 2):
+            self._start_submap(base_pose)
+
+        oldest = self._unfinished_submaps()[0]
+        if oldest.num_scans >= self.config.scans_per_submap:
+            oldest.finish()
+            self._try_loop_closure(node, base_pose, points_sensor, sensor_offset_x)
+            self._rebuild_active_field()
+        elif self._inserts_since_rebuild >= self.config.field_rebuild_every:
+            self._rebuild_active_field()
+
+    def _try_loop_closure(self, node: int, base_pose: np.ndarray,
+                          points_sensor: np.ndarray, sensor_offset_x: float) -> None:
+        """Match the current scan against old finished submaps."""
+        cfg = self.config
+        for submap in self.submaps[:-1]:
+            if not submap.finished or not submap.node_ids:
+                continue
+            if node - submap.node_ids[-1] < cfg.loop_closure_min_node_gap:
+                continue
+            center = np.array(
+                [
+                    submap.grid.origin[0] + submap.grid.shape[1] * submap.grid.resolution / 2,
+                    submap.grid.origin[1] + submap.grid.shape[0] * submap.grid.resolution / 2,
+                ]
+            )
+            if np.hypot(*(base_pose[:2] - center)) > cfg.submap_size_m / 2:
+                continue
+
+            field = LikelihoodField(
+                submap.grid.to_occupancy_grid(), cfg.likelihood_sigma,
+                unknown_value=0.45,
+            )
+            # Loop closures search a large window; branch and bound gives
+            # the provably best alignment in it (Hess et al. [1], §6) —
+            # essential, since a wrong loop edge corrupts the whole graph.
+            from repro.slam.branch_and_bound import BranchAndBoundMatcher
+
+            matcher = BranchAndBoundMatcher(
+                field, max_points=cfg.match_max_points,
+                min_score=cfg.loop_closure_min_score,
+            )
+            sensor_pose = self._base_to_sensor(base_pose, sensor_offset_x)
+            coarse = matcher.match(
+                sensor_pose, points_sensor,
+                linear_window=cfg.loop_closure_search_window,
+                angular_window=cfg.angular_search_window * 2,
+            )
+            if not coarse.converged:
+                continue
+            refiner = GaussNewtonRefiner(field)
+            result = refiner.refine(coarse.pose, points_sensor)
+            if result.score < cfg.loop_closure_min_score:
+                continue
+
+            matched_base = self._sensor_to_base(result.pose, sensor_offset_x)
+            anchor_node = submap.node_ids[0]
+            anchor_pose = self.graph.poses[anchor_node]
+            self.graph.add_constraint(
+                anchor_node, node,
+                relative_pose(anchor_pose, matched_base),
+                self._match_information(result), kind="loop_closure",
+            )
+            self.num_loop_closures += 1
+            with self.timing.time("loop_optimize"):
+                optimize_pose_graph(self.graph)
+
+    # ------------------------------------------------------------------
+    # Map export (mapping mode)
+    # ------------------------------------------------------------------
+    def render_map(self, resolution: float = 0.05, margin: float = 1.0,
+                   sensor_offset_x: float = 0.27) -> OccupancyGrid:
+        """Re-insert every cached scan at its optimised pose into one grid."""
+        if self.pure_localization:
+            raise RuntimeError("render_map is for mapping mode")
+        if not self._scan_cache:
+            raise RuntimeError("no scans recorded")
+        from repro.utils.geometry import transform_points
+
+        # Exact extents: transform every cached scan to world coordinates
+        # once, so the rendered grid is as tight as the data allows.
+        lo = np.array([np.inf, np.inf])
+        hi = np.array([-np.inf, -np.inf])
+        for node_id, points in zip(self._node_ids[1:], self._scan_cache):
+            sensor = self._base_to_sensor(self.graph.poses[node_id], sensor_offset_x)
+            world = transform_points(sensor, points)
+            lo = np.minimum(lo, world.min(axis=0))
+            hi = np.maximum(hi, world.max(axis=0))
+        lo -= margin
+        hi += margin
+        width = int(np.ceil((hi[0] - lo[0]) / resolution))
+        height = int(np.ceil((hi[1] - lo[1]) / resolution))
+        grid = ProbabilityGrid(width, height, resolution, (float(lo[0]), float(lo[1])))
+        for node_id, points in zip(self._node_ids[1:], self._scan_cache):
+            base = self.graph.poses[node_id]
+            grid.insert_scan(self._base_to_sensor(base, sensor_offset_x), points)
+        return grid.to_occupancy_grid()

@@ -1,0 +1,143 @@
+"""Sparse Gauss-Newton optimisation of an SE(2) pose graph.
+
+Solves the nonlinear least-squares problem
+
+``min_T  sum_c  r_c(T)^T  Omega_c  r_c(T)``
+
+over a selected subset of node poses (the rest held fixed — sliding-window
+smoothing holds old nodes, full optimisation frees everything but the
+first).  Residual Jacobians are analytic; the normal equations are
+assembled densely per window, which is ample for window sizes up to a few
+hundred nodes (scipy handles the solve).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.slam.pose_graph import ORIGIN_NODE, Constraint, PoseGraph
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["optimize_pose_graph"]
+
+
+def _residual_and_jacobians(
+    pose_i: np.ndarray, pose_j: np.ndarray, measurement: np.ndarray
+):
+    """Residual of one constraint and its Jacobians wrt both endpoint poses.
+
+    Residual: ``r = R_i^T (t_j - t_i) - z_t ,  wrap(th_j - th_i - z_th)``.
+    """
+    ci, si = np.cos(pose_i[2]), np.sin(pose_i[2])
+    dx = pose_j[0] - pose_i[0]
+    dy = pose_j[1] - pose_i[1]
+
+    r = np.array(
+        [
+            ci * dx + si * dy - measurement[0],
+            -si * dx + ci * dy - measurement[1],
+            wrap_to_pi(pose_j[2] - pose_i[2] - measurement[2]),
+        ]
+    )
+
+    jac_i = np.array(
+        [
+            [-ci, -si, -si * dx + ci * dy],
+            [si, -ci, -ci * dx - si * dy],
+            [0.0, 0.0, -1.0],
+        ]
+    )
+    jac_j = np.array(
+        [
+            [ci, si, 0.0],
+            [-si, ci, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    return r, jac_i, jac_j
+
+
+def optimize_pose_graph(
+    graph: PoseGraph,
+    free_nodes: Optional[Iterable[int]] = None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-8,
+    damping: float = 1e-6,
+) -> float:
+    """Optimise ``graph`` in place; returns the final total error.
+
+    Parameters
+    ----------
+    graph:
+        The pose graph; ``graph.poses`` is updated in place.
+    free_nodes:
+        Node ids allowed to move.  Default: every node except the first
+        (which anchors the gauge).  Passing a recent-node subset yields
+        sliding-window smoothing.
+    max_iterations, tolerance:
+        Gauss-Newton stopping criteria (step infinity-norm).
+    damping:
+        Levenberg-style diagonal damping for rank-deficient windows.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+
+    if free_nodes is None:
+        all_ids = sorted(graph.poses)
+        free = all_ids[1:]
+    else:
+        free = [n for n in free_nodes if n in graph.poses]
+    if not free:
+        return graph.total_error()
+
+    index: Dict[int, int] = {node_id: k for k, node_id in enumerate(free)}
+    constraints: List[Constraint] = graph.constraints_touching(free)
+    if not constraints:
+        return graph.total_error()
+
+    n_vars = 3 * len(free)
+    for _ in range(max_iterations):
+        h_matrix = np.zeros((n_vars, n_vars))
+        g = np.zeros(n_vars)
+
+        for c in constraints:
+            pose_i = graph.node_pose(c.node_i)
+            pose_j = graph.node_pose(c.node_j)
+            r, jac_i, jac_j = _residual_and_jacobians(pose_i, pose_j, c.measurement)
+            omega = c.information
+
+            i_free = c.node_i in index and c.node_i != ORIGIN_NODE
+            j_free = c.node_j in index
+            if i_free:
+                a = index[c.node_i] * 3
+                h_matrix[a : a + 3, a : a + 3] += jac_i.T @ omega @ jac_i
+                g[a : a + 3] += jac_i.T @ omega @ r
+            if j_free:
+                b = index[c.node_j] * 3
+                h_matrix[b : b + 3, b : b + 3] += jac_j.T @ omega @ jac_j
+                g[b : b + 3] += jac_j.T @ omega @ r
+            if i_free and j_free:
+                a = index[c.node_i] * 3
+                b = index[c.node_j] * 3
+                cross = jac_i.T @ omega @ jac_j
+                h_matrix[a : a + 3, b : b + 3] += cross
+                h_matrix[b : b + 3, a : a + 3] += cross.T
+
+        h_matrix += damping * np.eye(n_vars)
+        try:
+            step = np.linalg.solve(h_matrix, -g)
+        except np.linalg.LinAlgError:
+            break
+
+        for node_id, k in index.items():
+            pose = graph.poses[node_id]
+            pose[0] += step[3 * k]
+            pose[1] += step[3 * k + 1]
+            pose[2] = wrap_to_pi(pose[2] + step[3 * k + 2])
+
+        if float(np.abs(step).max()) < tolerance:
+            break
+
+    return graph.total_error()

@@ -1,0 +1,153 @@
+"""SE(2) pose graph: nodes, constraints, residuals.
+
+The graph's nodes are robot poses at scan times; constraints are relative
+SE(2) measurements with information matrices:
+
+* ``odometry`` — between consecutive nodes, from wheel odometry;
+* ``scan_match`` — absolute (node-to-map) matches, encoded as constraints
+  to a fixed virtual node (id -1) at the world origin;
+* ``loop_closure`` — relative matches between temporally distant nodes
+  found by searching old submaps.
+
+The optimizer (see :mod:`repro.slam.optimizer`) minimises the weighted sum
+of squared residuals ``r = (T_i^{-1} T_j) ominus z_ij``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.angles import wrap_to_pi
+
+__all__ = ["Constraint", "PoseGraph", "relative_pose", "apply_relative"]
+
+ORIGIN_NODE: int = -1  # virtual fixed node for absolute constraints
+
+
+def relative_pose(pose_i: np.ndarray, pose_j: np.ndarray) -> np.ndarray:
+    """``T_i^{-1} T_j`` as an ``(dx, dy, dtheta)`` triple in i's frame."""
+    ci, si = np.cos(pose_i[2]), np.sin(pose_i[2])
+    dx = pose_j[0] - pose_i[0]
+    dy = pose_j[1] - pose_i[1]
+    return np.array(
+        [
+            ci * dx + si * dy,
+            -si * dx + ci * dy,
+            wrap_to_pi(pose_j[2] - pose_i[2]),
+        ]
+    )
+
+
+def apply_relative(pose_i: np.ndarray, rel: np.ndarray) -> np.ndarray:
+    """``T_i  (+)  rel`` — invert :func:`relative_pose`."""
+    ci, si = np.cos(pose_i[2]), np.sin(pose_i[2])
+    return np.array(
+        [
+            pose_i[0] + ci * rel[0] - si * rel[1],
+            pose_i[1] + si * rel[0] + ci * rel[1],
+            wrap_to_pi(pose_i[2] + rel[2]),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A relative SE(2) measurement between two nodes.
+
+    ``node_i == ORIGIN_NODE`` encodes an absolute (world-frame) constraint,
+    e.g. a scan match against the frozen map.
+    """
+
+    node_i: int
+    node_j: int
+    measurement: np.ndarray          # (dx, dy, dtheta) of j in i's frame
+    information: np.ndarray          # 3x3, inverse covariance
+    kind: str = "odometry"           # "odometry" | "scan_match" | "loop_closure"
+
+    def __post_init__(self) -> None:
+        if self.measurement.shape != (3,):
+            raise ValueError("measurement must be a 3-vector")
+        if self.information.shape != (3, 3):
+            raise ValueError("information must be 3x3")
+        if self.kind not in ("odometry", "scan_match", "loop_closure"):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+
+
+class PoseGraph:
+    """Container for nodes and constraints with residual evaluation."""
+
+    def __init__(self) -> None:
+        self.poses: Dict[int, np.ndarray] = {}
+        self.constraints: List[Constraint] = []
+        self._next_id = 0
+
+    def add_node(self, pose: np.ndarray) -> int:
+        node_id = self._next_id
+        self.poses[node_id] = np.asarray(pose, dtype=float).copy()
+        self._next_id += 1
+        return node_id
+
+    def add_constraint(
+        self,
+        node_i: int,
+        node_j: int,
+        measurement: np.ndarray,
+        information: np.ndarray,
+        kind: str = "odometry",
+    ) -> Constraint:
+        if node_i != ORIGIN_NODE and node_i not in self.poses:
+            raise KeyError(f"unknown node {node_i}")
+        if node_j not in self.poses:
+            raise KeyError(f"unknown node {node_j}")
+        c = Constraint(
+            node_i,
+            node_j,
+            np.asarray(measurement, dtype=float),
+            np.asarray(information, dtype=float),
+            kind,
+        )
+        self.constraints.append(c)
+        return c
+
+    def node_pose(self, node_id: int) -> np.ndarray:
+        if node_id == ORIGIN_NODE:
+            return np.zeros(3)
+        return self.poses[node_id]
+
+    def residual(self, constraint: Constraint) -> np.ndarray:
+        """``(predicted relative) - (measured relative)``, angle wrapped."""
+        pose_i = self.node_pose(constraint.node_i)
+        pose_j = self.node_pose(constraint.node_j)
+        predicted = relative_pose(pose_i, pose_j)
+        r = predicted - constraint.measurement
+        r[2] = wrap_to_pi(r[2])
+        return r
+
+    def total_error(self) -> float:
+        """Weighted sum of squared residuals (the optimisation objective)."""
+        total = 0.0
+        for c in self.constraints:
+            r = self.residual(c)
+            total += float(r @ c.information @ r)
+        return total
+
+    def constraints_touching(self, node_ids) -> List[Constraint]:
+        """Constraints with at least one endpoint in ``node_ids``."""
+        wanted = set(node_ids)
+        return [
+            c
+            for c in self.constraints
+            if c.node_i in wanted or c.node_j in wanted
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.poses)
+
+    def latest_node_id(self) -> Optional[int]:
+        if not self.poses:
+            return None
+        return self._next_id - 1

@@ -1,0 +1,440 @@
+"""Two-stage local scan matching (Cartographer front-end style [1]).
+
+Stage 1 — :class:`CorrelativeScanMatcher`: exhaustive search over a small
+``(x, y, theta)`` window centred on the *odometry-extrapolated* prediction,
+scoring each candidate by the mean likelihood-field value at the scan
+points.  This is the "real-time correlative scan matching" of Olson 2009
+that Cartographer uses for its online matcher.
+
+Stage 2 — :class:`GaussNewtonRefiner`: continuous refinement of the best
+grid candidate by Gauss-Newton on the bilinear-interpolated field (the
+grid-search equivalent of Cartographer's Ceres matcher).
+
+The :class:`LikelihoodField` smooths the map's occupancy into
+``exp(-d^2 / (2 sigma^2))`` of the distance-to-nearest-obstacle — wide
+enough basins for gradient refinement, sharp enough peaks for accuracy.
+
+Why this architecture degrades with odometry quality (the paper's §III/IV
+finding): the search window is *finite and centred on the odometry
+prediction*.  Good odometry keeps the true pose well inside the window and
+the matcher is extremely accurate; slip pushes the prediction — and in
+corridor-like environments the longitudinal direction is weakly constrained
+by geometry, so the matcher cannot fully pull it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.utils.angles import wrap_to_pi
+
+__all__ = [
+    "LikelihoodField",
+    "CorrelativeScanMatcher",
+    "GaussNewtonRefiner",
+    "ScanMatcher",
+    "ScanMatchResult",
+]
+
+
+class LikelihoodField:
+    """Smoothed occupancy likelihood with bilinear sampling and gradients.
+
+    Parameters
+    ----------
+    grid, sigma:
+        Map and Gaussian smoothing width.
+    unknown_value:
+        Field value assigned to *unknown* cells.  For matching against a
+        complete frozen map, 0 is correct (a scan point in unknown space is
+        evidence of misalignment).  For matching against a *partial* map
+        being built (SLAM mapping mode) it must be neutral (~0.5, as in
+        Cartographer's probability grids): with 0, scan points reaching
+        into not-yet-mapped space systematically drag the match back toward
+        mapped territory.
+    """
+
+    def __init__(self, grid: OccupancyGrid, sigma: float = 0.12,
+                 unknown_value: float = 0.0) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 <= unknown_value <= 1.0:
+            raise ValueError("unknown_value must be in [0, 1]")
+        self.grid = grid
+        self.sigma = float(sigma)
+        self.unknown_value = float(unknown_value)
+        dist = grid.distance_field().astype(np.float64)
+        self.field = np.exp(-0.5 * (dist / sigma) ** 2)
+        if unknown_value > 0.0:
+            from repro.maps.occupancy_grid import UNKNOWN
+
+            unknown = grid.data == UNKNOWN
+            self.field[unknown] = np.maximum(self.field[unknown], unknown_value)
+        self.resolution = grid.resolution
+        self.origin = grid.origin
+
+    def _continuous_index(self, points: np.ndarray):
+        # Field samples live at cell centres, hence the -0.5.
+        fx = (points[:, 0] - self.origin[0]) / self.resolution - 0.5
+        fy = (points[:, 1] - self.origin[1]) / self.resolution - 0.5
+        return fx, fy
+
+    def sample(self, points: np.ndarray) -> np.ndarray:
+        """Bilinear field values at world points; 0 outside the map."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        fx, fy = self._continuous_index(points)
+        h, w = self.field.shape
+        x0 = np.floor(fx).astype(np.int64)
+        y0 = np.floor(fy).astype(np.int64)
+        tx = fx - x0
+        ty = fy - y0
+        valid = (x0 >= 0) & (x0 < w - 1) & (y0 >= 0) & (y0 < h - 1)
+        out = np.zeros(points.shape[0])
+        x0v, y0v = x0[valid], y0[valid]
+        txv, tyv = tx[valid], ty[valid]
+        f = self.field
+        out[valid] = (
+            f[y0v, x0v] * (1 - txv) * (1 - tyv)
+            + f[y0v, x0v + 1] * txv * (1 - tyv)
+            + f[y0v + 1, x0v] * (1 - txv) * tyv
+            + f[y0v + 1, x0v + 1] * txv * tyv
+        )
+        return out
+
+    def sample_with_gradient(self, points: np.ndarray):
+        """Values and spatial gradients ``(d/dx, d/dy)`` at world points."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        fx, fy = self._continuous_index(points)
+        h, w = self.field.shape
+        x0 = np.floor(fx).astype(np.int64)
+        y0 = np.floor(fy).astype(np.int64)
+        tx = fx - x0
+        ty = fy - y0
+        valid = (x0 >= 0) & (x0 < w - 1) & (y0 >= 0) & (y0 < h - 1)
+        values = np.zeros(points.shape[0])
+        grads = np.zeros((points.shape[0], 2))
+        if np.any(valid):
+            x0v, y0v = x0[valid], y0[valid]
+            txv, tyv = tx[valid], ty[valid]
+            f = self.field
+            f00 = f[y0v, x0v]
+            f10 = f[y0v, x0v + 1]
+            f01 = f[y0v + 1, x0v]
+            f11 = f[y0v + 1, x0v + 1]
+            values[valid] = (
+                f00 * (1 - txv) * (1 - tyv)
+                + f10 * txv * (1 - tyv)
+                + f01 * (1 - txv) * tyv
+                + f11 * txv * tyv
+            )
+            dfdx = ((f10 - f00) * (1 - tyv) + (f11 - f01) * tyv) / self.resolution
+            dfdy = ((f01 - f00) * (1 - txv) + (f11 - f10) * txv) / self.resolution
+            grads[valid, 0] = dfdx
+            grads[valid, 1] = dfdy
+        return values, grads
+
+
+@dataclass(frozen=True)
+class ScanMatchResult:
+    """Outcome of one scan-match attempt."""
+
+    pose: np.ndarray
+    score: float          # mean field value at scan points in [0, 1]
+    covariance: np.ndarray  # 3x3 estimate from the score surface
+    converged: bool
+
+
+class CorrelativeScanMatcher:
+    """Exhaustive window search over translated/rotated scan placements."""
+
+    def __init__(
+        self,
+        field: LikelihoodField,
+        linear_window: float = 0.15,
+        angular_window: float = 0.10,
+        linear_step: float | None = None,
+        angular_step: float = 0.0125,
+        translation_delta_cost: float = 0.0,
+        rotation_delta_cost: float = 0.0,
+    ) -> None:
+        """``*_delta_cost``: multiplicative penalty on candidates far from
+        the initial guess — ``score * exp(-(w_t |dt|^2 + w_r dtheta^2))``,
+        Cartographer's ``translation/rotation_delta_cost_weight``.  Without
+        it, featureless directions (a corridor's axis) are decided by
+        noise or by the mapped/unknown asymmetry instead of by odometry."""
+        if linear_window <= 0 or angular_window <= 0:
+            raise ValueError("search windows must be positive")
+        if translation_delta_cost < 0 or rotation_delta_cost < 0:
+            raise ValueError("delta costs must be non-negative")
+        self.field = field
+        self.linear_window = float(linear_window)
+        self.angular_window = float(angular_window)
+        self.linear_step = (
+            float(linear_step) if linear_step is not None else field.resolution / 2.0
+        )
+        self.angular_step = float(angular_step)
+        self.translation_delta_cost = float(translation_delta_cost)
+        self.rotation_delta_cost = float(rotation_delta_cost)
+
+    def match(self, initial_pose: np.ndarray, points_sensor: np.ndarray) -> ScanMatchResult:
+        """Best pose in the window around ``initial_pose``.
+
+        ``points_sensor``: ``(N, 2)`` scan hit points in the sensor frame.
+        """
+        initial_pose = np.asarray(initial_pose, dtype=float)
+        points_sensor = np.asarray(points_sensor, dtype=float)
+        if points_sensor.shape[0] == 0:
+            return ScanMatchResult(initial_pose.copy(), 0.0, np.eye(3), False)
+
+        n_lin = int(np.ceil(self.linear_window / self.linear_step))
+        offsets = np.arange(-n_lin, n_lin + 1) * self.linear_step
+        n_ang = int(np.ceil(self.angular_window / self.angular_step))
+        dthetas = np.arange(-n_ang, n_ang + 1) * self.angular_step
+
+        best_score = -1.0
+        best_pose = initial_pose.copy()
+        scores_acc = []  # (score, dx, dy, dtheta) for covariance estimation
+
+        for dth in dthetas:
+            theta = initial_pose[2] + dth
+            c, s = np.cos(theta), np.sin(theta)
+            base = np.empty_like(points_sensor)
+            base[:, 0] = c * points_sensor[:, 0] - s * points_sensor[:, 1] + initial_pose[0]
+            base[:, 1] = s * points_sensor[:, 0] + c * points_sensor[:, 1] + initial_pose[1]
+
+            # Evaluate all (dx, dy) shifts of this rotation in one call:
+            # tile the points across the translation lattice.
+            n_off = offsets.size
+            pts = np.empty((n_off * n_off * base.shape[0], 2))
+            shift_x = np.repeat(offsets, n_off)
+            shift_y = np.tile(offsets, n_off)
+            pts[:, 0] = (base[:, 0][None, :] + shift_x[:, None]).ravel()
+            pts[:, 1] = (base[:, 1][None, :] + shift_y[:, None]).ravel()
+            values = self.field.sample(pts).reshape(n_off * n_off, base.shape[0])
+            mean_scores = values.mean(axis=1)
+            if self.translation_delta_cost > 0 or self.rotation_delta_cost > 0:
+                penalty = (
+                    self.translation_delta_cost * (shift_x**2 + shift_y**2)
+                    + self.rotation_delta_cost * dth**2
+                )
+                mean_scores = mean_scores * np.exp(-penalty)
+
+            k = int(np.argmax(mean_scores))
+            if mean_scores[k] > best_score:
+                best_score = float(mean_scores[k])
+                best_pose = np.array(
+                    [
+                        initial_pose[0] + shift_x[k],
+                        initial_pose[1] + shift_y[k],
+                        wrap_to_pi(theta),
+                    ]
+                )
+            scores_acc.append((mean_scores, shift_x, shift_y, np.full(n_off * n_off, dth)))
+
+        covariance = self._covariance_from_scores(scores_acc, best_pose, initial_pose)
+        return ScanMatchResult(best_pose, best_score, covariance, best_score > 0.0)
+
+    def _covariance_from_scores(self, scores_acc, best_pose, initial_pose) -> np.ndarray:
+        """Weighted second moments of the score surface around its peak.
+
+        Olson's multi-resolution matcher derives the same quantity; it
+        feeds the pose-graph information matrices.
+        """
+        all_scores = np.concatenate([s for s, *_ in scores_acc])
+        all_dx = np.concatenate([dx for _, dx, _, _ in scores_acc])
+        all_dy = np.concatenate([dy for _, _, dy, _ in scores_acc])
+        all_dth = np.concatenate([dth for _, _, _, dth in scores_acc])
+
+        # Soft-max weighting concentrates mass near the peak.
+        w = np.exp((all_scores - all_scores.max()) * 40.0)
+        w /= w.sum()
+        mx = all_dx - (best_pose[0] - initial_pose[0])
+        my = all_dy - (best_pose[1] - initial_pose[1])
+        mth = all_dth - wrap_to_pi(best_pose[2] - initial_pose[2])
+        dev = np.stack([mx, my, mth], axis=-1)
+        cov = (w[:, None, None] * dev[:, :, None] * dev[:, None, :]).sum(axis=0)
+        # Regularise: never report tighter than a quarter step.
+        floor = np.diag(
+            [
+                (self.linear_step / 4.0) ** 2,
+                (self.linear_step / 4.0) ** 2,
+                (self.angular_step / 4.0) ** 2,
+            ]
+        )
+        return cov + floor
+
+
+class GaussNewtonRefiner:
+    """Continuous pose refinement on the interpolated likelihood field.
+
+    Minimises ``sum_i (1 - field(T_pose p_i))^2`` — the standard occupied-
+    space cost of Cartographer's Ceres scan matcher — by Gauss-Newton with
+    analytic Jacobians from the bilinear gradient.
+    """
+
+    def __init__(self, field: LikelihoodField, max_iterations: int = 30,
+                 convergence_eps: float = 1e-5,
+                 prior_translation_weight: float = 0.0,
+                 prior_rotation_weight: float = 0.0) -> None:
+        self.field = field
+        self.max_iterations = int(max_iterations)
+        self.convergence_eps = float(convergence_eps)
+        if prior_translation_weight < 0 or prior_rotation_weight < 0:
+            raise ValueError("prior weights must be non-negative")
+        self.prior_translation_weight = float(prior_translation_weight)
+        self.prior_rotation_weight = float(prior_rotation_weight)
+
+    def refine(self, pose: np.ndarray, points_sensor: np.ndarray,
+               prior_pose: np.ndarray | None = None) -> ScanMatchResult:
+        """Refine ``pose``; optionally anchored to ``prior_pose``.
+
+        When prior weights are set, the cost gains
+        ``w_t * ||t - t_prior||^2 + w_r * wrap(theta - theta_prior)^2`` —
+        Cartographer's ``translation_weight`` / ``rotation_weight`` terms
+        that keep the solution near the odometry extrapolation.  This is
+        the channel through which degraded odometry degrades the SLAM
+        baseline (paper §III/IV); set the weights to 0 to disable.
+        """
+        pose = np.asarray(pose, dtype=float).copy()
+        points_sensor = np.asarray(points_sensor, dtype=float)
+        n = points_sensor.shape[0]
+        if n == 0:
+            return ScanMatchResult(pose, 0.0, np.eye(3), False)
+        if prior_pose is None:
+            prior_pose = pose.copy()
+        else:
+            prior_pose = np.asarray(prior_pose, dtype=float)
+        # Normalise prior strength against the per-point data term.
+        w_t = self.prior_translation_weight * n
+        w_r = self.prior_rotation_weight * n
+
+        converged = False
+        h_matrix = np.eye(3)
+        for _ in range(self.max_iterations):
+            c, s = np.cos(pose[2]), np.sin(pose[2])
+            world = np.empty_like(points_sensor)
+            world[:, 0] = c * points_sensor[:, 0] - s * points_sensor[:, 1] + pose[0]
+            world[:, 1] = s * points_sensor[:, 0] + c * points_sensor[:, 1] + pose[1]
+
+            values, grads = self.field.sample_with_gradient(world)
+            residuals = 1.0 - values
+
+            # d(world)/d(theta) = [-s x - c y, c x - s y]
+            dworld_dth = np.empty_like(points_sensor)
+            dworld_dth[:, 0] = -s * points_sensor[:, 0] - c * points_sensor[:, 1]
+            dworld_dth[:, 1] = c * points_sensor[:, 0] - s * points_sensor[:, 1]
+
+            jac = np.empty((n, 3))
+            jac[:, 0] = -grads[:, 0]
+            jac[:, 1] = -grads[:, 1]
+            jac[:, 2] = -(grads[:, 0] * dworld_dth[:, 0] + grads[:, 1] * dworld_dth[:, 1])
+
+            h_matrix = jac.T @ jac + 1e-6 * np.eye(3)
+            g = jac.T @ residuals
+
+            if w_t > 0.0 or w_r > 0.0:
+                # Prior residuals: sqrt(w) * (pose - prior); their normal-
+                # equation contribution is diagonal.
+                h_matrix[0, 0] += w_t
+                h_matrix[1, 1] += w_t
+                h_matrix[2, 2] += w_r
+                g[0] += w_t * (pose[0] - prior_pose[0])
+                g[1] += w_t * (pose[1] - prior_pose[1])
+                g[2] += w_r * wrap_to_pi(pose[2] - prior_pose[2])
+
+            try:
+                step = np.linalg.solve(h_matrix, -g)
+            except np.linalg.LinAlgError:
+                break
+            pose[0] += step[0]
+            pose[1] += step[1]
+            pose[2] = wrap_to_pi(pose[2] + step[2])
+            if float(np.abs(step).max()) < self.convergence_eps:
+                converged = True
+                break
+
+        final_vals = self.field.sample(
+            self._transform(pose, points_sensor)
+        )
+        score = float(final_vals.mean())
+        try:
+            covariance = np.linalg.inv(h_matrix)
+        except np.linalg.LinAlgError:
+            covariance = np.eye(3)
+        return ScanMatchResult(pose, score, covariance, converged)
+
+    @staticmethod
+    def _transform(pose: np.ndarray, pts: np.ndarray) -> np.ndarray:
+        c, s = np.cos(pose[2]), np.sin(pose[2])
+        out = np.empty_like(pts)
+        out[:, 0] = c * pts[:, 0] - s * pts[:, 1] + pose[0]
+        out[:, 1] = s * pts[:, 0] + c * pts[:, 1] + pose[1]
+        return out
+
+
+class ScanMatcher:
+    """Cartographer-style local matcher: optional correlative search, then
+    prior-anchored Gauss-Newton refinement.
+
+    With odometry available, Cartographer's default front-end skips the
+    online correlative matcher and relies on the Ceres matcher seeded (and
+    anchored, via ``translation_weight``/``rotation_weight``) at the
+    odometry extrapolation; set ``use_correlative=True`` to enable the
+    windowed search in front (used for loop closure, and as the
+    odometry-free fallback).
+    """
+
+    def __init__(
+        self,
+        field: LikelihoodField,
+        linear_window: float = 0.15,
+        angular_window: float = 0.10,
+        max_points: int = 120,
+        use_correlative: bool = True,
+        prior_translation_weight: float = 0.0,
+        prior_rotation_weight: float = 0.0,
+        translation_delta_cost: float = 0.0,
+        rotation_delta_cost: float = 0.0,
+    ) -> None:
+        self.field = field
+        self.use_correlative = bool(use_correlative)
+        self.correlative = CorrelativeScanMatcher(
+            field, linear_window=linear_window, angular_window=angular_window,
+            translation_delta_cost=translation_delta_cost,
+            rotation_delta_cost=rotation_delta_cost,
+        )
+        self.refiner = GaussNewtonRefiner(
+            field,
+            prior_translation_weight=prior_translation_weight,
+            prior_rotation_weight=prior_rotation_weight,
+        )
+        self.max_points = int(max_points)
+
+    def subsample(self, points_sensor: np.ndarray) -> np.ndarray:
+        """Uniformly thin a scan to at most ``max_points`` points."""
+        n = points_sensor.shape[0]
+        if n <= self.max_points:
+            return points_sensor
+        idx = np.linspace(0, n - 1, self.max_points).round().astype(np.int64)
+        return points_sensor[np.unique(idx)]
+
+    def match(self, initial_pose: np.ndarray, points_sensor: np.ndarray) -> ScanMatchResult:
+        pts = self.subsample(np.asarray(points_sensor, dtype=float))
+        initial_pose = np.asarray(initial_pose, dtype=float)
+
+        if self.use_correlative:
+            coarse = self.correlative.match(initial_pose, pts)
+            fine = self.refiner.refine(coarse.pose, pts, prior_pose=initial_pose)
+            # Guard: refinement must not wander out of the search basin.
+            drift = np.hypot(*(fine.pose[:2] - coarse.pose[:2]))
+            if fine.score < coarse.score or drift > 2 * self.correlative.linear_window:
+                return coarse
+            return ScanMatchResult(
+                fine.pose, fine.score, coarse.covariance, fine.converged
+            )
+
+        # Odometry-seeded Ceres-style matching only (Cartographer default).
+        return self.refiner.refine(initial_pose, pts, prior_pose=initial_pose)

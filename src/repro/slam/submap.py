@@ -1,0 +1,199 @@
+"""Probability-grid submaps (Cartographer's local mapping unit [1]).
+
+A :class:`ProbabilityGrid` stores per-cell occupancy odds updated by scan
+insertion: cells containing scan endpoints receive a *hit* update, cells
+along the ray a *miss* update, applied multiplicatively in odds space
+exactly as in Cartographer (probability_values.cc).  A :class:`Submap`
+anchors such a grid at a world pose and counts insertions so the front-end
+knows when to finish it and start the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+from repro.utils.geometry import transform_points
+
+__all__ = ["ProbabilityGrid", "Submap"]
+
+
+def _odds(p: float) -> float:
+    return p / (1.0 - p)
+
+
+def _prob_from_odds(o: np.ndarray) -> np.ndarray:
+    return o / (1.0 + o)
+
+
+class ProbabilityGrid:
+    """Occupancy probabilities with multiplicative odds updates.
+
+    Cells start unknown (probability NaN); the first observation sets them
+    to the hit/miss probability directly, later ones multiply odds.
+    Probabilities are clamped to ``[p_min, p_max]`` to keep cells revisable
+    (Cartographer uses [0.12, 0.98]; see mapping/2d/probability_grid.cc).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        resolution: float,
+        origin=(0.0, 0.0),
+        p_hit: float = 0.62,
+        p_miss: float = 0.44,
+        p_min: float = 0.12,
+        p_max: float = 0.98,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("grid dimensions must be positive")
+        if not (0.5 < p_hit < 1.0 and 0.0 < p_miss < 0.5):
+            raise ValueError("need p_hit in (0.5, 1) and p_miss in (0, 0.5)")
+        self.resolution = float(resolution)
+        self.origin = (float(origin[0]), float(origin[1]))
+        self.prob = np.full((height, width), np.nan, dtype=np.float32)
+        self._odds_hit = _odds(p_hit)
+        self._odds_miss = _odds(p_miss)
+        self.p_hit = p_hit
+        self.p_miss = p_miss
+        self.p_min = p_min
+        self.p_max = p_max
+
+    @property
+    def shape(self):
+        return self.prob.shape
+
+    def world_to_grid(self, xy: np.ndarray) -> np.ndarray:
+        xy = np.asarray(xy, dtype=float)
+        out = np.empty(xy.shape, dtype=np.int64)
+        out[..., 0] = np.floor((xy[..., 0] - self.origin[0]) / self.resolution)
+        out[..., 1] = np.floor((xy[..., 1] - self.origin[1]) / self.resolution)
+        return out
+
+    def _apply(self, rows: np.ndarray, cols: np.ndarray, odds_factor: float) -> None:
+        h, w = self.prob.shape
+        ok = (rows >= 0) & (rows < h) & (cols >= 0) & (cols < w)
+        rows, cols = rows[ok], cols[ok]
+        if rows.size == 0:
+            return
+        current = self.prob[rows, cols]
+        unknown = np.isnan(current)
+        seed = self.p_hit if odds_factor == self._odds_hit else self.p_miss
+        new = np.where(
+            unknown,
+            seed,
+            _prob_from_odds(_odds_vec(current) * odds_factor),
+        )
+        self.prob[rows, cols] = np.clip(new, self.p_min, self.p_max)
+
+    def insert_scan(self, sensor_pose: np.ndarray, points_sensor: np.ndarray) -> None:
+        """Insert one scan: hits at endpoints, misses along the rays.
+
+        ``points_sensor`` are hit points in the sensor frame (max-range
+        returns already removed).
+        """
+        sensor_pose = np.asarray(sensor_pose, dtype=float)
+        pts_world = transform_points(sensor_pose, np.asarray(points_sensor, dtype=float))
+        hit_ij = self.world_to_grid(pts_world)
+
+        # Miss cells: sample along each ray just short of the endpoint.
+        # Sampling at half-resolution steps visits essentially every cell.
+        ox, oy = sensor_pose[0], sensor_pose[1]
+        deltas = pts_world - np.array([ox, oy])
+        lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        miss_rows: List[np.ndarray] = []
+        miss_cols: List[np.ndarray] = []
+        step = self.resolution * 0.7
+        for d, length in zip(deltas, lengths):
+            n = int(length / step)
+            if n < 1:
+                continue
+            ts = (np.arange(n) + 0.5) / (n + 1)  # stop short of the hit cell
+            xs = ox + ts * d[0]
+            ys = oy + ts * d[1]
+            ij = self.world_to_grid(np.stack([xs, ys], axis=-1))
+            miss_cols.append(ij[:, 0])
+            miss_rows.append(ij[:, 1])
+
+        if miss_rows:
+            rows = np.concatenate(miss_rows)
+            cols = np.concatenate(miss_cols)
+            # Never miss-update a cell that this scan hits.
+            flat_miss = rows * self.prob.shape[1] + cols
+            flat_hit = hit_ij[:, 1] * self.prob.shape[1] + hit_ij[:, 0]
+            keep = ~np.isin(flat_miss, flat_hit)
+            # Deduplicate: Cartographer applies at most one update per cell
+            # per scan.
+            flat_unique = np.unique(flat_miss[keep])
+            self._apply(
+                flat_unique // self.prob.shape[1],
+                flat_unique % self.prob.shape[1],
+                self._odds_miss,
+            )
+        flat_hit_unique = np.unique(hit_ij[:, 1] * self.prob.shape[1] + hit_ij[:, 0])
+        self._apply(
+            flat_hit_unique // self.prob.shape[1],
+            flat_hit_unique % self.prob.shape[1],
+            self._odds_hit,
+        )
+
+    def to_occupancy_grid(self, occupied_thresh: float = 0.55,
+                          free_thresh: float = 0.45) -> OccupancyGrid:
+        """Threshold probabilities into a discrete occupancy grid."""
+        data = np.full(self.prob.shape, UNKNOWN, dtype=np.int8)
+        known = ~np.isnan(self.prob)
+        data[known & (self.prob > occupied_thresh)] = OCCUPIED
+        data[known & (self.prob < free_thresh)] = FREE
+        return OccupancyGrid(data, self.resolution, self.origin)
+
+
+def _odds_vec(p: np.ndarray) -> np.ndarray:
+    return p / (1.0 - p)
+
+
+@dataclass
+class Submap:
+    """A probability grid anchored at a world pose.
+
+    ``local_pose`` is the submap origin in the world frame at creation
+    time; graph optimisation may later revise it (the grid itself is in
+    submap-local coordinates).
+    """
+
+    local_pose: np.ndarray
+    grid: ProbabilityGrid
+    index: int
+    num_scans: int = 0
+    finished: bool = False
+    node_ids: List[int] = field(default_factory=list)
+
+    @staticmethod
+    def create(
+        center_world: np.ndarray,
+        index: int,
+        size_m: float = 14.0,
+        resolution: float = 0.05,
+    ) -> "Submap":
+        """A square submap centred on the current sensor position."""
+        half = size_m / 2.0
+        origin = (float(center_world[0]) - half, float(center_world[1]) - half)
+        cells = int(np.ceil(size_m / resolution))
+        grid = ProbabilityGrid(cells, cells, resolution, origin)
+        pose = np.array([center_world[0], center_world[1], 0.0])
+        return Submap(local_pose=pose, grid=grid, index=index)
+
+    def insert(self, sensor_pose_world: np.ndarray, points_sensor: np.ndarray,
+               node_id: Optional[int] = None) -> None:
+        if self.finished:
+            raise RuntimeError(f"submap {self.index} is finished")
+        self.grid.insert_scan(sensor_pose_world, points_sensor)
+        self.num_scans += 1
+        if node_id is not None:
+            self.node_ids.append(node_id)
+
+    def finish(self) -> None:
+        self.finished = True

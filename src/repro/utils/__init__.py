@@ -1,0 +1,47 @@
+"""Shared low-level utilities: planar geometry, angle arithmetic, RNG, timing.
+
+These helpers are deliberately dependency-light (NumPy only) and are used by
+every other subpackage.  Nothing in here is specific to the paper; it is the
+mathematical bedrock the localization stack sits on.
+"""
+
+from repro.utils.angles import (
+    angle_diff,
+    circular_mean,
+    circular_std,
+    wrap_to_pi,
+)
+from repro.utils.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.utils.geometry import (
+    SE2,
+    homogeneous_from_pose,
+    pose_from_homogeneous,
+    rot2d,
+    transform_points,
+)
+from repro.utils.profiling import Stopwatch, TimingStats
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "SE2",
+    "Stopwatch",
+    "TimingStats",
+    "angle_diff",
+    "circular_mean",
+    "circular_std",
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "save_config",
+    "homogeneous_from_pose",
+    "make_rng",
+    "pose_from_homogeneous",
+    "rot2d",
+    "transform_points",
+    "wrap_to_pi",
+]

@@ -1,0 +1,117 @@
+"""Angle arithmetic on the circle.
+
+All localization math in this package represents headings as radians in
+``(-pi, pi]``.  Naive arithmetic on angles (subtraction, averaging) is wrong
+near the wrap-around point, so every module routes angle operations through
+the helpers here.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "wrap_to_pi",
+    "angle_diff",
+    "circular_mean",
+    "circular_std",
+    "angle_linspace",
+]
+
+
+def wrap_to_pi(angle: ArrayLike) -> ArrayLike:
+    """Wrap an angle (or array of angles) to the interval ``(-pi, pi]``.
+
+    Works for scalars and NumPy arrays alike.
+
+    >>> round(wrap_to_pi(3 * np.pi), 6)
+    3.141593
+    """
+    wrapped = np.mod(np.asarray(angle) + np.pi, 2.0 * np.pi) - np.pi
+    # np.mod maps exact multiples of 2*pi to -pi; the convention here is +pi.
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.isscalar(angle) or np.ndim(angle) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def angle_diff(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Signed smallest difference ``a - b`` on the circle, in ``(-pi, pi]``.
+
+    ``angle_diff(0.1, -0.1)`` is ``0.2``; ``angle_diff(pi - 0.1, -pi + 0.1)``
+    is ``-0.2`` (the short way around), not ``2*pi - 0.2``.
+    """
+    return wrap_to_pi(np.asarray(a) - np.asarray(b))
+
+
+def circular_mean(angles: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Weighted circular mean of a set of angles.
+
+    Computed via the mean resultant vector, which is the maximum-likelihood
+    estimator for the location of a von Mises distribution.  This is the
+    correct way to average particle headings in an MCL filter: the arithmetic
+    mean of ``[pi - eps, -pi + eps]`` is 0 (pointing backwards), whereas the
+    circular mean is ``pi`` as expected.
+    """
+    angles = np.asarray(angles, dtype=float)
+    if angles.size == 0:
+        raise ValueError("circular_mean of an empty set is undefined")
+    if weights is None:
+        sin_sum = float(np.sum(np.sin(angles)))
+        cos_sum = float(np.sum(np.cos(angles)))
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != angles.shape:
+            raise ValueError(
+                f"weights shape {weights.shape} != angles shape {angles.shape}"
+            )
+        sin_sum = float(np.dot(weights, np.sin(angles)))
+        cos_sum = float(np.dot(weights, np.cos(angles)))
+    if np.hypot(sin_sum, cos_sum) < 1e-12 * max(angles.size, 1):
+        # (Near-)perfectly symmetric distribution: the mean direction is
+        # undefined; return 0 deterministically instead of noise-driven
+        # arctan2 output.
+        return 0.0
+    return float(np.arctan2(sin_sum, cos_sum))
+
+
+def circular_std(angles: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Weighted circular standard deviation, ``sqrt(-2 ln R)``.
+
+    ``R`` is the mean resultant length; the result is ~equal to the linear
+    standard deviation for tightly clustered angles and grows without bound
+    as the distribution approaches uniform on the circle.
+    """
+    angles = np.asarray(angles, dtype=float)
+    if angles.size == 0:
+        raise ValueError("circular_std of an empty set is undefined")
+    if weights is None:
+        weights = np.full(angles.shape, 1.0 / angles.size)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must have positive sum")
+        weights = weights / total
+    resultant = np.hypot(
+        float(np.dot(weights, np.sin(angles))),
+        float(np.dot(weights, np.cos(angles))),
+    )
+    # Numerical guard: R can exceed 1 by epsilon for a single angle.
+    resultant = min(max(resultant, 1e-12), 1.0)
+    return float(np.sqrt(-2.0 * np.log(resultant)))
+
+
+def angle_linspace(start: float, stop: float, num: int) -> np.ndarray:
+    """``num`` angles evenly spaced from ``start`` to ``stop`` inclusive.
+
+    Unlike ``np.linspace`` the result is wrapped to ``(-pi, pi]``, which is
+    what LiDAR beam-angle tables expect.
+    """
+    if num < 1:
+        raise ValueError("num must be >= 1")
+    return wrap_to_pi(np.linspace(start, stop, num))

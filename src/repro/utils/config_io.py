@@ -1,0 +1,140 @@
+"""Dataclass-config serialisation: to/from dicts and JSON files.
+
+Every tunable in this package lives in a (frozen) dataclass —
+:class:`~repro.core.particle_filter.ParticleFilterConfig`,
+:class:`~repro.slam.cartographer.CartographerConfig`,
+:class:`~repro.sim.simulator.SimConfig`, ...  Reproducing an experiment
+months later requires storing those configs next to the results; this
+module round-trips any such config through plain JSON, handling nested
+dataclasses, tuples, and NumPy scalars.
+
+Unknown keys on load raise by default (typos in config files should fail
+loudly), with an opt-out for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Type, TypeVar, get_args, get_origin, get_type_hints
+
+import numpy as np
+
+__all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
+
+T = TypeVar("T")
+
+
+def _to_jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return config_to_dict(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot serialise {type(value).__name__} "
+        "(configs must contain plain data)"
+    )
+
+
+def config_to_dict(config: Any) -> Dict[str, Any]:
+    """A JSON-ready dict of a dataclass config (nested configs recurse)."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise TypeError("config_to_dict expects a dataclass instance")
+    out: Dict[str, Any] = {"__type__": type(config).__name__}
+    for field in dataclasses.fields(config):
+        out[field.name] = _to_jsonable(getattr(config, field.name))
+    return out
+
+
+def _coerce(value: Any, annotation: Any) -> Any:
+    origin = get_origin(annotation)
+    if dataclasses.is_dataclass(annotation) and isinstance(value, dict):
+        return config_from_dict(annotation, value)
+    if origin is tuple and isinstance(value, list):
+        args = get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_coerce(v, args[0]) for v in value)
+        if args:
+            return tuple(_coerce(v, a) for v, a in zip(value, args))
+        return tuple(value)
+    if annotation in (tuple,) and isinstance(value, list):
+        return tuple(value)
+    # Optional[X] and similar unions: try each member type.
+    if origin is not None and origin.__module__ == "typing":
+        return value
+    if str(annotation).startswith("typing.Optional") or "Union" in str(origin):
+        return value
+    return value
+
+
+def config_from_dict(cls: Type[T], data: Dict[str, Any],
+                     strict: bool = True) -> T:
+    """Rebuild a dataclass config from :func:`config_to_dict` output.
+
+    ``strict=True`` (default) rejects unknown keys; the embedded
+    ``__type__`` tag, if present, must match ``cls.__name__``.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError("config_from_dict expects a dataclass type")
+    data = dict(data)
+    tag = data.pop("__type__", None)
+    if tag is not None and tag != cls.__name__:
+        raise ValueError(
+            f"config type mismatch: file says {tag!r}, expected "
+            f"{cls.__name__!r}"
+        )
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown and strict:
+        raise ValueError(f"unknown config keys for {cls.__name__}: "
+                         f"{sorted(unknown)}")
+    try:
+        hints = get_type_hints(cls)
+    except Exception:
+        hints = {f.name: f.type for f in dataclasses.fields(cls)}
+
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        raw = data[field.name]
+        annotation = hints.get(field.name, None)
+        # Nested dataclass detection also via the default value's type,
+        # which survives string annotations.
+        if isinstance(raw, dict) and "__type__" in raw:
+            default = getattr(cls, field.name, None)
+            if field.default_factory is not dataclasses.MISSING:  # type: ignore
+                default = field.default_factory()  # type: ignore
+            elif field.default is not dataclasses.MISSING:
+                default = field.default
+            if default is not None and dataclasses.is_dataclass(default):
+                kwargs[field.name] = config_from_dict(type(default), raw,
+                                                      strict=strict)
+                continue
+        if annotation is not None:
+            raw = _coerce(raw, annotation)
+        elif isinstance(raw, list):
+            # Without a resolvable annotation, restore tuples (the only
+            # sequence type our configs use).
+            raw = tuple(raw)
+        kwargs[field.name] = raw
+    return cls(**kwargs)
+
+
+def save_config(config: Any, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(config_to_dict(config), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_config(cls: Type[T], path: str, strict: bool = True) -> T:
+    with open(path) as f:
+        return config_from_dict(cls, json.load(f), strict=strict)

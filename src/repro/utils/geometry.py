@@ -1,0 +1,135 @@
+"""Planar rigid-body (SE(2)) geometry.
+
+Poses throughout this package are ``(x, y, theta)`` triples — position in
+metres in the map frame, heading in radians.  Batches of poses are ``(N, 3)``
+float arrays.  This module provides composition, inversion, point transforms
+and conversions to/from 3x3 homogeneous matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.angles import wrap_to_pi
+
+__all__ = [
+    "SE2",
+    "rot2d",
+    "homogeneous_from_pose",
+    "pose_from_homogeneous",
+    "transform_points",
+    "transform_points_batch",
+]
+
+
+def rot2d(theta: float) -> np.ndarray:
+    """2x2 rotation matrix for angle ``theta``."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def homogeneous_from_pose(pose: np.ndarray) -> np.ndarray:
+    """3x3 homogeneous transform matrix for a pose ``(x, y, theta)``."""
+    x, y, theta = pose
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s, x], [s, c, y], [0.0, 0.0, 1.0]])
+
+
+def pose_from_homogeneous(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`homogeneous_from_pose`."""
+    return np.array(
+        [matrix[0, 2], matrix[1, 2], np.arctan2(matrix[1, 0], matrix[0, 0])]
+    )
+
+
+def transform_points(pose: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Transform ``(N, 2)`` points from the frame of ``pose`` into its parent.
+
+    Equivalent to ``R(theta) @ p + t`` for each point ``p``.
+    """
+    x, y, theta = float(pose[0]), float(pose[1]), float(pose[2])
+    c, s = np.cos(theta), np.sin(theta)
+    points = np.asarray(points, dtype=float)
+    out = np.empty_like(points)
+    out[:, 0] = c * points[:, 0] - s * points[:, 1] + x
+    out[:, 1] = s * points[:, 0] + c * points[:, 1] + y
+    return out
+
+
+def transform_points_batch(poses: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Transform the same ``(M, 2)`` point set by each of ``(N, 3)`` poses.
+
+    Returns an ``(N, M, 2)`` array.  Used by the sensor model to place the
+    LiDAR origin of every particle at once.
+    """
+    poses = np.asarray(poses, dtype=float)
+    points = np.asarray(points, dtype=float)
+    c = np.cos(poses[:, 2])[:, None]
+    s = np.sin(poses[:, 2])[:, None]
+    px = points[None, :, 0]
+    py = points[None, :, 1]
+    out = np.empty((poses.shape[0], points.shape[0], 2))
+    out[:, :, 0] = c * px - s * py + poses[:, 0][:, None]
+    out[:, :, 1] = s * px + c * py + poses[:, 1][:, None]
+    return out
+
+
+@dataclass(frozen=True)
+class SE2:
+    """An immutable SE(2) element with composition operators.
+
+    This is the reader-friendly interface; hot loops use the raw-array
+    functions above.  ``a @ b`` composes (apply ``b`` in ``a``'s frame),
+    ``a.inverse()`` inverts, ``a.apply(points)`` maps points into the
+    parent frame.
+
+    >>> origin_to_car = SE2(1.0, 2.0, np.pi / 2)
+    >>> car_to_lidar = SE2(0.3, 0.0, 0.0)
+    >>> (origin_to_car @ car_to_lidar).x
+    1.0
+    """
+
+    x: float
+    y: float
+    theta: float
+
+    @staticmethod
+    def identity() -> "SE2":
+        return SE2(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_array(pose: np.ndarray) -> "SE2":
+        return SE2(float(pose[0]), float(pose[1]), float(wrap_to_pi(pose[2])))
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y, self.theta])
+
+    def __matmul__(self, other: "SE2") -> "SE2":
+        c, s = np.cos(self.theta), np.sin(self.theta)
+        return SE2(
+            self.x + c * other.x - s * other.y,
+            self.y + s * other.x + c * other.y,
+            float(wrap_to_pi(self.theta + other.theta)),
+        )
+
+    def inverse(self) -> "SE2":
+        c, s = np.cos(self.theta), np.sin(self.theta)
+        return SE2(
+            -(c * self.x + s * self.y),
+            -(-s * self.x + c * self.y),
+            float(wrap_to_pi(-self.theta)),
+        )
+
+    def relative_to(self, other: "SE2") -> "SE2":
+        """Express ``self`` in the frame of ``other`` (``other^-1 @ self``)."""
+        return other.inverse() @ self
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(N, 2)`` points from this frame into the parent frame."""
+        return transform_points(self.as_array(), points)
+
+    def distance_to(self, other: "SE2") -> float:
+        """Euclidean translation distance to another pose (ignores heading)."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))

@@ -1,0 +1,96 @@
+"""Lightweight timing instrumentation.
+
+The paper's headline latency claim ("1.25 ms scan matching on an i5 without
+a GPU") makes per-update timing a first-class measurement.  ``Stopwatch``
+wraps ``time.perf_counter`` as a context manager; ``TimingStats`` accumulates
+samples and reports the summary statistics the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["Stopwatch", "TimingStats"]
+
+
+class Stopwatch:
+    """Context-manager timer recording elapsed seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed * 1e3
+
+
+@dataclass
+class TimingStats:
+    """Accumulates named timing samples and summarises them.
+
+    Typical use: the experiment loop records one sample per localization
+    update under the key ``"update"``; the report prints mean/median/p99 in
+    milliseconds.
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.samples.setdefault(name, []).append(seconds)
+
+    def time(self, name: str):
+        """Return a context manager that records its elapsed time as ``name``."""
+        stats = self
+
+        class _Recorder(Stopwatch):
+            def __exit__(self, *exc) -> None:
+                super().__exit__(*exc)
+                stats.record(name, self.elapsed)
+
+        return _Recorder()
+
+    def count(self, name: str) -> int:
+        return len(self.samples.get(name, []))
+
+    def mean_ms(self, name: str) -> float:
+        return float(np.mean(self.samples[name])) * 1e3
+
+    def median_ms(self, name: str) -> float:
+        return float(np.median(self.samples[name])) * 1e3
+
+    def percentile_ms(self, name: str, q: float) -> float:
+        return float(np.percentile(self.samples[name], q)) * 1e3
+
+    def total_s(self, name: str) -> float:
+        return float(np.sum(self.samples.get(name, [])))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Dict of ``{name: {mean_ms, median_ms, p99_ms, count}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, values in self.samples.items():
+            arr = np.asarray(values) * 1e3
+            out[name] = {
+                "mean_ms": float(arr.mean()),
+                "median_ms": float(np.median(arr)),
+                "p99_ms": float(np.percentile(arr, 99)),
+                "count": float(arr.size),
+            }
+        return out

@@ -1,0 +1,27 @@
+"""Dependency-free visualisation: SVG and terminal rendering.
+
+Debugging a localizer is a visual activity — is the cloud on the track?
+did the match latch onto the wrong wall? — but this repository must run
+with NumPy/SciPy only.  This subpackage therefore renders straight to SVG
+(every browser is a viewer) and to ASCII (every terminal is one):
+
+* :class:`~repro.viz.svg.SvgCanvas` — minimal SVG writer with world-to-
+  pixel transform handling;
+* :func:`~repro.viz.render.render_map_svg` — occupancy grid + optional
+  overlays (trajectories, particle clouds, racelines, scans, obstacles);
+* :func:`~repro.viz.render.ascii_map` — terminal-sized grid thumbnails.
+"""
+
+from repro.viz.render import (
+    ascii_map,
+    render_experiment_svg,
+    render_map_svg,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "SvgCanvas",
+    "ascii_map",
+    "render_experiment_svg",
+    "render_map_svg",
+]

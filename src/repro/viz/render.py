@@ -1,0 +1,190 @@
+"""High-level renderers: occupancy grids with localization overlays.
+
+``render_map_svg`` is the workhorse: grid as a raster layer, then any
+combination of raceline, trajectories, particle cloud, scan points and
+obstacles on top.  ``render_experiment_svg`` packages the typical
+debugging view (ground truth vs estimate vs cloud) in one call;
+``ascii_map`` prints a terminal thumbnail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+from repro.utils.geometry import transform_points
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["render_map_svg", "render_experiment_svg", "ascii_map"]
+
+# Grayscale levels for the three cell states (map_server-like).
+_PIXEL_FREE = 255
+_PIXEL_UNKNOWN = 205
+_PIXEL_OCCUPIED = 30
+
+
+def _grid_pixels(grid: OccupancyGrid) -> np.ndarray:
+    pixels = np.full(grid.data.shape, _PIXEL_UNKNOWN, dtype=np.uint8)
+    pixels[grid.data == FREE] = _PIXEL_FREE
+    pixels[grid.data == OCCUPIED] = _PIXEL_OCCUPIED
+    return pixels
+
+
+def render_map_svg(
+    grid: OccupancyGrid,
+    width_px: int = 800,
+    raceline: Optional[np.ndarray] = None,
+    trajectories: Optional[Dict[str, np.ndarray]] = None,
+    particles: Optional[np.ndarray] = None,
+    pose: Optional[np.ndarray] = None,
+    scan_points_world: Optional[np.ndarray] = None,
+    obstacles: Optional[Iterable] = None,
+    obstacle_time: float = 0.0,
+    title: str = "",
+) -> SvgCanvas:
+    """Render a grid with overlays; returns the canvas (call ``.save()``).
+
+    Parameters
+    ----------
+    raceline:
+        ``(N, 2)`` closed line drawn dashed.
+    trajectories:
+        ``{label: (N, >=2) array}`` — drawn in a rotating palette with a
+        legend; extra columns (heading) are ignored.
+    particles:
+        ``(N, 2..3)`` cloud drawn as translucent dots.
+    pose:
+        ``(3,)`` highlighted pose with a heading arrow.
+    scan_points_world:
+        ``(N, 2)`` scan endpoints (already in world frame).
+    obstacles:
+        :class:`~repro.sim.obstacles.Obstacle` instances, drawn at
+        ``obstacle_time``.
+    """
+    w_m, h_m = grid.size_m
+    margin = 0.4
+    canvas = SvgCanvas(
+        (grid.origin[0] - margin, grid.origin[1] - margin),
+        (grid.origin[0] + w_m + margin, grid.origin[1] + h_m + margin),
+        width_px=width_px,
+    )
+    canvas.image_grayscale(
+        _grid_pixels(grid),
+        grid.origin,
+        (grid.origin[0] + w_m, grid.origin[1] + h_m),
+    )
+
+    if raceline is not None:
+        canvas.polyline(np.asarray(raceline)[:, :2], stroke="#888",
+                        width_m=0.03, dashed=True, closed=True)
+
+    palette = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00"]
+    if trajectories:
+        for k, (label, traj) in enumerate(trajectories.items()):
+            colour = palette[k % len(palette)]
+            canvas.polyline(np.asarray(traj)[:, :2], stroke=colour,
+                            width_m=0.05)
+            canvas.text(
+                (canvas.x0 + 0.5, canvas.y1 - 0.4 - 0.45 * k),
+                label, fill=colour,
+            )
+
+    if particles is not None and len(particles):
+        canvas.circles(np.asarray(particles)[:, :2], radius_m=0.025,
+                       fill="#9400d3", opacity=0.25)
+
+    if scan_points_world is not None and len(scan_points_world):
+        canvas.circles(np.asarray(scan_points_world), radius_m=0.02,
+                       fill="#e41a1c", opacity=0.8)
+
+    if obstacles:
+        for obstacle in obstacles:
+            canvas.circle(obstacle.position(obstacle_time), obstacle.radius,
+                          fill="#ff7f00", opacity=0.7)
+
+    if pose is not None:
+        canvas.arrow(np.asarray(pose), stroke="#d00")
+
+    if title:
+        canvas.text((canvas.x0 + 0.5, canvas.y0 + 0.55), title, size_px=18)
+    return canvas
+
+
+def render_experiment_svg(
+    grid: OccupancyGrid,
+    gt_trajectory: np.ndarray,
+    est_trajectory: np.ndarray,
+    raceline: Optional[np.ndarray] = None,
+    particles: Optional[np.ndarray] = None,
+    scan=None,
+    estimated_pose: Optional[np.ndarray] = None,
+    title: str = "",
+    width_px: int = 900,
+) -> SvgCanvas:
+    """The standard debugging view: truth vs estimate (+ cloud + scan)."""
+    scan_world = None
+    if scan is not None and estimated_pose is not None:
+        points = scan.points_in_sensor_frame(
+            max_range=float(np.max(scan.ranges))
+        )
+        scan_world = transform_points(np.asarray(estimated_pose), points)
+    return render_map_svg(
+        grid,
+        width_px=width_px,
+        raceline=raceline,
+        trajectories={
+            "ground truth": np.asarray(gt_trajectory),
+            "estimate": np.asarray(est_trajectory),
+        },
+        particles=particles,
+        pose=estimated_pose,
+        scan_points_world=scan_world,
+        title=title,
+    )
+
+
+def ascii_map(
+    grid: OccupancyGrid,
+    width: int = 72,
+    overlays: Optional[Sequence[Tuple[np.ndarray, str]]] = None,
+) -> str:
+    """A terminal thumbnail of the grid.
+
+    ``overlays``: sequence of ``(points (N, 2), character)`` drawn on top
+    (later entries win).  Occupied cells render ``#``, unknown ``.``, free
+    space blank.
+    """
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    w_m, h_m = grid.size_m
+    # Terminal glyphs are ~2x taller than wide; compensate.
+    height = max(int(round(width * (h_m / w_m) * 0.5)), 2)
+    sx = w_m / width
+    sy = h_m / height
+
+    canvas = [[" "] * width for _ in range(height)]
+    # Downsample the grid by block max (occupied dominates, then unknown).
+    for row in range(height):
+        for col in range(width):
+            y0 = int(row * sy / grid.resolution)
+            y1 = max(int((row + 1) * sy / grid.resolution), y0 + 1)
+            x0 = int(col * sx / grid.resolution)
+            x1 = max(int((col + 1) * sx / grid.resolution), x0 + 1)
+            block = grid.data[y0:y1, x0:x1]
+            if (block == OCCUPIED).any():
+                canvas[row][col] = "#"
+            elif (block == -1).all():
+                canvas[row][col] = "."
+
+    for points, char in overlays or ():
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        cols = ((pts[:, 0] - grid.origin[0]) / sx).astype(int)
+        rows = ((pts[:, 1] - grid.origin[1]) / sy).astype(int)
+        ok = (cols >= 0) & (cols < width) & (rows >= 0) & (rows < height)
+        for c, r in zip(cols[ok], rows[ok]):
+            canvas[r][c] = char[0]
+
+    # Row 0 is the world's bottom — print top-down.
+    return "\n".join("".join(row) for row in reversed(canvas))

@@ -1,0 +1,187 @@
+"""A minimal SVG writer with a world-coordinate viewport.
+
+Implements only the primitives the renderers need — rect, circle,
+polyline, path, text, raster image — with all geometry given in *world*
+metres; the canvas owns the world→pixel transform (SVG's y axis points
+down, maps' points up, so y is flipped here once and nowhere else).
+"""
+
+from __future__ import annotations
+
+import base64
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SvgCanvas"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting (SVG files get large fast)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """An SVG document mapping a world-rectangle onto a pixel canvas.
+
+    Parameters
+    ----------
+    world_min, world_max:
+        Corners of the world region to show, metres.
+    width_px:
+        Pixel width; height follows from the world aspect ratio.
+    background:
+        CSS colour of the page background.
+    """
+
+    def __init__(
+        self,
+        world_min: Tuple[float, float],
+        world_max: Tuple[float, float],
+        width_px: int = 800,
+        background: str = "#ffffff",
+    ) -> None:
+        self.x0, self.y0 = float(world_min[0]), float(world_min[1])
+        self.x1, self.y1 = float(world_max[0]), float(world_max[1])
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError("world_max must exceed world_min on both axes")
+        self.width_px = int(width_px)
+        self.scale = self.width_px / (self.x1 - self.x0)
+        self.height_px = int(round((self.y1 - self.y0) * self.scale))
+        self._elements: List[str] = [
+            f'<rect x="0" y="0" width="{self.width_px}" '
+            f'height="{self.height_px}" fill="{background}"/>'
+        ]
+
+    # ------------------------------------------------------------------
+    def to_px(self, xy: np.ndarray) -> np.ndarray:
+        """World ``(N, 2)`` → pixel coordinates (y flipped)."""
+        xy = np.atleast_2d(np.asarray(xy, dtype=float))
+        out = np.empty_like(xy)
+        out[:, 0] = (xy[:, 0] - self.x0) * self.scale
+        out[:, 1] = (self.y1 - xy[:, 1]) * self.scale
+        return out
+
+    def len_to_px(self, metres: float) -> float:
+        return metres * self.scale
+
+    # ------------------------------------------------------------------
+    def circle(self, center, radius_m: float, fill: str = "#000",
+               opacity: float = 1.0, stroke: str = "none") -> None:
+        p = self.to_px(np.asarray(center, dtype=float))[0]
+        self._elements.append(
+            f'<circle cx="{_fmt(p[0])}" cy="{_fmt(p[1])}" '
+            f'r="{_fmt(self.len_to_px(radius_m))}" fill="{fill}" '
+            f'fill-opacity="{opacity}" stroke="{stroke}"/>'
+        )
+
+    def circles(self, centers: np.ndarray, radius_m: float, fill: str = "#000",
+                opacity: float = 1.0) -> None:
+        """Batch of identically styled dots (particle clouds)."""
+        pts = self.to_px(centers)
+        r = _fmt(self.len_to_px(radius_m))
+        frags = [
+            f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="{r}"/>'
+            for x, y in pts
+        ]
+        self._elements.append(
+            f'<g fill="{fill}" fill-opacity="{opacity}">' + "".join(frags)
+            + "</g>"
+        )
+
+    def polyline(self, points: np.ndarray, stroke: str = "#000",
+                 width_m: float = 0.03, opacity: float = 1.0,
+                 dashed: bool = False, closed: bool = False) -> None:
+        pts = self.to_px(points)
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in pts)
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        tag = "polygon" if closed else "polyline"
+        self._elements.append(
+            f'<{tag} points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(self.len_to_px(width_m))}" '
+            f'stroke-opacity="{opacity}"{dash}/>'
+        )
+
+    def arrow(self, pose: np.ndarray, length_m: float = 0.4,
+              stroke: str = "#d00", width_m: float = 0.05) -> None:
+        """A heading arrow at a pose ``(x, y, theta)``."""
+        pose = np.asarray(pose, dtype=float)
+        tip = pose[:2] + length_m * np.array([np.cos(pose[2]), np.sin(pose[2])])
+        barb = length_m * 0.3
+        left = tip + barb * np.array(
+            [np.cos(pose[2] + 2.6), np.sin(pose[2] + 2.6)]
+        )
+        right = tip + barb * np.array(
+            [np.cos(pose[2] - 2.6), np.sin(pose[2] - 2.6)]
+        )
+        self.polyline(np.array([pose[:2], tip]), stroke=stroke, width_m=width_m)
+        self.polyline(np.array([left, tip, right]), stroke=stroke,
+                      width_m=width_m)
+
+    def text(self, xy, content: str, size_px: int = 14,
+             fill: str = "#222", anchor: str = "start") -> None:
+        p = self.to_px(np.asarray(xy, dtype=float))[0]
+        safe = (content.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+        self._elements.append(
+            f'<text x="{_fmt(p[0])}" y="{_fmt(p[1])}" font-size="{size_px}" '
+            f'font-family="sans-serif" fill="{fill}" '
+            f'text-anchor="{anchor}">{safe}</text>'
+        )
+
+    def image_grayscale(self, pixels: np.ndarray,
+                        world_min: Tuple[float, float],
+                        world_max: Tuple[float, float],
+                        opacity: float = 1.0) -> None:
+        """Embed a uint8 grayscale array as an inline PNG raster.
+
+        ``pixels[0, 0]`` is the *bottom-left* world corner (grid
+        convention); the PNG encoder flips rows accordingly.
+        """
+        png = _encode_png_grayscale(np.asarray(pixels, dtype=np.uint8)[::-1])
+        b64 = base64.b64encode(png).decode("ascii")
+        p0 = self.to_px(np.array(world_min, dtype=float))[0]
+        p1 = self.to_px(np.array(world_max, dtype=float))[0]
+        x, y = min(p0[0], p1[0]), min(p0[1], p1[1])
+        w, h = abs(p1[0] - p0[0]), abs(p1[1] - p0[1])
+        self._elements.append(
+            f'<image x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+            f'height="{_fmt(h)}" opacity="{opacity}" '
+            'image-rendering="pixelated" '
+            f'href="data:image/png;base64,{b64}"/>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_string())
+
+
+def _encode_png_grayscale(pixels: np.ndarray) -> bytes:
+    """Minimal PNG encoder (8-bit grayscale, zlib-compressed scanlines)."""
+    if pixels.ndim != 2:
+        raise ValueError("expected a 2D grayscale array")
+    height, width = pixels.shape
+
+    def chunk(tag: bytes, payload: bytes) -> bytes:
+        crc = zlib.crc32(tag + payload) & 0xFFFFFFFF
+        return (len(payload).to_bytes(4, "big") + tag + payload
+                + crc.to_bytes(4, "big"))
+
+    header = (width.to_bytes(4, "big") + height.to_bytes(4, "big")
+              + bytes([8, 0, 0, 0, 0]))  # bit depth 8, grayscale
+    raw = b"".join(b"\x00" + pixels[r].tobytes() for r in range(height))
+    return (b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", header)
+            + chunk(b"IDAT", zlib.compress(raw, 6))
+            + chunk(b"IEND", b""))

@@ -1,0 +1,47 @@
+"""Shared fixtures: small tracks and grids reused across the suite.
+
+Session-scoped because track rasterisation and LUT construction are the
+expensive parts of the fixtures; every consumer treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maps import OccupancyGrid, generate_track
+from repro.maps.occupancy_grid import FREE, OCCUPIED
+
+
+@pytest.fixture(scope="session")
+def small_track():
+    """A coarse random corridor track — fast to ray cast."""
+    return generate_track(seed=11, mean_radius=5.0, resolution=0.1, track_width=2.0)
+
+
+@pytest.fixture(scope="session")
+def fine_track():
+    """A finer track for accuracy-sensitive tests."""
+    return generate_track(seed=3, mean_radius=6.0, resolution=0.05, track_width=2.2)
+
+
+@pytest.fixture()
+def box_grid():
+    """A 10 m x 10 m room with 0.1 m walls on all four sides.
+
+    Exact expected ranges are easy to compute by hand, which makes this the
+    reference fixture for ray-caster correctness tests.
+    """
+    res = 0.1
+    n = 100
+    data = np.full((n, n), FREE, dtype=np.int8)
+    data[0, :] = OCCUPIED
+    data[-1, :] = OCCUPIED
+    data[:, 0] = OCCUPIED
+    data[:, -1] = OCCUPIED
+    return OccupancyGrid(data, res, origin=(0.0, 0.0))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

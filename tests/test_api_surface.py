@@ -1,0 +1,117 @@
+"""The public API surface: everything README/examples rely on.
+
+Guards against accidental breakage of the import paths a downstream user
+would write — each `__init__` re-export must exist and be the object its
+module defines.
+"""
+
+import importlib
+
+import pytest
+
+
+TOP_LEVEL_EXPORTS = [
+    "Cartographer",
+    "CartographerConfig",
+    "ExperimentCondition",
+    "LapExperiment",
+    "OccupancyGrid",
+    "SimConfig",
+    "Simulator",
+    "SynPF",
+    "format_table1",
+    "generate_track",
+    "load_map_yaml",
+    "make_synpf",
+    "make_vanilla_mcl",
+    "replica_test_track",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", TOP_LEVEL_EXPORTS)
+    def test_export_present(self, name):
+        import repro
+
+        assert hasattr(repro, name), f"repro.{name} missing"
+        assert name in repro.__all__
+
+    def test_all_is_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+SUBPACKAGES = {
+    "repro.core": [
+        "SynPF", "ParticleFilterConfig", "TumMotionModel",
+        "DiffDriveMotionModel", "OdometryDelta", "BeamSensorModel",
+        "SensorModelConfig", "BoxedScanLayout", "UniformScanLayout",
+        "effective_sample_size", "resample_indices", "estimate_pose",
+        "particle_spread", "make_synpf", "make_vanilla_mcl",
+        "FusionConfig", "OdometryImuEkf", "kld_sample_size",
+        "occupied_bins", "LocalizationSupervisor", "SupervisorConfig",
+    ],
+    "repro.maps": [
+        "OccupancyGrid", "Raceline", "TrackSpec", "generate_track",
+        "replica_test_track", "load_map_yaml", "save_map_yaml",
+        "arclength_resample", "curvature_of_polyline",
+        "optimize_raceline", "RacelineOptimizerConfig",
+        "wall_distance_statistics", "occupancy_overlap",
+    ],
+    "repro.viz": [
+        "SvgCanvas", "ascii_map", "render_map_svg", "render_experiment_svg",
+    ],
+    "repro.raycast": [
+        "RangeMethod", "BresenhamRayCast", "RayMarching", "CDDT",
+        "LookupTable", "make_range_method",
+    ],
+    "repro.slam": [
+        "Cartographer", "CartographerConfig", "PoseGraph", "Constraint",
+        "ScanMatcher", "CorrelativeScanMatcher", "GaussNewtonRefiner",
+        "LikelihoodField", "ProbabilityGrid", "Submap",
+        "optimize_pose_graph", "ScanMatchResult", "BranchAndBoundMatcher",
+    ],
+    "repro.sim": [
+        "Vehicle", "VehicleParams", "VehicleState", "TireModel",
+        "SimulatedLidar", "LidarConfig", "LidarScan", "WheelOdometry",
+        "OdometryConfig", "ImuSensor", "PurePursuitController",
+        "SpeedProfile", "Simulator", "SimConfig",
+        "grip_from_pull_force", "pull_force_from_grip",
+        "Obstacle", "StaticObstacle", "RacelineFollower", "ray_disc_ranges",
+    ],
+    "repro.eval": [
+        "LapExperiment", "ExperimentCondition", "ConditionResult",
+        "LapRecord", "OdometryPerturbation", "format_table1",
+        "scan_alignment_score", "pose_error", "compute_load_percent",
+        "summarize", "measure_filter_latency",
+        "measure_range_method_latency", "measure_scan_match_latency",
+    ],
+    "repro.utils": [
+        "SE2", "wrap_to_pi", "angle_diff", "circular_mean", "circular_std",
+        "make_rng", "Stopwatch", "TimingStats", "rot2d", "transform_points",
+    ],
+}
+
+
+@pytest.mark.parametrize(
+    "module,name",
+    [(m, n) for m, names in SUBPACKAGES.items() for n in names],
+)
+def test_subpackage_export(module, name):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+@pytest.mark.parametrize("module", sorted(SUBPACKAGES))
+def test_subpackage_all_sorted_and_valid(module):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, "__all__")
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None, f"{module}.{name} broken"

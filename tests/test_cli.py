@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.laps == 10
+        assert args.seed == 7
+
+    def test_race_options(self):
+        args = build_parser().parse_args(
+            ["race", "--method", "cartographer", "--quality", "LQ",
+             "--laps", "2", "--fused-odometry"]
+        )
+        assert args.method == "cartographer"
+        assert args.quality == "LQ"
+        assert args.fused_odometry
+
+    def test_race_rejects_bad_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["race", "--method", "gps"])
+
+    def test_generate_map_args(self):
+        args = build_parser().parse_args(
+            ["generate-map", "out.yaml", "--seed", "3", "--replica"]
+        )
+        assert args.out == "out.yaml"
+        assert args.replica
+
+
+class TestCommands:
+    def test_generate_map_random(self, tmp_path, capsys):
+        out = str(tmp_path / "track.yaml")
+        rc = main(["generate-map", out, "--seed", "2",
+                   "--resolution", "0.1"])
+        assert rc == 0
+        from repro.maps import load_map_yaml
+
+        grid = load_map_yaml(out)
+        assert grid.width > 10
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_map_replica(self, tmp_path):
+        out = str(tmp_path / "replica.yaml")
+        assert main(["generate-map", out, "--replica",
+                     "--resolution", "0.2"]) == 0
+        from repro.maps import load_map_yaml
+
+        grid = load_map_yaml(out)
+        assert grid.resolution == pytest.approx(0.2)
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "26" in out and "19" in out

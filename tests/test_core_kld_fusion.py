@@ -1,0 +1,216 @@
+"""Tests for KLD adaptive sampling and the odometry/IMU fusion EKF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kld import kld_sample_size, occupied_bins
+from repro.core.motion_models import OdometryDelta
+from repro.core.odometry_fusion import FusionConfig, OdometryImuEkf
+from repro.core.particle_filter import make_synpf
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+class TestKldSampleSize:
+    def test_single_bin_returns_floor(self):
+        assert kld_sample_size(1, n_min=250) == 250
+
+    def test_monotone_in_bins(self):
+        sizes = [kld_sample_size(k, n_min=1, n_max=10**6) for k in (5, 20, 80, 300)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_tighter_epsilon_needs_more(self):
+        loose = kld_sample_size(50, epsilon=0.1, n_min=1, n_max=10**6)
+        tight = kld_sample_size(50, epsilon=0.02, n_min=1, n_max=10**6)
+        assert tight > loose
+
+    def test_clamped_to_max(self):
+        assert kld_sample_size(10_000, n_max=5000) == 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kld_sample_size(10, epsilon=0.0)
+        with pytest.raises(ValueError):
+            kld_sample_size(10, delta=1.5)
+        with pytest.raises(ValueError):
+            kld_sample_size(10, n_min=100, n_max=10)
+
+    @settings(deadline=None, max_examples=30)
+    @given(k=st.integers(min_value=2, max_value=100_000))
+    def test_property_within_bounds(self, k):
+        n = kld_sample_size(k, n_min=100, n_max=5000)
+        assert 100 <= n <= 5000
+
+
+class TestOccupiedBins:
+    def test_tight_cloud_few_bins(self, rng):
+        cloud = rng.normal(0.0, 0.01, size=(2000, 3))
+        assert occupied_bins(cloud) <= 8
+
+    def test_spread_cloud_many_bins(self, rng):
+        cloud = np.column_stack(
+            [rng.uniform(-20, 20, 2000), rng.uniform(-20, 20, 2000),
+             rng.uniform(-3, 3, 2000)]
+        )
+        assert occupied_bins(cloud) > 500
+
+    def test_weights_filter_negligible_particles(self, rng):
+        cloud = np.zeros((100, 3))
+        cloud[0] = [50.0, 50.0, 1.0]  # an outlier...
+        w = np.ones(100)
+        w[0] = 1e-12                   # ...with no weight
+        assert occupied_bins(cloud, w) == 1
+
+    def test_empty(self):
+        assert occupied_bins(np.zeros((0, 3))) == 0
+
+
+class TestAdaptiveFilter:
+    def test_count_shrinks_after_convergence(self, fine_track):
+        pf = make_synpf(
+            fine_track.grid, num_particles=4000, num_beams=40, seed=0,
+            range_method="ray_marching", adaptive=True, kld_n_min=300,
+        )
+        lidar = SimulatedLidar(fine_track.grid, LidarConfig(), seed=1)
+        pose = fine_track.centerline.start_pose()
+        pf.initialize(pose, std_xy=0.5, std_theta=0.3)
+        assert pf.num_particles == 4000
+        for _ in range(15):
+            scan = lidar.scan(pose)
+            pf.update(OdometryDelta(0, 0, 0, 0, 0.025), scan.ranges, scan.angles)
+        # A converged tracking cloud needs far fewer particles.
+        assert pf.num_particles < 2000
+
+    def test_accuracy_maintained_while_adaptive(self, fine_track):
+        pf = make_synpf(
+            fine_track.grid, num_particles=3000, num_beams=40, seed=2,
+            range_method="ray_marching", adaptive=True,
+        )
+        lidar = SimulatedLidar(fine_track.grid, LidarConfig(), seed=3)
+        line = fine_track.centerline
+        pose_prev = line.start_pose()
+        pf.initialize(pose_prev)
+        errors = []
+        for k in range(1, 40):
+            s = k * 0.1
+            pt = line.point_at(s)
+            pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+            delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=0.05)
+            scan = lidar.scan(pose_now)
+            est = pf.update(delta, scan.ranges, scan.angles)
+            errors.append(np.hypot(*(est.pose[:2] - pose_now[:2])))
+            pose_prev = pose_now
+        assert np.mean(errors[10:]) < 0.15
+
+    def test_validation(self, fine_track):
+        with pytest.raises(ValueError):
+            make_synpf(fine_track.grid, num_particles=100, adaptive=True,
+                       kld_n_min=500, range_method="ray_marching")
+
+
+class TestResamplingSize:
+    def test_grow_and_shrink(self, rng):
+        from repro.core.resampling import resample_indices
+
+        w = rng.uniform(0.1, 1.0, 100)
+        for scheme in ("multinomial", "stratified", "systematic", "residual"):
+            small = resample_indices(w, rng, scheme, size=40)
+            big = resample_indices(w, rng, scheme, size=250)
+            assert small.shape == (40,)
+            assert big.shape == (250,)
+            assert big.max() < 100
+
+    def test_invalid_size(self, rng):
+        from repro.core.resampling import resample_indices
+
+        with pytest.raises(ValueError):
+            resample_indices(np.ones(5), rng, "systematic", size=0)
+
+
+class TestFusionEkf:
+    def test_straight_line_integration(self):
+        ekf = OdometryImuEkf()
+        ekf.reset(speed=2.0)
+        for _ in range(100):
+            ekf.step(wheel_speed=2.0, wheel_yaw_rate=0.0, imu_yaw_rate=0.0,
+                     dt=0.01)
+        assert ekf.pose[0] == pytest.approx(2.0, rel=0.05)
+        assert ekf.pose[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gyro_dominates_heading(self):
+        """Wheel yaw says turning, gyro says straight: fused heading must
+        follow the gyro — slip immunity for heading."""
+        ekf = OdometryImuEkf()
+        ekf.reset(speed=3.0)
+        for _ in range(100):
+            ekf.step(wheel_speed=3.0, wheel_yaw_rate=1.0, imu_yaw_rate=0.0,
+                     dt=0.01)
+        assert abs(ekf.pose[2]) < 0.05
+
+    def test_speed_tracks_wheel_without_slip(self):
+        ekf = OdometryImuEkf()
+        ekf.reset(speed=0.0)
+        for _ in range(200):
+            ekf.step(wheel_speed=4.0, wheel_yaw_rate=0.0, imu_yaw_rate=0.0,
+                     dt=0.01)
+        assert ekf.speed == pytest.approx(4.0, rel=0.05)
+
+    def test_slip_step_partially_rejected(self):
+        """A sudden wheel-speed jump (wheelspin) is followed more slowly
+        than a trusted measurement would be."""
+        cautious = OdometryImuEkf()
+        cautious.reset(speed=3.0)
+        trusting = OdometryImuEkf(FusionConfig(wheel_speed_slip_frac=0.0))
+        trusting.reset(speed=3.0)
+        for _ in range(5):
+            cautious.step(6.0, 0.0, 0.0, 0.01)
+            trusting.step(6.0, 0.0, 0.0, 0.01)
+        assert cautious.speed < trusting.speed
+
+    def test_delta_stream_interface(self):
+        ekf = OdometryImuEkf()
+        ekf.reset(speed=2.0)
+        d = ekf.step(2.0, 0.1, 0.1, 0.01)
+        assert isinstance(d, OdometryDelta)
+        assert d.dt == pytest.approx(0.01)
+        assert d.dx > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FusionConfig(meas_imu_yaw_rate=0.0).validate()
+        ekf = OdometryImuEkf()
+        with pytest.raises(ValueError):
+            ekf.step(1.0, 0.0, 0.0, 0.0)
+
+    def test_fused_beats_raw_under_slip(self, fine_track):
+        """End-to-end: simulate LQ laps of odometry only (no localizer) and
+        compare dead-reckoning drift — fused heading must drift less when
+        the wheel yaw-rate estimate is slip-corrupted."""
+        from repro.slam.pose_graph import apply_relative
+
+        rng = np.random.default_rng(0)
+        dt = 0.01
+        raw_pose = np.zeros(3)
+        ekf = OdometryImuEkf()
+        ekf.reset()
+        true_pose = np.zeros(3)
+        for k in range(500):
+            v_true = 4.0
+            yaw_true = 0.3 * np.sin(k * 0.02)
+            # Wheel slips 20%, corrupting both speed and Ackermann yaw.
+            wheel_speed = v_true * 1.2
+            wheel_yaw = yaw_true * 1.2
+            imu_yaw = yaw_true + rng.normal(0, 0.02)
+
+            true_pose = apply_relative(
+                true_pose, np.array([v_true * dt, 0.0, yaw_true * dt])
+            )
+            raw_pose = apply_relative(
+                raw_pose, np.array([wheel_speed * dt, 0.0, wheel_yaw * dt])
+            )
+            ekf.step(wheel_speed, wheel_yaw, imu_yaw, dt)
+
+        raw_heading_err = abs(raw_pose[2] - true_pose[2])
+        fused_heading_err = abs(ekf.pose[2] - true_pose[2])
+        assert fused_heading_err < raw_heading_err

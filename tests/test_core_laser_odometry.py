@@ -1,0 +1,155 @@
+"""Tests for ICP-based laser odometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.laser_odometry import IcpConfig, LaserOdometry, icp_match
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.slam.pose_graph import apply_relative, relative_pose
+
+
+def room_points(n=150, rng=None):
+    """Points on the walls of a 6x4 room with one interior feature."""
+    rng = rng or np.random.default_rng(0)
+    t = rng.uniform(0, 1, n)
+    side = rng.integers(0, 5, n)
+    pts = np.empty((n, 2))
+    pts[side == 0] = np.stack([6 * t[side == 0], np.zeros((side == 0).sum())], -1)
+    pts[side == 1] = np.stack([6 * t[side == 1], 4 * np.ones((side == 1).sum())], -1)
+    pts[side == 2] = np.stack([np.zeros((side == 2).sum()), 4 * t[side == 2]], -1)
+    pts[side == 3] = np.stack([6 * np.ones((side == 3).sum()), 4 * t[side == 3]], -1)
+    pts[side == 4] = np.stack(
+        [2 + t[side == 4], 2 * np.ones((side == 4).sum())], -1
+    )
+    return pts
+
+
+def view_from(pose, world_points):
+    """World points expressed in the frame of ``pose``."""
+    c, s = np.cos(pose[2]), np.sin(pose[2])
+    d = world_points - pose[:2]
+    return np.stack([c * d[:, 0] + s * d[:, 1],
+                     -s * d[:, 0] + c * d[:, 1]], axis=-1)
+
+
+class TestIcpMatch:
+    def test_identity(self):
+        pts = room_points()
+        local = view_from(np.array([3.0, 2.5, 0.2]), pts)
+        rel, converged, rms = icp_match(local, local)
+        assert converged
+        assert np.allclose(rel, 0.0, atol=1e-6)
+        assert rms < 1e-6
+
+    @pytest.mark.parametrize("motion", [
+        (0.10, 0.0, 0.0),
+        (0.0, 0.06, 0.0),
+        (0.0, 0.0, 0.06),
+        (0.12, -0.04, 0.05),
+    ])
+    def test_recovers_known_motion(self, motion):
+        pts = room_points(200)
+        pose_a = np.array([3.0, 1.5, 0.3])
+        pose_b = apply_relative(pose_a, np.array(motion))
+        scan_a = view_from(pose_a, pts)
+        scan_b = view_from(pose_b, pts)
+        rel, converged, _ = icp_match(scan_a, scan_b)
+        assert converged
+        assert np.allclose(rel[:2], motion[:2], atol=0.01)
+        assert rel[2] == pytest.approx(motion[2], abs=0.01)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(4)
+        pts = room_points(250, rng)
+        pose_a = np.array([2.0, 2.0, -0.4])
+        motion = np.array([0.08, 0.02, 0.03])
+        pose_b = apply_relative(pose_a, motion)
+        scan_a = view_from(pose_a, pts) + rng.normal(0, 0.01, (250, 2))
+        scan_b = view_from(pose_b, pts) + rng.normal(0, 0.01, (250, 2))
+        rel, converged, _ = icp_match(scan_a, scan_b)
+        assert converged
+        assert np.hypot(*(rel[:2] - motion[:2])) < 0.03
+
+    def test_too_few_points(self):
+        rel, converged, rms = icp_match(np.zeros((2, 2)), np.zeros((2, 2)))
+        assert not converged
+        assert np.isinf(rms)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IcpConfig(max_iterations=0).validate()
+        with pytest.raises(ValueError):
+            IcpConfig(min_pairs=2).validate()
+
+
+class TestLaserOdometry:
+    def test_first_scan_zero_delta(self):
+        odo = LaserOdometry()
+        d = odo.step(room_points(), dt=0.05)
+        assert d.dx == 0.0 and d.dtheta == 0.0
+
+    def test_integrates_simulated_trajectory(self, fine_track):
+        """Drive along the raceline; laser odometry must track the true
+        relative motion far better than a slipping wheel would."""
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0,
+                        mount_offset_x=0.0),
+            seed=3,
+        )
+        line = fine_track.centerline
+        odo = LaserOdometry()
+        odo.reset(line.start_pose())
+
+        dt = 0.05
+        speed = 2.0
+        poses = []
+        for k in range(40):
+            s = k * speed * dt
+            pt = line.point_at(s)
+            pose = np.array([pt[0], pt[1], line.heading_at(s)])
+            poses.append(pose)
+            scan = lidar.scan(pose)
+            pts = scan.points_in_sensor_frame(max_range=lidar.config.max_range)
+            odo.step(pts, dt)
+
+        err = np.hypot(*(odo.pose[:2] - poses[-1][:2]))
+        travelled = speed * dt * 39
+        # Point-to-point ICP suffers the aperture problem in corridors —
+        # wall sections parallel to the motion do not constrain it — so
+        # the first steps under-estimate until the constant-velocity seed
+        # locks in.  Bounded drift (~15 % over this mostly-straight
+        # segment) is the realistic contract; curved geometry in view is
+        # what actually pins the longitudinal direction.
+        assert err < 0.2 * travelled
+        assert odo.num_failures <= 2
+
+    def test_immune_to_wheel_slip_by_construction(self):
+        """The API takes no wheel data — this test documents the property
+        by checking the delta depends only on the scans."""
+        pts = room_points(200)
+        pose_a = np.array([3.0, 1.5, 0.0])
+        motion = np.array([0.1, 0.0, 0.0])
+        pose_b = apply_relative(pose_a, motion)
+        odo = LaserOdometry()
+        odo.step(view_from(pose_a, pts), dt=0.05)
+        d = odo.step(view_from(pose_b, pts), dt=0.05)
+        assert d.dx == pytest.approx(0.1, abs=0.01)
+
+    def test_coasts_through_degenerate_scan(self):
+        pts = room_points(200)
+        pose = np.array([3.0, 1.5, 0.0])
+        odo = LaserOdometry()
+        odo.step(view_from(pose, pts), dt=0.05)
+        d_good = odo.step(
+            view_from(apply_relative(pose, np.array([0.1, 0, 0])), pts),
+            dt=0.05,
+        )
+        # A nearly empty scan: coast on the constant-velocity prediction.
+        d_coast = odo.step(np.zeros((3, 2)), dt=0.05)
+        assert odo.num_failures == 1
+        assert d_coast.dx == pytest.approx(d_good.dx, abs=1e-9)
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            LaserOdometry().step(room_points(), dt=0.0)

@@ -1,0 +1,231 @@
+"""Tests for the diff-drive and TUM motion models, including the Fig. 1
+behavioural contrast the paper builds on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.motion_models import (
+    DiffDriveMotionModel,
+    OdometryDelta,
+    TumMotionModel,
+)
+from repro.core.pose_estimation import particle_spread
+
+
+def straight_delta(speed: float, dt: float = 0.025) -> OdometryDelta:
+    return OdometryDelta(speed * dt, 0.0, 0.0, velocity=speed, dt=dt)
+
+
+def particles_at_origin(n: int = 4000) -> np.ndarray:
+    return np.zeros((n, 3))
+
+
+class TestOdometryDelta:
+    def test_from_poses_translation(self):
+        prev = np.array([1.0, 1.0, 0.0])
+        now = np.array([1.5, 1.0, 0.0])
+        d = OdometryDelta.from_poses(prev, now, dt=0.1)
+        assert d.dx == pytest.approx(0.5)
+        assert d.dy == pytest.approx(0.0)
+        assert d.velocity == pytest.approx(5.0)
+
+    def test_from_poses_in_rotated_frame(self):
+        prev = np.array([0.0, 0.0, np.pi / 2])
+        now = np.array([0.0, 1.0, np.pi / 2])
+        d = OdometryDelta.from_poses(prev, now)
+        assert d.dx == pytest.approx(1.0)  # forward in the robot frame
+        assert d.dy == pytest.approx(0.0, abs=1e-12)
+
+    def test_trans_magnitude(self):
+        d = OdometryDelta(3.0, 4.0, 0.0)
+        assert d.trans == pytest.approx(5.0)
+
+    def test_compose_straight_segments(self):
+        a = OdometryDelta(1.0, 0.0, 0.0, velocity=2.0, dt=0.5)
+        b = OdometryDelta(2.0, 0.0, 0.0, velocity=4.0, dt=0.5)
+        c = a.compose(b)
+        assert c.dx == pytest.approx(3.0)
+        assert c.dt == pytest.approx(1.0)
+        assert c.velocity == pytest.approx(3.0)  # duration-weighted mean
+
+    def test_compose_with_rotation(self):
+        # Quarter turn, then 1 m forward: ends at (0, 1) facing +y... in
+        # the first segment's start frame the second dx points along +y.
+        a = OdometryDelta(0.0, 0.0, np.pi / 2, dt=0.1)
+        b = OdometryDelta(1.0, 0.0, 0.0, dt=0.1)
+        c = a.compose(b)
+        assert c.dx == pytest.approx(0.0, abs=1e-12)
+        assert c.dy == pytest.approx(1.0)
+        assert c.dtheta == pytest.approx(np.pi / 2)
+
+    def test_compose_associative(self):
+        rng = np.random.default_rng(3)
+        deltas = [
+            OdometryDelta(*rng.normal(0, 0.1, 3), velocity=1.0, dt=0.01)
+            for _ in range(3)
+        ]
+        left = deltas[0].compose(deltas[1]).compose(deltas[2])
+        right = deltas[0].compose(deltas[1].compose(deltas[2]))
+        assert left.dx == pytest.approx(right.dx)
+        assert left.dy == pytest.approx(right.dy)
+        assert left.dtheta == pytest.approx(right.dtheta)
+
+
+class TestDiffDrive:
+    def test_zero_motion_keeps_particles_near(self, rng):
+        model = DiffDriveMotionModel()
+        particles = particles_at_origin(1000)
+        out = model.propagate(particles, OdometryDelta(0, 0, 0, dt=0.025), rng)
+        assert np.abs(out[:, :2]).max() < 0.01
+
+    def test_mean_follows_odometry(self, rng):
+        model = DiffDriveMotionModel(alpha1=0.01, alpha2=0.01, alpha3=0.01, alpha4=0.01)
+        out = model.propagate(
+            particles_at_origin(20000), straight_delta(4.0), rng
+        )
+        assert out[:, 0].mean() == pytest.approx(0.1, abs=0.01)
+        assert out[:, 1].mean() == pytest.approx(0.0, abs=0.01)
+
+    def test_does_not_mutate_input(self, rng):
+        model = DiffDriveMotionModel()
+        particles = particles_at_origin(100)
+        before = particles.copy()
+        model.propagate(particles, straight_delta(2.0), rng)
+        assert np.array_equal(particles, before)
+
+    def test_heading_spread_grows_with_speed(self, rng):
+        """alpha2 couples translation into heading noise: faster = wider."""
+        model = DiffDriveMotionModel()
+        slow = model.propagate(particles_at_origin(), straight_delta(0.5), rng)
+        fast = model.propagate(particles_at_origin(), straight_delta(7.0), rng)
+        assert particle_spread(fast).std_theta > 3 * particle_spread(slow).std_theta
+
+    def test_reverse_motion(self, rng):
+        model = DiffDriveMotionModel(alpha1=0.001, alpha2=0.001, alpha3=0.001,
+                                     alpha4=0.001)
+        delta = OdometryDelta(-0.1, 0.0, 0.0, velocity=-4.0, dt=0.025)
+        out = model.propagate(particles_at_origin(5000), delta, rng)
+        assert out[:, 0].mean() == pytest.approx(-0.1, abs=0.02)
+
+
+class TestTumModel:
+    def test_steering_bound_shrinks_with_speed(self):
+        model = TumMotionModel()
+        slow = model.steering_bound(0.3)
+        mid = model.steering_bound(3.0)
+        fast = model.steering_bound(7.0)
+        assert slow == pytest.approx(model.max_steer)
+        assert fast < mid < slow
+        # At 7 m/s the lateral-acceleration-limited angle is small.
+        expected = np.arctan(model.a_lat_max * model.wheelbase / 49.0)
+        assert fast == pytest.approx(expected)
+
+    def test_implied_steering_recovers_yaw(self):
+        model = TumMotionModel()
+        v, dt = 3.0, 0.025
+        steer = 0.2
+        yaw_rate = v * np.tan(steer) / model.wheelbase
+        delta = OdometryDelta(v * dt, 0.0, yaw_rate * dt, velocity=v, dt=dt)
+        assert model.implied_steering(delta) == pytest.approx(steer, abs=1e-6)
+
+    def test_mean_follows_odometry(self, rng):
+        model = TumMotionModel(sigma_speed_frac=0.01, sigma_speed_min=0.01,
+                               sigma_steer=0.005, sigma_slip_y=0.0)
+        out = model.propagate(particles_at_origin(20000), straight_delta(4.0), rng)
+        assert out[:, 0].mean() == pytest.approx(0.1, abs=0.005)
+
+    def test_curved_propagation_follows_arc(self, rng):
+        model = TumMotionModel(sigma_speed_frac=0.001, sigma_speed_min=0.001,
+                               sigma_steer=0.001, sigma_slip_y=0.0)
+        v, dt = 2.0, 0.5
+        steer = 0.2
+        yaw_rate = v * np.tan(steer) / model.wheelbase
+        dtheta = yaw_rate * dt
+        delta = OdometryDelta(0.0, 0.0, dtheta, velocity=v, dt=dt)
+        out = model.propagate(particles_at_origin(2000), delta, rng)
+        radius = v / yaw_rate
+        assert out[:, 2].mean() == pytest.approx(dtheta, abs=0.05)
+        assert out[:, 0].mean() == pytest.approx(radius * np.sin(dtheta), abs=0.05)
+        assert out[:, 1].mean() == pytest.approx(radius * (1 - np.cos(dtheta)), abs=0.05)
+
+    def test_does_not_mutate_input(self, rng):
+        model = TumMotionModel()
+        particles = particles_at_origin(100)
+        before = particles.copy()
+        model.propagate(particles, straight_delta(5.0), rng)
+        assert np.array_equal(particles, before)
+
+    def test_zero_dt_handled(self, rng):
+        model = TumMotionModel()
+        out = model.propagate(
+            particles_at_origin(10), OdometryDelta(0.05, 0, 0, 0.0, 0.0), rng
+        )
+        assert out.shape == (10, 3)
+        assert np.all(np.isfinite(out))
+
+
+class TestFig1Contrast:
+    """The paper's Fig. 1: at low speed both models spread similarly; at
+    high speed the TUM model's heading/lateral spread is far smaller."""
+
+    def setup_method(self):
+        self.diff = DiffDriveMotionModel()
+        self.tum = TumMotionModel()
+
+    def _spreads(self, model, speed, rng, steps=8):
+        particles = particles_at_origin(3000)
+        delta = straight_delta(speed)
+        for _ in range(steps):
+            particles = model.propagate(particles, delta, rng)
+        return particle_spread(particles)
+
+    def test_low_speed_models_similar(self, rng):
+        d = self._spreads(self.diff, 0.5, rng)
+        t = self._spreads(self.tum, 0.5, rng)
+        # Same order of magnitude in heading spread.
+        assert 0.1 < t.std_theta / d.std_theta < 10.0
+
+    def test_high_speed_tum_much_tighter_heading(self, rng):
+        d = self._spreads(self.diff, 7.0, rng)
+        t = self._spreads(self.tum, 7.0, rng)
+        assert t.std_theta < d.std_theta / 3.0
+
+    def test_high_speed_tum_tighter_lateral(self, rng):
+        d = self._spreads(self.diff, 7.0, rng)
+        t = self._spreads(self.tum, 7.0, rng)
+        assert t.lateral < d.lateral / 2.0
+
+    def test_tum_heading_spread_sublinear_in_speed(self, rng):
+        """Diff-drive heading spread grows ~linearly with speed (alpha2 *
+        trans); TUM's is capped by the lateral-acceleration feasibility
+        bound, so it must grow clearly slower than linearly."""
+        mid = self._spreads(self.tum, 2.0, rng)
+        fast = self._spreads(self.tum, 7.0, rng)
+        speed_ratio = 7.0 / 2.0
+        assert fast.std_theta / mid.std_theta < 0.8 * speed_ratio
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    speed=st.floats(min_value=0.2, max_value=7.6),
+    steer_noise=st.floats(min_value=0.01, max_value=0.1),
+)
+def test_property_tum_respects_lateral_acceleration(speed, steer_noise):
+    """No TUM-propagated particle may exceed the lateral-acceleration limit
+    implied by its sampled (clipped) steering angle."""
+    model = TumMotionModel(sigma_steer=steer_noise, sigma_slip_y=0.0,
+                           sigma_speed_frac=0.0, sigma_speed_min=1e-6)
+    rng = np.random.default_rng(0)
+    dt = 0.025
+    delta = OdometryDelta(speed * dt, 0.0, 0.0, velocity=speed, dt=dt)
+    particles = np.zeros((2000, 3))
+    out = model.propagate(particles, delta, rng)
+    dtheta = np.abs(out[:, 2])
+    yaw_rate = dtheta / dt
+    # a_lat = v * yaw_rate; tolerance for the speed-noise floor.
+    a_lat = speed * yaw_rate
+    bound = model.a_lat_max if speed >= 0.5 else speed / model.wheelbase * np.tan(
+        model.max_steer
+    ) * speed
+    assert np.all(a_lat <= max(bound, 1e-9) * 1.25 + 0.5)

@@ -1,0 +1,213 @@
+"""Unit and integration tests for the SynPF filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta, TumMotionModel
+from repro.core.particle_filter import (
+    ParticleFilterConfig,
+    SynPF,
+    make_synpf,
+    make_vanilla_mcl,
+)
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+def quiet_lidar(grid, seed=0):
+    return SimulatedLidar(
+        grid,
+        LidarConfig(range_noise_std=0.005, dropout_prob=0.0),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def pf_setup(fine_track):
+    """A small filter + noise-free-ish LiDAR on the fine track."""
+    pf = make_synpf(fine_track.grid, num_particles=600, num_beams=40, seed=3,
+                    range_method="ray_marching")
+    lidar = quiet_lidar(fine_track.grid)
+    return pf, lidar, fine_track
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ParticleFilterConfig().validate()
+
+    def test_bad_particles(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(num_particles=0).validate()
+
+    def test_bad_model(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(motion_model="segway").validate()
+
+    def test_bad_layout(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(layout="spiral").validate()
+
+    def test_bad_ess(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(resample_ess_fraction=0.0).validate()
+
+
+class TestInitialization:
+    def test_gaussian_init_statistics(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=5000, seed=0,
+                        range_method="ray_marching")
+        pose = fine_track.centerline.start_pose()
+        pf.initialize(pose, std_xy=0.2, std_theta=0.05)
+        assert pf.particles[:, 0].mean() == pytest.approx(pose[0], abs=0.02)
+        assert pf.particles[:, 0].std() == pytest.approx(0.2, rel=0.1)
+        assert pf.particles[:, 2].std() == pytest.approx(0.05, rel=0.15)
+
+    def test_global_init_in_free_space(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=2000, seed=0,
+                        range_method="ray_marching")
+        pf.initialize_global()
+        occupied = fine_track.grid.is_occupied_world(
+            pf.particles[:, :2], unknown_is_occupied=True
+        )
+        assert occupied.mean() < 0.02
+
+    def test_update_before_init_raises(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=10,
+                        range_method="ray_marching")
+        with pytest.raises(RuntimeError):
+            pf.update(OdometryDelta(0, 0, 0, 0, 0.025), np.zeros(10), np.zeros(10))
+
+
+class TestUpdate:
+    def test_stationary_convergence(self, pf_setup):
+        """Repeated scans from a fixed pose concentrate the cloud there."""
+        pf, lidar, track = pf_setup
+        pose = track.centerline.start_pose()
+        pf.initialize(pose, std_xy=0.3, std_theta=0.15)
+        zero = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025)
+        for _ in range(15):
+            scan = lidar.scan(pose)
+            est = pf.update(zero, scan.ranges, scan.angles)
+        err = np.hypot(*(est.pose[:2] - pose[:2]))
+        assert err < 0.08
+        assert est.spread.position_rms < 0.25
+
+    def test_shape_mismatch_raises(self, pf_setup):
+        pf, lidar, track = pf_setup
+        pf.initialize(track.centerline.start_pose())
+        with pytest.raises(ValueError):
+            pf.update(OdometryDelta(0, 0, 0, 0, 0.025), np.zeros(5), np.zeros(6))
+
+    def test_estimate_fields(self, pf_setup):
+        pf, lidar, track = pf_setup
+        pose = track.centerline.start_pose()
+        pf.initialize(pose)
+        scan = lidar.scan(pose)
+        est = pf.update(OdometryDelta(0, 0, 0, 0, 0.025), scan.ranges, scan.angles)
+        assert est.pose.shape == (3,)
+        assert 1.0 <= est.ess <= pf.config.num_particles
+        assert est.spread.position_rms >= 0
+
+    def test_timing_recorded(self, pf_setup):
+        pf, lidar, track = pf_setup
+        assert pf.mean_update_latency_ms() > 0
+        for key in ("motion", "raycast", "sensor"):
+            assert pf.timing.count(key) > 0
+
+    def test_beam_selection_cached(self, pf_setup):
+        pf, lidar, track = pf_setup
+        sel1 = pf.select_beams(lidar.angles)
+        sel2 = pf.select_beams(lidar.angles)
+        assert sel1 is sel2
+
+
+class TestTracking:
+    def test_tracks_moving_car_with_clean_odometry(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=800, num_beams=40,
+                        seed=5, range_method="ray_marching")
+        lidar = quiet_lidar(fine_track.grid, seed=9)
+        line = fine_track.centerline
+
+        pose_prev = line.start_pose()
+        pf.initialize(pose_prev)
+        dt = 0.05
+        speed = 2.0
+        errors = []
+        for k in range(1, 40):
+            s = k * speed * dt
+            pt = line.point_at(s)
+            pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+            delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
+            scan = lidar.scan(pose_now)
+            est = pf.update(delta, scan.ranges, scan.angles)
+            errors.append(np.hypot(*(est.pose[:2] - pose_now[:2])))
+            pose_prev = pose_now
+        assert np.mean(errors[5:]) < 0.12
+
+    def test_recovers_from_odometry_scale_error(self, fine_track):
+        """20% odometry over-reporting (wheel slip): SynPF must keep
+        bounded error thanks to its wide speed-noise envelope."""
+        pf = make_synpf(fine_track.grid, num_particles=1500, num_beams=50,
+                        seed=6, range_method="ray_marching")
+        lidar = quiet_lidar(fine_track.grid, seed=10)
+        line = fine_track.centerline
+
+        pose_prev = line.start_pose()
+        pf.initialize(pose_prev)
+        dt = 0.05
+        speed = 2.5
+        errors = []
+        for k in range(1, 50):
+            s = k * speed * dt
+            pt = line.point_at(s)
+            pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+            true_delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
+            slipped = OdometryDelta(
+                true_delta.dx * 1.2, true_delta.dy * 1.2, true_delta.dtheta,
+                true_delta.velocity * 1.2, dt,
+            )
+            scan = lidar.scan(pose_now)
+            est = pf.update(slipped, scan.ranges, scan.angles)
+            errors.append(np.hypot(*(est.pose[:2] - pose_now[:2])))
+            pose_prev = pose_now
+        assert np.mean(errors[10:]) < 0.2
+        assert errors[-1] < 0.3  # no unbounded drift
+
+
+class TestFactories:
+    def test_synpf_defaults(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=10, range_method="ray_marching")
+        assert isinstance(pf.motion_model, TumMotionModel)
+        assert pf.layout.name == "BoxedScanLayout"
+
+    def test_vanilla_defaults(self, fine_track):
+        pf = make_vanilla_mcl(fine_track.grid, num_particles=10,
+                              range_method="ray_marching")
+        assert pf.motion_model.name == "DiffDriveMotionModel"
+        assert pf.layout.name == "UniformScanLayout"
+
+    def test_motion_params_forwarded(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=10,
+                        range_method="ray_marching",
+                        motion_params={"sigma_speed_frac": 0.5})
+        assert pf.motion_model.sigma_speed_frac == 0.5
+
+    def test_explicit_motion_model_wins(self, fine_track):
+        custom = TumMotionModel(wheelbase=0.5)
+        pf = SynPF(fine_track.grid,
+                   ParticleFilterConfig(num_particles=10,
+                                        range_method="ray_marching"),
+                   motion_model=custom)
+        assert pf.motion_model is custom
+
+    def test_seeded_runs_identical(self, fine_track):
+        def run():
+            pf = make_synpf(fine_track.grid, num_particles=200, seed=11,
+                            range_method="ray_marching")
+            pf.initialize(fine_track.centerline.start_pose())
+            lidar = quiet_lidar(fine_track.grid, seed=2)
+            scan = lidar.scan(fine_track.centerline.start_pose())
+            est = pf.update(OdometryDelta(0.05, 0, 0, 2.0, 0.025),
+                            scan.ranges, scan.angles)
+            return est.pose
+
+        assert np.allclose(run(), run())

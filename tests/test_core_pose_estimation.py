@@ -1,0 +1,82 @@
+"""Tests for pose estimation and spread diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pose_estimation import estimate_pose, particle_spread
+
+
+class TestEstimatePose:
+    def test_single_particle(self):
+        p = np.array([[1.0, 2.0, 0.5]])
+        assert np.allclose(estimate_pose(p), [1.0, 2.0, 0.5])
+
+    def test_uniform_mean(self):
+        p = np.array([[0.0, 0.0, 0.1], [2.0, 4.0, 0.3]])
+        est = estimate_pose(p)
+        assert np.allclose(est[:2], [1.0, 2.0])
+        assert est[2] == pytest.approx(0.2)
+
+    def test_weighted_mean(self):
+        p = np.array([[0.0, 0.0, 0.0], [10.0, 0.0, 0.0]])
+        w = np.array([0.9, 0.1])
+        assert estimate_pose(p, w)[0] == pytest.approx(1.0)
+
+    def test_heading_wraparound(self):
+        p = np.array([[0.0, 0.0, np.pi - 0.1], [0.0, 0.0, -np.pi + 0.1]])
+        est = estimate_pose(p)
+        assert abs(est[2]) == pytest.approx(np.pi, abs=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_pose(np.zeros((0, 3)))
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            estimate_pose(np.zeros((3, 3)), np.zeros(3))
+
+
+class TestParticleSpread:
+    def test_zero_spread(self):
+        p = np.tile([1.0, 2.0, 0.7], (50, 1))
+        s = particle_spread(p)
+        assert s.std_x == pytest.approx(0.0)
+        assert s.std_y == pytest.approx(0.0)
+        assert s.std_theta == pytest.approx(0.0, abs=1e-5)
+
+    def test_axis_aligned_spread(self, rng):
+        p = np.zeros((20000, 3))
+        p[:, 0] = rng.normal(0, 2.0, 20000)  # x spread only
+        s = particle_spread(p)
+        assert s.std_x == pytest.approx(2.0, rel=0.05)
+        assert s.std_y == pytest.approx(0.0, abs=1e-9)
+
+    def test_longitudinal_lateral_rotation(self, rng):
+        """A cloud stretched along the mean heading is longitudinal."""
+        n = 20000
+        p = np.zeros((n, 3))
+        p[:, 2] = np.pi / 2  # facing +y
+        p[:, 1] = rng.normal(0, 1.5, n)  # spread along +y = longitudinal
+        p[:, 0] = rng.normal(0, 0.2, n)
+        s = particle_spread(p)
+        assert s.longitudinal == pytest.approx(1.5, rel=0.05)
+        assert s.lateral == pytest.approx(0.2, rel=0.10)
+
+    def test_position_rms(self, rng):
+        p = np.zeros((10000, 3))
+        p[:, 0] = rng.normal(0, 3.0, 10000)
+        p[:, 1] = rng.normal(0, 4.0, 10000)
+        s = particle_spread(p)
+        assert s.position_rms == pytest.approx(5.0, rel=0.05)
+
+    def test_weighted_spread_ignores_zero_weight(self, rng):
+        p = np.zeros((100, 3))
+        p[0] = [100.0, 100.0, 3.0]  # outlier with zero weight
+        w = np.ones(100)
+        w[0] = 0.0
+        s = particle_spread(p, w)
+        assert s.std_x == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            particle_spread(np.zeros((0, 3)))

@@ -1,0 +1,144 @@
+"""Tests for resampling schemes and effective sample size."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resampling import (
+    RESAMPLING_SCHEMES,
+    effective_sample_size,
+    multinomial_resample,
+    resample_indices,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+
+ALL_SCHEMES = sorted(RESAMPLING_SCHEMES)
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights(self):
+        assert effective_sample_size(np.full(100, 0.01)) == pytest.approx(100.0)
+
+    def test_degenerate_weights(self):
+        w = np.zeros(50)
+        w[3] = 1.0
+        assert effective_sample_size(w) == pytest.approx(1.0)
+
+    def test_unnormalised_input_ok(self):
+        assert effective_sample_size(np.full(10, 42.0)) == pytest.approx(10.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([0.5, -0.5, 1.0]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.zeros(5))
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([]))
+        with pytest.raises(ValueError):
+            effective_sample_size(np.ones((2, 2)))
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=50))
+    def test_property_bounds(self, weights):
+        ess = effective_sample_size(np.array(weights))
+        assert 1.0 - 1e-9 <= ess <= len(weights) + 1e-9
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestSchemesCommon:
+    def test_output_shape_and_range(self, scheme, rng):
+        w = rng.uniform(0, 1, 64)
+        idx = resample_indices(w, rng, scheme)
+        assert idx.shape == (64,)
+        assert idx.min() >= 0 and idx.max() < 64
+
+    def test_zero_weight_never_selected(self, scheme, rng):
+        w = np.ones(32)
+        w[5] = 0.0
+        for _ in range(20):
+            idx = resample_indices(w, rng, scheme)
+            assert 5 not in idx
+
+    def test_dominant_weight_dominates(self, scheme, rng):
+        w = np.full(64, 1e-9)
+        w[17] = 1.0
+        idx = resample_indices(w, rng, scheme)
+        assert np.mean(idx == 17) > 0.95
+
+    def test_unbiased_counts(self, scheme, rng):
+        """Expected copy count of particle i is N * w_i for every scheme."""
+        n = 40
+        w = rng.uniform(0.1, 1.0, n)
+        w /= w.sum()
+        counts = np.zeros(n)
+        trials = 400
+        for _ in range(trials):
+            idx = resample_indices(w, rng, scheme)
+            counts += np.bincount(idx, minlength=n)
+        empirical = counts / (trials * n)
+        assert np.allclose(empirical, w, atol=0.02)
+
+
+class TestSystematicSpecifics:
+    def test_low_variance(self, rng):
+        """Systematic resampling's per-particle count never deviates from
+        N*w by more than 1."""
+        n = 50
+        w = rng.uniform(0.1, 1.0, n)
+        w /= w.sum()
+        idx = systematic_resample(w, rng)
+        counts = np.bincount(idx, minlength=n)
+        assert np.all(np.abs(counts - n * w) <= 1.0 + 1e-9)
+
+    def test_lower_variance_than_multinomial(self, rng):
+        n = 100
+        w = rng.uniform(0.5, 1.5, n)
+        w /= w.sum()
+
+        def count_var(fn):
+            variances = []
+            for _ in range(100):
+                counts = np.bincount(fn(w, rng), minlength=n)
+                variances.append(np.var(counts - n * w))
+            return np.mean(variances)
+
+        assert count_var(systematic_resample) < count_var(multinomial_resample)
+
+
+class TestResidualSpecifics:
+    def test_guaranteed_copies(self, rng):
+        w = np.array([0.5, 0.25, 0.25])
+        idx = residual_resample(w, rng)
+        counts = np.bincount(idx, minlength=3)
+        # Integer parts: 1.5 -> 1, 0.75 -> 0, 0.75 -> 0 guaranteed at least.
+        assert counts[0] >= 1
+        assert counts.sum() == 3
+
+    def test_exact_integer_weights(self, rng):
+        w = np.array([0.25, 0.25, 0.25, 0.25])
+        idx = residual_resample(w, rng)
+        assert np.array_equal(np.bincount(idx, minlength=4), np.ones(4))
+
+
+class TestStratified:
+    def test_stratum_guarantee(self, rng):
+        """With uniform weights every stratum selects its own particle."""
+        w = np.full(10, 0.1)
+        idx = stratified_resample(w, rng)
+        assert np.array_equal(np.sort(idx), np.arange(10))
+
+
+class TestDispatch:
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(ValueError, match="unknown resampling scheme"):
+            resample_indices(np.ones(4), rng, "bogus")
+
+    def test_rejects_bad_weights(self, rng):
+        for scheme in ALL_SCHEMES:
+            with pytest.raises(ValueError):
+                resample_indices(np.array([np.nan, 1.0]), rng, scheme)

@@ -1,0 +1,142 @@
+"""Tests for the discretised beam sensor model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BeamSensorModel(SensorModelConfig(max_range=10.0, resolution=0.05))
+
+
+class TestConfigValidation:
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            SensorModelConfig(z_hit=-0.1).validate()
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            SensorModelConfig(z_hit=0, z_short=0, z_max=0, z_rand=0).validate()
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            SensorModelConfig(sigma_hit=0.0).validate()
+
+    def test_bad_squash(self):
+        with pytest.raises(ValueError):
+            SensorModelConfig(squash_factor=0.5).validate()
+
+    def test_resolution_exceeding_range(self):
+        with pytest.raises(ValueError):
+            SensorModelConfig(max_range=1.0, resolution=2.0).validate()
+
+
+class TestBeamProbability:
+    def test_peak_at_expected(self, model):
+        p_exact = model.beam_probability(5.0, 5.0)
+        p_off = model.beam_probability(5.0, 5.5)
+        assert p_exact > p_off
+
+    def test_gaussian_falloff_symmetric(self, model):
+        above = model.beam_probability(5.0, 5.2)
+        below = model.beam_probability(5.0, 4.8)
+        # Short readings also get p_short mass, so below >= above.
+        assert below >= above
+        assert above > 0
+
+    def test_short_readings_more_likely_than_long(self, model):
+        """The z_short exponential boosts below-expected measurements."""
+        short = model.beam_probability(8.0, 1.0)
+        long = model.beam_probability(8.0, 9.9 - 0.1)
+        assert short > long
+
+    def test_max_range_spike(self, model):
+        at_max = model.beam_probability(5.0, 10.0)
+        near_max = model.beam_probability(5.0, 9.5)
+        assert at_max > near_max
+
+    def test_rows_approximately_normalised(self, model):
+        """Rows are near-distributions away from the range edges.
+
+        Rows whose expected range sits at the very edges lose truncated
+        Gaussian mass (the hit component is deliberately not re-normalised,
+        as constant factors cancel in the weight normalisation), so only
+        interior rows are held to the tight bound; every row must still
+        carry substantial mass.
+        """
+        table = np.exp(model._log_table.astype(np.float64))
+        sums = table.sum(axis=1)
+        assert np.all(sums > 0.4)
+        assert np.all(sums < 1.3)
+        interior = sums[model.num_bins // 4 : -model.num_bins // 4]
+        assert np.all(interior > 0.8)
+
+
+class TestLogLikelihood:
+    def test_prefers_correct_hypothesis(self, model, rng):
+        measured = np.array([2.0, 3.0, 4.0, 5.0])
+        good = measured[None, :]
+        bad = measured[None, :] + 1.0
+        ll = model.log_likelihood(np.vstack([good, bad]), measured)
+        assert ll[0] > ll[1]
+
+    def test_squash_compresses_ratios(self):
+        cfg_sharp = SensorModelConfig(squash_factor=1.0)
+        cfg_soft = SensorModelConfig(squash_factor=3.0)
+        sharp = BeamSensorModel(cfg_sharp)
+        soft = BeamSensorModel(cfg_soft)
+        measured = np.full(10, 5.0)
+        expected = np.vstack([np.full(10, 5.0), np.full(10, 6.0)])
+        gap_sharp = np.diff(sharp.log_likelihood(expected, measured))[0]
+        gap_soft = np.diff(soft.log_likelihood(expected, measured))[0]
+        assert abs(gap_soft) < abs(gap_sharp)
+
+    def test_beam_count_mismatch_raises(self, model):
+        with pytest.raises(ValueError):
+            model.log_likelihood(np.zeros((3, 5)), np.zeros(4))
+
+    def test_out_of_range_values_clamped(self, model):
+        ll = model.log_likelihood(
+            np.array([[20.0, -5.0]]), np.array([30.0, -1.0])
+        )
+        assert np.isfinite(ll).all()
+
+
+class TestWeights:
+    def test_normalised(self, model, rng):
+        expected = rng.uniform(0.5, 9.5, size=(50, 12))
+        measured = rng.uniform(0.5, 9.5, size=12)
+        w = model.weights(expected, measured)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    def test_correct_particle_dominates(self, model, rng):
+        measured = rng.uniform(1.0, 9.0, size=30)
+        expected = np.tile(measured, (20, 1))
+        expected[1:] += rng.normal(0, 1.0, size=(19, 30))
+        w = model.weights(expected, measured)
+        assert np.argmax(w) == 0
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=16))
+    def test_property_weights_valid_distribution(self, n_particles, n_beams):
+        model = BeamSensorModel(SensorModelConfig(max_range=8.0, resolution=0.1))
+        rng = np.random.default_rng(n_particles * 100 + n_beams)
+        expected = rng.uniform(0, 8, size=(n_particles, n_beams))
+        measured = rng.uniform(0, 8, size=n_beams)
+        w = model.weights(expected, measured)
+        assert w.shape == (n_particles,)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.isfinite(w))
+
+
+class TestTableStructure:
+    def test_num_bins(self):
+        m = BeamSensorModel(SensorModelConfig(max_range=5.0, resolution=0.5))
+        assert m.num_bins == 11
+
+    def test_log_table_finite(self, model):
+        assert np.isfinite(model._log_table).all()

@@ -1,0 +1,64 @@
+"""Tests for the latency measurement harness (small configurations)."""
+
+import pytest
+
+from repro.eval.latency import (
+    measure_filter_latency,
+    measure_range_method_latency,
+    measure_scan_match_latency,
+)
+from repro.maps import generate_track
+
+
+@pytest.fixture(scope="module")
+def tiny_track():
+    return generate_track(seed=2, mean_radius=4.0, resolution=0.1)
+
+
+class TestRangeMethodLatency:
+    def test_records_complete(self, tiny_track):
+        records = measure_range_method_latency(
+            tiny_track, methods=("ray_marching", "lut"),
+            num_particles=50, num_beams=10, repeats=2,
+        )
+        assert [r["method"] for r in records] == ["ray_marching", "lut"]
+        for r in records:
+            assert r["batch_ms"] > 0
+            assert r["per_query_ns"] > 0
+            assert r["build_s"] >= 0
+
+    def test_lut_reports_memory(self, tiny_track):
+        records = measure_range_method_latency(
+            tiny_track, methods=("lut",), num_particles=20, num_beams=5,
+            repeats=1,
+        )
+        assert records[0]["memory_mb"] > 0
+
+    def test_lut_faster_than_exact_per_query(self, tiny_track):
+        records = measure_range_method_latency(
+            tiny_track, methods=("bresenham", "lut"),
+            num_particles=200, num_beams=20, repeats=3,
+        )
+        by = {r["method"]: r for r in records}
+        # The paper-relevant ordering, robust even on noisy CI boxes.
+        assert by["lut"]["per_query_ns"] < by["bresenham"]["per_query_ns"]
+
+
+class TestFilterLatency:
+    def test_stage_breakdown(self, tiny_track):
+        records = measure_filter_latency(
+            tiny_track, particle_counts=(50, 100), num_beams=12, repeats=2,
+            range_method="ray_marching",
+        )
+        assert [r["num_particles"] for r in records] == [50, 100]
+        for r in records:
+            assert r["update_ms"] > 0
+            stage_sum = r["motion_ms"] + r["raycast_ms"] + r["sensor_ms"]
+            assert stage_sum <= r["update_ms"] * 1.5
+
+
+class TestScanMatchLatency:
+    def test_reports_positive(self, tiny_track):
+        out = measure_scan_match_latency(tiny_track, repeats=2)
+        assert out["scan_match_ms"] > 0
+        assert out["num_scans"] >= 3

@@ -1,0 +1,103 @@
+"""Tests for the Table I proxy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    compute_load_percent,
+    pose_error,
+    scan_alignment_score,
+    summarize,
+)
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+class TestScanAlignment:
+    @pytest.fixture()
+    def setup(self, small_track):
+        cfg = LidarConfig(range_noise_std=0.0, dropout_prob=0.0, mount_offset_x=0.0)
+        lidar = SimulatedLidar(small_track.grid, cfg, seed=0)
+        pose = small_track.centerline.start_pose()
+        scan = lidar.scan(pose)
+        return small_track.grid, pose, scan, cfg
+
+    def test_true_pose_high_score(self, setup):
+        grid, pose, scan, cfg = setup
+        score = scan_alignment_score(grid, pose, scan, tolerance=0.08,
+                                     max_range=cfg.max_range)
+        assert score > 0.9
+
+    def test_displaced_pose_lower_score(self, setup):
+        grid, pose, scan, cfg = setup
+        good = scan_alignment_score(grid, pose, scan, max_range=cfg.max_range)
+        shifted = pose + np.array([0.3, 0.2, 0.0])
+        bad = scan_alignment_score(grid, shifted, scan, max_range=cfg.max_range)
+        assert bad < good - 0.2
+
+    def test_rotated_pose_lower_score(self, setup):
+        grid, pose, scan, cfg = setup
+        good = scan_alignment_score(grid, pose, scan, max_range=cfg.max_range)
+        rotated = pose + np.array([0.0, 0.0, 0.15])
+        bad = scan_alignment_score(grid, rotated, scan, max_range=cfg.max_range)
+        assert bad < good
+
+    def test_monotone_in_tolerance(self, setup):
+        grid, pose, scan, cfg = setup
+        tight = scan_alignment_score(grid, pose, scan, tolerance=0.02,
+                                     max_range=cfg.max_range)
+        loose = scan_alignment_score(grid, pose, scan, tolerance=0.3,
+                                     max_range=cfg.max_range)
+        assert loose >= tight
+
+    def test_empty_scan_zero(self, small_track):
+        from repro.sim.lidar import LidarScan
+
+        scan = LidarScan(
+            ranges=np.full(10, 12.0),
+            angles=np.linspace(-1, 1, 10),
+            timestamp=0.0,
+            sensor_pose=np.zeros(3),
+        )
+        score = scan_alignment_score(
+            small_track.grid, np.zeros(3), scan, max_range=12.0
+        )
+        assert score == 0.0
+
+
+class TestPoseError:
+    def test_translation(self):
+        e = pose_error(np.array([3.0, 4.0, 0.0]), np.zeros(3))
+        assert e["translation"] == pytest.approx(5.0)
+
+    def test_heading_wraps(self):
+        e = pose_error(np.array([0, 0, np.pi - 0.05]), np.array([0, 0, -np.pi + 0.05]))
+        assert e["heading"] == pytest.approx(0.1)
+
+
+class TestComputeLoad:
+    def test_formula(self):
+        # 5 ms at 40 Hz = 20% of one core.
+        assert compute_load_percent(0.005, 40.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_load_percent(0.01, 0.0)
+        with pytest.raises(ValueError):
+            compute_load_percent(-0.01, 40.0)
+
+
+class TestSummarize:
+    def test_statistics(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.count == 3
+
+    def test_single_sample_zero_std(self):
+        assert summarize([4.2]).std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

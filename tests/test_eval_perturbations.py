@@ -1,0 +1,86 @@
+"""Tests for the odometry perturbation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.eval.perturbations import OdometryPerturbation
+
+
+def nominal_delta(dx=0.1, dtheta=0.01, dt=0.025):
+    return OdometryDelta(dx, 0.0, dtheta, velocity=dx / dt, dt=dt)
+
+
+class TestIdentity:
+    def test_defaults_are_identity(self):
+        p = OdometryPerturbation()
+        assert p.is_identity
+        d = nominal_delta()
+        assert p.apply(d) is d
+
+    def test_any_effect_breaks_identity(self):
+        assert not OdometryPerturbation(noise_gain=0.1).is_identity
+        assert not OdometryPerturbation(speed_scale=1.1).is_identity
+        assert not OdometryPerturbation(yaw_bias=0.01).is_identity
+        assert not OdometryPerturbation(slip_burst_prob=0.1).is_identity
+        assert not OdometryPerturbation(dropout_prob=0.1).is_identity
+
+
+class TestEffects:
+    def test_speed_scale(self):
+        p = OdometryPerturbation(speed_scale=1.2, seed=0)
+        out = p.apply(nominal_delta(dx=0.1))
+        assert out.dx == pytest.approx(0.12)
+        assert out.velocity == pytest.approx(0.1 / 0.025 * 1.2)
+
+    def test_yaw_bias_accumulates_per_time(self):
+        p = OdometryPerturbation(yaw_bias=0.4, seed=0)
+        out = p.apply(nominal_delta(dtheta=0.0, dt=0.05))
+        assert out.dtheta == pytest.approx(0.4 * 0.05)
+
+    def test_noise_zero_mean(self):
+        p = OdometryPerturbation(noise_gain=0.2, seed=1)
+        outs = np.array([p.apply(nominal_delta()).dx for _ in range(4000)])
+        assert outs.mean() == pytest.approx(0.1, abs=0.002)
+        assert outs.std() > 0.005
+
+    def test_dropout_zeroes_motion(self):
+        p = OdometryPerturbation(dropout_prob=1.0, seed=0)
+        out = p.apply(nominal_delta())
+        assert out.dx == 0.0 and out.dtheta == 0.0
+        assert out.dt == pytest.approx(0.025)  # time still passes
+
+    def test_slip_burst_duration(self):
+        p = OdometryPerturbation(slip_burst_prob=1.0, slip_burst_scale=2.0,
+                                 slip_burst_duration=0.1, seed=0)
+        # First application enters a burst; scale applies for ~0.1 s.
+        out1 = p.apply(nominal_delta(dt=0.025))
+        assert out1.dx == pytest.approx(0.2)
+
+    def test_burst_eventually_ends(self):
+        p = OdometryPerturbation(slip_burst_prob=1.0, slip_burst_scale=2.0,
+                                 slip_burst_duration=0.05, seed=0)
+        out1 = p.apply(nominal_delta(dt=0.025))  # enters the burst
+        p.slip_burst_prob = 0.0  # no new bursts after this one
+        out2 = p.apply(nominal_delta(dt=0.025))
+        out3 = p.apply(nominal_delta(dt=0.025))
+        assert out1.dx == pytest.approx(0.2)
+        assert out2.dx == pytest.approx(0.2)
+        assert out3.dx == pytest.approx(0.1)  # burst over
+
+
+class TestDeterminism:
+    def test_reset_replays_sequence(self):
+        p = OdometryPerturbation(noise_gain=0.3, seed=42)
+        seq1 = [p.apply(nominal_delta()).dx for _ in range(20)]
+        p.reset()
+        seq2 = [p.apply(nominal_delta()).dx for _ in range(20)]
+        assert seq1 == seq2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OdometryPerturbation(noise_gain=-1.0)
+        with pytest.raises(ValueError):
+            OdometryPerturbation(speed_scale=0.0)
+        with pytest.raises(ValueError):
+            OdometryPerturbation(dropout_prob=1.5)

@@ -1,0 +1,128 @@
+"""Tests for session recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf
+from repro.eval.trace import RunTrace, TraceRecorder, replay
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+def record_session(track, n_scans=15, seed=0):
+    """Drive along the raceline and record a short session."""
+    cfg = LidarConfig(range_noise_std=0.01, dropout_prob=0.0)
+    lidar = SimulatedLidar(track.grid, cfg, seed=seed)
+    recorder = TraceRecorder(lidar.angles, metadata={"seed": str(seed)})
+    line = track.centerline
+    pose_prev = line.start_pose()
+    dt = 0.05
+    for k in range(1, n_scans + 1):
+        s = k * 1.5 * dt
+        pt = line.point_at(s)
+        pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+        delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
+        scan = lidar.scan(pose_now, timestamp=k * dt)
+        recorder.append(k * dt, pose_now, delta, scan.ranges)
+        pose_prev = pose_now
+    return recorder
+
+
+class TestRecorder:
+    def test_builds_consistent_trace(self, small_track):
+        recorder = record_session(small_track)
+        trace = recorder.build()
+        assert len(trace) == 15
+        assert trace.scans.dtype == np.float32
+        assert trace.metadata["seed"] == "0"
+
+    def test_empty_build_raises(self, small_track):
+        recorder = TraceRecorder(np.linspace(-1, 1, 10))
+        with pytest.raises(ValueError):
+            recorder.build()
+
+    def test_scan_shape_checked(self):
+        recorder = TraceRecorder(np.linspace(-1, 1, 10))
+        with pytest.raises(ValueError):
+            recorder.append(0.0, np.zeros(3),
+                            OdometryDelta(0, 0, 0, 0, 0.025), np.zeros(7))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, small_track, tmp_path):
+        trace = record_session(small_track).build()
+        path = str(tmp_path / "session.npz")
+        trace.save(path)
+        loaded = RunTrace.load(path)
+        assert len(loaded) == len(trace)
+        assert np.allclose(loaded.gt_poses, trace.gt_poses)
+        assert np.allclose(loaded.scans, trace.scans)
+        assert np.allclose(loaded.odometry, trace.odometry)
+        assert loaded.metadata == trace.metadata
+
+    def test_version_check(self, small_track, tmp_path):
+        trace = record_session(small_track).build()
+        path = str(tmp_path / "session.npz")
+        trace.save(path)
+        # Corrupt the version field.
+        data = dict(np.load(path, allow_pickle=True))
+        data["format_version"] = np.array([999])
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            RunTrace.load(path)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            RunTrace(
+                times=np.zeros(3),
+                gt_poses=np.zeros((4, 3)),
+                odometry=np.zeros((3, 5)),
+                scans=np.zeros((3, 10)),
+                beam_angles=np.zeros(10),
+            )
+
+
+class TestReplay:
+    def test_replay_localizes(self, small_track):
+        trace = record_session(small_track, n_scans=20).build()
+        pf = make_synpf(small_track.grid, num_particles=500, num_beams=30,
+                        seed=1, range_method="ray_marching")
+        out = replay(trace, pf)
+        assert out["errors"].shape == (20,)
+        assert out["mean_error"] < 0.3
+        assert out["rmse"] >= out["mean_error"] * 0.99  # rmse >= mean
+
+    def test_replay_is_deterministic_per_localizer_seed(self, small_track):
+        trace = record_session(small_track, n_scans=10).build()
+
+        def run():
+            pf = make_synpf(small_track.grid, num_particles=300,
+                            num_beams=20, seed=5,
+                            range_method="ray_marching")
+            return replay(trace, pf)["errors"]
+
+        assert np.allclose(run(), run())
+
+    def test_two_configs_compared_on_identical_input(self, small_track):
+        """The point of replay: candidates see byte-identical data."""
+        trace = record_session(small_track, n_scans=12).build()
+        results = {}
+        for layout in ("boxed", "uniform"):
+            pf = make_synpf(small_track.grid, num_particles=400,
+                            num_beams=24, seed=2, layout=layout,
+                            range_method="ray_marching")
+            results[layout] = replay(trace, pf)["mean_error"]
+        assert set(results) == {"boxed", "uniform"}
+        for v in results.values():
+            assert np.isfinite(v)
+
+    def test_empty_trace_rejected(self, small_track):
+        with pytest.raises(ValueError):
+            replay(
+                RunTrace(
+                    times=np.zeros(0), gt_poses=np.zeros((0, 3)),
+                    odometry=np.zeros((0, 5)), scans=np.zeros((0, 4)),
+                    beam_angles=np.zeros(4),
+                ),
+                localizer=None,
+            )

@@ -1,0 +1,124 @@
+"""Tests for ATE / RPE trajectory metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.trajectory import (
+    TrajectoryErrors,
+    absolute_trajectory_error,
+    align_trajectories,
+    relative_pose_error,
+)
+
+
+def circle_trajectory(n=50, radius=5.0):
+    phi = np.linspace(0, np.pi, n)
+    return np.stack(
+        [radius * np.cos(phi), radius * np.sin(phi), phi + np.pi / 2], axis=-1
+    )
+
+
+class TestAlign:
+    def test_recovers_rigid_offset(self):
+        ref = circle_trajectory()
+        theta = 0.4
+        rot = np.array([[np.cos(theta), -np.sin(theta)],
+                        [np.sin(theta), np.cos(theta)]])
+        est = ref.copy()
+        est[:, :2] = ref[:, :2] @ rot.T + np.array([2.0, -1.0])
+        est[:, 2] = ref[:, 2] + theta
+
+        aligned, _, _ = align_trajectories(est, ref)
+        assert np.allclose(aligned[:, :2], ref[:, :2], atol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            align_trajectories(np.zeros((5, 3)), np.zeros((6, 3)))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            align_trajectories(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_no_reflection(self):
+        """Alignment must be a proper rotation, never a mirror."""
+        ref = circle_trajectory()
+        est = ref + np.random.default_rng(0).normal(0, 0.01, ref.shape)
+        _, rot, _ = align_trajectories(est, ref)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+
+class TestAte:
+    def test_zero_for_identical(self):
+        ref = circle_trajectory()
+        ate = absolute_trajectory_error(ref, ref)
+        assert ate.rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_alignment_removes_frame_offset(self):
+        ref = circle_trajectory()
+        est = ref.copy()
+        est[:, 0] += 3.0  # constant frame offset
+        with_align = absolute_trajectory_error(est, ref, align=True)
+        without = absolute_trajectory_error(est, ref, align=False)
+        assert with_align.rmse < 0.01
+        assert without.rmse == pytest.approx(3.0, rel=0.01)
+
+    def test_noise_level_recovered(self):
+        rng = np.random.default_rng(1)
+        ref = circle_trajectory(n=4000)
+        est = ref.copy()
+        est[:, :2] += rng.normal(0, 0.05, (4000, 2))
+        ate = absolute_trajectory_error(est, ref)
+        # RMSE of 2D gaussian displacement = sigma * sqrt(2).
+        assert ate.rmse == pytest.approx(0.05 * np.sqrt(2), rel=0.1)
+
+
+class TestRpe:
+    def test_zero_for_identical(self):
+        ref = circle_trajectory()
+        rpe = relative_pose_error(ref, ref)
+        assert rpe["translation"].rmse == pytest.approx(0.0, abs=1e-9)
+        assert rpe["rotation"].rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_insensitive_to_global_drift(self):
+        """A slowly rotated trajectory has large ATE (unaligned) but its
+        short-horizon RPE stays small."""
+        ref = circle_trajectory(n=100)
+        est = ref.copy()
+        drift = np.linspace(0, 0.3, 100)  # growing rotation of the frame
+        for i, d in enumerate(drift):
+            c, s = np.cos(d), np.sin(d)
+            est[i, 0] = c * ref[i, 0] - s * ref[i, 1]
+            est[i, 1] = s * ref[i, 0] + c * ref[i, 1]
+            est[i, 2] = ref[i, 2] + d
+        unaligned = absolute_trajectory_error(est, ref, align=False)
+        rpe = relative_pose_error(est, ref, delta=1)
+        assert unaligned.max > 10 * rpe["translation"].max
+
+    def test_delta_validation(self):
+        ref = circle_trajectory(n=10)
+        with pytest.raises(ValueError):
+            relative_pose_error(ref, ref, delta=0)
+        with pytest.raises(ValueError):
+            relative_pose_error(ref, ref, delta=10)
+
+    def test_horizon_scaling(self):
+        """Longer horizons accumulate more error for a noisy estimate."""
+        rng = np.random.default_rng(0)
+        ref = circle_trajectory(n=300)
+        est = ref.copy()
+        est[:, :2] += rng.normal(0, 0.02, (300, 2)).cumsum(axis=0) * 0.1
+        short = relative_pose_error(est, ref, delta=1)
+        long = relative_pose_error(est, ref, delta=20)
+        assert long["translation"].rmse > short["translation"].rmse
+
+
+class TestErrorsContainer:
+    def test_from_samples(self):
+        e = TrajectoryErrors.from_samples(np.array([3.0, 4.0]))
+        assert e.rmse == pytest.approx(np.sqrt(12.5))
+        assert e.mean == 3.5
+        assert e.max == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryErrors.from_samples(np.array([]))

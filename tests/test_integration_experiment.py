@@ -1,0 +1,139 @@
+"""End-to-end tests for the lap-experiment harness.
+
+These run real (short) experiments through the full stack — simulator,
+localizer, controller, metrics — so they are the slowest tests in the
+suite; they use a coarse track and single laps to stay tractable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import (
+    ExperimentCondition,
+    LapExperiment,
+    format_table1,
+)
+from repro.eval.perturbations import OdometryPerturbation
+from repro.maps import generate_track
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    track = generate_track(seed=13, mean_radius=5.5, resolution=0.05)
+    return LapExperiment(track, max_sim_time=120.0)
+
+
+def fast_condition(**overrides):
+    defaults = dict(
+        method="synpf",
+        odom_quality="HQ",
+        num_laps=1,
+        speed_scale=0.8,
+        seed=3,
+        localizer_overrides={"num_particles": 800,
+                             "range_method": "ray_marching"},
+    )
+    defaults.update(overrides)
+    return ExperimentCondition(**defaults)
+
+
+class TestLapExperiment:
+    def test_synpf_completes_laps(self, experiment):
+        result = experiment.run(fast_condition())
+        assert len(result.laps) == 1
+        lap = result.laps[0]
+        assert lap.valid
+        assert lap.lap_time > 3.0
+        assert lap.lateral_error_mean_cm < 30.0
+        assert lap.scan_alignment_percent > 50.0
+        assert result.mean_update_ms > 0
+        assert result.compute_load_percent > 0
+
+    def test_cartographer_completes_laps(self, experiment):
+        result = experiment.run(
+            fast_condition(method="cartographer", localizer_overrides={})
+        )
+        assert len(result.laps) == 1
+        assert result.laps[0].valid
+        assert result.laps[0].localization_error_mean_cm < 30.0
+
+    def test_vanilla_mcl_runs(self, experiment):
+        result = experiment.run(
+            fast_condition(method="vanilla_mcl")
+        )
+        assert len(result.laps) == 1
+
+    def test_perturbation_degrades_localization(self, experiment):
+        clean = experiment.run(fast_condition(seed=4))
+        perturbed = experiment.run(
+            fast_condition(
+                seed=4,
+                perturbation=OdometryPerturbation(speed_scale=1.35, seed=0),
+            )
+        )
+        # Heavy odometry miscalibration must not crash the filter but will
+        # show up in localization error.
+        assert perturbed.laps[0].localization_error_mean_cm >= \
+            clean.laps[0].localization_error_mean_cm * 0.8
+
+    def test_unknown_method_raises(self, experiment):
+        with pytest.raises(ValueError, match="unknown method"):
+            experiment.run(fast_condition(method="gps"))
+
+    def test_unknown_quality_raises(self, experiment):
+        with pytest.raises(ValueError, match="no tire preset"):
+            experiment.run(fast_condition(odom_quality="MQ"))
+
+    def test_cartographer_rejects_filter_overrides(self, experiment):
+        condition = fast_condition(
+            method="cartographer",
+            localizer_overrides={"num_particles": 10},
+        )
+        with pytest.raises(ValueError, match="config"):
+            experiment.run(condition)
+
+    def test_format_table(self, experiment):
+        result = experiment.run(fast_condition())
+        text = format_table1([result])
+        assert "synpf" in text
+        assert "HQ" in text
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + rule + one row
+
+    def test_determinism(self, experiment):
+        a = experiment.run(fast_condition(seed=9))
+        b = experiment.run(fast_condition(seed=9))
+        assert a.laps[0].lap_time == b.laps[0].lap_time
+        assert a.laps[0].localization_error_mean_cm == pytest.approx(
+            b.laps[0].localization_error_mean_cm
+        )
+
+
+class TestConditionResult:
+    def test_no_valid_laps_raises(self, experiment):
+        from repro.eval.experiment import ConditionResult, LapRecord
+
+        bad = ConditionResult(
+            fast_condition(),
+            [LapRecord(10.0, 1.0, 2.0, 90.0, 1.0, 2.0, valid=False)],
+            mean_update_ms=1.0,
+            compute_load_percent=4.0,
+            crashes=1,
+        )
+        with pytest.raises(RuntimeError, match="no valid laps"):
+            _ = bad.lap_time
+
+    def test_summaries_skip_invalid_laps(self):
+        from repro.eval.experiment import ConditionResult, LapRecord
+
+        result = ConditionResult(
+            fast_condition(),
+            [
+                LapRecord(10.0, 1.0, 2.0, 90.0, 1.0, 2.0, valid=True),
+                LapRecord(99.0, 50.0, 80.0, 10.0, 50.0, 90.0, valid=False),
+            ],
+            mean_update_ms=1.0,
+            compute_load_percent=4.0,
+        )
+        assert result.lap_time.mean == pytest.approx(10.0)
+        assert result.lateral_error_cm.mean == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Tests for raceline geometry: resampling, curvature, projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maps.centerline import Raceline, arclength_resample, curvature_of_polyline
+
+
+def circle_points(radius=5.0, n=100, center=(0.0, 0.0)):
+    phi = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return np.stack(
+        [center[0] + radius * np.cos(phi), center[1] + radius * np.sin(phi)], axis=-1
+    )
+
+
+class TestArclengthResample:
+    def test_output_spacing_uniform(self):
+        pts = arclength_resample(circle_points(), spacing=0.1)
+        seg = np.diff(np.vstack([pts, pts[:1]]), axis=0)
+        lengths = np.hypot(seg[:, 0], seg[:, 1])
+        assert lengths.std() / lengths.mean() < 0.01
+
+    def test_total_length_preserved(self):
+        pts = arclength_resample(circle_points(radius=3.0, n=400), spacing=0.05)
+        seg = np.diff(np.vstack([pts, pts[:1]]), axis=0)
+        total = np.hypot(seg[:, 0], seg[:, 1]).sum()
+        assert total == pytest.approx(2 * np.pi * 3.0, rel=0.01)
+
+    def test_open_polyline_keeps_endpoints(self):
+        line = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        out = arclength_resample(line, spacing=0.5, closed=False)
+        assert np.allclose(out[0], [0, 0])
+        assert np.allclose(out[-1], [3, 0])
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            arclength_resample(np.zeros((2, 2)), 0.1)
+        with pytest.raises(ValueError):
+            arclength_resample(circle_points(), -1.0)
+        with pytest.raises(ValueError):
+            arclength_resample(np.zeros((5, 3)), 0.1)
+
+
+class TestCurvature:
+    def test_circle_curvature(self):
+        # Use exact on-circle samples: resampling first would put vertices
+        # on chords of the input polygon and bias the estimate low.
+        radius = 4.0
+        pts = circle_points(radius=radius, n=600)
+        kappa = curvature_of_polyline(pts)
+        # CCW circle: positive curvature 1/R everywhere.
+        assert np.median(kappa) == pytest.approx(1.0 / radius, rel=0.02)
+        assert np.all(kappa > 0)
+
+    def test_clockwise_circle_is_negative(self):
+        pts = circle_points(radius=4.0, n=600)[::-1]
+        kappa = curvature_of_polyline(pts)
+        assert np.median(kappa) == pytest.approx(-0.25, rel=0.05)
+
+    def test_straight_line_zero(self):
+        line = np.stack([np.linspace(0, 10, 50), np.zeros(50)], axis=-1)
+        kappa = curvature_of_polyline(line, closed=False)
+        assert np.allclose(kappa, 0.0, atol=1e-9)
+
+
+class TestRaceline:
+    @pytest.fixture()
+    def circle_line(self):
+        return Raceline.from_waypoints(circle_points(radius=5.0, n=200), spacing=0.05)
+
+    def test_total_length(self, circle_line):
+        assert circle_line.total_length == pytest.approx(2 * np.pi * 5.0, rel=0.01)
+
+    def test_project_on_line_gives_zero_offset(self, circle_line):
+        pt = circle_line.points[17]
+        s, d = circle_line.project(pt)
+        assert abs(d[0]) < 1e-6
+        assert s[0] == pytest.approx(circle_line.s[17], abs=0.05)
+
+    def test_project_sign_convention(self, circle_line):
+        """Inside a CCW circle is to the LEFT of travel: positive offset."""
+        inner = np.array([4.0, 0.0])  # 1 m inside
+        outer = np.array([6.0, 0.0])  # 1 m outside
+        _, d_in = circle_line.project(inner)
+        _, d_out = circle_line.project(outer)
+        assert d_in[0] == pytest.approx(1.0, abs=0.02)
+        assert d_out[0] == pytest.approx(-1.0, abs=0.02)
+
+    def test_lateral_error_absolute(self, circle_line):
+        err = circle_line.lateral_error(np.array([[4.5, 0.0], [5.5, 0.0]]))
+        assert np.allclose(err, 0.5, atol=0.02)
+
+    def test_point_at_wraps(self, circle_line):
+        p0 = circle_line.point_at(0.0)
+        p_wrap = circle_line.point_at(circle_line.total_length)
+        assert np.allclose(p0, p_wrap, atol=1e-6)
+
+    def test_heading_tangent_to_circle(self, circle_line):
+        # At angle phi on a CCW circle the tangent is phi + pi/2.
+        s_quarter = circle_line.total_length / 4.0
+        heading = circle_line.heading_at(s_quarter)
+        assert heading == pytest.approx(np.pi, abs=0.05)
+
+    def test_lookahead_point_ahead(self, circle_line):
+        pose_xy = circle_line.points[0]
+        target = circle_line.lookahead_point(pose_xy, 1.0)
+        s_target, _ = circle_line.project(target)
+        assert circle_line.progress_difference(float(s_target[0]), 0.0) == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_progress_difference_wraps(self, circle_line):
+        total = circle_line.total_length
+        assert circle_line.progress_difference(0.1, total - 0.1) == pytest.approx(0.2)
+        assert circle_line.progress_difference(total - 0.1, 0.1) == pytest.approx(-0.2)
+
+    def test_start_pose_on_line(self, circle_line):
+        pose = circle_line.start_pose()
+        assert np.allclose(pose[:2], circle_line.points[0])
+
+    def test_offset_polyline_radius(self, circle_line):
+        left = circle_line.offset_polyline(0.5)  # toward circle centre (CCW)
+        radii = np.hypot(left[:, 0], left[:, 1])
+        assert np.allclose(radii, 4.5, atol=0.05)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.floats(min_value=-0.8, max_value=0.8),
+    )
+    def test_projection_recovers_offset(self, phi, offset):
+        line = Raceline.from_waypoints(circle_points(radius=5.0, n=300), spacing=0.05)
+        radius = 5.0 - offset  # positive offset = left = inward for CCW
+        point = np.array([radius * np.cos(phi), radius * np.sin(phi)])
+        _, d = line.project(point)
+        assert d[0] == pytest.approx(offset, abs=0.03)

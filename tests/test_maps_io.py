@@ -1,0 +1,115 @@
+"""Round-trip and format tests for map_server-style map I/O."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.maps.map_io import load_map_yaml, read_pgm, save_map_yaml, write_pgm
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+
+
+def sample_grid():
+    data = np.full((12, 16), UNKNOWN, dtype=np.int8)
+    data[2:10, 2:14] = FREE
+    data[2, 2:14] = OCCUPIED
+    data[9, 2:14] = OCCUPIED
+    return OccupancyGrid(data, 0.05, origin=(-1.5, 0.25))
+
+
+class TestPgm:
+    def test_roundtrip_binary(self, tmp_path):
+        img = np.arange(200, dtype=np.uint8).reshape(10, 20)
+        path = str(tmp_path / "x.pgm")
+        write_pgm(path, img)
+        back = read_pgm(path)
+        assert np.array_equal(back, img)
+
+    def test_read_ascii_p2(self, tmp_path):
+        path = str(tmp_path / "a.pgm")
+        with open(path, "w") as f:
+            f.write("P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n")
+        img = read_pgm(path)
+        assert img.shape == (2, 3)
+        assert img[0, 1] == 128
+        assert img[1, 2] == 30
+
+    def test_read_with_header_comments(self, tmp_path):
+        img = np.full((4, 4), 7, dtype=np.uint8)
+        path = str(tmp_path / "c.pgm")
+        with open(path, "wb") as f:
+            f.write(b"P5\n# created by test\n4 4\n# more\n255\n" + img.tobytes())
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_rejects_unknown_magic(self, tmp_path):
+        path = str(tmp_path / "bad.pgm")
+        with open(path, "wb") as f:
+            f.write(b"P7\n2 2\n255\n\x00\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_write_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(str(tmp_path / "y.pgm"), np.zeros((2, 2, 3), dtype=np.uint8))
+
+
+class TestYamlRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        grid = sample_grid()
+        yaml_path = str(tmp_path / "track.yaml")
+        save_map_yaml(grid, yaml_path)
+        loaded = load_map_yaml(yaml_path)
+
+        assert loaded.resolution == pytest.approx(grid.resolution)
+        assert loaded.origin == pytest.approx(grid.origin)
+        assert np.array_equal(loaded.data, grid.data)
+
+    def test_pgm_written_beside_yaml(self, tmp_path):
+        grid = sample_grid()
+        yaml_path, pgm_path = save_map_yaml(grid, str(tmp_path / "m.yaml"))
+        assert os.path.exists(pgm_path)
+        assert os.path.dirname(pgm_path) == os.path.dirname(yaml_path)
+
+    def test_missing_key_raises(self, tmp_path):
+        path = str(tmp_path / "bad.yaml")
+        with open(path, "w") as f:
+            f.write("image: foo.pgm\n")  # no resolution / origin
+        with pytest.raises(ValueError):
+            load_map_yaml(path)
+
+    def test_negate_flag(self, tmp_path):
+        # negate: 1 inverts the pixel interpretation: black = free.
+        img = np.zeros((4, 4), dtype=np.uint8)  # all black
+        pgm = str(tmp_path / "n.pgm")
+        write_pgm(pgm, img)
+        yaml_path = str(tmp_path / "n.yaml")
+        with open(yaml_path, "w") as f:
+            f.write(
+                "image: n.pgm\nresolution: 0.1\norigin: [0.0, 0.0, 0.0]\n"
+                "negate: 1\noccupied_thresh: 0.65\nfree_thresh: 0.196\n"
+            )
+        grid = load_map_yaml(yaml_path)
+        assert np.all(grid.data == FREE)
+
+    def test_vertical_flip_convention(self, tmp_path):
+        """The PGM's top row must become the grid's highest row."""
+        data = np.full((3, 3), FREE, dtype=np.int8)
+        data[0, 0] = OCCUPIED  # grid bottom-left
+        grid = OccupancyGrid(data, 0.1)
+        yaml_path = str(tmp_path / "f.yaml")
+        _, pgm_path = save_map_yaml(grid, yaml_path)
+        img = read_pgm(pgm_path)
+        assert img[2, 0] == 0      # bottom row of the image is dark
+        assert img[0, 0] == 255    # top row is free
+        loaded = load_map_yaml(yaml_path)
+        assert loaded.data[0, 0] == OCCUPIED
+
+    def test_thresholds_create_unknown_band(self, tmp_path):
+        img = np.full((2, 2), 205, dtype=np.uint8)  # mid-grey
+        pgm = str(tmp_path / "u.pgm")
+        write_pgm(pgm, img)
+        yaml_path = str(tmp_path / "u.yaml")
+        with open(yaml_path, "w") as f:
+            f.write("image: u.pgm\nresolution: 0.1\norigin: [0, 0, 0]\n")
+        grid = load_map_yaml(yaml_path)
+        assert np.all(grid.data == UNKNOWN)

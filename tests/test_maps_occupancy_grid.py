@@ -1,0 +1,155 @@
+"""Unit tests for the occupancy grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+
+
+def make_grid():
+    data = np.full((20, 30), FREE, dtype=np.int8)
+    data[10, 15] = OCCUPIED
+    data[0, :] = OCCUPIED
+    data[5, 5] = UNKNOWN
+    return OccupancyGrid(data, resolution=0.5, origin=(-1.0, 2.0))
+
+
+class TestConstruction:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(np.zeros(5, dtype=np.int8), 0.1)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(np.zeros((2, 2), dtype=np.int8), 0.0)
+
+    def test_shape_properties(self):
+        g = make_grid()
+        assert g.width == 30
+        assert g.height == 20
+        assert g.size_m == (15.0, 10.0)
+        assert g.max_range_m == pytest.approx(np.hypot(15.0, 10.0))
+
+    def test_empty_factory(self):
+        g = OccupancyGrid.empty(3.0, 2.0, 0.5)
+        assert g.width == 6 and g.height == 4
+        assert np.all(g.data == FREE)
+
+
+class TestCoordinateTransforms:
+    def test_origin_cell(self):
+        g = make_grid()
+        ij = g.world_to_grid(np.array([-1.0 + 0.01, 2.0 + 0.01]))
+        assert tuple(ij) == (0, 0)
+
+    def test_world_to_grid_floor_semantics(self):
+        g = make_grid()
+        # A point just inside cell (2, 3): x = -1 + 2*0.5 + eps.
+        ij = g.world_to_grid(np.array([0.0 + 0.001, 3.5 + 0.001]))
+        assert tuple(ij) == (2, 3)
+
+    def test_grid_to_world_gives_cell_center(self):
+        g = make_grid()
+        xy = g.grid_to_world(np.array([0, 0]))
+        assert np.allclose(xy, [-0.75, 2.25])
+
+    def test_roundtrip(self):
+        g = make_grid()
+        for ij in [(0, 0), (29, 19), (7, 13)]:
+            center = g.grid_to_world(np.array(ij, dtype=float))
+            back = g.world_to_grid(center)
+            assert tuple(back) == ij
+
+    @given(
+        st.floats(min_value=-0.99, max_value=13.99),
+        st.floats(min_value=2.01, max_value=11.99),
+    )
+    def test_in_bounds_consistent_with_indices(self, x, y):
+        g = make_grid()
+        assert g.in_bounds(np.array([x, y]))
+
+
+class TestOccupancyQueries:
+    def test_occupied_cell(self):
+        g = make_grid()
+        xy = g.grid_to_world(np.array([15, 10]))
+        assert g.is_occupied_world(xy)[0]
+
+    def test_free_cell(self):
+        g = make_grid()
+        xy = g.grid_to_world(np.array([3, 3]))
+        assert not g.is_occupied_world(xy)[0]
+
+    def test_unknown_counts_as_occupied_by_default(self):
+        g = make_grid()
+        xy = g.grid_to_world(np.array([5, 5]))
+        assert g.is_occupied_world(xy)[0]
+        assert not g.is_occupied_world(xy, unknown_is_occupied=False)[0]
+
+    def test_out_of_bounds_is_occupied(self):
+        g = make_grid()
+        assert g.is_occupied_world(np.array([-100.0, -100.0]))[0]
+
+    def test_occupied_cell_centers_count(self):
+        g = make_grid()
+        centers = g.occupied_cell_centers()
+        assert centers.shape == (31, 2)  # 30-cell wall + 1 lone cell
+
+    def test_masks_partition(self):
+        g = make_grid()
+        occ = g.occupancy_mask(unknown_is_occupied=False)
+        free = g.free_mask()
+        unknown = g.data == UNKNOWN
+        assert np.all(occ.astype(int) + free.astype(int) + unknown.astype(int) == 1)
+
+
+class TestDistanceField:
+    def test_zero_on_obstacles(self):
+        g = make_grid()
+        field = g.distance_field()
+        assert field[10, 15] == 0.0
+
+    def test_distance_grows_away_from_wall(self):
+        g = make_grid()
+        field = g.distance_field()
+        # Column 2 is far from the lone obstacle; distance to the bottom
+        # wall (row 0) dominates and grows with the row index.
+        assert field[3, 2] == pytest.approx(3 * 0.5)
+        assert field[6, 2] == pytest.approx(6 * 0.5)
+
+    def test_distance_at_world_out_of_bounds_is_zero(self):
+        g = make_grid()
+        assert g.distance_at_world(np.array([1e6, 1e6]))[0] == 0.0
+
+    def test_cache_invalidation(self):
+        g = make_grid()
+        before = g.distance_field()[15, 2]
+        g.data[15, 2] = OCCUPIED
+        g.invalidate_cache()
+        assert g.distance_field()[15, 2] == 0.0
+        assert before > 0.0
+
+
+class TestInflate:
+    def test_inflation_grows_obstacles(self):
+        g = make_grid()
+        inflated = g.inflate(0.5)
+        assert (inflated.data == OCCUPIED).sum() > (g.data == OCCUPIED).sum()
+
+    def test_zero_radius_is_copy(self):
+        g = make_grid()
+        same = g.inflate(0.0)
+        assert np.array_equal(same.data, g.data)
+        assert same.data is not g.data
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            make_grid().inflate(-0.1)
+
+    def test_inflation_radius_respected(self):
+        g = make_grid()
+        inflated = g.inflate(1.0)  # 2 cells
+        # The lone obstacle at (15, 10) must occupy its 2-cell neighbourhood.
+        assert inflated.data[10, 17] == OCCUPIED
+        assert inflated.data[12, 15] == OCCUPIED

@@ -1,0 +1,117 @@
+"""Tests for the map-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+from repro.maps.quality import occupancy_overlap, wall_distance_statistics
+
+
+def room(shift_cells: int = 0, size: int = 60, res: float = 0.1):
+    data = np.full((size, size), UNKNOWN, dtype=np.int8)
+    lo, hi = 5 + shift_cells, 50 + shift_cells
+    data[lo:hi, lo:hi] = FREE
+    data[lo, lo:hi] = OCCUPIED
+    data[hi - 1, lo:hi] = OCCUPIED
+    data[lo:hi, lo] = OCCUPIED
+    data[lo:hi, hi - 1] = OCCUPIED
+    return OccupancyGrid(data, res)
+
+
+class TestWallDistance:
+    def test_identical_maps_zero(self):
+        a = room()
+        stats = wall_distance_statistics(a, room())
+        assert stats.built_to_ref_median == 0.0
+        assert stats.ref_to_built_median == 0.0
+        assert stats.num_built_cells == stats.num_ref_cells
+
+    def test_shift_detected(self):
+        built = room(shift_cells=3)  # 0.3 m shift
+        stats = wall_distance_statistics(built, room())
+        assert stats.symmetric_median == pytest.approx(0.3, abs=0.11)
+
+    def test_transform_compensates_shift(self):
+        built = room(shift_cells=3)
+        transform = (np.eye(2), np.array([-0.3, -0.3]))
+        stats = wall_distance_statistics(built, room(), transform=transform)
+        assert stats.symmetric_median < 0.11
+
+    def test_empty_map_raises(self):
+        empty = OccupancyGrid(np.zeros((10, 10), dtype=np.int8), 0.1)
+        with pytest.raises(ValueError):
+            wall_distance_statistics(empty, room())
+
+
+class TestOccupancyOverlap:
+    def test_identical_maps(self):
+        out = occupancy_overlap(room(), room())
+        assert out["accuracy"] == pytest.approx(1.0)
+        assert out["occupied_iou"] == pytest.approx(1.0)
+        assert out["free_iou"] == pytest.approx(1.0)
+
+    def test_shifted_map_scores_lower(self):
+        out = occupancy_overlap(room(shift_cells=4), room())
+        assert out["occupied_iou"] < 0.5
+        assert out["accuracy"] < 1.0
+
+    def test_unknown_cells_excluded(self):
+        """Unknown cells in either map must not count for or against."""
+        built = room()
+        ref = room()
+        # Blank out half the reference: accuracy should stay perfect on
+        # the remaining jointly known region.
+        ref.data[:, 30:] = UNKNOWN
+        out = occupancy_overlap(built, ref)
+        assert out["accuracy"] == pytest.approx(1.0)
+        assert out["jointly_known_cells"] < occupancy_overlap(built, room())[
+            "jointly_known_cells"
+        ]
+
+    def test_sample_step(self):
+        full = occupancy_overlap(room(), room(), sample_step=1)
+        sampled = occupancy_overlap(room(), room(), sample_step=7)
+        assert sampled["jointly_known_cells"] < full["jointly_known_cells"]
+        assert sampled["accuracy"] == pytest.approx(1.0)
+
+    def test_disjoint_maps_raise(self):
+        a = room()
+        far = OccupancyGrid(np.full((5, 5), FREE, dtype=np.int8), 0.1,
+                            origin=(1000.0, 1000.0))
+        with pytest.raises(ValueError):
+            occupancy_overlap(far, a)
+
+
+class TestEndToEndWithSlam:
+    def test_slam_built_map_scores_reasonably(self):
+        """Build a map of a small room with the SLAM stack and verify the
+        quality metrics see sub-2-cell wall agreement."""
+        from repro.core.motion_models import OdometryDelta
+        from repro.raycast import RayMarching
+        from repro.slam import Cartographer, CartographerConfig
+
+        world = room()
+        config = CartographerConfig(
+            use_online_correlative=True, scans_per_submap=20,
+        )
+        slam = Cartographer(config=config)
+        start = np.array([2.0, 2.0, 0.0])
+        slam.initialize(start)
+
+        caster = RayMarching(world, max_range=8.0)
+        angles = np.linspace(-np.pi, np.pi, 360, endpoint=False)
+        pose = start.copy()
+        for _ in range(20):
+            pose = pose + np.array([0.06, 0.0, 0.0])
+            ranges = caster.calc_range_many_angles(pose, angles)
+            keep = ranges < 8.0 - 1e-6
+            pts = np.stack(
+                [ranges[keep] * np.cos(angles[keep]),
+                 ranges[keep] * np.sin(angles[keep])], axis=-1
+            )
+            slam.update(OdometryDelta(0.06, 0, 0, 2.4, 0.025), pts,
+                        sensor_offset_x=0.0)
+
+        built = slam.render_map(resolution=0.1, sensor_offset_x=0.0)
+        stats = wall_distance_statistics(built, world)
+        assert stats.built_to_ref_median <= 0.2

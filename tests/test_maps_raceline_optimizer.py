@@ -1,0 +1,93 @@
+"""Tests for the elastic-band raceline optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.maps import generate_track, replica_test_track
+from repro.maps.raceline_optimizer import (
+    RacelineOptimizerConfig,
+    optimize_raceline,
+)
+from repro.sim.controllers import SpeedProfile
+
+
+def profile_lap_time(line) -> float:
+    profile = SpeedProfile(line, v_max=7.5, a_lat_budget=4.2,
+                           a_accel=5.0, a_brake=6.0)
+    return float(np.sum((line.total_length / len(line.points)) / profile.speeds))
+
+
+@pytest.fixture(scope="module")
+def track():
+    return replica_test_track(resolution=0.1)
+
+
+@pytest.fixture(scope="module")
+def optimized(track):
+    return optimize_raceline(
+        track, RacelineOptimizerConfig(iterations=1500)
+    )
+
+
+class TestOptimizeRaceline:
+    def test_shorter_than_centerline(self, track, optimized):
+        assert optimized.total_length < track.centerline.total_length
+
+    def test_faster_profile_lap(self, track, optimized):
+        assert profile_lap_time(optimized) < profile_lap_time(track.centerline)
+
+    def test_stays_inside_corridor(self, track, optimized):
+        _, offsets = track.centerline.project(optimized.points[::5])
+        bound = track.spec.track_width / 2.0 - 0.35
+        assert np.abs(offsets).max() <= bound + 0.03
+
+    def test_line_in_free_space(self, track, optimized):
+        occupied = track.grid.is_occupied_world(
+            optimized.points, unknown_is_occupied=True
+        )
+        assert not occupied.any()
+
+    def test_curvature_drivable(self, optimized):
+        # F1TENTH minimum turning radius ~0.72 m -> max kappa ~1.39.
+        assert np.abs(optimized.curvature).max() < 1.3
+
+    def test_input_track_unmodified(self, track):
+        before = track.centerline.points.copy()
+        optimize_raceline(track, RacelineOptimizerConfig(iterations=50))
+        assert np.array_equal(track.centerline.points, before)
+
+    def test_uses_corridor_width(self, track, optimized):
+        """A meaningful optimisation pushes to the bound in corners."""
+        _, offsets = track.centerline.project(optimized.points[::5])
+        bound = track.spec.track_width / 2.0 - 0.35
+        assert np.abs(offsets).max() > 0.6 * bound
+
+    def test_works_on_random_track(self):
+        rand = generate_track(seed=6, mean_radius=5.0, resolution=0.1)
+        opt = optimize_raceline(
+            rand, RacelineOptimizerConfig(iterations=800)
+        )
+        assert opt.total_length < rand.centerline.total_length
+        occupied = rand.grid.is_occupied_world(opt.points,
+                                               unknown_is_occupied=True)
+        assert occupied.mean() < 0.01
+
+
+class TestConfigValidation:
+    def test_margin_exceeds_half_width(self, track):
+        with pytest.raises(ValueError, match="no corridor"):
+            optimize_raceline(track, RacelineOptimizerConfig(margin=2.0))
+
+    def test_negative_margin(self, track):
+        with pytest.raises(ValueError):
+            optimize_raceline(track, RacelineOptimizerConfig(margin=-0.1))
+
+    def test_bad_iterations(self, track):
+        with pytest.raises(ValueError):
+            optimize_raceline(track, RacelineOptimizerConfig(iterations=0))
+
+    def test_bad_weights(self, track):
+        with pytest.raises(ValueError):
+            optimize_raceline(
+                track, RacelineOptimizerConfig(shortening_weight=0.0)
+            )

@@ -1,0 +1,112 @@
+"""Tests for the synthetic racetrack generator."""
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN
+from repro.maps.track_generator import (
+    TrackSpec,
+    generate_track,
+    replica_test_track,
+)
+
+
+class TestTrackSpecValidation:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            generate_track(TrackSpec(mean_radius=0.0))
+
+    def test_rejects_narrow_track(self):
+        with pytest.raises(ValueError):
+            generate_track(TrackSpec(track_width=0.1, resolution=0.1))
+
+    def test_rejects_high_irregularity(self):
+        with pytest.raises(ValueError):
+            generate_track(TrackSpec(irregularity=0.6))
+
+    def test_spec_and_overrides_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            generate_track(TrackSpec(), seed=3)
+
+
+class TestGeneratedTrack:
+    @pytest.fixture(scope="class")
+    def track(self):
+        return generate_track(seed=5, mean_radius=5.0, resolution=0.1)
+
+    def test_deterministic(self, track):
+        again = generate_track(seed=5, mean_radius=5.0, resolution=0.1)
+        assert np.array_equal(track.grid.data, again.grid.data)
+        assert np.allclose(track.centerline.points, again.centerline.points)
+
+    def test_different_seeds_differ(self, track):
+        other = generate_track(seed=6, mean_radius=5.0, resolution=0.1)
+        assert not np.array_equal(track.grid.data, other.grid.data)
+
+    def test_centerline_cells_free(self, track):
+        occupied = track.grid.is_occupied_world(
+            track.centerline.points, unknown_is_occupied=True
+        )
+        assert not occupied.any()
+
+    def test_corridor_width_respected(self, track):
+        """Points half a width minus margin off the centerline stay free."""
+        margin = 2 * track.grid.resolution
+        offset = track.spec.track_width / 2.0 - margin
+        left = track.centerline.offset_polyline(offset)
+        right = track.centerline.offset_polyline(-offset)
+        for side in (left, right):
+            occupied = track.grid.is_occupied_world(side, unknown_is_occupied=True)
+            assert occupied.mean() < 0.02
+
+    def test_walls_exist_beyond_corridor(self, track):
+        outside = track.spec.track_width / 2.0 + track.spec.wall_thickness / 2.0
+        wall_line = track.centerline.offset_polyline(outside)
+        occupied = track.grid.is_occupied_world(wall_line, unknown_is_occupied=False)
+        assert occupied.mean() > 0.9
+
+    def test_map_has_all_three_cell_states(self, track):
+        for state in (FREE, OCCUPIED, UNKNOWN):
+            assert np.any(track.grid.data == state)
+
+    def test_closed_loop_length_plausible(self, track):
+        # Lap length of a perturbed circle of radius 5 is near 2*pi*5.
+        assert 0.8 * 2 * np.pi * 5 < track.centerline.total_length < 1.5 * 2 * np.pi * 5
+
+    def test_curvature_drivable(self, track):
+        """Corners must be within an F1TENTH's steering capability."""
+        max_kappa = np.abs(track.centerline.curvature).max()
+        # Minimum turning radius at 0.42 rad steering, 0.32 m wheelbase:
+        # R = L / tan(delta) ~ 0.72 m -> kappa ~ 1.4.  Keep margin.
+        assert max_kappa < 1.4
+
+
+class TestReplicaTestTrack:
+    @pytest.fixture(scope="class")
+    def track(self):
+        return replica_test_track(resolution=0.1)
+
+    def test_lap_length_in_paper_regime(self, track):
+        assert 35.0 < track.centerline.total_length < 60.0
+
+    def test_has_long_straight(self, track):
+        """The layout must contain a genuine straight for top-speed runs."""
+        kappa = np.abs(track.centerline.curvature)
+        # Longest run of near-zero curvature, in metres.
+        straight = (kappa < 0.05).astype(int)
+        best = run = 0
+        for v in np.concatenate([straight, straight]):  # wrap
+            run = run + 1 if v else 0
+            best = max(best, run)
+        spacing = track.centerline.total_length / len(track.centerline)
+        assert best * spacing > 6.0
+
+    def test_centerline_free(self, track):
+        occupied = track.grid.is_occupied_world(
+            track.centerline.points, unknown_is_occupied=True
+        )
+        assert not occupied.any()
+
+    def test_resolution_honoured(self):
+        coarse = replica_test_track(resolution=0.2)
+        assert coarse.grid.resolution == pytest.approx(0.2)

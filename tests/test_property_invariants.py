@@ -1,0 +1,197 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each test states an invariant the system must hold for *arbitrary* valid
+inputs — the kind of contract unit examples cannot pin down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.motion_models import DiffDriveMotionModel, OdometryDelta, TumMotionModel
+from repro.core.resampling import effective_sample_size, resample_indices
+from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+from repro.slam.pose_graph import apply_relative, relative_pose
+from repro.utils.angles import wrap_to_pi
+
+pose_st = st.tuples(
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=-np.pi, max_value=np.pi),
+).map(np.array)
+
+
+class TestSE2RelativeProperties:
+    @given(pose_st, pose_st)
+    def test_relative_apply_roundtrip(self, a, b):
+        rel = relative_pose(a, b)
+        b2 = apply_relative(a, rel)
+        assert np.allclose(b2[:2], b[:2], atol=1e-8)
+        assert abs(wrap_to_pi(b2[2] - b[2])) < 1e-8
+
+    @given(pose_st, pose_st)
+    def test_relative_antisymmetry(self, a, b):
+        """rel(a->b) composed after rel(b->a) is identity."""
+        ab = relative_pose(a, b)
+        ba = relative_pose(b, a)
+        identity = apply_relative(apply_relative(np.zeros(3), ba), ab)
+        # Note: composition of relatives in the same frame chain.
+        roundtrip = apply_relative(b, relative_pose(b, a))
+        assert np.allclose(roundtrip[:2], a[:2], atol=1e-8)
+
+    @given(pose_st)
+    def test_self_relative_is_zero(self, a):
+        assert np.allclose(relative_pose(a, a), 0.0, atol=1e-12)
+
+
+class TestOdometryDeltaProperties:
+    delta_st = st.tuples(
+        st.floats(min_value=-0.5, max_value=0.5),
+        st.floats(min_value=-0.2, max_value=0.2),
+        st.floats(min_value=-0.5, max_value=0.5),
+    ).map(lambda t: OdometryDelta(t[0], t[1], t[2], velocity=1.0, dt=0.025))
+
+    @given(delta_st, delta_st)
+    def test_compose_matches_pose_chain(self, d0, d1):
+        """Composing deltas equals chaining their pose transforms."""
+        composed = d0.compose(d1)
+        via_poses = apply_relative(
+            apply_relative(np.zeros(3), np.array([d0.dx, d0.dy, d0.dtheta])),
+            np.array([d1.dx, d1.dy, d1.dtheta]),
+        )
+        assert np.allclose([composed.dx, composed.dy], via_poses[:2], atol=1e-9)
+        assert abs(wrap_to_pi(composed.dtheta - via_poses[2])) < 1e-9
+
+    @given(delta_st)
+    def test_identity_compose(self, d):
+        zero = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.0)
+        left = zero.compose(d)
+        assert left.dx == pytest.approx(d.dx)
+        assert left.dy == pytest.approx(d.dy)
+        assert left.dtheta == pytest.approx(d.dtheta)
+
+
+class TestMotionModelProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        speed=st.floats(min_value=0.0, max_value=8.0),
+        dtheta=st.floats(min_value=-0.2, max_value=0.2),
+        model_idx=st.integers(min_value=0, max_value=1),
+    )
+    def test_finite_outputs(self, speed, dtheta, model_idx):
+        model = (DiffDriveMotionModel(), TumMotionModel())[model_idx]
+        rng = np.random.default_rng(0)
+        delta = OdometryDelta(speed * 0.025, 0.0, dtheta, velocity=speed, dt=0.025)
+        out = model.propagate(np.zeros((200, 3)), delta, rng)
+        assert np.all(np.isfinite(out))
+        assert np.all(np.abs(out[:, 2]) <= np.pi + 1e-9)
+
+    @settings(deadline=None, max_examples=15)
+    @given(speed=st.floats(min_value=0.5, max_value=7.6))
+    def test_mean_displacement_tracks_odometry(self, speed):
+        """Noise must be (approximately) unbiased for both models."""
+        rng = np.random.default_rng(1)
+        delta = OdometryDelta(speed * 0.025, 0.0, 0.0, velocity=speed, dt=0.025)
+        for model in (DiffDriveMotionModel(), TumMotionModel()):
+            out = model.propagate(np.zeros((8000, 3)), delta, rng)
+            assert out[:, 0].mean() == pytest.approx(
+                speed * 0.025, abs=0.05 * speed * 0.025 + 0.01
+            )
+
+
+class TestSensorModelProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sigma=st.floats(min_value=0.02, max_value=0.5),
+        z=st.floats(min_value=0.5, max_value=9.0),
+    )
+    def test_likelihood_peaks_near_truth(self, sigma, z):
+        model = BeamSensorModel(SensorModelConfig(sigma_hit=sigma, max_range=10.0))
+        measured = np.array([z])
+        near = model.log_likelihood(np.array([[z]]), measured)[0]
+        far = model.log_likelihood(np.array([[min(z + 3 * sigma + 0.5, 9.9)]]),
+                                   measured)[0]
+        assert near >= far
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=2, max_value=200))
+    def test_uniform_expected_gives_uniform_weights(self, n):
+        model = BeamSensorModel(SensorModelConfig())
+        expected = np.full((n, 8), 3.0)
+        measured = np.full(8, 3.0)
+        w = model.weights(expected, measured)
+        assert np.allclose(w, 1.0 / n)
+
+
+class TestResamplingProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=100
+        ).filter(lambda w: sum(w) > 0),
+        scheme=st.sampled_from(["multinomial", "stratified", "systematic", "residual"]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_support_preservation(self, weights, scheme, seed):
+        """Resampling only ever selects particles with positive weight."""
+        rng = np.random.default_rng(seed)
+        w = np.array(weights)
+        idx = resample_indices(w, rng, scheme)
+        assert np.all(w[idx] > 0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(min_value=2, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_ess_after_uniform_resample(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.uniform(0.01, 1.0, n)
+        idx = resample_indices(w, rng, "systematic")
+        uniform = np.full(n, 1.0 / n)
+        assert effective_sample_size(uniform) == pytest.approx(n)
+        assert idx.shape == (n,)
+
+
+class TestOccupancyGridProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        res=st.floats(min_value=0.01, max_value=1.0),
+        ox=st.floats(min_value=-10, max_value=10),
+        oy=st.floats(min_value=-10, max_value=10),
+        col=st.integers(min_value=0, max_value=19),
+        row=st.integers(min_value=0, max_value=14),
+    )
+    def test_grid_world_roundtrip(self, res, ox, oy, col, row):
+        grid = OccupancyGrid(np.zeros((15, 20), dtype=np.int8), res, (ox, oy))
+        center = grid.grid_to_world(np.array([col, row], dtype=float))
+        back = grid.world_to_grid(center)
+        assert tuple(back) == (col, row)
+
+    @settings(deadline=None, max_examples=20)
+    @given(radius=st.floats(min_value=0.0, max_value=0.5))
+    def test_inflation_monotone(self, radius):
+        data = np.zeros((30, 30), dtype=np.int8)
+        data[15, 15] = OCCUPIED
+        grid = OccupancyGrid(data, 0.1)
+        inflated = grid.inflate(radius)
+        # Inflation never removes occupancy.
+        assert np.all(
+            (inflated.data == OCCUPIED) | (grid.data != OCCUPIED)
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_distance_field_zero_iff_occupied(self, seed):
+        rng = np.random.default_rng(seed)
+        data = np.where(rng.uniform(size=(25, 25)) < 0.1, OCCUPIED, FREE).astype(
+            np.int8
+        )
+        if not np.any(data == OCCUPIED):
+            data[0, 0] = OCCUPIED
+        grid = OccupancyGrid(data, 0.2)
+        field = grid.distance_field()
+        occupied = data == OCCUPIED
+        assert np.all(field[occupied] == 0)
+        assert np.all(field[~occupied] > 0)

@@ -1,0 +1,258 @@
+"""Correctness tests for all ray-casting methods.
+
+The Bresenham (exact traversal) caster is validated against hand-computed
+ranges in a simple box room; every other method is then validated against
+Bresenham — the same cross-validation strategy rangelibc uses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.raycast import (
+    CDDT,
+    BresenhamRayCast,
+    LookupTable,
+    RayMarching,
+    make_range_method,
+)
+
+# The box room (see conftest) is 10 m x 10 m with 0.1 m walls; standing at
+# the centre, the inner wall faces are 4.9 m away (cells 0 and 99 occupied).
+CENTER = (5.0, 5.0)
+INNER = 4.9
+
+
+class TestBresenhamExact:
+    def test_cardinal_directions(self, box_grid):
+        rc = BresenhamRayCast(box_grid)
+        for theta in (0.0, np.pi / 2, np.pi, -np.pi / 2):
+            r = rc.calc_range(*CENTER, theta)
+            assert r == pytest.approx(INNER, abs=box_grid.resolution)
+
+    def test_diagonal(self, box_grid):
+        rc = BresenhamRayCast(box_grid)
+        r = rc.calc_range(*CENTER, np.pi / 4)
+        assert r == pytest.approx(INNER * np.sqrt(2), abs=2 * box_grid.resolution)
+
+    def test_from_inside_obstacle_returns_zero(self, box_grid):
+        rc = BresenhamRayCast(box_grid)
+        assert rc.calc_range(0.05, 5.0, 0.0) == 0.0
+
+    def test_from_outside_map(self, box_grid):
+        rc = BresenhamRayCast(box_grid, max_range=3.0)
+        assert rc.calc_range(-5.0, 5.0, np.pi) == pytest.approx(3.0)
+
+    def test_max_range_clamp(self, box_grid):
+        rc = BresenhamRayCast(box_grid, max_range=2.0)
+        assert rc.calc_range(*CENTER, 0.0) == pytest.approx(2.0)
+
+    def test_off_axis_distance(self, box_grid):
+        rc = BresenhamRayCast(box_grid)
+        # 30 degrees: the right wall (x = 9.9) is hit at 4.9 / cos(30).
+        r = rc.calc_range(*CENTER, np.pi / 6)
+        assert r == pytest.approx(INNER / np.cos(np.pi / 6), abs=0.15)
+
+    def test_thin_diagonal_wall_not_tunnelled(self):
+        """Amanatides-Woo must not skip through a 1-cell diagonal wall."""
+        from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+        data = np.full((30, 30), FREE, dtype=np.int8)
+        for i in range(30):
+            data[i, i] = OCCUPIED  # diagonal wall
+        grid = OccupancyGrid(data, 0.1)
+        rc = BresenhamRayCast(grid)
+        # Shooting +x from below the diagonal must hit it.
+        r = rc.calc_range(0.35, 2.05, 0.0)
+        assert r < 2.0
+
+    def test_batch_matches_scalar(self, box_grid, rng):
+        rc = BresenhamRayCast(box_grid)
+        queries = np.column_stack(
+            [
+                rng.uniform(1, 9, 20),
+                rng.uniform(1, 9, 20),
+                rng.uniform(-np.pi, np.pi, 20),
+            ]
+        )
+        batch = rc.calc_ranges(queries)
+        for q, expected in zip(queries, batch):
+            assert rc.calc_range(*q) == pytest.approx(expected)
+
+
+# (factory, p90 cell tolerance, p99 cell tolerance).  The CDDT family's
+# heading discretisation produces occasional large errors at grazing
+# incidence (range changes fast with heading when a ray runs nearly
+# parallel to a wall) — a documented property of the original algorithm —
+# hence its looser tail bound.
+APPROX_METHODS = [
+    pytest.param(lambda g: RayMarching(g), 2, 3, id="ray_marching"),
+    pytest.param(lambda g: CDDT(g, num_theta_bins=180), 3, 8, id="cddt"),
+    pytest.param(
+        lambda g: CDDT(g, num_theta_bins=180, pruned=True), 3, 8, id="pcddt"
+    ),
+    pytest.param(lambda g: LookupTable(g, num_theta_bins=180), 3, 6, id="lut"),
+]
+
+
+@pytest.mark.parametrize("factory,p90_cells,p99_cells", APPROX_METHODS)
+class TestAgainstExact:
+    def test_box_agreement(self, factory, p90_cells, p99_cells, box_grid, rng):
+        exact = BresenhamRayCast(box_grid)
+        method = factory(box_grid)
+        queries = np.column_stack(
+            [
+                rng.uniform(1.0, 9.0, 150),
+                rng.uniform(1.0, 9.0, 150),
+                rng.uniform(-np.pi, np.pi, 150),
+            ]
+        )
+        got = method.calc_ranges(queries)
+        want = exact.calc_ranges(queries)
+        err = np.abs(got - want)
+        res = box_grid.resolution
+        assert np.quantile(err, 0.90) < p90_cells * res
+        assert np.quantile(err, 0.99) < p99_cells * res
+
+    def test_track_agreement(self, factory, p90_cells, p99_cells, small_track, rng):
+        grid = small_track.grid
+        exact = BresenhamRayCast(grid, max_range=15.0)
+        method = factory(grid)
+        method.max_range = 15.0  # align clamps for comparison
+        line = small_track.centerline
+        s = rng.uniform(0, line.total_length, 40)
+        queries = np.empty((40, 3))
+        for i, si in enumerate(s):
+            pt = line.point_at(float(si))
+            queries[i] = [pt[0], pt[1], rng.uniform(-np.pi, np.pi)]
+        got = np.minimum(method.calc_ranges(queries), 15.0)
+        want = exact.calc_ranges(queries)
+        err = np.abs(got - want)
+        assert np.quantile(err, 0.90) < p90_cells * grid.resolution
+
+
+class TestScanBatchHelpers:
+    def test_many_angles_shape(self, box_grid):
+        rc = RayMarching(box_grid)
+        angles = np.linspace(-np.pi / 2, np.pi / 2, 11)
+        out = rc.calc_range_many_angles(np.array([5.0, 5.0, 0.0]), angles)
+        assert out.shape == (11,)
+
+    def test_pose_batch_matches_loop(self, box_grid):
+        rc = RayMarching(box_grid)
+        poses = np.array([[5.0, 5.0, 0.0], [3.0, 4.0, 1.0], [7.0, 6.0, -2.0]])
+        angles = np.linspace(-1.0, 1.0, 7)
+        batch = rc.calc_ranges_pose_batch(poses, angles)
+        assert batch.shape == (3, 7)
+        for i, pose in enumerate(poses):
+            row = rc.calc_range_many_angles(pose, angles)
+            assert np.allclose(batch[i], row)
+
+
+class TestLookupTable:
+    def test_pose_batch_fast_path_matches_generic(self, box_grid, rng):
+        """The LUT's specialised pose-batch path must agree exactly with
+        the generic per-query implementation, including off-map poses."""
+        from repro.raycast.base import RangeMethod
+
+        lut = LookupTable(box_grid, num_theta_bins=60)
+        poses = np.column_stack(
+            [rng.uniform(-1, 11, 40), rng.uniform(-1, 11, 40),
+             rng.uniform(-7, 7, 40)]
+        )
+        angles = np.linspace(-2.0, 2.0, 13)
+        fast = lut.calc_ranges_pose_batch(poses, angles)
+        generic = RangeMethod.calc_ranges_pose_batch(lut, poses, angles)
+        assert np.allclose(fast, generic)
+
+    def test_memory_reported(self, box_grid):
+        lut = LookupTable(box_grid, num_theta_bins=30)
+        assert lut.memory_bytes() == 30 * 100 * 100 * 4
+
+    def test_downsample_reduces_memory(self, box_grid):
+        full = LookupTable(box_grid, num_theta_bins=30)
+        half = LookupTable(box_grid, num_theta_bins=30, downsample=2)
+        assert half.memory_bytes() < full.memory_bytes() / 3
+
+    def test_downsampled_still_close(self, box_grid, rng):
+        exact = BresenhamRayCast(box_grid)
+        lut = LookupTable(box_grid, num_theta_bins=180, downsample=2)
+        queries = np.column_stack(
+            [rng.uniform(2, 8, 50), rng.uniform(2, 8, 50), rng.uniform(-3, 3, 50)]
+        )
+        err = np.abs(lut.calc_ranges(queries) - exact.calc_ranges(queries))
+        assert np.quantile(err, 0.95) < 5 * box_grid.resolution
+
+    def test_occupied_start_returns_zero(self, box_grid):
+        lut = LookupTable(box_grid, num_theta_bins=16)
+        assert lut.calc_range(0.05, 5.0, 0.0) == 0.0
+
+    def test_rejects_bad_params(self, box_grid):
+        with pytest.raises(ValueError):
+            LookupTable(box_grid, num_theta_bins=0)
+        with pytest.raises(ValueError):
+            LookupTable(box_grid, downsample=0)
+
+
+class TestCDDT:
+    def test_pruning_reduces_memory(self, small_track):
+        full = CDDT(small_track.grid, num_theta_bins=60)
+        pruned = CDDT(small_track.grid, num_theta_bins=60, pruned=True)
+        assert pruned.memory_bytes() < full.memory_bytes()
+
+    def test_pruned_matches_unpruned(self, box_grid, rng):
+        full = CDDT(box_grid, num_theta_bins=90)
+        pruned = CDDT(box_grid, num_theta_bins=90, pruned=True)
+        queries = np.column_stack(
+            [rng.uniform(1, 9, 100), rng.uniform(1, 9, 100), rng.uniform(-3, 3, 100)]
+        )
+        assert np.allclose(full.calc_ranges(queries), pruned.calc_ranges(queries),
+                           atol=1e-6)
+
+    def test_backward_rays(self, box_grid):
+        cddt = CDDT(box_grid, num_theta_bins=90)
+        fwd = cddt.calc_range(3.0, 5.0, 0.0)
+        bwd = cddt.calc_range(7.0, 5.0, np.pi)
+        assert fwd == pytest.approx(bwd, abs=2 * box_grid.resolution)
+
+    def test_rejects_bad_bins(self, box_grid):
+        with pytest.raises(ValueError):
+            CDDT(box_grid, num_theta_bins=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["bresenham", "bl", "ray_marching", "rm", "cddt", "pcddt", "lut", "glt"]
+    )
+    def test_known_names(self, name, box_grid):
+        method = make_range_method(name, box_grid, max_range=5.0)
+        assert method.max_range == 5.0
+
+    def test_pcddt_is_pruned(self, box_grid):
+        method = make_range_method("pcddt", box_grid)
+        assert method.pruned
+
+    def test_unknown_name(self, box_grid):
+        with pytest.raises(ValueError, match="unknown range method"):
+            make_range_method("magic", box_grid)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    x=st.floats(min_value=1.0, max_value=9.0),
+    y=st.floats(min_value=1.0, max_value=9.0),
+    theta=st.floats(min_value=-np.pi, max_value=np.pi),
+)
+def test_property_ray_marching_close_to_exact(x, y, theta):
+    """Random in-room queries: RM within 2 cells of exact traversal."""
+    from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+    data = np.full((60, 60), FREE, dtype=np.int8)
+    data[0, :] = data[-1, :] = OCCUPIED
+    data[:, 0] = data[:, -1] = OCCUPIED
+    grid = OccupancyGrid(data, 1.0 / 6.0)
+    exact = BresenhamRayCast(grid)
+    rm = RayMarching(grid)
+    assert rm.calc_range(x, y, theta) == pytest.approx(
+        exact.calc_range(x, y, theta), abs=2 * grid.resolution
+    )

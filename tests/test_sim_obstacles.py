@@ -1,0 +1,167 @@
+"""Tests for unmapped obstacles and their LiDAR interaction."""
+
+import numpy as np
+import pytest
+
+from repro.maps.centerline import Raceline
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.sim.obstacles import (
+    RacelineFollower,
+    StaticObstacle,
+    ray_disc_ranges,
+)
+
+
+def circle_line(radius=5.0):
+    phi = np.linspace(0, 2 * np.pi, 300, endpoint=False)
+    pts = np.stack([radius * np.cos(phi), radius * np.sin(phi)], axis=-1)
+    return Raceline.from_waypoints(pts, spacing=0.05)
+
+
+class TestRayDiscRanges:
+    def test_head_on_hit(self):
+        r = ray_disc_ranges(np.zeros(3), np.array([0.0]),
+                            np.array([3.0, 0.0]), 0.5)
+        assert r[0] == pytest.approx(2.5)
+
+    def test_miss_returns_inf(self):
+        r = ray_disc_ranges(np.zeros(3), np.array([np.pi / 2]),
+                            np.array([3.0, 0.0]), 0.5)
+        assert np.isinf(r[0])
+
+    def test_behind_returns_inf(self):
+        r = ray_disc_ranges(np.zeros(3), np.array([np.pi]),
+                            np.array([3.0, 0.0]), 0.5)
+        assert np.isinf(r[0])
+
+    def test_grazing_tangent(self):
+        # Disc at (3, 0.5) radius 0.5: the +x ray is exactly tangent.
+        r = ray_disc_ranges(np.zeros(3), np.array([0.0]),
+                            np.array([3.0, 0.5]), 0.5)
+        assert r[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_inside_disc_zero(self):
+        r = ray_disc_ranges(np.zeros(3), np.linspace(-3, 3, 8),
+                            np.array([0.1, 0.0]), 0.5)
+        assert np.all(r == 0.0)
+
+    def test_fan_geometry(self):
+        """Beams within the disc's angular extent hit; others miss."""
+        center = np.array([4.0, 0.0])
+        radius = 0.5
+        angles = np.linspace(-0.5, 0.5, 101)
+        r = ray_disc_ranges(np.zeros(3), angles, center, radius)
+        half_angle = np.arcsin(radius / 4.0)
+        should_hit = np.abs(angles) < half_angle - 0.01
+        assert np.all(np.isfinite(r[should_hit]))
+        should_miss = np.abs(angles) > half_angle + 0.01
+        assert np.all(np.isinf(r[should_miss]))
+
+
+class TestObstacleKinds:
+    def test_static(self):
+        obs = StaticObstacle(1.0, 2.0, 0.3)
+        assert np.allclose(obs.position(0.0), [1.0, 2.0])
+        assert np.allclose(obs.position(99.0), [1.0, 2.0])
+
+    def test_static_validation(self):
+        with pytest.raises(ValueError):
+            StaticObstacle(0, 0, radius=0.0)
+
+    def test_follower_moves_along_line(self):
+        line = circle_line()
+        follower = RacelineFollower(line, start_s=0.0, speed=2.0)
+        p0 = follower.position(0.0)
+        p1 = follower.position(1.0)
+        travelled = np.linalg.norm(p1 - p0)
+        # Chord of a 2 m arc on a 5 m circle.
+        assert 1.8 < travelled <= 2.0
+
+    def test_follower_lateral_offset(self):
+        line = circle_line(radius=5.0)
+        inner = RacelineFollower(line, lateral_offset=0.5)  # left = inward
+        p = inner.position(0.0)
+        assert np.hypot(*p) == pytest.approx(4.5, abs=0.05)
+
+    def test_follower_validation(self):
+        line = circle_line()
+        with pytest.raises(ValueError):
+            RacelineFollower(line, radius=-1.0)
+        with pytest.raises(ValueError):
+            RacelineFollower(line, speed=-1.0)
+
+
+class TestLidarWithObstacles:
+    def test_obstacle_shortens_beams(self, small_track):
+        cfg = LidarConfig(range_noise_std=0.0, dropout_prob=0.0,
+                          mount_offset_x=0.0)
+        lidar = SimulatedLidar(small_track.grid, cfg, seed=0)
+        pose = small_track.centerline.start_pose()
+
+        clean = lidar.scan(pose)
+        # Place a disc 1 m dead ahead.
+        ahead = pose[:2] + 1.0 * np.array([np.cos(pose[2]), np.sin(pose[2])])
+        blocked = SimulatedLidar(small_track.grid, cfg, seed=0).scan(
+            pose, obstacles=[StaticObstacle(ahead[0], ahead[1], 0.25)]
+        )
+        center_beam = np.argmin(np.abs(clean.angles))
+        assert blocked.ranges[center_beam] == pytest.approx(0.75, abs=0.02)
+        assert blocked.ranges[center_beam] < clean.ranges[center_beam]
+
+    def test_side_beams_unaffected(self, small_track):
+        cfg = LidarConfig(range_noise_std=0.0, dropout_prob=0.0,
+                          mount_offset_x=0.0)
+        pose = small_track.centerline.start_pose()
+        ahead = pose[:2] + 1.0 * np.array([np.cos(pose[2]), np.sin(pose[2])])
+        clean = SimulatedLidar(small_track.grid, cfg, seed=0).scan(pose)
+        blocked = SimulatedLidar(small_track.grid, cfg, seed=0).scan(
+            pose, obstacles=[StaticObstacle(ahead[0], ahead[1], 0.2)]
+        )
+        # Beams pointing away (> 90 degrees off) cannot see the obstacle.
+        away = np.abs(clean.angles) > np.pi / 2
+        assert np.allclose(blocked.ranges[away], clean.ranges[away])
+
+    def test_simulator_threads_obstacles(self, small_track):
+        from repro.sim.simulator import SimConfig, Simulator
+
+        sim = Simulator(small_track.grid, SimConfig(seed=0))
+        pose = small_track.centerline.start_pose()
+        ahead = pose[:2] + 1.2 * np.array([np.cos(pose[2]), np.sin(pose[2])])
+        sim.obstacles.append(StaticObstacle(ahead[0], ahead[1], 0.25))
+        sim.reset(pose)
+        frame = sim.step(0.0, 0.0)
+        assert frame.scan is not None
+        center = np.argmin(np.abs(frame.scan.angles))
+        # Sensor sits 0.27 m ahead of base: ~1.2 - 0.27 - 0.25 to the rim.
+        assert frame.scan.ranges[center] < 1.0
+
+
+class TestLocalizationRobustnessToObstacles:
+    def test_synpf_tolerates_unmapped_obstacle(self, fine_track):
+        """An unmapped obstacle occluding part of the scan must not break
+        the filter — the z_short beam-model component absorbs it."""
+        from repro.core.motion_models import OdometryDelta
+        from repro.core.particle_filter import make_synpf
+
+        cfg = LidarConfig(range_noise_std=0.01, dropout_prob=0.0)
+        lidar = SimulatedLidar(fine_track.grid, cfg, seed=1)
+        pf = make_synpf(fine_track.grid, num_particles=800, num_beams=40,
+                        seed=2, range_method="ray_marching")
+        line = fine_track.centerline
+        pose_prev = line.start_pose()
+        pf.initialize(pose_prev)
+        opponent = RacelineFollower(line, start_s=2.5, speed=2.0, radius=0.25)
+
+        errors = []
+        dt = 0.05
+        for k in range(1, 40):
+            s = k * 2.0 * dt
+            pt = line.point_at(s)
+            pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+            delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
+            scan = lidar.scan(pose_now, timestamp=k * dt,
+                              obstacles=[opponent])
+            est = pf.update(delta, scan.ranges, scan.angles)
+            errors.append(np.hypot(*(est.pose[:2] - pose_now[:2])))
+            pose_prev = pose_now
+        assert np.mean(errors[5:]) < 0.15

@@ -1,0 +1,173 @@
+"""Tests for simulated LiDAR, wheel odometry and IMU."""
+
+import numpy as np
+import pytest
+
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.sim.odometry import ImuSensor, OdometryConfig, WheelOdometry
+from repro.sim.vehicle import VehicleState
+from repro.utils.rng import make_rng
+
+
+class TestLidarConfig:
+    def test_beam_angles_span_fov(self):
+        cfg = LidarConfig(num_beams=5, fov=np.pi)
+        angles = cfg.beam_angles()
+        assert angles[0] == pytest.approx(-np.pi / 2)
+        assert angles[-1] == pytest.approx(np.pi / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LidarConfig(num_beams=1).validate()
+        with pytest.raises(ValueError):
+            LidarConfig(fov=0.0).validate()
+        with pytest.raises(ValueError):
+            LidarConfig(dropout_prob=1.5).validate()
+
+
+class TestSimulatedLidar:
+    def test_scan_shapes(self, small_track):
+        lidar = SimulatedLidar(small_track.grid, seed=0)
+        scan = lidar.scan(small_track.centerline.start_pose(), timestamp=1.5)
+        assert scan.ranges.shape == (1081,)
+        assert scan.angles.shape == (1081,)
+        assert scan.timestamp == 1.5
+
+    def test_ranges_within_limits(self, small_track):
+        lidar = SimulatedLidar(small_track.grid, seed=0)
+        scan = lidar.scan(small_track.centerline.start_pose())
+        assert np.all(scan.ranges >= 0)
+        assert np.all(scan.ranges <= lidar.config.max_range)
+
+    def test_noise_statistics(self, small_track):
+        """Measured ranges should scatter around truth with ~config std."""
+        cfg = LidarConfig(range_noise_std=0.02, dropout_prob=0.0, num_beams=541)
+        lidar = SimulatedLidar(small_track.grid, cfg, seed=1)
+        pose = small_track.centerline.start_pose()
+        scans = [lidar.scan(pose).ranges for _ in range(30)]
+        stack = np.stack(scans)
+        valid = np.all(stack < cfg.max_range - 0.1, axis=0)
+        per_beam_std = stack[:, valid].std(axis=0)
+        assert np.median(per_beam_std) == pytest.approx(0.02, rel=0.3)
+
+    def test_dropouts_report_max_range(self, small_track):
+        cfg = LidarConfig(dropout_prob=0.2, range_noise_std=0.0)
+        lidar = SimulatedLidar(small_track.grid, cfg, seed=2)
+        scan = lidar.scan(small_track.centerline.start_pose())
+        frac_at_max = np.mean(scan.ranges >= cfg.max_range - 1e-9)
+        assert 0.1 < frac_at_max < 0.4
+
+    def test_mount_offset_moves_sensor(self, small_track):
+        lidar = SimulatedLidar(small_track.grid, seed=0)
+        base = small_track.centerline.start_pose()
+        sensor = lidar.sensor_pose_from_base(base)
+        expected = base[:2] + lidar.config.mount_offset_x * np.array(
+            [np.cos(base[2]), np.sin(base[2])]
+        )
+        assert np.allclose(sensor[:2], expected)
+
+    def test_deterministic_with_seed(self, small_track):
+        a = SimulatedLidar(small_track.grid, seed=5).scan(
+            small_track.centerline.start_pose()
+        )
+        b = SimulatedLidar(small_track.grid, seed=5).scan(
+            small_track.centerline.start_pose()
+        )
+        assert np.array_equal(a.ranges, b.ranges)
+
+    def test_points_in_sensor_frame_drops_max(self, small_track):
+        cfg = LidarConfig(dropout_prob=0.3, range_noise_std=0.0)
+        lidar = SimulatedLidar(small_track.grid, cfg, seed=3)
+        scan = lidar.scan(small_track.centerline.start_pose())
+        pts = scan.points_in_sensor_frame(max_range=cfg.max_range)
+        assert pts.shape[0] < scan.ranges.shape[0]
+        radii = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.all(radii < cfg.max_range)
+
+
+class TestWheelOdometry:
+    def _state(self, wheel_speed, steer=0.0, v=None):
+        return VehicleState(
+            v=v if v is not None else wheel_speed,
+            wheel_speed=wheel_speed,
+            steer=steer,
+        )
+
+    def test_straight_integration(self):
+        odo = WheelOdometry(OdometryConfig(speed_noise_std=0.0, steer_noise_std=0.0),
+                            seed=0)
+        for _ in range(100):
+            odo.step(self._state(2.0), dt=0.01)
+        assert odo.pose[0] == pytest.approx(2.0, abs=1e-6)
+        assert odo.pose[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_measures_wheel_not_ground(self):
+        """The defining property: odometry integrates WHEEL speed, so slip
+        (wheel 3 m/s, ground 2 m/s) inflates the odometry distance."""
+        odo = WheelOdometry(OdometryConfig(speed_noise_std=0.0, steer_noise_std=0.0),
+                            seed=0)
+        state = self._state(wheel_speed=3.0, v=2.0)
+        for _ in range(100):
+            odo.step(state, dt=0.01)
+        assert odo.pose[0] == pytest.approx(3.0, abs=1e-6)  # not 2.0
+
+    def test_turning_arc(self):
+        cfg = OdometryConfig(speed_noise_std=0.0, steer_noise_std=0.0, wheelbase=0.3)
+        odo = WheelOdometry(cfg, seed=0)
+        steer = 0.2
+        speed = 1.0
+        yaw_rate = speed * np.tan(steer) / cfg.wheelbase
+        for _ in range(100):
+            odo.step(self._state(speed, steer=steer), dt=0.01)
+        assert odo.pose[2] == pytest.approx(yaw_rate * 1.0, abs=1e-6)
+
+    def test_speed_scale_miscalibration(self):
+        cfg = OdometryConfig(speed_noise_std=0.0, steer_noise_std=0.0,
+                             speed_scale=1.1)
+        odo = WheelOdometry(cfg, seed=0)
+        for _ in range(100):
+            odo.step(self._state(2.0), dt=0.01)
+        assert odo.pose[0] == pytest.approx(2.2, abs=1e-6)
+
+    def test_delta_stream_composes_to_pose(self):
+        odo = WheelOdometry(seed=4)
+        deltas = []
+        state = self._state(1.5, steer=0.1)
+        for _ in range(50):
+            deltas.append(odo.step(state, dt=0.01))
+        composed = deltas[0]
+        for d in deltas[1:]:
+            composed = composed.compose(d)
+        # Composing all deltas from the origin must equal the odom pose.
+        from repro.slam.pose_graph import apply_relative
+        pose = apply_relative(np.zeros(3), np.array(
+            [composed.dx, composed.dy, composed.dtheta]))
+        assert np.allclose(pose[:2], odo.pose[:2], atol=1e-9)
+
+    def test_reset(self):
+        odo = WheelOdometry(seed=0)
+        odo.step(self._state(2.0), dt=0.1)
+        odo.reset(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(odo.pose, [1.0, 2.0, 3.0])
+
+    def test_yaw_bias(self):
+        cfg = OdometryConfig(speed_noise_std=0.0, steer_noise_std=0.0, yaw_bias=0.1)
+        odo = WheelOdometry(cfg, seed=0)
+        for _ in range(100):
+            odo.step(self._state(1.0), dt=0.01)
+        assert odo.pose[2] == pytest.approx(0.1, abs=1e-6)
+
+
+class TestImu:
+    def test_reads_yaw_rate(self):
+        imu = ImuSensor(noise_std=0.0, bias_walk_std=0.0)
+        state = VehicleState(yaw_rate=1.5)
+        assert imu.read(state, make_rng(0)) == pytest.approx(1.5)
+
+    def test_bias_walks(self):
+        imu = ImuSensor(noise_std=0.0, bias_walk_std=0.05)
+        rng = make_rng(1)
+        state = VehicleState(yaw_rate=0.0)
+        for _ in range(200):
+            imu.read(state, rng)
+        assert imu.bias != 0.0

@@ -1,0 +1,117 @@
+"""Tests for the tire model and the paper's pull-force grip protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.tire import (
+    GRAVITY,
+    TireModel,
+    grip_from_pull_force,
+    pull_force_from_grip,
+)
+
+CAR_MASS = 3.46
+LOAD = CAR_MASS * GRAVITY
+
+
+class TestPullForceProtocol:
+    def test_paper_hq_condition(self):
+        """26 N pull on the 3.46 kg car -> mu ~ 0.766 (paper nominal)."""
+        mu = grip_from_pull_force(26.0, CAR_MASS)
+        assert mu == pytest.approx(0.766, abs=0.001)
+
+    def test_paper_lq_condition(self):
+        """19 N pull -> mu ~ 0.560 (paper taped tires)."""
+        mu = grip_from_pull_force(19.0, CAR_MASS)
+        assert mu == pytest.approx(0.560, abs=0.001)
+
+    def test_roundtrip(self):
+        mu = grip_from_pull_force(22.0, CAR_MASS)
+        assert pull_force_from_grip(mu, CAR_MASS) == pytest.approx(22.0)
+
+    def test_experiment_tires_reproduce_pull_forces(self):
+        """The tire presets used for Table I must map back to 26 N / 19 N."""
+        from repro.eval.experiment import TIRE_HQ, TIRE_LQ
+
+        assert pull_force_from_grip(TIRE_HQ.mu, CAR_MASS) == pytest.approx(26.0, abs=0.1)
+        assert pull_force_from_grip(TIRE_LQ.mu, CAR_MASS) == pytest.approx(19.0, abs=0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            grip_from_pull_force(0.0, CAR_MASS)
+        with pytest.raises(ValueError):
+            pull_force_from_grip(0.5, -1.0)
+
+
+class TestLongitudinalForce:
+    def test_linear_region(self):
+        tire = TireModel(mu=0.8, longitudinal_stiffness=10.0)
+        f = tire.longitudinal_force(0.01, LOAD)
+        assert f == pytest.approx(0.1 * LOAD)
+
+    def test_saturates_at_friction_limit(self):
+        tire = TireModel(mu=0.8)
+        assert tire.longitudinal_force(0.5, LOAD) == pytest.approx(0.8 * LOAD)
+        assert tire.longitudinal_force(-0.5, LOAD) == pytest.approx(-0.8 * LOAD)
+
+    def test_lower_stiffness_needs_more_slip(self):
+        """The taped-tire mechanism: the same force demand requires far
+        more slip when stiffness is low."""
+        grippy = TireModel(mu=0.766, longitudinal_stiffness=12.0)
+        taped = TireModel(mu=0.56, longitudinal_stiffness=2.2)
+        demand = 0.3 * LOAD  # ~3 m/s^2
+        slip_grippy = demand / (grippy.longitudinal_stiffness * LOAD)
+        slip_taped = demand / (taped.longitudinal_stiffness * LOAD)
+        assert slip_taped > 4 * slip_grippy
+        assert grippy.longitudinal_force(slip_grippy, LOAD) == pytest.approx(demand)
+        assert taped.longitudinal_force(slip_taped, LOAD) == pytest.approx(demand)
+
+
+class TestLateralForce:
+    def test_linear_region(self):
+        tire = TireModel(mu=0.8, cornering_stiffness=9.0)
+        f = tire.lateral_force(0.02, LOAD)
+        assert f == pytest.approx(0.18 * LOAD)
+
+    def test_friction_circle_shrinks_lateral_capacity(self):
+        tire = TireModel(mu=0.8)
+        full = tire.lateral_force(1.0, LOAD, longitudinal_force=0.0)
+        loaded = tire.lateral_force(1.0, LOAD, longitudinal_force=0.6 * LOAD)
+        assert loaded < full
+        expected = np.sqrt((0.8 * LOAD) ** 2 - (0.6 * LOAD) ** 2)
+        assert loaded == pytest.approx(expected)
+
+    def test_full_longitudinal_leaves_nothing(self):
+        tire = TireModel(mu=0.8)
+        assert tire.lateral_force(1.0, LOAD, longitudinal_force=0.8 * LOAD) == 0.0
+
+    @given(
+        fx_frac=st.floats(min_value=-1.0, max_value=1.0),
+        slip=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_property_combined_force_inside_circle(self, fx_frac, slip):
+        tire = TireModel(mu=0.7)
+        fx = fx_frac * tire.max_force(LOAD)
+        fy = tire.lateral_force(slip, LOAD, longitudinal_force=fx)
+        assert np.hypot(fx, fy) <= tire.max_force(LOAD) * (1 + 1e-9)
+
+
+class TestLateralSaturation:
+    def test_inside_circle_is_one(self):
+        tire = TireModel(mu=0.8)
+        assert tire.lateral_saturation(0.1 * LOAD, LOAD) == 1.0
+
+    def test_excess_demand_scales_down(self):
+        tire = TireModel(mu=0.8)
+        capacity = 0.8 * LOAD
+        assert tire.lateral_saturation(2 * capacity, LOAD) == pytest.approx(0.5)
+
+    def test_zero_demand(self):
+        assert TireModel().lateral_saturation(0.0, LOAD) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TireModel(mu=0.0)
+        with pytest.raises(ValueError):
+            TireModel(longitudinal_stiffness=-1.0)

@@ -1,0 +1,155 @@
+"""Tests for the slip-aware vehicle dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.tire import GRAVITY, TireModel
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+
+DT = 0.01
+
+
+def drive(vehicle, speed, steer, seconds):
+    for _ in range(int(seconds / DT)):
+        vehicle.step(speed, steer, DT)
+    return vehicle.state
+
+
+class TestStraightLine:
+    def test_accelerates_to_target(self):
+        v = Vehicle()
+        state = drive(v, 3.0, 0.0, 4.0)
+        assert state.v == pytest.approx(3.0, abs=0.1)
+        assert state.wheel_speed == pytest.approx(3.0, abs=0.1)
+
+    def test_straight_heading_unchanged(self):
+        v = Vehicle()
+        state = drive(v, 3.0, 0.0, 2.0)
+        assert state.theta == pytest.approx(0.0, abs=1e-9)
+        assert state.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_speed_limited(self):
+        v = Vehicle()
+        state = drive(v, 100.0, 0.0, 6.0)
+        assert state.v <= v.params.max_speed + 0.1
+
+    def test_stops_on_zero_target(self):
+        v = Vehicle()
+        drive(v, 4.0, 0.0, 3.0)
+        state = drive(v, 0.0, 0.0, 4.0)
+        assert state.v < 0.1
+
+
+class TestSlipBehaviour:
+    def test_high_grip_low_slip(self):
+        params = VehicleParams(tire=TireModel(mu=0.766, longitudinal_stiffness=12.0))
+        v = Vehicle(params)
+        v.step(5.0, 0.0, DT)
+        slips = []
+        for _ in range(150):
+            s = v.step(5.0, 0.0, DT)
+            slips.append(abs(s.wheel_speed - s.v))
+        assert np.median(slips) < 0.25
+
+    def test_low_stiffness_causes_large_slip(self):
+        """Taped tires: the wheel runs well ahead of the chassis under
+        acceleration — the odometry-degradation mechanism."""
+        grippy = Vehicle(VehicleParams(
+            tire=TireModel(mu=0.766, longitudinal_stiffness=12.0)))
+        taped = Vehicle(VehicleParams(
+            tire=TireModel(mu=0.56, longitudinal_stiffness=2.2)))
+
+        def max_slip(vehicle):
+            worst = 0.0
+            for _ in range(200):
+                s = vehicle.step(6.0, 0.0, DT)
+                worst = max(worst, s.wheel_speed - s.v)
+            return worst
+
+        assert max_slip(taped) > 2 * max_slip(grippy)
+
+    def test_chassis_acceleration_capped_by_friction(self):
+        mu = 0.5
+        v = Vehicle(VehicleParams(tire=TireModel(mu=mu, longitudinal_stiffness=50.0),
+                                  drag_coeff=0.0))
+        prev_speed = 0.0
+        for _ in range(100):
+            s = v.step(8.0, 0.0, DT)
+            accel = (s.v - prev_speed) / DT
+            prev_speed = s.v
+            assert accel <= mu * GRAVITY * 1.05
+
+    def test_braking_slip_negative(self):
+        v = Vehicle(VehicleParams(tire=TireModel(mu=0.56, longitudinal_stiffness=2.2)))
+        drive(v, 5.0, 0.0, 3.0)
+        v.step(0.0, 0.0, DT)
+        slips = []
+        for _ in range(50):
+            s = v.step(0.0, 0.0, DT)
+            slips.append(s.wheel_speed - s.v)
+        assert min(slips) < -0.3
+
+
+class TestCornering:
+    def test_steady_state_turn_radius(self):
+        v = Vehicle()
+        drive(v, 2.0, 0.0, 3.0)
+        steer = 0.25
+        drive(v, 2.0, steer, 2.0)  # let steering settle
+        state = v.state
+        expected_yaw_rate = state.v * np.tan(state.steer) / v.params.wheelbase
+        assert state.yaw_rate == pytest.approx(expected_yaw_rate, rel=0.05)
+
+    def test_understeer_when_demand_exceeds_grip(self):
+        slippery = Vehicle(VehicleParams(tire=TireModel(mu=0.35)))
+        drive(slippery, 5.0, 0.0, 4.0)
+        drive(slippery, 5.0, 0.30, 1.0)
+        state = slippery.state
+        kin_yaw = state.v * np.tan(state.steer) / slippery.params.wheelbase
+        assert state.yaw_rate < 0.9 * kin_yaw  # realised < demanded
+        assert state.v_lateral != 0.0          # drifting
+
+    def test_steering_slew_limited(self):
+        v = Vehicle()
+        v.step(2.0, 0.4, DT)
+        assert abs(v.state.steer) <= v.params.steer_rate * DT + 1e-9
+
+    def test_steering_clipped_to_lock(self):
+        v = Vehicle()
+        drive(v, 1.0, 10.0, 1.0)
+        assert abs(v.state.steer) <= v.params.max_steer + 1e-9
+
+
+class TestStateAndReset:
+    def test_reset_places_pose(self):
+        v = Vehicle()
+        v.reset(np.array([3.0, -2.0, 1.2]), speed=2.5)
+        assert v.state.x == 3.0
+        assert v.state.v == 2.5
+        assert v.state.wheel_speed == 2.5
+
+    def test_state_copy_independent(self):
+        v = Vehicle()
+        snap = v.state.copy()
+        v.step(3.0, 0.0, DT)
+        assert v.state.x != snap.x or v.state.v != snap.v
+
+    def test_pose_array(self):
+        s = VehicleState(x=1.0, y=2.0, theta=0.5)
+        assert np.allclose(s.pose(), [1.0, 2.0, 0.5])
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            Vehicle().step(1.0, 0.0, 0.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            VehicleParams(mass=-1.0).validate()
+        with pytest.raises(ValueError):
+            VehicleParams(drag_coeff=-0.1).validate()
+
+    def test_with_grip(self):
+        p = VehicleParams()
+        q = p.with_grip(0.5)
+        assert q.tire.mu == 0.5
+        assert p.tire.mu != 0.5  # original untouched

@@ -1,0 +1,177 @@
+"""Tests for branch-and-bound global scan matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+from repro.raycast import RayMarching
+from repro.slam.branch_and_bound import BranchAndBoundMatcher
+from repro.slam.scan_matcher import CorrelativeScanMatcher, LikelihoodField
+
+
+@pytest.fixture(scope="module")
+def room_grid():
+    data = np.full((140, 140), FREE, dtype=np.int8)
+    data[0, :] = data[-1, :] = OCCUPIED
+    data[:, 0] = data[:, -1] = OCCUPIED
+    data[40:60, 90] = OCCUPIED   # feature A
+    data[100, 30:55] = OCCUPIED  # feature B (breaks symmetry fully)
+    return OccupancyGrid(data, 0.05)
+
+
+@pytest.fixture(scope="module")
+def field(room_grid):
+    return LikelihoodField(room_grid, sigma=0.1)
+
+
+def scan_from(grid, pose, n=240, max_range=9.0):
+    caster = RayMarching(grid, max_range=max_range)
+    angles = np.linspace(-np.pi, np.pi, n, endpoint=False)
+    ranges = caster.calc_range_many_angles(pose, angles)
+    keep = ranges < max_range - 1e-6
+    return np.stack(
+        [ranges[keep] * np.cos(angles[keep]),
+         ranges[keep] * np.sin(angles[keep])], axis=-1
+    )
+
+
+class TestPyramid:
+    def test_level_zero_interior_is_base(self, field):
+        matcher = BranchAndBoundMatcher(field)
+        pad = matcher._pad
+        assert np.allclose(
+            matcher._pyramid[0][pad:-pad, pad:-pad], field.field
+        )
+
+    def test_padding_is_zero(self, field):
+        matcher = BranchAndBoundMatcher(field)
+        pad = matcher._pad
+        assert np.all(matcher._pyramid[0][:pad, :] == 0.0)
+        assert np.all(matcher._pyramid[0][:, :pad] == 0.0)
+
+    def test_levels_monotone(self, field):
+        """Each level upper-bounds the one below (pointwise where defined)."""
+        pyramid = BranchAndBoundMatcher(field)._pyramid
+        for lower, upper in zip(pyramid[:-1], pyramid[1:]):
+            assert np.all(upper >= lower - 1e-12)
+
+    def test_max_pool_semantics(self, field):
+        """Level h at (r, c) equals the max of the base over the window."""
+        matcher = BranchAndBoundMatcher(field)
+        base = matcher._pyramid[0]
+        level2 = matcher._pyramid[2]
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            r = int(rng.integers(0, base.shape[0] - 4))
+            c = int(rng.integers(0, base.shape[1] - 4))
+            assert level2[r, c] == pytest.approx(
+                base[r : r + 4, c : c + 4].max()
+            )
+
+
+class TestMatchOptimality:
+    def test_recovers_large_offset(self, room_grid, field):
+        true_pose = np.array([2.5, 3.5, 0.3])
+        pts = scan_from(room_grid, true_pose)
+        matcher = BranchAndBoundMatcher(field, angular_step=0.02)
+        guess = true_pose + np.array([0.9, -0.7, 0.2])
+        result = matcher.match(guess, pts, linear_window=1.5,
+                               angular_window=0.4)
+        assert result.converged
+        assert np.hypot(*(result.pose[:2] - true_pose[:2])) < 0.1
+        assert abs(result.pose[2] - true_pose[2]) < 0.04
+
+    def test_matches_exhaustive_search(self, room_grid, field):
+        """BnB must return exactly the best score a brute-force enumeration
+        of the same (cell, angle) lattice finds, under the same
+        (floor-cell) scoring — the optimality guarantee."""
+        true_pose = np.array([3.0, 4.0, -0.5])
+        pts = scan_from(room_grid, true_pose, n=120)
+        guess = true_pose + np.array([0.2, -0.15, 0.05])
+
+        window, ang = 0.3, 0.1
+        bnb = BranchAndBoundMatcher(field, angular_step=0.0125, max_points=80)
+        result_bnb = bnb.match(guess, pts, linear_window=window,
+                               angular_window=ang)
+
+        # Brute force over the identical lattice with BnB's own level-0
+        # scorer (floor-cell lookup).
+        sub = pts
+        if sub.shape[0] > 80:
+            idx = np.linspace(0, sub.shape[0] - 1, 80).round().astype(int)
+            sub = sub[np.unique(idx)]
+        res = field.resolution
+        n_lin = int(np.ceil(window / res))
+        n_ang = int(np.ceil(ang / 0.0125))
+        best = -1.0
+        for k in range(-n_ang, n_ang + 1):
+            theta = guess[2] + k * 0.0125
+            c, s = np.cos(theta), np.sin(theta)
+            world = np.empty_like(sub)
+            world[:, 0] = c * sub[:, 0] - s * sub[:, 1] + guess[0]
+            world[:, 1] = s * sub[:, 0] + c * sub[:, 1] + guess[1]
+            ij = bnb._grid_indices(world)
+            for dx in range(-n_lin, n_lin + 1):
+                for dy in range(-n_lin, n_lin + 1):
+                    score = bnb._score_at(0, ij[:, 0], ij[:, 1], dx, dy)
+                    best = max(best, score)
+
+        assert result_bnb.score == pytest.approx(best, abs=1e-9)
+
+    def test_low_score_not_converged(self, field):
+        """Garbage scan points in free space cannot produce a confident
+        match."""
+        rng = np.random.default_rng(3)
+        garbage = rng.uniform(-0.5, 0.5, size=(50, 2))
+        matcher = BranchAndBoundMatcher(field, min_score=0.3)
+        result = matcher.match(np.array([3.5, 3.5, 0.0]), garbage,
+                               linear_window=0.5, angular_window=0.2)
+        assert not result.converged
+
+    def test_empty_scan(self, field):
+        matcher = BranchAndBoundMatcher(field)
+        result = matcher.match(np.zeros(3), np.zeros((0, 2)))
+        assert not result.converged
+
+    def test_validation(self, field):
+        with pytest.raises(ValueError):
+            BranchAndBoundMatcher(field, angular_step=0.0)
+
+
+class TestBoundAdmissibility:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        dx=st.integers(min_value=-8, max_value=8),
+        dy=st.integers(min_value=-8, max_value=8),
+        level=st.integers(min_value=1, max_value=4),
+    )
+    def test_bound_dominates_exact(self, dx, dy, level):
+        """For any translation inside a window, the window's bound must be
+        >= the exact score — the invariant BnB's correctness rests on."""
+        data = np.full((80, 80), FREE, dtype=np.int8)
+        data[0, :] = data[-1, :] = OCCUPIED
+        data[:, 0] = data[:, -1] = OCCUPIED
+        data[30:40, 50] = OCCUPIED
+        grid = OccupancyGrid(data, 0.05)
+        field = LikelihoodField(grid, sigma=0.1)
+        matcher = BranchAndBoundMatcher(field)
+
+        pose = np.array([2.0, 2.0, 0.2])
+        pts = scan_from(grid, pose, n=60, max_range=5.0)
+        if pts.shape[0] == 0:
+            return
+        ij = matcher._grid_indices(
+            pts @ np.array([[np.cos(pose[2]), np.sin(pose[2])],
+                            [-np.sin(pose[2]), np.cos(pose[2])]])
+            + pose[:2]
+        )
+        cols, rows = ij[:, 0], ij[:, 1]
+
+        window = 2 ** level
+        # Anchor the window so (dx, dy) lies inside it.
+        anchor_x = (dx // window) * window
+        anchor_y = (dy // window) * window
+        bound = matcher._score_at(level, cols, rows, anchor_x, anchor_y)
+        exact = matcher._score_at(0, cols, rows, dx, dy)
+        assert bound >= exact - 1e-9

@@ -1,0 +1,143 @@
+"""Integration tests for the Cartographer facade (both modes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps import generate_track
+from repro.raycast import RayMarching
+from repro.slam import Cartographer, CartographerConfig
+
+
+def make_scan_points(grid, sensor_pose, n_beams=360, max_range=10.0):
+    caster = RayMarching(grid, max_range=max_range)
+    angles = np.linspace(-np.pi, np.pi, n_beams, endpoint=False)
+    ranges = caster.calc_range_many_angles(sensor_pose, angles)
+    keep = ranges < max_range - 1e-6
+    r, a = ranges[keep], angles[keep]
+    return np.stack([r * np.cos(a), r * np.sin(a)], axis=-1)
+
+
+@pytest.fixture(scope="module")
+def track():
+    return generate_track(seed=9, mean_radius=5.0, resolution=0.05, track_width=2.4)
+
+
+class TestPureLocalization:
+    def test_requires_initialize(self, track):
+        carto = Cartographer(frozen_map=track.grid)
+        with pytest.raises(RuntimeError):
+            carto.update(OdometryDelta(0.1, 0, 0, 4.0, 0.025), np.zeros((5, 2)))
+
+    def test_tracks_along_centerline(self, track):
+        """Drive ground truth along the centerline with clean odometry;
+        the published pose must stay within a few centimetres."""
+        carto = Cartographer(frozen_map=track.grid)
+        line = track.centerline
+        offset = 0.0  # keep the sensor at the base frame for this test
+
+        poses = []
+        step = 0.1
+        for k in range(60):
+            s = k * step
+            pt = line.point_at(s)
+            poses.append(np.array([pt[0], pt[1], line.heading_at(s)]))
+
+        carto.initialize(poses[0])
+        errors = []
+        for prev, now in zip(poses[:-1], poses[1:]):
+            delta_arr = now - prev
+            c, sn = np.cos(prev[2]), np.sin(prev[2])
+            delta = OdometryDelta(
+                c * delta_arr[0] + sn * delta_arr[1],
+                -sn * delta_arr[0] + c * delta_arr[1],
+                float(np.arctan2(np.sin(delta_arr[2]), np.cos(delta_arr[2]))),
+                velocity=step / 0.025,
+                dt=0.025,
+            )
+            pts = make_scan_points(track.grid, now)
+            est = carto.update(delta, pts, sensor_offset_x=offset)
+            errors.append(np.hypot(*(est[:2] - now[:2])))
+        assert np.mean(errors) < 0.05
+        assert np.max(errors) < 0.15
+
+    def test_graph_accumulates_constraints(self, track):
+        carto = Cartographer(frozen_map=track.grid)
+        start = track.centerline.start_pose()
+        carto.initialize(start)
+        pts = make_scan_points(track.grid, start)
+        for _ in range(5):
+            carto.update(OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025), pts,
+                         sensor_offset_x=0.0)
+        kinds = {c.kind for c in carto.graph.constraints}
+        assert kinds == {"odometry", "scan_match"}
+        assert carto.graph.num_nodes == 6
+
+    def test_latency_recorded(self, track):
+        carto = Cartographer(frozen_map=track.grid)
+        start = track.centerline.start_pose()
+        carto.initialize(start)
+        pts = make_scan_points(track.grid, start)
+        carto.update(OdometryDelta(0, 0, 0, 0, 0.025), pts, sensor_offset_x=0.0)
+        assert carto.mean_match_latency_ms() > 0
+
+    def test_render_map_rejected(self, track):
+        carto = Cartographer(frozen_map=track.grid)
+        with pytest.raises(RuntimeError):
+            carto.render_map()
+
+
+class TestMappingMode:
+    def test_builds_map_of_small_room(self):
+        """Map a static square room from a slow straight trajectory and
+        check the rendered map shows its walls."""
+        from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+        data = np.full((160, 160), FREE, dtype=np.int8)
+        data[0, :] = data[-1, :] = OCCUPIED
+        data[:, 0] = data[:, -1] = OCCUPIED
+        data[60:100, 80] = OCCUPIED
+        world = OccupancyGrid(data, 0.05)
+
+        config = CartographerConfig(scans_per_submap=30, optimize_every=5)
+        carto = Cartographer(config=config)
+
+        start = np.array([2.0, 2.0, 0.0])
+        carto.initialize(start)
+        pose = start.copy()
+        for _ in range(25):
+            nxt = pose + np.array([0.08, 0.0, 0.0])
+            pts = make_scan_points(world, nxt, max_range=6.0)
+            delta = OdometryDelta(0.08, 0.0, 0.0, velocity=3.2, dt=0.025)
+            carto.update(delta, pts, sensor_offset_x=0.0)
+            pose = nxt
+
+        assert carto.graph.num_nodes == 26
+        rendered = carto.render_map(sensor_offset_x=0.0)
+        # The rendered map must contain occupied cells near the true left
+        # wall x ~ 0.025 for y in the observed band.
+        probe = np.stack(
+            [np.full(10, 0.025), np.linspace(1.0, 3.0, 10)], axis=-1
+        )
+        occupied = rendered.is_occupied_world(probe, unknown_is_occupied=False)
+        assert occupied.mean() > 0.6
+
+    def test_submaps_rotate(self):
+        from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+        data = np.full((160, 160), FREE, dtype=np.int8)
+        data[0, :] = data[-1, :] = OCCUPIED
+        data[:, 0] = data[:, -1] = OCCUPIED
+        world = OccupancyGrid(data, 0.05)
+
+        config = CartographerConfig(scans_per_submap=5)
+        carto = Cartographer(config=config)
+        carto.initialize(np.array([2.0, 2.0, 0.0]))
+        pose = np.array([2.0, 2.0, 0.0])
+        for _ in range(12):
+            pose = pose + np.array([0.05, 0.0, 0.0])
+            pts = make_scan_points(world, pose, max_range=6.0)
+            carto.update(OdometryDelta(0.05, 0, 0, 2.0, 0.025), pts,
+                         sensor_offset_x=0.0)
+        assert len(carto.submaps) >= 3
+        assert carto.submaps[0].finished

@@ -1,0 +1,167 @@
+"""Tests for the SE(2) pose graph and its Gauss-Newton optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.slam.optimizer import optimize_pose_graph
+from repro.slam.pose_graph import (
+    ORIGIN_NODE,
+    PoseGraph,
+    apply_relative,
+    relative_pose,
+)
+
+
+class TestRelativePose:
+    def test_identity(self):
+        p = np.array([1.0, 2.0, 0.5])
+        assert np.allclose(relative_pose(p, p), [0, 0, 0])
+
+    def test_forward_offset(self):
+        a = np.array([0.0, 0.0, np.pi / 2])
+        b = np.array([0.0, 1.0, np.pi / 2])
+        assert np.allclose(relative_pose(a, b), [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_roundtrip_with_apply(self, rng):
+        for _ in range(20):
+            a = rng.uniform(-5, 5, 3)
+            b = rng.uniform(-5, 5, 3)
+            rel = relative_pose(a, b)
+            b_again = apply_relative(a, rel)
+            assert np.allclose(b_again[:2], b[:2], atol=1e-9)
+            assert np.cos(b_again[2]) == pytest.approx(np.cos(b[2]), abs=1e-9)
+
+
+class TestPoseGraphContainer:
+    def test_add_nodes_sequential_ids(self):
+        g = PoseGraph()
+        assert g.add_node(np.zeros(3)) == 0
+        assert g.add_node(np.ones(3)) == 1
+        assert g.num_nodes == 2
+
+    def test_constraint_validation(self):
+        g = PoseGraph()
+        g.add_node(np.zeros(3))
+        with pytest.raises(KeyError):
+            g.add_constraint(0, 5, np.zeros(3), np.eye(3))
+        with pytest.raises(ValueError):
+            g.add_constraint(ORIGIN_NODE, 0, np.zeros(3), np.eye(3), kind="bogus")
+
+    def test_residual_zero_for_consistent(self):
+        g = PoseGraph()
+        a = g.add_node(np.array([0.0, 0.0, 0.0]))
+        b = g.add_node(np.array([1.0, 0.0, 0.0]))
+        c = g.add_constraint(a, b, np.array([1.0, 0.0, 0.0]), np.eye(3))
+        assert np.allclose(g.residual(c), 0.0)
+
+    def test_residual_absolute_constraint(self):
+        g = PoseGraph()
+        n = g.add_node(np.array([2.0, 1.0, 0.3]))
+        c = g.add_constraint(ORIGIN_NODE, n, np.array([2.0, 1.0, 0.3]), np.eye(3))
+        assert np.allclose(g.residual(c), 0.0, atol=1e-12)
+
+    def test_total_error_weighted(self):
+        g = PoseGraph()
+        a = g.add_node(np.zeros(3))
+        b = g.add_node(np.array([1.0, 0.0, 0.0]))
+        g.add_constraint(a, b, np.array([2.0, 0.0, 0.0]), np.eye(3) * 4.0)
+        # residual (-1, 0, 0), info 4 -> error 4.
+        assert g.total_error() == pytest.approx(4.0)
+
+    def test_constraints_touching(self):
+        g = PoseGraph()
+        ids = [g.add_node(np.zeros(3)) for _ in range(4)]
+        g.add_constraint(ids[0], ids[1], np.zeros(3), np.eye(3))
+        g.add_constraint(ids[2], ids[3], np.zeros(3), np.eye(3))
+        touching = g.constraints_touching([ids[1]])
+        assert len(touching) == 1
+
+
+class TestOptimizer:
+    def test_empty_graph(self):
+        assert optimize_pose_graph(PoseGraph()) == 0.0
+
+    def test_chain_correction(self):
+        """Odometry chain with a drifted middle node + absolute anchors:
+        optimisation must pull the chain back to consistency."""
+        g = PoseGraph()
+        n0 = g.add_node(np.array([0.0, 0.0, 0.0]))
+        n1 = g.add_node(np.array([1.3, 0.2, 0.0]))   # true: (1, 0, 0)
+        n2 = g.add_node(np.array([2.0, 0.0, 0.0]))
+
+        odo_info = np.eye(3) * 100.0
+        g.add_constraint(n0, n1, np.array([1.0, 0.0, 0.0]), odo_info)
+        g.add_constraint(n1, n2, np.array([1.0, 0.0, 0.0]), odo_info)
+        g.add_constraint(ORIGIN_NODE, n2, np.array([2.0, 0.0, 0.0]),
+                         np.eye(3) * 1000.0, kind="scan_match")
+
+        final_error = optimize_pose_graph(g)
+        assert final_error < 1e-6
+        assert np.allclose(g.poses[n1], [1.0, 0.0, 0.0], atol=1e-3)
+
+    def test_first_node_stays_anchored(self):
+        g = PoseGraph()
+        n0 = g.add_node(np.array([5.0, 5.0, 1.0]))
+        n1 = g.add_node(np.array([6.0, 5.0, 1.0]))
+        g.add_constraint(n0, n1, np.array([2.0, 0.0, 0.0]), np.eye(3))
+        optimize_pose_graph(g)
+        assert np.allclose(g.poses[n0], [5.0, 5.0, 1.0])
+
+    def test_free_subset_only_moves_subset(self):
+        g = PoseGraph()
+        nodes = [g.add_node(np.array([float(i), 0.0, 0.0])) for i in range(5)]
+        for i in range(4):
+            g.add_constraint(
+                nodes[i], nodes[i + 1], np.array([1.5, 0.0, 0.0]), np.eye(3)
+            )
+        frozen_before = {i: g.poses[i].copy() for i in nodes[:3]}
+        optimize_pose_graph(g, free_nodes=nodes[3:])
+        for i in nodes[:3]:
+            assert np.allclose(g.poses[i], frozen_before[i])
+
+    def test_loop_closure_distributes_error(self):
+        """A square loop with accumulated drift and one loop-closure
+        constraint: the closure should pull the end near the start."""
+        g = PoseGraph()
+        true_poses = [
+            np.array([0.0, 0.0, 0.0]),
+            np.array([2.0, 0.0, np.pi / 2]),
+            np.array([2.0, 2.0, np.pi]),
+            np.array([0.0, 2.0, -np.pi / 2]),
+            np.array([0.0, 0.0, 0.0]),
+        ]
+        # Initial estimates drift increasingly.
+        drift = np.array([0.0, 0.08, 0.02])
+        node_ids = []
+        for k, p in enumerate(true_poses):
+            node_ids.append(g.add_node(p + k * drift))
+        for k in range(4):
+            g.add_constraint(
+                node_ids[k], node_ids[k + 1],
+                relative_pose(true_poses[k], true_poses[k + 1]),
+                np.eye(3) * 10.0,
+            )
+        # Loop closure: last node observed at the first node's pose.
+        g.add_constraint(
+            node_ids[0], node_ids[4], np.zeros(3), np.eye(3) * 1000.0,
+            kind="loop_closure",
+        )
+        optimize_pose_graph(g)
+        end = g.poses[node_ids[4]]
+        assert np.hypot(end[0], end[1]) < 0.02
+
+    def test_rotation_heavy_graph_converges(self, rng):
+        g = PoseGraph()
+        poses = [np.array([0.0, 0.0, 0.0])]
+        ids = [g.add_node(poses[0])]
+        for k in range(10):
+            step = np.array([0.5, 0.0, 0.6])
+            nxt = apply_relative(poses[-1], step)
+            poses.append(nxt)
+            noisy = nxt + rng.normal(0, 0.05, 3)
+            ids.append(g.add_node(noisy))
+            g.add_constraint(ids[-2], ids[-1], step, np.eye(3) * 50.0)
+        err = optimize_pose_graph(g)
+        assert err < 1e-3
+        for node_id, true in zip(ids, poses):
+            assert np.allclose(g.poses[node_id][:2], true[:2], atol=0.01)

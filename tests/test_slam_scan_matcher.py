@@ -1,0 +1,173 @@
+"""Tests for the likelihood field and two-stage scan matching."""
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+from repro.raycast import RayMarching
+from repro.slam.scan_matcher import (
+    CorrelativeScanMatcher,
+    GaussNewtonRefiner,
+    LikelihoodField,
+    ScanMatcher,
+)
+
+
+@pytest.fixture(scope="module")
+def room_grid():
+    data = np.full((120, 120), FREE, dtype=np.int8)
+    data[0, :] = data[-1, :] = OCCUPIED
+    data[:, 0] = data[:, -1] = OCCUPIED
+    data[50:70, 60] = OCCUPIED  # interior feature breaks symmetry
+    return OccupancyGrid(data, 0.05)
+
+
+def scan_points_from(grid, pose, n_beams=180, max_range=8.0):
+    """Noise-free scan hit points in the sensor frame."""
+    caster = RayMarching(grid, max_range=max_range)
+    angles = np.linspace(-np.pi, np.pi, n_beams, endpoint=False)
+    ranges = caster.calc_range_many_angles(pose, angles)
+    keep = ranges < max_range - 1e-6
+    r, a = ranges[keep], angles[keep]
+    return np.stack([r * np.cos(a), r * np.sin(a)], axis=-1)
+
+
+class TestLikelihoodField:
+    def test_peak_on_obstacle(self, room_grid):
+        field = LikelihoodField(room_grid, sigma=0.1)
+        on_wall = field.sample(np.array([[3.0, 0.025]]))
+        in_free = field.sample(np.array([[3.0, 1.5]]))
+        assert on_wall[0] > 0.9
+        assert in_free[0] < 0.01
+
+    def test_outside_map_zero(self, room_grid):
+        field = LikelihoodField(room_grid)
+        assert field.sample(np.array([[100.0, 100.0]]))[0] == 0.0
+
+    def test_gradient_points_toward_wall(self, room_grid):
+        field = LikelihoodField(room_grid, sigma=0.15)
+        # Near the left wall (x = 0.025): likelihood increases toward -x.
+        _, grads = field.sample_with_gradient(np.array([[0.25, 3.0]]))
+        assert grads[0, 0] < 0
+
+    def test_gradient_matches_finite_difference(self, room_grid):
+        field = LikelihoodField(room_grid, sigma=0.15)
+        p = np.array([[0.3, 3.0]])
+        eps = 1e-5
+        _, grads = field.sample_with_gradient(p)
+        for axis in (0, 1):
+            dp = np.zeros((1, 2))
+            dp[0, axis] = eps
+            numeric = (field.sample(p + dp)[0] - field.sample(p - dp)[0]) / (2 * eps)
+            assert grads[0, axis] == pytest.approx(numeric, abs=1e-3)
+
+    def test_rejects_bad_sigma(self, room_grid):
+        with pytest.raises(ValueError):
+            LikelihoodField(room_grid, sigma=0.0)
+
+
+class TestCorrelativeMatcher:
+    def test_recovers_known_offset(self, room_grid):
+        true_pose = np.array([1.5, 3.0, 0.4])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.1)
+        matcher = CorrelativeScanMatcher(field, linear_window=0.2, angular_window=0.12)
+
+        guess = true_pose + np.array([0.1, -0.08, 0.05])
+        result = matcher.match(guess, pts)
+        # Sub-cell bias of ray-marched scan endpoints plus the 0.025 m
+        # search lattice bound the achievable accuracy here.
+        assert np.hypot(*(result.pose[:2] - true_pose[:2])) < 0.07
+        assert abs(result.pose[2] - true_pose[2]) < 0.03
+        assert result.score > 0.6
+
+    def test_empty_scan(self, room_grid):
+        field = LikelihoodField(room_grid)
+        matcher = CorrelativeScanMatcher(field)
+        result = matcher.match(np.array([3.0, 3.0, 0.0]), np.zeros((0, 2)))
+        assert not result.converged
+
+    def test_covariance_positive_semidefinite(self, room_grid):
+        true_pose = np.array([2.0, 4.0, -0.3])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.1)
+        matcher = CorrelativeScanMatcher(field)
+        result = matcher.match(true_pose, pts)
+        eigvals = np.linalg.eigvalsh(result.covariance)
+        assert np.all(eigvals > 0)
+
+    def test_window_validation(self, room_grid):
+        field = LikelihoodField(room_grid)
+        with pytest.raises(ValueError):
+            CorrelativeScanMatcher(field, linear_window=0.0)
+
+
+class TestGaussNewtonRefiner:
+    def test_refines_small_offset(self, room_grid):
+        true_pose = np.array([2.0, 3.0, 0.2])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.15)
+        refiner = GaussNewtonRefiner(field)
+        guess = true_pose + np.array([0.06, -0.05, 0.02])
+        result = refiner.refine(guess, pts)
+        assert np.hypot(*(result.pose[:2] - true_pose[:2])) < 0.02
+
+    def test_prior_anchors_solution(self, room_grid):
+        """With a heavy prior the result must stay near the (wrong) prior —
+        the odometry-drag mechanism of the paper's Cartographer failure."""
+        true_pose = np.array([3.0, 3.0, 0.2])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.15)
+
+        wrong_prior = true_pose + np.array([0.10, 0.0, 0.0])
+        free_ref = GaussNewtonRefiner(field)
+        anchored_ref = GaussNewtonRefiner(
+            field, prior_translation_weight=50.0, prior_rotation_weight=50.0
+        )
+        free = free_ref.refine(wrong_prior, pts, prior_pose=wrong_prior)
+        anchored = anchored_ref.refine(wrong_prior, pts, prior_pose=wrong_prior)
+
+        err_free = np.hypot(*(free.pose[:2] - true_pose[:2]))
+        err_anch = np.hypot(*(anchored.pose[:2] - true_pose[:2]))
+        assert err_free < 0.03
+        assert err_anch > 2 * err_free
+
+    def test_rejects_negative_weights(self, room_grid):
+        field = LikelihoodField(room_grid)
+        with pytest.raises(ValueError):
+            GaussNewtonRefiner(field, prior_translation_weight=-1.0)
+
+
+class TestScanMatcherFacade:
+    @pytest.mark.parametrize("use_correlative", [True, False])
+    def test_end_to_end_recovery(self, room_grid, use_correlative):
+        true_pose = np.array([4.0, 2.5, 1.0])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.12)
+        matcher = ScanMatcher(field, use_correlative=use_correlative)
+        guess = true_pose + np.array([0.08, 0.06, -0.04])
+        result = matcher.match(guess, pts)
+        assert np.hypot(*(result.pose[:2] - true_pose[:2])) < 0.05
+
+    def test_subsampling_cap(self, room_grid):
+        field = LikelihoodField(room_grid)
+        matcher = ScanMatcher(field, max_points=50)
+        pts = np.random.default_rng(0).uniform(-1, 1, size=(500, 2))
+        assert matcher.subsample(pts).shape[0] <= 50
+
+    def test_correlative_beats_gn_for_large_offsets(self, room_grid):
+        """Outside the GN basin only the windowed search recovers."""
+        true_pose = np.array([1.5, 3.0, 0.0])
+        pts = scan_points_from(room_grid, true_pose)
+        field = LikelihoodField(room_grid, sigma=0.12)
+        guess = true_pose + np.array([0.45, 0.0, 0.0])
+
+        gn_only = ScanMatcher(field, use_correlative=False).match(guess, pts)
+        windowed = ScanMatcher(
+            field, use_correlative=True, linear_window=0.5
+        ).match(guess, pts)
+
+        err_gn = np.hypot(*(gn_only.pose[:2] - true_pose[:2]))
+        err_win = np.hypot(*(windowed.pose[:2] - true_pose[:2]))
+        assert err_win < 0.05
+        assert err_gn > err_win

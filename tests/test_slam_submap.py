@@ -1,0 +1,106 @@
+"""Tests for probability-grid submaps."""
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN
+from repro.slam.submap import ProbabilityGrid, Submap
+
+
+def square_scan(half=2.0, n=50):
+    """Hit points of a square room seen from its centre, sensor frame."""
+    pts = []
+    side = np.linspace(-half, half, n)
+    for s in side:
+        pts.extend([[s, half], [s, -half], [half, s], [-half, s]])
+    return np.array(pts)
+
+
+class TestProbabilityGrid:
+    def test_starts_unknown(self):
+        g = ProbabilityGrid(10, 10, 0.1)
+        assert np.isnan(g.prob).all()
+
+    def test_hit_raises_probability(self):
+        g = ProbabilityGrid(100, 100, 0.1, origin=(-5, -5))
+        g.insert_scan(np.zeros(3), square_scan())
+        ij = g.world_to_grid(np.array([2.0, 0.0]))
+        assert g.prob[ij[1], ij[0]] >= g.p_hit - 1e-6
+
+    def test_miss_lowers_probability(self):
+        g = ProbabilityGrid(100, 100, 0.1, origin=(-5, -5))
+        g.insert_scan(np.zeros(3), square_scan())
+        ij = g.world_to_grid(np.array([1.0, 0.0]))  # along a ray, before the wall
+        assert g.prob[ij[1], ij[0]] <= g.p_miss + 1e-6
+
+    def test_repeated_hits_increase_confidence(self):
+        g = ProbabilityGrid(100, 100, 0.1, origin=(-5, -5))
+        scan = square_scan()
+        g.insert_scan(np.zeros(3), scan)
+        ij = g.world_to_grid(np.array([2.0, 0.0]))
+        after_one = g.prob[ij[1], ij[0]]
+        for _ in range(5):
+            g.insert_scan(np.zeros(3), scan)
+        after_six = g.prob[ij[1], ij[0]]
+        assert after_six > after_one
+
+    def test_probabilities_clamped(self):
+        g = ProbabilityGrid(100, 100, 0.1, origin=(-5, -5), p_max=0.9, p_min=0.2)
+        scan = square_scan()
+        for _ in range(50):
+            g.insert_scan(np.zeros(3), scan)
+        known = g.prob[~np.isnan(g.prob)]
+        assert known.max() <= 0.9 + 1e-6
+        assert known.min() >= 0.2 - 1e-6
+
+    def test_out_of_grid_points_ignored(self):
+        g = ProbabilityGrid(10, 10, 0.1)
+        g.insert_scan(np.zeros(3), np.array([[100.0, 100.0]]))  # far outside
+        # No crash; grid may stay fully unknown.
+        assert g.prob.shape == (10, 10)
+
+    def test_to_occupancy_grid_three_states(self):
+        g = ProbabilityGrid(100, 100, 0.1, origin=(-5, -5))
+        g.insert_scan(np.zeros(3), square_scan())
+        og = g.to_occupancy_grid()
+        assert np.any(og.data == OCCUPIED)
+        assert np.any(og.data == FREE)
+        assert np.any(og.data == UNKNOWN)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProbabilityGrid(0, 10, 0.1)
+        with pytest.raises(ValueError):
+            ProbabilityGrid(10, 10, 0.1, p_hit=0.4)  # must be > 0.5
+        with pytest.raises(ValueError):
+            ProbabilityGrid(10, 10, 0.1, p_miss=0.7)  # must be < 0.5
+
+    def test_hit_beats_miss_on_same_cell(self):
+        """A cell hit by one ray and crossed by another must not be erased:
+        the scan inserter never miss-updates a hit cell."""
+        g = ProbabilityGrid(100, 100, 0.05, origin=(-2.5, -2.5))
+        # Two collinear hits: the far point's ray passes through the near
+        # hit cell's neighbourhood.
+        pts = np.array([[1.0, 0.0], [2.0, 0.001]])
+        g.insert_scan(np.zeros(3), pts)
+        ij = g.world_to_grid(np.array([1.0, 0.0]))
+        assert g.prob[ij[1], ij[0]] >= g.p_hit - 1e-6
+
+
+class TestSubmap:
+    def test_create_centered(self):
+        sm = Submap.create(np.array([3.0, 4.0]), index=0, size_m=8.0, resolution=0.1)
+        assert sm.grid.shape == (80, 80)
+        assert sm.grid.origin == pytest.approx((-1.0, 0.0))
+
+    def test_insert_counts(self):
+        sm = Submap.create(np.zeros(2), 0, size_m=6.0, resolution=0.1)
+        sm.insert(np.zeros(3), square_scan(half=1.5), node_id=7)
+        assert sm.num_scans == 1
+        assert sm.node_ids == [7]
+
+    def test_finished_rejects_insert(self):
+        sm = Submap.create(np.zeros(2), 0, size_m=6.0, resolution=0.1)
+        sm.finish()
+        with pytest.raises(RuntimeError):
+            sm.insert(np.zeros(3), square_scan(half=1.5))

@@ -1,0 +1,147 @@
+"""Unit and property tests for angle arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.angles import (
+    angle_diff,
+    angle_linspace,
+    circular_mean,
+    circular_std,
+    wrap_to_pi,
+)
+
+finite_angles = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestWrapToPi:
+    def test_identity_inside_interval(self):
+        assert wrap_to_pi(0.5) == pytest.approx(0.5)
+        assert wrap_to_pi(-3.0) == pytest.approx(-3.0)
+
+    def test_wraps_above(self):
+        assert wrap_to_pi(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_wraps_below(self):
+        assert wrap_to_pi(-np.pi - 0.1) == pytest.approx(np.pi - 0.1)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_to_pi(np.pi) == pytest.approx(np.pi)
+        assert wrap_to_pi(-np.pi) == pytest.approx(np.pi)
+
+    def test_array_input_preserves_shape(self):
+        arr = np.array([[0.0, 4.0], [-4.0, 10.0]])
+        out = wrap_to_pi(arr)
+        assert out.shape == arr.shape
+        assert np.all(out > -np.pi) and np.all(out <= np.pi)
+
+    def test_scalar_returns_python_float(self):
+        assert isinstance(wrap_to_pi(7.0), float)
+
+    @given(finite_angles)
+    def test_result_always_in_interval(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert -np.pi < wrapped <= np.pi
+
+    @given(finite_angles)
+    def test_wrapping_preserves_direction(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert np.cos(wrapped) == pytest.approx(np.cos(angle), abs=1e-6)
+        assert np.sin(wrapped) == pytest.approx(np.sin(angle), abs=1e-6)
+
+
+class TestAngleDiff:
+    def test_simple_difference(self):
+        assert angle_diff(0.3, 0.1) == pytest.approx(0.2)
+
+    def test_wraps_through_pi(self):
+        # Short way around from -pi+0.1 to pi-0.1 is -0.2.
+        assert angle_diff(np.pi - 0.1, -np.pi + 0.1) == pytest.approx(-0.2)
+
+    def test_antisymmetric(self):
+        assert angle_diff(1.0, 2.5) == pytest.approx(-angle_diff(2.5, 1.0))
+
+    @given(finite_angles, finite_angles)
+    def test_magnitude_at_most_pi(self, a, b):
+        assert abs(angle_diff(a, b)) <= np.pi + 1e-9
+
+
+class TestCircularMean:
+    def test_matches_linear_mean_for_clustered(self):
+        angles = np.array([0.1, 0.2, 0.3])
+        assert circular_mean(angles) == pytest.approx(0.2, abs=1e-9)
+
+    def test_handles_wraparound(self):
+        angles = np.array([np.pi - 0.1, -np.pi + 0.1])
+        assert abs(circular_mean(angles)) == pytest.approx(np.pi, abs=1e-9)
+
+    def test_weighted(self):
+        angles = np.array([0.0, 1.0])
+        weights = np.array([1.0, 0.0])
+        assert circular_mean(angles, weights) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+
+    def test_mismatched_weights_raise(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_symmetric_distribution_returns_zero(self):
+        angles = np.array([0.0, np.pi / 2, np.pi, -np.pi / 2])
+        assert circular_mean(angles) == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(min_value=-0.5, max_value=0.5), min_size=1, max_size=30),
+        st.floats(min_value=-3.0, max_value=3.0),
+    )
+    def test_shift_equivariance(self, angles, shift):
+        """Rotating every input rotates the mean by the same amount."""
+        angles = np.array(angles)
+        base = circular_mean(angles)
+        shifted = circular_mean(wrap_to_pi(angles + shift))
+        assert angle_diff(shifted, base + shift) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCircularStd:
+    def test_zero_for_identical_angles(self):
+        assert circular_std(np.full(5, 1.3)) == pytest.approx(0.0, abs=1e-5)
+
+    def test_matches_linear_std_when_clustered(self):
+        rng = np.random.default_rng(0)
+        angles = rng.normal(0.0, 0.05, size=5000)
+        assert circular_std(angles) == pytest.approx(np.std(angles), rel=0.05)
+
+    def test_increases_with_spread(self):
+        rng = np.random.default_rng(0)
+        tight = circular_std(rng.normal(0, 0.05, 1000))
+        wide = circular_std(rng.normal(0, 0.5, 1000))
+        assert wide > tight
+
+    def test_invariant_to_wraparound_location(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0.0, 0.1, size=1000)
+        at_zero = circular_std(noise)
+        at_pi = circular_std(wrap_to_pi(noise + np.pi))
+        assert at_pi == pytest.approx(at_zero, rel=1e-6)
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            circular_std(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
+
+
+class TestAngleLinspace:
+    def test_count(self):
+        assert angle_linspace(-1.0, 1.0, 7).shape == (7,)
+
+    def test_wraps_results(self):
+        out = angle_linspace(0.0, 4 * np.pi, 9)
+        assert np.all(out > -np.pi) and np.all(out <= np.pi)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            angle_linspace(0.0, 1.0, 0)

@@ -1,0 +1,108 @@
+"""Tests for config serialisation round trips."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.particle_filter import ParticleFilterConfig
+from repro.core.sensor_models import SensorModelConfig
+from repro.core.supervisor import SupervisorConfig
+from repro.sim.simulator import SimConfig
+from repro.sim.tire import TireModel
+from repro.sim.vehicle import VehicleParams
+from repro.slam.cartographer import CartographerConfig
+from repro.utils.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+ALL_CONFIGS = [
+    ParticleFilterConfig(),
+    ParticleFilterConfig(num_particles=123, adaptive=True,
+                         sensor=SensorModelConfig(sigma_hit=0.07)),
+    CartographerConfig(),
+    CartographerConfig(use_online_correlative=True,
+                       prior_translation_weight=0.42),
+    SimConfig(seed=7),
+    VehicleParams(tire=TireModel(mu=0.5)),
+    SupervisorConfig(recovery_spreads=(0.2, 0.9)),
+    TireModel(mu=0.61),
+]
+
+
+@pytest.mark.parametrize(
+    "config", ALL_CONFIGS, ids=lambda c: type(c).__name__ + "-" + str(id(c))[-4:]
+)
+class TestRoundTrip:
+    def test_dict_roundtrip(self, config):
+        data = config_to_dict(config)
+        rebuilt = config_from_dict(type(config), data)
+        assert rebuilt == config
+
+    def test_json_roundtrip(self, config, tmp_path):
+        path = str(tmp_path / "config.json")
+        save_config(config, path)
+        rebuilt = load_config(type(config), path)
+        assert rebuilt == config
+
+
+class TestDictFormat:
+    def test_type_tag_present(self):
+        data = config_to_dict(TireModel())
+        assert data["__type__"] == "TireModel"
+
+    def test_nested_config_tagged(self):
+        data = config_to_dict(ParticleFilterConfig())
+        assert data["sensor"]["__type__"] == "SensorModelConfig"
+
+    def test_numpy_scalars_converted(self):
+        cfg = TireModel(mu=np.float64(0.7))
+        data = config_to_dict(cfg)
+        assert isinstance(data["mu"], float)
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            config_to_dict({"not": "a dataclass"})
+        with pytest.raises(TypeError):
+            config_from_dict(dict, {})
+
+
+class TestValidationOnLoad:
+    def test_unknown_key_rejected(self):
+        data = config_to_dict(TireModel())
+        data["bogus_knob"] = 1.0
+        with pytest.raises(ValueError, match="unknown config keys"):
+            config_from_dict(TireModel, data)
+
+    def test_unknown_key_tolerated_when_lenient(self):
+        data = config_to_dict(TireModel())
+        data["future_field"] = 1.0
+        rebuilt = config_from_dict(TireModel, data, strict=False)
+        assert rebuilt == TireModel()
+
+    def test_type_tag_mismatch(self):
+        data = config_to_dict(TireModel())
+        with pytest.raises(ValueError, match="mismatch"):
+            config_from_dict(SensorModelConfig, data)
+
+    def test_partial_dict_uses_defaults(self):
+        rebuilt = config_from_dict(TireModel, {"mu": 0.9})
+        assert rebuilt.mu == 0.9
+        assert rebuilt.longitudinal_stiffness == TireModel().longitudinal_stiffness
+
+    def test_dataclass_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            config_from_dict(TireModel, {"mu": -1.0})
+
+
+class TestTuplesPreserved:
+    def test_recovery_spreads_tuple(self, tmp_path):
+        cfg = SupervisorConfig(recovery_spreads=(0.1, 0.2, 0.3))
+        path = str(tmp_path / "s.json")
+        save_config(cfg, path)
+        rebuilt = load_config(SupervisorConfig, path)
+        assert isinstance(rebuilt.recovery_spreads, tuple)
+        assert rebuilt.recovery_spreads == (0.1, 0.2, 0.3)

@@ -1,0 +1,117 @@
+"""Unit and property tests for SE(2) geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.geometry import (
+    SE2,
+    homogeneous_from_pose,
+    pose_from_homogeneous,
+    rot2d,
+    transform_points,
+    transform_points_batch,
+)
+
+pose_components = st.floats(min_value=-100, max_value=100, allow_nan=False)
+pose_strategy = st.tuples(
+    pose_components,
+    pose_components,
+    st.floats(min_value=-np.pi, max_value=np.pi),
+)
+
+
+class TestRot2d:
+    def test_identity(self):
+        assert np.allclose(rot2d(0.0), np.eye(2))
+
+    def test_quarter_turn(self):
+        r = rot2d(np.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0.0]), [0.0, 1.0], atol=1e-12)
+
+    def test_orthonormal(self):
+        r = rot2d(0.73)
+        assert np.allclose(r @ r.T, np.eye(2), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestHomogeneous:
+    @given(pose_strategy)
+    def test_roundtrip(self, pose):
+        pose = np.array(pose)
+        recovered = pose_from_homogeneous(homogeneous_from_pose(pose))
+        assert np.allclose(recovered, pose, atol=1e-9)
+
+    def test_matrix_composition_matches_se2(self):
+        a = np.array([1.0, 2.0, 0.3])
+        b = np.array([-0.5, 0.7, -1.1])
+        via_matrix = pose_from_homogeneous(
+            homogeneous_from_pose(a) @ homogeneous_from_pose(b)
+        )
+        via_se2 = (SE2.from_array(a) @ SE2.from_array(b)).as_array()
+        assert np.allclose(via_matrix, via_se2, atol=1e-12)
+
+
+class TestTransformPoints:
+    def test_identity_pose(self):
+        pts = np.array([[1.0, 2.0], [-3.0, 0.5]])
+        assert np.allclose(transform_points(np.zeros(3), pts), pts)
+
+    def test_pure_translation(self):
+        pts = np.array([[1.0, 1.0]])
+        out = transform_points(np.array([2.0, -1.0, 0.0]), pts)
+        assert np.allclose(out, [[3.0, 0.0]])
+
+    def test_pure_rotation(self):
+        pts = np.array([[1.0, 0.0]])
+        out = transform_points(np.array([0.0, 0.0, np.pi / 2]), pts)
+        assert np.allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(5)
+        poses = rng.uniform(-5, 5, size=(4, 3))
+        pts = rng.uniform(-2, 2, size=(7, 2))
+        batch = transform_points_batch(poses, pts)
+        assert batch.shape == (4, 7, 2)
+        for i, pose in enumerate(poses):
+            assert np.allclose(batch[i], transform_points(pose, pts), atol=1e-12)
+
+
+class TestSE2:
+    def test_identity_is_neutral(self):
+        p = SE2(1.0, 2.0, 0.5)
+        assert (SE2.identity() @ p).as_array() == pytest.approx(p.as_array())
+        assert (p @ SE2.identity()).as_array() == pytest.approx(p.as_array())
+
+    @given(pose_strategy)
+    def test_inverse_cancels(self, pose):
+        p = SE2(*pose)
+        composed = p @ p.inverse()
+        assert np.allclose(composed.as_array(), [0, 0, 0], atol=1e-6)
+
+    @given(pose_strategy, pose_strategy, pose_strategy)
+    def test_associativity(self, a, b, c):
+        pa, pb, pc = SE2(*a), SE2(*b), SE2(*c)
+        left = ((pa @ pb) @ pc).as_array()
+        right = (pa @ (pb @ pc)).as_array()
+        assert np.allclose(left[:2], right[:2], atol=1e-6)
+        assert np.cos(left[2]) == pytest.approx(np.cos(right[2]), abs=1e-9)
+
+    def test_relative_to(self):
+        world_a = SE2(1.0, 0.0, np.pi / 2)
+        world_b = SE2(1.0, 2.0, np.pi / 2)
+        rel = world_b.relative_to(world_a)
+        # b is 2 m in front of a (a faces +y).
+        assert rel.as_array() == pytest.approx([2.0, 0.0, 0.0], abs=1e-12)
+
+    def test_apply_matches_function(self):
+        pose = np.array([0.5, -1.0, 0.8])
+        pts = np.array([[1.0, 2.0], [0.0, 0.0]])
+        assert np.allclose(SE2.from_array(pose).apply(pts), transform_points(pose, pts))
+
+    def test_distance(self):
+        assert SE2(0, 0, 0).distance_to(SE2(3, 4, 1)) == pytest.approx(5.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SE2(0, 0, 0).x = 1.0

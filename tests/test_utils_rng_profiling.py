@@ -1,0 +1,88 @@
+"""Tests for RNG plumbing and timing instrumentation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.profiling import Stopwatch, TimingStats
+from repro.utils.rng import make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1_000_000, size=5)
+        b = make_rng(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSplitRng:
+    def test_children_are_independent_of_sibling_consumption(self):
+        """Draining one child must not change another child's sequence."""
+        parent_a = make_rng(7)
+        children_a = split_rng(parent_a, 2)
+        _ = children_a[0].normal(size=1000)  # drain child 0
+        seq_a = children_a[1].normal(size=5)
+
+        parent_b = make_rng(7)
+        children_b = split_rng(parent_b, 2)
+        seq_b = children_b[1].normal(size=5)
+        assert np.allclose(seq_a, seq_b)
+
+    def test_children_differ_from_each_other(self):
+        children = split_rng(make_rng(7), 2)
+        assert not np.allclose(children[0].normal(size=8), children[1].normal(size=8))
+
+    def test_count_zero(self):
+        assert split_rng(make_rng(0), 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            split_rng(make_rng(0), -1)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+        assert sw.elapsed_ms == pytest.approx(sw.elapsed * 1e3)
+
+
+class TestTimingStats:
+    def test_record_and_summary(self):
+        stats = TimingStats()
+        stats.record("step", 0.002)
+        stats.record("step", 0.004)
+        assert stats.count("step") == 2
+        assert stats.mean_ms("step") == pytest.approx(3.0)
+        assert stats.median_ms("step") == pytest.approx(3.0)
+        assert stats.total_s("step") == pytest.approx(0.006)
+
+        summary = stats.summary()
+        assert summary["step"]["count"] == 2
+        assert summary["step"]["mean_ms"] == pytest.approx(3.0)
+
+    def test_time_context_manager(self):
+        stats = TimingStats()
+        with stats.time("work"):
+            time.sleep(0.005)
+        assert stats.count("work") == 1
+        assert stats.mean_ms("work") >= 4.0
+
+    def test_percentile(self):
+        stats = TimingStats()
+        for v in range(1, 101):
+            stats.record("x", v / 1000.0)
+        assert stats.percentile_ms("x", 50) == pytest.approx(50.5)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            TimingStats().mean_ms("nope")

@@ -1,0 +1,158 @@
+"""Tests for SVG/ASCII visualisation."""
+
+import re
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, UNKNOWN, OccupancyGrid
+from repro.viz.render import ascii_map, render_experiment_svg, render_map_svg
+from repro.viz.svg import SvgCanvas, _encode_png_grayscale
+
+
+def tiny_grid():
+    data = np.full((20, 30), UNKNOWN, dtype=np.int8)
+    data[4:16, 4:26] = FREE
+    data[4, 4:26] = OCCUPIED
+    data[15, 4:26] = OCCUPIED
+    return OccupancyGrid(data, 0.1, origin=(-1.0, -0.5))
+
+
+class TestSvgCanvas:
+    def test_world_to_pixel_flips_y(self):
+        canvas = SvgCanvas((0, 0), (10, 5), width_px=100)
+        top_left = canvas.to_px(np.array([0.0, 5.0]))[0]
+        bottom_left = canvas.to_px(np.array([0.0, 0.0]))[0]
+        assert top_left[1] == pytest.approx(0.0)
+        assert bottom_left[1] == pytest.approx(canvas.height_px)
+
+    def test_aspect_ratio(self):
+        canvas = SvgCanvas((0, 0), (10, 5), width_px=200)
+        assert canvas.height_px == 100
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            SvgCanvas((0, 0), (0, 5))
+
+    def test_document_well_formed(self):
+        canvas = SvgCanvas((0, 0), (4, 4), width_px=64)
+        canvas.circle((1, 1), 0.2, fill="#123456")
+        canvas.polyline(np.array([[0, 0], [1, 1], [2, 0]]), stroke="#f00")
+        canvas.text((2, 2), "hello <&>")
+        canvas.arrow(np.array([1.0, 2.0, 0.5]))
+        svg = canvas.to_string()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") >= 1
+        assert "&lt;" in svg and "&amp;" in svg  # escaped text
+        # Every opened group is closed.
+        assert svg.count("<g ") == svg.count("</g>")
+
+    def test_circles_batch(self):
+        canvas = SvgCanvas((0, 0), (4, 4))
+        pts = np.random.default_rng(0).uniform(0, 4, size=(50, 2))
+        canvas.circles(pts, 0.05)
+        assert canvas.to_string().count("<circle") == 50
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas((0, 0), (1, 1))
+        path = str(tmp_path / "x.svg")
+        canvas.save(path)
+        with open(path) as f:
+            assert "<svg" in f.read()
+
+
+class TestPngEncoder:
+    def test_signature_and_chunks(self):
+        img = np.arange(24, dtype=np.uint8).reshape(4, 6)
+        png = _encode_png_grayscale(img)
+        assert png[:8] == b"\x89PNG\r\n\x1a\n"
+        assert b"IHDR" in png and b"IDAT" in png and b"IEND" in png
+
+    def test_payload_roundtrip(self):
+        img = np.random.default_rng(1).integers(0, 256, (8, 5)).astype(np.uint8)
+        png = _encode_png_grayscale(img)
+        idat_start = png.index(b"IDAT") + 4
+        length = int.from_bytes(png[idat_start - 8 : idat_start - 4], "big")
+        raw = zlib.decompress(png[idat_start : idat_start + length])
+        rows = [raw[r * 6 + 1 : r * 6 + 6] for r in range(8)]  # skip filter byte
+        recovered = np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(8, 5)
+        assert np.array_equal(recovered, img)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            _encode_png_grayscale(np.zeros((2, 2, 3), dtype=np.uint8))
+
+
+class TestRenderMapSvg:
+    def test_full_overlay_stack(self, tmp_path):
+        grid = tiny_grid()
+        rng = np.random.default_rng(0)
+        canvas = render_map_svg(
+            grid,
+            width_px=400,
+            raceline=rng.uniform(0, 1, (20, 2)),
+            trajectories={
+                "truth": rng.uniform(0, 1, (30, 3)),
+                "estimate": rng.uniform(0, 1, (30, 3)),
+            },
+            particles=rng.uniform(0, 1, (100, 3)),
+            pose=np.array([0.5, 0.5, 1.0]),
+            scan_points_world=rng.uniform(0, 1, (40, 2)),
+            title="test view",
+        )
+        svg = canvas.to_string()
+        assert "image/png" in svg            # raster layer present
+        assert svg.count("<polyline") >= 3   # raceline omitted (polygon) + 2 traj + arrow
+        assert "test view" in svg
+        path = str(tmp_path / "map.svg")
+        canvas.save(path)
+
+    def test_experiment_view(self, small_track):
+        from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+        lidar = SimulatedLidar(small_track.grid, LidarConfig(), seed=0)
+        pose = small_track.centerline.start_pose()
+        scan = lidar.scan(pose)
+        canvas = render_experiment_svg(
+            small_track.grid,
+            gt_trajectory=small_track.centerline.points[:50],
+            est_trajectory=small_track.centerline.points[:50] + 0.05,
+            raceline=small_track.centerline.points,
+            particles=np.tile(pose, (20, 1)),
+            scan=scan,
+            estimated_pose=pose,
+            title="experiment",
+        )
+        svg = canvas.to_string()
+        assert "ground truth" in svg
+        assert "estimate" in svg
+
+
+class TestAsciiMap:
+    def test_renders_walls(self):
+        out = ascii_map(tiny_grid(), width=40)
+        assert "#" in out
+        assert "." in out
+        lines = out.splitlines()
+        assert all(len(line) == 40 for line in lines)
+
+    def test_overlay_characters(self):
+        grid = tiny_grid()
+        center = np.array([[0.5, 0.5]])
+        out = ascii_map(grid, width=40, overlays=[(center, "X")])
+        assert "X" in out
+
+    def test_orientation_top_down(self):
+        """A wall only at the grid's TOP must appear in the FIRST lines."""
+        data = np.full((20, 20), FREE, dtype=np.int8)
+        data[-1, :] = OCCUPIED  # top row in world coordinates
+        grid = OccupancyGrid(data, 0.1)
+        lines = ascii_map(grid, width=20).splitlines()
+        assert "#" in lines[0]
+        assert "#" not in lines[-1]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ascii_map(tiny_grid(), width=2)
