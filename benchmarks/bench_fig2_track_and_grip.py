@@ -47,7 +47,30 @@ def test_distance_field_cost(benchmark, replica_track):
 # ---------------------------------------------------------------------------
 # Report
 # ---------------------------------------------------------------------------
-def main() -> None:
+def run_grip_sweep(num_laps: int, workers: int, trials: int = 1,
+                   seed: int = 7) -> str:
+    """Race both grip conditions through the parallel sweep runner.
+
+    Extends the static Fig. 2 report with the *dynamic* content of the
+    grip comparison: how the taped tire actually degrades odometry-driven
+    localization at speed.  Conditions (and Monte-Carlo trials) fan out
+    over the fault-tolerant runner in ``repro.eval.runner``.
+    """
+    from repro.eval.runner import (
+        SweepRunner, make_lap_conditions, make_lap_specs, run_lap_trial,
+        summarize_lap_sweep,
+    )
+
+    conditions = make_lap_conditions(
+        methods=("synpf",), qualities=("HQ", "LQ"),
+        speed_scales=(1.0,), num_laps=num_laps,
+    )
+    specs = make_lap_specs(conditions, trials=trials, base_seed=seed)
+    sweep = SweepRunner(run_lap_trial, workers=workers).run(specs)
+    return summarize_lap_sweep(sweep.records)
+
+
+def main(race_laps: int = 0, workers: int = 1) -> None:
     track = replica_test_track(resolution=0.05)
     line = track.centerline
     kappa = np.abs(line.curvature)
@@ -73,6 +96,19 @@ def main() -> None:
     ratio = TIRE_LQ.mu / TIRE_HQ.mu
     print(f"\nLQ/HQ grip ratio: {ratio:.3f}   (paper: {19 / 26:.3f})")
 
+    if race_laps > 0:
+        print(f"\n=== Racing the grip conditions ({race_laps} lap(s), "
+              f"{workers} worker(s)) ===")
+        print(run_grip_sweep(num_laps=race_laps, workers=workers))
+
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--race-laps", type=int, default=0,
+                        help="also race HQ vs LQ for this many laps "
+                             "through the parallel sweep runner")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+    main(race_laps=args.race_laps, workers=args.workers)

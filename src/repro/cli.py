@@ -10,6 +10,7 @@ run without writing Python:
 ``fig1``                  motion-model spread series (paper Fig. 1)
 ``fig2``                  track + grip-condition report (paper Fig. 2)
 ``speed-sweep``           SynPF accuracy vs top speed (the 7.6 m/s claim)
+``sweep``                 parallel, resumable condition sweep (Table I grid)
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
 """
@@ -45,6 +46,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SynPF particle budget override")
     p_race.add_argument("--fused-odometry", action="store_true",
                         help="fuse wheel odometry with the IMU (EKF)")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel fault-tolerant condition sweep with JSONL checkpointing",
+    )
+    p_sweep.add_argument("--methods", default="cartographer,synpf",
+                         help="comma-separated: synpf,cartographer,vanilla_mcl")
+    p_sweep.add_argument("--qualities", default="HQ,LQ",
+                         help="comma-separated grip conditions (HQ,LQ)")
+    p_sweep.add_argument("--speed-scales", default="1.0",
+                         help="comma-separated speed scalings")
+    p_sweep.add_argument("--trials", type=int, default=1,
+                         help="Monte-Carlo trials per condition")
+    p_sweep.add_argument("--laps", type=int, default=2)
+    p_sweep.add_argument("--seed", type=int, default=7,
+                         help="base seed; per-trial seeds are derived from it")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = inline, no pool)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-trial timeout in seconds (workers >= 2)")
+    p_sweep.add_argument("--retries", type=int, default=1,
+                         help="extra attempts for crashed/hung trials")
+    p_sweep.add_argument("--backoff", type=float, default=0.5,
+                         help="retry backoff base in seconds")
+    p_sweep.add_argument("--checkpoint", default=None,
+                         help="JSONL checkpoint path; re-running resumes from it")
+    p_sweep.add_argument("--resolution", type=float, default=0.05)
+    p_sweep.add_argument("--max-sim-time", type=float, default=600.0)
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-trial progress lines")
 
     sub.add_parser("latency", help="latency report (LUT / filter / matcher)")
     sub.add_parser("fig1", help="motion-model spread series")
@@ -111,6 +142,58 @@ def main(argv=None) -> int:
               f"mean update: {result.mean_update_ms:.2f} ms   "
               f"loc. error: {result.localization_error_cm.mean:.2f} cm")
         return 0
+
+    if args.command == "sweep":
+        from repro.eval.runner import (
+            SweepRunner,
+            make_lap_conditions,
+            make_lap_specs,
+            run_lap_trial,
+            summarize_lap_sweep,
+        )
+
+        conditions = make_lap_conditions(
+            methods=[m for m in args.methods.split(",") if m],
+            qualities=[q for q in args.qualities.split(",") if q],
+            speed_scales=[float(s) for s in args.speed_scales.split(",") if s],
+            num_laps=args.laps,
+        )
+        specs = make_lap_specs(
+            conditions, trials=args.trials, base_seed=args.seed,
+            resolution=args.resolution, max_sim_time=args.max_sim_time,
+        )
+
+        def report(stats, record):
+            if args.quiet:
+                return
+            status = "ok" if record.ok else f"FAILED ({record.kind})"
+            print(f"  [{stats.completed}/{stats.total}] "
+                  f"{record.trial_id}: {status}  "
+                  f"(attempts {record.attempts}, {record.elapsed_s:.1f} s)")
+
+        runner = SweepRunner(
+            run_lap_trial,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            retry_backoff_s=args.backoff,
+            checkpoint_path=args.checkpoint,
+            progress=report,
+        )
+        print(f"sweep: {len(conditions)} conditions x {args.trials} trial(s) "
+              f"on {args.workers} worker(s)")
+        sweep = runner.run(specs)
+
+        # Deterministic block first (bit-identical at any worker count)...
+        print()
+        print(summarize_lap_sweep(sweep.records))
+        # ...then the wall-clock observability block.
+        print()
+        print(sweep.stats.summary_line())
+        if sweep.stats.timing.count("trial"):
+            print("per-trial latency:")
+            print(sweep.stats.timing.format_histogram_ms("trial", bins=6))
+        return 1 if sweep.failures else 0
 
     if args.command == "latency":
         from repro.eval.latency import (

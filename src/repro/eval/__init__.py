@@ -26,6 +26,18 @@ from repro.eval.metrics import (
     summarize,
 )
 from repro.eval.perturbations import OdometryPerturbation
+from repro.eval.runner import (
+    SweepResult,
+    SweepRunner,
+    SweepStats,
+    TrialFailure,
+    TrialResult,
+    TrialSpec,
+    make_lap_conditions,
+    make_lap_specs,
+    run_lap_trial,
+    summarize_lap_sweep,
+)
 from repro.eval.trajectory import (
     TrajectoryErrors,
     absolute_trajectory_error,
@@ -43,8 +55,18 @@ __all__ = [
     "LapExperiment",
     "LapRecord",
     "OdometryPerturbation",
+    "SweepResult",
+    "SweepRunner",
+    "SweepStats",
+    "TrialFailure",
+    "TrialResult",
+    "TrialSpec",
     "compute_load_percent",
     "format_table1",
+    "make_lap_conditions",
+    "make_lap_specs",
+    "run_lap_trial",
+    "summarize_lap_sweep",
     "measure_filter_latency",
     "measure_range_method_latency",
     "measure_scan_match_latency",

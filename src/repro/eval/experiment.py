@@ -18,7 +18,8 @@ the paper's Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -118,6 +119,13 @@ class LapRecord:
     localization_error_max_cm: float
     valid: bool = True
 
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LapRecord":
+        return cls(**data)
+
 
 @dataclass
 class ConditionResult:
@@ -153,6 +161,39 @@ class ConditionResult:
     def localization_error_cm(self) -> Summary:
         return summarize(
             [lap.localization_error_mean_cm for lap in self._valid_laps()]
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form, used by the sweep checkpoint stream.
+
+        Only the condition fields that survive a round-trip through JSON
+        are kept: ``tire``, ``perturbation`` and ``obstacle_factory`` are
+        dropped (tire presets are re-resolved from ``odom_quality``).
+        """
+        condition = {
+            "method": self.condition.method,
+            "odom_quality": self.condition.odom_quality,
+            "speed_scale": self.condition.speed_scale,
+            "num_laps": self.condition.num_laps,
+            "seed": self.condition.seed,
+            "odometry_source": self.condition.odometry_source,
+        }
+        return {
+            "condition": condition,
+            "laps": [lap.to_dict() for lap in self.laps],
+            "mean_update_ms": self.mean_update_ms,
+            "compute_load_percent": self.compute_load_percent,
+            "crashes": self.crashes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ConditionResult":
+        return cls(
+            condition=ExperimentCondition(**data["condition"]),
+            laps=[LapRecord.from_dict(lap) for lap in data["laps"]],
+            mean_update_ms=float(data["mean_update_ms"]),
+            compute_load_percent=float(data["compute_load_percent"]),
+            crashes=int(data.get("crashes", 0)),
         )
 
 
@@ -265,13 +306,25 @@ class LapExperiment:
 
     # ------------------------------------------------------------------
     def run(self, condition: ExperimentCondition,
-            progress: Optional[Callable[[str], None]] = None) -> ConditionResult:
-        """Run one condition; returns its aggregated Table I row."""
-        raceline = self.track.centerline
-        import dataclasses as _dc
+            progress: Optional[Callable[[str], None]] = None,
+            seed: Optional[int] = None) -> ConditionResult:
+        """Run one condition; returns its aggregated Table I row.
 
-        vehicle = _dc.replace(self.base_config.vehicle, tire=condition.resolved_tire())
-        sim_cfg = _dc.replace(self.base_config, vehicle=vehicle, seed=condition.seed)
+        ``seed`` overrides ``condition.seed`` for this run.  The parallel
+        sweep runner uses it to inject a per-trial Monte-Carlo seed while
+        keeping the condition itself shared across trials; the returned
+        result's condition carries the seed actually used.
+        """
+        if seed is not None:
+            condition = dataclasses.replace(condition, seed=int(seed))
+        raceline = self.track.centerline
+
+        vehicle = dataclasses.replace(
+            self.base_config.vehicle, tire=condition.resolved_tire()
+        )
+        sim_cfg = dataclasses.replace(
+            self.base_config, vehicle=vehicle, seed=condition.seed
+        )
         sim = Simulator(self.track.grid, sim_cfg)
         if condition.obstacle_factory is not None:
             sim.obstacles.extend(condition.obstacle_factory(self.track))

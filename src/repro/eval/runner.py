@@ -1,0 +1,683 @@
+"""Parallel, fault-tolerant experiment sweeps.
+
+The paper's headline result (Table I) is a grid of lap experiments —
+localizer x grip x speed scaling, each repeated over Monte-Carlo seeds.
+Run serially, a full sweep takes minutes and a single crashed or hung
+trial loses everything.  This module turns a sweep into a fan-out over a
+``concurrent.futures.ProcessPoolExecutor`` with the failure handling a
+long-running harness needs:
+
+* **Deterministic seeding** — every trial owns a seed derived from
+  ``repro.utils.rng.derive_seed(base_seed, condition, trial_index)``, so
+  results are bit-identical regardless of worker count or completion
+  order.
+* **Per-trial timeouts** — a hung worker is abandoned (the pool is
+  rebuilt) instead of stalling the sweep.
+* **Retry with backoff** — crashed or timed-out trials are resubmitted up
+  to ``retries`` times, waiting ``retry_backoff_s * attempt`` between
+  attempts.
+* **Graceful degradation** — a trial that exhausts its attempts yields a
+  structured :class:`TrialFailure` record; the sweep completes and
+  reports it instead of dying.
+* **Checkpoint streaming** — every finished trial is appended to a JSONL
+  checkpoint as it completes; re-running the same sweep with the same
+  checkpoint path skips trials already on disk, so an interrupted sweep
+  resumes where it stopped.
+* **Progress metrics** — a callback receives a :class:`SweepStats`
+  snapshot (done/failed/retried counts, wall clock, per-trial latency
+  histogram via :class:`repro.utils.profiling.TimingStats`) after every
+  trial.
+
+The runner itself is generic: it executes any picklable ``trial_fn(spec)
+-> dict``.  The lap-experiment glue (:func:`run_lap_trial`,
+:func:`make_lap_specs`, :func:`summarize_lap_sweep`) lives at the bottom
+and is what ``repro sweep`` and the Table I / Fig. 2 benchmark drivers
+use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.utils.profiling import TimingStats
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "TrialSpec",
+    "TrialResult",
+    "TrialFailure",
+    "SweepStats",
+    "SweepResult",
+    "SweepRunner",
+    "make_lap_conditions",
+    "make_lap_specs",
+    "run_lap_trial",
+    "summarize_lap_sweep",
+]
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of sweep work: an id, its Monte-Carlo seed, and a payload.
+
+    ``params`` is handed verbatim to the trial function; for lap sweeps it
+    carries the :class:`~repro.eval.experiment.ExperimentCondition` plus
+    the experiment build parameters.  Everything in a spec must be
+    picklable so it can cross the process boundary.
+    """
+
+    trial_id: str
+    seed: int
+    params: Any = None
+
+
+@dataclass
+class TrialResult:
+    """A trial that completed and returned a metrics dict."""
+
+    trial_id: str
+    seed: int
+    metrics: Dict
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_record(self) -> Dict:
+        return {
+            "trial_id": self.trial_id,
+            "status": "ok",
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class TrialFailure:
+    """A trial that exhausted its attempts.
+
+    ``kind`` distinguishes the failure modes the runner degrades through:
+    ``"exception"`` (the trial function raised), ``"timeout"`` (the worker
+    exceeded the per-trial deadline and was abandoned) and
+    ``"worker-crash"`` (the worker process died, e.g. OOM-killed —
+    surfaced as a broken pool).
+    """
+
+    trial_id: str
+    seed: int
+    kind: str
+    error_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def to_record(self) -> Dict:
+        return {
+            "trial_id": self.trial_id,
+            "status": "failed",
+            "seed": self.seed,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+TrialRecord = Union[TrialResult, TrialFailure]
+
+
+def _record_from_dict(data: Dict) -> TrialRecord:
+    common = {
+        "trial_id": data["trial_id"],
+        "seed": int(data.get("seed", 0)),
+        "attempts": int(data.get("attempts", 1)),
+        "elapsed_s": float(data.get("elapsed_s", 0.0)),
+        "from_checkpoint": True,
+    }
+    if data.get("status") == "ok":
+        return TrialResult(metrics=data.get("metrics", {}), **common)
+    return TrialFailure(
+        kind=data.get("kind", "exception"),
+        error_type=data.get("error_type", ""),
+        message=data.get("message", ""),
+        traceback=data.get("traceback", ""),
+        **common,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Progress
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepStats:
+    """Live sweep metrics, handed to the progress callback after each trial.
+
+    ``timing`` accumulates one ``"trial"`` sample per completed attempt
+    batch (successful or not), measured in the orchestrating process —
+    the per-trial latency histogram comes from
+    ``timing.histogram_ms("trial")``.
+    """
+
+    total: int = 0
+    done: int = 0
+    failed: int = 0
+    retried: int = 0
+    from_checkpoint: int = 0
+    wall_s: float = 0.0
+    timing: TimingStats = field(default_factory=TimingStats)
+
+    @property
+    def completed(self) -> int:
+        return self.done + self.failed
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.completed}/{self.total} trials "
+            f"({self.done} ok, {self.failed} failed, {self.retried} retried, "
+            f"{self.from_checkpoint} from checkpoint) in {self.wall_s:.1f} s"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All trial records, in input-spec order, plus final stats."""
+
+    records: List[TrialRecord]
+    stats: SweepStats
+
+    @property
+    def results(self) -> List[TrialResult]:
+        return [r for r in self.records if r.ok]
+
+    @property
+    def failures(self) -> List[TrialFailure]:
+        return [r for r in self.records if not r.ok]
+
+    def metrics_by_id(self) -> Dict[str, Dict]:
+        return {r.trial_id: r.metrics for r in self.results}
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+@dataclass
+class _Pending:
+    spec: TrialSpec
+    attempt: int            # 1-based attempt about to run / running
+    not_before: float = 0.0  # monotonic time gate for retry backoff
+    started: float = 0.0
+    first_started: float = 0.0
+
+
+class SweepRunner:
+    """Fans trial specs out over worker processes; never dies mid-sweep.
+
+    Parameters
+    ----------
+    trial_fn:
+        Picklable callable ``(TrialSpec) -> dict`` returning
+        JSON-serialisable metrics.  Determinism contract: the return value
+        may depend only on the spec (seed included) — never on wall clock,
+        worker identity or completion order.
+    workers:
+        ``1`` runs trials inline in the calling process (no pool, easiest
+        to debug; timeouts are not enforceable).  ``>= 2`` uses a
+        ``ProcessPoolExecutor`` of that size.
+    timeout_s:
+        Per-trial deadline.  A worker that exceeds it is abandoned and the
+        pool rebuilt, so one wedged trial cannot stall the sweep.
+    retries:
+        Extra attempts after the first, per trial.
+    retry_backoff_s:
+        Base backoff; attempt ``k`` waits ``retry_backoff_s * k`` before
+        resubmission (other trials keep running meanwhile).
+    checkpoint_path:
+        JSONL file streamed to as trials finish.  If it already exists,
+        trials recorded there are *not* re-run: their records are loaded
+        and returned as-is, which is what makes sweeps resumable.
+    progress:
+        Optional callback ``(SweepStats, TrialRecord) -> None`` invoked
+        after every completed trial (including checkpointed ones).
+    """
+
+    def __init__(
+        self,
+        trial_fn: Callable[[TrialSpec], Dict],
+        *,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff_s: float = 0.5,
+        checkpoint_path: Optional[str] = None,
+        progress: Optional[Callable[[SweepStats, TrialRecord], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.trial_fn = trial_fn
+        self.workers = int(workers)
+        self.timeout_s = float(timeout_s) if timeout_s is not None else None
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.checkpoint_path = checkpoint_path
+        self.progress = progress
+
+    # -- checkpoint ----------------------------------------------------
+    def _load_checkpoint(self) -> Dict[str, TrialRecord]:
+        if not self.checkpoint_path or not os.path.exists(self.checkpoint_path):
+            return {}
+        loaded: Dict[str, TrialRecord] = {}
+        with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed sweep
+                loaded[data["trial_id"]] = _record_from_dict(data)
+        return loaded
+
+    def _append_checkpoint(self, handle, record: TrialRecord) -> None:
+        if handle is None:
+            return
+        handle.write(json.dumps(record.to_record()) + "\n")
+        handle.flush()
+
+    # -- bookkeeping ---------------------------------------------------
+    def _finish(self, stats, handle, by_id, record: TrialRecord) -> None:
+        by_id[record.trial_id] = record
+        if record.ok:
+            stats.done += 1
+        else:
+            stats.failed += 1
+        self._append_checkpoint(handle, record)
+        if self.progress is not None:
+            self.progress(stats, record)
+
+    def _failure_from_exception(
+        self, pending: _Pending, exc: BaseException, kind: str, now: float
+    ) -> TrialFailure:
+        return TrialFailure(
+            trial_id=pending.spec.trial_id,
+            seed=pending.spec.seed,
+            kind=kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )[-4000:],
+            attempts=pending.attempt,
+            elapsed_s=now - pending.first_started,
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(self, specs: Sequence[TrialSpec]) -> SweepResult:
+        specs = list(specs)
+        ids = [spec.trial_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("trial_id values must be unique within a sweep")
+
+        stats = SweepStats(total=len(specs))
+        start = time.monotonic()
+        checkpointed = self._load_checkpoint()
+        by_id: Dict[str, TrialRecord] = {}
+
+        handle = None
+        if self.checkpoint_path:
+            parent = os.path.dirname(os.path.abspath(self.checkpoint_path))
+            os.makedirs(parent, exist_ok=True)
+            handle = open(self.checkpoint_path, "a", encoding="utf-8")
+
+        try:
+            todo: List[TrialSpec] = []
+            for spec in specs:
+                record = checkpointed.get(spec.trial_id)
+                if record is not None:
+                    stats.from_checkpoint += 1
+                    stats.wall_s = time.monotonic() - start
+                    self._finish(stats, None, by_id, record)  # already on disk
+                else:
+                    todo.append(spec)
+
+            if self.workers == 1:
+                self._run_inline(todo, stats, handle, by_id, start)
+            else:
+                self._run_pool(todo, stats, handle, by_id, start)
+        finally:
+            if handle is not None:
+                handle.close()
+
+        stats.wall_s = time.monotonic() - start
+        return SweepResult([by_id[i] for i in ids], stats)
+
+    def _run_inline(self, todo, stats, handle, by_id, start) -> None:
+        for spec in todo:
+            first_started = time.monotonic()
+            attempt = 0
+            while True:
+                attempt += 1
+                trial_start = time.monotonic()
+                try:
+                    metrics = self.trial_fn(spec)
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    if attempt <= self.retries:
+                        stats.retried += 1
+                        time.sleep(self.retry_backoff_s * attempt)
+                        continue
+                    now = time.monotonic()
+                    pending = _Pending(spec, attempt, first_started=first_started)
+                    record: TrialRecord = self._failure_from_exception(
+                        pending, exc, "exception", now
+                    )
+                else:
+                    now = time.monotonic()
+                    record = TrialResult(
+                        trial_id=spec.trial_id,
+                        seed=spec.seed,
+                        metrics=metrics,
+                        attempts=attempt,
+                        elapsed_s=now - first_started,
+                    )
+                stats.timing.record("trial", now - trial_start)
+                stats.wall_s = now - start
+                self._finish(stats, handle, by_id, record)
+                break
+
+    def _run_pool(self, todo, stats, handle, by_id, start) -> None:
+        queue = deque(_Pending(spec, attempt=1) for spec in todo)
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        in_flight: Dict[Any, _Pending] = {}
+
+        def submit_ready(now: float) -> None:
+            # Keep at most `workers` futures in flight so a submitted
+            # future is (practically) always running: timeouts then always
+            # mean a wedged worker, never queue backlog.
+            for _ in range(len(queue)):
+                if len(in_flight) >= self.workers:
+                    break
+                pending = queue.popleft()
+                if pending.not_before > now:
+                    queue.append(pending)
+                    continue
+                pending.started = now
+                if pending.first_started == 0.0:
+                    pending.first_started = now
+                future = executor.submit(self.trial_fn, pending.spec)
+                in_flight[future] = pending
+
+        def rebuild_pool() -> None:
+            nonlocal executor
+            # Abandon the wedged/broken pool without waiting on it; the
+            # replacement picks the surviving trials back up.
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+
+        def retry_or_fail(pending: _Pending, exc, kind: str, now: float) -> None:
+            if pending.attempt <= self.retries:
+                stats.retried += 1
+                queue.append(
+                    _Pending(
+                        pending.spec,
+                        attempt=pending.attempt + 1,
+                        not_before=now + self.retry_backoff_s * pending.attempt,
+                        first_started=pending.first_started,
+                    )
+                )
+                return
+            self._finish(
+                stats, handle, by_id,
+                self._failure_from_exception(pending, exc, kind, now),
+            )
+
+        try:
+            submit_ready(time.monotonic())
+            while queue or in_flight:
+                if not in_flight:
+                    # Everything is backing off; sleep to the next gate.
+                    gate = min(p.not_before for p in queue)
+                    time.sleep(max(0.0, gate - time.monotonic()) + 1e-3)
+                    submit_ready(time.monotonic())
+                    continue
+
+                done, _ = wait(
+                    set(in_flight), timeout=0.05, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                pool_broken = False
+
+                stats.wall_s = now - start
+                for future in done:
+                    pending = in_flight.pop(future)
+                    stats.timing.record("trial", now - pending.started)
+                    try:
+                        metrics = future.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        retry_or_fail(pending, exc, "worker-crash", now)
+                    except Exception as exc:  # noqa: BLE001
+                        retry_or_fail(pending, exc, "exception", now)
+                    else:
+                        self._finish(
+                            stats, handle, by_id,
+                            TrialResult(
+                                trial_id=pending.spec.trial_id,
+                                seed=pending.spec.seed,
+                                metrics=metrics,
+                                attempts=pending.attempt,
+                                elapsed_s=now - pending.first_started,
+                            ),
+                        )
+
+                # Deadline sweep: abandon wedged workers.
+                timed_out = []
+                if self.timeout_s is not None:
+                    timed_out = [
+                        future for future, pending in in_flight.items()
+                        if now - pending.started > self.timeout_s
+                    ]
+                if timed_out or pool_broken:
+                    survivors = []
+                    for future, pending in in_flight.items():
+                        if future in timed_out:
+                            stats.timing.record("trial", now - pending.started)
+                            retry_or_fail(
+                                pending,
+                                TimeoutError(
+                                    f"trial exceeded {self.timeout_s:.1f} s"
+                                ),
+                                "timeout",
+                                now,
+                            )
+                        else:
+                            # Innocent bystanders of the rebuild: resubmit
+                            # without charging an attempt.
+                            survivors.append(
+                                _Pending(
+                                    pending.spec,
+                                    attempt=pending.attempt,
+                                    first_started=pending.first_started,
+                                )
+                            )
+                    in_flight.clear()
+                    queue.extendleft(reversed(survivors))
+                    rebuild_pool()
+
+                submit_ready(time.monotonic())
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# Lap-experiment glue (what `repro sweep` and the benches run)
+# ---------------------------------------------------------------------------
+def make_lap_conditions(
+    methods: Sequence[str] = ("cartographer", "synpf"),
+    qualities: Sequence[str] = ("HQ", "LQ"),
+    speed_scales: Sequence[float] = (1.0,),
+    num_laps: int = 2,
+) -> List:
+    """The Table I condition grid: methods x grip qualities x speed scales."""
+    from repro.eval.experiment import ExperimentCondition
+
+    return [
+        ExperimentCondition(
+            method=method, odom_quality=quality,
+            speed_scale=float(scale), num_laps=int(num_laps),
+        )
+        for method in methods
+        for quality in qualities
+        for scale in speed_scales
+    ]
+
+
+def make_lap_specs(
+    conditions: Sequence,
+    trials: int = 1,
+    base_seed: int = 7,
+    resolution: float = 0.05,
+    max_sim_time: float = 600.0,
+) -> List[TrialSpec]:
+    """Fan conditions out into per-trial specs with derived seeds.
+
+    The seed of trial ``t`` of a condition depends only on
+    ``(base_seed, condition identity, t)`` — never on list order — so
+    adding conditions to a sweep does not reshuffle existing results.
+    """
+    specs = []
+    for condition in conditions:
+        key = (condition.label(), condition.speed_scale,
+               condition.odometry_source)
+        for trial_index in range(int(trials)):
+            specs.append(
+                TrialSpec(
+                    trial_id=(
+                        f"{condition.label()}/x{condition.speed_scale:g}"
+                        f"/t{trial_index}"
+                    ),
+                    seed=derive_seed(base_seed, key, trial_index),
+                    params={
+                        "condition": condition,
+                        "resolution": float(resolution),
+                        "max_sim_time": float(max_sim_time),
+                    },
+                )
+            )
+    return specs
+
+
+# One experiment per (resolution, max_sim_time) per worker process: the
+# replica track rasterisation and the localizers' precomputed tables are
+# the expensive part of a trial, and every trial on the same track reuses
+# them.
+_EXPERIMENT_CACHE: Dict = {}
+
+
+def _experiment_for(resolution: float, max_sim_time: float):
+    key = (round(float(resolution), 6), round(float(max_sim_time), 3))
+    experiment = _EXPERIMENT_CACHE.get(key)
+    if experiment is None:
+        from repro.eval.experiment import LapExperiment
+        from repro.maps import replica_test_track
+
+        track = replica_test_track(resolution=key[0])
+        experiment = LapExperiment(track, max_sim_time=key[1])
+        _EXPERIMENT_CACHE[key] = experiment
+    return experiment
+
+
+def run_lap_trial(spec: TrialSpec) -> Dict:
+    """Execute one lap-experiment trial (module-level: picklable).
+
+    Returns the full :class:`ConditionResult` as a dict plus a flat
+    ``summary`` of the deterministic metrics.  Latency-derived fields
+    (``mean_update_ms``, ``compute_load_percent``) are wall-clock
+    measurements and intentionally stay out of the summary — everything
+    in ``summary`` is bit-identical across worker counts.
+    """
+    params = spec.params
+    experiment = _experiment_for(params["resolution"], params["max_sim_time"])
+    result = experiment.run(params["condition"], seed=spec.seed)
+    return {
+        "condition": params["condition"].label(),
+        "result": result.to_dict(),
+        "summary": {
+            "lap_time_mean_s": result.lap_time.mean,
+            "lap_time_std_s": result.lap_time.std,
+            "lateral_error_mean_cm": result.lateral_error_cm.mean,
+            "scan_alignment_mean_pct": result.scan_alignment.mean,
+            "localization_error_mean_cm": result.localization_error_cm.mean,
+            "crashes": result.crashes,
+            "valid_laps": sum(1 for lap in result.laps if lap.valid),
+        },
+    }
+
+
+def summarize_lap_sweep(records: Sequence[TrialRecord]) -> str:
+    """Deterministic per-condition summary table for a lap sweep.
+
+    Aggregates the ``summary`` block of every successful trial by
+    condition (mean over trials) and lists failures at the end.  Contains
+    no wall-clock quantities, so the same sweep produces byte-identical
+    output at any worker count.
+    """
+    import numpy as np
+
+    by_condition: Dict[str, List[Dict]] = {}
+    failures: List[TrialFailure] = []
+    for record in records:
+        if record.ok:
+            by_condition.setdefault(
+                record.metrics["condition"], []
+            ).append(record.metrics["summary"])
+        else:
+            failures.append(record)
+
+    lines = [
+        f"{'Condition':<22}{'Trials':>7}{'LapTime[s]':>11}{'Lat[cm]':>9}"
+        f"{'Align[%]':>10}{'Loc[cm]':>9}{'Crashes':>8}",
+        "-" * 76,
+    ]
+    for label in sorted(by_condition):
+        rows = by_condition[label]
+        mean = lambda key: float(np.mean([r[key] for r in rows]))  # noqa: E731
+        lines.append(
+            f"{label:<22}{len(rows):>7}"
+            f"{mean('lap_time_mean_s'):>11.3f}"
+            f"{mean('lateral_error_mean_cm'):>9.3f}"
+            f"{mean('scan_alignment_mean_pct'):>10.3f}"
+            f"{mean('localization_error_mean_cm'):>9.3f}"
+            f"{int(sum(r['crashes'] for r in rows)):>8d}"
+        )
+    for failure in failures:
+        lines.append(
+            f"FAILED {failure.trial_id}: {failure.kind} "
+            f"({failure.error_type}: {failure.message})"
+        )
+    return "\n".join(lines)

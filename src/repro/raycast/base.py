@@ -39,6 +39,14 @@ class RangeMethod(abc.ABC):
 
         Returns an ``(N,)`` float array in metres, clamped to
         ``self.max_range``.  A query starting inside an obstacle returns 0.
+
+        Fallback contract: any ray that finds no obstacle reports exactly
+        ``self.max_range``, regardless of *why* it found none — it left the
+        map, it travelled ``max_range`` without a hit, or the
+        implementation exhausted its iteration budget.  Implementations
+        must not report a partial travelled distance for such rays, so
+        downstream consumers (sensor models, scan alignment) can treat
+        ``range == max_range`` uniformly as "no return".
         """
 
     # ------------------------------------------------------------------

@@ -29,11 +29,16 @@ class RayMarching(RangeMethod):
     grid, max_range:
         See :class:`~repro.raycast.base.RangeMethod`.
     epsilon:
-        Convergence threshold in metres: a ray stops when local clearance
-        drops below this.  Defaults to half a cell, giving sub-cell accuracy
-        comparable to exact traversal.
+        Hit threshold in metres: a ray terminates when local clearance
+        drops below this, and reports ``travelled + clearance`` (the
+        clearance is the remaining distance to the obstacle surface).
+        Defaults to half a cell, giving sub-cell accuracy comparable to
+        exact traversal.
     max_iters:
-        Safety cap on marching iterations per batch.
+        Safety cap on marching iterations per batch.  Defaults to enough
+        iterations for a minimum-step ray to creep the full ``max_range``,
+        so only a pathological field can exhaust it; rays that do are
+        clamped to ``max_range`` like rays that leave the map.
     """
 
     def __init__(
@@ -41,10 +46,23 @@ class RayMarching(RangeMethod):
         grid: OccupancyGrid,
         max_range: float | None = None,
         epsilon: float | None = None,
-        max_iters: int = 256,
+        max_iters: int | None = None,
     ) -> None:
         super().__init__(grid, max_range)
         self.epsilon = float(epsilon) if epsilon is not None else grid.resolution / 2.0
+        # Minimum step prevents stalling when skimming along a wall: the
+        # clearance there is ~0 but the ray has not hit anything ahead.
+        self._min_step = grid.resolution * 0.5
+        # The distance field stores *cell-centre to cell-centre* distances.
+        # From an arbitrary point inside a cell, the true free clearance to
+        # the nearest obstacle *surface* can be up to one cell diagonal
+        # smaller (half a diagonal for the position within the cell, half
+        # for the obstacle cell's extent).  A jump by the raw field value
+        # can therefore tunnel straight through a wall; every step subtracts
+        # this margin.
+        self._margin = grid.resolution * float(np.sqrt(2.0))
+        if max_iters is None:
+            max_iters = int(np.ceil(self.max_range / self._min_step)) + 64
         self.max_iters = int(max_iters)
         self._field = grid.distance_field()  # precompute once
 
@@ -67,9 +85,8 @@ class RayMarching(RangeMethod):
         ranges = np.full(n, self.max_range)
         active = np.ones(n, dtype=bool)
 
-        # Minimum step prevents stalling when skimming along a wall: the
-        # clearance there is ~0 but the ray has not hit anything ahead.
-        min_step = res * 0.5
+        min_step = self._min_step
+        margin = self._margin
 
         for _ in range(self.max_iters):
             act = np.flatnonzero(active)
@@ -89,13 +106,21 @@ class RayMarching(RangeMethod):
                 continue
             clearance = field[iy[inside], ix[inside]].astype(float)
 
+            # Clearance below epsilon: the obstacle surface is at most
+            # `clearance` ahead, so the range is travelled *plus* the
+            # remaining clearance — reporting bare `travelled` would
+            # underestimate by up to epsilon.  (With the default epsilon
+            # of half a cell this only triggers inside occupied cells,
+            # where clearance is exactly 0.)
             hit = clearance < self.epsilon
             hit_idx = in_idx[hit]
-            ranges[hit_idx] = np.minimum(travelled[hit_idx], self.max_range)
+            ranges[hit_idx] = np.minimum(
+                travelled[hit_idx] + clearance[hit], self.max_range
+            )
             active[hit_idx] = False
 
             step_idx = in_idx[~hit]
-            step = np.maximum(clearance[~hit], min_step)
+            step = np.maximum(clearance[~hit] - margin, min_step)
             px[step_idx] += step * cos_t[step_idx]
             py[step_idx] += step * sin_t[step_idx]
             travelled[step_idx] += step
@@ -104,7 +129,8 @@ class RayMarching(RangeMethod):
             ranges[over] = self.max_range
             active[over] = False
 
-        # Any ray still active after max_iters is crawling along a wall;
-        # report the distance covered so far (best available estimate).
-        ranges[active] = np.minimum(travelled[active], self.max_range)
+        # Iteration budget exhausted: same contract as leaving the map —
+        # no obstacle was found, so clamp at max_range (see
+        # RangeMethod.calc_ranges).
+        ranges[active] = self.max_range
         return ranges

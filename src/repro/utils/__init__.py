@@ -25,7 +25,7 @@ from repro.utils.geometry import (
     transform_points,
 )
 from repro.utils.profiling import Stopwatch, TimingStats
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_seed, make_rng, split_rng
 
 __all__ = [
     "SE2",
@@ -39,7 +39,9 @@ __all__ = [
     "load_config",
     "save_config",
     "homogeneous_from_pose",
+    "derive_seed",
     "make_rng",
+    "split_rng",
     "pose_from_homogeneous",
     "rot2d",
     "transform_points",

@@ -82,6 +82,41 @@ class TimingStats:
     def total_s(self, name: str) -> float:
         return float(np.sum(self.samples.get(name, [])))
 
+    def merge(self, other: "TimingStats") -> None:
+        """Fold another instance's samples into this one.
+
+        The sweep runner times every trial in the orchestrating process
+        and merges per-batch stats into a sweep-wide accumulator.
+        """
+        for name, values in other.samples.items():
+            self.samples.setdefault(name, []).extend(values)
+
+    def histogram_ms(self, name: str, bins: int = 12):
+        """``(counts, edges_ms)`` histogram of the samples under ``name``.
+
+        Returns empty arrays when no samples exist, so progress callbacks
+        can render unconditionally.
+        """
+        arr = np.asarray(self.samples.get(name, []), dtype=float) * 1e3
+        if arr.size == 0:
+            return np.zeros(0, dtype=int), np.zeros(0)
+        counts, edges = np.histogram(arr, bins=bins)
+        return counts, edges
+
+    def format_histogram_ms(self, name: str, bins: int = 8, width: int = 30) -> str:
+        """ASCII latency histogram, one ``lo-hi ms | bar count`` row per bin."""
+        counts, edges = self.histogram_ms(name, bins=bins)
+        if counts.size == 0:
+            return "(no samples)"
+        peak = max(int(counts.max()), 1)
+        rows = []
+        for i, count in enumerate(counts):
+            bar = "#" * max(1 if count else 0, int(round(width * count / peak)))
+            rows.append(
+                f"{edges[i]:9.1f}-{edges[i + 1]:9.1f} ms |{bar:<{width}}| {count}"
+            )
+        return "\n".join(rows)
+
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Dict of ``{name: {mean_ms, median_ms, p99_ms, count}}``."""
         out: Dict[str, Dict[str, float]] = {}

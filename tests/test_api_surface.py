@@ -92,10 +92,14 @@ SUBPACKAGES = {
         "scan_alignment_score", "pose_error", "compute_load_percent",
         "summarize", "measure_filter_latency",
         "measure_range_method_latency", "measure_scan_match_latency",
+        "SweepRunner", "SweepResult", "SweepStats", "TrialSpec",
+        "TrialResult", "TrialFailure", "make_lap_conditions",
+        "make_lap_specs", "run_lap_trial", "summarize_lap_sweep",
     ],
     "repro.utils": [
         "SE2", "wrap_to_pi", "angle_diff", "circular_mean", "circular_std",
-        "make_rng", "Stopwatch", "TimingStats", "rot2d", "transform_points",
+        "make_rng", "derive_seed", "split_rng", "Stopwatch", "TimingStats",
+        "rot2d", "transform_points",
     ],
 }
 

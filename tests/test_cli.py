@@ -29,6 +29,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["race", "--method", "gps"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.methods == "cartographer,synpf"
+        assert args.qualities == "HQ,LQ"
+        assert args.trials == 1
+        assert args.workers == 1
+        assert args.retries == 1
+        assert args.checkpoint is None
+        assert args.timeout is None
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--methods", "synpf", "--trials", "3", "--workers", "4",
+             "--timeout", "120", "--checkpoint", "ck.jsonl",
+             "--speed-scales", "0.5,1.0"]
+        )
+        assert args.methods == "synpf"
+        assert args.trials == 3
+        assert args.workers == 4
+        assert args.timeout == pytest.approx(120.0)
+        assert args.checkpoint == "ck.jsonl"
+        assert args.speed_scales == "0.5,1.0"
+
     def test_generate_map_args(self):
         args = build_parser().parse_args(
             ["generate-map", "out.yaml", "--seed", "3", "--replica"]

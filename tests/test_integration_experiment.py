@@ -137,3 +137,26 @@ class TestConditionResult:
         )
         assert result.lap_time.mean == pytest.approx(10.0)
         assert result.lateral_error_cm.mean == pytest.approx(1.0)
+
+
+class TestSeedInjection:
+    def test_injected_seed_overrides_condition(self, experiment):
+        """The sweep runner injects per-trial seeds via run(seed=...)."""
+        condition = fast_condition(seed=3)
+        result = experiment.run(condition, seed=99)
+        assert result.condition.seed == 99
+        # The original (frozen) condition is untouched.
+        assert condition.seed == 3
+
+        # to_dict/from_dict round-trips the checkpoint payload with the
+        # summaries intact.
+        from repro.eval.experiment import ConditionResult
+
+        clone = ConditionResult.from_dict(result.to_dict())
+        assert clone.condition.seed == 99
+        assert clone.condition.method == condition.method
+        assert [lap.lap_time for lap in clone.laps] == [
+            lap.lap_time for lap in result.laps
+        ]
+        assert clone.lap_time.mean == result.lap_time.mean
+        assert clone.crashes == result.crashes

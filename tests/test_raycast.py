@@ -237,6 +237,94 @@ class TestFactory:
             make_range_method("magic", box_grid)
 
 
+def _sixty_cell_room():
+    """The 10 m room used by the ray-marching property test (60 cells)."""
+    from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+
+    data = np.full((60, 60), FREE, dtype=np.int8)
+    data[0, :] = data[-1, :] = OCCUPIED
+    data[:, 0] = data[:, -1] = OCCUPIED
+    return OccupancyGrid(data, 1.0 / 6.0)
+
+
+class TestRayMarchingRegression:
+    """Non-Hypothesis pins for the seed's ray-marching range bug.
+
+    The distance field stores cell-centre-to-cell-centre distances; the
+    seed implementation jumped from the ray's continuous position by the
+    raw field value, which can clear a one-cell wall in a single step.
+    The ray then left the map and reported ``max_range`` (the 14.14 m
+    diagonal here) instead of the 8.83 m wall distance.
+    """
+
+    def test_pinned_seed_failure(self):
+        """The exact Hypothesis counterexample from the seed run."""
+        grid = _sixty_cell_room()
+        exact = BresenhamRayCast(grid)
+        rm = RayMarching(grid)
+        want = exact.calc_range(1.0, 3.375, 0.0)
+        got = rm.calc_range(1.0, 3.375, 0.0)
+        assert got == pytest.approx(want, abs=2 * grid.resolution)
+        # The failure mode was tunnelling clean through the wall; make the
+        # symptom explicit so a regression cannot hide inside a loosened
+        # tolerance.
+        assert got < grid.max_range_m - 1.0
+
+    def test_near_wall_start_does_not_underestimate(self):
+        """A ray starting half a cell from the wall it faces."""
+        grid = _sixty_cell_room()
+        exact = BresenhamRayCast(grid)
+        rm = RayMarching(grid)
+        x = 59.0 / 6.0 - grid.resolution / 2.0  # half a cell off the wall
+        want = exact.calc_range(x, 5.0, 0.0)
+        assert rm.calc_range(x, 5.0, 0.0) == pytest.approx(
+            want, abs=2 * grid.resolution
+        )
+
+    def test_no_obstacle_fallbacks_unified(self):
+        """Off-map rays and exhausted-budget rays both clamp at max_range.
+
+        (See the fallback contract in ``RangeMethod.calc_ranges``.)
+        """
+        grid = _sixty_cell_room()
+        # max_iters=1 cannot reach the wall from the centre: the budget is
+        # exhausted mid-flight and the contract demands max_range.
+        rm = RayMarching(grid, max_range=5.0, max_iters=1)
+        assert rm.calc_range(5.0, 5.0, 0.0) == pytest.approx(5.0)
+        # A ray cast from outside the map also reports max_range.
+        assert rm.calc_range(-3.0, 5.0, np.pi) == pytest.approx(5.0)
+
+    def test_cross_backend_consistency(self):
+        """All four backends agree within 2 cells on a shared batch.
+
+        Headings stay on multiples of pi/4 and the batch keeps away from
+        grazing incidence, where the theta-discretised methods (CDDT/LUT)
+        are documentedly loose.
+        """
+        grid = _sixty_cell_room()
+        rng = np.random.default_rng(42)
+        headings = np.pi / 4.0 * rng.integers(-3, 5, size=60)
+        queries = np.column_stack(
+            [
+                rng.uniform(2.0, 8.0, 60),
+                rng.uniform(2.0, 8.0, 60),
+                headings,
+            ]
+        )
+        reference = BresenhamRayCast(grid).calc_ranges(queries)
+        backends = {
+            "ray_marching": RayMarching(grid),
+            "cddt": CDDT(grid, num_theta_bins=180),
+            "lut": LookupTable(grid, num_theta_bins=180),
+        }
+        for name, method in backends.items():
+            err = np.abs(method.calc_ranges(queries) - reference)
+            assert err.max() < 2 * grid.resolution, (
+                f"{name}: max deviation {err.max():.3f} m "
+                f"({err.max() / grid.resolution:.1f} cells)"
+            )
+
+
 @settings(deadline=None, max_examples=20)
 @given(
     x=st.floats(min_value=1.0, max_value=9.0),

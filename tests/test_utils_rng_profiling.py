@@ -86,3 +86,55 @@ class TestTimingStats:
     def test_unknown_key_raises(self):
         with pytest.raises(KeyError):
             TimingStats().mean_ms("nope")
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        from repro.utils.rng import derive_seed
+
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+        assert derive_seed("a", 1) != derive_seed("b", 1)
+
+    def test_component_boundaries_matter(self):
+        from repro.utils.rng import derive_seed
+
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_fits_numpy_seed_range(self):
+        from repro.utils.rng import derive_seed, make_rng
+
+        seed = derive_seed("synpf/HQ", 3.5, 0)
+        assert 0 <= seed < 2**63
+        make_rng(seed)  # must be accepted
+
+
+class TestTimingHistogram:
+    def test_histogram_counts_all_samples(self):
+        stats = TimingStats()
+        for value in (0.001, 0.002, 0.003, 0.010):
+            stats.record("trial", value)
+        counts, edges = stats.histogram_ms("trial", bins=3)
+        assert counts.sum() == 4
+        assert len(edges) == 4
+
+    def test_empty_histogram(self):
+        counts, edges = TimingStats().histogram_ms("missing")
+        assert counts.size == 0
+        assert TimingStats().format_histogram_ms("missing") == "(no samples)"
+
+    def test_format_contains_counts(self):
+        stats = TimingStats()
+        stats.record("trial", 0.005)
+        stats.record("trial", 0.005)
+        text = stats.format_histogram_ms("trial", bins=2)
+        assert "ms" in text and "2" in text
+
+    def test_merge_folds_samples(self):
+        a, b = TimingStats(), TimingStats()
+        a.record("trial", 0.001)
+        b.record("trial", 0.002)
+        b.record("other", 0.003)
+        a.merge(b)
+        assert a.count("trial") == 2
+        assert a.count("other") == 1
