@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Robustness campaign: the paper's grip cells, plus a kidnapping.
+
+The scenario subsystem (``repro.scenarios``) generalises Table I's
+two-cell robustness comparison into a scenario × localizer matrix.  This
+driver runs the campaign that reproduces the paper's ordering — both
+localizers on the nominal (``nominal-hq``) and taped-tire (``taped-lq``)
+cells — and then the ``kidnap-chicane`` gauntlet, where the divergence is
+injected mid-race and the supervisor has to notice and repair it.
+
+* ``pytest --benchmark-only`` times the per-control-step timeline tick
+  and the scenario JSON round trip (both must be negligible);
+* ``python benchmarks/bench_campaign.py --workers 4`` runs the campaign
+  (~15 min at paper resolution; ``--quick`` for a ~3 min smoke).
+"""
+
+import argparse
+from types import SimpleNamespace
+
+from repro.scenarios import (
+    Timeline,
+    format_scorecard,
+    get_scenario,
+    load_scenario,
+    run_campaign,
+    run_scenario,
+    save_scenario,
+)
+
+
+def test_timeline_tick_cost(benchmark):
+    """Idle tick cost: the hook runs every control step of every trial."""
+    spec = get_scenario("gauntlet-kidnap")
+    timeline = Timeline(spec.events, seed=0)
+    timeline.bind(SimpleNamespace(sim=None, track=None, perturbation=None))
+    benchmark(timeline.tick, 0.0, -1)  # warm-up lap: nothing due yet
+
+
+def test_scenario_roundtrip_cost(benchmark, tmp_path):
+    """Spec save/load cost — paid once per campaign trial."""
+    path = tmp_path / "spec.json"
+
+    def roundtrip():
+        save_scenario(get_scenario("gauntlet-lq"), path)
+        return load_scenario(path)
+
+    benchmark(roundtrip)
+
+
+def run_paper_cells(trials, workers, laps, resolution, seed=7):
+    scorecard, sweep = run_campaign(
+        ["nominal-hq", "taped-lq"],
+        methods=["synpf", "cartographer"],
+        trials=trials,
+        base_seed=seed,
+        workers=workers,
+        num_laps=laps,
+        resolution=resolution,
+        progress=lambda stats, record: print(
+            f"  [{stats.completed}/{stats.total}] {record.trial_id}",
+            flush=True,
+        ),
+    )
+    return scorecard, sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--laps", type=int, default=2)
+    parser.add_argument("--resolution", type=float, default=0.05)
+    parser.add_argument("--quick", action="store_true",
+                        help="coarse maps (0.1 m), same matrix")
+    args = parser.parse_args()
+    resolution = 0.1 if args.quick else args.resolution
+
+    print("=== robustness campaign: paper cells ===")
+    scorecard, sweep = run_paper_cells(
+        args.trials, args.workers, args.laps, resolution)
+    print()
+    print(format_scorecard(scorecard))
+
+    cells = {(c["scenario"], c["method"]): c for c in scorecard["cells"]}
+
+    def err(scenario, method):
+        cell = cells.get((scenario, method))
+        return cell["loc_err_cm"]["p50"] if cell and cell["loc_err_cm"] else None
+
+    print("\nHQ -> LQ inflation (median localization error):")
+    for method in ("synpf", "cartographer"):
+        hq, lq = err("nominal-hq", method), err("taped-lq", method)
+        if hq and lq:
+            print(f"  {method:<14} {hq:5.1f} -> {lq:5.1f} cm  "
+                  f"({(lq / hq - 1) * 100:+.1f} %)")
+
+    print("\n=== kidnap-chicane gauntlet (supervised SynPF) ===")
+    outcome = run_scenario("kidnap-chicane", resolution=resolution)
+    s = outcome.summary
+    print(f"  survived: {s['survived']}   "
+          f"divergence episodes: {s['divergence_episodes']}   "
+          f"recovery actions: {s['recoveries']}   "
+          f"recovered: {s['recovered_episodes']}")
+    if s["time_to_recover_s"]:
+        print(f"  time to recover [s]: "
+              f"{[round(t, 2) for t in s['time_to_recover_s']]}")
+
+    print("\nExpected: taping the tires should barely move SynPF and"
+          "\ninflate Cartographer's error — Table I's ordering — and the"
+          "\nkidnapping should be detected and repaired mid-race.")
+    if sweep.failures:
+        print(f"\n{len(sweep.failures)} trial(s) failed inside the runner.")
+
+
+if __name__ == "__main__":
+    main()

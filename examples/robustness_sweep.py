@@ -7,33 +7,30 @@ with increasing speed-scale miscalibration (wheel-slip-like over-reporting)
 via the perturbation harness, holding physics constant — so the difference
 between localizers is purely how they cope with wrong odometry.
 
-Run:  python examples/robustness_sweep.py             (~5 min)
-      python examples/robustness_sweep.py --quick     (~90 s)
+The grid fans out through the fault-tolerant parallel sweep runner
+(``repro.eval.runner``): pass ``--workers N`` to run N trials at once, and
+``--checkpoint sweep.jsonl`` to make the sweep resumable after an
+interruption.  The printed table is bit-identical at any worker count.
+
+Run:  python examples/robustness_sweep.py --workers 4      (~2 min)
+      python examples/robustness_sweep.py --quick          (~90 s serial)
 """
 
 import argparse
 
-from repro.eval.experiment import ExperimentCondition, LapExperiment
+from repro.eval.experiment import ExperimentCondition
 from repro.eval.perturbations import OdometryPerturbation
-from repro.maps import replica_test_track
+from repro.eval.runner import SweepRunner, TrialSpec, run_lap_trial
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer scales and laps")
-    args = parser.parse_args()
+def make_specs(scales, laps):
+    """One spec per (odometry scale, method).
 
-    scales = [1.0, 1.15, 1.3] if args.quick else [1.0, 1.1, 1.2, 1.3, 1.45]
-    laps = 1 if args.quick else 2
-
-    track = replica_test_track(resolution=0.05)
-    experiment = LapExperiment(track)
-
-    print(f"{'odom scale':>10} | {'SynPF err[cm]':>14} | {'Carto err[cm]':>14}")
-    print("-" * 46)
+    The perturbation scale is part of the trial id — conditions that
+    differ only in their perturbation must not collide in the runner.
+    """
+    specs = []
     for scale in scales:
-        row = [f"{scale:>10.2f}"]
         for method in ("synpf", "cartographer"):
             condition = ExperimentCondition(
                 method=method,
@@ -43,9 +40,59 @@ def main() -> None:
                 seed=11,
                 perturbation=OdometryPerturbation(speed_scale=scale, seed=1),
             )
-            result = experiment.run(condition)
-            row.append(f"{result.localization_error_cm.mean:>14.2f}")
+            specs.append(TrialSpec(
+                trial_id=f"{method}/scale{scale:.2f}",
+                seed=11,
+                params={"condition": condition, "resolution": 0.05,
+                        "max_sim_time": 600.0},
+            ))
+    return specs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer scales and laps")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel worker processes (1 = inline)")
+    parser.add_argument("--checkpoint", default=None,
+                        help="JSONL checkpoint path; re-running resumes")
+    args = parser.parse_args()
+
+    scales = [1.0, 1.15, 1.3] if args.quick else [1.0, 1.1, 1.2, 1.3, 1.45]
+    laps = 1 if args.quick else 2
+    specs = make_specs(scales, laps)
+
+    runner = SweepRunner(
+        run_lap_trial,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        progress=lambda stats, record: print(
+            f"  [{stats.completed}/{stats.total}] {record.trial_id}"
+        ),
+    )
+    print(f"sweep: {len(specs)} trials on {args.workers} worker(s)")
+    sweep = runner.run(specs)
+
+    by_id = {r.trial_id: r for r in sweep.results}
+    print(f"\n{'odom scale':>10} | {'SynPF err[cm]':>14} | "
+          f"{'Carto err[cm]':>14}")
+    print("-" * 46)
+    for scale in scales:
+        row = [f"{scale:>10.2f}"]
+        for method in ("synpf", "cartographer"):
+            record = by_id.get(f"{method}/scale{scale:.2f}")
+            if record is None:
+                row.append(f"{'failed':>14}")
+                continue
+            err = record.metrics["summary"]["localization_error_mean_cm"]
+            row.append(f"{err:>14.2f}")
         print(" | ".join(row), flush=True)
+
+    if sweep.failures:
+        print(f"\n{len(sweep.failures)} trial(s) failed:")
+        for failure in sweep.failures:
+            print(f"  {failure.trial_id}: {failure.kind}")
 
     print(
         "\nReading: SynPF's error curve stays flat far past the point where"

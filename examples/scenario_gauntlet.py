@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run a localizer through an escalating fault gauntlet.
+
+Demonstrates the declarative scenario subsystem (``repro.scenarios``):
+pick a catalog scenario — by default the kidnapping gauntlet, where the
+car teleports mid-race and only the localization supervisor's
+scan-consistency monitor can notice — run it, and print the timeline of
+injected faults next to what the supervisor did about them.
+
+Everything here is also reachable from the command line::
+
+    python -m repro scenario list
+    python -m repro scenario run kidnap-chicane --resolution 0.1
+    python -m repro campaign --scenarios kidnap-chicane,gauntlet-lq \
+        --methods synpf,cartographer --workers 4
+
+Run:  python examples/scenario_gauntlet.py                    (~1 min)
+      python examples/scenario_gauntlet.py gauntlet-lq --method cartographer
+"""
+
+import argparse
+
+from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scenario", nargs="?", default="kidnap-chicane",
+                        choices=scenario_names(),
+                        help="catalog scenario to run")
+    parser.add_argument("--method", default=None,
+                        choices=("synpf", "cartographer", "vanilla_mcl"),
+                        help="override the scenario's localizer")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--resolution", type=float, default=0.1,
+                        help="track resolution (0.1 = fast, 0.05 = paper)")
+    args = parser.parse_args()
+
+    spec = get_scenario(args.scenario)
+    print(f"scenario: {spec.name} — {spec.description}\n")
+    print(f"  method={args.method or spec.method}  "
+          f"grip={spec.odom_quality}  laps={spec.num_laps}  "
+          f"supervised={spec.supervised}  events={len(spec.events)}")
+
+    outcome = run_scenario(
+        spec, method=args.method, seed=args.seed,
+        resolution=args.resolution,
+        progress=lambda message: print("  ", message),
+    )
+
+    print("\nfault timeline:")
+    if not outcome.event_log:
+        print("  (no events fired)")
+    for record in outcome.event_log:
+        print(f"  t={record['time']:7.2f}s lap {record['lap']:>2}  "
+              f"{record['kind']:<10} {record['phase']:<6} {record['detail']}")
+
+    summary = outcome.summary
+    print("\noutcome:")
+    print(f"  survived: {summary['survived']}   "
+          f"crashes: {summary['crashes']}   "
+          f"valid laps: {summary['laps_valid']}/{spec.num_laps}")
+    print(f"  per-lap localization error [cm]: "
+          f"{[round(v, 1) for v in summary['lap_loc_err_cm']]}")
+    if spec.supervised:
+        print(f"  divergence episodes: {summary['divergence_episodes']}   "
+              f"recovery actions: {summary['recoveries']}   "
+              f"recovered: {summary['recovered_episodes']}")
+        if summary["time_to_recover_s"]:
+            print(f"  time to recover [s]: "
+                  f"{[round(t, 2) for t in summary['time_to_recover_s']]}")
+
+    print(
+        "\nReading: the event log shows *what* was injected and when; the"
+        "\nsupervisor telemetry shows the divergence being detected and"
+        "\nrepaired — the closed loop the paper's manual-rescue experiments"
+        "\nleave to the safety driver."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ run without writing Python:
 ``fig2``                  track + grip-condition report (paper Fig. 2)
 ``speed-sweep``           SynPF accuracy vs top speed (the 7.6 m/s claim)
 ``sweep``                 parallel, resumable condition sweep (Table I grid)
+``scenario``              list / show / run declarative fault scenarios
+``campaign``              scenario x method x trial robustness scorecard
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
 """
@@ -76,6 +78,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-sim-time", type=float, default=600.0)
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-trial progress lines")
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="declarative fault-injection scenarios (repro.scenarios)",
+    )
+    scen_sub = p_scenario.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="catalog of named scenarios")
+    p_show = scen_sub.add_parser("show", help="print one scenario as JSON")
+    p_show.add_argument("name", help="catalog name or a scenario .json path")
+    p_run = scen_sub.add_parser("run", help="execute one scenario")
+    p_run.add_argument("name", help="catalog name or a scenario .json path")
+    p_run.add_argument("--method", choices=("synpf", "cartographer",
+                                            "vanilla_mcl"), default=None,
+                       help="override the scenario's localizer")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    p_run.add_argument("--laps", type=int, default=None)
+    p_run.add_argument("--resolution", type=float, default=None)
+    p_run.add_argument("--out", default=None,
+                       help="write summary + event log JSON here")
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="robustness campaign: scenario x method x trial scorecard",
+    )
+    p_campaign.add_argument("--scenarios", default=None,
+                            help="comma-separated catalog names "
+                                 "(default: whole catalog)")
+    p_campaign.add_argument("--methods", default=None,
+                            help="comma-separated localizers (default: each "
+                                 "scenario's own)")
+    p_campaign.add_argument("--trials", type=int, default=1)
+    p_campaign.add_argument("--seed", type=int, default=7,
+                            help="base seed; trial seeds derive from it")
+    p_campaign.add_argument("--workers", type=int, default=1)
+    p_campaign.add_argument("--timeout", type=float, default=None,
+                            help="per-trial timeout in seconds (workers >= 2)")
+    p_campaign.add_argument("--retries", type=int, default=1)
+    p_campaign.add_argument("--checkpoint", default=None,
+                            help="JSONL checkpoint path; re-running resumes")
+    p_campaign.add_argument("--scorecard", default=None,
+                            help="write the JSON scorecard here")
+    p_campaign.add_argument("--laps", type=int, default=None,
+                            help="override num_laps on every scenario")
+    p_campaign.add_argument("--resolution", type=float, default=None,
+                            help="override track resolution on every scenario")
+    p_campaign.add_argument("--quiet", action="store_true")
 
     sub.add_parser("latency", help="latency report (LUT / filter / matcher)")
     sub.add_parser("fig1", help="motion-model spread series")
@@ -193,6 +242,97 @@ def main(argv=None) -> int:
         if sweep.stats.timing.count("trial"):
             print("per-trial latency:")
             print(sweep.stats.timing.format_histogram_ms("trial", bins=6))
+        return 1 if sweep.failures else 0
+
+    if args.command == "scenario":
+        import json
+        import os
+
+        from repro.scenarios import (
+            get_scenario, list_scenarios, load_scenario, run_scenario,
+        )
+
+        def resolve(name):
+            if os.path.exists(name) or name.endswith(".json"):
+                return load_scenario(name)
+            return get_scenario(name)
+
+        if args.scenario_command == "list":
+            for spec in list_scenarios():
+                print(spec.summary_line())
+            return 0
+
+        if args.scenario_command == "show":
+            print(json.dumps(resolve(args.name).to_dict(), indent=2))
+            return 0
+
+        if args.scenario_command == "run":
+            spec = resolve(args.name)
+            print(f"scenario {spec.name}: {spec.description}")
+            outcome = run_scenario(
+                spec, method=args.method, seed=args.seed,
+                num_laps=args.laps, resolution=args.resolution,
+                progress=lambda m: print("  ", m),
+            )
+            print()
+            for record in outcome.event_log:
+                print(f"  t={record['time']:7.2f}s lap {record['lap']:>2} "
+                      f"{record['kind']:<10} {record['phase']:<6} "
+                      f"{record['detail']}")
+            print()
+            print(json.dumps(outcome.summary, indent=2))
+            if args.out:
+                payload = {
+                    "scenario": outcome.spec.to_dict(),
+                    "method": outcome.method,
+                    "seed": outcome.seed,
+                    "summary": outcome.summary,
+                    "event_log": outcome.event_log,
+                }
+                with open(args.out, "w") as fh:
+                    json.dump(payload, fh, indent=2)
+                print(f"\nwrote {args.out}")
+            survived = outcome.summary["survived"]
+            return 0 if survived else 1
+
+        raise AssertionError(
+            f"unhandled scenario command {args.scenario_command!r}"
+        )
+
+    if args.command == "campaign":
+        from repro.scenarios import (
+            format_scorecard, run_campaign, save_scorecard, scenario_names,
+        )
+
+        names = ([s for s in args.scenarios.split(",") if s]
+                 if args.scenarios else scenario_names())
+        methods = ([m for m in args.methods.split(",") if m]
+                   if args.methods else None)
+
+        def report(stats, record):
+            if args.quiet:
+                return
+            status = "ok" if record.ok else f"FAILED ({record.kind})"
+            print(f"  [{stats.completed}/{stats.total}] "
+                  f"{record.trial_id}: {status}  "
+                  f"(attempts {record.attempts}, {record.elapsed_s:.1f} s)")
+
+        print(f"campaign: {len(names)} scenario(s) x "
+              f"{len(methods) if methods else 'own'} method(s) x "
+              f"{args.trials} trial(s) on {args.workers} worker(s)")
+        scorecard, sweep = run_campaign(
+            names, methods=methods, trials=args.trials, base_seed=args.seed,
+            workers=args.workers, timeout_s=args.timeout,
+            retries=args.retries, checkpoint_path=args.checkpoint,
+            progress=report, num_laps=args.laps, resolution=args.resolution,
+        )
+        print()
+        print(format_scorecard(scorecard))
+        print()
+        print(sweep.stats.summary_line())
+        if args.scorecard:
+            save_scorecard(scorecard, args.scorecard)
+            print(f"wrote {args.scorecard}")
         return 1 if sweep.failures else 0
 
     if args.command == "latency":

@@ -31,13 +31,19 @@ MCL capability, which is rather the point).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.maps.occupancy_grid import OccupancyGrid
 
-__all__ = ["SupervisorConfig", "LocalizationSupervisor"]
+__all__ = [
+    "SupervisorConfig",
+    "LocalizationSupervisor",
+    "RecoveryAction",
+    "DivergenceEpisode",
+    "SupervisorTelemetry",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,107 @@ class SupervisorReport:
     recovery_level: int
 
 
+@dataclass
+class RecoveryAction:
+    """One re-initialisation the supervisor performed."""
+
+    update_index: int
+    time: Optional[float]
+    level: int
+    global_reinit: bool
+
+    def to_dict(self) -> Dict:
+        return {
+            "update_index": self.update_index,
+            "time": self.time,
+            "level": self.level,
+            "global_reinit": self.global_reinit,
+        }
+
+
+@dataclass
+class DivergenceEpisode:
+    """One contiguous stretch of detected divergence.
+
+    Opens at the first update whose health falls below the *unhealthy*
+    threshold while no episode is active; closes at the next update whose
+    health clears the *healthy* threshold.  ``end_index is None`` means the
+    run finished (or the supervisor was externally re-initialised) with the
+    episode still open.
+    """
+
+    start_index: int
+    start_time: Optional[float]
+    end_index: Optional[int] = None
+    end_time: Optional[float] = None
+    recoveries: int = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.end_index is not None
+
+    def time_to_recover(self) -> Optional[float]:
+        """Seconds from detection to restored health (None while open or
+        when updates carried no timestamps)."""
+        if self.end_time is None or self.start_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def updates_to_recover(self) -> Optional[int]:
+        if self.end_index is None:
+            return None
+        return self.end_index - self.start_index
+
+    def to_dict(self) -> Dict:
+        return {
+            "start_index": self.start_index,
+            "start_time": self.start_time,
+            "end_index": self.end_index,
+            "end_time": self.end_time,
+            "recoveries": self.recoveries,
+            "time_to_recover": self.time_to_recover(),
+            "updates_to_recover": self.updates_to_recover(),
+        }
+
+
+@dataclass
+class SupervisorTelemetry:
+    """Structured recovery telemetry for one supervised run.
+
+    Everything here is derived from the update stream alone, so two runs
+    with identical inputs produce identical telemetry — the scenario
+    campaign's determinism contract relies on that.
+    """
+
+    num_updates: int = 0
+    num_recoveries: int = 0
+    recoveries: List[RecoveryAction] = field(default_factory=list)
+    episodes: List[DivergenceEpisode] = field(default_factory=list)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episodes)
+
+    def closed_episodes(self) -> List[DivergenceEpisode]:
+        return [e for e in self.episodes if e.closed]
+
+    def recovery_times(self) -> List[float]:
+        """time-to-recover of every closed, timestamped episode."""
+        return [
+            t for e in self.episodes
+            if (t := e.time_to_recover()) is not None
+        ]
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_updates": self.num_updates,
+            "num_recoveries": self.num_recoveries,
+            "num_episodes": self.num_episodes,
+            "recoveries": [r.to_dict() for r in self.recoveries],
+            "episodes": [e.to_dict() for e in self.episodes],
+        }
+
+
 class LocalizationSupervisor:
     """Wraps a localizer's update loop with health checks and recovery.
 
@@ -111,6 +218,8 @@ class LocalizationSupervisor:
         self._last_healthy_pose: Optional[np.ndarray] = None
         self.num_recoveries = 0
         self.health_history: List[float] = []
+        self.telemetry = SupervisorTelemetry()
+        self._episode: Optional[DivergenceEpisode] = None
 
     # ------------------------------------------------------------------
     def health_score(self, pose: np.ndarray, scan_ranges: np.ndarray,
@@ -147,41 +256,79 @@ class LocalizationSupervisor:
         self._last_healthy_pose = np.asarray(pose, dtype=float).copy()
         self._bad_streak = 0
         self._recovery_level = 0
+        # External re-initialisation (e.g. a crash re-rail) abandons any
+        # open divergence episode: it ends without the supervisor having
+        # restored health itself, so it stays recorded as unclosed.
+        self._episode = None
 
-    def update(self, delta, scan_ranges, beam_angles) -> SupervisorReport:
+    def _reinitialize(self, anchor: np.ndarray, std_xy: float,
+                      std_theta: float) -> None:
+        """Re-seed the wrapped localizer around ``anchor``.
+
+        Localizers without spread parameters (scan matchers re-anchored at
+        a point pose) accept the plain-pose form.
+        """
+        try:
+            self.localizer.initialize(anchor, std_xy=std_xy,
+                                      std_theta=std_theta)
+        except TypeError:
+            self.localizer.initialize(anchor)
+
+    def update(self, delta, scan_ranges, beam_angles,
+               timestamp: Optional[float] = None) -> SupervisorReport:
         estimate = self.localizer.update(delta, scan_ranges, beam_angles)
         pose = estimate.pose if hasattr(estimate, "pose") else np.asarray(estimate)
         health = self.health_score(pose, scan_ranges, beam_angles)
         self.health_history.append(health)
         cfg = self.config
+        index = self.telemetry.num_updates
+        self.telemetry.num_updates += 1
 
         healthy = health >= cfg.healthy_score
         if healthy:
             self._last_healthy_pose = pose.copy()
             self._bad_streak = 0
             self._recovery_level = 0
+            if self._episode is not None:
+                self._episode.end_index = index
+                self._episode.end_time = timestamp
+                self._episode = None
             return SupervisorReport(pose, health, True, False, 0)
 
         if health < cfg.unhealthy_score:
             self._bad_streak += 1
+            if self._episode is None:
+                self._episode = DivergenceEpisode(
+                    start_index=index, start_time=timestamp
+                )
+                self.telemetry.episodes.append(self._episode)
         recovered = False
         if self._bad_streak >= cfg.consecutive_bad:
+            global_reinit = False
             if (self._recovery_level >= len(cfg.recovery_spreads)
                     and hasattr(self.localizer, "initialize_global")):
                 # Local recoveries exhausted: the car is not where any
                 # anchored cloud can reach — fall back to global MCL.
                 self.localizer.initialize_global()
+                global_reinit = True
             else:
                 level = min(self._recovery_level,
                             len(cfg.recovery_spreads) - 1)
                 anchor = (self._last_healthy_pose if self._last_healthy_pose
                           is not None else pose)
-                self.localizer.initialize(
+                self._reinitialize(
                     anchor,
                     std_xy=cfg.recovery_spreads[level],
                     std_theta=cfg.recovery_theta_spread,
                 )
             self.num_recoveries += 1
+            self.telemetry.num_recoveries += 1
+            self.telemetry.recoveries.append(
+                RecoveryAction(index, timestamp, self._recovery_level,
+                               global_reinit)
+            )
+            if self._episode is not None:
+                self._episode.recoveries += 1
             self._recovery_level += 1
             self._bad_streak = 0
             recovered = True

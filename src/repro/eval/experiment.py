@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.motion_models import OdometryDelta
 from repro.core.particle_filter import SynPF, make_synpf, make_vanilla_mcl
+from repro.core.supervisor import LocalizationSupervisor, SupervisorConfig
 from repro.eval.metrics import (
     Summary,
     compute_load_percent,
@@ -45,6 +46,7 @@ __all__ = [
     "LapRecord",
     "ConditionResult",
     "LapExperiment",
+    "RunContext",
     "format_table1",
 ]
 
@@ -129,13 +131,19 @@ class LapRecord:
 
 @dataclass
 class ConditionResult:
-    """Aggregated Table I row for one condition."""
+    """Aggregated Table I row for one condition.
+
+    ``supervisor_telemetry`` is present only for supervised runs (scenario
+    campaigns): the :class:`~repro.core.supervisor.SupervisorTelemetry`
+    dict — recovery count, divergence episodes, times-to-recover.
+    """
 
     condition: ExperimentCondition
     laps: List[LapRecord]
     mean_update_ms: float
     compute_load_percent: float
     crashes: int = 0
+    supervisor_telemetry: Optional[Dict] = None
 
     def _valid_laps(self) -> List[LapRecord]:
         valid = [lap for lap in self.laps if lap.valid]
@@ -178,13 +186,16 @@ class ConditionResult:
             "seed": self.condition.seed,
             "odometry_source": self.condition.odometry_source,
         }
-        return {
+        out = {
             "condition": condition,
             "laps": [lap.to_dict() for lap in self.laps],
             "mean_update_ms": self.mean_update_ms,
             "compute_load_percent": self.compute_load_percent,
             "crashes": self.crashes,
         }
+        if self.supervisor_telemetry is not None:
+            out["supervisor_telemetry"] = self.supervisor_telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ConditionResult":
@@ -194,6 +205,7 @@ class ConditionResult:
             mean_update_ms=float(data["mean_update_ms"]),
             compute_load_percent=float(data["compute_load_percent"]),
             crashes=int(data.get("crashes", 0)),
+            supervisor_telemetry=data.get("supervisor_telemetry"),
         )
 
 
@@ -203,8 +215,9 @@ class _SynPFAdapter:
     def __init__(self, pf: SynPF):
         self.pf = pf
 
-    def initialize(self, pose: np.ndarray) -> None:
-        self.pf.initialize(pose)
+    def initialize(self, pose: np.ndarray, std_xy: float | None = None,
+                   std_theta: float | None = None) -> None:
+        self.pf.initialize(pose, std_xy=std_xy, std_theta=std_theta)
 
     def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
         return self.pf.update(delta, scan.ranges, scan.angles).pose
@@ -221,7 +234,10 @@ class _CartographerAdapter:
         self.max_range = max_range
         self.offset_x = offset_x
 
-    def initialize(self, pose: np.ndarray) -> None:
+    def initialize(self, pose: np.ndarray, std_xy: float | None = None,
+                   std_theta: float | None = None) -> None:
+        # A scan matcher has no particle cloud to spread: recovery
+        # re-anchors it at the point pose.
         self.carto.initialize(pose)
 
     def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
@@ -234,6 +250,79 @@ class _CartographerAdapter:
         timing = self.carto.timing
         total = timing.total_s("scan_match") + timing.total_s("optimize")
         return total / max(timing.count("scan_match"), 1) * 1e3
+
+
+class _SupervisorShim:
+    """Presents the SynPF update signature over a scan-consuming adapter.
+
+    :class:`~repro.core.supervisor.LocalizationSupervisor` drives localizers
+    through ``update(delta, ranges, angles)``; the experiment adapters
+    consume full :class:`LidarScan` objects (Cartographer needs the point
+    cloud).  The shim carries the current scan out-of-band: the supervised
+    wrapper stores it here before every supervised update.
+    """
+
+    def __init__(self, adapter):
+        self.adapter = adapter
+        self.scan: Optional[LidarScan] = None
+        pf = getattr(adapter, "pf", None)
+        if pf is not None and hasattr(pf, "initialize_global"):
+            # Exposed only when the underlying filter supports global
+            # re-initialisation (the supervisor checks with hasattr).
+            self.initialize_global = pf.initialize_global
+
+    def initialize(self, pose, std_xy=None, std_theta=None):
+        self.adapter.initialize(pose, std_xy=std_xy, std_theta=std_theta)
+
+    def update(self, delta, scan_ranges, beam_angles):
+        return self.adapter.update(delta, self.scan)
+
+
+class _SupervisedLocalizer:
+    """Adapter wrapper adding divergence detection and recovery.
+
+    Exposes the same interface as the raw adapters plus a ``timestamp``
+    on update (fed to the supervisor's recovery telemetry).
+    """
+
+    def __init__(self, adapter, grid, config: SupervisorConfig):
+        self.adapter = adapter
+        self._shim = _SupervisorShim(adapter)
+        self.supervisor = LocalizationSupervisor(self._shim, grid, config)
+        self.last_report = None
+
+    def initialize(self, pose: np.ndarray) -> None:
+        self.supervisor.initialize(pose)
+
+    def update(self, delta: OdometryDelta, scan: LidarScan,
+               timestamp: Optional[float] = None) -> np.ndarray:
+        self._shim.scan = scan
+        report = self.supervisor.update(
+            delta, scan.ranges, scan.angles, timestamp=timestamp
+        )
+        self.last_report = report
+        return report.pose
+
+    def mean_update_ms(self) -> float:
+        return self.adapter.mean_update_ms()
+
+
+@dataclass
+class RunContext:
+    """The live objects of one experiment run, handed to injection hooks.
+
+    A timeline engine (see :mod:`repro.scenarios.timeline`) receives this
+    via ``hooks.bind(ctx)`` and mutates the simulation through it while
+    the run is in flight.
+    """
+
+    sim: Simulator
+    track: GeneratedTrack
+    condition: ExperimentCondition
+    controller: PurePursuitController
+    perturbation: Optional[OdometryPerturbation]
+    localizer: object
+    supervisor: Optional[LocalizationSupervisor] = None
 
 
 class LapExperiment:
@@ -307,13 +396,23 @@ class LapExperiment:
     # ------------------------------------------------------------------
     def run(self, condition: ExperimentCondition,
             progress: Optional[Callable[[str], None]] = None,
-            seed: Optional[int] = None) -> ConditionResult:
+            seed: Optional[int] = None,
+            hooks=None,
+            supervisor_config: Optional[SupervisorConfig] = None) -> ConditionResult:
         """Run one condition; returns its aggregated Table I row.
 
         ``seed`` overrides ``condition.seed`` for this run.  The parallel
         sweep runner uses it to inject a per-trial Monte-Carlo seed while
         keeping the condition itself shared across trials; the returned
         result's condition carries the seed actually used.
+
+        ``hooks`` is an optional injection object with ``bind(ctx)`` and
+        ``tick(sim_time, lap_index)`` — the scenario timeline engine
+        implements it to fire fault events mid-run (``lap_index`` is -1
+        during the warm-up lap, then the 0-based scored-lap number).
+
+        ``supervisor_config`` wraps the localizer in the divergence
+        supervisor; the result then carries ``supervisor_telemetry``.
         """
         if seed is not None:
             condition = dataclasses.replace(condition, seed=int(seed))
@@ -336,9 +435,31 @@ class LapExperiment:
             max_steer=sim_cfg.vehicle.max_steer,
         )
         localizer = self._build_localizer(condition)
+        if supervisor_config is not None:
+            if supervisor_config.sensor_max_range is None:
+                supervisor_config = dataclasses.replace(
+                    supervisor_config,
+                    sensor_max_range=sim_cfg.lidar.max_range,
+                )
+            localizer = _SupervisedLocalizer(
+                localizer, self.track.grid, supervisor_config
+            )
         perturbation = condition.perturbation
         if perturbation is not None:
             perturbation.reset()
+
+        if hooks is not None:
+            hooks.bind(RunContext(
+                sim=sim,
+                track=self.track,
+                condition=condition,
+                controller=controller,
+                perturbation=perturbation,
+                localizer=localizer,
+                supervisor=(localizer.supervisor
+                            if isinstance(localizer, _SupervisedLocalizer)
+                            else None),
+            ))
 
         if condition.odometry_source not in ("wheel", "fused"):
             raise ValueError(
@@ -383,6 +504,8 @@ class LapExperiment:
 
         step_count = 0
         while sim.time < self.max_sim_time and len(laps) < condition.num_laps:
+            if hooks is not None:
+                hooks.tick(sim.time, lap_index)
             target_speed, steer = controller.control(pose_est, speed_est)
             frame = sim.step(target_speed, steer)
             step_count += 1
@@ -407,9 +530,16 @@ class LapExperiment:
             if frame.scan is not None:
                 scan_counter += 1
                 if scan_counter % self.update_every_scans == 0:
-                    pose_est = np.asarray(
-                        localizer.update(pending, frame.scan), dtype=float
-                    )
+                    if isinstance(localizer, _SupervisedLocalizer):
+                        pose_est = np.asarray(
+                            localizer.update(pending, frame.scan,
+                                             timestamp=sim.time),
+                            dtype=float,
+                        )
+                    else:
+                        pose_est = np.asarray(
+                            localizer.update(pending, frame.scan), dtype=float
+                        )
                     pending = None
                     if lap_index >= 0:
                         est_sensor = np.array(
@@ -494,7 +624,11 @@ class LapExperiment:
         load = compute_load_percent(
             mean_ms / 1e3, sim_cfg.lidar.rate_hz / self.update_every_scans
         )
-        return ConditionResult(condition, laps, mean_ms, load, crashes)
+        telemetry = None
+        if isinstance(localizer, _SupervisedLocalizer):
+            telemetry = localizer.supervisor.telemetry.to_dict()
+        return ConditionResult(condition, laps, mean_ms, load, crashes,
+                               supervisor_telemetry=telemetry)
 
 
 def format_table1(results: List[ConditionResult]) -> str:

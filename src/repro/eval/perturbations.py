@@ -16,10 +16,12 @@ and localizer.  It serves two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from repro.core.motion_models import OdometryDelta
+from repro.utils.config_io import config_from_dict, config_to_dict
 from repro.utils.rng import make_rng
 
 __all__ = ["OdometryPerturbation"]
@@ -83,6 +85,17 @@ class OdometryPerturbation:
         """Restart the deterministic corruption sequence."""
         self._rng = make_rng(self.seed)
         self._burst_remaining = 0.0
+
+    # -- serialisation (scenario specs embed perturbations) ------------
+    def to_dict(self) -> Dict:
+        """JSON-ready dict (configuration only, no rng state)."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OdometryPerturbation":
+        """Inverse of :meth:`to_dict`; the rebuilt instance starts a fresh
+        deterministic sequence from its ``seed``."""
+        return config_from_dict(cls, data)
 
     def apply(self, delta: OdometryDelta) -> OdometryDelta:
         """Return the corrupted version of one odometry interval."""

@@ -1,0 +1,96 @@
+"""Declarative fault-injection scenarios and robustness campaigns.
+
+The paper compares SynPF and Cartographer across exactly two conditions
+(fresh vs. taped tires).  This subsystem generalises that experiment into
+a declarative language of *scenarios* — a baseline configuration plus a
+timeline of fault events (grip loss, odometry decay, slip bursts, LiDAR
+outages, scan jitter, kidnapping, unmapped obstacles) — and a *campaign*
+runner that fans scenario x localizer x trial matrices through the
+fault-tolerant sweep pool and folds the results into a robustness
+scorecard.
+
+Layers:
+
+* :mod:`~repro.scenarios.events` — the fault-event vocabulary;
+* :mod:`~repro.scenarios.timeline` — the engine that fires/reverts events
+  inside the experiment loop;
+* :mod:`~repro.scenarios.spec` — the JSON-round-trippable scenario schema;
+* :mod:`~repro.scenarios.library` — the canonical named catalog;
+* :mod:`~repro.scenarios.campaign` — matrix execution and the scorecard.
+"""
+
+from repro.scenarios.campaign import (
+    ScenarioOutcome,
+    aggregate_scorecard,
+    format_scorecard,
+    make_campaign_specs,
+    run_campaign,
+    run_scenario,
+    run_scenario_trial,
+    save_scorecard,
+)
+from repro.scenarios.events import (
+    EVENT_REGISTRY,
+    FaultEvent,
+    GripChange,
+    KidnapTeleport,
+    LidarFault,
+    ObstacleSpawn,
+    OdometryFault,
+    ScanLatencyJitter,
+    SlipBurst,
+    event_from_dict,
+    event_to_dict,
+    register_event,
+)
+from repro.scenarios.library import (
+    SCENARIO_LIBRARY,
+    get_scenario,
+    list_scenarios,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    SCHEMA_VERSION,
+    ScenarioSpec,
+    load_scenario,
+    save_scenario,
+)
+from repro.scenarios.timeline import EventLogRecord, Timeline
+
+__all__ = [
+    # events
+    "FaultEvent",
+    "GripChange",
+    "OdometryFault",
+    "SlipBurst",
+    "LidarFault",
+    "ScanLatencyJitter",
+    "KidnapTeleport",
+    "ObstacleSpawn",
+    "EVENT_REGISTRY",
+    "register_event",
+    "event_to_dict",
+    "event_from_dict",
+    # timeline
+    "Timeline",
+    "EventLogRecord",
+    # spec
+    "ScenarioSpec",
+    "SCHEMA_VERSION",
+    "save_scenario",
+    "load_scenario",
+    # library
+    "SCENARIO_LIBRARY",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    # campaign
+    "ScenarioOutcome",
+    "run_scenario",
+    "run_scenario_trial",
+    "make_campaign_specs",
+    "aggregate_scorecard",
+    "format_scorecard",
+    "run_campaign",
+    "save_scorecard",
+]

@@ -1,0 +1,352 @@
+"""Robustness campaigns: scenario x localizer x trial matrices.
+
+A *campaign* fans a set of :class:`~repro.scenarios.spec.ScenarioSpec`
+across localization methods and Monte-Carlo trials through the
+fault-tolerant :class:`~repro.eval.runner.SweepRunner` pool, then folds
+the per-trial records into a *robustness scorecard*: survival rate,
+pooled localization-error quantiles, crash counts, supervisor recoveries
+and time-to-recover per (scenario, method) cell.
+
+Determinism contract (inherited from the runner and extended here): every
+number in a trial record and in the scorecard is a function of
+``(scenario dict, method, derived seed)`` only — wall-clock latencies are
+deliberately excluded — so the same campaign is bit-identical at any
+worker count, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.eval.runner import (
+    SweepResult,
+    SweepRunner,
+    TrialFailure,
+    TrialRecord,
+    TrialSpec,
+    _experiment_for,
+)
+from repro.eval.perturbations import OdometryPerturbation
+from repro.scenarios.library import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.timeline import Timeline
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "ScenarioOutcome",
+    "run_scenario",
+    "run_scenario_trial",
+    "make_campaign_specs",
+    "aggregate_scorecard",
+    "format_scorecard",
+    "run_campaign",
+    "save_scorecard",
+]
+
+SCORECARD_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    ``summary`` and ``event_log`` contain only deterministic quantities;
+    ``result`` additionally carries wall-clock latency fields.
+    """
+
+    spec: ScenarioSpec
+    method: str
+    seed: int
+    result: object  # ConditionResult
+    event_log: List[Dict]
+    summary: Dict
+
+
+def _resolve(spec_or_name: Union[ScenarioSpec, str]) -> ScenarioSpec:
+    if isinstance(spec_or_name, str):
+        return get_scenario(spec_or_name)
+    return spec_or_name
+
+
+def _trial_summary(spec: ScenarioSpec, result, event_log: List[Dict]) -> Dict:
+    """Deterministic flat metrics for one run (no wall-clock values)."""
+    valid = [lap for lap in result.laps if lap.valid]
+    telemetry = result.supervisor_telemetry or {}
+    episodes = telemetry.get("episodes", [])
+    recover_times = [
+        e["end_time"] - e["start_time"] for e in episodes
+        if e.get("end_time") is not None
+    ]
+    survived = (len(valid) == spec.num_laps and result.crashes == 0)
+    return {
+        "survived": bool(survived),
+        "laps_completed": len(result.laps),
+        "laps_valid": len(valid),
+        "crashes": int(result.crashes),
+        "lap_times_s": [round(lap.lap_time, 9) for lap in valid],
+        "lap_loc_err_cm": [round(lap.localization_error_mean_cm, 9)
+                           for lap in valid],
+        "lap_loc_err_max_cm": [round(lap.localization_error_max_cm, 9)
+                               for lap in valid],
+        "lap_lateral_err_cm": [round(lap.lateral_error_mean_cm, 9)
+                               for lap in valid],
+        "scan_alignment_pct": [round(lap.scan_alignment_percent, 9)
+                               for lap in valid],
+        "recoveries": int(telemetry.get("num_recoveries", 0)),
+        "divergence_episodes": len(episodes),
+        "recovered_episodes": len(recover_times),
+        "time_to_recover_s": [round(t, 9) for t in recover_times],
+        "events_fired": sum(1 for r in event_log if r["phase"] == "apply"),
+    }
+
+
+def run_scenario(
+    spec_or_name: Union[ScenarioSpec, str],
+    *,
+    method: Optional[str] = None,
+    seed: Optional[int] = None,
+    num_laps: Optional[int] = None,
+    speed_scale: Optional[float] = None,
+    resolution: Optional[float] = None,
+    max_sim_time: Optional[float] = None,
+    progress: Optional[Callable] = None,
+) -> ScenarioOutcome:
+    """Execute one scenario end to end and return its outcome.
+
+    Keyword overrides replace the corresponding spec fields for this run
+    only.  The spec is deep-copied through its JSON round trip first, so
+    runs never share mutable state (events mutate the perturbation).
+    """
+    from repro.core.supervisor import SupervisorConfig
+    from repro.eval.experiment import ExperimentCondition
+
+    spec = _resolve(spec_or_name).with_overrides(
+        method=method, num_laps=num_laps, speed_scale=speed_scale,
+        resolution=resolution, max_sim_time=max_sim_time,
+    ).validate().fresh_copy()
+    run_seed = spec.seed if seed is None else int(seed)
+
+    # Scenario runs always get a perturbation object (identity when the
+    # spec declares none) so odometry events have a harness to act on;
+    # an unseeded perturbation is pinned to a derived seed for
+    # reproducibility at any worker count.
+    perturbation = spec.perturbation or OdometryPerturbation()
+    if perturbation.seed is None:
+        perturbation = dataclasses.replace(
+            perturbation, seed=derive_seed(run_seed, spec.name, "perturbation")
+        )
+
+    condition = ExperimentCondition(
+        method=spec.method,
+        odom_quality=spec.odom_quality,
+        speed_scale=spec.speed_scale,
+        num_laps=spec.num_laps,
+        seed=run_seed,
+        perturbation=perturbation,
+    )
+    timeline = Timeline(
+        spec.events, seed=derive_seed(run_seed, spec.name, "timeline")
+    )
+    supervisor_config = SupervisorConfig() if spec.supervised else None
+
+    experiment = _experiment_for(spec.resolution, spec.max_sim_time)
+    result = experiment.run(
+        condition, progress=progress, hooks=timeline,
+        supervisor_config=supervisor_config,
+    )
+    event_log = timeline.log_as_dicts()
+    return ScenarioOutcome(
+        spec=spec, method=spec.method, seed=run_seed, result=result,
+        event_log=event_log,
+        summary=_trial_summary(spec, result, event_log),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaign fan-out
+# ---------------------------------------------------------------------------
+def run_scenario_trial(trial: TrialSpec) -> Dict:
+    """Execute one campaign trial (module-level: picklable).
+
+    ``trial.params`` carries the scenario as its JSON dict plus the method
+    override, so the payload crossing the process boundary is plain data.
+    """
+    params = trial.params
+    spec = ScenarioSpec.from_dict(params["scenario"])
+    outcome = run_scenario(spec, method=params["method"], seed=trial.seed)
+    return {
+        "scenario": spec.name,
+        "method": params["method"],
+        "summary": outcome.summary,
+        "event_log": outcome.event_log,
+        "telemetry": outcome.result.supervisor_telemetry,
+    }
+
+
+def make_campaign_specs(
+    scenarios: Sequence[Union[ScenarioSpec, str]],
+    methods: Optional[Sequence[str]] = None,
+    trials: int = 1,
+    base_seed: int = 7,
+    **overrides,
+) -> List[TrialSpec]:
+    """The campaign matrix as runner trial specs.
+
+    ``methods=None`` runs each scenario with its own declared method.
+    Seeds derive from ``(base_seed, scenario, method, trial)`` — stable
+    under reordering and extension of the matrix.  Extra keyword
+    arguments (``num_laps``, ``resolution``, ...) override every spec,
+    which is how smoke campaigns shrink the runs.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    specs: List[TrialSpec] = []
+    for entry in scenarios:
+        scenario = _resolve(entry).with_overrides(**overrides).validate()
+        for method in (methods or [scenario.method]):
+            scenario_dict = scenario.with_overrides(method=method).to_dict()
+            for t in range(trials):
+                specs.append(TrialSpec(
+                    trial_id=f"{scenario.name}/{method}/t{t}",
+                    seed=derive_seed(base_seed, scenario.name, method, t),
+                    params={"scenario": scenario_dict, "method": method},
+                ))
+    return specs
+
+
+def _quantiles(values: List[float]) -> Optional[Dict]:
+    if not values:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": round(float(arr.mean()), 6),
+        "p50": round(float(np.percentile(arr, 50)), 6),
+        "p95": round(float(np.percentile(arr, 95)), 6),
+        "max": round(float(arr.max()), 6),
+    }
+
+
+def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
+    """Fold campaign trial records into the robustness scorecard.
+
+    One cell per (scenario, method), sorted, each aggregating over that
+    cell's successful trials; trials that failed inside the runner
+    (exception/timeout/worker-crash) are listed under ``"failures"`` and
+    count against survival.
+    """
+    cells: Dict[tuple, Dict] = {}
+    failures: List[Dict] = []
+    for record in records:
+        if isinstance(record, TrialFailure):
+            failures.append({
+                "trial_id": record.trial_id,
+                "kind": record.kind,
+                "error_type": record.error_type,
+            })
+            scenario, method = record.trial_id.split("/")[:2]
+            cell = cells.setdefault((scenario, method), {"trials": []})
+            cell["trials"].append(None)
+            continue
+        m = record.metrics
+        cell = cells.setdefault((m["scenario"], m["method"]), {"trials": []})
+        cell["trials"].append(m["summary"])
+
+    out_cells = []
+    for (scenario, method) in sorted(cells):
+        trials = cells[(scenario, method)]["trials"]
+        ok = [t for t in trials if t is not None]
+        survived = sum(1 for t in ok if t["survived"])
+        loc_err = [v for t in ok for v in t["lap_loc_err_cm"]]
+        loc_err_max = [v for t in ok for v in t["lap_loc_err_max_cm"]]
+        lap_times = [v for t in ok for v in t["lap_times_s"]]
+        recover_times = [v for t in ok for v in t["time_to_recover_s"]]
+        recoveries = sum(t["recoveries"] for t in ok)
+        episodes = sum(t["divergence_episodes"] for t in ok)
+        out_cells.append({
+            "scenario": scenario,
+            "method": method,
+            "trials": len(trials),
+            "runner_failures": sum(1 for t in trials if t is None),
+            "survival_rate": round(survived / len(trials), 6),
+            "crashes": sum(t["crashes"] for t in ok),
+            "loc_err_cm": _quantiles(loc_err),
+            "loc_err_max_cm": _quantiles(loc_err_max),
+            "lap_time_s": _quantiles(lap_times),
+            "recoveries": recoveries,
+            "divergence_episodes": episodes,
+            "recovered_episodes": sum(t["recovered_episodes"] for t in ok),
+            "time_to_recover_s": _quantiles(recover_times),
+            "events_fired": sum(t["events_fired"] for t in ok),
+        })
+    return {
+        "schema_version": SCORECARD_SCHEMA_VERSION,
+        "cells": out_cells,
+        "failures": sorted(failures, key=lambda f: f["trial_id"]),
+    }
+
+
+def format_scorecard(scorecard: Dict) -> str:
+    """Human-readable scorecard table (deterministic)."""
+    header = (f"{'scenario':<18} {'method':<12} {'trials':>6} {'surv%':>6} "
+              f"{'crash':>5} {'locerr p50/p95 cm':>18} {'recov':>5} "
+              f"{'TTR p95 s':>9}")
+    lines = [header, "-" * len(header)]
+    for cell in scorecard["cells"]:
+        loc = cell["loc_err_cm"]
+        loc_txt = (f"{loc['p50']:.1f}/{loc['p95']:.1f}" if loc else "--")
+        ttr = cell["time_to_recover_s"]
+        ttr_txt = f"{ttr['p95']:.2f}" if ttr else "--"
+        lines.append(
+            f"{cell['scenario']:<18} {cell['method']:<12} "
+            f"{cell['trials']:>6d} {100 * cell['survival_rate']:>6.1f} "
+            f"{cell['crashes']:>5d} {loc_txt:>18} "
+            f"{cell['recoveries']:>5d} {ttr_txt:>9}"
+        )
+    if scorecard["failures"]:
+        lines.append("")
+        lines.append("runner failures:")
+        for failure in scorecard["failures"]:
+            lines.append(f"  {failure['trial_id']}: {failure['kind']} "
+                         f"{failure['error_type']}")
+    return "\n".join(lines)
+
+
+def run_campaign(
+    scenarios: Sequence[Union[ScenarioSpec, str]],
+    methods: Optional[Sequence[str]] = None,
+    trials: int = 1,
+    base_seed: int = 7,
+    *,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    checkpoint_path: Optional[str] = None,
+    progress: Optional[Callable] = None,
+    **overrides,
+) -> tuple:
+    """Run the full campaign matrix; returns ``(scorecard, sweep_result)``.
+
+    Extra keyword arguments override every scenario (e.g. ``num_laps=1,
+    resolution=0.1`` for a CI smoke campaign).
+    """
+    specs = make_campaign_specs(
+        scenarios, methods=methods, trials=trials, base_seed=base_seed,
+        **overrides,
+    )
+    runner = SweepRunner(
+        run_scenario_trial, workers=workers, timeout_s=timeout_s,
+        retries=retries, checkpoint_path=checkpoint_path, progress=progress,
+    )
+    sweep: SweepResult = runner.run(specs)
+    return aggregate_scorecard(sweep.records), sweep
+
+
+def save_scorecard(scorecard: Dict, path) -> None:
+    """Write a scorecard to JSON."""
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(scorecard, indent=2) + "\n")

@@ -1,0 +1,542 @@
+"""Fault-event library: the vocabulary of declarative scenarios.
+
+Every event is a frozen dataclass describing *what goes wrong and when* —
+never *how the run reacts* (that is measured).  The timeline engine
+(:mod:`repro.scenarios.timeline`) arms events, fires them against the live
+run's :class:`~repro.eval.experiment.RunContext`, and reverts windowed
+events when their duration elapses.
+
+Common trigger fields (exactly one of ``at_time`` / ``at_lap`` must be
+set):
+
+``at_time``
+    Simulation time in seconds (the clock starts at the warm-up lap).
+``at_lap``
+    Scored-lap index: 0 fires at the start of the first scored lap.
+``duration``
+    0 makes the event instantaneous and permanent (teleport, permanent
+    parameter change); > 0 opens a *window* — the effect is active for
+    that many seconds and then reverted (unless the event declares itself
+    ``permanent``, in which case the window only shapes a ramp).
+
+Events that draw random numbers receive a generator seeded by
+``derive_seed(timeline_seed, event_index, kind)`` — behaviour is
+bit-reproducible for a given scenario seed regardless of what other
+events do.
+
+Serialisation: events round-trip through JSON via
+:func:`event_to_dict` / :func:`event_from_dict`; the ``__type__`` tag is
+resolved against :data:`EVENT_REGISTRY`, so new event kinds only need the
+``@register_event`` decorator.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Type
+
+import numpy as np
+
+from repro.utils.config_io import config_from_dict, config_to_dict
+
+__all__ = [
+    "FaultEvent",
+    "GripChange",
+    "OdometryFault",
+    "SlipBurst",
+    "LidarFault",
+    "ScanLatencyJitter",
+    "KidnapTeleport",
+    "ObstacleSpawn",
+    "EVENT_REGISTRY",
+    "register_event",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+
+EVENT_REGISTRY: Dict[str, Type["FaultEvent"]] = {}
+
+
+def register_event(cls: Type["FaultEvent"]) -> Type["FaultEvent"]:
+    """Class decorator adding an event type to the serialisation registry."""
+    EVENT_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def event_to_dict(event: "FaultEvent") -> Dict:
+    """JSON-ready dict of an event (tagged with its registered type)."""
+    return config_to_dict(event)
+
+
+def event_from_dict(data: Dict) -> "FaultEvent":
+    """Rebuild an event from :func:`event_to_dict` output."""
+    tag = data.get("__type__")
+    if tag is None:
+        raise ValueError("event dict is missing its '__type__' tag")
+    cls = EVENT_REGISTRY.get(tag)
+    if cls is None:
+        raise ValueError(
+            f"unknown event type {tag!r}; known: {sorted(EVENT_REGISTRY)}"
+        )
+    return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class FaultEvent(abc.ABC):
+    """Base declaration: trigger + optional active window.
+
+    Subclasses implement :meth:`apply` (fire), and optionally
+    :meth:`update` (called while the window is open, with the window
+    fraction in [0, 1] — ramps live here) and :meth:`revert` (window
+    closed).  All three receive the run's
+    :class:`~repro.eval.experiment.RunContext` and a per-event ``memo``
+    dict (holds the event's seeded rng under ``"rng"`` plus whatever
+    ``apply`` stashes for ``revert``).  ``apply``/``revert`` may return a
+    small JSON-able dict that the timeline embeds in its event log.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    at_time: Optional[float] = None
+    at_lap: Optional[int] = None
+    duration: float = 0.0
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if (self.at_time is None) == (self.at_lap is None):
+            raise ValueError(
+                f"{type(self).__name__}: exactly one of at_time / at_lap "
+                "must be set"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if self.at_lap is not None and self.at_lap < 0:
+            raise ValueError("at_lap must be non-negative")
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._validate_params()
+
+    def _validate_params(self) -> None:
+        """Subclass parameter checks (default: nothing extra)."""
+
+    # ------------------------------------------------------------------
+    def triggered(self, sim_time: float, lap_index: int) -> bool:
+        if self.at_time is not None:
+            return sim_time >= self.at_time
+        return lap_index >= self.at_lap
+
+    @abc.abstractmethod
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        """Fire the event against the live run."""
+
+    def update(self, ctx, memo: Dict, frac: float) -> None:
+        """Called every tick while the window is open (``frac`` in [0, 1])."""
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        """Undo the effect when the window closes."""
+        return None
+
+
+def _require_perturbation(ctx, event: FaultEvent):
+    perturbation = getattr(ctx, "perturbation", None)
+    if perturbation is None:
+        raise RuntimeError(
+            f"{type(event).__name__} needs an odometry perturbation in the "
+            "run context; scenario runs always provide one (see "
+            "repro.scenarios.campaign.run_scenario)"
+        )
+    return perturbation
+
+
+def _lerp(a: float, b: float, frac: float) -> float:
+    return a + (b - a) * frac
+
+
+# ---------------------------------------------------------------------------
+# Grip
+# ---------------------------------------------------------------------------
+@register_event
+@dataclass(frozen=True)
+class GripChange(FaultEvent):
+    """Friction change: oil patch, rain band, tire wear, the paper's taping.
+
+    ``mu`` is the target friction coefficient; stiffness targets default to
+    "unchanged".  ``ramp=True`` (requires ``duration > 0``) interpolates
+    from the current tire to the target across the window instead of
+    stepping.  Windowed changes revert to the original tire when the
+    window closes unless ``permanent=True``.
+    """
+
+    kind: ClassVar[str] = "grip"
+
+    mu: float = 0.56
+    longitudinal_stiffness: Optional[float] = None
+    cornering_stiffness: Optional[float] = None
+    ramp: bool = False
+    permanent: bool = False
+
+    def _validate_params(self) -> None:
+        if self.mu <= 0:
+            raise ValueError("mu must be positive")
+        if self.ramp and self.duration <= 0:
+            raise ValueError("ramp=True requires duration > 0")
+
+    def _target(self, original):
+        return dataclasses.replace(
+            original,
+            mu=self.mu,
+            longitudinal_stiffness=(
+                self.longitudinal_stiffness
+                if self.longitudinal_stiffness is not None
+                else original.longitudinal_stiffness
+            ),
+            cornering_stiffness=(
+                self.cornering_stiffness
+                if self.cornering_stiffness is not None
+                else original.cornering_stiffness
+            ),
+        )
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        original = ctx.sim.tire
+        memo["original"] = original
+        memo["target"] = self._target(original)
+        if not self.ramp:
+            ctx.sim.set_tire(memo["target"])
+        return {"mu_from": original.mu, "mu_to": memo["target"].mu}
+
+    def update(self, ctx, memo: Dict, frac: float) -> None:
+        if not self.ramp:
+            return
+        original, target = memo["original"], memo["target"]
+        ctx.sim.set_tire(dataclasses.replace(
+            original,
+            mu=_lerp(original.mu, target.mu, frac),
+            longitudinal_stiffness=_lerp(
+                original.longitudinal_stiffness,
+                target.longitudinal_stiffness, frac,
+            ),
+            cornering_stiffness=_lerp(
+                original.cornering_stiffness,
+                target.cornering_stiffness, frac,
+            ),
+        ))
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        if self.permanent:
+            ctx.sim.set_tire(memo["target"])
+            return {"held": True, "mu": memo["target"].mu}
+        ctx.sim.set_tire(memo["original"])
+        return {"mu": memo["original"].mu}
+
+
+# ---------------------------------------------------------------------------
+# Odometry signal
+# ---------------------------------------------------------------------------
+@register_event
+@dataclass(frozen=True)
+class OdometryFault(FaultEvent):
+    """Degrade the odometry *signal* through the perturbation harness.
+
+    Fields left ``None`` keep the perturbation's current value.
+    ``ramp=True`` interpolates numeric fields from their current values to
+    the targets across the window; windowed faults restore the originals
+    afterwards unless ``permanent=True``.
+    """
+
+    kind: ClassVar[str] = "odometry"
+
+    noise_gain: Optional[float] = None
+    speed_scale: Optional[float] = None
+    yaw_bias: Optional[float] = None
+    dropout_prob: Optional[float] = None
+    ramp: bool = False
+    permanent: bool = False
+
+    _FIELDS: ClassVar[tuple] = (
+        "noise_gain", "speed_scale", "yaw_bias", "dropout_prob",
+    )
+
+    def _validate_params(self) -> None:
+        if all(getattr(self, name) is None for name in self._FIELDS):
+            raise ValueError("OdometryFault with no effect: set at least "
+                             "one of noise_gain/speed_scale/yaw_bias/"
+                             "dropout_prob")
+        if self.noise_gain is not None and self.noise_gain < 0:
+            raise ValueError("noise_gain must be >= 0")
+        if self.speed_scale is not None and self.speed_scale <= 0:
+            raise ValueError("speed_scale must be > 0")
+        if self.dropout_prob is not None and not 0 <= self.dropout_prob <= 1:
+            raise ValueError("dropout_prob must be in [0, 1]")
+        if self.ramp and self.duration <= 0:
+            raise ValueError("ramp=True requires duration > 0")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        perturbation = _require_perturbation(ctx, self)
+        targets = {name: getattr(self, name) for name in self._FIELDS
+                   if getattr(self, name) is not None}
+        memo["original"] = {name: getattr(perturbation, name)
+                            for name in targets}
+        memo["targets"] = targets
+        if not self.ramp:
+            for name, value in targets.items():
+                setattr(perturbation, name, value)
+        return {"targets": dict(targets)}
+
+    def update(self, ctx, memo: Dict, frac: float) -> None:
+        if not self.ramp:
+            return
+        perturbation = _require_perturbation(ctx, self)
+        for name, target in memo["targets"].items():
+            setattr(perturbation, name,
+                    _lerp(memo["original"][name], target, frac))
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        perturbation = _require_perturbation(ctx, self)
+        if self.permanent:
+            for name, value in memo["targets"].items():
+                setattr(perturbation, name, value)
+            return {"held": True}
+        for name, value in memo["original"].items():
+            setattr(perturbation, name, value)
+        return {"restored": sorted(memo["original"])}
+
+
+@register_event
+@dataclass(frozen=True)
+class SlipBurst(FaultEvent):
+    """A window of wheel-slip bursts (standing water, painted kerbs).
+
+    While the window is open the perturbation enters slip bursts with
+    probability ``prob`` per odometry interval, each multiplying reported
+    translation by ``scale`` for ``burst_duration`` seconds.
+    """
+
+    kind: ClassVar[str] = "slip-burst"
+
+    scale: float = 1.8
+    burst_duration: float = 0.4
+    prob: float = 1.0
+
+    def _validate_params(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("SlipBurst needs duration > 0 (it is a window)")
+        if self.scale <= 0 or self.burst_duration <= 0:
+            raise ValueError("scale and burst_duration must be positive")
+        if not 0 <= self.prob <= 1:
+            raise ValueError("prob must be in [0, 1]")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        perturbation = _require_perturbation(ctx, self)
+        memo["original"] = {
+            "slip_burst_prob": perturbation.slip_burst_prob,
+            "slip_burst_scale": perturbation.slip_burst_scale,
+            "slip_burst_duration": perturbation.slip_burst_duration,
+        }
+        perturbation.slip_burst_prob = self.prob
+        perturbation.slip_burst_scale = self.scale
+        perturbation.slip_burst_duration = self.burst_duration
+        return {"scale": self.scale, "prob": self.prob}
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        perturbation = _require_perturbation(ctx, self)
+        for name, value in memo["original"].items():
+            setattr(perturbation, name, value)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# LiDAR
+# ---------------------------------------------------------------------------
+@register_event
+@dataclass(frozen=True)
+class LidarFault(FaultEvent):
+    """Exteroceptive degradation: outage, noise inflation, beam dropouts.
+
+    ``blackout`` makes every beam report max range (cable/driver outage);
+    ``noise_scale`` multiplies the configured range-noise std (rain, dust);
+    ``dropout_prob`` overrides the per-beam dropout probability (dark or
+    specular surfaces).  Windowed faults clear when the window closes.
+    """
+
+    kind: ClassVar[str] = "lidar"
+
+    blackout: bool = False
+    noise_scale: Optional[float] = None
+    dropout_prob: Optional[float] = None
+
+    def _validate_params(self) -> None:
+        if (not self.blackout and self.noise_scale is None
+                and self.dropout_prob is None):
+            raise ValueError("LidarFault with no effect: set blackout, "
+                             "noise_scale or dropout_prob")
+        if self.noise_scale is not None and self.noise_scale < 0:
+            raise ValueError("noise_scale must be >= 0")
+        if self.dropout_prob is not None and not 0 <= self.dropout_prob < 1:
+            raise ValueError("dropout_prob must be in [0, 1)")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        ctx.sim.lidar.set_fault(
+            blackout=self.blackout or None,
+            noise_scale=self.noise_scale,
+            dropout_prob=self.dropout_prob,
+        )
+        detail: Dict = {}
+        if self.blackout:
+            detail["blackout"] = True
+        if self.noise_scale is not None:
+            detail["noise_scale"] = self.noise_scale
+        if self.dropout_prob is not None:
+            detail["dropout_prob"] = self.dropout_prob
+        return detail
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        ctx.sim.lidar.clear_fault()
+        return None
+
+
+@register_event
+@dataclass(frozen=True)
+class ScanLatencyJitter(FaultEvent):
+    """Irregular scan arrival: transport/compute jitter on the LiDAR path.
+
+    Each emitted scan delays the next one by
+    ``jitter_mean + |N(0, jitter_std)|`` extra seconds, drawn from the
+    event's own seeded generator.
+    """
+
+    kind: ClassVar[str] = "scan-jitter"
+
+    jitter_std: float = 0.01
+    jitter_mean: float = 0.0
+
+    def _validate_params(self) -> None:
+        if self.jitter_std < 0 or self.jitter_mean < 0:
+            raise ValueError("jitter parameters must be non-negative")
+        if self.jitter_std == 0 and self.jitter_mean == 0:
+            raise ValueError("ScanLatencyJitter with no effect")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        rng = memo["rng"]
+
+        def draw() -> float:
+            return self.jitter_mean + abs(float(rng.normal(0.0, self.jitter_std)))
+
+        ctx.sim.scan_jitter_fn = draw
+        return {"jitter_std": self.jitter_std, "jitter_mean": self.jitter_mean}
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        ctx.sim.scan_jitter_fn = None
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Kidnapping
+# ---------------------------------------------------------------------------
+@register_event
+@dataclass(frozen=True)
+class KidnapTeleport(FaultEvent):
+    """Teleport the car along the raceline; odometry never notices.
+
+    The car's ground-truth pose jumps ``offset_s`` metres of arclength
+    ahead (projected onto the centerline), offset laterally by
+    ``lateral_offset`` and rotated by ``rotate`` radians — the classic
+    kidnapped-robot fault that only the supervisor's scan-consistency
+    monitoring can detect.  Always instantaneous.
+    """
+
+    kind: ClassVar[str] = "kidnap"
+
+    offset_s: float = 5.0
+    lateral_offset: float = 0.0
+    rotate: float = 0.0
+
+    def _validate_params(self) -> None:
+        if self.duration != 0:
+            raise ValueError("KidnapTeleport is instantaneous "
+                             "(duration must be 0)")
+        if self.offset_s == 0 and self.lateral_offset == 0 and self.rotate == 0:
+            raise ValueError("KidnapTeleport with no displacement")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        line = ctx.track.centerline
+        pose = ctx.sim.state.pose()
+        s_now, _ = line.project(pose[None, :2])
+        s_target = float(s_now[0]) + self.offset_s
+        point = line.point_at(s_target)
+        heading = line.heading_at(s_target)
+        if self.lateral_offset != 0.0:
+            point = point + self.lateral_offset * np.array(
+                [-np.sin(heading), np.cos(heading)]
+            )
+        target = np.array([point[0], point[1], heading + self.rotate])
+        ctx.sim.teleport(target)
+        return {
+            "from": [round(float(v), 6) for v in pose],
+            "to": [round(float(v), 6) for v in target],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Unmapped obstacles
+# ---------------------------------------------------------------------------
+@register_event
+@dataclass(frozen=True)
+class ObstacleSpawn(FaultEvent):
+    """Spawn an unmapped obstacle; despawn it when the window closes.
+
+    Placement is raceline-relative (arclength ``s`` plus
+    ``lateral_offset``, positive = left), so catalog scenarios work on any
+    track.  ``obstacle="static"`` drops a fixed disc there;
+    ``obstacle="follower"`` launches an opponent car lapping the raceline
+    from ``s`` at ``speed``.  ``duration == 0`` leaves the obstacle in
+    place for the rest of the run.
+    """
+
+    kind: ClassVar[str] = "obstacle"
+
+    obstacle: str = "static"     # "static" | "follower"
+    s: float = 0.0
+    speed: float = 3.0
+    lateral_offset: float = 0.0
+    radius: float = 0.25
+
+    def _validate_params(self) -> None:
+        if self.obstacle not in ("static", "follower"):
+            raise ValueError("obstacle must be 'static' or 'follower'")
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        if self.obstacle == "follower" and self.speed < 0:
+            raise ValueError("speed must be non-negative")
+
+    def apply(self, ctx, memo: Dict) -> Optional[Dict]:
+        from repro.sim.obstacles import RacelineFollower, StaticObstacle
+
+        line = ctx.track.centerline
+        if self.obstacle == "static":
+            point = line.point_at(self.s)
+            if self.lateral_offset != 0.0:
+                heading = line.heading_at(self.s)
+                point = point + self.lateral_offset * np.array(
+                    [-np.sin(heading), np.cos(heading)]
+                )
+            obj = StaticObstacle(float(point[0]), float(point[1]),
+                                 radius=self.radius)
+        else:
+            obj = RacelineFollower(
+                line, start_s=self.s, speed=self.speed,
+                lateral_offset=self.lateral_offset, radius=self.radius,
+            )
+        memo["obstacle"] = obj
+        ctx.sim.obstacles.append(obj)
+        return {"obstacle": self.obstacle, "radius": self.radius}
+
+    def revert(self, ctx, memo: Dict) -> Optional[Dict]:
+        try:
+            ctx.sim.obstacles.remove(memo["obstacle"])
+        except ValueError:
+            pass  # externally cleared
+        return None

@@ -1,0 +1,265 @@
+"""Canonical scenario catalog.
+
+Named, versioned scenarios covering the paper's two Table I cells plus an
+escalating set of fault gauntlets.  Each entry is a builder function so
+every call returns a *fresh* spec (perturbations are mutable); access them
+through :func:`get_scenario` / :func:`list_scenarios`.
+
+Timing notes baked into the triggers: on the replica test track at
+``speed_scale = 0.9`` a lap takes roughly 10-12 s, and the run starts with
+one unscored warm-up lap (``lap_index = -1``).  Triggers therefore use
+``at_lap`` (which fires at scored-lap boundaries) for lap-scale faults and
+``at_time`` offsets comfortably past the warm-up for mid-lap windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.eval.perturbations import OdometryPerturbation
+from repro.scenarios.events import (
+    GripChange,
+    KidnapTeleport,
+    LidarFault,
+    ObstacleSpawn,
+    OdometryFault,
+    ScanLatencyJitter,
+    SlipBurst,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["SCENARIO_LIBRARY", "get_scenario", "list_scenarios", "scenario_names"]
+
+
+# ---------------------------------------------------------------------------
+# Paper cells as scenarios
+# ---------------------------------------------------------------------------
+def _nominal_hq() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="nominal-hq",
+        description=("Paper Table I, fresh-tire cell: high-quality odometry, "
+                     "no injected faults. The control scenario every other "
+                     "entry is compared against."),
+        odom_quality="HQ",
+        tags=("paper", "baseline"),
+    )
+
+
+def _taped_lq() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="taped-lq",
+        description=("Paper Table I, taped-tire cell: low-grip tires corrupt "
+                     "wheel odometry while the demanded speed stays the "
+                     "same. Cartographer's cell, per the paper."),
+        odom_quality="LQ",
+        tags=("paper", "baseline"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-axis faults
+# ---------------------------------------------------------------------------
+def _grip_cliff() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="grip-cliff",
+        description=("Oil-patch grip collapse: friction steps down to "
+                     "taped-tire levels for one lap mid-run, then recovers. "
+                     "Tests transient odometry corruption."),
+        odom_quality="HQ",
+        num_laps=3,
+        events=(
+            GripChange(mu=0.50, longitudinal_stiffness=2.2,
+                       cornering_stiffness=6.0, at_lap=1, duration=11.0),
+        ),
+        tags=("grip", "transient"),
+    )
+
+
+def _odometry_decay() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="odometry-decay",
+        description=("Progressive odometry failure: noise gain and a yaw-rate "
+                     "bias ramp up over 20 s and stay — an encoder/IMU "
+                     "mount degrading mid-stint."),
+        odom_quality="HQ",
+        num_laps=3,
+        perturbation=OdometryPerturbation(),
+        events=(
+            OdometryFault(noise_gain=0.6, yaw_bias=0.12, ramp=True,
+                          permanent=True, at_lap=0, duration=20.0),
+        ),
+        tags=("odometry", "ramp"),
+    )
+
+
+def _slip_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slip-storm",
+        description=("Repeated wheel-slip bursts (standing water on the "
+                     "racing line): every odometry interval inside two "
+                     "windows over-reports translation by 80%."),
+        odom_quality="HQ",
+        num_laps=3,
+        perturbation=OdometryPerturbation(),
+        events=(
+            SlipBurst(scale=1.8, burst_duration=0.4, prob=0.6,
+                      at_lap=0, duration=6.0),
+            SlipBurst(scale=2.2, burst_duration=0.5, prob=0.8,
+                      at_lap=2, duration=6.0),
+        ),
+        tags=("odometry", "slip"),
+    )
+
+
+def _lidar_blackout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lidar-blackout",
+        description=("Sensor outage: the LiDAR reports max range on every "
+                     "beam for 1.5 s mid-lap, then a lap of inflated noise "
+                     "and beam dropouts (rain). Localizers must coast on "
+                     "odometry and re-converge."),
+        odom_quality="HQ",
+        num_laps=3,
+        events=(
+            LidarFault(blackout=True, at_lap=1, duration=1.5),
+            LidarFault(noise_scale=4.0, dropout_prob=0.06,
+                       at_lap=2, duration=8.0),
+        ),
+        tags=("lidar", "transient"),
+    )
+
+
+def _scan_jitter() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="scan-jitter",
+        description=("Transport jitter on the LiDAR path: scan arrivals are "
+                     "delayed by |N(0, 15 ms)| for two laps, stressing the "
+                     "odometry-accumulation bookkeeping between updates."),
+        odom_quality="HQ",
+        num_laps=3,
+        events=(
+            ScanLatencyJitter(jitter_std=0.015, at_lap=0, duration=22.0),
+        ),
+        tags=("lidar", "timing"),
+    )
+
+
+def _kidnap_chicane() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="kidnap-chicane",
+        description=("Kidnapped robot at speed: the car teleports 2 m of "
+                     "arclength down the track, rotated 0.45 rad, during "
+                     "the first scored lap. Odometry never sees the jump; "
+                     "only the supervisor's scan-consistency monitor can "
+                     "notice and relocalize."),
+        odom_quality="HQ",
+        speed_scale=0.6,
+        num_laps=2,
+        seed=5,
+        supervised=True,
+        events=(
+            KidnapTeleport(offset_s=2.0, rotate=0.45, at_lap=0),
+        ),
+        tags=("kidnap", "supervisor"),
+    )
+
+
+def _traffic() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="traffic",
+        description=("Unmapped obstacles: an opponent car laps the raceline "
+                     "ahead of the ego, and a pylon appears on the line for "
+                     "one lap — scan points that match no map cell."),
+        odom_quality="HQ",
+        num_laps=3,
+        events=(
+            ObstacleSpawn(obstacle="follower", s=6.0, speed=2.5,
+                          lateral_offset=0.25, radius=0.25, at_lap=0),
+            ObstacleSpawn(obstacle="static", s=12.0, lateral_offset=0.3,
+                          radius=0.15, at_lap=1, duration=11.0),
+        ),
+        tags=("obstacles",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gauntlets — compound, escalating
+# ---------------------------------------------------------------------------
+def _gauntlet_lq() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="gauntlet-lq",
+        description=("Everything at once on taped tires: slip bursts, a "
+                     "LiDAR noise window and scan jitter stacked on the "
+                     "LQ baseline. The paper's hard cell, made harder."),
+        odom_quality="LQ",
+        num_laps=3,
+        perturbation=OdometryPerturbation(noise_gain=0.2),
+        events=(
+            SlipBurst(scale=1.8, burst_duration=0.4, prob=0.5,
+                      at_lap=0, duration=6.0),
+            LidarFault(noise_scale=3.0, dropout_prob=0.04,
+                       at_lap=1, duration=8.0),
+            ScanLatencyJitter(jitter_std=0.01, at_lap=2, duration=10.0),
+        ),
+        tags=("gauntlet", "compound"),
+    )
+
+
+def _gauntlet_kidnap() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="gauntlet-kidnap",
+        description=("Divergence-and-recovery gauntlet: degraded odometry, "
+                     "then a kidnapping. The supervisor must detect the "
+                     "divergence and recover within the remaining laps."),
+        odom_quality="HQ",
+        speed_scale=0.6,
+        num_laps=3,
+        supervised=True,
+        perturbation=OdometryPerturbation(noise_gain=0.15),
+        events=(
+            OdometryFault(yaw_bias=0.06, at_lap=0),
+            KidnapTeleport(offset_s=2.0, rotate=0.45, at_lap=1),
+        ),
+        tags=("gauntlet", "kidnap", "supervisor"),
+    )
+
+
+_BUILDERS: Dict[str, Callable[[], ScenarioSpec]] = {
+    builder().name: builder
+    for builder in (
+        _nominal_hq,
+        _taped_lq,
+        _grip_cliff,
+        _odometry_decay,
+        _slip_storm,
+        _lidar_blackout,
+        _scan_jitter,
+        _kidnap_chicane,
+        _traffic,
+        _gauntlet_lq,
+        _gauntlet_kidnap,
+    )
+}
+
+#: Public name -> builder mapping (builders return fresh specs).
+SCENARIO_LIBRARY: Dict[str, Callable[[], ScenarioSpec]] = dict(_BUILDERS)
+
+
+def scenario_names() -> List[str]:
+    """Catalog names in canonical (definition) order."""
+    return list(SCENARIO_LIBRARY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A fresh, validated instance of a named scenario."""
+    builder = SCENARIO_LIBRARY.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return builder().validate()
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """Fresh instances of every catalog scenario, in canonical order."""
+    return [get_scenario(name) for name in scenario_names()]

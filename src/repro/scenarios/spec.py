@@ -1,0 +1,193 @@
+"""Declarative scenario schema.
+
+A :class:`ScenarioSpec` captures everything needed to reproduce one
+robustness experiment — which localizer, which grip cell, how fast, how
+many laps, the odometry perturbation baseline, and a timeline of fault
+events — as a frozen, JSON-round-trippable value.  The contract is::
+
+    load_scenario(path) == spec            after save_scenario(spec, path)
+    ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+so scenarios can be checked into a repo, diffed, swept over, and shipped
+to worker processes without losing information.  Dicts carry a
+``schema_version`` so saved files fail loudly (rather than silently
+misbehave) when the schema moves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.eval.perturbations import OdometryPerturbation
+from repro.scenarios.events import FaultEvent, event_from_dict, event_to_dict
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "save_scenario",
+    "load_scenario",
+]
+
+SCHEMA_VERSION = 1
+
+_KNOWN_METHODS = ("synpf", "cartographer", "vanilla_mcl")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named robustness scenario.
+
+    Attributes
+    ----------
+    name, description, tags:
+        Identity and catalog metadata.
+    method:
+        Default localizer under test (campaigns may sweep others).
+    odom_quality:
+        Baseline grip cell, "HQ" or "LQ" (the paper's Table I axis);
+        events may change grip mid-run on top of this.
+    speed_scale, num_laps, seed:
+        Driving demand, scored laps, and the scenario's default seed.
+    resolution, max_sim_time:
+        Track build resolution and the per-run wall on simulated time.
+    supervised:
+        Run the localizer under the
+        :class:`~repro.core.supervisor.LocalizationSupervisor` so
+        divergence/recovery telemetry is recorded (required for scenarios
+        whose scoring depends on recovery, e.g. kidnapping).
+    perturbation:
+        Baseline odometry-signal corruption (events mutate a *copy* of
+        it mid-run).  ``None`` means a clean identity baseline.
+    events:
+        The fault timeline (see :mod:`repro.scenarios.events`).
+    """
+
+    name: str
+    description: str = ""
+    schema_version: int = SCHEMA_VERSION
+    method: str = "synpf"
+    odom_quality: str = "HQ"
+    speed_scale: float = 0.9
+    num_laps: int = 2
+    seed: int = 0
+    resolution: float = 0.05
+    max_sim_time: float = 600.0
+    supervised: bool = True
+    perturbation: Optional[OdometryPerturbation] = None
+    events: Tuple[FaultEvent, ...] = ()
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept lists for the tuple fields (convenient construction and
+        # the JSON path) but store tuples so the spec stays hashable-ish
+        # and equality is well defined.
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Raise ``ValueError`` on an inconsistent spec; return self."""
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.schema_version != SCHEMA_VERSION:
+            raise ValueError(
+                f"scenario {self.name!r} has schema_version "
+                f"{self.schema_version}, this build supports {SCHEMA_VERSION}"
+            )
+        if self.method not in _KNOWN_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; expected one of "
+                f"{_KNOWN_METHODS}"
+            )
+        if self.odom_quality not in ("HQ", "LQ"):
+            raise ValueError("odom_quality must be 'HQ' or 'LQ'")
+        if self.speed_scale <= 0:
+            raise ValueError("speed_scale must be positive")
+        if self.num_laps < 1:
+            raise ValueError("num_laps must be >= 1")
+        if self.resolution <= 0 or self.max_sim_time <= 0:
+            raise ValueError("resolution and max_sim_time must be positive")
+        for event in self.events:
+            event.validate()
+        return self
+
+    # -- JSON round trip ------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Lossless JSON-ready dict (``from_dict`` inverts it exactly)."""
+        out: Dict = {"__type__": "ScenarioSpec"}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "perturbation":
+                out[spec_field.name] = None if value is None else value.to_dict()
+            elif spec_field.name == "events":
+                out[spec_field.name] = [event_to_dict(e) for e in value]
+            elif spec_field.name == "tags":
+                out[spec_field.name] = list(value)
+            else:
+                out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (strict: unknown keys rejected)."""
+        data = dict(data)
+        tag = data.pop("__type__", "ScenarioSpec")
+        if tag != "ScenarioSpec":
+            raise ValueError(f"expected a ScenarioSpec dict, got {tag!r}")
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"scenario file has schema_version {version}; this build "
+                f"supports {SCHEMA_VERSION}"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields: {sorted(unknown)}"
+            )
+        if data.get("perturbation") is not None:
+            data["perturbation"] = OdometryPerturbation.from_dict(
+                data["perturbation"]
+            )
+        data["events"] = tuple(
+            event_from_dict(e) for e in data.get("events", ())
+        )
+        data["tags"] = tuple(data.get("tags", ()))
+        return cls(**data)
+
+    # -- convenience ----------------------------------------------------
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy with the given fields replaced (``None`` values skipped)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def fresh_copy(self) -> "ScenarioSpec":
+        """Deep copy via the JSON round trip.
+
+        Runs must never share mutable state (the perturbation instance
+        carries rng state and gets mutated by events), so every run starts
+        from a fresh copy.
+        """
+        return ScenarioSpec.from_dict(self.to_dict())
+
+    def summary_line(self) -> str:
+        base = (f"{self.name:<18} {self.method:<12} {self.odom_quality:<3} "
+                f"laps={self.num_laps} events={len(self.events)}")
+        return base + (f"  [{', '.join(self.tags)}]" if self.tags else "")
+
+
+def save_scenario(spec: ScenarioSpec, path) -> None:
+    """Write a validated scenario to a JSON file."""
+    spec.validate()
+    Path(path).write_text(json.dumps(spec.to_dict(), indent=2) + "\n")
+
+
+def load_scenario(path) -> ScenarioSpec:
+    """Read and validate a scenario JSON file."""
+    data = json.loads(Path(path).read_text())
+    return ScenarioSpec.from_dict(data).validate()

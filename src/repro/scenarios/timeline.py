@@ -1,0 +1,155 @@
+"""Timeline engine: arms, fires and reverts fault events inside a run.
+
+A :class:`Timeline` is the bridge between a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` and the live experiment loop.
+It implements the injection-hook protocol that
+:meth:`repro.eval.experiment.LapExperiment.run` accepts (``bind(ctx)`` +
+``tick(sim_time, lap_index)``), so the eval layer stays ignorant of what a
+"scenario" is — it just gives the timeline a chance to act once per
+control step, *before* the physics step that the tick describes.
+
+Event lifecycle::
+
+    pending --trigger--> (apply)  --duration==0--> done
+                         --duration>0--> active --window ends--> (revert) done
+
+While an event is ``active`` its ``update(ctx, memo, frac)`` hook runs
+every tick with the window fraction — ramps interpolate there.  Every
+``apply`` and ``revert`` appends an :class:`EventLogRecord`; the log is a
+deterministic function of (events, seed, run seed), which the tests pin
+down by comparing logs across repeated runs and worker counts.
+
+Each event draws randomness only from a generator seeded with
+``derive_seed(timeline_seed, event_index, kind)``, so adding an event
+never perturbs another event's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.events import FaultEvent
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["EventLogRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class EventLogRecord:
+    """One structured entry in a timeline's event log."""
+
+    time: float
+    lap: int
+    event_index: int
+    kind: str
+    phase: str  # "apply" | "revert"
+    detail: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "time": round(float(self.time), 9),
+            "lap": int(self.lap),
+            "event_index": int(self.event_index),
+            "kind": self.kind,
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+
+
+_PENDING, _ACTIVE, _DONE = "pending", "active", "done"
+
+
+class _EventState:
+    __slots__ = ("phase", "memo", "t_applied")
+
+    def __init__(self) -> None:
+        self.phase = _PENDING
+        self.memo: Dict = {}
+        self.t_applied = 0.0
+
+
+class Timeline:
+    """Schedules a sequence of :class:`FaultEvent` over one run.
+
+    Parameters
+    ----------
+    events:
+        The scenario's fault events (order is preserved; ties on the same
+        tick fire in sequence order).
+    seed:
+        Root seed for all event randomness.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent], seed: int = 0) -> None:
+        for event in events:
+            event.validate()
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        self.seed = int(seed)
+        self.log: List[EventLogRecord] = []
+        self.ctx = None
+        self._states: List[_EventState] = []
+
+    # -- injection-hook protocol (see LapExperiment.run) ----------------
+    def bind(self, ctx) -> None:
+        """Attach to a run; resets all event state and the log."""
+        self.ctx = ctx
+        self.log = []
+        self._states = [_EventState() for _ in self.events]
+
+    def tick(self, sim_time: float, lap_index: int) -> None:
+        """Advance the schedule to ``sim_time`` (called once per control
+        step; ``lap_index`` is -1 during the warm-up lap)."""
+        if self.ctx is None:
+            raise RuntimeError("Timeline.tick before bind()")
+        for index, (event, state) in enumerate(zip(self.events, self._states)):
+            if state.phase == _PENDING:
+                if not event.triggered(sim_time, lap_index):
+                    continue
+                state.memo = {
+                    "rng": make_rng(derive_seed(self.seed, index, event.kind)),
+                }
+                detail = event.apply(self.ctx, state.memo) or {}
+                self._record(sim_time, lap_index, index, event, "apply", detail)
+                if event.duration > 0:
+                    state.phase = _ACTIVE
+                    state.t_applied = sim_time
+                    event.update(self.ctx, state.memo, 0.0)
+                else:
+                    state.phase = _DONE
+            elif state.phase == _ACTIVE:
+                elapsed = sim_time - state.t_applied
+                if elapsed >= event.duration:
+                    event.update(self.ctx, state.memo, 1.0)
+                    detail = event.revert(self.ctx, state.memo) or {}
+                    self._record(sim_time, lap_index, index, event,
+                                 "revert", detail)
+                    state.phase = _DONE
+                else:
+                    event.update(self.ctx, state.memo,
+                                 elapsed / event.duration)
+
+    # ------------------------------------------------------------------
+    def _record(self, sim_time: float, lap_index: int, index: int,
+                event: FaultEvent, phase: str, detail: Dict) -> None:
+        self.log.append(EventLogRecord(
+            time=sim_time, lap=lap_index, event_index=index,
+            kind=event.kind, phase=phase, detail=detail,
+        ))
+
+    @property
+    def complete(self) -> bool:
+        """True once every event has fired and (if windowed) reverted."""
+        return bool(self._states) and all(
+            s.phase == _DONE for s in self._states
+        ) or (not self.events and self.ctx is not None)
+
+    def pending_count(self) -> int:
+        return sum(1 for s in self._states if s.phase == _PENDING)
+
+    def active_count(self) -> int:
+        return sum(1 for s in self._states if s.phase == _ACTIVE)
+
+    def log_as_dicts(self) -> List[Dict]:
+        """JSON-ready event log (stable across runs for a fixed seed)."""
+        return [record.to_dict() for record in self.log]

@@ -12,8 +12,9 @@ that different algorithms are driven through identical physics.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -76,6 +77,10 @@ class Simulator:
         self.time = 0.0
         self._scan_period = 1.0 / self.config.lidar.rate_hz
         self._next_scan_time = 0.0
+        # Fault-injection hook (repro.scenarios): extra delay, in seconds,
+        # added to the next scan's emission time — models transport/compute
+        # jitter between the sensor and the localizer.  None = no jitter.
+        self.scan_jitter_fn: Optional[Callable[[], float]] = None
 
     def reset(self, pose: np.ndarray, speed: float = 0.0,
               reset_time: bool = True) -> None:
@@ -95,6 +100,27 @@ class Simulator:
     def state(self) -> VehicleState:
         return self.vehicle.state
 
+    # -- fault-injection hooks (driven by repro.scenarios) -------------
+    def teleport(self, pose: np.ndarray) -> None:
+        """Instantly move the car to ``pose``, keeping its dynamic state.
+
+        Unlike :meth:`reset` this does **not** restart dead reckoning: the
+        wheel odometry keeps integrating as if nothing happened, which is
+        exactly the kidnapped-robot situation — the proprioceptive stream
+        carries no trace of the jump, only the LiDAR can reveal it.
+        """
+        pose = np.asarray(pose, dtype=float)
+        state = self.vehicle.state
+        state.x, state.y, state.theta = float(pose[0]), float(pose[1]), float(pose[2])
+
+    def set_tire(self, tire) -> None:
+        """Swap the tire model mid-run (grip loss — oil, rain, wear)."""
+        self.vehicle.params = dataclasses.replace(self.vehicle.params, tire=tire)
+
+    @property
+    def tire(self):
+        return self.vehicle.params.tire
+
     def step(self, target_speed: float, target_steer: float) -> SimFrame:
         """Advance one physics step under the given actuator targets."""
         dt = self.config.physics_dt
@@ -108,6 +134,8 @@ class Simulator:
                 state.pose(), timestamp=self.time, obstacles=self.obstacles
             )
             self._next_scan_time += self._scan_period
+            if self.scan_jitter_fn is not None:
+                self._next_scan_time += max(0.0, float(self.scan_jitter_fn()))
 
         collided = bool(
             self.grid.is_occupied_world(state.pose()[None, :2],

@@ -190,7 +190,15 @@ class Cartographer:
         pred_sensor = self._base_to_sensor(predicted, sensor_offset_x)
 
         with self.timing.time("scan_match"):
-            if self.pure_localization:
+            if points_sensor.shape[0] < 3:
+                # Blind or near-blind scan (sensor outage, total occlusion):
+                # nothing to match against — dead-reckon on the odometry
+                # prediction rather than letting the matcher latch onto
+                # noise.
+                result = ScanMatchResult(
+                    pred_sensor.copy(), 0.0, np.eye(3) * 1e-3, False
+                )
+            elif self.pure_localization:
                 result = self._map_matcher.match(pred_sensor, points_sensor)
             elif self._matching_submap().num_scans >= 2:
                 result = self._active_matcher.match(pred_sensor, points_sensor)

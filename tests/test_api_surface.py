@@ -96,6 +96,16 @@ SUBPACKAGES = {
         "TrialResult", "TrialFailure", "make_lap_conditions",
         "make_lap_specs", "run_lap_trial", "summarize_lap_sweep",
     ],
+    "repro.scenarios": [
+        "ScenarioSpec", "FaultEvent", "GripChange", "OdometryFault",
+        "SlipBurst", "LidarFault", "ScanLatencyJitter", "KidnapTeleport",
+        "ObstacleSpawn", "Timeline", "EventLogRecord", "EVENT_REGISTRY",
+        "save_scenario", "load_scenario", "SCENARIO_LIBRARY",
+        "get_scenario", "list_scenarios", "scenario_names",
+        "run_scenario", "run_scenario_trial", "make_campaign_specs",
+        "aggregate_scorecard", "format_scorecard", "run_campaign",
+        "save_scorecard",
+    ],
     "repro.utils": [
         "SE2", "wrap_to_pi", "angle_diff", "circular_mean", "circular_std",
         "make_rng", "derive_seed", "split_rng", "Stopwatch", "TimingStats",

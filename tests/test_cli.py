@@ -52,6 +52,43 @@ class TestParser:
         assert args.checkpoint == "ck.jsonl"
         assert args.speed_scales == "0.5,1.0"
 
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_options(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "kidnap-chicane", "--method", "cartographer",
+             "--seed", "3", "--laps", "1", "--out", "result.json"]
+        )
+        assert args.scenario_command == "run"
+        assert args.name == "kidnap-chicane"
+        assert args.method == "cartographer"
+        assert args.seed == 3
+        assert args.laps == 1
+        assert args.out == "result.json"
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scenarios is None
+        assert args.methods is None
+        assert args.trials == 1
+        assert args.workers == 1
+        assert args.scorecard is None
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--scenarios", "nominal-hq,taped-lq",
+             "--methods", "synpf", "--trials", "2", "--workers", "3",
+             "--laps", "1", "--resolution", "0.1",
+             "--scorecard", "card.json"]
+        )
+        assert args.scenarios == "nominal-hq,taped-lq"
+        assert args.methods == "synpf"
+        assert args.trials == 2
+        assert args.workers == 3
+        assert args.scorecard == "card.json"
+
     def test_generate_map_args(self):
         args = build_parser().parse_args(
             ["generate-map", "out.yaml", "--seed", "3", "--replica"]
@@ -85,3 +122,32 @@ class TestCommands:
         assert main(["fig2"]) == 0
         out = capsys.readouterr().out
         assert "26" in out and "19" in out
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "nominal-hq" in out
+        assert "kidnap-chicane" in out
+        assert "gauntlet-lq" in out
+
+    def test_scenario_show_catalog_entry(self, capsys):
+        import json
+
+        assert main(["scenario", "show", "taped-lq"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "taped-lq"
+        assert data["odom_quality"] == "LQ"
+
+    def test_scenario_show_json_file(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios import get_scenario, save_scenario
+
+        path = tmp_path / "custom.json"
+        save_scenario(get_scenario("grip-cliff"), path)
+        assert main(["scenario", "show", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out)["name"] == "grip-cliff"
+
+    def test_scenario_show_unknown_name(self):
+        with pytest.raises(KeyError):
+            main(["scenario", "show", "not-a-scenario"])

@@ -162,3 +162,91 @@ class TestSupervisedLoop:
                           scan.ranges, scan.angles)
         assert len(supervisor.health_history) == 1
         assert 0.0 <= supervisor.health_history[0] <= 1.0
+
+
+class TestTelemetry:
+    def test_healthy_run_produces_empty_telemetry(self, fine_track):
+        pf, lidar, supervisor = make_setup(fine_track)
+        pose = fine_track.centerline.start_pose()
+        supervisor.initialize(pose)
+        zero = OdometryDelta(0, 0, 0, 0, 0.025)
+        for _ in range(10):
+            scan = lidar.scan(pose)
+            supervisor.update(zero, scan.ranges, scan.angles,
+                              timestamp=supervisor.telemetry.num_updates * 0.025)
+        telemetry = supervisor.telemetry
+        assert telemetry.num_updates == 10
+        assert telemetry.num_recoveries == 0
+        assert telemetry.num_episodes == 0
+
+    def test_divergence_opens_episode_and_records_recoveries(self, fine_track):
+        pf, lidar, supervisor = make_setup(fine_track, seed=7)
+        pose = fine_track.centerline.start_pose()
+        supervisor.initialize(pose)
+        zero = OdometryDelta(0, 0, 0, 0, 0.025)
+        garbage = np.random.default_rng(1).uniform(
+            0.3, 0.6, lidar.config.num_beams
+        )
+        for i in range(40):
+            supervisor.update(zero, garbage, lidar.angles,
+                              timestamp=0.025 * i)
+        telemetry = supervisor.telemetry
+        assert telemetry.num_episodes == 1
+        episode = telemetry.episodes[0]
+        assert not episode.closed  # still diverged at the end
+        assert episode.recoveries >= 2
+        assert telemetry.num_recoveries == len(telemetry.recoveries)
+        # Recovery actions escalate and are timestamped.
+        levels = [a.level for a in telemetry.recoveries]
+        assert levels == sorted(levels)
+        assert telemetry.recoveries[0].time == pytest.approx(
+            0.025 * telemetry.recoveries[0].update_index
+        )
+
+    def test_recovered_episode_closes_with_time_to_recover(self):
+        from repro.maps import replica_test_track
+
+        track = replica_test_track(resolution=0.1)
+        pf, lidar, supervisor = make_setup(track, seed=3)
+        line = track.centerline
+        pose = line.start_pose()
+        supervisor.initialize(pose)
+        zero = OdometryDelta(0, 0, 0, 0, 0.025)
+        t = 0.0
+        for _ in range(5):
+            scan = lidar.scan(pose)
+            supervisor.update(zero, scan.ranges, scan.angles, timestamp=t)
+            t += 0.025
+        pt = line.point_at(16.0)
+        kidnapped = np.array([pt[0], pt[1], line.heading_at(16.0)])
+        for _ in range(100):
+            scan = lidar.scan(kidnapped)
+            report = supervisor.update(zero, scan.ranges, scan.angles,
+                                       timestamp=t)
+            t += 0.025
+            if report.healthy and supervisor.num_recoveries > 0:
+                break
+        telemetry = supervisor.telemetry
+        closed = telemetry.closed_episodes()
+        assert closed, "episode never closed"
+        ttr = closed[0].time_to_recover()
+        assert ttr is not None and 0.0 < ttr < 2.5
+        assert closed[0].updates_to_recover() >= 1
+
+    def test_telemetry_to_dict_is_json_ready(self, fine_track):
+        import json
+
+        pf, lidar, supervisor = make_setup(fine_track, seed=9)
+        pose = fine_track.centerline.start_pose()
+        supervisor.initialize(pose)
+        zero = OdometryDelta(0, 0, 0, 0, 0.025)
+        garbage = np.random.default_rng(2).uniform(
+            0.3, 0.6, lidar.config.num_beams
+        )
+        for i in range(12):
+            supervisor.update(zero, garbage, lidar.angles, timestamp=0.025 * i)
+        data = supervisor.telemetry.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["num_updates"] == 12
+        assert isinstance(data["episodes"], list)
+        assert isinstance(data["recoveries"], list)

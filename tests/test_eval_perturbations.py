@@ -84,3 +84,55 @@ class TestDeterminism:
             OdometryPerturbation(speed_scale=0.0)
         with pytest.raises(ValueError):
             OdometryPerturbation(dropout_prob=1.5)
+
+    def test_reset_makes_full_corruption_stream_bit_reproducible(self):
+        """All stochastic effects at once: reset() must replay the exact
+        corrupted stream, field for field, for a fixed seed."""
+        p = OdometryPerturbation(
+            noise_gain=0.4, speed_scale=1.1, yaw_bias=0.05,
+            slip_burst_prob=0.3, slip_burst_scale=1.7,
+            slip_burst_duration=0.075, dropout_prob=0.1, seed=99,
+        )
+        streams = []
+        for _ in range(2):
+            p.reset()
+            streams.append([
+                (out.dx, out.dy, out.dtheta, out.velocity)
+                for out in (p.apply(nominal_delta(dt=0.025))
+                            for _ in range(200))
+            ])
+        assert streams[0] == streams[1]
+
+
+class TestSerialization:
+    def test_round_trip_preserves_configuration(self):
+        p = OdometryPerturbation(
+            noise_gain=0.25, speed_scale=0.9, yaw_bias=-0.02,
+            slip_burst_prob=0.1, slip_burst_scale=2.0,
+            slip_burst_duration=0.5, dropout_prob=0.05, seed=11,
+        )
+        rebuilt = OdometryPerturbation.from_dict(p.to_dict())
+        assert rebuilt == p
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        p = OdometryPerturbation(noise_gain=0.3, seed=7)
+        rebuilt = OdometryPerturbation.from_dict(
+            json.loads(json.dumps(p.to_dict()))
+        )
+        assert rebuilt == p
+
+    def test_rebuilt_instance_replays_the_same_stream(self):
+        p = OdometryPerturbation(noise_gain=0.3, slip_burst_prob=0.2,
+                                 dropout_prob=0.1, seed=21)
+        rebuilt = OdometryPerturbation.from_dict(p.to_dict())
+        seq1 = [p.apply(nominal_delta()).dx for _ in range(50)]
+        seq2 = [rebuilt.apply(nominal_delta()).dx for _ in range(50)]
+        assert seq1 == seq2
+
+    def test_unseeded_round_trip(self):
+        p = OdometryPerturbation(noise_gain=0.1)
+        rebuilt = OdometryPerturbation.from_dict(p.to_dict())
+        assert rebuilt.seed is None
+        assert rebuilt == p

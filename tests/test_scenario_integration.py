@@ -1,0 +1,122 @@
+"""End-to-end scenario and campaign tests.
+
+These execute real scenario runs through the full stack (simulator,
+localizer, supervisor, timeline), so they are among the slowest tests in
+the suite; they use the coarse 0.1 m replica track and minimal lap
+counts to stay tractable.
+
+The two properties pinned here are the subsystem's headline guarantees:
+
+* a scenario-driven kidnapping produces supervisor-detected divergence
+  followed by recovery, with bounded time-to-recover, and the whole run
+  (event log included) is bit-reproducible for a fixed seed;
+* a campaign produces the identical scorecard at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    aggregate_scorecard,
+    get_scenario,
+    run_campaign,
+    run_scenario,
+    run_scenario_trial,
+)
+from repro.eval.runner import TrialSpec
+
+
+@pytest.fixture(scope="module")
+def kidnap_outcomes():
+    """The kidnap scenario run twice with identical inputs."""
+    return [
+        run_scenario("kidnap-chicane", resolution=0.1)
+        for _ in range(2)
+    ]
+
+
+class TestKidnapScenario:
+    def test_supervisor_detects_and_recovers(self, kidnap_outcomes):
+        summary = kidnap_outcomes[0].summary
+        assert summary["recoveries"] >= 1
+        assert summary["divergence_episodes"] >= 1
+        assert summary["recovered_episodes"] >= 1
+        # Bounded time-to-recover: every closed episode healed in seconds,
+        # not laps.
+        assert summary["time_to_recover_s"]
+        assert all(t <= 3.0 for t in summary["time_to_recover_s"])
+
+    def test_run_survives_and_reconverges(self, kidnap_outcomes):
+        summary = kidnap_outcomes[0].summary
+        assert summary["survived"]
+        # The lap after the kidnap is localized accurately again.
+        assert summary["lap_loc_err_cm"][-1] < 30.0
+
+    def test_event_log_records_the_teleport(self, kidnap_outcomes):
+        log = kidnap_outcomes[0].event_log
+        assert [r["kind"] for r in log] == ["kidnap"]
+        assert log[0]["phase"] == "apply"
+        assert log[0]["lap"] == 0
+
+    def test_bit_reproducible_for_fixed_seed(self, kidnap_outcomes):
+        first, second = kidnap_outcomes
+        assert first.event_log == second.event_log
+        assert first.summary == second.summary
+        assert (first.result.supervisor_telemetry
+                == second.result.supervisor_telemetry)
+
+    def test_telemetry_attached_to_result(self, kidnap_outcomes):
+        telemetry = kidnap_outcomes[0].result.supervisor_telemetry
+        assert telemetry is not None
+        assert telemetry["num_recoveries"] == \
+            kidnap_outcomes[0].summary["recoveries"]
+        assert telemetry["episodes"]
+        episode = telemetry["episodes"][0]
+        assert episode["start_time"] >= 0.0
+
+
+class TestCampaignDeterminism:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return dict(
+            scenarios=["nominal-hq"], methods=["cartographer"], trials=1,
+            base_seed=7, num_laps=1, resolution=0.1,
+        )
+
+    def test_scorecard_identical_across_worker_counts(self, matrix):
+        card_inline, sweep_inline = run_campaign(**matrix, workers=1)
+        card_pool, sweep_pool = run_campaign(**matrix, workers=2)
+        assert card_inline == card_pool
+        # The underlying trial metrics (event logs included) match too.
+        metrics_inline = [r.metrics for r in sweep_inline.results]
+        metrics_pool = [r.metrics for r in sweep_pool.results]
+        assert metrics_inline == metrics_pool
+
+    def test_scorecard_shape(self, matrix):
+        card, sweep = run_campaign(**matrix, workers=1)
+        assert not sweep.failures
+        assert len(card["cells"]) == 1
+        cell = card["cells"][0]
+        assert cell["scenario"] == "nominal-hq"
+        assert cell["method"] == "cartographer"
+        assert cell["survival_rate"] == 1.0
+        assert cell["loc_err_cm"]["p50"] > 0
+        assert json.loads(json.dumps(card)) == card
+
+
+class TestScenarioTrialFunction:
+    def test_trial_is_deterministic_and_picklable_payload(self):
+        scenario = get_scenario("nominal-hq").with_overrides(
+            num_laps=1, resolution=0.1, method="cartographer",
+        )
+        spec = TrialSpec(
+            trial_id="nominal-hq/cartographer/t0", seed=42,
+            params={"scenario": scenario.to_dict(), "method": "cartographer"},
+        )
+        # Params must survive JSON (the pool pickles, checkpoints JSONify).
+        json.loads(json.dumps(spec.params))
+        first = run_scenario_trial(spec)
+        second = run_scenario_trial(spec)
+        assert first == second
+        assert first["summary"]["laps_valid"] == 1

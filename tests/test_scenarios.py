@@ -1,0 +1,542 @@
+"""Tests for the declarative scenario subsystem (repro.scenarios).
+
+Covers the schema's lossless JSON round trip, the fault-event library's
+apply/update/revert semantics against a live simulator, the timeline
+engine's scheduling and deterministic event log, and the campaign
+machinery's spec fan-out and scorecard aggregation.  End-to-end scenario
+runs live in test_scenario_integration.py.
+"""
+
+import dataclasses
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.eval.perturbations import OdometryPerturbation
+from repro.eval.runner import TrialFailure, TrialResult
+from repro.scenarios import (
+    EVENT_REGISTRY,
+    GripChange,
+    KidnapTeleport,
+    LidarFault,
+    ObstacleSpawn,
+    OdometryFault,
+    ScanLatencyJitter,
+    ScenarioSpec,
+    SlipBurst,
+    Timeline,
+    aggregate_scorecard,
+    event_from_dict,
+    event_to_dict,
+    format_scorecard,
+    get_scenario,
+    list_scenarios,
+    load_scenario,
+    make_campaign_specs,
+    save_scenario,
+    scenario_names,
+)
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture()
+def sim(small_track):
+    simulator = Simulator(small_track.grid)
+    simulator.reset(small_track.centerline.start_pose(), speed=1.0)
+    return simulator
+
+
+@pytest.fixture()
+def ctx(sim, small_track):
+    """A duck-typed RunContext: events only touch sim/track/perturbation."""
+    return SimpleNamespace(
+        sim=sim, track=small_track, perturbation=OdometryPerturbation(seed=3),
+    )
+
+
+def run_timeline(events, ctx, times, seed=0, lap=0):
+    timeline = Timeline(events, seed=seed)
+    timeline.bind(ctx)
+    for t in times:
+        timeline.tick(t, lap)
+    return timeline
+
+
+# ---------------------------------------------------------------------------
+# Spec schema and round trip
+# ---------------------------------------------------------------------------
+class TestScenarioSpec:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_catalog_round_trip_is_lossless(self, name):
+        spec = get_scenario(name)
+        rebuilt = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert rebuilt == spec
+
+    def test_catalog_builders_return_fresh_specs(self):
+        assert get_scenario("slip-storm") is not get_scenario("slip-storm")
+
+    def test_save_load_file(self, tmp_path):
+        spec = get_scenario("gauntlet-lq")
+        path = tmp_path / "scenario.json"
+        save_scenario(spec, path)
+        assert load_scenario(path) == spec
+
+    def test_unknown_field_rejected(self):
+        data = get_scenario("nominal-hq").to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            ScenarioSpec.from_dict(data)
+
+    def test_wrong_schema_version_rejected(self):
+        data = get_scenario("nominal-hq").to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_event_type_rejected(self):
+        data = get_scenario("kidnap-chicane").to_dict()
+        data["events"][0]["__type__"] = "WarpDrive"
+        with pytest.raises(ValueError, match="WarpDrive"):
+            ScenarioSpec.from_dict(data)
+
+    def test_validate_rejects_bad_method(self):
+        spec = dataclasses.replace(get_scenario("nominal-hq"), method="gps")
+        with pytest.raises(ValueError, match="method"):
+            spec.validate()
+
+    def test_validate_rejects_bad_quality(self):
+        spec = dataclasses.replace(get_scenario("nominal-hq"),
+                                   odom_quality="MQ")
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_fresh_copy_is_deep(self):
+        spec = get_scenario("odometry-decay")
+        copy = spec.fresh_copy()
+        assert copy == spec
+        assert copy.perturbation is not spec.perturbation
+
+    def test_unknown_catalog_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does-not-exist")
+
+    def test_catalog_is_valid(self):
+        specs = list_scenarios()
+        assert len(specs) >= 10
+        for spec in specs:
+            spec.validate()
+
+    def test_event_registry_covers_all_event_types(self):
+        for cls in (GripChange, OdometryFault, SlipBurst, LidarFault,
+                    ScanLatencyJitter, KidnapTeleport, ObstacleSpawn):
+            assert EVENT_REGISTRY[cls.__name__] is cls
+
+
+# ---------------------------------------------------------------------------
+# Event validation
+# ---------------------------------------------------------------------------
+class TestEventValidation:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="at_time"):
+            GripChange(mu=0.5).validate()
+        with pytest.raises(ValueError, match="at_time"):
+            GripChange(mu=0.5, at_time=1.0, at_lap=0).validate()
+
+    def test_ramp_needs_duration(self):
+        with pytest.raises(ValueError, match="ramp"):
+            GripChange(mu=0.5, ramp=True, at_time=1.0).validate()
+
+    def test_slip_burst_is_a_window(self):
+        with pytest.raises(ValueError, match="duration"):
+            SlipBurst(at_time=1.0).validate()
+
+    def test_kidnap_is_instantaneous(self):
+        with pytest.raises(ValueError, match="instantaneous"):
+            KidnapTeleport(at_time=1.0, duration=2.0).validate()
+
+    def test_odometry_fault_needs_an_effect(self):
+        with pytest.raises(ValueError, match="no effect"):
+            OdometryFault(at_time=1.0).validate()
+
+    def test_lidar_fault_needs_an_effect(self):
+        with pytest.raises(ValueError, match="no effect"):
+            LidarFault(at_time=1.0).validate()
+
+    def test_event_round_trip(self):
+        event = OdometryFault(noise_gain=0.4, yaw_bias=0.1, ramp=True,
+                              at_lap=1, duration=5.0)
+        assert event_from_dict(json.loads(
+            json.dumps(event_to_dict(event)))) == event
+
+
+# ---------------------------------------------------------------------------
+# Event semantics against a live simulator
+# ---------------------------------------------------------------------------
+class TestGripChange:
+    def test_step_and_revert(self, ctx):
+        base_mu = ctx.sim.tire.mu
+        timeline = run_timeline(
+            (GripChange(mu=0.4, at_time=1.0, duration=2.0),),
+            ctx, [0.0, 1.0],
+        )
+        assert ctx.sim.tire.mu == pytest.approx(0.4)
+        timeline.tick(3.0, 0)
+        assert ctx.sim.tire.mu == pytest.approx(base_mu)
+        phases = [r.phase for r in timeline.log]
+        assert phases == ["apply", "revert"]
+
+    def test_ramp_interpolates(self, ctx):
+        base_mu = ctx.sim.tire.mu
+        timeline = run_timeline(
+            (GripChange(mu=0.4, ramp=True, at_time=0.0, duration=10.0),),
+            ctx, [0.0, 5.0],
+        )
+        mid = ctx.sim.tire.mu
+        assert mid == pytest.approx((base_mu + 0.4) / 2, abs=1e-9)
+        timeline.tick(10.0, 0)
+        assert ctx.sim.tire.mu == pytest.approx(base_mu)
+
+    def test_permanent_ramp_holds_target(self, ctx):
+        timeline = run_timeline(
+            (GripChange(mu=0.4, ramp=True, permanent=True,
+                        at_time=0.0, duration=4.0),),
+            ctx, [0.0, 2.0, 4.0, 5.0],
+        )
+        assert ctx.sim.tire.mu == pytest.approx(0.4)
+        assert timeline.log[-1].detail.get("held") is True
+
+    def test_instantaneous_is_permanent(self, ctx):
+        run_timeline((GripChange(mu=0.4, at_time=1.0),), ctx, [1.0, 50.0])
+        assert ctx.sim.tire.mu == pytest.approx(0.4)
+
+
+class TestOdometryEvents:
+    def test_fault_mutates_and_restores(self, ctx):
+        timeline = run_timeline(
+            (OdometryFault(noise_gain=0.5, yaw_bias=0.2,
+                           at_time=0.0, duration=1.0),),
+            ctx, [0.0, 0.5],
+        )
+        assert ctx.perturbation.noise_gain == pytest.approx(0.5)
+        assert ctx.perturbation.yaw_bias == pytest.approx(0.2)
+        timeline.tick(1.0, 0)
+        assert ctx.perturbation.noise_gain == 0.0
+        assert ctx.perturbation.yaw_bias == 0.0
+
+    def test_permanent_fault_has_no_revert(self, ctx):
+        timeline = run_timeline(
+            (OdometryFault(speed_scale=1.3, at_time=0.0),), ctx, [0.0, 9.0],
+        )
+        assert ctx.perturbation.speed_scale == pytest.approx(1.3)
+        assert [r.phase for r in timeline.log] == ["apply"]
+
+    def test_ramp_reaches_target_at_window_end(self, ctx):
+        timeline = run_timeline(
+            (OdometryFault(noise_gain=0.8, ramp=True, permanent=True,
+                           at_time=0.0, duration=4.0),),
+            ctx, [0.0, 2.0],
+        )
+        assert 0.0 < ctx.perturbation.noise_gain < 0.8
+        timeline.tick(4.0, 0)
+        assert ctx.perturbation.noise_gain == pytest.approx(0.8)
+
+    def test_slip_burst_window(self, ctx):
+        timeline = run_timeline(
+            (SlipBurst(scale=2.0, prob=0.7, burst_duration=0.5,
+                       at_time=0.0, duration=2.0),),
+            ctx, [0.0],
+        )
+        assert ctx.perturbation.slip_burst_prob == pytest.approx(0.7)
+        assert ctx.perturbation.slip_burst_scale == pytest.approx(2.0)
+        timeline.tick(2.0, 0)
+        assert ctx.perturbation.slip_burst_prob == 0.0
+
+    def test_requires_perturbation(self, ctx):
+        ctx.perturbation = None
+        event = OdometryFault(noise_gain=0.5, at_time=0.0)
+        timeline = Timeline((event,))
+        timeline.bind(ctx)
+        with pytest.raises(RuntimeError, match="perturbation"):
+            timeline.tick(0.0, 0)
+
+
+class TestLidarEvents:
+    def test_blackout_window(self, ctx):
+        timeline = run_timeline(
+            (LidarFault(blackout=True, at_time=0.0, duration=1.0),),
+            ctx, [0.0],
+        )
+        scan = ctx.sim.lidar.scan(ctx.sim.state.pose())
+        assert np.all(scan.ranges == ctx.sim.lidar.config.max_range)
+        timeline.tick(1.0, 0)
+        scan = ctx.sim.lidar.scan(ctx.sim.state.pose())
+        assert np.any(scan.ranges < ctx.sim.lidar.config.max_range)
+
+    def test_noise_inflation_and_dropouts(self, ctx):
+        run_timeline(
+            (LidarFault(noise_scale=5.0, dropout_prob=0.5, at_time=0.0),),
+            ctx, [0.0],
+        )
+        assert ctx.sim.lidar._fault_noise_scale == pytest.approx(5.0)
+        assert ctx.sim.lidar._fault_dropout_prob == pytest.approx(0.5)
+
+    def test_scan_jitter_installs_and_clears(self, ctx):
+        timeline = run_timeline(
+            (ScanLatencyJitter(jitter_std=0.02, at_time=0.0, duration=1.0),),
+            ctx, [0.0],
+        )
+        assert ctx.sim.scan_jitter_fn is not None
+        draws = [ctx.sim.scan_jitter_fn() for _ in range(16)]
+        assert all(d >= 0.0 for d in draws)
+        assert any(d > 0.0 for d in draws)
+        timeline.tick(1.0, 0)
+        assert ctx.sim.scan_jitter_fn is None
+
+    def test_scan_jitter_draws_are_seeded(self, ctx):
+        draws = []
+        for _ in range(2):
+            run_timeline(
+                (ScanLatencyJitter(jitter_std=0.02, at_time=0.0,
+                                   duration=1.0),),
+                ctx, [0.0], seed=9,
+            )
+            draws.append([ctx.sim.scan_jitter_fn() for _ in range(8)])
+            ctx.sim.scan_jitter_fn = None
+        assert draws[0] == draws[1]
+
+
+class TestKidnapTeleport:
+    def test_moves_ground_truth_along_raceline(self, ctx, small_track):
+        before = ctx.sim.state.pose().copy()
+        speed_before = ctx.sim.state.v
+        timeline = run_timeline(
+            (KidnapTeleport(offset_s=3.0, rotate=0.3, at_time=0.0),),
+            ctx, [0.0],
+        )
+        after = ctx.sim.state.pose()
+        jump = float(np.hypot(*(after[:2] - before[:2])))
+        assert 1.0 < jump < 5.0
+        # Dynamic state survives the teleport (the car keeps rolling).
+        assert ctx.sim.state.v == pytest.approx(speed_before)
+        detail = timeline.log[0].detail
+        assert "from" in detail and "to" in detail
+
+    def test_odometry_does_not_see_the_jump(self, ctx):
+        """Wheel odometry integrates motion, not position: the teleport must
+        not appear as a displacement in the odometry stream."""
+        frame_before = ctx.sim.step(1.0, 0.0)
+        run_timeline((KidnapTeleport(offset_s=3.0, at_time=0.0),), ctx, [0.0])
+        frame_after = ctx.sim.step(1.0, 0.0)
+        assert abs(frame_after.odom_delta.trans) < \
+            abs(frame_before.odom_delta.trans) + 0.5  # no 3 m spike
+
+
+class TestObstacleSpawn:
+    def test_static_spawn_and_despawn(self, ctx):
+        timeline = run_timeline(
+            (ObstacleSpawn(obstacle="static", s=2.0, lateral_offset=0.2,
+                           at_time=0.0, duration=5.0),),
+            ctx, [0.0],
+        )
+        assert len(ctx.sim.obstacles) == 1
+        position = ctx.sim.obstacles[0].position(0.0)
+        expected = ctx.track.centerline.point_at(2.0)
+        assert np.hypot(*(position - expected)) < 0.5
+        timeline.tick(5.0, 0)
+        assert ctx.sim.obstacles == []
+
+    def test_follower_spawn(self, ctx):
+        run_timeline(
+            (ObstacleSpawn(obstacle="follower", s=4.0, speed=2.0,
+                           at_time=0.0),),
+            ctx, [0.0],
+        )
+        follower = ctx.sim.obstacles[0]
+        moved = np.hypot(*(follower.position(1.0) - follower.position(0.0)))
+        assert moved == pytest.approx(2.0, rel=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Timeline engine
+# ---------------------------------------------------------------------------
+class TestTimeline:
+    def test_tick_before_bind_raises(self):
+        timeline = Timeline((GripChange(mu=0.5, at_time=0.0),))
+        with pytest.raises(RuntimeError, match="bind"):
+            timeline.tick(0.0, 0)
+
+    def test_at_lap_trigger_waits_for_scored_lap(self, ctx):
+        timeline = run_timeline(
+            (GripChange(mu=0.4, at_lap=0),), ctx, [], seed=0,
+        )
+        timeline.tick(5.0, -1)  # warm-up lap: must not fire
+        assert timeline.log == []
+        timeline.tick(6.0, 0)
+        assert [r.phase for r in timeline.log] == ["apply"]
+        assert timeline.log[0].lap == 0
+
+    def test_events_fire_in_sequence_order_on_same_tick(self, ctx):
+        timeline = run_timeline(
+            (OdometryFault(noise_gain=0.1, at_time=0.0),
+             OdometryFault(noise_gain=0.2, at_time=0.0)),
+            ctx, [0.0],
+        )
+        assert [r.event_index for r in timeline.log] == [0, 1]
+        assert ctx.perturbation.noise_gain == pytest.approx(0.2)
+
+    def test_counts_and_completion(self, ctx):
+        timeline = Timeline((
+            GripChange(mu=0.4, at_time=1.0, duration=2.0),
+            KidnapTeleport(offset_s=2.0, at_time=5.0),
+        ))
+        timeline.bind(ctx)
+        timeline.tick(0.0, 0)
+        assert timeline.pending_count() == 2
+        timeline.tick(1.5, 0)
+        assert timeline.active_count() == 1
+        timeline.tick(5.0, 0)
+        timeline.tick(6.0, 0)
+        assert timeline.complete
+
+    def test_log_is_deterministic_and_rebind_resets(self, ctx):
+        events = (
+            GripChange(mu=0.45, at_time=0.5, duration=1.0),
+            SlipBurst(scale=1.5, at_time=1.0, duration=1.0),
+        )
+        logs = []
+        for _ in range(2):
+            timeline = run_timeline(
+                events, ctx, [0.0, 0.5, 1.0, 1.5, 2.0, 2.5], seed=4,
+            )
+            logs.append(timeline.log_as_dicts())
+        assert logs[0] == logs[1]
+        assert all(r["phase"] in ("apply", "revert") for r in logs[0])
+
+    def test_log_records_are_json_ready(self, ctx):
+        timeline = run_timeline(
+            (KidnapTeleport(offset_s=2.0, at_time=0.0),), ctx, [0.25],
+        )
+        payload = json.dumps(timeline.log_as_dicts())
+        assert json.loads(payload)[0]["kind"] == "kidnap"
+
+    def test_invalid_event_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Timeline((GripChange(mu=0.5),))
+
+
+# ---------------------------------------------------------------------------
+# Campaign machinery (no simulation — fan-out and aggregation only)
+# ---------------------------------------------------------------------------
+def _trial_metrics(scenario, method, survived=True, recoveries=0,
+                   ttr=(), loc=(5.0,), crashes=0):
+    return {
+        "scenario": scenario,
+        "method": method,
+        "summary": {
+            "survived": survived,
+            "laps_completed": len(loc),
+            "laps_valid": len(loc),
+            "crashes": crashes,
+            "lap_times_s": [10.0] * len(loc),
+            "lap_loc_err_cm": list(loc),
+            "lap_loc_err_max_cm": [2 * v for v in loc],
+            "lap_lateral_err_cm": list(loc),
+            "scan_alignment_pct": [80.0] * len(loc),
+            "recoveries": recoveries,
+            "divergence_episodes": int(bool(recoveries)),
+            "recovered_episodes": len(ttr),
+            "time_to_recover_s": list(ttr),
+            "events_fired": 1,
+        },
+        "event_log": [],
+        "telemetry": None,
+    }
+
+
+class TestCampaignSpecs:
+    def test_matrix_ids_unique_and_seeds_stable(self):
+        specs = make_campaign_specs(
+            ["nominal-hq", "taped-lq"], methods=["synpf", "cartographer"],
+            trials=2, base_seed=7,
+        )
+        ids = [s.trial_id for s in specs]
+        assert len(ids) == len(set(ids)) == 8
+        again = make_campaign_specs(
+            ["taped-lq"], methods=["cartographer"], trials=2, base_seed=7,
+        )
+        by_id = {s.trial_id: s.seed for s in specs}
+        for spec in again:
+            assert by_id[spec.trial_id] == spec.seed
+
+    def test_default_methods_use_scenario_method(self):
+        specs = make_campaign_specs(["nominal-hq"], trials=1)
+        assert specs[0].trial_id == "nominal-hq/synpf/t0"
+        assert specs[0].params["scenario"]["method"] == "synpf"
+
+    def test_overrides_reach_every_spec(self):
+        specs = make_campaign_specs(["nominal-hq"], trials=1, num_laps=1,
+                                    resolution=0.1)
+        scenario = specs[0].params["scenario"]
+        assert scenario["num_laps"] == 1
+        assert scenario["resolution"] == pytest.approx(0.1)
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_campaign_specs(["nominal-hq"], trials=0)
+
+
+class TestScorecard:
+    def test_aggregates_per_cell(self):
+        records = [
+            TrialResult("a/synpf/t0", 1,
+                        _trial_metrics("a", "synpf", loc=(4.0, 6.0))),
+            TrialResult("a/synpf/t1", 2,
+                        _trial_metrics("a", "synpf", survived=False,
+                                       crashes=1, loc=(8.0,))),
+            TrialResult("a/cartographer/t0", 3,
+                        _trial_metrics("a", "cartographer", recoveries=2,
+                                       ttr=(0.5, 1.5))),
+        ]
+        card = aggregate_scorecard(records)
+        cells = {(c["scenario"], c["method"]): c for c in card["cells"]}
+        synpf = cells[("a", "synpf")]
+        assert synpf["trials"] == 2
+        assert synpf["survival_rate"] == pytest.approx(0.5)
+        assert synpf["crashes"] == 1
+        assert synpf["loc_err_cm"]["p50"] == pytest.approx(6.0)
+        carto = cells[("a", "cartographer")]
+        assert carto["recoveries"] == 2
+        assert carto["time_to_recover_s"]["max"] == pytest.approx(1.5)
+
+    def test_runner_failures_count_against_survival(self):
+        records = [
+            TrialResult("a/synpf/t0", 1, _trial_metrics("a", "synpf")),
+            TrialFailure("a/synpf/t1", 2, kind="timeout",
+                         error_type="TimeoutError", message="hung"),
+        ]
+        card = aggregate_scorecard(records)
+        cell = card["cells"][0]
+        assert cell["trials"] == 2
+        assert cell["runner_failures"] == 1
+        assert cell["survival_rate"] == pytest.approx(0.5)
+        assert card["failures"][0]["trial_id"] == "a/synpf/t1"
+
+    def test_format_scorecard_lists_cells(self):
+        records = [
+            TrialResult("a/synpf/t0", 1, _trial_metrics("a", "synpf")),
+        ]
+        text = format_scorecard(aggregate_scorecard(records))
+        assert "a" in text and "synpf" in text and "surv%" in text
+
+    def test_scorecard_is_json_ready(self):
+        records = [
+            TrialResult("a/synpf/t0", 1,
+                        _trial_metrics("a", "synpf", recoveries=1,
+                                       ttr=(0.4,))),
+        ]
+        card = aggregate_scorecard(records)
+        assert json.loads(json.dumps(card)) == card
