@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Telemetry overhead: SynPF updates with the metrics registry on vs off.
+
+The observability layer's contract (docs/observability.md) is that
+attaching a :class:`~repro.telemetry.registry.MetricsRegistry` to a
+localizer costs under 5 % of an update — cheap enough to leave on in
+every experiment.  This benchmark measures exactly that configuration
+pair on the replica track:
+
+* **off** — ``make_localizer(..., registry=None)``: spans still feed the
+  legacy ``TimingStats`` shim (that cost is part of the baseline, as it
+  predates the telemetry layer);
+* **on** — a fresh registry receiving one histogram observation per span
+  (``span.update`` plus its four stage children) per update.
+
+Each configuration is timed over ``--updates`` SynPF updates against a
+fixed recorded scan, repeated ``--repeats`` times; the per-configuration
+figure is the *median* of the repeat means, which suppresses one-off
+scheduler noise.  Writes ``BENCH_pf_latency.json`` next to this file and,
+with ``--check``, exits 1 when the measured overhead exceeds the bound —
+the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.interfaces import make_localizer
+from repro.core.motion_models import OdometryDelta
+from repro.maps import replica_test_track
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.telemetry import MetricsRegistry
+
+DEFAULT_BOUND_PERCENT = 5.0
+ARTIFACT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_pf_latency.json")
+
+
+def _measure_config(track, scan, *, with_registry, num_particles, updates,
+                    repeats, warmup):
+    """Median over ``repeats`` of the mean per-update wall time, seconds."""
+    delta = OdometryDelta(0.02, 0.0, 0.0, 0.8, 0.025)
+    means = []
+    for repeat in range(repeats):
+        registry = MetricsRegistry() if with_registry else None
+        localizer = make_localizer(
+            "synpf", track.grid, registry=registry,
+            num_particles=num_particles, seed=repeat,
+        )
+        localizer.initialize(track.centerline.start_pose())
+        for _ in range(warmup):
+            localizer.update(delta, scan)
+        start = time.perf_counter()
+        for _ in range(updates):
+            localizer.update(delta, scan)
+        means.append((time.perf_counter() - start) / updates)
+    return statistics.median(means)
+
+
+def run(updates=60, repeats=5, warmup=5, num_particles=1000,
+        bound_percent=DEFAULT_BOUND_PERCENT, artifact=ARTIFACT):
+    track = replica_test_track(resolution=0.05)
+    lidar = SimulatedLidar(
+        track.grid, LidarConfig(range_noise_std=0.0, dropout_prob=0.0), seed=0
+    )
+    scan = lidar.scan(track.centerline.start_pose())
+
+    off_s = _measure_config(track, scan, with_registry=False,
+                            num_particles=num_particles, updates=updates,
+                            repeats=repeats, warmup=warmup)
+    on_s = _measure_config(track, scan, with_registry=True,
+                           num_particles=num_particles, updates=updates,
+                           repeats=repeats, warmup=warmup)
+    overhead_percent = (on_s - off_s) / off_s * 100.0
+
+    result = {
+        "benchmark": "telemetry_overhead",
+        "num_particles": num_particles,
+        "updates_per_repeat": updates,
+        "repeats": repeats,
+        "telemetry_off_ms": off_s * 1e3,
+        "telemetry_on_ms": on_s * 1e3,
+        "overhead_percent": overhead_percent,
+        "bound_percent": bound_percent,
+        "numpy": np.__version__,
+    }
+    with open(artifact, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+
+    print(f"SynPF update, {num_particles} particles, "
+          f"median of {repeats} x {updates} updates:")
+    print(f"  telemetry off: {result['telemetry_off_ms']:8.3f} ms")
+    print(f"  telemetry on:  {result['telemetry_on_ms']:8.3f} ms")
+    print(f"  overhead:      {overhead_percent:+8.2f} %  "
+          f"(bound: {bound_percent:.1f} %)")
+    print(f"wrote {artifact}")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--updates", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=5)
+    parser.add_argument("--particles", type=int, default=1000)
+    parser.add_argument("--bound", type=float, default=DEFAULT_BOUND_PERCENT,
+                        help="max acceptable overhead percent for --check")
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (BENCH_pf_latency.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if overhead exceeds the bound")
+    args = parser.parse_args(argv)
+
+    result = run(updates=args.updates, repeats=args.repeats,
+                 warmup=args.warmup, num_particles=args.particles,
+                 bound_percent=args.bound, artifact=args.out)
+    if args.check and result["overhead_percent"] > args.bound:
+        print(f"FAIL: telemetry overhead {result['overhead_percent']:.2f} % "
+              f"exceeds {args.bound:.1f} %")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,7 +67,7 @@ def main() -> None:
           f"({len(errors)} filter updates)")
     print(f"localization error: mean {np.mean(errors) * 100:.1f} cm, "
           f"max {np.max(errors) * 100:.1f} cm")
-    print(f"filter update latency: mean {pf.mean_update_latency_ms():.2f} ms "
+    print(f"filter update latency: mean {pf.latency_ms():.2f} ms "
           f"(paper: 1.25 ms in C++ on an i5)")
 
 

@@ -16,6 +16,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.slam``     Cartographer-style pose-graph SLAM baseline
 ``repro.sim``      F1TENTH vehicle + sensor simulation with wheel slip
 ``repro.eval``     Table I experiment harness, metrics, perturbations
+``repro.telemetry``  metrics registry, span tracing, run manifests,
+                   JSONL streams + report rendering
 =================  ====================================================
 
 Quickstart::
@@ -32,7 +34,7 @@ Quickstart::
 See ``examples/quickstart.py`` for the complete closed loop.
 """
 
-from repro.core import SynPF, make_synpf, make_vanilla_mcl
+from repro.core import Localizer, SynPF, make_localizer, make_synpf, make_vanilla_mcl
 from repro.eval import ExperimentCondition, LapExperiment, format_table1
 from repro.maps import OccupancyGrid, generate_track, load_map_yaml, replica_test_track
 from repro.sim import SimConfig, Simulator
@@ -45,6 +47,7 @@ __all__ = [
     "CartographerConfig",
     "ExperimentCondition",
     "LapExperiment",
+    "Localizer",
     "OccupancyGrid",
     "SimConfig",
     "Simulator",
@@ -52,6 +55,7 @@ __all__ = [
     "format_table1",
     "generate_track",
     "load_map_yaml",
+    "make_localizer",
     "make_synpf",
     "make_vanilla_mcl",
     "replica_test_track",

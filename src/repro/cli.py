@@ -13,6 +13,7 @@ run without writing Python:
 ``sweep``                 parallel, resumable condition sweep (Table I grid)
 ``scenario``              list / show / run declarative fault scenarios
 ``campaign``              scenario x method x trial robustness scorecard
+``report``                render a telemetry JSONL run into latency tables
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
 """
@@ -48,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SynPF particle budget override")
     p_race.add_argument("--fused-odometry", action="store_true",
                         help="fuse wheel odometry with the IMU (EKF)")
+    p_race.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="write a telemetry JSONL stream (manifest, "
+                             "lap/crash events, span latency histograms) "
+                             "renderable with `repro report`")
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -78,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-sim-time", type=float, default=600.0)
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-trial progress lines")
+    p_sweep.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="write a telemetry JSONL stream carrying the "
+                              "manifest and the deterministically merged "
+                              "per-trial metric snapshot")
 
     p_scenario = sub.add_parser(
         "scenario",
@@ -125,6 +134,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--resolution", type=float, default=None,
                             help="override track resolution on every scenario")
     p_campaign.add_argument("--quiet", action="store_true")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a telemetry JSONL run: per-stage latency table, "
+             "counters, events",
+    )
+    p_report.add_argument("run", help="path to a telemetry .jsonl file")
+    p_report.add_argument("--format", choices=("text", "json", "prometheus"),
+                          default="text",
+                          help="text tables (default), merged JSON snapshot, "
+                               "or Prometheus exposition text")
 
     sub.add_parser("latency", help="latency report (LUT / filter / matcher)")
     sub.add_parser("fig1", help="motion-model spread series")
@@ -184,7 +204,21 @@ def main(argv=None) -> int:
             localizer_overrides=overrides,
             odometry_source="fused" if args.fused_odometry else "wheel",
         )
-        result = LapExperiment(track).run(condition, progress=print)
+        telemetry = None
+        if args.telemetry:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry.to_path(args.telemetry)
+        try:
+            result = LapExperiment(track).run(
+                condition, progress=print, telemetry=telemetry
+            )
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+        if args.telemetry:
+            print(f"telemetry: wrote {args.telemetry} "
+                  f"(render with `repro report {args.telemetry}`)")
         print()
         print(format_table1([result]))
         print(f"crashes: {result.crashes}   "
@@ -197,6 +231,7 @@ def main(argv=None) -> int:
             SweepRunner,
             make_lap_conditions,
             make_lap_specs,
+            merge_sweep_telemetry,
             run_lap_trial,
             summarize_lap_sweep,
         )
@@ -232,6 +267,32 @@ def main(argv=None) -> int:
         print(f"sweep: {len(conditions)} conditions x {args.trials} trial(s) "
               f"on {args.workers} worker(s)")
         sweep = runner.run(specs)
+
+        if args.telemetry:
+            from repro.telemetry import Telemetry
+
+            with Telemetry.to_path(args.telemetry) as telemetry:
+                telemetry.manifest(
+                    config={
+                        "command": "sweep",
+                        "methods": args.methods,
+                        "qualities": args.qualities,
+                        "speed_scales": args.speed_scales,
+                        "trials": args.trials,
+                        "laps": args.laps,
+                        "workers": args.workers,
+                        "resolution": args.resolution,
+                    },
+                    seeds={"base": args.seed},
+                )
+                # Merged from per-trial snapshots in sorted trial-id order,
+                # so the stream is bit-identical at any worker count.
+                telemetry.registry.merge_snapshot(
+                    merge_sweep_telemetry(sweep.records)
+                )
+                telemetry.flush_metrics(label="sweep")
+            print(f"telemetry: wrote {args.telemetry} "
+                  f"(render with `repro report {args.telemetry}`)")
 
         # Deterministic block first (bit-identical at any worker count)...
         print()
@@ -334,6 +395,21 @@ def main(argv=None) -> int:
             save_scorecard(scorecard, args.scorecard)
             print(f"wrote {args.scorecard}")
         return 1 if sweep.failures else 0
+
+    if args.command == "report":
+        from repro.telemetry import (
+            load_run, render_report, to_json, to_prometheus_text,
+        )
+
+        if args.format == "text":
+            print(render_report(args.run))
+        else:
+            run = load_run(args.run)
+            if args.format == "json":
+                print(to_json(run["metrics"]))
+            else:
+                print(to_prometheus_text(run["metrics"]), end="")
+        return 0
 
     if args.command == "latency":
         from repro.eval.latency import (

@@ -16,6 +16,13 @@ prior particle-filter lines of work for the high-speed racing domain
 diff-drive + uniform-layout MCL baseline used in ablations.
 """
 
+from repro.core.interfaces import (
+    LOCALIZER_METHODS,
+    CartographerLocalizer,
+    Localizer,
+    SynPFLocalizer,
+    make_localizer,
+)
 from repro.core.kld import kld_sample_size, occupied_bins
 from repro.core.laser_odometry import IcpConfig, LaserOdometry, icp_match
 from repro.core.motion_models import (
@@ -43,13 +50,17 @@ from repro.core.supervisor import LocalizationSupervisor, SupervisorConfig
 __all__ = [
     "BeamSensorModel",
     "BoxedScanLayout",
+    "CartographerLocalizer",
     "DiffDriveMotionModel",
     "FusionConfig",
     "IcpConfig",
+    "LOCALIZER_METHODS",
     "LaserOdometry",
+    "Localizer",
     "LocalizationSupervisor",
     "MotionModel",
     "SupervisorConfig",
+    "SynPFLocalizer",
     "OdometryDelta",
     "OdometryImuEkf",
     "ParticleFilterConfig",
@@ -62,6 +73,7 @@ __all__ = [
     "estimate_pose",
     "icp_match",
     "kld_sample_size",
+    "make_localizer",
     "make_synpf",
     "make_vanilla_mcl",
     "occupied_bins",

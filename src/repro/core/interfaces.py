@@ -1,0 +1,228 @@
+"""The public localizer API: one protocol, one factory.
+
+Every consumer that races a localizer — the lap experiment, the
+divergence supervisor, offline trace replay — drives the same surface:
+
+* :class:`Localizer` — ``initialize`` / ``update(delta, scan)`` /
+  ``pose`` / ``latency_ms`` / ``telemetry``.  ``update`` consumes a full
+  :class:`~repro.sim.lidar.LidarScan`; each implementation extracts what
+  it needs (SynPF the ranges + beam-angle table, Cartographer the point
+  cloud), so callers never special-case methods.
+* :func:`make_localizer` — the single construction path behind the
+  ``"synpf" | "vanilla_mcl" | "cartographer"`` method names used by
+  experiment conditions, scenario specs and the CLI.
+
+:class:`SynPFLocalizer` and :class:`CartographerLocalizer` are the
+protocol implementations over the concrete engines (they were private
+``_SynPFAdapter``/``_CartographerAdapter`` classes inside the experiment
+harness before this became a supported API).  The engines themselves
+(:class:`~repro.core.particle_filter.SynPF`,
+:class:`~repro.slam.cartographer.Cartographer`) keep their native
+signatures — the adapters are the compatibility boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps.occupancy_grid import OccupancyGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.sim.lidar import LidarScan
+    from repro.slam.cartographer import Cartographer
+    from repro.core.particle_filter import SynPF
+
+__all__ = [
+    "Localizer",
+    "SynPFLocalizer",
+    "CartographerLocalizer",
+    "make_localizer",
+    "LOCALIZER_METHODS",
+]
+
+LOCALIZER_METHODS = ("synpf", "vanilla_mcl", "cartographer")
+
+
+@runtime_checkable
+class Localizer(Protocol):
+    """What a map-based localizer looks like to the rest of the system.
+
+    ``consumes_scan`` marks the scan-object update signature; consumers
+    that also accept legacy ``update(delta, ranges, angles)`` engines
+    (the supervisor, trace replay) dispatch on it.
+    """
+
+    consumes_scan: bool
+
+    def initialize(self, pose: np.ndarray, std_xy: Optional[float] = None,
+                   std_theta: Optional[float] = None) -> None:
+        """(Re-)seed the localizer at a known pose.
+
+        Spread parameters are hints: implementations without an
+        uncertainty representation (point-pose scan matchers) ignore
+        them.
+        """
+        ...
+
+    def update(self, delta: OdometryDelta, scan: "LidarScan") -> np.ndarray:
+        """Process one (odometry interval, scan) pair; returns the pose."""
+        ...
+
+    @property
+    def pose(self) -> np.ndarray:
+        """Current pose estimate ``(x, y, theta)``."""
+        ...
+
+    def latency_ms(self) -> float:
+        """Mean wall-clock cost per update, milliseconds."""
+        ...
+
+    def telemetry(self) -> Dict:
+        """JSON-serialisable observability snapshot (timing + metrics)."""
+        ...
+
+
+class SynPFLocalizer:
+    """:class:`Localizer` over a SynPF (or vanilla-MCL) particle filter."""
+
+    consumes_scan = True
+
+    def __init__(self, pf: "SynPF") -> None:
+        self.pf = pf
+        if hasattr(pf, "initialize_global"):
+            # Surfaced only when the filter supports global re-init; the
+            # supervisor's escalation path checks with hasattr.
+            self.initialize_global = pf.initialize_global
+
+    def initialize(self, pose: np.ndarray, std_xy: Optional[float] = None,
+                   std_theta: Optional[float] = None) -> None:
+        self.pf.initialize(pose, std_xy=std_xy, std_theta=std_theta)
+
+    def update(self, delta: OdometryDelta, scan: "LidarScan") -> np.ndarray:
+        return self.pf.update(delta, scan.ranges, scan.angles).pose
+
+    @property
+    def pose(self) -> np.ndarray:
+        return self.pf.pose
+
+    def latency_ms(self) -> float:
+        return self.pf.latency_ms()
+
+    def telemetry(self) -> Dict:
+        return self.pf.telemetry()
+
+
+class CartographerLocalizer:
+    """:class:`Localizer` over pure-localization Cartographer.
+
+    ``max_range`` trims max-range returns before point-cloud extraction;
+    ``offset_x`` is the sensor mount ahead of the base frame.
+    """
+
+    consumes_scan = True
+
+    def __init__(self, carto: "Cartographer", max_range: float,
+                 offset_x: float) -> None:
+        self.carto = carto
+        self.max_range = max_range
+        self.offset_x = offset_x
+
+    def initialize(self, pose: np.ndarray, std_xy: Optional[float] = None,
+                   std_theta: Optional[float] = None) -> None:
+        # A scan matcher has no particle cloud to spread: recovery
+        # re-anchors it at the point pose.
+        self.carto.initialize(pose)
+
+    def update(self, delta: OdometryDelta, scan: "LidarScan") -> np.ndarray:
+        points = scan.points_in_sensor_frame(max_range=self.max_range)
+        return self.carto.update(delta, points, sensor_offset_x=self.offset_x)
+
+    @property
+    def pose(self) -> np.ndarray:
+        return self.carto.pose
+
+    def latency_ms(self) -> float:
+        return self.carto.latency_ms()
+
+    def telemetry(self) -> Dict:
+        return self.carto.telemetry()
+
+
+def make_localizer(
+    method: str,
+    grid: OccupancyGrid,
+    *,
+    max_range: Optional[float] = None,
+    lidar_offset_x: Optional[float] = None,
+    registry=None,
+    timing_max_samples: Optional[int] = None,
+    **overrides,
+) -> Localizer:
+    """Build a protocol-conforming localizer by method name.
+
+    Parameters
+    ----------
+    method:
+        ``"synpf"``, ``"vanilla_mcl"`` or ``"cartographer"``.
+    grid:
+        The frozen map to localize in.
+    max_range:
+        Sensor maximum range (defaults to the simulated LiDAR's).  Used
+        by the Cartographer adapter to drop no-return beams.
+    lidar_offset_x:
+        Sensor mount ahead of the base frame (defaults per method
+        config).
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`; when
+        given, the localizer's span tracer streams per-stage latency
+        histograms into it.
+    timing_max_samples:
+        Bound the legacy ``TimingStats`` sample lists (reservoir mode) so
+        multi-hour runs do not accumulate per-update floats forever.
+    **overrides:
+        Particle-filter config fields for the MCL methods; only
+        ``config=CartographerConfig(...)`` for Cartographer.
+    """
+    from repro.utils.profiling import TimingStats
+
+    timing = TimingStats(max_samples=timing_max_samples)
+    if max_range is None or lidar_offset_x is None:
+        from repro.sim.lidar import LidarConfig
+
+        defaults = LidarConfig()
+        if max_range is None:
+            max_range = defaults.max_range
+        if lidar_offset_x is None:
+            lidar_offset_x = defaults.mount_offset_x
+
+    if method in ("synpf", "vanilla_mcl"):
+        from repro.core.particle_filter import ParticleFilterConfig, SynPF
+
+        if method == "vanilla_mcl":
+            overrides.setdefault("motion_model", "diff_drive")
+            overrides.setdefault("layout", "uniform")
+        overrides.setdefault("lidar_offset_x", lidar_offset_x)
+        pf = SynPF(grid, ParticleFilterConfig(**overrides),
+                   registry=registry, timing=timing)
+        return SynPFLocalizer(pf)
+
+    if method == "cartographer":
+        from repro.slam.cartographer import Cartographer, CartographerConfig
+
+        config = overrides.pop("config", None) or CartographerConfig()
+        if overrides:
+            raise ValueError(
+                "cartographer accepts only a 'config' override, got "
+                f"{sorted(overrides)}"
+            )
+        carto = Cartographer(frozen_map=grid, config=config,
+                             registry=registry, timing=timing)
+        return CartographerLocalizer(carto, max_range=max_range,
+                                     offset_x=lidar_offset_x)
+
+    raise ValueError(
+        f"unknown method {method!r}; expected one of {LOCALIZER_METHODS}"
+    )

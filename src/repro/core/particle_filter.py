@@ -20,6 +20,7 @@ MCL used as the ablation reference point.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -37,6 +38,7 @@ from repro.core.scan_layout import BoxedScanLayout, ScanLayout, UniformScanLayou
 from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
 from repro.maps.occupancy_grid import OccupancyGrid
 from repro.raycast.factory import make_range_method
+from repro.telemetry.spans import SpanTracer
 from repro.utils.angles import wrap_to_pi
 from repro.utils.profiling import TimingStats
 from repro.utils.rng import make_rng
@@ -130,6 +132,14 @@ class SynPF:
     motion_model:
         Optional explicit :class:`~repro.core.motion_models.MotionModel`
         instance, overriding ``config.motion_model``.
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`; when
+        given, per-stage span latencies stream into it as
+        ``span.update/...`` histograms.  ``None`` keeps the filter in the
+        telemetry-off configuration (TimingStats only).
+    timing:
+        Optional externally-owned :class:`TimingStats` (e.g. a bounded
+        one from :func:`repro.core.interfaces.make_localizer`).
 
     Usage
     -----
@@ -143,6 +153,8 @@ class SynPF:
         grid: OccupancyGrid,
         config: ParticleFilterConfig | None = None,
         motion_model: MotionModel | None = None,
+        registry=None,
+        timing: TimingStats | None = None,
     ) -> None:
         self.config = config or ParticleFilterConfig()
         self.config.validate()
@@ -177,7 +189,8 @@ class SynPF:
 
         self.particles = np.zeros((self.config.num_particles, 3))
         self.weights = np.full(self.config.num_particles, 1.0 / self.config.num_particles)
-        self.timing = TimingStats()
+        self.timing = timing if timing is not None else TimingStats()
+        self.tracer = SpanTracer(timing=self.timing, registry=registry)
         self.num_updates = 0
         self._initialized = False
         self._layout_cache: dict = {}
@@ -268,8 +281,19 @@ class SynPF:
         beam_angles = np.asarray(beam_angles, dtype=float)
         if scan_ranges.shape != beam_angles.shape:
             raise ValueError("scan_ranges and beam_angles must have the same shape")
+        # The outer span makes "update" the end-to-end wall time of the
+        # cycle (pose estimation included), with the stage spans nested
+        # under it as span.update/motion, span.update/raycast, ...
+        with self.tracer.span("update"):
+            return self._update(delta, scan_ranges, beam_angles)
 
-        with self.timing.time("motion"):
+    def _update(
+        self,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> FilterEstimate:
+        with self.tracer.span("motion"):
             self.particles = self.motion_model.propagate(
                 self.particles, delta, self.rng
             )
@@ -277,7 +301,7 @@ class SynPF:
         sel = self.select_beams(beam_angles)
         measured = np.clip(scan_ranges[sel], 0.0, self.config.sensor.max_range)
 
-        with self.timing.time("raycast"):
+        with self.tracer.span("raycast"):
             # Rays originate at the sensor, which is mounted ahead of the
             # base frame the particles (and the published pose) live in.
             sensor_poses = self.particles.copy()
@@ -288,7 +312,7 @@ class SynPF:
             expected = self.range_method.calc_ranges_pose_batch(
                 sensor_poses, beam_angles[sel]
             )
-        with self.timing.time("sensor"):
+        with self.tracer.span("sensor"):
             log_like = self.sensor_model.log_likelihood(expected, measured)
             shifted = log_like - log_like.max()
             w = np.exp(shifted)
@@ -321,7 +345,7 @@ class SynPF:
         if self.config.augmented and self._w_slow > 0.0:
             inject_frac = max(0.0, 1.0 - self._w_fast / self._w_slow)
         if ess < threshold or inject_frac > 0.05:
-            with self.timing.time("resample"):
+            with self.tracer.span("resample"):
                 target_n = current_n
                 if self.config.adaptive:
                     from repro.core.kld import kld_sample_size, occupied_bins
@@ -355,13 +379,6 @@ class SynPF:
             resampled = True
 
         self.num_updates += 1
-        total = (
-            self.timing.samples["motion"][-1]
-            + self.timing.samples["raycast"][-1]
-            + self.timing.samples["sensor"][-1]
-            + (self.timing.samples["resample"][-1] if resampled else 0.0)
-        )
-        self.timing.record("update", total)
         return FilterEstimate(pose, spread, ess, resampled)
 
     # ------------------------------------------------------------------
@@ -377,11 +394,28 @@ class SynPF:
         """Current particle count (varies when ``adaptive`` is on)."""
         return int(self.particles.shape[0])
 
-    def mean_update_latency_ms(self) -> float:
+    def latency_ms(self) -> float:
         """Mean per-update wall time — the paper's headline latency metric."""
         if self.timing.count("update") == 0:
             raise RuntimeError("no updates recorded yet")
         return self.timing.mean_ms("update")
+
+    def mean_update_latency_ms(self) -> float:
+        """Deprecated alias of :meth:`latency_ms`."""
+        warnings.warn(
+            "SynPF.mean_update_latency_ms() is deprecated; use latency_ms()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.latency_ms()
+
+    def telemetry(self) -> Dict:
+        """JSON-serialisable observability snapshot of this filter."""
+        return {
+            "num_updates": self.num_updates,
+            "num_particles": self.num_particles,
+            "timing": self.timing.summary(),
+        }
 
 
 def make_synpf(grid: OccupancyGrid, **overrides) -> SynPF:

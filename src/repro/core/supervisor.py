@@ -196,23 +196,39 @@ class LocalizationSupervisor:
     Parameters
     ----------
     localizer:
-        Anything with ``initialize(pose, std_xy=..., std_theta=...)`` and
-        ``update(delta, ranges, angles)`` returning an estimate with
-        ``.pose`` — :class:`~repro.core.particle_filter.SynPF` natively.
+        Either a :class:`~repro.core.interfaces.Localizer` protocol
+        object (``update(delta, scan)``, marked by ``consumes_scan``) or
+        a legacy engine with ``update(delta, ranges, angles)`` returning
+        an estimate with ``.pose`` —
+        :class:`~repro.core.particle_filter.SynPF` natively.  Both need
+        ``initialize(pose, std_xy=..., std_theta=...)``.
     grid:
         The map used for health scoring.
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`; when
+        given, the supervisor streams ``supervisor.updates`` /
+        ``supervisor.recoveries`` / ``supervisor.episodes`` counters and
+        a ``supervisor.health`` histogram into it.  All deterministic
+        functions of the update stream, so they are safe to merge across
+        sweep workers.
     """
+
+    #: Fixed bucket edges for the health-score histogram (scores live in
+    #: [0, 1]); part of the mergeable-telemetry contract.
+    HEALTH_EDGES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
     def __init__(
         self,
         localizer,
         grid: OccupancyGrid,
         config: SupervisorConfig | None = None,
+        registry=None,
     ) -> None:
         self.config = config or SupervisorConfig()
         self.config.validate()
         self.localizer = localizer
         self.grid = grid
+        self.registry = registry
         self._bad_streak = 0
         self._recovery_level = 0
         self._last_healthy_pose: Optional[np.ndarray] = None
@@ -274,15 +290,38 @@ class LocalizationSupervisor:
         except TypeError:
             self.localizer.initialize(anchor)
 
-    def update(self, delta, scan_ranges, beam_angles,
+    def update(self, delta, scan_or_ranges, beam_angles=None,
                timestamp: Optional[float] = None) -> SupervisorReport:
-        estimate = self.localizer.update(delta, scan_ranges, beam_angles)
+        """Run one supervised localizer update.
+
+        Accepts both call forms: the protocol form ``update(delta, scan)``
+        where ``scan`` carries ``ranges``/``angles``
+        (:class:`~repro.sim.lidar.LidarScan`), and the legacy form
+        ``update(delta, ranges, angles)``.
+        """
+        if beam_angles is None and hasattr(scan_or_ranges, "ranges"):
+            scan = scan_or_ranges
+            scan_ranges = scan.ranges
+            beam_angles = scan.angles
+            if getattr(self.localizer, "consumes_scan", False):
+                estimate = self.localizer.update(delta, scan)
+            else:
+                estimate = self.localizer.update(delta, scan_ranges,
+                                                 beam_angles)
+        else:
+            scan_ranges = scan_or_ranges
+            estimate = self.localizer.update(delta, scan_ranges, beam_angles)
         pose = estimate.pose if hasattr(estimate, "pose") else np.asarray(estimate)
         health = self.health_score(pose, scan_ranges, beam_angles)
         self.health_history.append(health)
         cfg = self.config
         index = self.telemetry.num_updates
         self.telemetry.num_updates += 1
+        if self.registry is not None:
+            self.registry.counter("supervisor.updates").inc()
+            self.registry.histogram(
+                "supervisor.health", self.HEALTH_EDGES
+            ).observe(health)
 
         healthy = health >= cfg.healthy_score
         if healthy:
@@ -302,6 +341,8 @@ class LocalizationSupervisor:
                     start_index=index, start_time=timestamp
                 )
                 self.telemetry.episodes.append(self._episode)
+                if self.registry is not None:
+                    self.registry.counter("supervisor.episodes").inc()
         recovered = False
         if self._bad_streak >= cfg.consecutive_bad:
             global_reinit = False
@@ -323,6 +364,8 @@ class LocalizationSupervisor:
                 )
             self.num_recoveries += 1
             self.telemetry.num_recoveries += 1
+            if self.registry is not None:
+                self.registry.counter("supervisor.recoveries").inc()
             self.telemetry.recoveries.append(
                 RecoveryAction(index, timestamp, self._recovery_level,
                                global_reinit)

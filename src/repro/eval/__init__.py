@@ -35,6 +35,7 @@ from repro.eval.runner import (
     TrialSpec,
     make_lap_conditions,
     make_lap_specs,
+    merge_sweep_telemetry,
     run_lap_trial,
     summarize_lap_sweep,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "format_table1",
     "make_lap_conditions",
     "make_lap_specs",
+    "merge_sweep_telemetry",
     "run_lap_trial",
     "summarize_lap_sweep",
     "measure_filter_latency",

@@ -24,8 +24,12 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.interfaces import (
+    CartographerLocalizer,
+    SynPFLocalizer,
+    make_localizer,
+)
 from repro.core.motion_models import OdometryDelta
-from repro.core.particle_filter import SynPF, make_synpf, make_vanilla_mcl
 from repro.core.supervisor import LocalizationSupervisor, SupervisorConfig
 from repro.eval.metrics import (
     Summary,
@@ -39,7 +43,7 @@ from repro.sim.controllers import PurePursuitController, SpeedProfile
 from repro.sim.lidar import LidarScan
 from repro.sim.simulator import SimConfig, Simulator
 from repro.sim.tire import TireModel
-from repro.slam.cartographer import Cartographer, CartographerConfig
+from repro.telemetry import Telemetry
 
 __all__ = [
     "ExperimentCondition",
@@ -209,86 +213,31 @@ class ConditionResult:
         )
 
 
-class _SynPFAdapter:
-    """Uniform localizer interface over SynPF."""
-
-    def __init__(self, pf: SynPF):
-        self.pf = pf
-
-    def initialize(self, pose: np.ndarray, std_xy: float | None = None,
-                   std_theta: float | None = None) -> None:
-        self.pf.initialize(pose, std_xy=std_xy, std_theta=std_theta)
-
-    def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
-        return self.pf.update(delta, scan.ranges, scan.angles).pose
-
-    def mean_update_ms(self) -> float:
-        return self.pf.mean_update_latency_ms()
-
-
-class _CartographerAdapter:
-    """Uniform localizer interface over pure-localization Cartographer."""
-
-    def __init__(self, carto: Cartographer, max_range: float, offset_x: float):
-        self.carto = carto
-        self.max_range = max_range
-        self.offset_x = offset_x
-
-    def initialize(self, pose: np.ndarray, std_xy: float | None = None,
-                   std_theta: float | None = None) -> None:
-        # A scan matcher has no particle cloud to spread: recovery
-        # re-anchors it at the point pose.
-        self.carto.initialize(pose)
-
-    def update(self, delta: OdometryDelta, scan: LidarScan) -> np.ndarray:
-        points = scan.points_in_sensor_frame(max_range=self.max_range)
-        return self.carto.update(delta, points, sensor_offset_x=self.offset_x)
-
-    def mean_update_ms(self) -> float:
-        # Amortise the periodic sliding-window graph solves over the scans
-        # they smooth; both stages run on the same core on the real car.
-        timing = self.carto.timing
-        total = timing.total_s("scan_match") + timing.total_s("optimize")
-        return total / max(timing.count("scan_match"), 1) * 1e3
-
-
-class _SupervisorShim:
-    """Presents the SynPF update signature over a scan-consuming adapter.
-
-    :class:`~repro.core.supervisor.LocalizationSupervisor` drives localizers
-    through ``update(delta, ranges, angles)``; the experiment adapters
-    consume full :class:`LidarScan` objects (Cartographer needs the point
-    cloud).  The shim carries the current scan out-of-band: the supervised
-    wrapper stores it here before every supervised update.
-    """
-
-    def __init__(self, adapter):
-        self.adapter = adapter
-        self.scan: Optional[LidarScan] = None
-        pf = getattr(adapter, "pf", None)
-        if pf is not None and hasattr(pf, "initialize_global"):
-            # Exposed only when the underlying filter supports global
-            # re-initialisation (the supervisor checks with hasattr).
-            self.initialize_global = pf.initialize_global
-
-    def initialize(self, pose, std_xy=None, std_theta=None):
-        self.adapter.initialize(pose, std_xy=std_xy, std_theta=std_theta)
-
-    def update(self, delta, scan_ranges, beam_angles):
-        return self.adapter.update(delta, self.scan)
+# The adapters formerly defined here privately are now the public
+# protocol implementations in repro.core.interfaces; the old names are
+# kept as aliases for any code that imported them.
+_SynPFAdapter = SynPFLocalizer
+_CartographerAdapter = CartographerLocalizer
 
 
 class _SupervisedLocalizer:
-    """Adapter wrapper adding divergence detection and recovery.
+    """Protocol-localizer wrapper adding divergence detection and recovery.
 
-    Exposes the same interface as the raw adapters plus a ``timestamp``
-    on update (fed to the supervisor's recovery telemetry).
+    Exposes the same scan-consuming interface plus a ``timestamp`` on
+    update (fed to the supervisor's recovery telemetry).  Since both the
+    supervisor and the wrapped localizer speak the
+    :class:`~repro.core.interfaces.Localizer` protocol, the scan passes
+    straight through — no out-of-band shim.
     """
 
-    def __init__(self, adapter, grid, config: SupervisorConfig):
-        self.adapter = adapter
-        self._shim = _SupervisorShim(adapter)
-        self.supervisor = LocalizationSupervisor(self._shim, grid, config)
+    consumes_scan = True
+
+    def __init__(self, localizer, grid, config: SupervisorConfig,
+                 registry=None):
+        self.localizer = localizer
+        self.supervisor = LocalizationSupervisor(
+            localizer, grid, config, registry=registry
+        )
         self.last_report = None
 
     def initialize(self, pose: np.ndarray) -> None:
@@ -296,15 +245,19 @@ class _SupervisedLocalizer:
 
     def update(self, delta: OdometryDelta, scan: LidarScan,
                timestamp: Optional[float] = None) -> np.ndarray:
-        self._shim.scan = scan
-        report = self.supervisor.update(
-            delta, scan.ranges, scan.angles, timestamp=timestamp
-        )
+        report = self.supervisor.update(delta, scan, timestamp=timestamp)
         self.last_report = report
         return report.pose
 
-    def mean_update_ms(self) -> float:
-        return self.adapter.mean_update_ms()
+    @property
+    def pose(self) -> np.ndarray:
+        return self.localizer.pose
+
+    def latency_ms(self) -> float:
+        return self.localizer.latency_ms()
+
+    def telemetry(self) -> Dict:
+        return self.localizer.telemetry()
 
 
 @dataclass
@@ -366,39 +319,33 @@ class LapExperiment:
         if profile_kwargs:
             self.profile_kwargs.update(profile_kwargs)
 
+    #: Cap on raw per-update timing samples kept by a localizer's
+    #: TimingStats: enough for exact-ish percentiles over any realistic
+    #: condition, bounded for the max_sim_time-capped pathological ones.
+    TIMING_MAX_SAMPLES = 65536
+
     # ------------------------------------------------------------------
-    def _build_localizer(self, condition: ExperimentCondition):
+    def _build_localizer(self, condition: ExperimentCondition, registry=None):
         overrides = dict(condition.localizer_overrides)
-        offset = self.base_config.lidar.mount_offset_x
-        max_range = self.base_config.lidar.max_range
-        if condition.method == "synpf":
+        if condition.method in ("synpf", "vanilla_mcl"):
             overrides.setdefault("seed", condition.seed)
-            overrides.setdefault("lidar_offset_x", offset)
-            return _SynPFAdapter(make_synpf(self.track.grid, **overrides))
-        if condition.method == "vanilla_mcl":
-            overrides.setdefault("seed", condition.seed)
-            overrides.setdefault("lidar_offset_x", offset)
-            return _SynPFAdapter(make_vanilla_mcl(self.track.grid, **overrides))
-        if condition.method == "cartographer":
-            config = overrides.pop("config", None) or CartographerConfig()
-            if overrides:
-                raise ValueError(
-                    "cartographer accepts only a 'config' override, got "
-                    f"{sorted(overrides)}"
-                )
-            return _CartographerAdapter(
-                Cartographer(frozen_map=self.track.grid, config=config),
-                max_range=max_range,
-                offset_x=offset,
-            )
-        raise ValueError(f"unknown method {condition.method!r}")
+        return make_localizer(
+            condition.method,
+            self.track.grid,
+            max_range=self.base_config.lidar.max_range,
+            lidar_offset_x=self.base_config.lidar.mount_offset_x,
+            registry=registry,
+            timing_max_samples=self.TIMING_MAX_SAMPLES,
+            **overrides,
+        )
 
     # ------------------------------------------------------------------
     def run(self, condition: ExperimentCondition,
             progress: Optional[Callable[[str], None]] = None,
             seed: Optional[int] = None,
             hooks=None,
-            supervisor_config: Optional[SupervisorConfig] = None) -> ConditionResult:
+            supervisor_config: Optional[SupervisorConfig] = None,
+            telemetry: Optional[Telemetry] = None) -> ConditionResult:
         """Run one condition; returns its aggregated Table I row.
 
         ``seed`` overrides ``condition.seed`` for this run.  The parallel
@@ -413,9 +360,27 @@ class LapExperiment:
 
         ``supervisor_config`` wraps the localizer in the divergence
         supervisor; the result then carries ``supervisor_telemetry``.
+
+        ``telemetry`` turns on observability for the run: a manifest and
+        lap/crash events go to its JSONL stream, and the localizer's
+        span latency histograms plus lap counters accumulate in its
+        registry.  ``None`` (the default) runs telemetry-off.
         """
         if seed is not None:
             condition = dataclasses.replace(condition, seed=int(seed))
+        registry = telemetry.registry if telemetry is not None else None
+        if telemetry is not None:
+            telemetry.manifest(
+                config={
+                    "method": condition.method,
+                    "odom_quality": condition.odom_quality,
+                    "speed_scale": condition.speed_scale,
+                    "num_laps": condition.num_laps,
+                    "odometry_source": condition.odometry_source,
+                    "supervised": supervisor_config is not None,
+                },
+                seeds={"condition": condition.seed},
+            )
         raceline = self.track.centerline
 
         vehicle = dataclasses.replace(
@@ -434,7 +399,7 @@ class LapExperiment:
             raceline, profile, wheelbase=sim_cfg.vehicle.wheelbase,
             max_steer=sim_cfg.vehicle.max_steer,
         )
-        localizer = self._build_localizer(condition)
+        localizer = self._build_localizer(condition, registry=registry)
         if supervisor_config is not None:
             if supervisor_config.sensor_max_range is None:
                 supervisor_config = dataclasses.replace(
@@ -442,7 +407,8 @@ class LapExperiment:
                     sensor_max_range=sim_cfg.lidar.max_range,
                 )
             localizer = _SupervisedLocalizer(
-                localizer, self.track.grid, supervisor_config
+                localizer, self.track.grid, supervisor_config,
+                registry=registry,
             )
         perturbation = condition.perturbation
         if perturbation is not None:
@@ -571,6 +537,10 @@ class LapExperiment:
                 if frame.collided:
                     crashes += 1
                     lap_valid = False
+                    if telemetry is not None:
+                        telemetry.counter("experiment.crashes").inc()
+                        telemetry.event("crash", time=sim.time,
+                                        lap=lap_index)
                     # Re-rail the car on the centerline and re-seed the
                     # localizer; the spoiled lap is recorded as invalid.
                     rail = raceline.point_at(s_now)
@@ -605,6 +575,14 @@ class LapExperiment:
                                 valid=lap_valid,
                             )
                         )
+                        if telemetry is not None:
+                            telemetry.counter("experiment.laps.completed").inc()
+                            if laps[-1].valid:
+                                telemetry.counter("experiment.laps.valid").inc()
+                            telemetry.event(
+                                "lap", time=sim.time, lap=len(laps),
+                                lap_time_s=lap_time, valid=laps[-1].valid,
+                            )
                         if progress is not None:
                             progress(
                                 f"{condition.label()} lap {len(laps)}: "
@@ -620,15 +598,19 @@ class LapExperiment:
                 f"{condition.label()}: wall-time cap hit after {len(laps)} laps"
             )
 
-        mean_ms = localizer.mean_update_ms()
+        mean_ms = localizer.latency_ms()
         load = compute_load_percent(
             mean_ms / 1e3, sim_cfg.lidar.rate_hz / self.update_every_scans
         )
-        telemetry = None
+        supervisor_telemetry = None
         if isinstance(localizer, _SupervisedLocalizer):
-            telemetry = localizer.supervisor.telemetry.to_dict()
+            supervisor_telemetry = localizer.supervisor.telemetry.to_dict()
+        if telemetry is not None:
+            telemetry.gauge("experiment.latency_ms").set(mean_ms)
+            telemetry.gauge("experiment.compute_load_percent").set(load)
+            telemetry.flush_metrics(label=condition.label())
         return ConditionResult(condition, laps, mean_ms, load, crashes,
-                               supervisor_telemetry=telemetry)
+                               supervisor_telemetry=supervisor_telemetry)
 
 
 def format_table1(results: List[ConditionResult]) -> str:

@@ -61,6 +61,9 @@ __all__ = [
     "make_lap_specs",
     "run_lap_trial",
     "summarize_lap_sweep",
+    "merge_sweep_telemetry",
+    "LAP_TIME_EDGES_S",
+    "LOC_ERROR_EDGES_CM",
 ]
 
 
@@ -612,14 +615,51 @@ def _experiment_for(resolution: float, max_sim_time: float):
     return experiment
 
 
+# Fixed bucket edges for the deterministic per-trial telemetry snapshot.
+# Part of the sweep telemetry contract: every worker uses the same
+# literal edges, so per-trial histograms always merge.
+LAP_TIME_EDGES_S = (5.0, 7.5, 10.0, 12.5, 15.0, 20.0, 25.0, 30.0, 40.0,
+                    60.0, 90.0, 120.0)
+LOC_ERROR_EDGES_CM = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+
+def _trial_telemetry_snapshot(result) -> Dict:
+    """Deterministic metrics snapshot for one finished lap trial.
+
+    Built *from the result*, never from the wall clock: counters and
+    histograms here are functions of the trial spec alone, so merged
+    sweep snapshots are bit-identical at any worker count (latency spans
+    live in per-run JSONL streams instead).
+    """
+    import math
+
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("sweep.trials").inc()
+    registry.counter("sweep.crashes").inc(result.crashes)
+    lap_time = registry.histogram("lap_time_s", LAP_TIME_EDGES_S)
+    loc_err = registry.histogram("localization_error_cm", LOC_ERROR_EDGES_CM)
+    for lap in result.laps:
+        registry.counter("sweep.laps.completed").inc()
+        if lap.valid:
+            registry.counter("sweep.laps.valid").inc()
+            lap_time.observe(lap.lap_time)
+            if math.isfinite(lap.localization_error_mean_cm):
+                loc_err.observe(lap.localization_error_mean_cm)
+    return registry.snapshot()
+
+
 def run_lap_trial(spec: TrialSpec) -> Dict:
     """Execute one lap-experiment trial (module-level: picklable).
 
     Returns the full :class:`ConditionResult` as a dict plus a flat
-    ``summary`` of the deterministic metrics.  Latency-derived fields
-    (``mean_update_ms``, ``compute_load_percent``) are wall-clock
-    measurements and intentionally stay out of the summary — everything
-    in ``summary`` is bit-identical across worker counts.
+    ``summary`` of the deterministic metrics and a mergeable
+    ``telemetry`` snapshot (see :func:`merge_sweep_telemetry`).
+    Latency-derived fields (``mean_update_ms``, ``compute_load_percent``)
+    are wall-clock measurements and intentionally stay out of both —
+    everything in ``summary`` and ``telemetry`` is bit-identical across
+    worker counts.
     """
     params = spec.params
     experiment = _experiment_for(params["resolution"], params["max_sim_time"])
@@ -636,7 +676,27 @@ def run_lap_trial(spec: TrialSpec) -> Dict:
             "crashes": result.crashes,
             "valid_laps": sum(1 for lap in result.laps if lap.valid),
         },
+        "telemetry": _trial_telemetry_snapshot(result),
     }
+
+
+def merge_sweep_telemetry(records: Sequence[TrialRecord]) -> Dict:
+    """Merge every successful trial's telemetry snapshot into one.
+
+    Trials are folded in sorted-``trial_id`` order via
+    :func:`repro.telemetry.merge_snapshots`, so the merged snapshot is
+    bit-identical regardless of worker count or completion order.
+    Records without a ``telemetry`` block (failures, checkpoints written
+    by older versions) are skipped.
+    """
+    from repro.telemetry import merge_snapshots
+
+    snapshots = {
+        record.trial_id: record.metrics["telemetry"]
+        for record in records
+        if record.ok and "telemetry" in record.metrics
+    }
+    return merge_snapshots(snapshots)
 
 
 def summarize_lap_sweep(records: Sequence[TrialRecord]) -> str:

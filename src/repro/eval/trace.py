@@ -163,23 +163,39 @@ class TraceRecorder:
 def replay(trace: RunTrace, localizer, initialize: bool = True) -> dict:
     """Feed a recorded session through a localizer; returns error stats.
 
-    ``localizer`` is anything with ``initialize(pose)`` and
-    ``update(delta, ranges, angles) -> estimate-with-.pose`` —
-    :class:`~repro.core.particle_filter.SynPF` natively, or any adapter
-    with the same surface.  Returns translation-error statistics against
-    the recorded ground truth plus the per-step error array.
+    ``localizer`` is either a :class:`~repro.core.interfaces.Localizer`
+    protocol object (``update(delta, scan)``, marked by
+    ``consumes_scan`` — anything from
+    :func:`~repro.core.interfaces.make_localizer`) or a legacy engine
+    with ``update(delta, ranges, angles) -> estimate-with-.pose`` —
+    :class:`~repro.core.particle_filter.SynPF` natively.  Returns
+    translation-error statistics against the recorded ground truth plus
+    the per-step error array.
     """
     if len(trace) == 0:
         raise ValueError("empty trace")
     if initialize:
         localizer.initialize(trace.gt_poses[0])
+    consumes_scan = getattr(localizer, "consumes_scan", False)
 
     errors = np.empty(len(trace))
     estimates = np.empty((len(trace), 3))
     for i in range(len(trace)):
-        est = localizer.update(
-            trace.delta_at(i), trace.scans[i].astype(float), trace.beam_angles
-        )
+        ranges = trace.scans[i].astype(float)
+        if consumes_scan:
+            from repro.sim.lidar import LidarScan
+
+            est = localizer.update(
+                trace.delta_at(i),
+                LidarScan(
+                    ranges=ranges,
+                    angles=trace.beam_angles,
+                    timestamp=float(trace.times[i]),
+                    sensor_pose=np.zeros(3),
+                ),
+            )
+        else:
+            est = localizer.update(trace.delta_at(i), ranges, trace.beam_angles)
         pose = est.pose if hasattr(est, "pose") else np.asarray(est)
         estimates[i] = pose
         errors[i] = np.hypot(*(pose[:2] - trace.gt_poses[i, :2]))

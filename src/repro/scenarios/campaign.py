@@ -47,7 +47,13 @@ __all__ = [
     "save_scorecard",
 ]
 
-SCORECARD_SCHEMA_VERSION = 1
+# v2: added the merged "telemetry" metrics block (campaign.* counters and
+# fixed-bucket histograms folded over trials in sorted-trial_id order).
+SCORECARD_SCHEMA_VERSION = 2
+
+# Fixed bucket edges for time-to-recover; lap-time and loc-error edges are
+# shared with the lap sweep (repro.eval.runner).
+RECOVERY_TIME_EDGES_S = (0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
 
 
 @dataclasses.dataclass
@@ -184,7 +190,44 @@ def run_scenario_trial(trial: TrialSpec) -> Dict:
         "summary": outcome.summary,
         "event_log": outcome.event_log,
         "telemetry": outcome.result.supervisor_telemetry,
+        "metrics": _trial_metrics_snapshot(outcome.summary),
     }
+
+
+def _trial_metrics_snapshot(summary: Dict) -> Dict:
+    """Mergeable metrics snapshot for one campaign trial.
+
+    Derived from the deterministic trial summary only — no wall-clock
+    values — so folding these across trials keeps the scorecard
+    bit-identical at any worker count.
+    """
+    import math
+
+    from repro.eval.runner import LAP_TIME_EDGES_S, LOC_ERROR_EDGES_CM
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("campaign.trials").inc()
+    if summary["survived"]:
+        registry.counter("campaign.survived").inc()
+    registry.counter("campaign.crashes").inc(summary["crashes"])
+    registry.counter("campaign.laps.completed").inc(summary["laps_completed"])
+    registry.counter("campaign.laps.valid").inc(summary["laps_valid"])
+    registry.counter("campaign.recoveries").inc(summary["recoveries"])
+    registry.counter("campaign.divergence_episodes").inc(
+        summary["divergence_episodes"]
+    )
+    lap_time = registry.histogram("lap_time_s", LAP_TIME_EDGES_S)
+    for value in summary["lap_times_s"]:
+        lap_time.observe(value)
+    loc_err = registry.histogram("localization_error_cm", LOC_ERROR_EDGES_CM)
+    for value in summary["lap_loc_err_cm"]:
+        if math.isfinite(value):
+            loc_err.observe(value)
+    ttr = registry.histogram("time_to_recover_s", RECOVERY_TIME_EDGES_S)
+    for value in summary["time_to_recover_s"]:
+        ttr.observe(value)
+    return registry.snapshot()
 
 
 def make_campaign_specs(
@@ -238,8 +281,11 @@ def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
     (exception/timeout/worker-crash) are listed under ``"failures"`` and
     count against survival.
     """
+    from repro.telemetry import merge_snapshots
+
     cells: Dict[tuple, Dict] = {}
     failures: List[Dict] = []
+    snapshots: Dict[str, Dict] = {}
     for record in records:
         if isinstance(record, TrialFailure):
             failures.append({
@@ -254,6 +300,8 @@ def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
         m = record.metrics
         cell = cells.setdefault((m["scenario"], m["method"]), {"trials": []})
         cell["trials"].append(m["summary"])
+        if "metrics" in m:  # absent in pre-v2 checkpoint records
+            snapshots[record.trial_id] = m["metrics"]
 
     out_cells = []
     for (scenario, method) in sorted(cells):
@@ -286,6 +334,9 @@ def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
         "schema_version": SCORECARD_SCHEMA_VERSION,
         "cells": out_cells,
         "failures": sorted(failures, key=lambda f: f["trial_id"]),
+        # Campaign-wide mergeable metrics, folded in sorted-trial_id order
+        # (bit-identical at any worker count).
+        "telemetry": merge_snapshots(snapshots),
     }
 
 

@@ -25,8 +25,9 @@ Design notes on fidelity (see DESIGN.md):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -41,6 +42,7 @@ from repro.slam.scan_matcher import (
     ScanMatchResult,
 )
 from repro.slam.submap import ProbabilityGrid, Submap
+from repro.telemetry.spans import SpanTracer
 from repro.utils.profiling import TimingStats
 
 __all__ = ["CartographerConfig", "Cartographer"]
@@ -102,17 +104,27 @@ class Cartographer:
         mode and builds its own submaps.
     config:
         See :class:`CartographerConfig`.
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`
+        receiving per-stage span latency histograms
+        (``span.update/scan_match``, ...).
+    timing:
+        Optional externally-owned :class:`TimingStats` (e.g. a bounded
+        one from :func:`repro.core.interfaces.make_localizer`).
     """
 
     def __init__(
         self,
         frozen_map: Optional[OccupancyGrid] = None,
         config: CartographerConfig | None = None,
+        registry=None,
+        timing: TimingStats | None = None,
     ) -> None:
         self.config = config or CartographerConfig()
         self.config.validate()
         self.graph = PoseGraph()
-        self.timing = TimingStats()
+        self.timing = timing if timing is not None else TimingStats()
+        self.tracer = SpanTracer(timing=self.timing, registry=registry)
         self.pose = np.zeros(3)
 
         self.frozen_map = frozen_map
@@ -182,6 +194,14 @@ class Cartographer:
         """
         if not self._initialized:
             raise RuntimeError("call initialize() first")
+        # The outer span makes "update" the end-to-end per-scan wall time
+        # (graph bookkeeping and the amortised optimiser included), which
+        # is what latency_ms() reports — comparable to SynPF's.
+        with self.tracer.span("update"):
+            return self._update(delta, points_sensor, sensor_offset_x)
+
+    def _update(self, delta: OdometryDelta, points_sensor: np.ndarray,
+                sensor_offset_x: float) -> np.ndarray:
         rel = np.array([delta.dx, delta.dy, delta.dtheta])
         predicted = apply_relative(self.pose, rel)
 
@@ -189,7 +209,7 @@ class Cartographer:
         # sensor, match, then shift back.
         pred_sensor = self._base_to_sensor(predicted, sensor_offset_x)
 
-        with self.timing.time("scan_match"):
+        with self.tracer.span("scan_match"):
             if points_sensor.shape[0] < 3:
                 # Blind or near-blind scan (sensor outage, total occlusion):
                 # nothing to match against — dead-reckon on the odometry
@@ -237,7 +257,7 @@ class Cartographer:
             self._mapping_insert(node, matched_base, points_sensor, sensor_offset_x)
 
         if len(self._node_ids) % self.config.optimize_every == 0:
-            with self.timing.time("optimize"):
+            with self.tracer.span("optimize"):
                 window = self._node_ids[-self.config.window_size :]
                 optimize_pose_graph(self.graph, free_nodes=window[1:])
 
@@ -265,11 +285,41 @@ class Cartographer:
             ]
         )
 
+    def latency_ms(self) -> float:
+        """Mean end-to-end wall time per processed scan.
+
+        Includes graph bookkeeping and the sliding-window optimiser
+        amortised over scans, so it is directly comparable with
+        ``SynPF.latency_ms()``.
+        """
+        if self.timing.count("update") == 0:
+            raise RuntimeError("no scans processed yet")
+        return self.timing.mean_ms("update")
+
     def mean_match_latency_ms(self) -> float:
-        """Mean scan-matching wall time — the latency compared in §I."""
+        """Deprecated: mean scan-matching stage wall time.
+
+        Use :meth:`latency_ms` for the end-to-end per-scan figure, or
+        ``timing.mean_ms("scan_match")`` for just the matcher stage.
+        """
+        warnings.warn(
+            "Cartographer.mean_match_latency_ms() is deprecated; use "
+            "latency_ms()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self.timing.count("scan_match") == 0:
             raise RuntimeError("no scans processed yet")
         return self.timing.mean_ms("scan_match")
+
+    def telemetry(self) -> Dict:
+        """JSON-serialisable observability snapshot of this localizer."""
+        return {
+            "num_nodes": len(self._node_ids),
+            "num_loop_closures": self.num_loop_closures,
+            "pure_localization": self.pure_localization,
+            "timing": self.timing.summary(),
+        }
 
     # ------------------------------------------------------------------
     # Mapping mode internals
@@ -383,7 +433,7 @@ class Cartographer:
                 self._match_information(result), kind="loop_closure",
             )
             self.num_loop_closures += 1
-            with self.timing.time("loop_optimize"):
+            with self.tracer.span("loop_optimize"):
                 optimize_pose_graph(self.graph)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""Structured observability: metrics, spans, manifests, JSONL streams.
+
+The paper's headline comparison is latency-vs-robustness, which makes
+timing a first-class measurement rather than a debugging aid.  This
+package is the production-grade version of the original ad-hoc
+``TimingStats`` dicts:
+
+================  ====================================================
+``registry``      counters / gauges / fixed-bucket histograms with
+                  deterministic, worker-count-invariant merging
+``spans``         hierarchical ``span("update")/span("raycast")``
+                  timing over ``perf_counter``
+``manifest``      per-run provenance (config, seeds, version, host)
+``jsonl``         append-only JSONL event/metric stream
+``export``        JSON and Prometheus-text exporters
+``report``        ``repro report`` renderer (per-stage p50/p99 tables)
+``session``       the :class:`Telemetry` facade hot paths receive
+================  ====================================================
+
+Design contract: metric *values* recorded inside worker processes must be
+deterministic functions of the trial spec (wall-clock latencies live in
+span histograms that stay out of merged sweep snapshots), and histogram
+bucket edges are fixed so merges are associative, commutative and — via
+the canonical sorted fold in :func:`merge_snapshots` — bit-identical at
+any worker count.  See docs/observability.md.
+"""
+
+from repro.telemetry.export import to_json, to_prometheus_text
+from repro.telemetry.jsonl import TelemetryWriter, read_records
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_EDGES_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    registry_from_snapshot,
+)
+from repro.telemetry.report import load_run, render_report
+from repro.telemetry.session import Telemetry
+from repro.telemetry.spans import SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_EDGES_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "SpanTracer",
+    "Telemetry",
+    "TelemetryWriter",
+    "load_run",
+    "merge_snapshots",
+    "read_records",
+    "registry_from_snapshot",
+    "render_report",
+    "to_json",
+    "to_prometheus_text",
+]

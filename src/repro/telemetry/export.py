@@ -1,0 +1,74 @@
+"""Snapshot exporters: JSON and Prometheus text exposition format.
+
+Both exporters consume the plain snapshot dicts produced by
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`, so they work
+on live registries, JSONL records and merged sweep snapshots alike.
+
+The Prometheus output follows the text exposition format: counters as
+``_total``, histograms as cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``, and metric names sanitised to the allowed character
+set (span paths such as ``span.update/raycast`` become
+``repro_span_update_raycast``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Mapping, Union
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus_text"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _snapshot_of(source: Union[MetricsRegistry, Mapping]) -> Mapping:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def to_json(source: Union[MetricsRegistry, Mapping], indent: int = 2) -> str:
+    """Snapshot as pretty-printed, sorted-key JSON."""
+    return json.dumps(_snapshot_of(source), indent=indent, sort_keys=True)
+
+
+def to_prometheus_text(
+    source: Union[MetricsRegistry, Mapping], prefix: str = "repro"
+) -> str:
+    """Snapshot in the Prometheus text exposition format."""
+    snapshot = _snapshot_of(source)
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{edge:g}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {data['sum']}")
+        lines.append(f"{metric}_count {data['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

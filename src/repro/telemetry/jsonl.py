@@ -1,0 +1,112 @@
+"""JSONL event/metric stream: one self-describing record per line.
+
+The on-disk format mirrors the sweep checkpoint's conventions — append
+only, flushed per record so a killed run leaves at most one torn line,
+and readable by line-oriented tools.  Three record types exist:
+
+========== ==========================================================
+``manifest``  a :class:`~repro.telemetry.manifest.RunManifest` dict
+``event``     a named point-in-time occurrence with free-form fields
+``metrics``   a full registry snapshot, labelled (e.g. ``"final"``)
+========== ==========================================================
+
+``repro report`` (:mod:`repro.telemetry.report`) renders such a file
+back into per-stage latency and counter tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["TelemetryWriter", "read_records", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+class TelemetryWriter:
+    """Appends telemetry records to a JSONL file (or file-like object)."""
+
+    def __init__(self, path_or_handle, append: bool = False) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle = path_or_handle
+            self._owns_handle = False
+            self.path: Optional[str] = None
+        else:
+            self.path = str(path_or_handle)
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._handle = open(
+                self.path, "a" if append else "w", encoding="utf-8"
+            )
+            self._owns_handle = True
+        self.records_written = 0
+
+    # -- raw -----------------------------------------------------------
+    def write_record(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    # -- typed ---------------------------------------------------------
+    def manifest(self, manifest: RunManifest) -> None:
+        self.write_record({
+            "type": "manifest",
+            "format_version": FORMAT_VERSION,
+            "manifest": manifest.to_dict(),
+        })
+
+    def event(self, name: str, time: Optional[float] = None, **fields) -> None:
+        """A point-in-time occurrence (lap finished, fault fired, crash)."""
+        self.write_record({
+            "type": "event",
+            "name": name,
+            "t": time,
+            "fields": fields,
+        })
+
+    def metrics(
+        self,
+        registry_or_snapshot: Union[MetricsRegistry, Dict],
+        label: str = "final",
+    ) -> None:
+        """A full metric snapshot, e.g. at the end of a run or per trial."""
+        if isinstance(registry_or_snapshot, MetricsRegistry):
+            snapshot = registry_or_snapshot.snapshot()
+        else:
+            snapshot = registry_or_snapshot
+        self.write_record({
+            "type": "metrics",
+            "label": label,
+            "metrics": snapshot,
+        })
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path) -> List[Dict]:
+    """Parse a telemetry JSONL file; a torn final line is skipped."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed run
+    return records

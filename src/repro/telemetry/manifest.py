@@ -1,0 +1,113 @@
+"""Per-run manifests: what exactly produced this stream of metrics.
+
+A :class:`RunManifest` is the first record of every telemetry JSONL file:
+the config snapshot, the seeds, the package version and the host — enough
+to answer "can I compare these two runs?" months later.  Everything in it
+is plain data and survives a JSON round trip losslessly.
+
+Host fields are observational metadata; they are deliberately excluded
+from the determinism contract (two workers on different hosts produce
+identical *metrics* but different manifests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["RunManifest"]
+
+
+def _config_digest(config: Mapping) -> str:
+    """Stable short hash of a config snapshot (sorted-key JSON)."""
+    payload = json.dumps(config, sort_keys=True, default=str).encode()
+    return hashlib.sha256(payload).hexdigest()[:12]
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one telemetry run."""
+
+    run_id: str
+    config: Dict = field(default_factory=dict)
+    seeds: Dict[str, int] = field(default_factory=dict)
+    package: str = "repro"
+    version: str = ""
+    python: str = ""
+    platform: str = ""
+    hostname: str = ""
+    numpy: str = ""
+    created_unix: float = 0.0
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        config: Optional[Mapping] = None,
+        seeds: Optional[Mapping[str, int]] = None,
+        run_id: Optional[str] = None,
+        extra: Optional[Mapping[str, str]] = None,
+    ) -> "RunManifest":
+        """Snapshot the current environment around ``config`` and ``seeds``.
+
+        ``run_id`` defaults to a digest of the config + seeds, so reruns
+        of the same configuration share an id while different configs
+        never collide silently.
+        """
+        import numpy
+
+        from repro import __version__
+
+        config = dict(config or {})
+        seeds = {str(k): int(v) for k, v in dict(seeds or {}).items()}
+        if run_id is None:
+            run_id = _config_digest({"config": config, "seeds": seeds})
+        return cls(
+            run_id=run_id,
+            config=config,
+            seeds=seeds,
+            version=__version__,
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            hostname=socket.gethostname(),
+            numpy=numpy.__version__,
+            created_unix=time.time(),
+            extra={str(k): str(v) for k, v in dict(extra or {}).items()},
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "run_id": self.run_id,
+            "config": self.config,
+            "seeds": self.seeds,
+            "package": self.package,
+            "version": self.version,
+            "python": self.python,
+            "platform": self.platform,
+            "hostname": self.hostname,
+            "numpy": self.numpy,
+            "created_unix": self.created_unix,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunManifest":
+        return cls(
+            run_id=str(data["run_id"]),
+            config=dict(data.get("config", {})),
+            seeds={str(k): int(v) for k, v in data.get("seeds", {}).items()},
+            package=str(data.get("package", "repro")),
+            version=str(data.get("version", "")),
+            python=str(data.get("python", "")),
+            platform=str(data.get("platform", "")),
+            hostname=str(data.get("hostname", "")),
+            numpy=str(data.get("numpy", "")),
+            created_unix=float(data.get("created_unix", 0.0)),
+            extra={str(k): str(v) for k, v in data.get("extra", {}).items()},
+        )

@@ -1,0 +1,268 @@
+"""Metric families: counters, gauges, histograms with fixed bucket edges.
+
+The registry is the in-process aggregation point of the observability
+layer (see docs/observability.md).  Three deliberate constraints shape it:
+
+* **Fixed bucket edges.**  A histogram's edges are part of its identity
+  and never adapt to the data.  Two histograms of the same name recorded
+  in different worker processes therefore always share a bucket layout,
+  which is what makes merges well defined at any worker count.
+* **Deterministic merges.**  :func:`merge_snapshots` folds snapshots in a
+  canonical order (sorted by key), so the merged result is bit-identical
+  regardless of how many workers produced the parts or in which order
+  they finished.  Pairwise :meth:`Histogram.merge` is commutative and —
+  up to floating-point addition of the ``sum`` field — associative.
+* **Plain-data snapshots.**  :meth:`MetricsRegistry.snapshot` returns
+  sorted, JSON-serialisable dicts; a snapshot round-trips losslessly
+  through JSON (:func:`registry_from_snapshot`), which the JSONL event
+  stream and the sweep checkpoint format rely on.
+
+Nothing here touches the wall clock; timing *sources* live in
+:mod:`repro.telemetry.spans`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES_MS",
+    "merge_snapshots",
+    "registry_from_snapshot",
+]
+
+# Shared log-spaced latency buckets, in milliseconds.  These are a fixed
+# part of the telemetry contract: every latency histogram in the package
+# uses them unless a caller passes explicit edges, so per-worker and
+# per-trial histograms always merge cleanly.
+DEFAULT_LATENCY_EDGES_MS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Union[int, float] = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact ``sum`` and ``count``.
+
+    ``counts`` has ``len(edges) + 1`` entries: ``counts[i]`` holds values
+    ``v <= edges[i]`` (and above ``edges[i - 1]``); the final entry is the
+    overflow bucket.  Quantiles are estimated by linear interpolation
+    inside the containing bucket, so their resolution is the bucket
+    width — the price of mergeability.
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 1:
+            raise ValueError("need at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-quantile (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= rank and bucket_count > 0:
+                lo = self.edges[i - 1] if i > 0 else min(0.0, self.edges[0])
+                hi = self.edges[i] if i < len(self.edges) else self.edges[-1]
+                frac = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += bucket_count
+        return self.edges[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same name and edges into this one."""
+        if other.edges != self.edges:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge differing bucket "
+                f"edges {other.edges} into {self.edges}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_dict(self) -> Dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping) -> "Histogram":
+        hist = cls(name, data["edges"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(f"histogram {name!r}: counts/edges length mismatch")
+        hist.counts = counts
+        hist.sum = float(data["sum"])
+        hist.count = int(data["count"])
+        return hist
+
+
+class MetricsRegistry:
+    """Named metric families of one process (or one trial).
+
+    Families are created on first use (``registry.counter("laps").inc()``)
+    and addressed by plain string names; dotted/slashed hierarchies such
+    as ``span.update/raycast`` are a naming convention, not structure.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- family accessors ----------------------------------------------
+    def counter(self, name: str) -> Counter:
+        family = self._counters.get(name)
+        if family is None:
+            self._check_unused(name, self._counters)
+            family = self._counters[name] = Counter(name)
+        return family
+
+    def gauge(self, name: str) -> Gauge:
+        family = self._gauges.get(name)
+        if family is None:
+            self._check_unused(name, self._gauges)
+            family = self._gauges[name] = Gauge(name)
+        return family
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS
+    ) -> Histogram:
+        family = self._histograms.get(name)
+        if family is None:
+            self._check_unused(name, self._histograms)
+            family = self._histograms[name] = Histogram(name, edges)
+        elif family.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return family
+
+    def _check_unused(self, name: str, target: Dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not target and name in family:
+                raise ValueError(
+                    f"metric name {name!r} already used by another family"
+                )
+
+    # -- introspection -------------------------------------------------
+    def counters(self) -> Dict[str, Union[int, float]]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> Dict:
+        """Sorted, JSON-serialisable state of every family."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    # -- merging -------------------------------------------------------
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold one snapshot dict into this registry's live families."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            # Gauges have no meaningful sum; last merged snapshot wins,
+            # which is deterministic because merge_snapshots fixes order.
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name, data["edges"]).merge(
+                Histogram.from_dict(name, data)
+            )
+
+
+def registry_from_snapshot(snapshot: Mapping) -> MetricsRegistry:
+    """Rebuild a live registry from a snapshot dict."""
+    registry = MetricsRegistry()
+    registry.merge_snapshot(snapshot)
+    return registry
+
+
+def merge_snapshots(
+    snapshots: Union[Mapping[str, Mapping], Iterable[Mapping]],
+) -> Dict:
+    """Merge snapshots into one, in a canonical deterministic order.
+
+    Pass a mapping (e.g. ``{trial_id: snapshot}``) to have the fold order
+    fixed by sorted keys — the form the sweep runner uses, and the reason
+    a merged sweep snapshot is bit-identical at any worker count: float
+    ``sum`` accumulation happens in the same order no matter which worker
+    finished first.  Passing a plain iterable folds in the given order.
+    """
+    if isinstance(snapshots, Mapping):
+        ordered = [snapshots[key] for key in sorted(snapshots)]
+    else:
+        ordered = list(snapshots)
+    merged = MetricsRegistry()
+    for snapshot in ordered:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

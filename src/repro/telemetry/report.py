@@ -1,0 +1,150 @@
+"""Render a telemetry JSONL run into human-readable tables.
+
+``repro report <run.jsonl>`` prints:
+
+* the manifest header (run id, version, host, seeds);
+* a per-stage latency table built from every ``span.*`` histogram —
+  count, throughput over the spanned time, mean / p50 / p99
+  milliseconds (quantiles are bucket-interpolated, so their resolution
+  is the fixed bucket width);
+* counter totals and gauge values;
+* an event tally by name.
+
+Multiple ``metrics`` records in one file (e.g. one per trial) are merged
+in file order before rendering, using the same deterministic fold the
+sweep runner uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.telemetry.jsonl import read_records
+from repro.telemetry.registry import Histogram, merge_snapshots
+from repro.telemetry.spans import SPAN_METRIC_PREFIX
+
+__all__ = ["load_run", "render_report"]
+
+
+def load_run(path) -> Dict:
+    """Group a JSONL file's records by type.
+
+    Returns ``{"manifests": [...], "events": [...], "metrics": snapshot}``
+    where ``metrics`` is the in-order merge of every metrics record
+    (``None`` when the file carries none).
+    """
+    manifests: List[Dict] = []
+    events: List[Dict] = []
+    snapshots: List[Mapping] = []
+    for record in read_records(path):
+        kind = record.get("type")
+        if kind == "manifest":
+            manifests.append(record["manifest"])
+        elif kind == "event":
+            events.append(record)
+        elif kind == "metrics":
+            snapshots.append(record["metrics"])
+    merged: Optional[Dict] = merge_snapshots(snapshots) if snapshots else None
+    return {"manifests": manifests, "events": events, "metrics": merged}
+
+
+def _stage_rows(histograms: Mapping[str, Mapping]) -> List[Dict]:
+    rows = []
+    for name, data in histograms.items():
+        if not name.startswith(SPAN_METRIC_PREFIX):
+            continue
+        hist = Histogram.from_dict(name, data)
+        if hist.count == 0:
+            continue
+        total_s = hist.sum / 1e3  # histogram records milliseconds
+        rows.append({
+            "stage": name[len(SPAN_METRIC_PREFIX):],
+            "count": hist.count,
+            "mean_ms": hist.mean,
+            "p50_ms": hist.quantile(0.50),
+            "p99_ms": hist.quantile(0.99),
+            "throughput_hz": hist.count / total_s if total_s > 0 else 0.0,
+        })
+    rows.sort(key=lambda r: r["stage"])
+    return rows
+
+
+def render_report(path_or_run) -> str:
+    """Format one run (a path or a :func:`load_run` dict) as text."""
+    run = path_or_run if isinstance(path_or_run, dict) else load_run(path_or_run)
+    lines: List[str] = []
+
+    for manifest in run["manifests"]:
+        seeds = ", ".join(
+            f"{k}={v}" for k, v in sorted(manifest.get("seeds", {}).items())
+        )
+        lines.append(
+            f"run {manifest.get('run_id', '?')}  "
+            f"repro {manifest.get('version', '?')}  "
+            f"python {manifest.get('python', '?')}  "
+            f"host {manifest.get('hostname', '?')}"
+        )
+        if seeds:
+            lines.append(f"  seeds: {seeds}")
+
+    metrics = run["metrics"]
+    if metrics is None:
+        lines.append("(no metrics records)")
+        return "\n".join(lines)
+
+    rows = _stage_rows(metrics.get("histograms", {}))
+    if rows:
+        lines.append("")
+        lines.append(
+            f"{'stage':<32}{'count':>8}{'mean ms':>10}{'p50 ms':>10}"
+            f"{'p99 ms':>10}{'rate Hz':>10}"
+        )
+        lines.append("-" * 80)
+        for row in rows:
+            lines.append(
+                f"{row['stage']:<32}{row['count']:>8d}"
+                f"{row['mean_ms']:>10.3f}{row['p50_ms']:>10.3f}"
+                f"{row['p99_ms']:>10.3f}{row['throughput_hz']:>10.1f}"
+            )
+
+    non_span = {
+        name: data
+        for name, data in metrics.get("histograms", {}).items()
+        if not name.startswith(SPAN_METRIC_PREFIX) and data["count"] > 0
+    }
+    if non_span:
+        lines.append("")
+        lines.append(f"{'histogram':<32}{'count':>8}{'mean':>10}{'p50':>10}"
+                     f"{'p99':>10}")
+        lines.append("-" * 70)
+        for name, data in sorted(non_span.items()):
+            hist = Histogram.from_dict(name, data)
+            lines.append(
+                f"{name:<32}{hist.count:>8d}{hist.mean:>10.3f}"
+                f"{hist.quantile(0.5):>10.3f}{hist.quantile(0.99):>10.3f}"
+            )
+
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<38} {value}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<38} {value:g}")
+
+    if run["events"]:
+        tally: Dict[str, int] = {}
+        for event in run["events"]:
+            tally[event.get("name", "?")] = tally.get(event.get("name", "?"), 0) + 1
+        lines.append("")
+        lines.append("events:")
+        for name, count in sorted(tally.items()):
+            lines.append(f"  {name:<38} {count}")
+
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The per-run telemetry facade the harness threads through hot paths.
+
+A :class:`Telemetry` bundles the three pieces a run needs — a
+:class:`~repro.telemetry.registry.MetricsRegistry`, an optional JSONL
+:class:`~repro.telemetry.jsonl.TelemetryWriter`, and manifest/event
+helpers — behind one object that is cheap to pass around and safe to
+leave ``None`` (every consumer treats a missing telemetry object as
+"observability off").
+
+Typical wiring (what ``repro race --telemetry run.jsonl`` does)::
+
+    telemetry = Telemetry.to_path("run.jsonl")
+    experiment.run(condition, telemetry=telemetry)   # spans/counters flow in
+    telemetry.close()                                # flushes the final snapshot
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.telemetry.jsonl import TelemetryWriter
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import SpanTracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Registry + optional JSONL writer for one run."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        writer: Optional[TelemetryWriter] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.writer = writer
+        self._closed = False
+        self._flushed = False
+
+    @classmethod
+    def to_path(cls, path, append: bool = False) -> "Telemetry":
+        """Telemetry with a fresh registry streaming to a JSONL file."""
+        return cls(writer=TelemetryWriter(path, append=append))
+
+    # -- convenience delegates -----------------------------------------
+    def tracer(self, timing=None, prefix: str = "") -> SpanTracer:
+        """A span tracer feeding this telemetry's registry."""
+        return SpanTracer(timing=timing, registry=self.registry, prefix=prefix)
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, edges=None):
+        if edges is None:
+            return self.registry.histogram(name)
+        return self.registry.histogram(name, edges)
+
+    # -- stream records ------------------------------------------------
+    def manifest(
+        self,
+        config: Optional[Mapping] = None,
+        seeds: Optional[Mapping[str, int]] = None,
+        run_id: Optional[str] = None,
+        **extra,
+    ) -> RunManifest:
+        """Capture and (if a writer is attached) emit a run manifest."""
+        manifest = RunManifest.capture(
+            config=config, seeds=seeds, run_id=run_id, extra=extra
+        )
+        if self.writer is not None:
+            self.writer.manifest(manifest)
+        return manifest
+
+    def event(self, name: str, time: Optional[float] = None, **fields) -> None:
+        if self.writer is not None:
+            self.writer.event(name, time=time, **fields)
+
+    def flush_metrics(self, label: str = "final") -> Dict:
+        """Snapshot the registry and (if writing) append it to the stream.
+
+        Snapshots are cumulative over this telemetry's registry, and the
+        report merges every metrics record in a file *additively* (the
+        per-trial sweep layout).  Flush a given registry at most once per
+        stream; :meth:`close` skips its automatic final flush when a
+        flush already happened.
+        """
+        snapshot = self.registry.snapshot()
+        if self.writer is not None:
+            self.writer.metrics(snapshot, label=label)
+            self._flushed = True
+        return snapshot
+
+    def close(self, flush: bool = True) -> None:
+        """Close the writer, first flushing a final snapshot if none was
+        ever flushed (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if flush and not self._flushed and self.writer is not None:
+            self.writer.metrics(self.registry.snapshot(), label="final")
+        if self.writer is not None:
+            self.writer.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

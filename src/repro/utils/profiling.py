@@ -8,9 +8,10 @@ samples and reports the summary statistics the benchmark harness prints.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -49,12 +50,51 @@ class TimingStats:
     Typical use: the experiment loop records one sample per localization
     update under the key ``"update"``; the report prints mean/median/p99 in
     milliseconds.
+
+    ``max_samples`` bounds memory for long runs: each key keeps at most
+    that many raw samples, replaced by uniform reservoir sampling
+    (Vitter's Algorithm R) once the stream exceeds the bound.  Counts,
+    totals and therefore means stay *exact* via running accumulators;
+    medians/percentiles/histograms become estimates over the reservoir.
+    ``None`` (the default) keeps every sample, as before.
     """
 
     samples: Dict[str, List[float]] = field(default_factory=dict)
+    max_samples: Optional[int] = None
+    # Exact per-key accumulators; lazily synced so instances built with a
+    # pre-seeded ``samples`` dict keep working.
+    _totals: Dict[str, float] = field(default_factory=dict, repr=False)
+    _counts: Dict[str, int] = field(default_factory=dict, repr=False)
+    _rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1 (or None)")
+
+    def _sync(self, name: str) -> None:
+        if name not in self._counts:
+            values = self.samples.get(name, [])
+            self._counts[name] = len(values)
+            self._totals[name] = float(sum(values))
+
+    def _reservoir_rng(self) -> random.Random:
+        if self._rng is None:
+            # Fixed seed: which samples survive the reservoir is
+            # repeatable run to run.
+            self._rng = random.Random(0x5EED)
+        return self._rng
 
     def record(self, name: str, seconds: float) -> None:
-        self.samples.setdefault(name, []).append(seconds)
+        self._sync(name)
+        self._counts[name] += 1
+        self._totals[name] += seconds
+        bucket = self.samples.setdefault(name, [])
+        if self.max_samples is None or len(bucket) < self.max_samples:
+            bucket.append(seconds)
+        else:
+            j = self._reservoir_rng().randrange(self._counts[name])
+            if j < self.max_samples:
+                bucket[j] = seconds
 
     def time(self, name: str):
         """Return a context manager that records its elapsed time as ``name``."""
@@ -68,10 +108,15 @@ class TimingStats:
         return _Recorder()
 
     def count(self, name: str) -> int:
+        if name in self._counts:
+            return self._counts[name]
         return len(self.samples.get(name, []))
 
     def mean_ms(self, name: str) -> float:
-        return float(np.mean(self.samples[name])) * 1e3
+        values = self.samples[name]
+        if self._counts.get(name, 0) > 0:
+            return self._totals[name] / self._counts[name] * 1e3
+        return float(np.mean(values)) * 1e3
 
     def median_ms(self, name: str) -> float:
         return float(np.median(self.samples[name])) * 1e3
@@ -80,16 +125,28 @@ class TimingStats:
         return float(np.percentile(self.samples[name], q)) * 1e3
 
     def total_s(self, name: str) -> float:
+        if name in self._totals:
+            return self._totals[name]
         return float(np.sum(self.samples.get(name, [])))
 
     def merge(self, other: "TimingStats") -> None:
         """Fold another instance's samples into this one.
 
         The sweep runner times every trial in the orchestrating process
-        and merges per-batch stats into a sweep-wide accumulator.
+        and merges per-batch stats into a sweep-wide accumulator.  Exact
+        counts and totals carry over even when either side is bounded.
         """
-        for name, values in other.samples.items():
-            self.samples.setdefault(name, []).extend(values)
+        for name in sorted(set(other.samples) | set(other._counts)):
+            self._sync(name)
+            self._counts[name] += other.count(name)
+            self._totals[name] += other.total_s(name)
+            bucket = self.samples.setdefault(name, [])
+            bucket.extend(other.samples.get(name, []))
+            if self.max_samples is not None and len(bucket) > self.max_samples:
+                keep = sorted(self._reservoir_rng().sample(
+                    range(len(bucket)), self.max_samples
+                ))
+                self.samples[name] = [bucket[i] for i in keep]
 
     def histogram_ms(self, name: str, bins: int = 12):
         """``(counts, edges_ms)`` histogram of the samples under ``name``.
@@ -123,9 +180,11 @@ class TimingStats:
         for name, values in self.samples.items():
             arr = np.asarray(values) * 1e3
             out[name] = {
-                "mean_ms": float(arr.mean()),
+                # mean/count come from the exact accumulators, so they
+                # survive reservoir truncation.
+                "mean_ms": self.mean_ms(name),
                 "median_ms": float(np.median(arr)),
                 "p99_ms": float(np.percentile(arr, 99)),
-                "count": float(arr.size),
+                "count": float(self.count(name)),
             }
         return out

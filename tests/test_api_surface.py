@@ -15,6 +15,7 @@ TOP_LEVEL_EXPORTS = [
     "CartographerConfig",
     "ExperimentCondition",
     "LapExperiment",
+    "Localizer",
     "OccupancyGrid",
     "SimConfig",
     "Simulator",
@@ -22,6 +23,7 @@ TOP_LEVEL_EXPORTS = [
     "format_table1",
     "generate_track",
     "load_map_yaml",
+    "make_localizer",
     "make_synpf",
     "make_vanilla_mcl",
     "replica_test_track",
@@ -57,6 +59,8 @@ SUBPACKAGES = {
         "particle_spread", "make_synpf", "make_vanilla_mcl",
         "FusionConfig", "OdometryImuEkf", "kld_sample_size",
         "occupied_bins", "LocalizationSupervisor", "SupervisorConfig",
+        "Localizer", "SynPFLocalizer", "CartographerLocalizer",
+        "make_localizer", "LOCALIZER_METHODS",
     ],
     "repro.maps": [
         "OccupancyGrid", "Raceline", "TrackSpec", "generate_track",
@@ -95,6 +99,7 @@ SUBPACKAGES = {
         "SweepRunner", "SweepResult", "SweepStats", "TrialSpec",
         "TrialResult", "TrialFailure", "make_lap_conditions",
         "make_lap_specs", "run_lap_trial", "summarize_lap_sweep",
+        "merge_sweep_telemetry",
     ],
     "repro.scenarios": [
         "ScenarioSpec", "FaultEvent", "GripChange", "OdometryFault",
@@ -110,6 +115,13 @@ SUBPACKAGES = {
         "SE2", "wrap_to_pi", "angle_diff", "circular_mean", "circular_std",
         "make_rng", "derive_seed", "split_rng", "Stopwatch", "TimingStats",
         "rot2d", "transform_points",
+    ],
+    "repro.telemetry": [
+        "Counter", "Gauge", "Histogram", "MetricsRegistry",
+        "DEFAULT_LATENCY_EDGES_MS", "merge_snapshots",
+        "registry_from_snapshot", "SpanTracer", "RunManifest",
+        "TelemetryWriter", "read_records", "Telemetry",
+        "load_run", "render_report", "to_json", "to_prometheus_text",
     ],
 }
 

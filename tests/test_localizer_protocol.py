@@ -1,0 +1,194 @@
+"""Protocol-conformance tests for the public localizer API.
+
+Every method name accepted by :func:`make_localizer` must yield an object
+satisfying the :class:`Localizer` protocol and behave identically from a
+consumer's point of view: scan-object updates, ``latency_ms`` semantics,
+a JSON-serialisable ``telemetry()`` snapshot, and span histograms flowing
+into an attached registry.  The deprecated per-engine latency accessors
+must keep working while warning.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import (
+    LOCALIZER_METHODS,
+    CartographerLocalizer,
+    Localizer,
+    SynPFLocalizer,
+    make_localizer,
+)
+from repro.core.motion_models import OdometryDelta
+from repro.core.supervisor import LocalizationSupervisor, SupervisorConfig
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+from repro.telemetry import MetricsRegistry
+
+# Deliberately small engines: conformance, not accuracy, is under test.
+FAST_OVERRIDES = {
+    "synpf": {"num_particles": 150, "num_beams": 20, "seed": 3,
+              "range_method": "ray_marching"},
+    "vanilla_mcl": {"num_particles": 150, "num_beams": 20, "seed": 3,
+                    "range_method": "ray_marching"},
+    "cartographer": {},
+}
+
+
+def build(method, track, registry=None):
+    return make_localizer(
+        method, track.grid, registry=registry, **FAST_OVERRIDES[method]
+    )
+
+
+@pytest.fixture(scope="module")
+def scan_source(small_track):
+    lidar = SimulatedLidar(
+        small_track.grid,
+        LidarConfig(range_noise_std=0.0, dropout_prob=0.0),
+        seed=9,
+    )
+    pose = small_track.centerline.start_pose()
+    return pose, lidar.scan(pose)
+
+
+@pytest.mark.parametrize("method", LOCALIZER_METHODS)
+class TestProtocolConformance:
+    def test_satisfies_protocol(self, method, small_track):
+        localizer = build(method, small_track)
+        assert isinstance(localizer, Localizer)
+        assert localizer.consumes_scan is True
+
+    def test_update_returns_pose(self, method, small_track, scan_source):
+        pose, scan = scan_source
+        localizer = build(method, small_track)
+        localizer.initialize(pose)
+        estimate = localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        estimate = np.asarray(estimate, dtype=float)
+        assert estimate.shape == (3,)
+        assert np.all(np.isfinite(estimate))
+        # `pose` tracks the estimate (SynPF recomputes it from the
+        # post-resample cloud, so equality is physical, not bitwise).
+        assert np.hypot(*(localizer.pose[:2] - estimate[:2])) < 0.05
+        # Stationary with a clean scan: the estimate stays near the truth.
+        assert np.hypot(*(estimate[:2] - pose[:2])) < 1.0
+
+    def test_latency_accessor(self, method, small_track, scan_source):
+        pose, scan = scan_source
+        localizer = build(method, small_track)
+        with pytest.raises(RuntimeError):
+            localizer.latency_ms()
+        localizer.initialize(pose)
+        localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        assert localizer.latency_ms() > 0.0
+
+    def test_telemetry_snapshot_serialisable(self, method, small_track,
+                                             scan_source):
+        pose, scan = scan_source
+        localizer = build(method, small_track)
+        localizer.initialize(pose)
+        localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        snapshot = localizer.telemetry()
+        assert "timing" in snapshot
+        assert snapshot["timing"]["update"]["count"] == 1.0
+        json.dumps(snapshot)  # must survive the JSONL stream
+
+    def test_registry_receives_span_histograms(self, method, small_track,
+                                               scan_source):
+        pose, scan = scan_source
+        registry = MetricsRegistry()
+        localizer = build(method, small_track, registry=registry)
+        localizer.initialize(pose)
+        localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        histograms = registry.histograms()
+        assert histograms["span.update"].count == 1
+        # The update span has instrumented children in both engines.
+        assert any("/" in name for name in histograms)
+
+
+class TestFactory:
+    def test_unknown_method(self, small_track):
+        with pytest.raises(ValueError, match="unknown method"):
+            make_localizer("amcl", small_track.grid)
+
+    def test_cartographer_rejects_pf_overrides(self, small_track):
+        with pytest.raises(ValueError, match="config"):
+            make_localizer("cartographer", small_track.grid, num_particles=10)
+
+    def test_adapter_types(self, small_track):
+        assert isinstance(build("synpf", small_track), SynPFLocalizer)
+        assert isinstance(build("vanilla_mcl", small_track), SynPFLocalizer)
+        assert isinstance(build("cartographer", small_track),
+                          CartographerLocalizer)
+
+    def test_only_synpf_exposes_global_reinit(self, small_track):
+        assert hasattr(build("synpf", small_track), "initialize_global")
+        assert not hasattr(build("cartographer", small_track),
+                           "initialize_global")
+
+
+class TestDeprecatedAccessors:
+    def test_synpf_mean_update_latency_warns(self, small_track, scan_source):
+        pose, scan = scan_source
+        localizer = build("synpf", small_track)
+        localizer.initialize(pose)
+        localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        with pytest.warns(DeprecationWarning, match="latency_ms"):
+            legacy = localizer.pf.mean_update_latency_ms()
+        assert legacy == pytest.approx(localizer.latency_ms())
+
+    def test_cartographer_mean_match_latency_warns(self, small_track,
+                                                   scan_source):
+        pose, scan = scan_source
+        localizer = build("cartographer", small_track)
+        localizer.initialize(pose)
+        localizer.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        with pytest.warns(DeprecationWarning):
+            legacy = localizer.carto.mean_match_latency_ms()
+        assert legacy > 0.0
+
+
+class TestProtocolConsumers:
+    def test_supervisor_accepts_scan_objects(self, small_track, scan_source):
+        pose, scan = scan_source
+        registry = MetricsRegistry()
+        localizer = build("synpf", small_track)
+        supervisor = LocalizationSupervisor(
+            localizer, small_track.grid,
+            SupervisorConfig(sensor_max_range=LidarConfig().max_range),
+            registry=registry,
+        )
+        supervisor.initialize(pose)
+        report = supervisor.update(OdometryDelta(0, 0, 0, 0, 0.025), scan)
+        assert report.healthy
+        assert registry.counters()["supervisor.updates"] == 1
+        assert registry.histograms()["supervisor.health"].count == 1
+
+    def test_supervisor_legacy_signature_still_works(self, small_track,
+                                                     scan_source):
+        pose, scan = scan_source
+        from repro.core.particle_filter import make_synpf
+
+        pf = make_synpf(small_track.grid, **FAST_OVERRIDES["synpf"])
+        supervisor = LocalizationSupervisor(
+            pf, small_track.grid,
+            SupervisorConfig(sensor_max_range=LidarConfig().max_range),
+        )
+        supervisor.initialize(pose)
+        report = supervisor.update(
+            OdometryDelta(0, 0, 0, 0, 0.025), scan.ranges, scan.angles
+        )
+        assert report.healthy
+
+    def test_replay_drives_protocol_localizers(self, small_track, scan_source):
+        pose, scan = scan_source
+        from repro.eval.trace import TraceRecorder, replay
+
+        recorder = TraceRecorder(beam_angles=scan.angles)
+        for i in range(3):
+            recorder.append(0.025 * i, pose,
+                            OdometryDelta(0, 0, 0, 0, 0.025), scan.ranges)
+        trace = recorder.build()
+        result = replay(trace, build("synpf", small_track))
+        assert result["mean_error"] < 1.0
+        assert result["estimates"].shape == (3, 3)

@@ -1,0 +1,398 @@
+"""Tests for the observability layer: metric families, deterministic
+merges, span tracing, the JSONL stream and its renderers.
+
+The load-bearing properties are the merge guarantees: histogram merging
+must be associative and commutative (values chosen as dyadic rationals
+so float sums are exact), and :func:`merge_snapshots` over a
+``{trial_id: snapshot}`` mapping must be bit-identical no matter how the
+snapshots were partitioned across workers or in which order they
+arrived — that is what makes sweep telemetry reproducible at any
+``--workers`` count.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.eval.runner import TrialResult, merge_sweep_telemetry
+from repro.telemetry import (
+    DEFAULT_LATENCY_EDGES_MS,
+    Histogram,
+    MetricsRegistry,
+    RunManifest,
+    SpanTracer,
+    Telemetry,
+    TelemetryWriter,
+    load_run,
+    merge_snapshots,
+    read_records,
+    registry_from_snapshot,
+    render_report,
+    to_json,
+    to_prometheus_text,
+)
+from repro.utils.profiling import TimingStats
+
+EDGES = (0.5, 1.0, 2.0, 4.0)
+
+
+def _hist(name, values, edges=EDGES):
+    hist = Histogram(name, edges)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = _hist("h", [0.25, 0.5, 0.75, 3.0, 100.0])
+        # counts: (-inf, 0.5], (0.5, 1], (1, 2], (2, 4], overflow
+        assert hist.counts == [2, 1, 0, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(104.5)
+
+    def test_mean_and_empty_quantile(self):
+        hist = Histogram("h", EDGES)
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        hist.observe(1.5)
+        assert hist.mean == 1.5
+
+    def test_quantile_is_bucket_bounded(self):
+        hist = _hist("h", [1.5] * 100)
+        # All mass in the (1, 2] bucket: any quantile lands inside it.
+        for q in (0.01, 0.5, 0.99):
+            assert 1.0 <= hist.quantile(q) <= 2.0
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_merge_rejects_differing_edges(self):
+        with pytest.raises(ValueError):
+            _hist("h", []).merge(Histogram("h", (0.5, 1.0)))
+
+    def test_dict_round_trip(self):
+        hist = _hist("h", [0.25, 3.0])
+        clone = Histogram.from_dict("h", json.loads(json.dumps(hist.to_dict())))
+        assert clone.counts == hist.counts
+        assert clone.sum == hist.sum
+        assert clone.count == hist.count
+        assert clone.edges == hist.edges
+
+    def test_merge_commutative_and_associative(self):
+        # Dyadic-rational observations: float addition is exact, so the
+        # assertion is equality, not approx.
+        parts = [
+            [0.25, 0.5, 1.25], [3.5, 0.75], [2.25, 2.25, 100.0],
+        ]
+
+        def merged(order):
+            acc = Histogram("h", EDGES)
+            for i in order:
+                acc.merge(_hist("h", parts[i]))
+            return acc.to_dict()
+
+        baseline = merged([0, 1, 2])
+        for order in ([2, 1, 0], [1, 0, 2], [0, 2, 1]):
+            assert merged(order) == baseline
+
+
+class TestRegistry:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        registry.counter("laps").inc()
+        registry.counter("laps").inc(3)
+        assert registry.counters() == {"laps": 4}
+        with pytest.raises(ValueError):
+            registry.counter("laps").inc(-1)
+
+    def test_cross_family_name_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_histogram_edge_conflict(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", EDGES)
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 2.0))
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("laps").inc(2)
+        registry.gauge("load").set(37.5)
+        registry.histogram("h", EDGES).observe(1.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        clone = registry_from_snapshot(snapshot)
+        assert clone.snapshot() == registry.snapshot()
+
+
+class TestMergeSnapshots:
+    def _trial_snapshot(self, i):
+        registry = MetricsRegistry()
+        registry.counter("trials").inc()
+        registry.counter("laps").inc(i % 3)
+        hist = registry.histogram("lap_time_s", EDGES)
+        hist.observe(0.25 * (i + 1))
+        hist.observe(2.25)
+        return registry.snapshot()
+
+    def test_worker_count_invariance(self):
+        """The merged snapshot is bit-identical for any partitioning and
+        completion order — the ``--workers 1`` vs ``--workers 4`` contract."""
+        snapshots = {f"trial-{i:03d}": self._trial_snapshot(i) for i in range(8)}
+
+        baseline = json.dumps(merge_snapshots(snapshots), sort_keys=True)
+        # Same mapping assembled in reversed / interleaved insertion order,
+        # as if workers finished in a different sequence.
+        shuffled = {}
+        for key in list(snapshots)[::-1]:
+            shuffled[key] = snapshots[key]
+        assert json.dumps(merge_snapshots(shuffled), sort_keys=True) == baseline
+        interleaved = {}
+        for key in list(snapshots)[1::2] + list(snapshots)[0::2]:
+            interleaved[key] = snapshots[key]
+        assert (json.dumps(merge_snapshots(interleaved), sort_keys=True)
+                == baseline)
+
+    def test_merged_totals(self):
+        snapshots = {f"t{i}": self._trial_snapshot(i) for i in range(4)}
+        merged = merge_snapshots(snapshots)
+        assert merged["counters"]["trials"] == 4
+        assert merged["histograms"]["lap_time_s"]["count"] == 8
+
+    def test_merge_sweep_telemetry_order_invariant(self):
+        records = [
+            TrialResult(trial_id=f"trial-{i:03d}", seed=i,
+                        metrics={"telemetry": self._trial_snapshot(i)})
+            for i in range(6)
+        ]
+        baseline = json.dumps(merge_sweep_telemetry(records), sort_keys=True)
+        reordered = records[3:] + records[:3]
+        assert (json.dumps(merge_sweep_telemetry(reordered), sort_keys=True)
+                == baseline)
+
+    def test_merge_sweep_telemetry_skips_missing(self):
+        # Pre-telemetry checkpoint records carry no snapshot; they are
+        # skipped rather than crashing the merge.
+        records = [
+            TrialResult(trial_id="old", seed=0, metrics={"crashes": 0}),
+            TrialResult(trial_id="new", seed=1,
+                        metrics={"telemetry": self._trial_snapshot(1)}),
+        ]
+        merged = merge_sweep_telemetry(records)
+        assert merged["counters"]["trials"] == 1
+
+
+class TestSpanTracer:
+    def test_paths_nest(self):
+        registry = MetricsRegistry()
+        tracer = SpanTracer(registry=registry)
+        with tracer.span("update"):
+            with tracer.span("raycast"):
+                pass
+            with tracer.span("resample"):
+                pass
+        names = set(registry.histograms())
+        assert names == {"span.update", "span.update/raycast",
+                         "span.update/resample"}
+        assert tracer.depth == 0
+
+    def test_timing_shim_gets_leaf_names(self):
+        timing = TimingStats()
+        tracer = SpanTracer(timing=timing)
+        with tracer.span("update"):
+            with tracer.span("raycast"):
+                pass
+        assert timing.count("update") == 1
+        assert timing.count("raycast") == 1
+
+    def test_no_sinks_still_runs(self):
+        tracer = SpanTracer()
+        with tracer.span("update") as span:
+            x = 1 + 1
+        assert x == 2
+        assert span.elapsed >= 0.0
+
+    def test_prefix_namespaces_paths(self):
+        registry = MetricsRegistry()
+        tracer = SpanTracer(registry=registry, prefix="synpf")
+        with tracer.span("update"):
+            pass
+        assert "span.synpf/update" in registry.histograms()
+
+
+class TestJsonlStream:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("laps").inc(2)
+        with TelemetryWriter(path) as writer:
+            writer.manifest(RunManifest.capture(config={"method": "synpf"},
+                                               seeds={"condition": 7}))
+            writer.event("lap", time=12.5, lap=1, valid=True)
+            writer.metrics(registry, label="final")
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["manifest", "event", "metrics"]
+        assert records[0]["manifest"]["seeds"] == {"condition": 7}
+        assert records[1]["fields"]["lap"] == 1
+        assert records[2]["metrics"]["counters"]["laps"] == 2
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.event("lap", time=1.0)
+        with open(path, "a") as handle:
+            handle.write('{"type": "event", "na')  # killed mid-write
+        records = read_records(path)
+        assert len(records) == 1
+
+    def test_file_like_sink(self):
+        sink = io.StringIO()
+        writer = TelemetryWriter(sink)
+        writer.event("tick")
+        assert json.loads(sink.getvalue())["type"] == "event"
+
+    def test_manifest_run_id_is_config_digest(self):
+        a = RunManifest.capture(config={"m": "synpf"}, seeds={"s": 1})
+        b = RunManifest.capture(config={"m": "synpf"}, seeds={"s": 1})
+        c = RunManifest.capture(config={"m": "synpf"}, seeds={"s": 2})
+        assert a.run_id == b.run_id
+        assert a.run_id != c.run_id
+        clone = RunManifest.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert clone == a
+
+
+class TestTelemetrySession:
+    def test_flushes_exactly_once(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry.to_path(path)
+        telemetry.counter("laps").inc()
+        telemetry.flush_metrics(label="run")
+        telemetry.close()  # must NOT append a second cumulative snapshot
+        metrics = [r for r in read_records(path) if r["type"] == "metrics"]
+        assert len(metrics) == 1
+        assert load_run(path)["metrics"]["counters"]["laps"] == 1
+
+    def test_close_flushes_when_never_flushed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Telemetry.to_path(path) as telemetry:
+            telemetry.counter("laps").inc(3)
+        assert load_run(path)["metrics"]["counters"]["laps"] == 3
+
+    def test_registry_only_mode_needs_no_writer(self):
+        telemetry = Telemetry()
+        telemetry.counter("x").inc()
+        telemetry.event("ignored")  # no writer: a no-op, not an error
+        snapshot = telemetry.flush_metrics()
+        assert snapshot["counters"]["x"] == 1
+        telemetry.close()
+
+
+class TestReportAndExport:
+    def _write_run(self, path):
+        with Telemetry.to_path(path) as telemetry:
+            telemetry.manifest(config={"method": "synpf"}, seeds={"c": 7})
+            tracer = telemetry.tracer()
+            for _ in range(4):
+                with tracer.span("update"):
+                    with tracer.span("raycast"):
+                        pass
+            telemetry.counter("experiment.laps.completed").inc(2)
+            telemetry.gauge("experiment.latency_ms").set(1.5)
+            telemetry.event("lap", time=10.0, lap=1)
+            telemetry.event("lap", time=20.0, lap=2)
+
+    def test_render_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_run(path)
+        text = render_report(str(path))
+        assert "update/raycast" in text
+        assert "p99 ms" in text
+        assert "experiment.laps.completed" in text
+        assert "lap" in text
+
+    def test_report_without_metrics(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.event("tick")
+        assert "(no metrics records)" in render_report(str(path))
+
+    def test_json_export_round_trips(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", EDGES).observe(1.5)
+        assert json.loads(to_json(registry))["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("laps").inc(2)
+        registry.gauge("load").set(0.5)
+        registry.histogram("span.update/raycast", EDGES).observe(1.5)
+        text = to_prometheus_text(registry)
+        assert "repro_laps_total 2" in text
+        assert "repro_load 0.5" in text
+        # Buckets are cumulative and end with +Inf == _count.
+        assert 'repro_span_update_raycast_bucket{le="2"} 1' in text
+        assert 'repro_span_update_raycast_bucket{le="+Inf"} 1' in text
+        assert "repro_span_update_raycast_count 1" in text
+
+
+class TestBoundedTimingStats:
+    def test_reservoir_bounds_samples_exact_stats(self):
+        timing = TimingStats(max_samples=16)
+        for i in range(1000):
+            timing.record("update", 0.001 * (i + 1))
+        assert len(timing.samples["update"]) == 16
+        assert timing.count("update") == 1000
+        # Mean and total come from exact accumulators, not the reservoir.
+        assert timing.total_s("update") == pytest.approx(0.001 * 1000 * 1001 / 2)
+        assert timing.mean_ms("update") == pytest.approx(500.5, rel=1e-9)
+
+    def test_unbounded_default_unchanged(self):
+        timing = TimingStats()
+        for i in range(100):
+            timing.record("update", 0.001)
+        assert len(timing.samples["update"]) == 100
+
+    def test_reservoir_is_deterministic(self):
+        def run():
+            timing = TimingStats(max_samples=8)
+            for i in range(200):
+                timing.record("x", float(i))
+            return list(timing.samples["x"])
+
+        assert run() == run()
+
+    def test_bounded_merge_keeps_exact_counts(self):
+        a = TimingStats(max_samples=8)
+        b = TimingStats(max_samples=8)
+        for i in range(50):
+            a.record("x", 1.0)
+            b.record("x", 3.0)
+        a.merge(b)
+        assert a.count("x") == 100
+        assert a.mean_ms("x") == pytest.approx(2000.0)
+        assert len(a.samples["x"]) <= 8
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            TimingStats(max_samples=0)
+
+
+class TestDefaultEdges:
+    def test_strictly_increasing(self):
+        assert all(b > a for a, b in
+                   zip(DEFAULT_LATENCY_EDGES_MS, DEFAULT_LATENCY_EDGES_MS[1:]))
+
+    def test_covers_plausible_latencies(self):
+        hist = Histogram("h", DEFAULT_LATENCY_EDGES_MS)
+        hist.observe(1.25)   # the paper's SynPF scan-match latency
+        hist.observe(50.0)
+        assert hist.counts[-1] == 0  # nothing in overflow
