@@ -13,6 +13,7 @@ run without writing Python:
 ``sweep``                 parallel, resumable condition sweep (Table I grid)
 ``scenario``              list / show / run declarative fault scenarios
 ``campaign``              scenario x method x trial robustness scorecard
+``verify``                differential / metamorphic / golden verification
 ``report``                render a telemetry JSONL run into latency tables
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
@@ -134,6 +135,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--resolution", type=float, default=None,
                             help="override track resolution on every scenario")
     p_campaign.add_argument("--quiet", action="store_true")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="cross-check the localization stack: differential raycast / "
+             "localizer oracles, metamorphic properties, golden traces",
+    )
+    p_verify.add_argument("--suite",
+                          choices=("differential", "metamorphic", "golden",
+                                   "all"),
+                          default="all")
+    p_verify.add_argument("--queries", type=int, default=10_000,
+                          help="raycast-oracle query count (differential)")
+    p_verify.add_argument("--batch-size", type=int, default=2500,
+                          help="queries per oracle batch (a sweep trial)")
+    p_verify.add_argument("--seed", type=int, default=7,
+                          help="base seed; batch seeds derive from it")
+    p_verify.add_argument("--workers", type=int, default=1,
+                          help="worker processes (report is bit-identical "
+                               "at any worker count)")
+    p_verify.add_argument("--methods", default="synpf,cartographer",
+                          help="comma-separated localizers for the "
+                               "differential / metamorphic suites")
+    p_verify.add_argument("--trace-seed", type=int, default=5,
+                          help="seed of the shared reference scan stream")
+    p_verify.add_argument("--scans", type=int, default=25,
+                          help="reference-stream length (localizer oracle)")
+    p_verify.add_argument("--golden-dir", default=None,
+                          help="golden-trace directory "
+                               "(default: tests/golden)")
+    p_verify.add_argument("--update-golden", action="store_true",
+                          help="re-record golden traces instead of "
+                               "comparing against them")
+    p_verify.add_argument("--report", default=None, metavar="PATH",
+                          help="write the full JSON verification report here")
+    p_verify.add_argument("--timeout", type=float, default=None,
+                          help="per-trial timeout in seconds (workers >= 2)")
+    p_verify.add_argument("--quiet", action="store_true",
+                          help="suppress per-trial progress lines")
 
     p_report = sub.add_parser(
         "report",
@@ -396,19 +435,76 @@ def main(argv=None) -> int:
             print(f"wrote {args.scorecard}")
         return 1 if sweep.failures else 0
 
+    if args.command == "verify":
+        import json
+
+        from repro.verify.suite import (
+            VerifyConfig, render_verify_report, run_verify,
+        )
+
+        def progress(stats, record):
+            if args.quiet:
+                return
+            status = "ok" if record.ok else f"FAILED ({record.kind})"
+            print(f"  [{stats.completed}/{stats.total}] "
+                  f"{record.trial_id}: {status}  "
+                  f"(attempts {record.attempts}, {record.elapsed_s:.1f} s)")
+
+        try:
+            config = VerifyConfig(
+                suite=args.suite,
+                n_queries=args.queries,
+                batch_size=args.batch_size,
+                seed=args.seed,
+                workers=args.workers,
+                methods=tuple(m for m in args.methods.split(",") if m),
+                trace_seed=args.trace_seed,
+                n_scans=args.scans,
+                golden_dir=args.golden_dir,
+                update_golden=args.update_golden,
+                timeout_s=args.timeout,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = run_verify(config, progress=progress)
+        print()
+        print(render_verify_report(report))
+        if args.report:
+            with open(args.report, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.report}")
+        return 0 if report.ok else 1
+
     if args.command == "report":
+        import os
+
         from repro.telemetry import (
             load_run, render_report, to_json, to_prometheus_text,
         )
 
-        if args.format == "text":
-            print(render_report(args.run))
-        else:
+        # A report never warrants a traceback: missing or mangled input
+        # is an operator mistake, answered with a message and exit 2.
+        if not os.path.isfile(args.run):
+            print(f"error: telemetry run not found: {args.run}",
+                  file=sys.stderr)
+            return 2
+        try:
             run = load_run(args.run)
-            if args.format == "json":
-                print(to_json(run["metrics"]))
-            else:
-                print(to_prometheus_text(run["metrics"]), end="")
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: could not read telemetry run {args.run}: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "text":
+            print(render_report(run))
+        elif run["metrics"] is None:
+            print(f"error: {args.run} carries no metrics records "
+                  "(torn or non-telemetry JSONL?)", file=sys.stderr)
+            return 2
+        elif args.format == "json":
+            print(to_json(run["metrics"]))
+        else:
+            print(to_prometheus_text(run["metrics"]), end="")
         return 0
 
     if args.command == "latency":

@@ -1,0 +1,110 @@
+"""Differential & metamorphic verification of the localization stack.
+
+The paper's claims rest on the localizers producing trustworthy poses
+under degraded odometry — but trust needs machinery.  This package turns
+correctness from ad-hoc tests into a gated, reusable tool with four
+layers (see docs/verification.md):
+
+================  =====================================================
+``generators``    seeded, deterministic inputs: maps, queries, traces
+``differential``  the same queries through all four raycast backends /
+                  the same scan stream through both localizers, with
+                  per-pair divergence quantiles gated by tolerance
+``metamorphic``   property checks on whole localizers: rigid-transform
+                  equivariance, seed determinism, scan-subsample
+                  degradation monotonicity, odometry time reversal
+``invariants``    runtime checks pluggable into any ``Localizer`` —
+                  weights form a distribution, covariance PSD, pose in
+                  bounds, particle count conserved — surfaced as
+                  structured :class:`InvariantViolation` telemetry
+``golden``        compressed JSONL reference runs under ``tests/golden``
+                  with a tolerance-gated comparator and an explicit
+                  ``--update-golden`` refresh path
+``suite``         ``repro verify`` orchestration: fans every check out
+                  through :class:`~repro.eval.runner.SweepRunner` and
+                  stamps the report with a
+                  :class:`~repro.telemetry.manifest.RunManifest`
+================  =====================================================
+"""
+
+from repro.verify.differential import (
+    DEFAULT_PAIR_TOLERANCES_CELLS,
+    PairDivergence,
+    RaycastDifferentialReport,
+    LocalizerDifferentialReport,
+    run_localizer_differential,
+    run_raycast_differential,
+)
+from repro.verify.generators import (
+    random_free_queries,
+    random_room_grid,
+    reference_trace,
+    resolve_map,
+)
+from repro.verify.golden import (
+    GOLDEN_FORMAT_VERSION,
+    GoldenComparison,
+    GoldenMismatch,
+    compare_golden,
+    default_golden_specs,
+    golden_path,
+    record_golden,
+)
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantError,
+    InvariantViolation,
+    attach_invariants,
+)
+from repro.verify.metamorphic import (
+    METAMORPHIC_CHECKS,
+    MetamorphicResult,
+    check_rigid_transform_equivariance,
+    check_scan_subsample_monotonicity,
+    check_seed_determinism,
+    check_time_reversal,
+    run_metamorphic_suite,
+)
+from repro.verify.suite import (
+    VERIFY_SUITES,
+    VerifyConfig,
+    VerifyReport,
+    render_verify_report,
+    run_verify,
+)
+
+__all__ = [
+    "DEFAULT_PAIR_TOLERANCES_CELLS",
+    "GOLDEN_FORMAT_VERSION",
+    "GoldenComparison",
+    "GoldenMismatch",
+    "InvariantChecker",
+    "InvariantError",
+    "InvariantViolation",
+    "LocalizerDifferentialReport",
+    "METAMORPHIC_CHECKS",
+    "MetamorphicResult",
+    "PairDivergence",
+    "RaycastDifferentialReport",
+    "VERIFY_SUITES",
+    "VerifyConfig",
+    "VerifyReport",
+    "attach_invariants",
+    "check_rigid_transform_equivariance",
+    "check_scan_subsample_monotonicity",
+    "check_seed_determinism",
+    "check_time_reversal",
+    "compare_golden",
+    "default_golden_specs",
+    "golden_path",
+    "random_free_queries",
+    "random_room_grid",
+    "record_golden",
+    "reference_trace",
+    "render_verify_report",
+    "resolve_map",
+    "run_localizer_differential",
+    "run_metamorphic_suite",
+    "run_raycast_differential",
+    "run_verify",
+]

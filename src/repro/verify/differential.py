@@ -1,0 +1,523 @@
+"""Differential oracles: N implementations of one contract, cross-checked.
+
+Two oracles live here, following the scan-matcher-validation tradition of
+checking a fast implementation against an exact one (rangelibc validates
+every method against its cell-by-cell traversal; Cartographer check-sums
+its real-time matcher against branch-and-bound refinement):
+
+* **Raycast oracle** — the same ``(x, y, theta)`` query set through every
+  registered backend (``bresenham``, ``ray_marching``, ``cddt``, ``lut``),
+  reporting per-pair divergence as *exact integer bucket counts* over
+  fixed cell-unit edges.  Quantile gates are evaluated as "the q-quantile
+  lies at or below edge E", a pure counting statement — so a fanned-out
+  run merges to bit-identical verdicts at any worker count.
+* **Localizer oracle** — the same recorded scan stream replayed through
+  both localizer families (SynPF and Cartographer), reporting each
+  method's ground-truth error plus their pairwise estimate divergence.
+
+Tolerances are configurable per pair and documented in
+docs/verification.md; the defaults encode each backend's *designed*
+accuracy envelope (the CDDT family's heading discretisation is
+documentedly loose at grazing incidence, hence its wider tail bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DIVERGENCE_EDGES_CELLS",
+    "DEFAULT_PAIR_TOLERANCES_CELLS",
+    "DEFAULT_LOCALIZER_TOLERANCES_M",
+    "PairDivergence",
+    "RaycastDifferentialReport",
+    "LocalizerDifferentialReport",
+    "raycast_batch_divergence",
+    "merge_pair_divergences",
+    "run_raycast_differential",
+    "run_localizer_differential",
+]
+
+# Fixed cell-unit bucket edges for pairwise range divergence.  Part of the
+# oracle's determinism contract: every batch uses these literal edges, so
+# merged counts (and therefore quantile verdicts) are worker-invariant.
+DIVERGENCE_EDGES_CELLS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0,
+)
+
+# Per-pair gates in cells.  ``p90`` / ``p99`` bound a quantile's bucket
+# upper edge; ``within_3`` bounds (from below) the exact fraction of
+# queries agreeing within 3 cells.  The envelope widens with the
+# approximation each side makes: ray marching is sub-cell away from thin
+# structures, while the CDDT family's lateral quantisation converts a
+# sub-cell near-miss into a hit on the *nearer* obstacle — a rare but
+# unboundedly large underestimate, which is why its pairs get a
+# fraction-within gate instead of a tail quantile.  Values are the
+# measured envelope on the reference room (10k queries) with ~30% margin;
+# see docs/verification.md for the measurements and the derivation.
+DEFAULT_PAIR_TOLERANCES_CELLS: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("bresenham", "ray_marching"): {"p90": 1.0, "within_3": 0.97},
+    ("bresenham", "cddt"): {"p90": 3.0, "within_3": 0.90},
+    ("bresenham", "lut"): {"p90": 2.0, "within_3": 0.94},
+    ("cddt", "ray_marching"): {"p90": 3.0, "within_3": 0.90},
+    ("lut", "ray_marching"): {"p90": 2.0, "within_3": 0.94},
+    ("cddt", "lut"): {"p90": 4.0, "within_3": 0.88},
+}
+
+DEFAULT_BACKENDS: Tuple[str, ...] = ("bresenham", "ray_marching", "cddt", "lut")
+
+# Localizer-oracle gates, metres: each method's mean ground-truth error,
+# and the p90 of the pairwise estimate distance between methods.
+DEFAULT_LOCALIZER_TOLERANCES_M: Dict[str, float] = {
+    "gt_mean": 0.35,
+    "gt_max": 1.5,
+    "pair_p90": 1.0,
+}
+
+
+def _pair_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class PairDivergence:
+    """Divergence of one backend pair over a set of shared queries.
+
+    ``bucket_counts`` has ``len(edges) + 1`` entries with the telemetry
+    histogram's ``le`` semantics (last entry = overflow); ``max_cells`` is
+    exact.  All fields are integer or order-invariant, so merging batches
+    is associative and worker-count independent.
+    """
+
+    pair: Tuple[str, str]
+    edges: Tuple[float, ...] = DIVERGENCE_EDGES_CELLS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    max_cells: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.edges) + 1)
+
+    def observe_errors(self, err_cells: np.ndarray) -> None:
+        idx = np.searchsorted(self.edges, err_cells, side="left")
+        counts = np.bincount(idx, minlength=len(self.edges) + 1)
+        for i, c in enumerate(counts):
+            self.bucket_counts[i] += int(c)
+        self.count += int(err_cells.size)
+        if err_cells.size:
+            self.max_cells = max(self.max_cells, float(err_cells.max()))
+
+    def merge(self, other: "PairDivergence") -> None:
+        if other.edges != self.edges:
+            raise ValueError("cannot merge divergences with different edges")
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.max_cells = max(self.max_cells, other.max_cells)
+
+    def quantile_upper_edge(self, q: float) -> float:
+        """Smallest edge E with at least ``ceil(q * count)`` errors <= E.
+
+        Returns ``inf`` when the quantile falls in the overflow bucket.
+        Being a pure counting statement over integers, the answer is
+        identical however the underlying batches were partitioned.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = int(np.ceil(q * self.count))
+        cumulative = 0
+        for edge, bucket in zip(self.edges, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return edge
+        return float("inf")
+
+    def fraction_within(self, edge_cells: float) -> float:
+        """Exact fraction of queries with divergence <= ``edge_cells``."""
+        if self.count == 0:
+            return 1.0
+        cumulative = 0
+        for edge, bucket in zip(self.edges, self.bucket_counts):
+            if edge > edge_cells + 1e-12:
+                break
+            cumulative += bucket
+        return cumulative / self.count
+
+    def gate(self, tolerances: Mapping[str, float]) -> Dict[str, bool]:
+        """Evaluate each configured gate; ``{"p90": ok, ...}``.
+
+        Gate grammar: ``"pNN"`` bounds the NN-quantile's bucket upper
+        edge from above, ``"within_E"`` bounds ``fraction_within(E)``
+        from below, ``"max"`` bounds the exact maximum.  All three are
+        counting statements — worker-count invariant.
+        """
+        verdicts = {}
+        for key, tol in tolerances.items():
+            if key == "max":
+                verdicts[key] = self.max_cells <= tol
+            elif key.startswith("within_"):
+                edge = float(key.split("_", 1)[1])
+                verdicts[key] = self.fraction_within(edge) >= tol
+            else:
+                q = float(key.lstrip("p")) / 100.0
+                verdicts[key] = self.quantile_upper_edge(q) <= tol
+        return verdicts
+
+    def to_dict(self) -> Dict:
+        return {
+            "pair": list(self.pair),
+            "edges": list(self.edges),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "max_cells": self.max_cells,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PairDivergence":
+        return cls(
+            pair=tuple(data["pair"]),
+            edges=tuple(data["edges"]),
+            bucket_counts=[int(c) for c in data["bucket_counts"]],
+            count=int(data["count"]),
+            max_cells=float(data["max_cells"]),
+        )
+
+
+# Per-process backend cache: CDDT / LUT construction dominates a batch, and
+# every batch on the same map spec reuses the same structures (mirrors the
+# sweep runner's _EXPERIMENT_CACHE).
+_BACKEND_CACHE: Dict = {}
+
+
+def _backends_for(map_spec: Mapping, backends: Sequence[str],
+                  max_range: float, theta_bins: int) -> Dict:
+    key = (tuple(sorted(map_spec.items())), tuple(backends), max_range,
+           theta_bins)
+    built = _BACKEND_CACHE.get(key)
+    if built is None:
+        from repro.raycast.factory import make_range_method
+        from repro.verify.generators import resolve_map
+
+        grid = resolve_map(dict(map_spec))
+        built = {"grid": grid, "methods": {}}
+        for name in backends:
+            kwargs = {}
+            if name in ("cddt", "pcddt", "lut", "glt"):
+                kwargs["num_theta_bins"] = theta_bins
+            built["methods"][name] = make_range_method(
+                name, grid, max_range=max_range, **kwargs
+            )
+        _BACKEND_CACHE[key] = built
+    return built
+
+
+def raycast_batch_divergence(
+    map_spec: Mapping,
+    batch_index: int,
+    batch_size: int,
+    seed: int,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    max_range: float = 12.0,
+    theta_bins: int = 180,
+) -> Dict:
+    """One oracle batch: shared queries through every backend; per-pair stats.
+
+    Module-level and driven entirely by picklable arguments so it can run
+    as a :class:`~repro.eval.runner.SweepRunner` trial.  The query batch
+    is a pure function of ``(seed, batch_index)`` — never of the worker.
+    """
+    from repro.utils.rng import derive_seed
+    from repro.verify.generators import random_free_queries
+
+    built = _backends_for(map_spec, backends, max_range, theta_bins)
+    grid = built["grid"]
+    queries = random_free_queries(
+        grid, batch_size, seed=derive_seed("verify.raycast", seed, batch_index)
+    )
+    ranges = {
+        name: method.calc_ranges(queries)
+        for name, method in built["methods"].items()
+    }
+    resolution = grid.resolution
+    pairs: Dict[str, Dict] = {}
+    names = sorted(ranges)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            err_cells = np.abs(ranges[a] - ranges[b]) / resolution
+            div = PairDivergence(pair=_pair_key(a, b))
+            div.observe_errors(err_cells)
+            pairs["__".join(div.pair)] = div.to_dict()
+    return {"pairs": pairs, "n_queries": int(queries.shape[0]),
+            "resolution": resolution}
+
+
+def merge_pair_divergences(batch_metrics: Mapping[str, Mapping]) -> Dict[str, PairDivergence]:
+    """Fold per-batch pair stats, in sorted batch-id order."""
+    merged: Dict[str, PairDivergence] = {}
+    for batch_id in sorted(batch_metrics):
+        for pair_name, data in batch_metrics[batch_id]["pairs"].items():
+            div = PairDivergence.from_dict(data)
+            if pair_name in merged:
+                merged[pair_name].merge(div)
+            else:
+                merged[pair_name] = div
+    return merged
+
+
+@dataclass
+class RaycastDifferentialReport:
+    """Merged verdict of one raycast-oracle run."""
+
+    pairs: Dict[str, PairDivergence]
+    tolerances: Dict[Tuple[str, str], Dict[str, float]]
+    n_queries: int
+    resolution: float
+    backends: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(all(v for v in verdicts.values())
+                   for verdicts in self.verdicts().values())
+
+    def verdicts(self) -> Dict[str, Dict[str, bool]]:
+        out = {}
+        for pair_name, div in sorted(self.pairs.items()):
+            tol = self.tolerances.get(div.pair)
+            if tol is None:
+                tol = DEFAULT_PAIR_TOLERANCES_CELLS.get(
+                    div.pair, {"p90": 4.0, "within_3": 0.85}
+                )
+            out[pair_name] = div.gate(tol)
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "raycast_differential",
+            "ok": self.ok,
+            "n_queries": self.n_queries,
+            "resolution": self.resolution,
+            "backends": list(self.backends),
+            "pairs": {
+                name: {
+                    **div.to_dict(),
+                    "p50_cells": div.quantile_upper_edge(0.50),
+                    "p90_cells": div.quantile_upper_edge(0.90),
+                    "p99_cells": div.quantile_upper_edge(0.99),
+                    "within_3_fraction": div.fraction_within(3.0),
+                    "verdicts": self.verdicts()[name],
+                }
+                for name, div in sorted(self.pairs.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"raycast differential: {self.n_queries} queries x "
+            f"{len(self.backends)} backends ({', '.join(self.backends)})",
+            f"{'pair':<28}{'p50':>7}{'p90':>7}{'p99':>7}{'<=3c':>7}"
+            f"{'max':>9}{'gate':>8}",
+            "-" * 73,
+        ]
+        verdicts = self.verdicts()
+        for name, div in sorted(self.pairs.items()):
+            ok = all(verdicts[name].values())
+            p99 = div.quantile_upper_edge(0.99)
+            lines.append(
+                f"{name:<28}"
+                f"{div.quantile_upper_edge(0.50):>7.2f}"
+                f"{div.quantile_upper_edge(0.90):>7.2f}"
+                f"{'inf' if np.isinf(p99) else format(p99, '.2f'):>7}"
+                f"{div.fraction_within(3.0):>7.3f}"
+                f"{div.max_cells:>9.2f}"
+                f"{'ok' if ok else 'FAIL':>8}"
+            )
+        lines.append("(divergence in cells; quantiles are bucket upper edges)")
+        return "\n".join(lines)
+
+
+def run_raycast_differential(
+    map_spec: Optional[Mapping] = None,
+    n_queries: int = 10_000,
+    seed: int = 7,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    tolerances: Optional[Mapping] = None,
+    batch_size: int = 2500,
+    max_range: float = 12.0,
+    theta_bins: int = 180,
+) -> RaycastDifferentialReport:
+    """Run the full raycast oracle inline (single process).
+
+    The ``repro verify`` CLI fans the same batches out through
+    :class:`~repro.eval.runner.SweepRunner` instead (see
+    :mod:`repro.verify.suite`); both paths merge the identical per-batch
+    stats, so their reports agree bit for bit.
+    """
+    map_spec = dict(map_spec or {"kind": "room", "seed": 3})
+    n_batches = max(1, int(np.ceil(n_queries / batch_size)))
+    per_batch = int(np.ceil(n_queries / n_batches))
+    metrics = {}
+    for index in range(n_batches):
+        n = min(per_batch, n_queries - index * per_batch)
+        metrics[f"raycast/b{index:04d}"] = raycast_batch_divergence(
+            map_spec, index, n, seed, backends=backends,
+            max_range=max_range, theta_bins=theta_bins,
+        )
+    merged = merge_pair_divergences(metrics)
+    tol = dict(DEFAULT_PAIR_TOLERANCES_CELLS)
+    if tolerances:
+        for pair, gates in tolerances.items():
+            tol[_pair_key(*pair)] = dict(gates)
+    total = sum(m["n_queries"] for m in metrics.values())
+    return RaycastDifferentialReport(
+        pairs=merged,
+        tolerances=tol,
+        n_queries=total,
+        resolution=next(iter(metrics.values()))["resolution"],
+        backends=tuple(backends),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Localizer oracle
+# ---------------------------------------------------------------------------
+def localizer_replay_trial(
+    method: str,
+    trace_seed: int,
+    n_scans: int,
+    localizer_seed: int,
+    overrides: Optional[Mapping] = None,
+) -> Dict:
+    """Replay the shared reference trace through one localizer.
+
+    Picklable sweep-trial body: rebuilds the deterministic trace in the
+    worker and returns the full estimate sequence (small — one pose per
+    scan), so the orchestrator can compute cross-method divergence.
+    """
+    from repro.core.interfaces import make_localizer
+    from repro.eval.trace import replay
+    from repro.verify.generators import reference_trace
+
+    track, trace = reference_trace(seed=trace_seed, n_scans=n_scans)
+    kwargs = dict(overrides or {})
+    if method in ("synpf", "vanilla_mcl"):
+        kwargs.setdefault("seed", localizer_seed)
+        kwargs.setdefault("num_particles", 600)
+        kwargs.setdefault("num_beams", 30)
+        kwargs.setdefault("range_method", "ray_marching")
+    localizer = make_localizer(method, track.grid, **kwargs)
+    out = replay(trace, localizer)
+    return {
+        "method": method,
+        "estimates": out["estimates"].tolist(),
+        "gt_mean": out["mean_error"],
+        "gt_max": out["max_error"],
+        "gt_rmse": out["rmse"],
+    }
+
+
+@dataclass
+class LocalizerDifferentialReport:
+    """Cross-method verdict over one shared scan stream."""
+
+    methods: Dict[str, Dict]
+    pair_divergence_m: Dict[str, Dict[str, float]]
+    tolerances: Dict[str, float]
+    n_scans: int
+
+    @property
+    def ok(self) -> bool:
+        for stats in self.methods.values():
+            if stats["gt_mean"] > self.tolerances["gt_mean"]:
+                return False
+            if stats["gt_max"] > self.tolerances["gt_max"]:
+                return False
+        for stats in self.pair_divergence_m.values():
+            if stats["p90"] > self.tolerances["pair_p90"]:
+                return False
+        return True
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "localizer_differential",
+            "ok": self.ok,
+            "n_scans": self.n_scans,
+            "tolerances": dict(self.tolerances),
+            "methods": {
+                name: {k: v for k, v in stats.items() if k != "estimates"}
+                for name, stats in sorted(self.methods.items())
+            },
+            "pairs": dict(sorted(self.pair_divergence_m.items())),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"localizer differential: {self.n_scans} scans, shared stream",
+            f"{'method':<16}{'gt mean m':>11}{'gt max m':>11}",
+            "-" * 38,
+        ]
+        for name, stats in sorted(self.methods.items()):
+            lines.append(
+                f"{name:<16}{stats['gt_mean']:>11.3f}{stats['gt_max']:>11.3f}"
+            )
+        lines.append("")
+        lines.append(f"{'pair':<28}{'p50 m':>8}{'p90 m':>8}{'max m':>8}")
+        lines.append("-" * 52)
+        for name, stats in sorted(self.pair_divergence_m.items()):
+            lines.append(
+                f"{name:<28}{stats['p50']:>8.3f}{stats['p90']:>8.3f}"
+                f"{stats['max']:>8.3f}"
+            )
+        lines.append(f"gate: {'ok' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def combine_localizer_trials(
+    per_method: Mapping[str, Mapping],
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> LocalizerDifferentialReport:
+    """Merge per-method replay results into the cross-method report."""
+    tol = dict(DEFAULT_LOCALIZER_TOLERANCES_M)
+    if tolerances:
+        tol.update(tolerances)
+    methods = {name: dict(stats) for name, stats in per_method.items()}
+    pair_divergence: Dict[str, Dict[str, float]] = {}
+    names = sorted(methods)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            ea = np.asarray(methods[a]["estimates"], dtype=float)
+            eb = np.asarray(methods[b]["estimates"], dtype=float)
+            dist = np.hypot(ea[:, 0] - eb[:, 0], ea[:, 1] - eb[:, 1])
+            pair_divergence[f"{a}__{b}"] = {
+                "p50": float(np.quantile(dist, 0.50)),
+                "p90": float(np.quantile(dist, 0.90)),
+                "max": float(dist.max()),
+            }
+    n_scans = len(next(iter(methods.values()))["estimates"]) if methods else 0
+    return LocalizerDifferentialReport(
+        methods=methods,
+        pair_divergence_m=pair_divergence,
+        tolerances=tol,
+        n_scans=n_scans,
+    )
+
+
+def run_localizer_differential(
+    methods: Sequence[str] = ("synpf", "cartographer"),
+    trace_seed: int = 5,
+    n_scans: int = 25,
+    localizer_seed: int = 11,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> LocalizerDifferentialReport:
+    """Run the localizer oracle inline (single process)."""
+    per_method = {
+        method: localizer_replay_trial(method, trace_seed, n_scans,
+                                       localizer_seed)
+        for method in methods
+    }
+    return combine_localizer_trials(per_method, tolerances)

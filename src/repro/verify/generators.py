@@ -1,0 +1,193 @@
+"""Seeded, deterministic input generation for verification suites.
+
+Every generator here is a pure function of its seed (via
+:func:`repro.utils.rng.derive_seed` namespacing), so verification trials
+can be fanned out over worker processes and still produce bit-identical
+inputs regardless of worker count — the same contract the sweep runner
+gives experiment trials.  ``tests/strategies.py`` wraps these into
+Hypothesis strategies for the property-test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "walled_room_grid",
+    "random_room_grid",
+    "random_free_queries",
+    "resolve_map",
+    "reference_trace",
+]
+
+
+def walled_room_grid(size: int = 60, resolution: float = 1.0 / 6.0,
+                     origin=(0.0, 0.0)) -> OccupancyGrid:
+    """An empty square room with one-cell walls on all four sides."""
+    if size < 3:
+        raise ValueError("room needs at least 3 cells per side")
+    data = np.full((size, size), FREE, dtype=np.int8)
+    data[0, :] = data[-1, :] = OCCUPIED
+    data[:, 0] = data[:, -1] = OCCUPIED
+    return OccupancyGrid(data, resolution, origin=origin)
+
+
+def random_room_grid(
+    seed: int,
+    size: int = 60,
+    resolution: float = 1.0 / 6.0,
+    obstacle_fraction: float = 0.04,
+    origin=(0.0, 0.0),
+) -> OccupancyGrid:
+    """A walled room with a seeded scatter of interior block obstacles.
+
+    Obstacles are 3–5-cell axis-aligned squares (~0.5–0.8 m at the
+    default resolution — barrier-sized), never closer than two cells to
+    the outer wall, so the room stays connected enough that free cells
+    always exist for query placement.  Identical ``(seed, size,
+    resolution, obstacle_fraction)`` always yields the identical grid.
+
+    Blocks are deliberately never thinner than 3 cells: sphere tracing's
+    minimum step (half a cell) can corner-clip a 1-cell obstacle that
+    exact traversal counts as a hit — a real, documented divergence mode
+    of the ray-marching backend on thin structures, but one that would
+    drown the differential oracle's quantile gates in a known artefact
+    rather than exercise the agreement envelope (see
+    docs/verification.md).
+    """
+    if not 0.0 <= obstacle_fraction < 0.5:
+        raise ValueError("obstacle_fraction must be in [0, 0.5)")
+    grid = walled_room_grid(size=size, resolution=resolution, origin=origin)
+    rng = np.random.default_rng(
+        derive_seed("verify.random_room", seed, size, obstacle_fraction)
+    )
+    n_blocks = int(obstacle_fraction * size * size / 16.0)
+    for _ in range(n_blocks):
+        edge = int(rng.integers(3, 6))
+        row = int(rng.integers(2, size - 2 - edge))
+        col = int(rng.integers(2, size - 2 - edge))
+        grid.data[row:row + edge, col:col + edge] = OCCUPIED
+    return grid
+
+
+def random_free_queries(
+    grid: OccupancyGrid, n: int, seed: int, clearance_cells: int = 1
+) -> np.ndarray:
+    """``(n, 3)`` query poses on free cells with uniform headings.
+
+    Positions are jittered uniformly within their cell; ``clearance_cells``
+    keeps starts away from obstacle faces (a query *on* a wall trivially
+    returns 0 from every backend and tests nothing).
+    """
+    if n < 1:
+        raise ValueError("need at least one query")
+    free = grid.free_mask()
+    if clearance_cells > 0:
+        from scipy import ndimage
+
+        occupied = ~free
+        free = free & ~ndimage.binary_dilation(
+            occupied, iterations=int(clearance_cells)
+        )
+    rows, cols = np.nonzero(free)
+    if rows.size == 0:
+        raise ValueError("grid has no eligible free cells")
+    rng = np.random.default_rng(derive_seed("verify.queries", seed, n))
+    pick = rng.integers(0, rows.size, size=n)
+    centers = grid.grid_to_world(
+        np.stack([cols[pick], rows[pick]], axis=-1).astype(float)
+    )
+    jitter = rng.uniform(-grid.resolution / 2.0, grid.resolution / 2.0,
+                         size=(n, 2))
+    queries = np.empty((n, 3))
+    queries[:, :2] = centers + jitter
+    queries[:, 2] = rng.uniform(-np.pi, np.pi, size=n)
+    return queries
+
+
+def resolve_map(spec: Dict) -> OccupancyGrid:
+    """Build a grid from a picklable map spec (worker-side construction).
+
+    Verification trials cross process boundaries as plain dicts; the grid
+    is rebuilt deterministically in the worker instead of being pickled.
+    Recognised kinds: ``{"kind": "room", "seed": ..}`` (random obstacles),
+    ``{"kind": "walled"}`` (empty room), ``{"kind": "track", "seed": ..}``
+    (generated corridor track).
+    """
+    kind = spec.get("kind", "room")
+    if kind == "walled":
+        return walled_room_grid(
+            size=int(spec.get("size", 60)),
+            resolution=float(spec.get("resolution", 1.0 / 6.0)),
+        )
+    if kind == "room":
+        return random_room_grid(
+            seed=int(spec.get("seed", 0)),
+            size=int(spec.get("size", 60)),
+            resolution=float(spec.get("resolution", 1.0 / 6.0)),
+            obstacle_fraction=float(spec.get("obstacle_fraction", 0.04)),
+        )
+    if kind == "track":
+        from repro.maps import generate_track
+
+        return generate_track(
+            seed=int(spec.get("seed", 0)),
+            resolution=float(spec.get("resolution", 0.1)),
+            mean_radius=float(spec.get("mean_radius", 5.0)),
+            track_width=float(spec.get("track_width", 2.0)),
+        ).grid
+    raise ValueError(f"unknown map kind {kind!r}")
+
+
+def reference_trace(
+    seed: int,
+    n_scans: int = 20,
+    track_seed: int = 11,
+    resolution: float = 0.1,
+    range_noise_std: float = 0.01,
+    speed: float = 1.5,
+    dt: float = 0.05,
+    track=None,
+):
+    """Record a deterministic raceline-following session on a small track.
+
+    Drives a virtual sensor along the centerline (no vehicle dynamics —
+    the point is a *reproducible* scan stream, not realism) and returns
+    ``(track, RunTrace)``.  The same arguments always produce the same
+    trace bit-for-bit, which is what the metamorphic, differential and
+    golden suites replay against.
+    """
+    from repro.core.motion_models import OdometryDelta
+    from repro.eval.trace import TraceRecorder
+    from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+    if track is None:
+        from repro.maps import generate_track
+
+        track = generate_track(seed=track_seed, mean_radius=5.0,
+                               resolution=resolution, track_width=2.0)
+    lidar = SimulatedLidar(
+        track.grid,
+        LidarConfig(range_noise_std=range_noise_std, dropout_prob=0.0),
+        seed=derive_seed("verify.trace", seed, n_scans),
+    )
+    recorder = TraceRecorder(
+        lidar.angles,
+        metadata={"seed": str(seed), "track_seed": str(track_seed)},
+    )
+    line = track.centerline
+    pose_prev = line.start_pose()
+    for k in range(1, n_scans + 1):
+        s = k * speed * dt
+        pt = line.point_at(s)
+        pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
+        delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
+        scan = lidar.scan(pose_now, timestamp=k * dt)
+        recorder.append(k * dt, pose_now, delta, scan.ranges)
+        pose_prev = pose_now
+    return track, recorder.build()

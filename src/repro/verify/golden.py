@@ -1,0 +1,259 @@
+"""Golden-trace store: committed reference runs, tolerance-gated.
+
+A golden file freezes what one localizer estimated on one deterministic
+reference session (:func:`~repro.verify.generators.reference_trace`), so
+any later change to the motion model, sensor model, resampler or scan
+matcher that moves the answer is caught — not by a property, but by the
+frozen answer itself.
+
+Format (``tests/golden/<name>.jsonl.gz``): gzip-compressed JSONL whose
+first line is a self-describing header (format version, method, the full
+replay spec, the comparison tolerance) and whose remaining lines are one
+pose per step at full float precision (``json`` round-trips ``repr``
+exactly).  Because the header embeds the spec, the comparator needs no
+side channel: it rebuilds the run from the header and diffs.
+
+Gzip streams embed a timestamp by default; files here are written with
+``mtime=0`` so re-recording an unchanged run yields *byte-identical*
+files — the bit-stability the verify gate checks.
+
+Refresh intentionally via ``repro verify --suite golden --update-golden``
+after reviewing why the answer moved; the comparator's failure message
+says exactly that.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GOLDEN_FORMAT_VERSION",
+    "GoldenMismatch",
+    "GoldenComparison",
+    "golden_path",
+    "default_golden_specs",
+    "record_golden",
+    "compare_golden",
+    "golden_trial",
+]
+
+GOLDEN_FORMAT_VERSION = 1
+
+# Reference estimates are deterministic on one platform; the tolerance
+# absorbs cross-platform libm / BLAS last-ulp drift, nothing more.  A
+# behavioural change moves estimates by far more than a micrometre.
+DEFAULT_GOLDEN_TOLERANCE_M = 1e-6
+
+_MAX_KEPT_MISMATCHES = 20
+
+
+def golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
+    """Resolve a golden name to its file path (default: ``tests/golden``)."""
+    if golden_dir is None:
+        golden_dir = Path(__file__).resolve().parents[3] / "tests" / "golden"
+    return Path(golden_dir) / f"{name}.jsonl.gz"
+
+
+def default_golden_specs() -> List[Dict]:
+    """The committed reference runs: each localizer on the shared trace."""
+    return [
+        {
+            "name": f"reference_{method}",
+            "method": method,
+            "trace_seed": 5,
+            "n_scans": 15,
+            "localizer_seed": 11,
+            "tolerance_m": DEFAULT_GOLDEN_TOLERANCE_M,
+        }
+        for method in ("synpf", "vanilla_mcl", "cartographer")
+    ]
+
+
+def _replay_spec(spec: Mapping) -> np.ndarray:
+    """Recompute the estimate sequence a golden spec describes."""
+    from repro.verify.differential import localizer_replay_trial
+
+    out = localizer_replay_trial(
+        method=str(spec["method"]),
+        trace_seed=int(spec["trace_seed"]),
+        n_scans=int(spec["n_scans"]),
+        localizer_seed=int(spec["localizer_seed"]),
+        overrides=spec.get("overrides"),
+    )
+    return np.asarray(out["estimates"], dtype=float)
+
+
+def record_golden(spec: Mapping, golden_dir: Optional[Path] = None) -> Path:
+    """Run the spec and (over)write its golden file; returns the path."""
+    estimates = _replay_spec(spec)
+    path = golden_path(str(spec["name"]), golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": GOLDEN_FORMAT_VERSION,
+        "spec": {k: spec[k] for k in sorted(spec)},
+        "n_steps": int(estimates.shape[0]),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for step, pose in enumerate(estimates):
+        lines.append(json.dumps(
+            {"step": step, "pose": [float(v) for v in pose]}
+        ))
+    payload = ("\n".join(lines) + "\n").encode()
+    # mtime=0 keeps the gzip stream free of wall-clock bytes, so an
+    # unchanged run re-records to a byte-identical file.
+    with open(path, "wb") as fh:
+        with gzip.GzipFile(fileobj=fh, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+    return path
+
+
+def load_golden(path: Path) -> Dict:
+    """Read a golden file into ``{"spec", "estimates", ...}``.
+
+    Raises ``ValueError`` with a readable message on malformed content so
+    the CLI can report corruption without a traceback.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"golden file not found: {path} "
+            "(record it with: repro verify --suite golden --update-golden)"
+        )
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+        header = json.loads(lines[0])
+        poses = [json.loads(line) for line in lines[1:]]
+    except (OSError, json.JSONDecodeError, IndexError) as exc:
+        raise ValueError(f"corrupt golden file {path}: {exc}") from exc
+    version = header.get("format_version")
+    if version != GOLDEN_FORMAT_VERSION:
+        raise ValueError(
+            f"golden file {path} has format_version {version!r}; this "
+            f"reader understands {GOLDEN_FORMAT_VERSION}"
+        )
+    if "spec" not in header:
+        raise ValueError(f"corrupt golden file {path}: header missing 'spec'")
+    estimates = np.array([record["pose"] for record in poses], dtype=float)
+    if estimates.shape[0] != int(header.get("n_steps", estimates.shape[0])):
+        raise ValueError(
+            f"corrupt golden file {path}: header promises "
+            f"{header['n_steps']} steps, found {estimates.shape[0]}"
+        )
+    return {"spec": header["spec"], "estimates": estimates,
+            "n_steps": estimates.shape[0]}
+
+
+@dataclass
+class GoldenMismatch:
+    """One step whose recomputed pose left the golden tolerance."""
+
+    step: int
+    expected: List[float]
+    actual: List[float]
+    abs_err_m: float
+
+    def to_dict(self) -> Dict:
+        return {"step": self.step, "expected": self.expected,
+                "actual": self.actual, "abs_err_m": self.abs_err_m}
+
+
+@dataclass
+class GoldenComparison:
+    """Verdict of one golden file against a fresh replay."""
+
+    name: str
+    ok: bool
+    n_steps: int
+    max_abs_err_m: float
+    tolerance_m: float
+    mismatches: List[GoldenMismatch] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "golden",
+            "name": self.name,
+            "ok": self.ok,
+            "n_steps": self.n_steps,
+            "max_abs_err_m": self.max_abs_err_m,
+            "tolerance_m": self.tolerance_m,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+    def summary_line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (f"{self.name:<26}{self.n_steps:>6} steps"
+                f"{self.max_abs_err_m:>12.3e} m max{status:>8}")
+
+
+def compare_golden(
+    name: str,
+    golden_dir: Optional[Path] = None,
+    tolerance_m: Optional[float] = None,
+) -> GoldenComparison:
+    """Replay a golden file's spec and diff against the stored estimates.
+
+    The gate is per-step: every ``(x, y)`` must sit within ``tolerance_m``
+    of the stored pose (heading is compared at the same tolerance in
+    radians).  A failure means behaviour changed — fix the regression, or
+    re-record deliberately with ``--update-golden`` and say why in the
+    commit.
+    """
+    stored = load_golden(golden_path(name, golden_dir))
+    spec = stored["spec"]
+    tol = (float(tolerance_m) if tolerance_m is not None
+           else float(spec.get("tolerance_m", DEFAULT_GOLDEN_TOLERANCE_M)))
+    actual = _replay_spec(spec)
+    expected = stored["estimates"]
+    if actual.shape != expected.shape:
+        mismatch = GoldenMismatch(
+            step=-1, expected=list(expected.shape), actual=list(actual.shape),
+            abs_err_m=float("inf"),
+        )
+        return GoldenComparison(name=name, ok=False,
+                                n_steps=int(expected.shape[0]),
+                                max_abs_err_m=float("inf"), tolerance_m=tol,
+                                mismatches=[mismatch])
+    err = np.abs(actual - expected)
+    step_err = err.max(axis=1) if err.size else np.zeros(0)
+    bad = np.nonzero(step_err > tol)[0]
+    mismatches = [
+        GoldenMismatch(
+            step=int(i),
+            expected=[float(v) for v in expected[i]],
+            actual=[float(v) for v in actual[i]],
+            abs_err_m=float(step_err[i]),
+        )
+        for i in bad[:_MAX_KEPT_MISMATCHES]
+    ]
+    return GoldenComparison(
+        name=name,
+        ok=bad.size == 0,
+        n_steps=int(expected.shape[0]),
+        max_abs_err_m=float(step_err.max()) if step_err.size else 0.0,
+        tolerance_m=tol,
+        mismatches=mismatches,
+    )
+
+
+def golden_trial(name: str, golden_dir: Optional[str] = None,
+                 update: bool = False) -> Dict:
+    """Picklable sweep-trial body: compare (or re-record) one golden run."""
+    directory = Path(golden_dir) if golden_dir else None
+    if update:
+        spec = next(
+            (s for s in default_golden_specs() if s["name"] == name), None
+        )
+        if spec is None:
+            # Refreshing a non-default golden keeps its own stored spec.
+            spec = load_golden(golden_path(name, directory))["spec"]
+        path = record_golden(spec, directory)
+        return {"kind": "golden", "name": name, "ok": True,
+                "updated": str(path)}
+    return compare_golden(name, directory).to_dict()

@@ -1,0 +1,256 @@
+"""Runtime invariant checking for any :class:`~repro.core.interfaces.Localizer`.
+
+The localizers promise a handful of structural facts on every update —
+the estimate is finite and inside the map, particle weights form a
+probability distribution, the particle count is conserved, the position
+covariance is positive semi-definite.  None of those are visible from
+the pose trace alone: a filter can silently run with NaN weights for
+many steps before the estimate goes visibly wrong.
+
+:class:`InvariantChecker` wraps a localizer behind the same protocol and
+audits each ``update``.  Violations become structured
+:class:`InvariantViolation` records: counted, kept (bounded) for the
+telemetry snapshot, and optionally raised as :class:`InvariantError` in
+strict mode.  Because it *is* a ``Localizer``, the checker drops into
+trace replay, the lap experiment, or the verify suite unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantError",
+    "InvariantChecker",
+    "attach_invariants",
+]
+
+_MAX_KEPT_VIOLATIONS = 100
+_PSD_TOLERANCE = -1e-12
+
+
+@dataclass
+class InvariantViolation:
+    """One broken invariant at one update step."""
+
+    invariant: str
+    step: int
+    message: str
+    value: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        record = {"invariant": self.invariant, "step": self.step,
+                  "message": self.message}
+        if self.value is not None:
+            record["value"] = float(self.value)
+        return record
+
+
+class InvariantError(AssertionError):
+    """Raised in strict mode; carries the triggering violation records."""
+
+    def __init__(self, violations: List[InvariantViolation]) -> None:
+        self.violations = list(violations)
+        lines = "; ".join(
+            f"[step {v.step}] {v.invariant}: {v.message}" for v in violations
+        )
+        super().__init__(f"localizer invariant violated: {lines}")
+
+
+@dataclass
+class _ViolationLog:
+    counts: Dict[str, int] = field(default_factory=dict)
+    kept: List[InvariantViolation] = field(default_factory=list)
+
+    def add(self, violation: InvariantViolation) -> None:
+        self.counts[violation.invariant] = (
+            self.counts.get(violation.invariant, 0) + 1
+        )
+        if len(self.kept) < _MAX_KEPT_VIOLATIONS:
+            self.kept.append(violation)
+
+
+class InvariantChecker:
+    """A :class:`Localizer` that audits another localizer's every update.
+
+    Checks applied to all methods:
+
+    * the reported pose is finite;
+    * the reported position lies inside the map bounds.
+
+    Extra checks when the inner localizer is a particle filter
+    (:class:`~repro.core.interfaces.SynPFLocalizer`):
+
+    * weights are finite, non-negative and sum to 1 (tolerance 1e-6);
+    * the particle count is conserved — exactly ``num_particles`` for a
+      fixed-size filter, within ``[kld_n_min, num_particles]`` when KLD
+      adaptation is on;
+    * the weighted 2x2 position covariance is PSD (smallest eigenvalue
+      above ``-1e-12``).
+
+    ``strict=True`` raises :class:`InvariantError` at the offending
+    update; otherwise violations only accumulate into telemetry, which
+    is the right mode for long robustness campaigns where the question
+    is *how often* structure breaks under faults.
+    """
+
+    def __init__(self, inner, grid: OccupancyGrid, *, strict: bool = False,
+                 weight_sum_tol: float = 1e-6) -> None:
+        self.inner = inner
+        self.grid = grid
+        self.strict = strict
+        self.weight_sum_tol = weight_sum_tol
+        self.consumes_scan = bool(getattr(inner, "consumes_scan", True))
+        self._log = _ViolationLog()
+        self._step = 0
+        # Mirror the optional global-recovery surface (the supervisor
+        # feature-detects it with hasattr).
+        if hasattr(inner, "initialize_global"):
+            self.initialize_global = inner.initialize_global
+
+    # -- Localizer protocol -------------------------------------------------
+    def initialize(self, pose: np.ndarray, std_xy: Optional[float] = None,
+                   std_theta: Optional[float] = None) -> None:
+        self.inner.initialize(pose, std_xy=std_xy, std_theta=std_theta)
+
+    def update(self, delta, scan) -> np.ndarray:
+        pose = self.inner.update(delta, scan)
+        self._step += 1
+        fresh = self._check(np.asarray(pose, dtype=float))
+        for violation in fresh:
+            self._log.add(violation)
+        if self.strict and fresh:
+            raise InvariantError(fresh)
+        return pose
+
+    @property
+    def pose(self) -> np.ndarray:
+        return self.inner.pose
+
+    def latency_ms(self) -> float:
+        return self.inner.latency_ms()
+
+    def telemetry(self) -> Dict:
+        snapshot = dict(self.inner.telemetry())
+        snapshot["invariants"] = {
+            "checked_updates": self._step,
+            "violation_counts": dict(sorted(self._log.counts.items())),
+            "violations": [v.to_dict() for v in self._log.kept],
+        }
+        return snapshot
+
+    # -- Reporting helpers --------------------------------------------------
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        return list(self._log.kept)
+
+    @property
+    def violation_counts(self) -> Dict[str, int]:
+        return dict(self._log.counts)
+
+    @property
+    def ok(self) -> bool:
+        return not self._log.counts
+
+    # -- Checks -------------------------------------------------------------
+    def _check(self, pose: np.ndarray) -> List[InvariantViolation]:
+        found: List[InvariantViolation] = []
+        step = self._step
+
+        if not np.all(np.isfinite(pose)):
+            found.append(InvariantViolation(
+                "pose_finite", step, f"pose contains non-finite values: {pose}"
+            ))
+            return found  # bounds / covariance are meaningless on NaN
+
+        if not bool(self.grid.in_bounds(np.asarray(pose[:2], dtype=float))):
+            found.append(InvariantViolation(
+                "pose_in_bounds", step,
+                f"estimate ({pose[0]:.3f}, {pose[1]:.3f}) outside map bounds",
+            ))
+
+        pf = getattr(self.inner, "pf", None)
+        if pf is not None:
+            found.extend(self._check_particle_filter(pf, step))
+        return found
+
+    def _check_particle_filter(self, pf, step: int) -> List[InvariantViolation]:
+        found: List[InvariantViolation] = []
+        weights = np.asarray(pf.weights, dtype=float)
+        particles = np.asarray(pf.particles, dtype=float)
+
+        if not np.all(np.isfinite(weights)):
+            found.append(InvariantViolation(
+                "weights_finite", step,
+                f"{int(np.sum(~np.isfinite(weights)))} non-finite weights",
+            ))
+            return found
+        if np.any(weights < 0.0):
+            found.append(InvariantViolation(
+                "weights_nonnegative", step,
+                f"min weight {float(weights.min()):.3e} < 0",
+                value=float(weights.min()),
+            ))
+        total = float(weights.sum())
+        if abs(total - 1.0) > self.weight_sum_tol:
+            found.append(InvariantViolation(
+                "weights_normalized", step,
+                f"weights sum to {total:.9f} (tolerance "
+                f"{self.weight_sum_tol:g})",
+                value=total,
+            ))
+
+        config = pf.config
+        count = int(particles.shape[0])
+        if weights.shape[0] != count:
+            found.append(InvariantViolation(
+                "particle_count_conserved", step,
+                f"{count} particles but {weights.shape[0]} weights",
+                value=float(count),
+            ))
+        elif getattr(config, "adaptive", False):
+            low = int(getattr(config, "kld_n_min", 1))
+            high = int(config.num_particles)
+            if not low <= count <= high:
+                found.append(InvariantViolation(
+                    "particle_count_conserved", step,
+                    f"adaptive count {count} outside [{low}, {high}]",
+                    value=float(count),
+                ))
+        elif count != int(config.num_particles):
+            found.append(InvariantViolation(
+                "particle_count_conserved", step,
+                f"count {count} != configured {config.num_particles}",
+                value=float(count),
+            ))
+
+        if count >= 2 and weights.shape[0] == count:
+            mean = weights @ particles[:, :2]
+            centered = particles[:, :2] - mean
+            cov = (weights[:, None] * centered).T @ centered
+            eigenvalues = np.linalg.eigvalsh(cov)
+            if float(eigenvalues.min()) < _PSD_TOLERANCE:
+                found.append(InvariantViolation(
+                    "covariance_psd", step,
+                    f"position covariance min eigenvalue "
+                    f"{float(eigenvalues.min()):.3e}",
+                    value=float(eigenvalues.min()),
+                ))
+        return found
+
+
+def attach_invariants(localizer, grid: OccupancyGrid, *,
+                      strict: bool = False) -> InvariantChecker:
+    """Wrap ``localizer`` so every update is invariant-audited.
+
+    Sugar for :class:`InvariantChecker`; reads as intent at call sites::
+
+        localizer = attach_invariants(make_localizer("synpf", grid), grid)
+    """
+    return InvariantChecker(localizer, grid, strict=strict)

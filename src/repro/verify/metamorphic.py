@@ -1,0 +1,366 @@
+"""Metamorphic properties of whole localizers.
+
+A metamorphic test does not know the right answer — it knows how the
+answer must *change* when the input is transformed.  Four relations are
+checked here (MCL folklore plus SE(2) symmetry):
+
+* **Rigid-transform equivariance** — rotate the map by a multiple of 90
+  degrees and translate it by whole cells (both exact on an occupancy
+  grid), transform the trajectory identically, and the estimates must
+  transform the same way, up to the filter's own statistical jitter.
+* **Seed determinism** — the same seed must reproduce the estimate
+  sequence bit for bit, and the telemetry snapshot bit for bit once
+  wall-clock timing fields are stripped (latencies are explicitly outside
+  the repo's determinism contract).
+* **Scan-subsample degradation monotonicity** — discarding beams must not
+  *improve* localization beyond statistical slack.
+* **Odometry time reversal** — integrating a delta chain and then its
+  reversed inverse chain is the identity, to numerical precision.
+
+Every check returns a :class:`MetamorphicResult`; the suite runner fans
+``(check, method)`` combinations out as sweep trials.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+
+__all__ = [
+    "MetamorphicResult",
+    "METAMORPHIC_CHECKS",
+    "transform_grid",
+    "transform_pose",
+    "check_rigid_transform_equivariance",
+    "check_seed_determinism",
+    "check_scan_subsample_monotonicity",
+    "check_time_reversal",
+    "metamorphic_trial",
+    "run_metamorphic_suite",
+]
+
+LOCALIZER_METHODS_UNDER_TEST: Tuple[str, ...] = ("synpf", "cartographer")
+
+
+@dataclass
+class MetamorphicResult:
+    """Verdict of one (check, method) combination."""
+
+    check: str
+    method: str
+    ok: bool
+    details: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {"check": self.check, "method": self.method, "ok": self.ok,
+                "details": self.details}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetamorphicResult":
+        return cls(check=str(data["check"]), method=str(data["method"]),
+                   ok=bool(data["ok"]), details=dict(data.get("details", {})))
+
+    def summary_line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return f"{self.check:<30}{self.method:<14}{status}"
+
+
+# ---------------------------------------------------------------------------
+# Exact rigid transforms of grids and poses
+# ---------------------------------------------------------------------------
+def transform_pose(pose: np.ndarray, quarter_turns: int,
+                   translation=(0.0, 0.0)) -> np.ndarray:
+    """Apply ``R(k * 90 deg) . pose + t`` to an ``(..., 3)`` pose array."""
+    pose = np.asarray(pose, dtype=float)
+    phi = (quarter_turns % 4) * np.pi / 2.0
+    c, s = np.cos(phi), np.sin(phi)
+    out = np.empty_like(pose)
+    out[..., 0] = c * pose[..., 0] - s * pose[..., 1] + translation[0]
+    out[..., 1] = s * pose[..., 0] + c * pose[..., 1] + translation[1]
+    out[..., 2] = pose[..., 2] + phi
+    return out
+
+
+def transform_grid(grid: OccupancyGrid, quarter_turns: int,
+                   translation=(0.0, 0.0)) -> OccupancyGrid:
+    """Rotate a grid by ``k * 90 deg`` about the world origin, then translate.
+
+    Quarter turns permute cells exactly (``np.rot90``) and the translation
+    shifts only the origin, so the transformed map represents the *same*
+    world up to the rigid transform — no resampling, no interpolation
+    loss.  The world rotates counter-clockwise; the array rotates
+    clockwise because the row axis is +y.
+    """
+    k = quarter_turns % 4
+    data = np.rot90(grid.data, -k).copy()
+    w_m = grid.width * grid.resolution
+    h_m = grid.height * grid.resolution
+    ox, oy = grid.origin
+    # Rotate the map's bounding corners; the new origin is the min corner.
+    corners = np.array([
+        [ox, oy], [ox + w_m, oy], [ox, oy + h_m], [ox + w_m, oy + h_m],
+    ])
+    phi = k * np.pi / 2.0
+    c, s = np.cos(phi), np.sin(phi)
+    rotated = np.stack(
+        [c * corners[:, 0] - s * corners[:, 1],
+         s * corners[:, 0] + c * corners[:, 1]], axis=-1
+    )
+    new_origin = (
+        float(rotated[:, 0].min()) + float(translation[0]),
+        float(rotated[:, 1].min()) + float(translation[1]),
+    )
+    return OccupancyGrid(data, grid.resolution, origin=new_origin)
+
+
+def _transformed_trace(trace, quarter_turns: int, translation):
+    """The same session in transformed world coordinates.
+
+    Odometry deltas and scans are body-frame quantities — a rigid world
+    transform leaves them untouched; only the ground-truth poses move.
+    """
+    from repro.eval.trace import RunTrace
+
+    return RunTrace(
+        times=trace.times.copy(),
+        gt_poses=transform_pose(trace.gt_poses, quarter_turns, translation),
+        odometry=trace.odometry.copy(),
+        scans=trace.scans.copy(),
+        beam_angles=trace.beam_angles.copy(),
+        metadata=dict(trace.metadata),
+    )
+
+
+def _make_localizer_for(method: str, grid, seed: int, **extra):
+    from repro.core.interfaces import make_localizer
+
+    kwargs = dict(extra)
+    if method in ("synpf", "vanilla_mcl"):
+        kwargs.setdefault("seed", seed)
+        kwargs.setdefault("num_particles", 600)
+        kwargs.setdefault("num_beams", 30)
+        kwargs.setdefault("range_method", "ray_marching")
+    return make_localizer(method, grid, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+def check_rigid_transform_equivariance(
+    method: str,
+    seed: int = 5,
+    n_scans: int = 20,
+    quarter_turns: int = 1,
+    translation_cells: Tuple[int, int] = (13, -7),
+    mean_tol_m: float = 0.20,
+    p90_tol_m: float = 0.40,
+) -> MetamorphicResult:
+    """T(estimates(map, traj)) == estimates(T(map), T(traj)), within tolerance.
+
+    The tolerance absorbs the one part of the pipeline that is *not*
+    frame-equivariant bit for bit: a particle filter's rng draws its
+    initialisation and resampling noise in fixed axis order, so rotating
+    the world permutes which particle receives which perturbation.  The
+    *distribution* is identical; the weighted mean over hundreds of
+    particles differs by its Monte-Carlo jitter, which is what the bound
+    allows for.  Scan-matching localizers have no such jitter and track
+    far inside the bound.
+    """
+    from repro.eval.trace import replay
+    from repro.verify.generators import reference_trace
+
+    track, trace = reference_trace(seed=seed, n_scans=n_scans)
+    translation = (translation_cells[0] * track.grid.resolution,
+                   translation_cells[1] * track.grid.resolution)
+
+    original = replay(trace, _make_localizer_for(method, track.grid, seed))
+    grid_t = transform_grid(track.grid, quarter_turns, translation)
+    trace_t = _transformed_trace(trace, quarter_turns, translation)
+    transformed = replay(trace_t, _make_localizer_for(method, grid_t, seed))
+
+    mapped = transform_pose(original["estimates"], quarter_turns, translation)
+    dist = np.hypot(mapped[:, 0] - transformed["estimates"][:, 0],
+                    mapped[:, 1] - transformed["estimates"][:, 1])
+    details = {
+        "quarter_turns": quarter_turns,
+        "translation_m": [float(t) for t in translation],
+        "mean_m": float(dist.mean()),
+        "p90_m": float(np.quantile(dist, 0.90)),
+        "max_m": float(dist.max()),
+        "mean_tol_m": mean_tol_m,
+        "p90_tol_m": p90_tol_m,
+    }
+    ok = dist.mean() <= mean_tol_m and np.quantile(dist, 0.90) <= p90_tol_m
+    return MetamorphicResult("rigid_transform_equivariance", method, bool(ok),
+                             details)
+
+
+def _strip_wall_clock(snapshot: Mapping) -> Dict:
+    """Drop wall-clock timing fields from a localizer telemetry snapshot."""
+    return {k: v for k, v in snapshot.items() if k != "timing"}
+
+
+def check_seed_determinism(
+    method: str, seed: int = 9, n_scans: int = 15
+) -> MetamorphicResult:
+    """Same seed, same stream => bit-identical estimates and telemetry."""
+    from repro.eval.trace import replay
+    from repro.verify.generators import reference_trace
+
+    track, trace = reference_trace(seed=seed, n_scans=n_scans)
+
+    def one_run():
+        localizer = _make_localizer_for(method, track.grid, seed)
+        out = replay(trace, localizer)
+        return out["estimates"], _strip_wall_clock(localizer.telemetry())
+
+    est_a, telemetry_a = one_run()
+    est_b, telemetry_b = one_run()
+    estimates_equal = bool(np.array_equal(est_a, est_b))
+    telemetry_equal = (
+        json.dumps(telemetry_a, sort_keys=True, default=str)
+        == json.dumps(telemetry_b, sort_keys=True, default=str)
+    )
+    return MetamorphicResult(
+        "seed_determinism", method,
+        estimates_equal and telemetry_equal,
+        {
+            "estimates_bit_identical": estimates_equal,
+            "telemetry_bit_identical": telemetry_equal,
+            "n_scans": n_scans,
+        },
+    )
+
+
+def check_scan_subsample_monotonicity(
+    method: str,
+    seed: int = 3,
+    n_scans: int = 20,
+    strides: Sequence[int] = (1, 8, 64),
+    slack_fraction: float = 0.75,
+    slack_floor_m: float = 0.05,
+) -> MetamorphicResult:
+    """Discarding beams must not *improve* the error beyond slack.
+
+    For consecutive degradation levels the mean ground-truth error may
+    shrink by at most ``slack_fraction * previous + slack_floor_m`` —
+    fewer beams mean less information, so a large *improvement* signals a
+    sensor-model or layout bug (e.g. beam weights not renormalised).  A
+    strict increase is not required: between mild levels the error is
+    noise-dominated.
+    """
+    from repro.eval.trace import RunTrace, replay
+    from repro.verify.generators import reference_trace
+
+    track, trace = reference_trace(seed=seed, n_scans=n_scans)
+    errors = {}
+    for stride in strides:
+        sub = RunTrace(
+            times=trace.times.copy(),
+            gt_poses=trace.gt_poses.copy(),
+            odometry=trace.odometry.copy(),
+            scans=trace.scans[:, ::stride].copy(),
+            beam_angles=trace.beam_angles[::stride].copy(),
+            metadata=dict(trace.metadata),
+        )
+        out = replay(sub, _make_localizer_for(method, track.grid, seed))
+        errors[int(stride)] = float(out["mean_error"])
+
+    ok = True
+    for prev, nxt in zip(strides, strides[1:]):
+        slack = slack_fraction * errors[prev] + slack_floor_m
+        if errors[int(nxt)] < errors[int(prev)] - slack:
+            ok = False
+    return MetamorphicResult(
+        "scan_subsample_monotonicity", method, ok,
+        {
+            "strides": [int(s) for s in strides],
+            "mean_error_m": {str(k): v for k, v in errors.items()},
+            "slack_fraction": slack_fraction,
+            "slack_floor_m": slack_floor_m,
+        },
+    )
+
+
+def check_time_reversal(
+    method: str = "odometry", seed: int = 17, n_steps: int = 60,
+    tol: float = 1e-9,
+) -> MetamorphicResult:
+    """Forward delta chain + reversed inverse chain == identity.
+
+    Pure odometry-integration sanity (no localizer): the SE(2) compose /
+    invert algebra every consumer builds on must be exactly reversible.
+    ``method`` is accepted for trial-spec uniformity and ignored.
+    """
+    from repro.slam.pose_graph import apply_relative, relative_pose
+    from repro.utils.angles import wrap_to_pi
+    from repro.utils.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed("verify.time_reversal", seed))
+    start = np.array([rng.uniform(-5, 5), rng.uniform(-5, 5),
+                      rng.uniform(-np.pi, np.pi)])
+    deltas = np.column_stack([
+        rng.uniform(-0.3, 0.3, n_steps),
+        rng.uniform(-0.1, 0.1, n_steps),
+        rng.uniform(-0.4, 0.4, n_steps),
+    ])
+
+    pose = start.copy()
+    for d in deltas:
+        pose = apply_relative(pose, d)
+    for d in deltas[::-1]:
+        inverse = relative_pose(d, np.zeros(3))
+        pose = apply_relative(pose, inverse)
+
+    xy_err = float(np.hypot(pose[0] - start[0], pose[1] - start[1]))
+    theta_err = float(abs(wrap_to_pi(pose[2] - start[2])))
+    ok = xy_err <= tol and theta_err <= tol
+    return MetamorphicResult(
+        "time_reversal", "odometry", bool(ok),
+        {"xy_err_m": xy_err, "theta_err_rad": theta_err, "tol": tol,
+         "n_steps": n_steps},
+    )
+
+
+METAMORPHIC_CHECKS = {
+    "rigid_transform_equivariance": check_rigid_transform_equivariance,
+    "seed_determinism": check_seed_determinism,
+    "scan_subsample_monotonicity": check_scan_subsample_monotonicity,
+    "time_reversal": check_time_reversal,
+}
+
+
+def metamorphic_trial(check: str, method: str, seed: int = 5) -> Dict:
+    """Picklable sweep-trial body: run one named check for one method."""
+    fn = METAMORPHIC_CHECKS.get(check)
+    if fn is None:
+        raise ValueError(
+            f"unknown metamorphic check {check!r}; "
+            f"choose from {sorted(METAMORPHIC_CHECKS)}"
+        )
+    return fn(method, seed=seed).to_dict()
+
+
+def run_metamorphic_suite(
+    methods: Sequence[str] = LOCALIZER_METHODS_UNDER_TEST,
+    seed: int = 5,
+    checks: Optional[Sequence[str]] = None,
+) -> List[MetamorphicResult]:
+    """Run every (check, method) combination inline (single process).
+
+    ``time_reversal`` is method-independent and runs once.
+    """
+    names = list(checks) if checks is not None else sorted(METAMORPHIC_CHECKS)
+    results = []
+    for check in names:
+        if check == "time_reversal":
+            results.append(check_time_reversal(seed=seed))
+            continue
+        for method in methods:
+            results.append(METAMORPHIC_CHECKS[check](method, seed=seed))
+    return results

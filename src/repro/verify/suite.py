@@ -1,0 +1,389 @@
+"""``repro verify`` orchestration: every check as a sweep trial.
+
+One :class:`~repro.eval.runner.SweepRunner` fans out all the work a
+suite selection implies — raycast oracle batches, per-method localizer
+replays, metamorphic checks, golden comparisons — through a single
+module-level dispatching trial body (:func:`run_verify_trial`), then
+folds the per-trial metrics back into a :class:`VerifyReport` stamped
+with a :class:`~repro.telemetry.manifest.RunManifest`.
+
+Every trial's output is a pure function of its spec and every merge
+folds in sorted trial-id order, so the report is bit-identical whether
+it ran inline (``--workers 1``) or across a process pool — the
+determinism contract the sweep runner already imposes on experiment
+trials, extended to verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.runner import SweepRunner, TrialSpec
+from repro.utils.rng import derive_seed
+from repro.verify.differential import (
+    DEFAULT_BACKENDS,
+    LocalizerDifferentialReport,
+    RaycastDifferentialReport,
+    DEFAULT_PAIR_TOLERANCES_CELLS,
+    combine_localizer_trials,
+    localizer_replay_trial,
+    merge_pair_divergences,
+    raycast_batch_divergence,
+)
+from repro.verify.golden import default_golden_specs, golden_trial
+from repro.verify.metamorphic import (
+    METAMORPHIC_CHECKS,
+    MetamorphicResult,
+    metamorphic_trial,
+)
+
+__all__ = [
+    "VERIFY_SUITES",
+    "VerifyConfig",
+    "VerifyReport",
+    "build_verify_specs",
+    "run_verify_trial",
+    "run_verify",
+    "render_verify_report",
+]
+
+VERIFY_SUITES: Tuple[str, ...] = ("differential", "metamorphic", "golden",
+                                  "all")
+
+
+@dataclass
+class VerifyConfig:
+    """Everything a verification run depends on (and nothing else).
+
+    The config is picklable and fully serialised into the report's
+    manifest, so a failing CI verdict can be reproduced locally by
+    feeding the same values back through the CLI.
+    """
+
+    suite: str = "all"
+    n_queries: int = 10_000
+    batch_size: int = 2500
+    seed: int = 7
+    workers: int = 1
+    map_spec: Dict = field(default_factory=lambda: {"kind": "room", "seed": 3})
+    backends: Tuple[str, ...] = DEFAULT_BACKENDS
+    max_range: float = 12.0
+    theta_bins: int = 180
+    methods: Tuple[str, ...] = ("synpf", "cartographer")
+    trace_seed: int = 5
+    n_scans: int = 25
+    localizer_seed: int = 11
+    golden_dir: Optional[str] = None
+    update_golden: bool = False
+    timeout_s: Optional[float] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.suite not in VERIFY_SUITES:
+            raise ValueError(
+                f"unknown suite {self.suite!r}; expected one of "
+                f"{VERIFY_SUITES}"
+            )
+        if self.n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "suite": self.suite,
+            "n_queries": self.n_queries,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "workers": self.workers,
+            "map_spec": dict(self.map_spec),
+            "backends": list(self.backends),
+            "max_range": self.max_range,
+            "theta_bins": self.theta_bins,
+            "methods": list(self.methods),
+            "trace_seed": self.trace_seed,
+            "n_scans": self.n_scans,
+            "localizer_seed": self.localizer_seed,
+            "golden_dir": self.golden_dir,
+            "update_golden": self.update_golden,
+        }
+
+
+def build_verify_specs(config: VerifyConfig) -> List[TrialSpec]:
+    """Expand a suite selection into its sweep trials.
+
+    Trial ids are namespaced (``raycast/``, ``localizer/``, ``meta/``,
+    ``golden/``) so the report folds records back into sections, and
+    seeds derive from ``(purpose, trial_id)`` — batch content never
+    depends on how the batches are scheduled.
+    """
+    specs: List[TrialSpec] = []
+    run_differential = config.suite in ("differential", "all")
+    run_metamorphic = config.suite in ("metamorphic", "all")
+    run_golden = config.suite in ("golden", "all")
+
+    if run_differential:
+        n_batches = max(1, int(np.ceil(config.n_queries / config.batch_size)))
+        per_batch = int(np.ceil(config.n_queries / n_batches))
+        for index in range(n_batches):
+            n = min(per_batch, config.n_queries - index * per_batch)
+            trial_id = f"raycast/b{index:04d}"
+            specs.append(TrialSpec(
+                trial_id=trial_id,
+                seed=derive_seed("verify.spec", trial_id, config.seed),
+                params={
+                    "kind": "raycast_batch",
+                    "map_spec": dict(config.map_spec),
+                    "batch_index": index,
+                    "batch_size": n,
+                    "seed": config.seed,
+                    "backends": tuple(config.backends),
+                    "max_range": config.max_range,
+                    "theta_bins": config.theta_bins,
+                },
+            ))
+        for method in config.methods:
+            trial_id = f"localizer/{method}"
+            specs.append(TrialSpec(
+                trial_id=trial_id,
+                seed=derive_seed("verify.spec", trial_id, config.seed),
+                params={
+                    "kind": "localizer_replay",
+                    "method": method,
+                    "trace_seed": config.trace_seed,
+                    "n_scans": config.n_scans,
+                    "localizer_seed": config.localizer_seed,
+                },
+            ))
+
+    if run_metamorphic:
+        for check in sorted(METAMORPHIC_CHECKS):
+            methods = (("odometry",) if check == "time_reversal"
+                       else config.methods)
+            for method in methods:
+                trial_id = f"meta/{check}/{method}"
+                specs.append(TrialSpec(
+                    trial_id=trial_id,
+                    seed=derive_seed("verify.spec", trial_id, config.seed),
+                    params={
+                        "kind": "metamorphic",
+                        "check": check,
+                        "method": method,
+                        "seed": config.trace_seed,
+                    },
+                ))
+
+    if run_golden:
+        for spec in default_golden_specs():
+            trial_id = f"golden/{spec['name']}"
+            specs.append(TrialSpec(
+                trial_id=trial_id,
+                seed=derive_seed("verify.spec", trial_id, config.seed),
+                params={
+                    "kind": "golden",
+                    "name": spec["name"],
+                    "golden_dir": config.golden_dir,
+                    "update": config.update_golden,
+                },
+            ))
+    return specs
+
+
+def run_verify_trial(spec: TrialSpec) -> Dict:
+    """Execute one verification trial (module-level: picklable).
+
+    Dispatches on ``spec.params["kind"]``; each branch is a pure function
+    of the spec, honouring the sweep runner's determinism contract.
+    """
+    params = spec.params
+    kind = params["kind"]
+    if kind == "raycast_batch":
+        return raycast_batch_divergence(
+            params["map_spec"], params["batch_index"], params["batch_size"],
+            params["seed"], backends=params["backends"],
+            max_range=params["max_range"], theta_bins=params["theta_bins"],
+        )
+    if kind == "localizer_replay":
+        return localizer_replay_trial(
+            params["method"], params["trace_seed"], params["n_scans"],
+            params["localizer_seed"],
+        )
+    if kind == "metamorphic":
+        return metamorphic_trial(params["check"], params["method"],
+                                 seed=params["seed"])
+    if kind == "golden":
+        return golden_trial(params["name"], params["golden_dir"],
+                            update=params["update"])
+    raise ValueError(f"unknown verify trial kind {kind!r}")
+
+
+@dataclass
+class VerifyReport:
+    """Merged outcome of one verification run."""
+
+    config: Dict
+    manifest: Dict
+    raycast: Optional[RaycastDifferentialReport] = None
+    localizer: Optional[LocalizerDifferentialReport] = None
+    metamorphic: List[MetamorphicResult] = field(default_factory=list)
+    golden: List[Dict] = field(default_factory=list)
+    trial_failures: List[Dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        if self.trial_failures:
+            return False
+        if self.raycast is not None and not self.raycast.ok:
+            return False
+        if self.localizer is not None and not self.localizer.ok:
+            return False
+        if any(not result.ok for result in self.metamorphic):
+            return False
+        if any(not record.get("ok", False) for record in self.golden):
+            return False
+        return True
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "verify_report",
+            "ok": self.ok,
+            "config": self.config,
+            "manifest": self.manifest,
+            "raycast": self.raycast.to_dict() if self.raycast else None,
+            "localizer": self.localizer.to_dict() if self.localizer else None,
+            "metamorphic": [r.to_dict() for r in self.metamorphic],
+            "golden": list(self.golden),
+            "trial_failures": list(self.trial_failures),
+        }
+
+
+def run_verify(config: VerifyConfig,
+               progress=None) -> VerifyReport:
+    """Run a verification suite end to end; never raises on a failed check.
+
+    Check failures (and even crashed trials — the runner's fault
+    tolerance) land in the report with ``ok == False``; exceptions are
+    reserved for misconfiguration.
+    """
+    from repro.telemetry.manifest import RunManifest
+
+    specs = build_verify_specs(config)
+    runner = SweepRunner(
+        run_verify_trial,
+        workers=config.workers,
+        timeout_s=config.timeout_s,
+        retries=config.retries,
+        progress=progress,
+    )
+    sweep = runner.run(specs)
+
+    raycast_metrics: Dict[str, Mapping] = {}
+    localizer_metrics: Dict[str, Mapping] = {}
+    metamorphic_results: List[MetamorphicResult] = []
+    golden_records: List[Dict] = []
+    failures: List[Dict] = []
+    for record in sweep.records:
+        if not record.ok:
+            failures.append({
+                "trial_id": record.trial_id,
+                "kind": record.kind,
+                "error_type": record.error_type,
+                "message": record.message,
+            })
+            continue
+        trial_id = record.trial_id
+        if trial_id.startswith("raycast/"):
+            raycast_metrics[trial_id] = record.metrics
+        elif trial_id.startswith("localizer/"):
+            localizer_metrics[record.metrics["method"]] = record.metrics
+        elif trial_id.startswith("meta/"):
+            metamorphic_results.append(
+                MetamorphicResult.from_dict(record.metrics)
+            )
+        elif trial_id.startswith("golden/"):
+            golden_records.append(dict(record.metrics))
+
+    raycast_report = None
+    if raycast_metrics:
+        merged = merge_pair_divergences(raycast_metrics)
+        raycast_report = RaycastDifferentialReport(
+            pairs=merged,
+            tolerances=dict(DEFAULT_PAIR_TOLERANCES_CELLS),
+            n_queries=sum(m["n_queries"] for m in raycast_metrics.values()),
+            resolution=next(iter(raycast_metrics.values()))["resolution"],
+            backends=tuple(config.backends),
+        )
+    localizer_report = None
+    if localizer_metrics:
+        localizer_report = combine_localizer_trials(localizer_metrics)
+
+    manifest = RunManifest.capture(
+        config=config.to_dict(),
+        seeds={"verify": config.seed, "trace": config.trace_seed,
+               "localizer": config.localizer_seed},
+    )
+    # Sections fold in sorted trial-id order above; sort the flat lists
+    # too so the report never reflects completion order.
+    metamorphic_results.sort(key=lambda r: (r.check, r.method))
+    golden_records.sort(key=lambda r: r.get("name", ""))
+    failures.sort(key=lambda r: r["trial_id"])
+    return VerifyReport(
+        config=config.to_dict(),
+        manifest=manifest.to_dict(),
+        raycast=raycast_report,
+        localizer=localizer_report,
+        metamorphic=metamorphic_results,
+        golden=golden_records,
+        trial_failures=failures,
+    )
+
+
+def render_verify_report(report: VerifyReport) -> str:
+    """Human-readable multi-section summary of a verification run."""
+    lines: List[str] = []
+    suite = report.config.get("suite", "?")
+    lines.append(f"verification report — suite: {suite}")
+    lines.append("=" * 60)
+    if report.raycast is not None:
+        lines.append("")
+        lines.append(report.raycast.render_text())
+    if report.localizer is not None:
+        lines.append("")
+        lines.append(report.localizer.render_text())
+    if report.metamorphic:
+        lines.append("")
+        lines.append("metamorphic checks")
+        lines.append("-" * 46)
+        for result in report.metamorphic:
+            lines.append(result.summary_line())
+    if report.golden:
+        lines.append("")
+        lines.append("golden traces")
+        lines.append("-" * 60)
+        for record in report.golden:
+            if "updated" in record:
+                lines.append(f"{record['name']:<26}updated -> "
+                             f"{record['updated']}")
+            else:
+                status = "ok" if record.get("ok") else "FAIL"
+                lines.append(
+                    f"{record.get('name', '?'):<26}"
+                    f"{record.get('n_steps', 0):>6} steps"
+                    f"{record.get('max_abs_err_m', 0.0):>12.3e} m max"
+                    f"{status:>8}"
+                )
+    if report.trial_failures:
+        lines.append("")
+        lines.append("trial failures")
+        lines.append("-" * 60)
+        for failure in report.trial_failures:
+            lines.append(
+                f"{failure['trial_id']}: [{failure['kind']}] "
+                f"{failure['error_type']}: {failure['message']}"
+            )
+    lines.append("")
+    lines.append(f"overall: {'PASS' if report.ok else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,7 +1,13 @@
 """Shared fixtures: small tracks and grids reused across the suite.
 
 Session-scoped because track rasterisation and LUT construction are the
-expensive parts of the fixtures; every consumer treats them as read-only.
+expensive parts of the fixtures.  Every consumer treats them as
+read-only — and since PR 4 that contract is *enforced*: the session
+tracks' occupancy data is frozen (``writeable=False``), so a test that
+scribbles on a shared map fails itself instead of silently poisoning
+every test that runs after it (see ``test_fixture_isolation.py``).
+Tests that need a mutable map build their own (e.g. via
+``tests.strategies.room_grid``) or use the function-scoped ``box_grid``.
 """
 
 from __future__ import annotations
@@ -13,16 +19,28 @@ from repro.maps import OccupancyGrid, generate_track
 from repro.maps.occupancy_grid import FREE, OCCUPIED
 
 
+def _frozen(track):
+    """Freeze a track's occupancy data in place and hand the track back."""
+    track.grid.data.flags.writeable = False
+    return track
+
+
 @pytest.fixture(scope="session")
 def small_track():
-    """A coarse random corridor track — fast to ray cast."""
-    return generate_track(seed=11, mean_radius=5.0, resolution=0.1, track_width=2.0)
+    """A coarse random corridor track — fast to ray cast.  Read-only."""
+    return _frozen(
+        generate_track(seed=11, mean_radius=5.0, resolution=0.1,
+                       track_width=2.0)
+    )
 
 
 @pytest.fixture(scope="session")
 def fine_track():
-    """A finer track for accuracy-sensitive tests."""
-    return generate_track(seed=3, mean_radius=6.0, resolution=0.05, track_width=2.2)
+    """A finer track for accuracy-sensitive tests.  Read-only."""
+    return _frozen(
+        generate_track(seed=3, mean_radius=6.0, resolution=0.05,
+                       track_width=2.2)
+    )
 
 
 @pytest.fixture()
@@ -30,7 +48,8 @@ def box_grid():
     """A 10 m x 10 m room with 0.1 m walls on all four sides.
 
     Exact expected ranges are easy to compute by hand, which makes this the
-    reference fixture for ray-caster correctness tests.
+    reference fixture for ray-caster correctness tests.  Function-scoped
+    and mutable, unlike the session tracks.
     """
     res = 0.1
     n = 100

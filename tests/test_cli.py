@@ -96,6 +96,36 @@ class TestParser:
         assert args.out == "out.yaml"
         assert args.replica
 
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.suite == "all"
+        assert args.queries == 10_000
+        assert args.batch_size == 2500
+        assert args.workers == 1
+        assert args.methods == "synpf,cartographer"
+        assert args.golden_dir is None
+        assert not args.update_golden
+        assert args.report is None
+
+    def test_verify_options(self):
+        args = build_parser().parse_args(
+            ["verify", "--suite", "golden", "--queries", "500",
+             "--batch-size", "100", "--workers", "4",
+             "--methods", "cartographer", "--golden-dir", "g",
+             "--update-golden", "--report", "out.json", "--quiet"]
+        )
+        assert args.suite == "golden"
+        assert args.queries == 500
+        assert args.workers == 4
+        assert args.golden_dir == "g"
+        assert args.update_golden
+        assert args.report == "out.json"
+        assert args.quiet
+
+    def test_verify_rejects_bad_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--suite", "vibes"])
+
 
 class TestCommands:
     def test_generate_map_random(self, tmp_path, capsys):
@@ -151,3 +181,70 @@ class TestCommands:
     def test_scenario_show_unknown_name(self):
         with pytest.raises(KeyError):
             main(["scenario", "show", "not-a-scenario"])
+
+
+class TestVerifyCommand:
+    def test_metamorphic_suite_passes(self, tmp_path, capsys):
+        out = str(tmp_path / "report.json")
+        rc = main(["verify", "--suite", "metamorphic",
+                   "--methods", "cartographer", "--quiet",
+                   "--report", out])
+        captured = capsys.readouterr().out
+        assert rc == 0, captured
+        assert "overall: PASS" in captured
+        import json
+
+        with open(out) as fh:
+            payload = json.load(fh)
+        assert payload["ok"] is True
+        assert payload["config"]["suite"] == "metamorphic"
+
+    def test_invalid_config_exits_2(self, capsys):
+        rc = main(["verify", "--queries", "0"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_goldens_exit_1_without_traceback(self, tmp_path,
+                                                      capsys):
+        rc = main(["verify", "--suite", "golden", "--quiet",
+                   "--golden-dir", str(tmp_path / "empty")])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "overall: FAIL" in captured.out
+        assert "FileNotFoundError" in captured.out
+        assert "Traceback" not in captured.out
+        assert "Traceback" not in captured.err
+
+
+class TestReportCommandErrorPaths:
+    """`repro report` on bad inputs: non-zero exit, message, no traceback."""
+
+    def test_missing_run_file(self, capsys):
+        rc = main(["report", "/nonexistent/run.jsonl"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "telemetry run not found" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("{this is not json\nnor this\n")
+        rc = main(["report", str(path), "--format", "json"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "no metrics records" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_torn_tail_line_with_no_metrics(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "torn.jsonl"
+        manifest = {"kind": "manifest", "run_id": "r1"}
+        # A torn write: the process died mid-record.
+        path.write_text(json.dumps(manifest) + "\n"
+                        '{"kind": "metrics", "stages": {"upd')
+        rc = main(["report", str(path), "--format", "json"])
+        assert rc == 2
+        assert "no metrics records" in capsys.readouterr().err

@@ -1,0 +1,48 @@
+"""Cross-test isolation of the session-scoped map fixtures.
+
+The ``small_track`` / ``fine_track`` fixtures are shared by the whole
+session for speed.  That sharing is only sound if no test can mutate
+them: a single in-place write would change every later test's map and
+surface as an unrelated, order-dependent failure.  The fixtures
+therefore freeze their occupancy arrays, and these tests pin both halves
+of the contract — writes fail loudly, and the data other tests actually
+received is bit-identical to a freshly generated track.
+"""
+
+import numpy as np
+import pytest
+
+from repro.maps import generate_track
+from repro.maps.occupancy_grid import OCCUPIED
+
+
+class TestSessionFixturesAreFrozen:
+    def test_small_track_rejects_writes(self, small_track):
+        assert not small_track.grid.data.flags.writeable
+        with pytest.raises(ValueError):
+            small_track.grid.data[0, 0] = OCCUPIED
+
+    def test_fine_track_rejects_writes(self, fine_track):
+        assert not fine_track.grid.data.flags.writeable
+        with pytest.raises(ValueError):
+            fine_track.grid.data[:] = 0
+
+    def test_small_track_matches_fresh_generation(self, small_track):
+        """The shared map equals a from-scratch build of the same spec.
+
+        If any earlier test had managed to mutate the session fixture
+        (e.g. through a view taken before freezing), this comparison —
+        not that test — is where the damage becomes visible.
+        """
+        fresh = generate_track(seed=11, mean_radius=5.0, resolution=0.1,
+                               track_width=2.0)
+        assert small_track.grid.resolution == fresh.grid.resolution
+        assert small_track.grid.origin == fresh.grid.origin
+        assert np.array_equal(small_track.grid.data, fresh.grid.data)
+
+    def test_frozen_grid_still_serves_queries(self, small_track):
+        """Freezing must not break read paths (distance field, masks)."""
+        grid = small_track.grid
+        assert grid.free_mask().any()
+        field = grid.distance_field()
+        assert np.all(field[grid.data == OCCUPIED] == 0)

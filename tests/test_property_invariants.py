@@ -1,7 +1,9 @@
 """Cross-module property-based tests (hypothesis).
 
 Each test states an invariant the system must hold for *arbitrary* valid
-inputs — the kind of contract unit examples cannot pin down.
+inputs — the kind of contract unit examples cannot pin down.  Input
+generation lives in :mod:`tests.strategies`, shared with the rest of the
+suite and the ``repro verify`` oracles.
 """
 
 import numpy as np
@@ -14,12 +16,9 @@ from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
 from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
 from repro.slam.pose_graph import apply_relative, relative_pose
 from repro.utils.angles import wrap_to_pi
+from tests.strategies import odometry_deltas, poses
 
-pose_st = st.tuples(
-    st.floats(min_value=-50, max_value=50),
-    st.floats(min_value=-50, max_value=50),
-    st.floats(min_value=-np.pi, max_value=np.pi),
-).map(np.array)
+pose_st = poses()
 
 
 class TestSE2RelativeProperties:
@@ -46,11 +45,7 @@ class TestSE2RelativeProperties:
 
 
 class TestOdometryDeltaProperties:
-    delta_st = st.tuples(
-        st.floats(min_value=-0.5, max_value=0.5),
-        st.floats(min_value=-0.2, max_value=0.2),
-        st.floats(min_value=-0.5, max_value=0.5),
-    ).map(lambda t: OdometryDelta(t[0], t[1], t[2], velocity=1.0, dt=0.025))
+    delta_st = odometry_deltas()
 
     @given(delta_st, delta_st)
     def test_compose_matches_pose_chain(self, d0, d1):

@@ -16,6 +16,7 @@ from repro.raycast import (
     RayMarching,
     make_range_method,
 )
+from tests.strategies import walled_room
 
 # The box room (see conftest) is 10 m x 10 m with 0.1 m walls; standing at
 # the centre, the inner wall faces are 4.9 m away (cells 0 and 99 occupied).
@@ -238,13 +239,12 @@ class TestFactory:
 
 
 def _sixty_cell_room():
-    """The 10 m room used by the ray-marching property test (60 cells)."""
-    from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
+    """The 10 m room used by the ray-marching property test (60 cells).
 
-    data = np.full((60, 60), FREE, dtype=np.int8)
-    data[0, :] = data[-1, :] = OCCUPIED
-    data[:, 0] = data[:, -1] = OCCUPIED
-    return OccupancyGrid(data, 1.0 / 6.0)
+    Shared with ``repro verify``'s differential oracle via
+    :func:`tests.strategies.walled_room`.
+    """
+    return walled_room(size=60)
 
 
 class TestRayMarchingRegression:
@@ -333,12 +333,7 @@ class TestRayMarchingRegression:
 )
 def test_property_ray_marching_close_to_exact(x, y, theta):
     """Random in-room queries: RM within 2 cells of exact traversal."""
-    from repro.maps.occupancy_grid import FREE, OCCUPIED, OccupancyGrid
-
-    data = np.full((60, 60), FREE, dtype=np.int8)
-    data[0, :] = data[-1, :] = OCCUPIED
-    data[:, 0] = data[:, -1] = OCCUPIED
-    grid = OccupancyGrid(data, 1.0 / 6.0)
+    grid = walled_room(size=60)
     exact = BresenhamRayCast(grid)
     rm = RayMarching(grid)
     assert rm.calc_range(x, y, theta) == pytest.approx(

@@ -1,0 +1,186 @@
+"""Tests for the differential oracles (repro.verify.differential)."""
+
+import numpy as np
+import pytest
+
+from repro.verify.differential import (
+    DEFAULT_PAIR_TOLERANCES_CELLS,
+    PairDivergence,
+    combine_localizer_trials,
+    merge_pair_divergences,
+    raycast_batch_divergence,
+    run_raycast_differential,
+)
+
+MAP_SPEC = {"kind": "walled", "size": 40}
+
+
+class TestPairDivergence:
+    def test_bucket_counts_are_exact(self):
+        div = PairDivergence(pair=("a", "b"))
+        div.observe_errors(np.array([0.1, 0.3, 0.9, 2.5, 100.0]))
+        assert div.count == 5
+        assert sum(div.bucket_counts) == 5
+        assert div.bucket_counts[0] == 1    # <= 0.25
+        assert div.bucket_counts[-1] == 1   # overflow (> 64)
+        assert div.max_cells == pytest.approx(100.0)
+
+    def test_quantile_upper_edge_counting(self):
+        div = PairDivergence(pair=("a", "b"))
+        div.observe_errors(np.array([0.1] * 98 + [5.0, 200.0]))
+        assert div.quantile_upper_edge(0.50) == 0.25
+        assert div.quantile_upper_edge(0.98) == 0.25
+        assert div.quantile_upper_edge(0.99) == 6.0
+        assert div.quantile_upper_edge(1.0) == float("inf")
+
+    def test_quantile_of_empty_is_zero(self):
+        assert PairDivergence(pair=("a", "b")).quantile_upper_edge(0.9) == 0.0
+
+    def test_fraction_within(self):
+        div = PairDivergence(pair=("a", "b"))
+        div.observe_errors(np.array([0.2, 0.2, 0.2, 4.0]))
+        assert div.fraction_within(0.25) == pytest.approx(0.75)
+        assert div.fraction_within(3.0) == pytest.approx(0.75)
+        assert div.fraction_within(4.0) == pytest.approx(1.0)
+
+    def test_merge_is_order_invariant(self):
+        errors = np.array([0.1, 0.6, 1.5, 3.5, 9.0, 70.0])
+        one = PairDivergence(pair=("a", "b"))
+        one.observe_errors(errors)
+        for split in (2, 3):
+            parts = [PairDivergence(pair=("a", "b")) for _ in range(split)]
+            for part, chunk in zip(parts, np.array_split(errors, split)):
+                part.observe_errors(chunk)
+            merged = parts[-1]  # merge in reversed order on purpose
+            for part in reversed(parts[:-1]):
+                merged.merge(part)
+            assert merged.bucket_counts == one.bucket_counts
+            assert merged.count == one.count
+            assert merged.max_cells == one.max_cells
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = PairDivergence(pair=("a", "b"))
+        b = PairDivergence(pair=("a", "b"), edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_gate_grammar(self):
+        div = PairDivergence(pair=("a", "b"))
+        div.observe_errors(np.array([0.2] * 95 + [10.0] * 5))
+        verdicts = div.gate({"p90": 1.0, "within_3": 0.9, "max": 8.0})
+        assert verdicts == {"p90": True, "within_3": True, "max": False}
+
+    def test_dict_roundtrip(self):
+        div = PairDivergence(pair=("a", "b"))
+        div.observe_errors(np.array([0.4, 7.0]))
+        again = PairDivergence.from_dict(div.to_dict())
+        assert again.pair == div.pair
+        assert again.bucket_counts == div.bucket_counts
+        assert again.max_cells == div.max_cells
+
+
+class TestRaycastBatches:
+    def test_batch_is_pure_function_of_spec(self):
+        a = raycast_batch_divergence(MAP_SPEC, 0, 200, seed=3)
+        b = raycast_batch_divergence(MAP_SPEC, 0, 200, seed=3)
+        assert a == b
+
+    def test_different_batches_differ(self):
+        a = raycast_batch_divergence(MAP_SPEC, 0, 200, seed=3)
+        b = raycast_batch_divergence(MAP_SPEC, 1, 200, seed=3)
+        assert a != b
+
+    def test_merge_ignores_dict_insertion_order(self):
+        batches = {
+            f"raycast/b{i:04d}": raycast_batch_divergence(MAP_SPEC, i, 100,
+                                                          seed=3)
+            for i in range(3)
+        }
+        reversed_batches = dict(reversed(list(batches.items())))
+        forward = merge_pair_divergences(batches)
+        backward = merge_pair_divergences(reversed_batches)
+        assert forward.keys() == backward.keys()
+        for name in forward:
+            assert forward[name].bucket_counts == backward[name].bucket_counts
+
+
+class TestRaycastReport:
+    def test_small_run_passes_default_gates(self):
+        report = run_raycast_differential(n_queries=600, batch_size=200)
+        assert report.n_queries == 600
+        assert set(report.pairs) == {
+            "bresenham__cddt", "bresenham__lut", "bresenham__ray_marching",
+            "cddt__lut", "cddt__ray_marching", "lut__ray_marching",
+        }
+        assert report.ok, report.render_text()
+
+    def test_render_and_dict(self):
+        report = run_raycast_differential(
+            n_queries=200, batch_size=200, backends=("bresenham",
+                                                     "ray_marching"),
+        )
+        text = report.render_text()
+        assert "bresenham__ray_marching" in text
+        data = report.to_dict()
+        assert data["kind"] == "raycast_differential"
+        assert data["pairs"]["bresenham__ray_marching"]["verdicts"]
+
+    def test_impossible_tolerance_fails_gate(self):
+        report = run_raycast_differential(
+            n_queries=200, batch_size=200,
+            tolerances={("bresenham", "ray_marching"): {"p90": -1.0}},
+        )
+        verdicts = report.verdicts()["bresenham__ray_marching"]
+        assert verdicts == {"p90": False}
+        assert not report.ok
+
+    def test_default_tolerances_cover_all_default_pairs(self):
+        backends = ("bresenham", "ray_marching", "cddt", "lut")
+        for i, a in enumerate(backends):
+            for b in backends[i + 1:]:
+                key = (a, b) if a <= b else (b, a)
+                assert key in DEFAULT_PAIR_TOLERANCES_CELLS
+
+
+class TestLocalizerCombine:
+    def _stats(self, estimates):
+        return {"estimates": estimates, "gt_mean": 0.01, "gt_max": 0.02,
+                "gt_rmse": 0.012, "method": "x"}
+
+    def test_pairwise_distance_math(self):
+        base = np.zeros((4, 3))
+        shifted = base.copy()
+        shifted[:, 0] = 0.25
+        report = combine_localizer_trials({
+            "a": self._stats(base.tolist()),
+            "b": self._stats(shifted.tolist()),
+        })
+        assert report.pair_divergence_m["a__b"]["max"] == pytest.approx(0.25)
+        assert report.ok
+
+    def test_gate_trips_on_gt_error(self):
+        stats = self._stats(np.zeros((3, 3)).tolist())
+        stats["gt_mean"] = 99.0
+        report = combine_localizer_trials({"a": stats})
+        assert not report.ok
+
+    def test_gate_trips_on_pair_divergence(self):
+        base = np.zeros((3, 3))
+        far = base.copy()
+        far[:, 1] = 50.0
+        report = combine_localizer_trials({
+            "a": self._stats(base.tolist()),
+            "b": self._stats(far.tolist()),
+        })
+        assert not report.ok
+        assert "a__b" in report.render_text()
+
+
+@pytest.mark.verify
+class TestFullScaleOracle:
+    """The acceptance-criteria scale: >= 10k queries, all four backends."""
+
+    def test_ten_thousand_queries_agree(self):
+        report = run_raycast_differential(n_queries=10_000)
+        assert report.n_queries == 10_000
+        assert report.ok, report.render_text()

@@ -1,0 +1,148 @@
+"""Tests for the golden-trace store (repro.verify.golden)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.verify.golden import (
+    GOLDEN_FORMAT_VERSION,
+    compare_golden,
+    default_golden_specs,
+    golden_path,
+    golden_trial,
+    load_golden,
+    record_golden,
+)
+
+# Small, fast spec for tmp_path round trips: the scan matcher has no
+# particles to simulate, so four steps replay in well under a second.
+SMALL_SPEC = {
+    "name": "tiny_cartographer",
+    "method": "cartographer",
+    "trace_seed": 5,
+    "n_scans": 4,
+    "localizer_seed": 11,
+    "tolerance_m": 1e-6,
+}
+
+
+class TestRecordCompare:
+    def test_roundtrip_matches_itself(self, tmp_path):
+        path = record_golden(SMALL_SPEC, tmp_path)
+        assert path == golden_path("tiny_cartographer", tmp_path)
+        comparison = compare_golden("tiny_cartographer", tmp_path)
+        assert comparison.ok
+        assert comparison.n_steps == 4
+        assert comparison.max_abs_err_m == 0.0
+        assert comparison.mismatches == []
+
+    def test_rerecord_is_byte_identical(self, tmp_path):
+        first = record_golden(SMALL_SPEC, tmp_path).read_bytes()
+        second = record_golden(SMALL_SPEC, tmp_path).read_bytes()
+        assert first == second
+
+    def test_file_is_self_describing(self, tmp_path):
+        path = record_golden(SMALL_SPEC, tmp_path)
+        stored = load_golden(path)
+        assert stored["spec"]["method"] == "cartographer"
+        assert stored["n_steps"] == 4
+        assert stored["estimates"].shape == (4, 3)
+
+    def test_tampered_pose_is_caught_with_step(self, tmp_path):
+        path = record_golden(SMALL_SPEC, tmp_path)
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        record = json.loads(lines[2])  # step 1
+        record["pose"][0] += 0.5
+        lines[2] = json.dumps(record)
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        comparison = compare_golden("tiny_cartographer", tmp_path)
+        assert not comparison.ok
+        assert comparison.mismatches[0].step == 1
+        assert comparison.max_abs_err_m == pytest.approx(0.5, abs=1e-6)
+
+    def test_tolerance_override_can_forgive(self, tmp_path):
+        path = record_golden(SMALL_SPEC, tmp_path)
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        record = json.loads(lines[1])
+        record["pose"][1] += 1e-4
+        lines[1] = json.dumps(record)
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        assert not compare_golden("tiny_cartographer", tmp_path).ok
+        assert compare_golden("tiny_cartographer", tmp_path,
+                              tolerance_m=1e-3).ok
+
+
+class TestLoadErrors:
+    def test_missing_file_mentions_update_flag(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--update-golden"):
+            load_golden(golden_path("nope", tmp_path))
+
+    def test_corrupt_gzip_is_a_value_error(self, tmp_path):
+        path = golden_path("bad", tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not gzip")
+        with pytest.raises(ValueError, match="corrupt golden file"):
+            load_golden(path)
+
+    def test_corrupt_json_is_a_value_error(self, tmp_path):
+        path = golden_path("bad", tmp_path)
+        path.write_bytes(gzip.compress(b"{not json\n"))
+        with pytest.raises(ValueError, match="corrupt golden file"):
+            load_golden(path)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        path = golden_path("bad", tmp_path)
+        header = json.dumps({"format_version": 999, "spec": {}, "n_steps": 0})
+        path.write_bytes(gzip.compress((header + "\n").encode()))
+        with pytest.raises(ValueError, match="format_version"):
+            load_golden(path)
+
+    def test_step_count_mismatch_rejected(self, tmp_path):
+        path = golden_path("bad", tmp_path)
+        lines = [
+            json.dumps({"format_version": GOLDEN_FORMAT_VERSION,
+                        "spec": dict(SMALL_SPEC), "n_steps": 3}),
+            json.dumps({"step": 0, "pose": [0.0, 0.0, 0.0]}),
+        ]
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        with pytest.raises(ValueError, match="promises 3 steps"):
+            load_golden(path)
+
+
+class TestTrialBody:
+    def test_update_then_compare(self, tmp_path):
+        # tiny_cartographer is not a default spec, so the update path has
+        # nothing stored to fall back on; seed the file first.
+        record_golden(SMALL_SPEC, tmp_path)
+        out = golden_trial("tiny_cartographer", str(tmp_path), update=True)
+        assert out["ok"] and "updated" in out
+        out = golden_trial("tiny_cartographer", str(tmp_path))
+        assert out["kind"] == "golden"
+        assert out["ok"]
+        assert out["name"] == "tiny_cartographer"
+
+
+class TestCommittedGoldens:
+    def test_default_specs_cover_all_methods(self):
+        specs = default_golden_specs()
+        assert [s["name"] for s in specs] == [
+            "reference_synpf", "reference_vanilla_mcl",
+            "reference_cartographer",
+        ]
+
+    def test_committed_files_exist_for_every_default_spec(self):
+        for spec in default_golden_specs():
+            path = golden_path(spec["name"])
+            assert path.is_file(), (
+                f"missing committed golden {path}; record it with "
+                "repro verify --suite golden --update-golden"
+            )
+            stored = load_golden(path)
+            assert stored["spec"]["method"] == spec["method"]
+
+    @pytest.mark.verify
+    def test_committed_goldens_still_reproduce(self):
+        for spec in default_golden_specs():
+            comparison = compare_golden(spec["name"])
+            assert comparison.ok, comparison.summary_line()

@@ -1,0 +1,211 @@
+"""Tests for runtime invariant hooks (repro.verify.invariants)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import make_localizer
+from repro.core.motion_models import OdometryDelta
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantError,
+    attach_invariants,
+)
+from tests.strategies import scan_stream, walled_room
+
+
+def _replay_through(checker, trace):
+    from repro.sim.lidar import LidarScan
+
+    checker.initialize(trace.gt_poses[0])
+    for k in range(len(trace)):
+        dx, dy, dtheta, velocity, dt = trace.odometry[k]
+        delta = OdometryDelta(dx, dy, dtheta, velocity=velocity, dt=dt)
+        scan = LidarScan(
+            ranges=trace.scans[k].astype(float),
+            angles=trace.beam_angles,
+            timestamp=float(trace.times[k]),
+            sensor_pose=np.zeros(3),
+        )
+        checker.update(delta, scan)
+
+
+class _FakePose:
+    """Minimal Localizer double whose pose sequence is scripted."""
+
+    consumes_scan = True
+
+    def __init__(self, poses):
+        self._poses = list(poses)
+        self._current = np.zeros(3)
+
+    def initialize(self, pose, std_xy=None, std_theta=None):
+        self._current = np.asarray(pose, dtype=float)
+
+    def update(self, delta, scan):
+        self._current = np.asarray(self._poses.pop(0), dtype=float)
+        return self._current
+
+    @property
+    def pose(self):
+        return self._current
+
+    def latency_ms(self):
+        return 0.0
+
+    def telemetry(self):
+        return {"timing": {}}
+
+
+class TestHealthyLocalizer:
+    def test_synpf_trace_is_violation_free(self):
+        track, trace = scan_stream(seed=3, n_scans=5)
+        localizer = make_localizer(
+            "synpf", track.grid, seed=5, num_particles=200, num_beams=20,
+            range_method="ray_marching",
+        )
+        checker = attach_invariants(localizer, track.grid)
+        _replay_through(checker, trace)
+        assert checker.ok, checker.violation_counts
+        assert checker.telemetry()["invariants"]["checked_updates"] == 5
+        assert checker.telemetry()["invariants"]["violation_counts"] == {}
+
+    def test_cartographer_trace_is_violation_free(self):
+        track, trace = scan_stream(seed=3, n_scans=5)
+        localizer = make_localizer("cartographer", track.grid)
+        checker = attach_invariants(localizer, track.grid)
+        _replay_through(checker, trace)
+        assert checker.ok, checker.violation_counts
+
+    def test_checker_is_a_transparent_wrapper(self):
+        track, trace = scan_stream(seed=3, n_scans=3)
+        localizer = make_localizer(
+            "synpf", track.grid, seed=5, num_particles=150, num_beams=16,
+            range_method="ray_marching",
+        )
+        checker = attach_invariants(localizer, track.grid)
+        assert checker.consumes_scan
+        assert hasattr(checker, "initialize_global")  # mirrored surface
+        _replay_through(checker, trace)
+        assert np.array_equal(checker.pose, localizer.pose)
+        assert checker.latency_ms() == localizer.latency_ms()
+
+
+class TestPoseInvariants:
+    def _grid(self):
+        return walled_room(size=20)
+
+    def test_out_of_bounds_pose_is_flagged(self):
+        grid = self._grid()
+        fake = _FakePose([[999.0, 999.0, 0.0]])
+        checker = InvariantChecker(fake, grid)
+        checker.update(None, None)
+        assert checker.violation_counts == {"pose_in_bounds": 1}
+        assert checker.violations[0].step == 1
+
+    def test_nan_pose_short_circuits_other_checks(self):
+        grid = self._grid()
+        fake = _FakePose([[np.nan, 1.0, 0.0]])
+        checker = InvariantChecker(fake, grid)
+        checker.update(None, None)
+        assert checker.violation_counts == {"pose_finite": 1}
+
+    def test_strict_mode_raises_with_records(self):
+        grid = self._grid()
+        fake = _FakePose([[np.inf, 0.0, 0.0]])
+        checker = InvariantChecker(fake, grid, strict=True)
+        with pytest.raises(InvariantError) as excinfo:
+            checker.update(None, None)
+        assert excinfo.value.violations[0].invariant == "pose_finite"
+        assert "pose_finite" in str(excinfo.value)
+
+    def test_healthy_pose_passes(self):
+        grid = self._grid()
+        fake = _FakePose([[1.5, 1.5, 0.3]])
+        checker = InvariantChecker(fake, grid, strict=True)
+        checker.update(None, None)
+        assert checker.ok
+
+
+class TestParticleFilterInvariants:
+    """Drive the PF-specific checks through a scripted fake ``pf``."""
+
+    def _checker(self, weights, particles=None, num_particles=None,
+                 adaptive=False, kld_n_min=50):
+        grid = walled_room(size=20)
+        weights = np.asarray(weights, dtype=float)
+        if particles is None:
+            particles = np.tile([1.5, 1.5, 0.0], (weights.size, 1))
+        pf = SimpleNamespace(
+            weights=weights,
+            particles=np.asarray(particles, dtype=float),
+            config=SimpleNamespace(
+                adaptive=adaptive,
+                num_particles=(num_particles if num_particles is not None
+                               else weights.size),
+                kld_n_min=kld_n_min,
+            ),
+        )
+        inner = _FakePose([[1.5, 1.5, 0.0]])
+        inner.pf = pf
+        return InvariantChecker(inner, grid)
+
+    def test_normalized_weights_pass(self):
+        checker = self._checker(np.full(100, 0.01))
+        checker.update(None, None)
+        assert checker.ok
+
+    def test_unnormalized_weights_flagged(self):
+        checker = self._checker(np.full(100, 0.02))
+        checker.update(None, None)
+        assert "weights_normalized" in checker.violation_counts
+
+    def test_nonfinite_weights_flagged_first(self):
+        weights = np.full(100, 0.01)
+        weights[3] = np.nan
+        checker = self._checker(weights)
+        checker.update(None, None)
+        assert checker.violation_counts == {"weights_finite": 1}
+
+    def test_negative_weights_flagged(self):
+        weights = np.full(100, 0.011)
+        weights[0] = -0.089
+        checker = self._checker(weights)
+        checker.update(None, None)
+        assert "weights_nonnegative" in checker.violation_counts
+
+    def test_count_mismatch_fixed_filter(self):
+        checker = self._checker(np.full(90, 1.0 / 90), num_particles=100)
+        checker.update(None, None)
+        assert "particle_count_conserved" in checker.violation_counts
+
+    def test_adaptive_count_inside_band_passes(self):
+        checker = self._checker(np.full(70, 1.0 / 70), num_particles=100,
+                                adaptive=True, kld_n_min=50)
+        checker.update(None, None)
+        assert checker.ok
+
+    def test_adaptive_count_below_band_flagged(self):
+        checker = self._checker(np.full(30, 1.0 / 30), num_particles=100,
+                                adaptive=True, kld_n_min=50)
+        checker.update(None, None)
+        assert "particle_count_conserved" in checker.violation_counts
+
+    def test_covariance_of_real_spread_is_psd(self):
+        rng = np.random.default_rng(0)
+        particles = np.column_stack([
+            rng.normal(1.5, 0.2, 200), rng.normal(1.5, 0.2, 200),
+            rng.uniform(-np.pi, np.pi, 200),
+        ])
+        checker = self._checker(np.full(200, 1.0 / 200), particles=particles)
+        checker.update(None, None)
+        assert checker.ok
+
+    def test_violation_record_serialises(self):
+        checker = self._checker(np.full(100, 0.02))
+        checker.update(None, None)
+        record = checker.violations[0].to_dict()
+        assert record["invariant"] == "weights_normalized"
+        assert record["step"] == 1
+        assert isinstance(record["value"], float)

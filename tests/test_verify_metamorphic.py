@@ -1,0 +1,134 @@
+"""Tests for the metamorphic suite (repro.verify.metamorphic)."""
+
+import numpy as np
+import pytest
+
+from repro.maps.occupancy_grid import OCCUPIED, OccupancyGrid
+from repro.verify.metamorphic import (
+    METAMORPHIC_CHECKS,
+    MetamorphicResult,
+    check_rigid_transform_equivariance,
+    check_scan_subsample_monotonicity,
+    check_seed_determinism,
+    check_time_reversal,
+    metamorphic_trial,
+    transform_grid,
+    transform_pose,
+)
+
+
+def _occupied_centers(grid):
+    rows, cols = np.nonzero(grid.data == OCCUPIED)
+    pts = grid.grid_to_world(np.stack([cols, rows], axis=-1).astype(float))
+    return {(round(float(x), 9), round(float(y), 9)) for x, y in pts}
+
+
+class TestTransformGrid:
+    def _asymmetric_grid(self):
+        data = np.zeros((5, 8), dtype=np.int8)
+        data[1, 2] = OCCUPIED
+        data[4, 7] = OCCUPIED
+        return OccupancyGrid(data, 0.5, origin=(1.0, -2.0))
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_occupied_centers_map_exactly(self, k):
+        """T(cell centres of G) == cell centres of T(G), for every turn."""
+        grid = self._asymmetric_grid()
+        out = transform_grid(grid, k, translation=(0.25, -1.5))
+        want = set()
+        for x, y in _occupied_centers(grid):
+            pose = transform_pose(np.array([x, y, 0.0]), k, (0.25, -1.5))
+            want.add((round(float(pose[0]), 9), round(float(pose[1]), 9)))
+        assert _occupied_centers(out) == want
+
+    def test_quarter_turn_swaps_shape(self):
+        grid = self._asymmetric_grid()
+        out = transform_grid(grid, 1)
+        assert out.data.shape == (grid.data.shape[1], grid.data.shape[0])
+        assert out.resolution == grid.resolution
+
+    def test_full_turn_is_identity(self):
+        grid = self._asymmetric_grid()
+        out = transform_grid(grid, 4)
+        assert np.array_equal(out.data, grid.data)
+        assert out.origin == pytest.approx(grid.origin)
+
+    def test_pure_translation_shifts_origin_only(self):
+        grid = self._asymmetric_grid()
+        out = transform_grid(grid, 0, translation=(3.0, -1.0))
+        assert np.array_equal(out.data, grid.data)
+        assert out.origin[0] == pytest.approx(grid.origin[0] + 3.0)
+        assert out.origin[1] == pytest.approx(grid.origin[1] - 1.0)
+
+
+class TestTransformPose:
+    def test_quarter_turn(self):
+        pose = transform_pose(np.array([2.0, 0.0, 0.0]), 1)
+        assert pose[0] == pytest.approx(0.0, abs=1e-12)
+        assert pose[1] == pytest.approx(2.0)
+        assert pose[2] == pytest.approx(np.pi / 2)
+
+    def test_batch_shape_preserved(self):
+        poses = np.zeros((7, 3))
+        out = transform_pose(poses, 2, (1.0, 1.0))
+        assert out.shape == (7, 3)
+        assert np.allclose(out[:, :2], 1.0)
+
+
+class TestChecks:
+    def test_time_reversal_passes(self):
+        result = check_time_reversal(seed=17)
+        assert result.ok
+        assert result.details["xy_err_m"] < 1e-9
+
+    def test_seed_determinism_cartographer(self):
+        result = check_seed_determinism("cartographer", seed=9, n_scans=4)
+        assert result.ok, result.details
+        assert result.details["estimates_bit_identical"]
+        assert result.details["telemetry_bit_identical"]
+
+    def test_equivariance_cartographer_small(self):
+        """A scan matcher has no rng: equivariance holds tightly."""
+        result = check_rigid_transform_equivariance(
+            "cartographer", seed=5, n_scans=6,
+        )
+        assert result.ok, result.details
+        assert result.details["mean_m"] < result.details["mean_tol_m"]
+
+    def test_trial_dispatch_roundtrip(self):
+        out = metamorphic_trial("time_reversal", "odometry", seed=3)
+        result = MetamorphicResult.from_dict(out)
+        assert result.check == "time_reversal"
+        assert result.ok
+
+    def test_trial_rejects_unknown_check(self):
+        with pytest.raises(ValueError, match="unknown metamorphic check"):
+            metamorphic_trial("not_a_check", "synpf")
+
+    def test_registry_covers_issue_checks(self):
+        assert set(METAMORPHIC_CHECKS) == {
+            "rigid_transform_equivariance",
+            "seed_determinism",
+            "scan_subsample_monotonicity",
+            "time_reversal",
+        }
+
+
+@pytest.mark.verify
+class TestChecksFullScale:
+    """The slower per-method checks at their suite-default scale."""
+
+    @pytest.mark.parametrize("method", ["synpf", "cartographer"])
+    def test_equivariance(self, method):
+        result = check_rigid_transform_equivariance(method)
+        assert result.ok, result.details
+
+    @pytest.mark.parametrize("method", ["synpf", "cartographer"])
+    def test_seed_determinism(self, method):
+        result = check_seed_determinism(method)
+        assert result.ok, result.details
+
+    @pytest.mark.parametrize("method", ["synpf", "cartographer"])
+    def test_subsample_monotonicity(self, method):
+        result = check_scan_subsample_monotonicity(method)
+        assert result.ok, result.details

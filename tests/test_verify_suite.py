@@ -1,0 +1,152 @@
+"""Tests for the ``repro verify`` orchestration (repro.verify.suite)."""
+
+import json
+
+import pytest
+
+from repro.verify.golden import record_golden
+from repro.verify.suite import (
+    VERIFY_SUITES,
+    VerifyConfig,
+    build_verify_specs,
+    render_verify_report,
+    run_verify,
+    run_verify_trial,
+)
+
+
+class TestVerifyConfig:
+    def test_defaults_satisfy_issue_acceptance_scale(self):
+        config = VerifyConfig()
+        assert config.suite == "all"
+        assert config.n_queries >= 10_000
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            VerifyConfig(suite="vibes")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_queries": 0}, {"batch_size": 0},
+    ])
+    def test_degenerate_sizes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            VerifyConfig(**kwargs)
+
+    def test_to_dict_is_json_ready(self):
+        payload = json.dumps(VerifyConfig().to_dict())
+        assert "n_queries" in payload
+
+
+class TestBuildSpecs:
+    def test_all_suite_covers_every_namespace(self):
+        specs = build_verify_specs(VerifyConfig())
+        prefixes = {spec.trial_id.split("/")[0] for spec in specs}
+        assert prefixes == {"raycast", "localizer", "meta", "golden"}
+
+    def test_suite_selection_filters_namespaces(self):
+        for suite, expected in [
+            ("differential", {"raycast", "localizer"}),
+            ("metamorphic", {"meta"}),
+            ("golden", {"golden"}),
+        ]:
+            specs = build_verify_specs(VerifyConfig(suite=suite))
+            assert {s.trial_id.split("/")[0] for s in specs} == expected
+
+    def test_batches_partition_the_query_budget(self):
+        config = VerifyConfig(suite="differential", n_queries=10,
+                              batch_size=4)
+        sizes = [s.params["batch_size"] for s in build_verify_specs(config)
+                 if s.params["kind"] == "raycast_batch"]
+        assert sum(sizes) == 10
+        assert all(n >= 1 for n in sizes)
+
+    def test_time_reversal_runs_once_not_per_method(self):
+        specs = build_verify_specs(VerifyConfig(suite="metamorphic"))
+        reversal = [s for s in specs if "time_reversal" in s.trial_id]
+        assert len(reversal) == 1
+        assert reversal[0].params["method"] == "odometry"
+
+    def test_seeds_are_trial_id_scoped(self):
+        specs = build_verify_specs(VerifyConfig(suite="metamorphic"))
+        assert len({s.seed for s in specs}) == len(specs)
+
+    def test_trial_dispatch_rejects_unknown_kind(self):
+        spec = build_verify_specs(VerifyConfig(suite="golden"))[0]
+        spec.params["kind"] = "nonsense"
+        with pytest.raises(ValueError, match="unknown verify trial kind"):
+            run_verify_trial(spec)
+
+
+class TestRunVerify:
+    def test_metamorphic_suite_end_to_end(self):
+        config = VerifyConfig(suite="metamorphic",
+                              methods=("cartographer",), trace_seed=5)
+        report = run_verify(config)
+        assert report.ok, render_verify_report(report)
+        assert report.raycast is None and report.localizer is None
+        # 3 per-method checks on one method + time_reversal once.
+        assert len(report.metamorphic) == 4
+        checks = [(r.check, r.method) for r in report.metamorphic]
+        assert checks == sorted(checks)
+
+    def test_small_differential_end_to_end(self):
+        config = VerifyConfig(suite="differential", n_queries=400,
+                              batch_size=200, methods=("cartographer",),
+                              n_scans=6)
+        report = run_verify(config)
+        assert report.ok, render_verify_report(report)
+        assert report.raycast.n_queries == 400
+        assert report.localizer.ok
+        assert report.manifest["config"]["n_queries"] == 400
+
+    def test_report_to_dict_roundtrips_json(self):
+        config = VerifyConfig(suite="metamorphic",
+                              methods=("cartographer",))
+        report = run_verify(config)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["kind"] == "verify_report"
+        assert payload["ok"] is True
+        assert len(payload["metamorphic"]) == 4
+
+    def test_missing_goldens_fail_closed(self, tmp_path):
+        config = VerifyConfig(suite="golden", golden_dir=str(tmp_path))
+        report = run_verify(config)
+        assert not report.ok
+        assert len(report.trial_failures) == 3
+        assert report.trial_failures[0]["error_type"] == "FileNotFoundError"
+        text = render_verify_report(report)
+        assert "trial failures" in text
+        assert text.endswith("overall: FAIL")
+
+    def test_update_golden_writes_files(self, tmp_path):
+        # Seed only one golden so --update-golden has to create the rest.
+        from repro.verify.golden import default_golden_specs
+
+        spec = dict(default_golden_specs()[2])  # cartographer: fastest
+        spec["n_scans"] = 3
+        record_golden(spec, tmp_path)
+        config = VerifyConfig(suite="golden", golden_dir=str(tmp_path),
+                              update_golden=True, n_scans=3)
+        report = run_verify(config)
+        assert report.ok, render_verify_report(report)
+        assert all("updated" in record for record in report.golden)
+        assert "updated ->" in render_verify_report(report)
+
+
+@pytest.mark.verify
+class TestWorkerInvariance:
+    """ISSUE acceptance: reports bit-identical at any worker count."""
+
+    def test_workers_1_vs_2_reports_match(self):
+        def snapshot(workers):
+            config = VerifyConfig(suite="differential", n_queries=1000,
+                                  batch_size=250, workers=workers,
+                                  methods=("cartographer",), n_scans=6)
+            payload = run_verify(config).to_dict()
+            # The manifest stamps wall-clock and host facts; everything
+            # else must be invariant.
+            payload.pop("manifest")
+            payload["config"].pop("workers")
+            return json.dumps(payload, sort_keys=True)
+
+        assert snapshot(1) == snapshot(2)
