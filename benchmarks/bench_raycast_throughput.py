@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Raycast pose-batch throughput across accel backend specs.
+
+Runs :func:`repro.accel.bench.run_raycast_bench` — every backend spec
+(``ray_marching``/``bresenham`` × dedup on/off × numpy/numba when
+available) casting the same clustered 1000-particle × 60-beam workload —
+and writes ``BENCH_raycast_throughput.json`` next to this file.
+
+With ``--check``, the measured *speedup ratios* are gated against a
+committed baseline JSON (``--baseline``, default: the artifact path):
+each shared ratio must be no worse than baseline × (1 − tolerance).
+Ratios, not wall times, so the gate is portable across machines; the
+environment block records whether numba contributed.  Exits 1 on a
+regression — the CI ``bench`` job's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.accel.bench import check_against_baseline, run_raycast_bench
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_raycast_throughput.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--particles", type=int, default=1000)
+    parser.add_argument("--beams", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--inner-repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (BENCH_raycast_throughput.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if a speedup regresses vs the baseline")
+    parser.add_argument("--baseline", default=ARTIFACT,
+                        help="baseline JSON for --check (default: committed artifact)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression (CI noise)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_raycast_bench(
+        particles=args.particles, beams=args.beams, repeats=args.repeats,
+        inner_repeats=args.inner_repeats, workers=args.workers, seed=args.seed,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+
+    print(f"raycast throughput, {args.particles} particles x {args.beams} beams "
+          f"(median of {args.repeats}):")
+    for spec, cfg in sorted(result["configs"].items()):
+        print(f"  {spec:<28}{cfg['ms_per_batch']:>9.2f} ms/batch"
+              f"{cfg['queries_per_s']:>12.0f} q/s")
+    for key, value in sorted(result["speedups"].items()):
+        print(f"  {key:<40}{value:>6.2f}x")
+    print(f"wrote {args.out}")
+
+    if baseline is not None:
+        failures = check_against_baseline(result, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"check: all speedups within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

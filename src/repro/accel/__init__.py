@@ -1,0 +1,31 @@
+"""Acceleration layer: compute backends, query dedup, and benchmarks.
+
+``repro.accel`` makes the localization hot path (`calc_ranges_pose_batch`
+× `BeamSensorModel.log_likelihood`) faster without changing its contract:
+
+* :mod:`repro.accel.backends` — the ``numpy``/``numba`` backend registry
+  with graceful fallback when numba is absent;
+* :mod:`repro.accel.dedup` — :class:`DedupRangeMethod`, pose-quantized
+  within-batch query deduplication for clustered particle clouds;
+* :mod:`repro.accel.bench` — the harness behind ``repro bench`` and the
+  committed ``benchmarks/BENCH_*.json`` perf record.
+
+Every accelerated path is gated by the differential oracle
+(``repro verify --suite differential``); see ``docs/performance.md``.
+"""
+
+from repro.accel.backends import (
+    KNOWN_BACKENDS,
+    available_backends,
+    numba_available,
+    resolve_backend,
+)
+from repro.accel.dedup import DedupRangeMethod
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "numba_available",
+    "resolve_backend",
+    "DedupRangeMethod",
+]

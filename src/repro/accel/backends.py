@@ -1,0 +1,112 @@
+"""Compute-backend registry: ``numpy`` reference vs ``numba`` JIT kernels.
+
+The hot path of map-based MCL — ray casting × sensor-model scoring — has
+two interchangeable implementations in this package:
+
+* ``numpy`` — the vectorised lock-step batch loops the repository has
+  always shipped.  Always available; the *reference* every other backend
+  is differential-tested against (``repro verify --suite differential``).
+* ``numba`` — fused per-ray JIT kernels (:mod:`repro.accel.numba_kernels`)
+  that execute the same arithmetic ray-at-a-time, parallelised with
+  ``prange``.  Selected automatically when numba is importable.
+
+Selection is *graceful*: ``"auto"`` resolves to the fastest available
+backend, and explicitly requesting ``"numba"`` on a machine without it
+falls back to ``"numpy"`` with a warning instead of raising — importing
+``repro`` must never fail because an optional accelerator is missing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Tuple
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "numba_available",
+    "available_backends",
+    "resolve_backend",
+    "get_numba_kernels",
+]
+
+KNOWN_BACKENDS: Tuple[str, ...] = ("numpy", "numba")
+
+# Tri-state probe cache: None = not probed yet, True/False = probe result.
+# Tests monkeypatch this to simulate a numba-less interpreter.
+_NUMBA_PROBE: Optional[bool] = None
+
+# Lazily imported kernel module (kept out of import time: numba compiles
+# nothing until a kernel is first called, but even importing it costs
+# hundreds of milliseconds).
+_KERNELS = None
+
+
+def numba_available() -> bool:
+    """True when the numba JIT backend can be imported on this machine."""
+    global _NUMBA_PROBE
+    if _NUMBA_PROBE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_PROBE = True
+        except Exception:  # pragma: no cover - exercised via monkeypatch
+            _NUMBA_PROBE = False
+    return _NUMBA_PROBE
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backends this interpreter can actually run, reference first."""
+    if numba_available():
+        return ("numpy", "numba")
+    return ("numpy",)
+
+
+def resolve_backend(name: str = "auto", warn: bool = True) -> str:
+    """Map a requested backend name onto one that is available.
+
+    ``"auto"`` picks ``"numba"`` when importable, else ``"numpy"``.  An
+    explicit ``"numba"`` request degrades to ``"numpy"`` with a
+    ``RuntimeWarning`` when numba is absent — selection is a performance
+    choice, never a correctness one, so it must not raise.  Unknown names
+    are a configuration error and do raise.
+    """
+    key = str(name).lower()
+    if key == "auto":
+        return "numba" if numba_available() else "numpy"
+    if key == "numpy":
+        return "numpy"
+    if key == "numba":
+        if numba_available():
+            return "numba"
+        if warn:
+            warnings.warn(
+                "accel backend 'numba' requested but numba is not "
+                "installed; falling back to the NumPy reference backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "numpy"
+    raise ValueError(
+        f"unknown accel backend {name!r}; choose from "
+        f"{('auto',) + KNOWN_BACKENDS}"
+    )
+
+
+def get_numba_kernels():
+    """Import (once) and return :mod:`repro.accel.numba_kernels`.
+
+    Callers must only reach here after :func:`resolve_backend` returned
+    ``"numba"``; a numba-less interpreter raises ``ImportError`` with a
+    pointer back at the fallback contract.
+    """
+    global _KERNELS
+    if _KERNELS is None:
+        if not numba_available():
+            raise ImportError(
+                "repro.accel.numba_kernels needs numba; resolve_backend() "
+                "should have selected the numpy backend"
+            )
+        from repro.accel import numba_kernels
+
+        _KERNELS = numba_kernels
+    return _KERNELS

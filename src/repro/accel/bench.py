@@ -1,0 +1,374 @@
+"""Benchmark harness for the acceleration layer.
+
+Two library-level benchmarks back the committed perf record
+(``benchmarks/BENCH_raycast_throughput.json`` / ``BENCH_pf_update.json``)
+and the ``repro bench raycast|pf`` CLI:
+
+* :func:`run_raycast_bench` — raw ``calc_ranges_pose_batch`` throughput
+  of every backend spec (``ray_marching`` / ``bresenham`` × dedup on/off
+  × numpy/numba when available) on a clustered particle-cloud workload,
+  the shape the PF hot path actually produces after resampling.
+* :func:`run_pf_bench` — end-to-end ``SynPF.update`` latency, reference
+  configuration (numpy backend, dedup off) vs accelerated (auto backend,
+  dedup on).
+
+Both fan (config × repeat) trials through the
+:class:`~repro.eval.runner.SweepRunner`, so ``--workers N`` reuses the
+fault-tolerant pool; the per-config figure is the **median over repeats**
+of each repeat's mean, which suppresses one-off scheduler noise.  Wall
+times are machine-dependent, so :func:`check_against_baseline` gates on
+*speedup ratios* (accel vs reference on the same machine), which are
+portable across hosts, with a tolerance for CI noise.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from statistics import median
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.accel.backends import available_backends, numba_available
+from repro.eval.runner import SweepRunner, TrialSpec
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "default_raycast_specs",
+    "run_raycast_bench",
+    "run_pf_bench",
+    "check_against_baseline",
+    "environment_info",
+]
+
+_BENCH_TRACK_SEED = 4
+_BENCH_RESOLUTION = 0.05
+
+# Per-worker-process cache: track construction dominates trial setup, and
+# every trial in a sweep uses the same map.
+_TRACK_CACHE: Dict = {}
+
+
+def _bench_track():
+    key = (_BENCH_TRACK_SEED, _BENCH_RESOLUTION)
+    track = _TRACK_CACHE.get(key)
+    if track is None:
+        from repro.maps import generate_track
+
+        track = generate_track(
+            seed=_BENCH_TRACK_SEED,
+            mean_radius=5.0,
+            resolution=_BENCH_RESOLUTION,
+        )
+        _TRACK_CACHE[key] = track
+    return track
+
+
+def _clustered_poses(track, n: int, seed: int) -> np.ndarray:
+    """Particle cloud as it looks right after resampling: duplicated parents.
+
+    Low-variance resampling collapses a converged cloud onto ~n/20
+    distinct parent poses; the subsequent motion update then jitters each
+    copy by one step of odometry noise.  The spreads are calibrated
+    against a measured converged SynPF on this track (1000 particles,
+    ray_marching): cloud std ~0.01 m position / 0.003 rad heading,
+    steady-state dedup hit rate ~98%.  The near-duplicate structure is
+    exactly the workload the dedup cache is designed for.
+    """
+    rng = np.random.default_rng(seed)
+    line = track.centerline
+    n_parents = max(1, n // 20)
+    n_clusters = max(1, n // 250)
+    anchors = rng.uniform(0.0, line.total_length, n_clusters)
+    parents = np.empty((n_parents, 3))
+    for i in range(n_parents):
+        s = float(anchors[i % n_clusters])
+        pt = line.point_at(s)
+        parents[i] = [pt[0], pt[1], line.heading_at(s)]
+    parents[:, :2] += rng.normal(0.0, 0.01, (n_parents, 2))
+    parents[:, 2] += rng.normal(0.0, 0.003, n_parents)
+    poses = parents[rng.integers(0, n_parents, n)]
+    poses[:, :2] += rng.normal(0.0, 0.008, (n, 2))
+    poses[:, 2] += rng.normal(0.0, 0.0025, n)
+    return poses
+
+
+def environment_info() -> Dict:
+    """Host facts stamped into every BENCH JSON.
+
+    Speedup baselines are only comparable when the backend inventory
+    matches, so the numba probe result is recorded explicitly.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba_available": numba_available(),
+        "backends": list(available_backends()),
+        "cpu_count": os.cpu_count(),
+        "platform": sys.platform,
+    }
+
+
+# ----------------------------------------------------------------------
+# Raycast throughput
+# ----------------------------------------------------------------------
+def default_raycast_specs() -> List[str]:
+    """Backend specs benchmarked by default, reference first per base."""
+    specs = []
+    for base in ("ray_marching", "bresenham"):
+        specs.append(base)
+        specs.append(f"{base}+dedup")
+        if numba_available():
+            specs.append(f"{base}@numba")
+            specs.append(f"{base}@numba+dedup")
+    return specs
+
+
+def run_raycast_bench_trial(spec: TrialSpec) -> Dict:
+    """One (backend spec, repeat): mean pose-batch wall time over inner reps."""
+    from repro.raycast import make_range_method
+
+    params = spec.params
+    track = _bench_track()
+    method = make_range_method(params["method_spec"], track.grid)
+    poses = _clustered_poses(track, params["particles"], seed=spec.seed)
+    angles = np.linspace(-np.pi / 2, np.pi / 2, params["beams"])
+
+    method.calc_ranges_pose_batch(poses[: min(64, len(poses))], angles)  # warmup/JIT
+    start = time.perf_counter()
+    for _ in range(params["inner_repeats"]):
+        out = method.calc_ranges_pose_batch(poses, angles)
+    elapsed = time.perf_counter() - start
+    return {
+        "method_spec": params["method_spec"],
+        "mean_batch_s": elapsed / params["inner_repeats"],
+        "checksum": float(out.sum()),
+    }
+
+
+def run_raycast_bench(
+    particles: int = 1000,
+    beams: int = 60,
+    repeats: int = 5,
+    inner_repeats: int = 3,
+    workers: int = 1,
+    seed: int = 0,
+    method_specs: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Benchmark ``calc_ranges_pose_batch`` across backend specs.
+
+    Returns a JSON-ready dict: per-spec ``ms_per_batch`` /
+    ``queries_per_s`` (median over ``repeats``), plus ``speedups`` ratios
+    vs each spec's pure-numpy, dedup-off reference.
+    """
+    specs_list = list(method_specs or default_raycast_specs())
+    trial_specs = [
+        TrialSpec(
+            trial_id=f"raycast/{ms}/r{r}",
+            seed=derive_seed("bench.raycast", seed, ms, r),
+            params={
+                "method_spec": ms,
+                "particles": particles,
+                "beams": beams,
+                "inner_repeats": inner_repeats,
+            },
+        )
+        for ms in specs_list
+        for r in range(repeats)
+    ]
+    result = SweepRunner(run_raycast_bench_trial, workers=workers).run(trial_specs)
+
+    by_spec: Dict[str, List[float]] = {ms: [] for ms in specs_list}
+    for res in result.results:
+        by_spec[res.metrics["method_spec"]].append(res.metrics["mean_batch_s"])
+
+    queries = particles * beams
+    configs = {}
+    for ms, times in by_spec.items():
+        if not times:
+            continue
+        t = median(times)
+        configs[ms] = {
+            "ms_per_batch": t * 1e3,
+            "queries_per_s": queries / t,
+            "repeats_completed": len(times),
+        }
+
+    def _base_of(ms: str) -> str:
+        return ms.split("@")[0].split("+")[0]
+
+    speedups = {}
+    for ms, cfg in configs.items():
+        base = _base_of(ms)
+        ref = configs.get(base)
+        if ms != base and ref is not None:
+            speedups[f"{ms}_vs_{base}"] = ref["ms_per_batch"] / cfg["ms_per_batch"]
+
+    return {
+        "benchmark": "raycast_throughput",
+        "particles": particles,
+        "beams": beams,
+        "queries_per_batch": queries,
+        "repeats": repeats,
+        "inner_repeats": inner_repeats,
+        "workers": workers,
+        "configs": configs,
+        "speedups": speedups,
+        "environment": environment_info(),
+    }
+
+
+# ----------------------------------------------------------------------
+# PF update latency
+# ----------------------------------------------------------------------
+_PF_CONFIGS = {
+    "reference": {"accel_backend": "numpy", "raycast_dedup": False},
+    "accel": {"accel_backend": "auto", "raycast_dedup": True},
+}
+
+
+def run_pf_bench_trial(spec: TrialSpec) -> Dict:
+    """One (PF config, repeat): mean SynPF update wall time."""
+    from repro.core.interfaces import make_localizer
+    from repro.core.motion_models import OdometryDelta
+    from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+    params = spec.params
+    track = _bench_track()
+    lidar = SimulatedLidar(
+        track.grid, LidarConfig(range_noise_std=0.0, dropout_prob=0.0), seed=0
+    )
+    scan = lidar.scan(track.centerline.start_pose())
+    localizer = make_localizer(
+        "synpf",
+        track.grid,
+        num_particles=params["particles"],
+        num_beams=params["beams"],
+        range_method="ray_marching",
+        seed=spec.seed,
+        **params["config"],
+    )
+    localizer.initialize(track.centerline.start_pose())
+    delta = OdometryDelta(0.02, 0.0, 0.0, 0.8, 0.025)
+    for _ in range(params["warmup"]):
+        localizer.update(delta, scan)
+    start = time.perf_counter()
+    for _ in range(params["updates"]):
+        localizer.update(delta, scan)
+    elapsed = time.perf_counter() - start
+    telemetry = localizer.telemetry()
+    return {
+        "config": params["config_name"],
+        "mean_update_s": elapsed / params["updates"],
+        "accel": telemetry.get("accel", {}),
+    }
+
+
+def run_pf_bench(
+    particles: int = 1000,
+    beams: int = 60,
+    updates: int = 30,
+    repeats: int = 5,
+    warmup: int = 3,
+    workers: int = 1,
+    seed: int = 0,
+) -> Dict:
+    """Benchmark the full SynPF update, reference vs accelerated config."""
+    trial_specs = [
+        TrialSpec(
+            trial_id=f"pf/{name}/r{r}",
+            seed=derive_seed("bench.pf", seed, name, r),
+            params={
+                "config_name": name,
+                "config": cfg,
+                "particles": particles,
+                "beams": beams,
+                "updates": updates,
+                "warmup": warmup,
+            },
+        )
+        for name, cfg in _PF_CONFIGS.items()
+        for r in range(repeats)
+    ]
+    result = SweepRunner(run_pf_bench_trial, workers=workers).run(trial_specs)
+
+    by_config: Dict[str, List[float]] = {name: [] for name in _PF_CONFIGS}
+    accel_blocks: Dict[str, Dict] = {}
+    for res in result.results:
+        name = res.metrics["config"]
+        by_config[name].append(res.metrics["mean_update_s"])
+        accel_blocks.setdefault(name, res.metrics.get("accel", {}))
+
+    configs = {}
+    for name, times in by_config.items():
+        if not times:
+            continue
+        t = median(times)
+        configs[name] = {
+            "ms_per_update": t * 1e3,
+            "updates_per_s": 1.0 / t,
+            "repeats_completed": len(times),
+            "settings": _PF_CONFIGS[name],
+            "accel_telemetry": accel_blocks.get(name, {}),
+        }
+
+    speedups = {}
+    if "reference" in configs and "accel" in configs:
+        speedups["accel_vs_reference"] = (
+            configs["reference"]["ms_per_update"] / configs["accel"]["ms_per_update"]
+        )
+
+    return {
+        "benchmark": "pf_update",
+        "particles": particles,
+        "beams": beams,
+        "updates_per_repeat": updates,
+        "repeats": repeats,
+        "workers": workers,
+        "range_method": "ray_marching",
+        "configs": configs,
+        "speedups": speedups,
+        "environment": environment_info(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Regression gating
+# ----------------------------------------------------------------------
+def check_against_baseline(
+    result: Dict, baseline: Dict, tolerance: float = 0.25
+) -> List[str]:
+    """Compare measured speedup ratios against a committed baseline.
+
+    Absolute wall times vary by host, but a speedup *ratio* (two configs
+    on the same machine in the same run) is portable, so the gate is:
+    every speedup key present in **both** dicts must satisfy ``measured >=
+    baseline * (1 - tolerance)``.  Keys only one side has (e.g. numba
+    variants on a machine without numba) are skipped.  Returns a list of
+    human-readable failure strings; empty means the gate passes.
+    """
+    failures = []
+    base_speedups = baseline.get("speedups", {})
+    meas_speedups = result.get("speedups", {})
+    base_env = baseline.get("environment", {})
+    meas_env = result.get("environment", {})
+    if bool(base_env.get("numba_available")) != bool(meas_env.get("numba_available")):
+        # Inventory mismatch: only ratios both environments can produce
+        # are comparable, which the shared-keys rule below already handles.
+        pass
+    for key, base_value in sorted(base_speedups.items()):
+        if base_value is None or key not in meas_speedups:
+            continue
+        measured = meas_speedups[key]
+        if measured is None:
+            continue
+        floor = float(base_value) * (1.0 - tolerance)
+        if float(measured) < floor:
+            failures.append(
+                f"{key}: measured {float(measured):.3f}x < floor {floor:.3f}x "
+                f"(baseline {float(base_value):.3f}x - {tolerance:.0%})"
+            )
+    return failures

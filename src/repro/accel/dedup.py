@@ -1,0 +1,146 @@
+"""Pose-quantized query deduplication for raycast batches.
+
+After resampling, a particle cloud is heavily clustered: many particles
+occupy the same map cell with near-identical headings, so the P×B query
+batch sent to ``calc_ranges_pose_batch`` contains large groups of queries
+whose exact ranges are indistinguishable at map resolution.
+:class:`DedupRangeMethod` exploits this: it snaps every query to a
+``(x-bin, y-bin, theta-bin)`` key, casts **one representative ray per
+unique key** (at the bin centre), and scatters the result back to all
+queries in the bin.
+
+The representative is the *bin centre*, not "the first query seen in the
+bin": bin centres are a pure function of the key, so results are
+deterministic and independent of query order (and therefore of worker
+count and particle permutation), and the substitution error is bounded by
+half a bin in each quantized coordinate — the envelope the differential
+suite gates (``docs/performance.md``).
+
+There is no cross-call memoisation, hence nothing to invalidate: each
+``calc_ranges`` call deduplicates within its own batch only, and the map
+is immutable for the lifetime of the method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.raycast.base import RangeMethod
+
+__all__ = ["DedupRangeMethod"]
+
+_TWO_PI = 2.0 * np.pi
+
+
+class DedupRangeMethod(RangeMethod):
+    """Wrap any :class:`RangeMethod` with within-batch query dedup.
+
+    Parameters
+    ----------
+    inner:
+        The method that actually casts the representative rays.
+    xy_bin_cells:
+        Position quantization in *map cells* (default 1.0: queries in the
+        same cell share a cast).  Finer bins (< 1) trade hit-rate for
+        accuracy.
+    theta_bins:
+        Heading bins over ``[0, 2*pi)``.  The default 2048 (≈ 0.18° per
+        bin) is divisible by 4, so exact quarter-turn rotations map bins
+        onto bins and the metamorphic rotation-equivariance suite is
+        preserved exactly.
+    registry:
+        Optional :class:`repro.telemetry.MetricsRegistry`; when given,
+        every batch updates ``accel.dedup.queries_total`` /
+        ``accel.dedup.queries_cast`` counters and the
+        ``accel.dedup.hit_rate`` gauge.
+    """
+
+    def __init__(
+        self,
+        inner: RangeMethod,
+        xy_bin_cells: float = 1.0,
+        theta_bins: int = 2048,
+        registry=None,
+    ) -> None:
+        super().__init__(inner.grid, max_range=inner.max_range)
+        if xy_bin_cells <= 0:
+            raise ValueError("xy_bin_cells must be positive")
+        if int(theta_bins) < 1:
+            raise ValueError("theta_bins must be >= 1")
+        self.inner = inner
+        self.xy_bin_cells = float(xy_bin_cells)
+        self.theta_bins = int(theta_bins)
+        self._bin_size = self.grid.resolution * self.xy_bin_cells
+        self._registry = registry
+        self.queries_total = 0
+        self.queries_cast = 0
+        self.last_hit_rate = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+dedup"
+
+    def memory_bytes(self) -> int:
+        return self.inner.memory_bytes()
+
+    def stats(self) -> dict:
+        """Cumulative and last-batch dedup effectiveness."""
+        total = self.queries_total
+        hit = 1.0 - self.queries_cast / total if total else 0.0
+        return {
+            "queries_total": self.queries_total,
+            "queries_cast": self.queries_cast,
+            "hit_rate": hit,
+            "last_hit_rate": self.last_hit_rate,
+        }
+
+    # ------------------------------------------------------------------
+    def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        n = queries.shape[0]
+        if n == 0:
+            return np.zeros(0)
+
+        ox, oy = self.grid.origin[0], self.grid.origin[1]
+        kx = np.floor((queries[:, 0] - ox) / self._bin_size).astype(np.int64)
+        ky = np.floor((queries[:, 1] - oy) / self._bin_size).astype(np.int64)
+        # mod() lands in [0, 2*pi) but float rounding can yield exactly
+        # 2*pi for tiny negative angles; clip the bin index instead of
+        # wrapping so the representative stays inside the last bin.
+        kt = np.floor(
+            np.mod(queries[:, 2], _TWO_PI) * (self.theta_bins / _TWO_PI)
+        ).astype(np.int64)
+        np.clip(kt, 0, self.theta_bins - 1, out=kt)
+
+        # Sort keys lexicographically, mark group starts, build the
+        # scatter map: inv[i] = index of query i's group among uniques.
+        order = np.lexsort((kt, ky, kx))
+        skx, sky, skt = kx[order], ky[order], kt[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (
+            (skx[1:] != skx[:-1]) | (sky[1:] != sky[:-1]) | (skt[1:] != skt[:-1])
+        )
+        group_of_sorted = np.cumsum(new_group) - 1
+        inv = np.empty(n, dtype=np.int64)
+        inv[order] = group_of_sorted
+        starts = order[new_group]
+        n_unique = int(group_of_sorted[-1]) + 1
+
+        # One representative per unique key, at the bin centre.
+        rep = np.empty((n_unique, 3))
+        rep[:, 0] = ox + (kx[starts] + 0.5) * self._bin_size
+        rep[:, 1] = oy + (ky[starts] + 0.5) * self._bin_size
+        rep[:, 2] = (kt[starts] + 0.5) * (_TWO_PI / self.theta_bins)
+
+        out = self.inner.calc_ranges(rep)[inv]
+
+        self.queries_total += n
+        self.queries_cast += n_unique
+        self.last_hit_rate = 1.0 - n_unique / n
+        if self._registry is not None:
+            self._registry.counter("accel.dedup.queries_total").inc(n)
+            self._registry.counter("accel.dedup.queries_cast").inc(n_unique)
+            self._registry.gauge("accel.dedup.hit_rate").set(self.last_hit_rate)
+        return out

@@ -14,6 +14,7 @@ run without writing Python:
 ``scenario``              list / show / run declarative fault scenarios
 ``campaign``              scenario x method x trial robustness scorecard
 ``verify``                differential / metamorphic / golden verification
+``bench``                 accel benchmarks (raycast / pf) with baseline gates
 ``report``                render a telemetry JSONL run into latency tables
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
@@ -173,6 +174,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-trial timeout in seconds (workers >= 2)")
     p_verify.add_argument("--quiet", action="store_true",
                           help="suppress per-trial progress lines")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="acceleration-layer benchmarks: raycast throughput / "
+             "PF update latency, with baseline regression gating",
+    )
+    p_bench.add_argument("target", choices=("raycast", "pf"),
+                         help="raycast: calc_ranges_pose_batch throughput "
+                              "per backend spec; pf: end-to-end SynPF "
+                              "update, reference vs accelerated")
+    p_bench.add_argument("--particles", type=int, default=1000)
+    p_bench.add_argument("--beams", type=int, default=60)
+    p_bench.add_argument("--repeats", type=int, default=5,
+                         help="outer repeats; the figure is their median")
+    p_bench.add_argument("--updates", type=int, default=30,
+                         help="PF updates per repeat (pf target)")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="sweep-runner worker processes")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON result here")
+    p_bench.add_argument("--check", action="store_true",
+                         help="gate speedup ratios against --baseline; "
+                              "exit 1 on regression")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="baseline JSON (default: the committed "
+                              "benchmarks/BENCH_*.json)")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed fractional speedup regression")
 
     p_report = sub.add_parser(
         "report",
@@ -475,6 +505,67 @@ def main(argv=None) -> int:
                 json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             print(f"\nwrote {args.report}")
         return 0 if report.ok else 1
+
+    if args.command == "bench":
+        import json
+
+        from repro.accel.bench import (
+            check_against_baseline, run_pf_bench, run_raycast_bench,
+        )
+
+        default_artifact = {
+            "raycast": "benchmarks/BENCH_raycast_throughput.json",
+            "pf": "benchmarks/BENCH_pf_update.json",
+        }[args.target]
+        baseline = None
+        if args.check:
+            baseline_path = args.baseline or default_artifact
+            try:
+                with open(baseline_path) as fh:
+                    baseline = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline {baseline_path}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+        if args.target == "raycast":
+            result = run_raycast_bench(
+                particles=args.particles, beams=args.beams,
+                repeats=args.repeats, workers=args.workers, seed=args.seed,
+            )
+            print(f"raycast throughput, {args.particles} particles x "
+                  f"{args.beams} beams (median of {args.repeats}):")
+            for spec, cfg in sorted(result["configs"].items()):
+                print(f"  {spec:<28}{cfg['ms_per_batch']:>9.2f} ms/batch"
+                      f"{cfg['queries_per_s']:>12.0f} q/s")
+        else:
+            result = run_pf_bench(
+                particles=args.particles, beams=args.beams,
+                updates=args.updates, repeats=args.repeats,
+                workers=args.workers, seed=args.seed,
+            )
+            print(f"SynPF update, {args.particles} particles x {args.beams} "
+                  f"beams, ray_marching (median of {args.repeats} x "
+                  f"{args.updates} updates):")
+            for name, cfg in sorted(result["configs"].items()):
+                print(f"  {name:<12}{cfg['ms_per_update']:>9.2f} ms/update  "
+                      f"{cfg['settings']}")
+        for key, value in sorted(result["speedups"].items()):
+            print(f"  {key:<40}{value:>6.2f}x")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.out}")
+
+        if baseline is not None:
+            failures = check_against_baseline(result, baseline, args.tolerance)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print(f"check: all speedups within {args.tolerance:.0%} "
+                  "of baseline")
+        return 0
 
     if args.command == "report":
         import os

@@ -37,13 +37,21 @@ from repro.core.resampling import effective_sample_size, resample_indices
 from repro.core.scan_layout import BoxedScanLayout, ScanLayout, UniformScanLayout
 from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
 from repro.maps.occupancy_grid import OccupancyGrid
-from repro.raycast.factory import make_range_method
+from repro.raycast.factory import make_range_method, parse_range_spec
 from repro.telemetry.spans import SpanTracer
 from repro.utils.angles import wrap_to_pi
 from repro.utils.profiling import TimingStats
 from repro.utils.rng import make_rng
 
 __all__ = ["ParticleFilterConfig", "SynPF", "make_synpf", "make_vanilla_mcl"]
+
+# Methods whose queries are per-ray traversals: dedup's one-cast-per-bin
+# saves real work there.  lut/glt answer in constant time from a table
+# (with a specialized pose-batch fast path dedup would bypass), so
+# raycast_dedup="auto" leaves them alone.
+_DEDUP_AUTO_METHODS = frozenset(
+    {"bresenham", "bl", "ray_marching", "rm", "cddt", "pcddt"}
+)
 
 
 @dataclass(frozen=True)
@@ -62,8 +70,20 @@ class ParticleFilterConfig:
     layout: str = "boxed"  # "boxed" | "uniform"
     boxed_aspect_ratio: float = 3.0
     boxed_width: float = 2.0
-    range_method: str = "lut"  # any name known to repro.raycast.factory
+    range_method: str = "lut"  # any spec known to repro.raycast.factory
     lut_theta_bins: int = 120
+    # Acceleration layer (repro.accel).  "auto" picks the numba JIT
+    # kernels when numba is importable and falls back to the NumPy
+    # reference otherwise — on-with-fallback, never a hard requirement.
+    accel_backend: str = "auto"  # "auto" | "numpy" | "numba"
+    # Pose-quantized raycast query dedup.  "auto" enables it for the
+    # per-ray traversal methods (bresenham/ray_marching/cddt), where one
+    # cast per unique (cell, angle-bin) saves real work, and disables it
+    # for lut/glt, whose constant-time table gather is already cheaper
+    # than the dedup bookkeeping (and has its own pose-batch fast path).
+    raycast_dedup: object = "auto"  # True | False | "auto"
+    dedup_xy_bin_cells: float = 1.0
+    dedup_theta_bins: int = 2048
     resample_scheme: str = "systematic"
     resample_ess_fraction: float = 0.5
     lidar_offset_x: float = 0.27  # sensor mount ahead of the base frame
@@ -107,6 +127,14 @@ class ParticleFilterConfig:
                 raise ValueError(
                     "need 0 < augment_alpha_slow < augment_alpha_fast <= 1"
                 )
+        if self.accel_backend not in ("auto", "numpy", "numba"):
+            raise ValueError(f"unknown accel backend {self.accel_backend!r}")
+        if self.raycast_dedup not in (True, False, "auto"):
+            raise ValueError("raycast_dedup must be True, False or 'auto'")
+        if self.dedup_xy_bin_cells <= 0:
+            raise ValueError("dedup_xy_bin_cells must be positive")
+        if self.dedup_theta_bins < 1:
+            raise ValueError("dedup_theta_bins must be >= 1")
         self.sensor.validate()
 
 
@@ -176,16 +204,47 @@ class SynPF:
         else:
             self.layout = UniformScanLayout()
 
-        self.sensor_model = BeamSensorModel(self.config.sensor)
+        self.sensor_model = BeamSensorModel(
+            self.config.sensor, backend=self.config.accel_backend
+        )
+        base_method, spec_backend, spec_dedup = parse_range_spec(
+            self.config.range_method
+        )
         range_kwargs = {}
-        if self.config.range_method in ("lut", "glt"):
+        if base_method in ("lut", "glt"):
             range_kwargs["num_theta_bins"] = self.config.lut_theta_bins
+        if spec_backend is None and base_method in (
+            "bresenham", "bl", "ray_marching", "rm",
+        ):
+            range_kwargs["backend"] = self.config.accel_backend
+        dedup: Optional[bool]
+        if self.config.raycast_dedup == "auto":
+            # A "+dedup" spec suffix wins; otherwise on for per-ray
+            # traversal methods, off for the table-driven ones.
+            dedup = (
+                None if spec_dedup else (base_method in _DEDUP_AUTO_METHODS) or None
+            )
+        else:
+            dedup = bool(self.config.raycast_dedup)
         self.range_method = make_range_method(
             self.config.range_method,
             grid,
             max_range=self.config.sensor.max_range,
+            dedup=dedup,
+            dedup_xy_bin_cells=self.config.dedup_xy_bin_cells,
+            dedup_theta_bins=self.config.dedup_theta_bins,
+            registry=registry,
             **range_kwargs,
         )
+        self._registry = registry
+        if registry is not None:
+            # One-shot kernel-selection record: which backend actually won
+            # the auto-resolution on this host, per hot-path component.
+            raycast_backend = getattr(self.range_method, "backend", None) or getattr(
+                getattr(self.range_method, "inner", None), "backend", "numpy"
+            )
+            registry.counter(f"accel.raycast.{raycast_backend}").inc()
+            registry.counter(f"accel.sensor.{self.sensor_model.backend}").inc()
 
         self.particles = np.zeros((self.config.num_particles, 3))
         self.weights = np.full(self.config.num_particles, 1.0 / self.config.num_particles)
@@ -409,12 +468,29 @@ class SynPF:
         )
         return self.latency_ms()
 
+    def accel_info(self) -> Dict:
+        """Acceleration-layer snapshot: chosen kernels + dedup hit-rate."""
+        method = self.range_method
+        inner = getattr(method, "inner", None)
+        info: Dict = {
+            "raycast_method": method.name,
+            "raycast_backend": getattr(
+                inner if inner is not None else method, "backend", "numpy"
+            ),
+            "sensor_backend": self.sensor_model.backend,
+            "dedup": inner is not None,
+        }
+        if inner is not None:
+            info["dedup_stats"] = method.stats()
+        return info
+
     def telemetry(self) -> Dict:
         """JSON-serialisable observability snapshot of this filter."""
         return {
             "num_updates": self.num_updates,
             "num_particles": self.num_particles,
             "timing": self.timing.summary(),
+            "accel": self.accel_info(),
         }
 
 

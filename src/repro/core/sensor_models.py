@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.accel.backends import get_numba_kernels, resolve_backend
+
 __all__ = ["SensorModelConfig", "BeamSensorModel"]
 
 
@@ -77,11 +79,20 @@ class BeamSensorModel:
     O(1)-per-beam structure rangelibc's ``eval_sensor_model`` uses.
     """
 
-    def __init__(self, config: SensorModelConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SensorModelConfig | None = None,
+        backend: str = "auto",
+    ) -> None:
         self.config = config or SensorModelConfig()
         self.config.validate()
         self._n_bins = int(np.floor(self.config.max_range / self.config.resolution)) + 1
         self._log_table = self._build_table()
+        # Flat view for the numpy gather: `flat.take(row * n + col)` hits
+        # a single contiguous fancy-index fast path instead of the 2-D
+        # advanced-indexing machinery; values are identical.
+        self._flat_table = np.ascontiguousarray(self._log_table).ravel()
+        self.backend = resolve_backend(backend)
 
     @property
     def num_bins(self) -> int:
@@ -155,9 +166,19 @@ class BeamSensorModel:
                 f"beam count mismatch: expected {expected.shape[1]}, "
                 f"measured {measured.shape[0]}"
             )
+        meas_bins = self._to_bins(measured)
+        if self.backend == "numba":
+            kernels = get_numba_kernels()
+            return kernels.sensor_log_likelihood(
+                np.ascontiguousarray(expected),
+                meas_bins,
+                self._log_table,
+                1.0 / self.config.resolution,
+                self._n_bins,
+                self.config.squash_factor,
+            )
         exp_bins = self._to_bins(expected)
-        meas_bins = self._to_bins(measured)[None, :]
-        log_p = self._log_table[exp_bins, meas_bins]
+        log_p = self._flat_table.take(exp_bins * self._n_bins + meas_bins[None, :])
         return log_p.sum(axis=1) / self.config.squash_factor
 
     def weights(self, expected: np.ndarray, measured: np.ndarray) -> np.ndarray:

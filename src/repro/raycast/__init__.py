@@ -23,7 +23,7 @@ vectorised, standing in for rangelibc's GPU/SIMD parallelism.
 from repro.raycast.base import RangeMethod
 from repro.raycast.bresenham import BresenhamRayCast
 from repro.raycast.cddt import CDDT
-from repro.raycast.factory import make_range_method
+from repro.raycast.factory import make_range_method, parse_range_spec
 from repro.raycast.lut import LookupTable
 from repro.raycast.ray_marching import RayMarching
 
@@ -34,4 +34,5 @@ __all__ = [
     "RangeMethod",
     "RayMarching",
     "make_range_method",
+    "parse_range_spec",
 ]

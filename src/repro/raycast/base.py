@@ -32,6 +32,9 @@ class RangeMethod(abc.ABC):
     def __init__(self, grid: OccupancyGrid, max_range: float | None = None) -> None:
         self.grid = grid
         self.max_range = float(max_range) if max_range is not None else grid.max_range_m
+        # Reused (P*B, 3) query buffer for calc_ranges_pose_batch; lazily
+        # allocated, replaced only when the batch shape changes.
+        self._batch_buf: np.ndarray | None = None
 
     @abc.abstractmethod
     def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
@@ -75,15 +78,26 @@ class RangeMethod(abc.ABC):
 
         Returns ``(P, B)``.  This is the particle-filter hot path: every
         particle needs the expected range along every selected scanline.
+
+        The flattened query array is assembled in a buffer reused across
+        calls (reallocated only when ``(P, B)`` changes), written via
+        broadcasting instead of fresh ``np.repeat``/``np.tile``
+        temporaries.  Implementations never alias the query array into
+        their results, so consecutive calls are independent; the method
+        is not re-entrant from concurrent threads.
         """
         poses = np.asarray(poses, dtype=float)
         angles = np.asarray(angles, dtype=float)
         n_poses, n_beams = poses.shape[0], angles.size
-        queries = np.empty((n_poses * n_beams, 3))
-        queries[:, 0] = np.repeat(poses[:, 0], n_beams)
-        queries[:, 1] = np.repeat(poses[:, 1], n_beams)
-        queries[:, 2] = np.repeat(poses[:, 2], n_beams) + np.tile(angles, n_poses)
-        return self.calc_ranges(queries).reshape(n_poses, n_beams)
+        buf = self._batch_buf
+        if buf is None or buf.shape[0] != n_poses * n_beams:
+            buf = np.empty((n_poses * n_beams, 3))
+            self._batch_buf = buf
+        view = buf.reshape(n_poses, n_beams, 3)
+        view[:, :, 0] = poses[:, 0, None]
+        view[:, :, 1] = poses[:, 1, None]
+        view[:, :, 2] = poses[:, 2, None] + angles[None, :]
+        return self.calc_ranges(buf).reshape(n_poses, n_beams)
 
     # ------------------------------------------------------------------
     # Introspection

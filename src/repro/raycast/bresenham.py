@@ -6,15 +6,19 @@ Bresenham because it visits *every* intersected cell (Bresenham skips
 corner-cut cells, which can tunnel rays through thin diagonal walls) while
 having the same incremental structure.
 
-The traversal state for a whole batch of rays is kept in NumPy arrays and
-all active rays advance one cell per iteration — the vectorised equivalent
-of rangelibc's per-ray C loop.
+With the default ``numpy`` backend, the traversal state for a whole batch
+of rays is kept in NumPy arrays and all active rays advance one cell per
+iteration — the vectorised equivalent of rangelibc's per-ray C loop.
+With ``backend="numba"`` the per-ray loop itself is JIT-compiled and
+parallelised over rays (see :mod:`repro.accel`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.accel.backends import get_numba_kernels, resolve_backend
+from repro.maps.occupancy_grid import OccupancyGrid
 from repro.raycast.base import RangeMethod
 
 __all__ = ["BresenhamRayCast"]
@@ -26,14 +30,51 @@ class BresenhamRayCast(RangeMethod):
     No precomputation and exact results make this the reference
     implementation the other methods are validated against; queries are
     O(cells traversed), the slowest of the family.
+
+    ``backend`` selects the execution engine (``"auto"``/``"numpy"``/
+    ``"numba"``); both run identical arithmetic, see
+    :func:`repro.accel.backends.resolve_backend`.
     """
+
+    def __init__(
+        self,
+        grid: OccupancyGrid,
+        max_range: float | None = None,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(grid, max_range)
+        self._occ = grid.occupancy_mask(unknown_is_occupied=True)
+        self.backend = resolve_backend(backend)
 
     def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if self.backend == "numba":
+            return self._calc_ranges_numba(queries)
+        return self._calc_ranges_numpy(queries)
+
+    def _calc_ranges_numba(self, queries: np.ndarray) -> np.ndarray:
+        kernels = get_numba_kernels()
+        grid = self.grid
+        res = grid.resolution
+        max_range_cells = self.max_range / res
+        max_iters = int(np.ceil(max_range_cells * np.sqrt(2.0))) + 4
+        return kernels.bresenham_ranges(
+            np.ascontiguousarray(queries[:, 0]),
+            np.ascontiguousarray(queries[:, 1]),
+            np.ascontiguousarray(queries[:, 2]),
+            self._occ,
+            float(grid.origin[0]),
+            float(grid.origin[1]),
+            float(res),
+            float(self.max_range),
+            max_iters,
+        )
+
+    def _calc_ranges_numpy(self, queries: np.ndarray) -> np.ndarray:
         n = queries.shape[0]
         grid = self.grid
         res = grid.resolution
-        occ = grid.occupancy_mask(unknown_is_occupied=True)
+        occ = self._occ
         height, width = occ.shape
 
         ox = (queries[:, 0] - grid.origin[0]) / res

@@ -3,11 +3,25 @@
 Experiment configs select the ray-casting backend by name (mirroring the
 ``range_method`` ROS parameter of the original particle-filter packages);
 this factory maps those names onto classes.
+
+Names accept two optional acceleration suffixes (:mod:`repro.accel`):
+
+* ``@<backend>`` — compute backend for methods that support one
+  (``bresenham``/``ray_marching``): ``@numpy``, ``@numba``, ``@auto``.
+* ``+dedup`` — wrap the method in
+  :class:`~repro.accel.dedup.DedupRangeMethod` (pose-quantized
+  within-batch query deduplication).
+
+Examples: ``"ray_marching"``, ``"ray_marching@numba"``, ``"bl+dedup"``,
+``"rm@numpy+dedup"``.  The same switches are available as explicit
+keyword arguments (``backend=``, ``dedup=``, ``dedup_xy_bin_cells=``,
+``dedup_theta_bins=``, ``registry=``); a suffix and a conflicting keyword
+is an error.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Optional, Tuple, Type
 
 from repro.maps.occupancy_grid import OccupancyGrid
 from repro.raycast.base import RangeMethod
@@ -16,7 +30,7 @@ from repro.raycast.cddt import CDDT
 from repro.raycast.lut import LookupTable
 from repro.raycast.ray_marching import RayMarching
 
-__all__ = ["make_range_method", "RANGE_METHODS"]
+__all__ = ["make_range_method", "parse_range_spec", "RANGE_METHODS"]
 
 RANGE_METHODS: Dict[str, Type[RangeMethod]] = {
     "bresenham": BresenhamRayCast,
@@ -29,23 +43,85 @@ RANGE_METHODS: Dict[str, Type[RangeMethod]] = {
     "glt": LookupTable,
 }
 
+# Methods whose constructors take a compute ``backend`` argument.  CDDT
+# and the LUT are table-driven (binary search / gather) and have no
+# per-ray kernel to swap.
+_BACKEND_AWARE = {"bresenham", "bl", "ray_marching", "rm"}
+
+
+def parse_range_spec(spec: str) -> Tuple[str, Optional[str], bool]:
+    """Split ``"name[@backend][+dedup]"`` into its three parts.
+
+    Returns ``(base_name, backend_or_None, dedup)``.  Suffix order is
+    fixed (``@`` before ``+``); the base name is *not* validated here so
+    the caller controls the error message.
+    """
+    rest = spec.strip().lower()
+    dedup = False
+    if rest.endswith("+dedup"):
+        dedup = True
+        rest = rest[: -len("+dedup")]
+    backend: Optional[str] = None
+    if "@" in rest:
+        rest, _, backend = rest.partition("@")
+    return rest, backend or None, dedup
+
 
 def make_range_method(
-    name: str, grid: OccupancyGrid, max_range: float | None = None, **kwargs
+    name: str,
+    grid: OccupancyGrid,
+    max_range: float | None = None,
+    *,
+    backend: Optional[str] = None,
+    dedup: Optional[bool] = None,
+    dedup_xy_bin_cells: float = 1.0,
+    dedup_theta_bins: int = 2048,
+    registry=None,
+    **kwargs,
 ) -> RangeMethod:
-    """Build a range method by name.
+    """Build a range method from a spec string.
 
-    Recognised names (rangelibc aliases in parentheses): ``bresenham``
-    (``bl``), ``ray_marching`` (``rm``), ``cddt``, ``pcddt``, ``lut``
-    (``glt``).  Extra keyword arguments are forwarded to the constructor;
-    ``pcddt`` implies ``pruned=True``.
+    Recognised base names (rangelibc aliases in parentheses):
+    ``bresenham`` (``bl``), ``ray_marching`` (``rm``), ``cddt``,
+    ``pcddt``, ``lut`` (``glt``); plus the ``@backend`` / ``+dedup``
+    suffixes documented in the module docstring.  Extra keyword arguments
+    are forwarded to the constructor; ``pcddt`` implies ``pruned=True``.
     """
-    key = name.lower()
+    key, spec_backend, spec_dedup = parse_range_spec(name)
     if key not in RANGE_METHODS:
         raise ValueError(
             f"unknown range method {name!r}; choose from {sorted(RANGE_METHODS)}"
         )
+    if spec_backend is not None:
+        if backend is not None and backend != spec_backend:
+            raise ValueError(
+                f"conflicting backends: spec {name!r} vs backend={backend!r}"
+            )
+        backend = spec_backend
+    if spec_dedup:
+        if dedup is False:
+            raise ValueError(f"conflicting dedup: spec {name!r} vs dedup=False")
+        dedup = True
+
     cls = RANGE_METHODS[key]
     if key == "pcddt":
         kwargs.setdefault("pruned", True)
-    return cls(grid, max_range=max_range, **kwargs)
+    if backend is not None:
+        if key not in _BACKEND_AWARE:
+            raise ValueError(
+                f"range method {key!r} does not take a compute backend "
+                f"(only {sorted(set(RANGE_METHODS[k].__name__ for k in _BACKEND_AWARE))})"
+            )
+        kwargs["backend"] = backend
+
+    method = cls(grid, max_range=max_range, **kwargs)
+    if dedup:
+        from repro.accel.dedup import DedupRangeMethod  # avoid import cycle
+
+        method = DedupRangeMethod(
+            method,
+            xy_bin_cells=dedup_xy_bin_cells,
+            theta_bins=dedup_theta_bins,
+            registry=registry,
+        )
+    return method

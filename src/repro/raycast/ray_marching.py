@@ -7,14 +7,18 @@ below a threshold converges on the first obstacle in a handful of
 iterations on corridor-like maps — far fewer steps than cell-by-cell
 traversal, at the cost of a one-off distance-transform precomputation.
 
-All rays in a batch march in lock-step as NumPy arrays; each iteration
-advances every still-active ray by its local clearance.
+With the default ``numpy`` backend, all rays in a batch march in
+lock-step as NumPy arrays; each iteration advances every still-active ray
+by its local clearance.  With ``backend="numba"`` (or ``"auto"`` on a
+machine with numba) the same arithmetic runs as a fused per-ray JIT
+kernel parallelised over rays — see :mod:`repro.accel`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.accel.backends import get_numba_kernels, resolve_backend
 from repro.maps.occupancy_grid import OccupancyGrid
 from repro.raycast.base import RangeMethod
 
@@ -39,6 +43,11 @@ class RayMarching(RangeMethod):
         iterations for a minimum-step ray to creep the full ``max_range``,
         so only a pathological field can exhaust it; rays that do are
         clamped to ``max_range`` like rays that leave the map.
+    backend:
+        ``"auto"`` (default), ``"numpy"`` or ``"numba"`` — see
+        :func:`repro.accel.backends.resolve_backend`.  ``"numba"`` runs
+        the identical per-ray arithmetic as a JIT kernel and silently
+        degrades to ``"numpy"`` when numba is absent.
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class RayMarching(RangeMethod):
         max_range: float | None = None,
         epsilon: float | None = None,
         max_iters: int | None = None,
+        backend: str = "auto",
     ) -> None:
         super().__init__(grid, max_range)
         self.epsilon = float(epsilon) if epsilon is not None else grid.resolution / 2.0
@@ -64,13 +74,40 @@ class RayMarching(RangeMethod):
         if max_iters is None:
             max_iters = int(np.ceil(self.max_range / self._min_step)) + 64
         self.max_iters = int(max_iters)
-        self._field = grid.distance_field()  # precompute once
+        # Precompute once, widened to float64 up front: the grid caches a
+        # float32 field, and casting it per clearance lookup used to cost
+        # a fresh copy every marching iteration.  float32 -> float64 is
+        # exact, so results are unchanged.
+        self._field = np.ascontiguousarray(grid.distance_field(), dtype=np.float64)
+        self.backend = resolve_backend(backend)
 
     def memory_bytes(self) -> int:
         return self._field.nbytes
 
     def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if self.backend == "numba":
+            return self._calc_ranges_numba(queries)
+        return self._calc_ranges_numpy(queries)
+
+    def _calc_ranges_numba(self, queries: np.ndarray) -> np.ndarray:
+        kernels = get_numba_kernels()
+        return kernels.ray_march_ranges(
+            np.ascontiguousarray(queries[:, 0]),
+            np.ascontiguousarray(queries[:, 1]),
+            np.ascontiguousarray(queries[:, 2]),
+            self._field,
+            float(self.grid.origin[0]),
+            float(self.grid.origin[1]),
+            float(self.grid.resolution),
+            float(self.epsilon),
+            float(self._min_step),
+            float(self._margin),
+            float(self.max_range),
+            self.max_iters,
+        )
+
+    def _calc_ranges_numpy(self, queries: np.ndarray) -> np.ndarray:
         n = queries.shape[0]
         grid = self.grid
         res = grid.resolution
@@ -104,7 +141,7 @@ class RayMarching(RangeMethod):
             in_idx = act[inside]
             if in_idx.size == 0:
                 continue
-            clearance = field[iy[inside], ix[inside]].astype(float)
+            clearance = field[iy[inside], ix[inside]]
 
             # Clearance below epsilon: the obstacle surface is at most
             # `clearance` ahead, so the range is travelled *plus* the

@@ -31,10 +31,14 @@ import numpy as np
 __all__ = [
     "DIVERGENCE_EDGES_CELLS",
     "DEFAULT_PAIR_TOLERANCES_CELLS",
+    "DEDUP_SELF_TOLERANCES_CELLS",
+    "BACKEND_SELF_TOLERANCES_CELLS",
     "DEFAULT_LOCALIZER_TOLERANCES_M",
     "PairDivergence",
     "RaycastDifferentialReport",
     "LocalizerDifferentialReport",
+    "default_differential_backends",
+    "resolve_pair_tolerances",
     "raycast_batch_divergence",
     "merge_pair_divergences",
     "run_raycast_differential",
@@ -69,6 +73,26 @@ DEFAULT_PAIR_TOLERANCES_CELLS: Dict[Tuple[str, str], Dict[str, float]] = {
 
 DEFAULT_BACKENDS: Tuple[str, ...] = ("bresenham", "ray_marching", "cddt", "lut")
 
+# Accel-vs-reference self pairs: the same traversal algorithm with an
+# acceleration-layer suffix on one side (repro.accel).
+#
+# ``+dedup`` substitutes each query with its (cell, angle-bin) centre, so
+# the divergence envelope is the range sensitivity to a half-bin pose
+# perturbation: sub-cell for ~97% of queries, but near grazing incidence
+# the displaced origin can hit a *different wall*, producing the same
+# unbounded geometric tail the CDDT pairs have — so the gate is a bulk
+# quantile plus a fraction-within bound, never a tail quantile.  Measured
+# on the reference room (1-cell bins, 2048 theta bins): p90 at the
+# 1.0-cell edge, within-3 ≈ 0.970, max ~50 cells; gated with margin.
+DEDUP_SELF_TOLERANCES_CELLS: Dict[str, float] = {
+    "p90": 2.0,
+    "within_3": 0.94,
+}
+# ``@numba`` runs the identical per-ray arithmetic (same op order, no
+# fastmath), so it is expected bit-identical to the numpy reference; one
+# sub-cell bucket of slack covers non-IEEE contraction on exotic targets.
+BACKEND_SELF_TOLERANCES_CELLS: Dict[str, float] = {"max": 0.25}
+
 # Localizer-oracle gates, metres: each method's mean ground-truth error,
 # and the p90 of the pairwise estimate distance between methods.
 DEFAULT_LOCALIZER_TOLERANCES_M: Dict[str, float] = {
@@ -80,6 +104,74 @@ DEFAULT_LOCALIZER_TOLERANCES_M: Dict[str, float] = {
 
 def _pair_key(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
+
+
+def default_differential_backends() -> Tuple[str, ...]:
+    """Backends the differential oracle cross-checks by default.
+
+    The four base methods plus the accel variants this host can run:
+    ``+dedup`` always (pure NumPy), ``@numba`` only when numba resolves —
+    a numba-less machine silently gets the shorter list rather than
+    pairs that would all trivially compare numpy against itself.
+    """
+    backends = list(DEFAULT_BACKENDS) + ["bresenham+dedup", "ray_marching+dedup"]
+    from repro.accel.backends import numba_available
+
+    if numba_available():
+        backends += ["bresenham@numba", "ray_marching@numba"]
+    return tuple(backends)
+
+
+def _widen_for_dedup(tol: Mapping[str, float]) -> Dict[str, float]:
+    """Base-pair gates plus the dedup half-bin substitution budget.
+
+    Quantile gates move one bucket edge out (+1 cell covers the sub-cell
+    p90 shift with margin), fraction-within gates give up 5% of mass,
+    ``max`` gates get the few-cell corner cases.
+    """
+    out: Dict[str, float] = {}
+    for key, value in tol.items():
+        if key == "max":
+            out[key] = value + 3.0
+        elif key.startswith("within_"):
+            out[key] = max(0.0, value - 0.05)
+        else:
+            out[key] = value + 1.0
+    return out
+
+
+def resolve_pair_tolerances(
+    pair: Tuple[str, str],
+    tolerances: Optional[Mapping[Tuple[str, str], Mapping[str, float]]] = None,
+) -> Dict[str, float]:
+    """Gates for a backend pair, suffix-aware.
+
+    Resolution order: exact pair in the configured map; exact pair in the
+    defaults; then strip ``@backend``/``+dedup`` suffixes — equal bases
+    get the accel self-pair envelope (dedup's if the dedup flags differ,
+    else the bit-identical backend gate), different bases reuse the base
+    pair's gates, widened by the dedup budget when either side dedups.
+    The loose legacy fallback only remains for pairs of unknown methods.
+    """
+    from repro.raycast.factory import parse_range_spec
+
+    for tol_map in (tolerances, DEFAULT_PAIR_TOLERANCES_CELLS):
+        if tol_map is not None and pair in tol_map:
+            return dict(tol_map[pair])
+    base_a, _, dedup_a = parse_range_spec(pair[0])
+    base_b, _, dedup_b = parse_range_spec(pair[1])
+    if base_a == base_b:
+        if dedup_a != dedup_b:
+            return dict(DEDUP_SELF_TOLERANCES_CELLS)
+        return dict(BACKEND_SELF_TOLERANCES_CELLS)
+    base_pair = _pair_key(base_a, base_b)
+    for tol_map in (tolerances, DEFAULT_PAIR_TOLERANCES_CELLS):
+        if tol_map is not None and base_pair in tol_map:
+            base_tol = tol_map[base_pair]
+            if dedup_a or dedup_b:
+                return _widen_for_dedup(base_tol)
+            return dict(base_tol)
+    return {"p90": 4.0, "within_3": 0.85}
 
 
 @dataclass
@@ -201,15 +293,22 @@ def _backends_for(map_spec: Mapping, backends: Sequence[str],
            theta_bins)
     built = _BACKEND_CACHE.get(key)
     if built is None:
-        from repro.raycast.factory import make_range_method
+        from repro.raycast.factory import make_range_method, parse_range_spec
         from repro.verify.generators import resolve_map
 
         grid = resolve_map(dict(map_spec))
         built = {"grid": grid, "methods": {}}
         for name in backends:
             kwargs = {}
-            if name in ("cddt", "pcddt", "lut", "glt"):
+            base, spec_backend, _ = parse_range_spec(name)
+            if base in ("cddt", "pcddt", "lut", "glt"):
                 kwargs["num_theta_bins"] = theta_bins
+            elif spec_backend is None:
+                # An un-suffixed per-ray method is the *reference* side of
+                # an accel pair: pin it to numpy so "ray_marching" vs
+                # "ray_marching@numba" never compares numba with itself
+                # via auto-resolution.
+                kwargs["backend"] = "numpy"
             built["methods"][name] = make_range_method(
                 name, grid, max_range=max_range, **kwargs
             )
@@ -288,12 +387,9 @@ class RaycastDifferentialReport:
     def verdicts(self) -> Dict[str, Dict[str, bool]]:
         out = {}
         for pair_name, div in sorted(self.pairs.items()):
-            tol = self.tolerances.get(div.pair)
-            if tol is None:
-                tol = DEFAULT_PAIR_TOLERANCES_CELLS.get(
-                    div.pair, {"p90": 4.0, "within_3": 0.85}
-                )
-            out[pair_name] = div.gate(tol)
+            out[pair_name] = div.gate(
+                resolve_pair_tolerances(div.pair, self.tolerances)
+            )
         return out
 
     def to_dict(self) -> Dict:
@@ -345,7 +441,7 @@ def run_raycast_differential(
     map_spec: Optional[Mapping] = None,
     n_queries: int = 10_000,
     seed: int = 7,
-    backends: Sequence[str] = DEFAULT_BACKENDS,
+    backends: Optional[Sequence[str]] = None,
     tolerances: Optional[Mapping] = None,
     batch_size: int = 2500,
     max_range: float = 12.0,
@@ -358,6 +454,8 @@ def run_raycast_differential(
     :mod:`repro.verify.suite`); both paths merge the identical per-batch
     stats, so their reports agree bit for bit.
     """
+    if backends is None:
+        backends = default_differential_backends()
     map_spec = dict(map_spec or {"kind": "room", "seed": 3})
     n_batches = max(1, int(np.ceil(n_queries / batch_size)))
     per_batch = int(np.ceil(n_queries / n_batches))

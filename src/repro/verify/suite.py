@@ -24,11 +24,11 @@ import numpy as np
 from repro.eval.runner import SweepRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.verify.differential import (
-    DEFAULT_BACKENDS,
     LocalizerDifferentialReport,
     RaycastDifferentialReport,
     DEFAULT_PAIR_TOLERANCES_CELLS,
     combine_localizer_trials,
+    default_differential_backends,
     localizer_replay_trial,
     merge_pair_divergences,
     raycast_batch_divergence,
@@ -69,7 +69,9 @@ class VerifyConfig:
     seed: int = 7
     workers: int = 1
     map_spec: Dict = field(default_factory=lambda: {"kind": "room", "seed": 3})
-    backends: Tuple[str, ...] = DEFAULT_BACKENDS
+    # Includes the accel variants this host can run (dedup always, @numba
+    # when importable); see default_differential_backends().
+    backends: Tuple[str, ...] = field(default_factory=default_differential_backends)
     max_range: float = 12.0
     theta_bins: int = 180
     methods: Tuple[str, ...] = ("synpf", "cartographer")

@@ -1,0 +1,360 @@
+"""Tests for the acceleration layer (``repro.accel``).
+
+Covers the backend registry (including the no-numba degradation path —
+the inverse of ``importorskip``: these tests *force* numba absent and
+prove nothing raises), the pose-quantized dedup cache, the pose-batch
+buffer-reuse fix, the factory spec grammar, and the bench regression
+gate.  Numba-vs-numpy kernel parity runs only where numba is importable.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.accel.backends as backends_mod
+from repro.accel import (
+    DedupRangeMethod,
+    available_backends,
+    numba_available,
+    resolve_backend,
+)
+from repro.accel.bench import check_against_baseline
+from repro.core.particle_filter import ParticleFilterConfig, make_synpf
+from repro.core.sensor_models import BeamSensorModel
+from repro.raycast import make_range_method, parse_range_spec
+from repro.raycast.bresenham import BresenhamRayCast
+from repro.raycast.ray_marching import RayMarching
+from repro.telemetry import MetricsRegistry
+from repro.verify.differential import (
+    BACKEND_SELF_TOLERANCES_CELLS,
+    DEDUP_SELF_TOLERANCES_CELLS,
+)
+
+from .strategies import free_queries, room_grid, walled_room
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the registry to behave as if numba were not installed."""
+    monkeypatch.setattr(backends_mod, "_NUMBA_PROBE", False)
+
+
+@pytest.fixture
+def grid():
+    return room_grid(seed=11)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            resolve_backend("cuda")
+
+    def test_auto_without_numba_degrades_silently(self, no_numba):
+        # The importorskip inverse: numba forced absent, nothing raises.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("auto") == "numpy"
+
+    def test_explicit_numba_without_numba_warns_and_falls_back(self, no_numba):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            assert resolve_backend("numba") == "numpy"
+
+    def test_available_backends_without_numba(self, no_numba):
+        assert list(available_backends()) == ["numpy"]
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_auto_with_numba_selects_numba(self):
+        assert resolve_backend("auto") == "numba"
+
+    def test_methods_construct_with_numba_absent(self, no_numba, grid):
+        # Every backend-aware component must come up on the NumPy path
+        # without raising when numba is missing.
+        for cls in (RayMarching, BresenhamRayCast):
+            method = cls(grid, backend="auto")
+            assert method.backend == "numpy"
+        sensor = BeamSensorModel(backend="auto")
+        assert sensor.backend == "numpy"
+
+    def test_pf_constructs_with_numba_absent(self, no_numba, grid):
+        pf = make_synpf(grid, num_particles=50, num_beams=10, seed=0,
+                        range_method="ray_marching")
+        info = pf.accel_info()
+        assert info["raycast_backend"] == "numpy"
+        assert info["sensor_backend"] == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Pose-batch buffer reuse (satellite: no per-call repeat/tile allocation)
+# ---------------------------------------------------------------------------
+class TestPoseBatchBufferReuse:
+    def test_two_consecutive_calls_are_independent(self, grid):
+        method = RayMarching(grid, backend="numpy")
+        angles = np.linspace(-1.0, 1.0, 7)
+        poses_a = free_queries(grid, 20, seed=1)
+        poses_b = free_queries(grid, 20, seed=2)
+
+        out_a = method.calc_ranges_pose_batch(poses_a, angles)
+        kept_a = out_a.copy()
+        out_b = method.calc_ranges_pose_batch(poses_b, angles)
+
+        # The scratch buffer is reused across calls, but results must
+        # match a fresh method answering each batch in isolation.
+        np.testing.assert_array_equal(out_a, kept_a)
+        fresh = RayMarching(grid, backend="numpy")
+        np.testing.assert_array_equal(
+            out_a, fresh.calc_ranges_pose_batch(poses_a, angles))
+        np.testing.assert_array_equal(
+            out_b, fresh.calc_ranges_pose_batch(poses_b, angles))
+
+    def test_buffer_reallocates_on_shape_change(self, grid):
+        method = RayMarching(grid, backend="numpy")
+        angles = np.linspace(-1.0, 1.0, 5)
+        out_small = method.calc_ranges_pose_batch(
+            free_queries(grid, 4, seed=3), angles)
+        out_large = method.calc_ranges_pose_batch(
+            free_queries(grid, 9, seed=4), angles)
+        assert out_small.shape == (4, 5)
+        assert out_large.shape == (9, 5)
+
+
+# ---------------------------------------------------------------------------
+# Dedup cache
+# ---------------------------------------------------------------------------
+class TestDedupRangeMethod:
+    def test_name_and_delegation(self, grid):
+        method = make_range_method("ray_marching+dedup", grid)
+        assert isinstance(method, DedupRangeMethod)
+        assert method.name.endswith("+dedup")
+        assert method.memory_bytes() == method.inner.memory_bytes()
+
+    def test_parity_within_documented_envelope(self):
+        # Accel-vs-reference contract from repro.verify.differential:
+        # quantized queries may move up to half a bin, so agreement is
+        # gated by DEDUP_SELF_TOLERANCES_CELLS, not exactness.
+        g = room_grid(seed=5)
+        inner = RayMarching(g, backend="numpy")
+        dedup = DedupRangeMethod(RayMarching(g, backend="numpy"))
+        queries = free_queries(g, 500, seed=6)
+        diff_cells = np.abs(
+            dedup.calc_ranges(queries) - inner.calc_ranges(queries)
+        ) / g.resolution
+        assert np.quantile(diff_cells, 0.90) <= \
+            DEDUP_SELF_TOLERANCES_CELLS["p90"]
+        assert np.mean(diff_cells <= 3.0) >= \
+            DEDUP_SELF_TOLERANCES_CELLS["within_3"]
+
+    def test_duplicate_queries_cast_once(self, grid):
+        dedup = DedupRangeMethod(RayMarching(grid, backend="numpy"))
+        base = free_queries(grid, 8, seed=7)
+        queries = np.repeat(base, 10, axis=0)  # 80 queries, 8 unique
+        out = dedup.calc_ranges(queries)
+        stats = dedup.stats()
+        assert stats["queries_total"] == 80
+        assert stats["queries_cast"] == 8
+        assert stats["hit_rate"] == pytest.approx(0.9)
+        # Duplicates of one pose get one answer.
+        np.testing.assert_array_equal(out, np.repeat(out[::10], 10))
+
+    def test_scatter_restores_query_order(self, grid):
+        dedup = DedupRangeMethod(RayMarching(grid, backend="numpy"))
+        queries = free_queries(grid, 60, seed=8)
+        out = dedup.calc_ranges(queries)
+        perm = np.random.default_rng(0).permutation(60)
+        out_perm = dedup.calc_ranges(queries[perm])
+        # Bin-center representatives make the answer order-independent.
+        np.testing.assert_array_equal(out[perm], out_perm)
+
+    def test_hit_rate_gauge_in_registry(self, grid):
+        registry = MetricsRegistry()
+        dedup = DedupRangeMethod(RayMarching(grid, backend="numpy"),
+                                 registry=registry)
+        base = free_queries(grid, 5, seed=9)
+        dedup.calc_ranges(np.repeat(base, 4, axis=0))
+        snap = registry.snapshot()
+        assert snap["counters"]["accel.dedup.queries_total"] == 20
+        assert snap["counters"]["accel.dedup.queries_cast"] == 5
+        assert snap["gauges"]["accel.dedup.hit_rate"] == pytest.approx(0.75)
+
+    def test_invalid_params_rejected(self, grid):
+        inner = RayMarching(grid, backend="numpy")
+        with pytest.raises(ValueError):
+            DedupRangeMethod(inner, xy_bin_cells=0.0)
+        with pytest.raises(ValueError):
+            DedupRangeMethod(inner, theta_bins=0)
+
+
+# ---------------------------------------------------------------------------
+# Factory spec grammar
+# ---------------------------------------------------------------------------
+class TestRangeSpecGrammar:
+    @pytest.mark.parametrize("spec, expected", [
+        ("ray_marching", ("ray_marching", None, False)),
+        ("bresenham@numba", ("bresenham", "numba", False)),
+        ("ray_marching+dedup", ("ray_marching", None, True)),
+        ("bresenham@numba+dedup", ("bresenham", "numba", True)),
+        ("lut", ("lut", None, False)),
+    ])
+    def test_parse_range_spec(self, spec, expected):
+        assert parse_range_spec(spec) == expected
+
+    def test_suffix_kwarg_conflict_rejected(self, grid):
+        with pytest.raises(ValueError, match="conflict"):
+            make_range_method("ray_marching@numpy", grid, backend="numba")
+
+    def test_backend_kwarg_on_table_method_rejected(self, grid):
+        with pytest.raises(ValueError):
+            make_range_method("lut", grid, backend="numpy")
+
+    def test_dedup_suffix_wraps(self, grid):
+        method = make_range_method("bresenham+dedup", grid)
+        assert isinstance(method, DedupRangeMethod)
+        assert isinstance(method.inner, BresenhamRayCast)
+
+
+# ---------------------------------------------------------------------------
+# Numba kernel parity (runs only where numba is importable)
+# ---------------------------------------------------------------------------
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaParity:
+    def test_raycast_kernels_bit_identical(self):
+        g = room_grid(seed=12)
+        queries = free_queries(g, 300, seed=13)
+        for cls in (RayMarching, BresenhamRayCast):
+            ref = cls(g, backend="numpy").calc_ranges(queries)
+            jit = cls(g, backend="numba").calc_ranges(queries)
+            diff_cells = np.abs(jit - ref) / g.resolution
+            assert diff_cells.max() <= BACKEND_SELF_TOLERANCES_CELLS["max"]
+
+    def test_sensor_model_close(self):
+        model_ref = BeamSensorModel(backend="numpy")
+        model_jit = BeamSensorModel(backend="numba")
+        rng = np.random.default_rng(14)
+        expected = rng.uniform(0.0, 10.0, (40, 20))
+        measured = rng.uniform(0.0, 10.0, 20)
+        np.testing.assert_allclose(
+            model_jit.log_likelihood(expected, measured),
+            model_ref.log_likelihood(expected, measured),
+            rtol=0, atol=1e-4,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sensor-model table gather
+# ---------------------------------------------------------------------------
+class TestSensorTableGather:
+    def test_flat_gather_matches_direct_indexing(self):
+        model = BeamSensorModel(backend="numpy")
+        rng = np.random.default_rng(15)
+        expected = rng.uniform(0.0, model.config.max_range, (30, 12))
+        measured = rng.uniform(0.0, model.config.max_range, 12)
+        got = model.log_likelihood(expected, measured)
+
+        res = model.config.resolution
+        n_bins = model._n_bins
+        exp_bins = np.clip(np.round(expected / res).astype(np.intp),
+                           0, n_bins - 1)
+        meas_bins = np.clip(np.round(measured / res).astype(np.intp),
+                            0, n_bins - 1)
+        want = (model._log_table[exp_bins, meas_bins[None, :]]
+                .sum(axis=1) / model.config.squash_factor)
+        np.testing.assert_array_equal(got, want)
+
+
+# ---------------------------------------------------------------------------
+# PF wiring
+# ---------------------------------------------------------------------------
+class TestParticleFilterWiring:
+    def test_dedup_auto_on_for_per_ray_methods(self, grid):
+        pf = make_synpf(grid, num_particles=40, num_beams=8, seed=1,
+                        range_method="ray_marching")
+        info = pf.accel_info()
+        assert info["dedup"] is True
+        assert info["raycast_method"].endswith("+dedup")
+
+    def test_dedup_auto_off_for_table_methods(self, grid):
+        pf = make_synpf(grid, num_particles=40, num_beams=8, seed=1,
+                        range_method="lut")
+        assert pf.accel_info()["dedup"] is False
+
+    def test_dedup_can_be_forced_off(self, grid):
+        pf = make_synpf(grid, num_particles=40, num_beams=8, seed=1,
+                        range_method="ray_marching", raycast_dedup=False)
+        assert pf.accel_info()["dedup"] is False
+
+    def test_telemetry_exposes_accel_block(self, grid):
+        from repro.core.particle_filter import SynPF
+
+        registry = MetricsRegistry()
+        pf = SynPF(grid,
+                   ParticleFilterConfig(num_particles=40, num_beams=8, seed=1,
+                                        range_method="ray_marching"),
+                   registry=registry)
+        accel = pf.telemetry()["accel"]
+        assert accel["raycast_backend"] in ("numpy", "numba")
+        assert "dedup_stats" in accel
+        counters = registry.snapshot()["counters"]
+        assert any(k.startswith("accel.raycast.") for k in counters)
+        assert any(k.startswith("accel.sensor.") for k in counters)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(accel_backend="cuda").validate()
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(raycast_dedup="maybe").validate()
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(dedup_theta_bins=0).validate()
+
+
+# ---------------------------------------------------------------------------
+# Timing-sensitive speedup gate: excluded from tier-1 via the `bench`
+# marker (pyproject addopts), run by the CI bench job with `-m bench`.
+# ---------------------------------------------------------------------------
+@pytest.mark.bench
+class TestDedupSpeedupGate:
+    def test_dedup_speeds_up_raycast_at_bench_workload(self):
+        from repro.accel.bench import run_raycast_bench
+
+        result = run_raycast_bench(
+            particles=1000, beams=60, repeats=3, inner_repeats=2,
+            method_specs=["ray_marching", "ray_marching+dedup"],
+        )
+        speedup = result["speedups"]["ray_marching+dedup_vs_ray_marching"]
+        # ISSUE-5 acceptance: >=1.3x from the dedup cache in pure NumPy.
+        assert speedup >= 1.3, f"dedup speedup {speedup:.2f}x < 1.3x"
+
+
+# ---------------------------------------------------------------------------
+# Bench regression gate (pure dict logic — no timing here)
+# ---------------------------------------------------------------------------
+class TestCheckAgainstBaseline:
+    BASE = {"speedups": {"a_vs_b": 2.0, "c_vs_d": 1.5},
+            "environment": {"numba_available": False}}
+
+    def test_passes_within_tolerance(self):
+        result = {"speedups": {"a_vs_b": 1.6, "c_vs_d": 1.5},
+                  "environment": {"numba_available": False}}
+        assert check_against_baseline(result, self.BASE, 0.25) == []
+
+    def test_flags_regression(self):
+        result = {"speedups": {"a_vs_b": 1.2, "c_vs_d": 1.5},
+                  "environment": {"numba_available": False}}
+        failures = check_against_baseline(result, self.BASE, 0.25)
+        assert len(failures) == 1
+        assert "a_vs_b" in failures[0]
+
+    def test_keys_missing_on_either_side_are_skipped(self):
+        result = {"speedups": {"a_vs_b": 2.0, "x_vs_y": 0.1},
+                  "environment": {"numba_available": True}}
+        assert check_against_baseline(result, self.BASE, 0.25) == []
+
+    def test_null_values_are_skipped(self):
+        base = {"speedups": {"a_vs_b": None}, "environment": {}}
+        result = {"speedups": {"a_vs_b": 0.01}, "environment": {}}
+        assert check_against_baseline(result, base, 0.25) == []

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -125,6 +127,63 @@ class TestParser:
     def test_verify_rejects_bad_suite(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "--suite", "vibes"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "raycast"])
+        assert args.target == "raycast"
+        assert args.particles == 1000
+        assert args.beams == 60
+        assert args.repeats == 5
+        assert args.workers == 1
+        assert not args.check
+        assert args.tolerance == pytest.approx(0.25)
+
+    def test_bench_rejects_bad_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "slam"])
+
+
+class TestBenchCommand:
+    def test_raycast_smoke(self, tmp_path, capsys):
+        out = str(tmp_path / "raycast.json")
+        rc = main(["bench", "raycast", "--particles", "40", "--beams", "6",
+                   "--repeats", "1", "--out", out])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "ms/batch" in captured
+        assert "_vs_" in captured  # dedup speedup ratios printed
+        data = json.loads(open(out).read())
+        assert data["benchmark"] == "raycast_throughput"
+        assert "ray_marching+dedup" in data["configs"]
+        assert "environment" in data
+
+    def test_pf_smoke(self, tmp_path, capsys):
+        out = str(tmp_path / "pf.json")
+        rc = main(["bench", "pf", "--particles", "40", "--beams", "6",
+                   "--updates", "2", "--repeats", "1", "--out", out])
+        assert rc == 0
+        data = json.loads(open(out).read())
+        assert data["benchmark"] == "pf_update"
+        assert "accel_vs_reference" in data["speedups"]
+        assert data["configs"]["accel"]["accel_telemetry"]["dedup"] is True
+
+    def test_check_with_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        rc = main(["bench", "raycast", "--particles", "40", "--beams", "6",
+                   "--repeats", "1", "--check",
+                   "--baseline", str(tmp_path / "missing.json")])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_check_gates_against_baseline(self, tmp_path, capsys):
+        # A baseline demanding an impossible speedup must fail the gate.
+        baseline = {"speedups": {"ray_marching+dedup_vs_ray_marching": 1e9},
+                    "environment": {}}
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        rc = main(["bench", "raycast", "--particles", "40", "--beams", "6",
+                   "--repeats", "1", "--check", "--baseline", str(path)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
 
 
 class TestCommands:

@@ -7,6 +7,7 @@ from repro.verify.differential import (
     DEFAULT_PAIR_TOLERANCES_CELLS,
     PairDivergence,
     combine_localizer_trials,
+    default_differential_backends,
     merge_pair_divergences,
     raycast_batch_divergence,
     run_raycast_differential,
@@ -108,10 +109,15 @@ class TestRaycastReport:
     def test_small_run_passes_default_gates(self):
         report = run_raycast_differential(n_queries=600, batch_size=200)
         assert report.n_queries == 600
-        assert set(report.pairs) == {
-            "bresenham__cddt", "bresenham__lut", "bresenham__ray_marching",
-            "cddt__lut", "cddt__ray_marching", "lut__ray_marching",
-        }
+        # Defaults now include the accel dedup variants (and @numba ones
+        # where numba is installed): all pairs over >= 6 backends.
+        n_backends = len(default_differential_backends())
+        assert len(report.pairs) == n_backends * (n_backends - 1) // 2
+        for pair in ("bresenham__cddt", "bresenham__ray_marching",
+                     "lut__ray_marching",
+                     "bresenham__bresenham+dedup",
+                     "ray_marching__ray_marching+dedup"):
+            assert pair in report.pairs
         assert report.ok, report.render_text()
 
     def test_render_and_dict(self):
