@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Fleet serving load test: artifact sharing, throughput, p99 latency.
+
+Runs :func:`repro.serve.bench.run_serve_bench` — N concurrent sessions
+on one map through the :class:`~repro.serve.registry.SessionRegistry`
+(direct) and the asyncio :class:`~repro.serve.server.FleetServer`
+(microbatched) — and writes ``BENCH_serve.json`` next to this file.
+
+The committed record proves the ISSUE-6 tentpole property via
+build-counter telemetry: N sessions trigger exactly **one** map-artifact
+build.  ``--check`` gates the ``artifact_reuse_efficiency`` ratio
+against the committed baseline (±25%, portable across hosts and session
+counts) plus the structural one-build invariant; ``--smoke`` is the
+small CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.serve.bench import check_serve_result, run_serve_bench
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_serve.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="concurrent session count (default: profile's)")
+    parser.add_argument("--updates", type=int, default=None,
+                        help="updates per session (default: profile's)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast CI configuration")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (BENCH_serve.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on broken sharing or ratio regression")
+    parser.add_argument("--baseline", default=ARTIFACT,
+                        help="baseline JSON for --check (default: committed artifact)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional ratio regression (CI noise)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    result = run_serve_bench(
+        sessions=args.sessions, updates=args.updates, seed=args.seed,
+        smoke=args.smoke,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+
+    cfg = result["configs"]
+    print(f"fleet serve, {result['sessions']} sessions x "
+          f"{result['updates_per_session']} updates "
+          f"({result['particles']} particles x {result['beams']} beams):")
+    print(f"  setup      isolated {cfg['setup']['isolated_setup_s']:.3f} s  "
+          f"fleet {cfg['setup']['fleet_setup_s']:.3f} s  "
+          f"({cfg['setup']['artifact_builds']} build(s), "
+          f"{cfg['setup']['artifact_hits']} hit(s), "
+          f"{cfg['setup']['sessions_per_s']:.1f} sessions/s)")
+    print(f"  direct     {cfg['direct']['updates_per_s']:>8.1f} updates/s  "
+          f"p50 {cfg['direct']['p50_update_ms']:.2f} ms  "
+          f"p99 {cfg['direct']['p99_update_ms']:.2f} ms")
+    print(f"  batched    {cfg['batched']['updates_per_s']:>8.1f} updates/s  "
+          f"({cfg['batched']['folded_updates']} folded, "
+          f"{cfg['batched']['batched_vs_direct']:.2f}x vs direct)")
+    for key, value in sorted(result["speedups"].items()):
+        print(f"  {key:<32}{value:>6.2f}x")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_serve_result(result, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"check: artifact sharing proven and all ratios within "
+              f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

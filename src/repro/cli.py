@@ -14,7 +14,7 @@ run without writing Python:
 ``scenario``              list / show / run declarative fault scenarios
 ``campaign``              scenario x method x trial robustness scorecard
 ``verify``                differential / metamorphic / golden verification
-``bench``                 accel benchmarks (raycast / pf) with baseline gates
+``bench``                 benchmarks (raycast / pf / serve) with baseline gates
 ``report``                render a telemetry JSONL run into latency tables
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
@@ -178,12 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="acceleration-layer benchmarks: raycast throughput / "
-             "PF update latency, with baseline regression gating",
+             "PF update latency / fleet serving, with baseline "
+             "regression gating",
     )
-    p_bench.add_argument("target", choices=("raycast", "pf"),
+    p_bench.add_argument("target", choices=("raycast", "pf", "serve"),
                          help="raycast: calc_ranges_pose_batch throughput "
                               "per backend spec; pf: end-to-end SynPF "
-                              "update, reference vs accelerated")
+                              "update, reference vs accelerated; serve: "
+                              "fleet session load test with artifact-cache "
+                              "sharing proof")
     p_bench.add_argument("--particles", type=int, default=1000)
     p_bench.add_argument("--beams", type=int, default=60)
     p_bench.add_argument("--repeats", type=int, default=5,
@@ -192,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="PF updates per repeat (pf target)")
     p_bench.add_argument("--workers", type=int, default=1,
                          help="sweep-runner worker processes")
+    p_bench.add_argument("--sessions", type=int, default=None,
+                         help="concurrent session count (serve target)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="serve target: small fast CI configuration")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default=None, metavar="PATH",
                          help="write the JSON result here")
@@ -516,6 +523,7 @@ def main(argv=None) -> int:
         default_artifact = {
             "raycast": "benchmarks/BENCH_raycast_throughput.json",
             "pf": "benchmarks/BENCH_pf_update.json",
+            "serve": "benchmarks/BENCH_serve.json",
         }[args.target]
         baseline = None
         if args.check:
@@ -527,6 +535,44 @@ def main(argv=None) -> int:
                 print(f"error: cannot read baseline {baseline_path}: {exc}",
                       file=sys.stderr)
                 return 2
+
+        if args.target == "serve":
+            from repro.serve.bench import check_serve_result, run_serve_bench
+
+            result = run_serve_bench(
+                sessions=args.sessions, seed=args.seed, smoke=args.smoke,
+            )
+            cfg = result["configs"]
+            print(f"fleet serve, {result['sessions']} sessions x "
+                  f"{result['updates_per_session']} updates "
+                  f"({result['particles']} particles x {result['beams']} "
+                  f"beams, {result['serve_method']}):")
+            print(f"  setup      isolated {cfg['setup']['isolated_setup_s']:.3f} s"
+                  f"  fleet {cfg['setup']['fleet_setup_s']:.3f} s"
+                  f"  ({cfg['setup']['artifact_builds']} build(s), "
+                  f"{cfg['setup']['artifact_hits']} hit(s), "
+                  f"{cfg['setup']['sessions_per_s']:.1f} sessions/s)")
+            print(f"  direct     {cfg['direct']['updates_per_s']:>8.1f} updates/s"
+                  f"  p50 {cfg['direct']['p50_update_ms']:.2f} ms"
+                  f"  p99 {cfg['direct']['p99_update_ms']:.2f} ms")
+            print(f"  batched    {cfg['batched']['updates_per_s']:>8.1f} updates/s"
+                  f"  ({cfg['batched']['folded_updates']} folded, "
+                  f"{cfg['batched']['batched_vs_direct']:.2f}x vs direct)")
+            for key, value in sorted(result["speedups"].items()):
+                print(f"  {key:<40}{value:>6.2f}x")
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(result, fh, indent=2, sort_keys=True)
+                print(f"wrote {args.out}")
+            if args.check:
+                failures = check_serve_result(result, baseline, args.tolerance)
+                if failures:
+                    for failure in failures:
+                        print(f"FAIL: {failure}", file=sys.stderr)
+                    return 1
+                print(f"check: artifact sharing proven and all ratios "
+                      f"within {args.tolerance:.0%} of baseline")
+            return 0
 
         if args.target == "raycast":
             result = run_raycast_bench(

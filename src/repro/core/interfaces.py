@@ -159,6 +159,7 @@ def make_localizer(
     lidar_offset_x: Optional[float] = None,
     registry=None,
     timing_max_samples: Optional[int] = None,
+    artifact_cache=None,
     **overrides,
 ) -> Localizer:
     """Build a protocol-conforming localizer by method name.
@@ -182,6 +183,12 @@ def make_localizer(
     timing_max_samples:
         Bound the legacy ``TimingStats`` sample lists (reservoir mode) so
         multi-hour runs do not accumulate per-update floats forever.
+    artifact_cache:
+        Optional :class:`~repro.serve.artifacts.MapArtifactCache`; the
+        MCL methods fetch their precomputed range-method structures from
+        it (one build per map, shared read-only) instead of rebuilding
+        per localizer.  Ignored by Cartographer, which precomputes
+        nothing map-wide.
     **overrides:
         Particle-filter config fields for the MCL methods; only
         ``config=CartographerConfig(...)`` for Cartographer.
@@ -206,7 +213,8 @@ def make_localizer(
             overrides.setdefault("layout", "uniform")
         overrides.setdefault("lidar_offset_x", lidar_offset_x)
         pf = SynPF(grid, ParticleFilterConfig(**overrides),
-                   registry=registry, timing=timing)
+                   registry=registry, timing=timing,
+                   artifact_cache=artifact_cache)
         return SynPFLocalizer(pf)
 
     if method == "cartographer":

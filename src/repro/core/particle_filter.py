@@ -43,7 +43,14 @@ from repro.utils.angles import wrap_to_pi
 from repro.utils.profiling import TimingStats
 from repro.utils.rng import make_rng
 
-__all__ = ["ParticleFilterConfig", "SynPF", "make_synpf", "make_vanilla_mcl"]
+__all__ = [
+    "ParticleFilterConfig",
+    "FilterEstimate",
+    "PendingUpdate",
+    "SynPF",
+    "make_synpf",
+    "make_vanilla_mcl",
+]
 
 # Methods whose queries are per-ray traversals: dedup's one-cast-per-bin
 # saves real work there.  lut/glt answer in constant time from a table
@@ -148,6 +155,23 @@ class FilterEstimate:
     resampled: bool
 
 
+@dataclass(frozen=True)
+class PendingUpdate:
+    """The raycast workload of one in-flight update.
+
+    Produced by :meth:`SynPF.prepare_update` after the motion stage;
+    consumed by :meth:`SynPF.complete_update` once the expected ranges
+    are available.  The split lets a fleet batcher
+    (:mod:`repro.serve.batcher`) fold the raycast stage of many sessions
+    sharing a map into one call while every other stage stays
+    per-session.
+    """
+
+    sensor_poses: np.ndarray  # (P, 3) sensor-frame particle poses
+    angles: np.ndarray  # (B,) selected beam angles (sensor-relative)
+    measured: np.ndarray  # (B,) sanitised measured ranges
+
+
 class SynPF:
     """Map-based Monte-Carlo localizer.
 
@@ -168,6 +192,12 @@ class SynPF:
     timing:
         Optional externally-owned :class:`TimingStats` (e.g. a bounded
         one from :func:`repro.core.interfaces.make_localizer`).
+    artifact_cache:
+        Optional :class:`~repro.serve.artifacts.MapArtifactCache`.  When
+        given, the (expensive, read-only) base range method — LUT table,
+        CDDT bins, distance field — is fetched from the cache instead of
+        rebuilt, so many filters on the same map share one build.  The
+        dedup wrapper (which carries per-filter counters) stays private.
 
     Usage
     -----
@@ -183,6 +213,7 @@ class SynPF:
         motion_model: MotionModel | None = None,
         registry=None,
         timing: TimingStats | None = None,
+        artifact_cache=None,
     ) -> None:
         self.config = config or ParticleFilterConfig()
         self.config.validate()
@@ -234,6 +265,7 @@ class SynPF:
             dedup_xy_bin_cells=self.config.dedup_xy_bin_cells,
             dedup_theta_bins=self.config.dedup_theta_bins,
             registry=registry,
+            artifact_cache=artifact_cache,
             **range_kwargs,
         )
         self._registry = registry
@@ -254,9 +286,15 @@ class SynPF:
         self._initialized = False
         self._layout_cache: dict = {}
         # Augmented-MCL state: short/long-term geometric-mean beam
-        # likelihood averages (Thrun ch. 8.3.3).
+        # likelihood averages (Thrun ch. 8.3.3).  The explicit init flag
+        # (rather than `_w_slow == 0.0` sentinel testing) keeps the
+        # recovery armed even when the very first w_avg underflows to
+        # exactly 0.0 — a zero average is *data* (total likelihood
+        # collapse), not "not yet seeded".
         self._w_slow = 0.0
         self._w_fast = 0.0
+        self._w_initialized = False
+        self._last_inject_frac = 0.0
         self._free_cells_cache = None
 
     # ------------------------------------------------------------------
@@ -309,9 +347,15 @@ class SynPF:
     def select_beams(self, beam_angles: np.ndarray) -> np.ndarray:
         """Layout-selected beam indices for a given full-scan geometry.
 
-        Cached: a LiDAR's beam-angle table never changes at runtime.
+        Cached: a LiDAR's beam-angle table never changes at runtime.  The
+        key covers the *full* angle-table content — a ``(count, first,
+        last)`` endpoint key collides for distinct non-uniform tables
+        sharing endpoints, silently reusing the wrong selection.
         """
-        key = (beam_angles.shape[0], float(beam_angles[0]), float(beam_angles[-1]))
+        beam_angles = np.asarray(beam_angles, dtype=float)
+        if beam_angles.size == 0:
+            raise ValueError("beam_angles must be non-empty")
+        key = (beam_angles.shape[0], hash(beam_angles.tobytes()))
         if key not in self._layout_cache:
             self._layout_cache[key] = self.layout.select(
                 beam_angles, self.config.num_beams
@@ -352,29 +396,85 @@ class SynPF:
         scan_ranges: np.ndarray,
         beam_angles: np.ndarray,
     ) -> FilterEstimate:
+        pending = self.prepare_update(delta, scan_ranges, beam_angles)
+        with self.tracer.span("raycast"):
+            expected = self.range_method.calc_ranges_pose_batch(
+                pending.sensor_poses, pending.angles
+            )
+        return self.complete_update(pending, expected)
+
+    def prepare_update(
+        self,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> PendingUpdate:
+        """Motion stage + raycast workload extraction (batching seam).
+
+        Runs the motion model, then returns the exact raycast queries the
+        sensor stage needs.  ``_update`` feeds them straight to this
+        filter's own range method; the fleet batcher instead folds many
+        filters' pending queries into one shared call before handing each
+        result back to :meth:`complete_update`.
+        """
+        scan_ranges = np.asarray(scan_ranges, dtype=float)
+        beam_angles = np.asarray(beam_angles, dtype=float)
+        if scan_ranges.shape != beam_angles.shape:
+            raise ValueError("scan_ranges and beam_angles must have the same shape")
+        if not self._initialized:
+            raise RuntimeError("call initialize() or initialize_global() first")
         with self.tracer.span("motion"):
             self.particles = self.motion_model.propagate(
                 self.particles, delta, self.rng
             )
 
         sel = self.select_beams(beam_angles)
-        measured = np.clip(scan_ranges[sel], 0.0, self.config.sensor.max_range)
+        measured = scan_ranges[sel]
+        # Non-finite returns (driver faults, blackout frames encoded as
+        # NaN/inf) map to max_range — the documented "no return" value of
+        # RangeMethod.calc_ranges — *before* clipping: np.clip passes NaN
+        # through, and a single NaN beam poisons log_likelihood and every
+        # particle weight downstream.
+        measured = np.where(
+            np.isfinite(measured), measured, self.config.sensor.max_range
+        )
+        measured = np.clip(measured, 0.0, self.config.sensor.max_range)
 
-        with self.tracer.span("raycast"):
-            # Rays originate at the sensor, which is mounted ahead of the
-            # base frame the particles (and the published pose) live in.
-            sensor_poses = self.particles.copy()
-            off = self.config.lidar_offset_x
-            if off != 0.0:
-                sensor_poses[:, 0] += off * np.cos(sensor_poses[:, 2])
-                sensor_poses[:, 1] += off * np.sin(sensor_poses[:, 2])
-            expected = self.range_method.calc_ranges_pose_batch(
-                sensor_poses, beam_angles[sel]
-            )
+        # Rays originate at the sensor, which is mounted ahead of the
+        # base frame the particles (and the published pose) live in.
+        sensor_poses = self.particles.copy()
+        off = self.config.lidar_offset_x
+        if off != 0.0:
+            sensor_poses[:, 0] += off * np.cos(sensor_poses[:, 2])
+            sensor_poses[:, 1] += off * np.sin(sensor_poses[:, 2])
+        return PendingUpdate(
+            sensor_poses=sensor_poses, angles=beam_angles[sel],
+            measured=measured,
+        )
+
+    def complete_update(
+        self, pending: PendingUpdate, expected: np.ndarray
+    ) -> FilterEstimate:
+        """Sensor, estimation and resample stages of one update.
+
+        ``expected`` is the ``(P, B)`` raycast answer for
+        ``pending.sensor_poses`` × ``pending.angles`` (normally from this
+        filter's own range method; under the fleet batcher, from a shared
+        fold of many sessions' queries).
+        """
+        measured = pending.measured
         with self.tracer.span("sensor"):
             log_like = self.sensor_model.log_likelihood(expected, measured)
-            shifted = log_like - log_like.max()
-            w = np.exp(shifted)
+            # Bayes recursion: the posterior multiplies the *prior*
+            # weights by the new likelihood.  Resampling is ESS-gated, so
+            # on non-resample steps the prior is informative — overwriting
+            # it with the bare likelihood (the old behaviour) silently
+            # discarded every earlier observation since the last resample.
+            # Accumulate in log space, normalize once.
+            with np.errstate(divide="ignore"):
+                log_post = np.log(self.weights) + log_like
+            log_post -= log_post.max()
+            w = np.exp(log_post)
             self.weights = w / w.sum()
             if self.config.augmented:
                 # Geometric-mean per-beam likelihood of the cloud: a
@@ -384,8 +484,9 @@ class SynPF:
                 w_avg = float(np.exp(per_beam).mean())
                 alpha_s = self.config.augment_alpha_slow
                 alpha_f = self.config.augment_alpha_fast
-                if self._w_slow == 0.0:
+                if not self._w_initialized:
                     self._w_slow = self._w_fast = w_avg
+                    self._w_initialized = True
                 else:
                     self._w_slow += alpha_s * (w_avg - self._w_slow)
                     self._w_fast += alpha_f * (w_avg - self._w_fast)
@@ -401,8 +502,16 @@ class SynPF:
         # *bad* cloud keeps the ESS high (classic AMCL resamples every
         # iteration; ESS gating would starve the recovery mechanism).
         inject_frac = 0.0
-        if self.config.augmented and self._w_slow > 0.0:
-            inject_frac = max(0.0, 1.0 - self._w_fast / self._w_slow)
+        if self.config.augmented and self._w_initialized:
+            if self._w_slow > 0.0:
+                inject_frac = max(0.0, 1.0 - self._w_fast / self._w_slow)
+            elif self._w_fast <= 0.0:
+                # Both averages underflowed to exactly 0: every particle's
+                # likelihood collapsed, the strongest possible kidnap
+                # signal.  The old `_w_slow > 0` guard disabled injection
+                # here — precisely when recovery matters most.
+                inject_frac = 1.0
+        self._last_inject_frac = inject_frac
         if ess < threshold or inject_frac > 0.05:
             with self.tracer.span("resample"):
                 target_n = current_n
@@ -486,12 +595,19 @@ class SynPF:
 
     def telemetry(self) -> Dict:
         """JSON-serialisable observability snapshot of this filter."""
-        return {
+        snapshot = {
             "num_updates": self.num_updates,
             "num_particles": self.num_particles,
             "timing": self.timing.summary(),
             "accel": self.accel_info(),
         }
+        if self.config.augmented:
+            snapshot["augmented"] = {
+                "w_slow": self._w_slow,
+                "w_fast": self._w_fast,
+                "last_inject_frac": self._last_inject_frac,
+            }
+        return snapshot
 
 
 def make_synpf(grid: OccupancyGrid, **overrides) -> SynPF:

@@ -77,6 +77,7 @@ def make_range_method(
     dedup_xy_bin_cells: float = 1.0,
     dedup_theta_bins: int = 2048,
     registry=None,
+    artifact_cache=None,
     **kwargs,
 ) -> RangeMethod:
     """Build a range method from a spec string.
@@ -86,6 +87,14 @@ def make_range_method(
     ``pcddt``, ``lut`` (``glt``); plus the ``@backend`` / ``+dedup``
     suffixes documented in the module docstring.  Extra keyword arguments
     are forwarded to the constructor; ``pcddt`` implies ``pruned=True``.
+
+    ``artifact_cache`` (a :class:`~repro.serve.artifacts.MapArtifactCache`)
+    makes construction of the *base* method go through a shared cache
+    keyed by map content digest + constructor signature: the expensive
+    precomputed structures (LUT table, CDDT bins, distance field) are
+    built once per map and shared read-only by every caller.  The
+    ``+dedup`` wrapper is always constructed fresh — it carries per-owner
+    hit-rate counters.
     """
     key, spec_backend, spec_dedup = parse_range_spec(name)
     if key not in RANGE_METHODS:
@@ -114,7 +123,12 @@ def make_range_method(
             )
         kwargs["backend"] = backend
 
-    method = cls(grid, max_range=max_range, **kwargs)
+    if artifact_cache is not None:
+        method = artifact_cache.get_range_method(
+            grid, cls, max_range=max_range, **kwargs
+        )
+    else:
+        method = cls(grid, max_range=max_range, **kwargs)
     if dedup:
         from repro.accel.dedup import DedupRangeMethod  # avoid import cycle
 

@@ -1,0 +1,35 @@
+"""Fleet serving layer: many concurrent localization sessions, one process.
+
+The serving stack (docs/serving.md), bottom-up:
+
+* :mod:`repro.serve.artifacts` — map-artifact cache: range-method
+  precomputes (distance fields, LUT tables, CDDT bins) built once per
+  map content digest and shared read-only by every session on that map.
+* :mod:`repro.serve.session` — one hosted localizer plus fleet
+  metadata (id, map digest, provenance manifest, idle tracking).
+* :mod:`repro.serve.registry` — session lifecycle
+  (create/update/estimate/evict), idle-TTL eviction, fleet metrics and
+  Prometheus export.
+* :mod:`repro.serve.batcher` — folds same-map sessions' raycast
+  workloads into single dedup calls, bit-identically to solo updates.
+* :mod:`repro.serve.server` — asyncio front-end microbatching
+  concurrent ``update`` calls through the batcher.
+* :mod:`repro.serve.bench` — the ``repro bench serve`` load-test
+  harness behind ``benchmarks/BENCH_serve.json``.
+"""
+
+from repro.serve.artifacts import MapArtifactCache, map_digest
+from repro.serve.batcher import UpdateBatcher, UpdateRequest
+from repro.serve.registry import SessionRegistry
+from repro.serve.server import FleetServer
+from repro.serve.session import LocalizationSession
+
+__all__ = [
+    "MapArtifactCache",
+    "map_digest",
+    "LocalizationSession",
+    "SessionRegistry",
+    "UpdateBatcher",
+    "UpdateRequest",
+    "FleetServer",
+]

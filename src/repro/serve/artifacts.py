@@ -1,0 +1,142 @@
+"""Shared map-artifact cache: one precompute per map, many sessions.
+
+Every range method front-loads work that depends only on the map and the
+constructor arguments — the ray-marching distance field, the LUT/GLT
+theta-binned range table, the CDDT angle bins.  A fleet server hosting N
+sessions on the same track would repeat that build N times (today each
+:class:`~repro.core.particle_filter.SynPF` does exactly that); at LUT
+scale that is hundreds of milliseconds and tens of megabytes per
+session for bit-identical tables.
+
+:class:`MapArtifactCache` keys the built method on the **map content
+digest** plus the constructor signature, so sessions created from
+*different* ``OccupancyGrid`` objects with equal content still share one
+build.  Cached methods are shared read-only: the precomputed structures
+are immutable after construction, and the only mutable state on a
+:class:`~repro.raycast.base.RangeMethod` is the pose-batch scratch
+buffer, which is safe under the fleet server's single-threaded event
+loop (``calc_ranges_pose_batch`` is documented non-re-entrant across
+threads — a multi-threaded host must keep one cache per thread).
+
+The per-filter ``+dedup`` wrapper is deliberately **not** cached: it
+carries per-owner hit-rate counters (``repro.accel.dedup``), so
+:func:`~repro.raycast.factory.make_range_method` always wraps fresh
+around the shared base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Optional, Tuple, Type
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.raycast.base import RangeMethod
+
+__all__ = ["map_digest", "MapArtifactCache"]
+
+
+def map_digest(grid: OccupancyGrid) -> str:
+    """Content digest of a map: cell data + resolution + origin.
+
+    Two grids with equal content get equal digests regardless of object
+    identity, which is what lets sessions created from independently
+    loaded copies of the same map share artifacts.
+    """
+    h = hashlib.sha256()
+    h.update(grid.data.tobytes())
+    h.update(struct.pack("<ddd", grid.resolution, *grid.origin))
+    return h.hexdigest()[:16]
+
+
+class MapArtifactCache:
+    """Build range-method artifacts once per map, share them read-only.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`.
+        Every lookup bumps ``serve.artifacts.builds`` (a miss that
+        constructed the method) or ``serve.artifacts.hits`` (a reuse) —
+        the counters the serve bench uses to *prove* N sessions on one
+        map triggered a single build.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self._grids: Dict[str, OccupancyGrid] = {}
+        self._methods: Dict[Tuple, RangeMethod] = {}
+        self._registry = registry
+        self.builds = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def canonical_grid(self, grid: OccupancyGrid) -> OccupancyGrid:
+        """The first-seen grid object for this content digest.
+
+        Handing every session the same grid *object* lets downstream
+        per-grid caches (``OccupancyGrid.distance_field()`` memoises on
+        the instance) collapse too.
+        """
+        digest = map_digest(grid)
+        canonical = self._grids.get(digest)
+        if canonical is None:
+            canonical = self._grids[digest] = grid
+        return canonical
+
+    def get_range_method(
+        self,
+        grid: OccupancyGrid,
+        cls: Type[RangeMethod],
+        max_range: Optional[float] = None,
+        **kwargs,
+    ) -> RangeMethod:
+        """Fetch-or-build ``cls(grid, max_range=..., **kwargs)``.
+
+        The cache key covers the map digest, the concrete class and the
+        full keyword signature (sorted), so e.g. LUTs with different
+        ``num_theta_bins`` never alias.  Keyword values must therefore
+        be hashable — true for every constructor the factory forwards
+        (backend strings, bin counts, ``pruned`` flags).
+        """
+        digest = map_digest(grid)
+        canonical = self._grids.get(digest)
+        if canonical is None:
+            canonical = self._grids[digest] = grid
+        key = (
+            digest,
+            cls.__module__,
+            cls.__qualname__,
+            None if max_range is None else float(max_range),
+            tuple(sorted(kwargs.items())),
+        )
+        method = self._methods.get(key)
+        if method is None:
+            method = self._methods[key] = cls(
+                canonical, max_range=max_range, **kwargs
+            )
+            self.builds += 1
+            if self._registry is not None:
+                self._registry.counter("serve.artifacts.builds").inc()
+        else:
+            self.hits += 1
+            if self._registry is not None:
+                self._registry.counter("serve.artifacts.hits").inc()
+        return method
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    def memory_bytes(self) -> int:
+        """Total footprint of the cached precomputed structures."""
+        return sum(m.memory_bytes() for m in self._methods.values())
+
+    def stats(self) -> Dict:
+        """JSON-ready cache effectiveness snapshot."""
+        return {
+            "maps": len(self._grids),
+            "artifacts": len(self._methods),
+            "builds": self.builds,
+            "hits": self.hits,
+            "memory_bytes": self.memory_bytes(),
+        }

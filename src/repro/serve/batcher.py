@@ -1,0 +1,172 @@
+"""Cross-session raycast batching: fold same-map updates into one call.
+
+Sessions on the same map at the same instant ask highly overlapping
+raycast questions — racing cars share the track, so their particle
+clouds occupy the same cells.  The batcher exploits the
+``prepare_update`` / ``complete_update`` seam on
+:class:`~repro.core.particle_filter.SynPF`: it runs every session's
+motion stage, **concatenates** their raycast query arrays, answers them
+in a single dedup call, then hands each slice back to its session's
+sensor/resample stages.
+
+Exact equivalence, not approximation
+------------------------------------
+Folding is only applied to sessions whose range method is a
+:class:`~repro.accel.dedup.DedupRangeMethod` sharing the *same inner
+method object* (the artifact cache guarantees that on a shared map) and
+the same quantization parameters.  Dedup representatives are **bin
+centres** — a pure function of the quantized key, independent of which
+queries landed in the bin or in what order — so for every query ``q``::
+
+    dedup(A ∪ B)[q] == dedup(A)[q] == dedup(B)[q]
+
+and the folded result is *bit-identical* to what each session's own
+``calc_ranges_pose_batch`` would have produced.  The flat query arrays
+are assembled with the same broadcasting expressions as
+:meth:`~repro.raycast.base.RangeMethod.calc_ranges_pose_batch`, so not
+even the float association differs.  Sessions that do not qualify
+(table-driven LUT/GLT methods, dedup off, non-PF localizers) simply run
+their own update — the batcher never changes results, only work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.dedup import DedupRangeMethod
+from repro.core.motion_models import OdometryDelta
+from repro.serve.session import LocalizationSession
+
+__all__ = ["UpdateRequest", "UpdateBatcher"]
+
+
+class UpdateRequest:
+    """One pending ``(session, delta, scan)`` update."""
+
+    __slots__ = ("session", "delta", "scan_ranges", "beam_angles", "pose")
+
+    def __init__(
+        self,
+        session: LocalizationSession,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> None:
+        self.session = session
+        self.delta = delta
+        self.scan_ranges = scan_ranges
+        self.beam_angles = beam_angles
+        self.pose: np.ndarray | None = None  # set by flush()
+
+
+def _fold_key(session: LocalizationSession) -> Tuple | None:
+    """Grouping key for foldable sessions; ``None`` means run solo.
+
+    Two sessions fold together only when their dedup wrappers would map
+    every query onto the same representative answered by the same
+    caster: same map, same shared inner method object, same bin
+    geometry.
+    """
+    pf = session.pf
+    if pf is None:
+        return None
+    method = pf.range_method
+    if not isinstance(method, DedupRangeMethod):
+        return None
+    return (
+        session.map_key,
+        id(method.inner),
+        method.xy_bin_cells,
+        method.theta_bins,
+    )
+
+
+class UpdateBatcher:
+    """Execute batches of session updates, folding raycasts where exact.
+
+    Parameters
+    ----------
+    metrics:
+        Optional fleet :class:`~repro.telemetry.registry.MetricsRegistry`;
+        flushes record ``serve.batch.requests`` / ``serve.batch.folded``
+        counters and the ``serve.batch.fold_size`` histogram.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    def flush(self, requests: Sequence[UpdateRequest]) -> None:
+        """Run every request; poses land on ``request.pose``."""
+        groups: Dict[Tuple, List[UpdateRequest]] = {}
+        solo: List[UpdateRequest] = []
+        for req in requests:
+            key = _fold_key(req.session)
+            if key is None:
+                solo.append(req)
+            else:
+                groups.setdefault(key, []).append(req)
+
+        folded = 0
+        for group in groups.values():
+            if len(group) >= 2:
+                self._flush_folded(group)
+                folded += len(group)
+            else:
+                solo.extend(group)
+        for req in solo:
+            req.pose = req.session.update(
+                req.delta, req.scan_ranges, req.beam_angles
+            )
+
+        if self.metrics is not None:
+            self.metrics.counter("serve.batch.requests").inc(len(requests))
+            self.metrics.counter("serve.batch.folded").inc(folded)
+            for group in groups.values():
+                if len(group) >= 2:
+                    self.metrics.histogram(
+                        "serve.batch.fold_size",
+                        edges=(1, 2, 4, 8, 16, 32, 64, 128),
+                    ).observe(len(group))
+
+    # ------------------------------------------------------------------
+    def _flush_folded(self, group: List[UpdateRequest]) -> None:
+        """One shared raycast for a group of same-map dedup sessions."""
+        pendings = []
+        flats = []
+        shapes = []
+        for req in group:
+            pf = req.session.pf
+            pending = pf.prepare_update(
+                req.delta, req.scan_ranges, req.beam_angles
+            )
+            poses, angles = pending.sensor_poses, pending.angles
+            n_poses, n_beams = poses.shape[0], angles.size
+            # Replicate calc_ranges_pose_batch's buffer fill exactly —
+            # same broadcasting, same float association — so the folded
+            # queries are bit-identical to the solo path's.
+            flat = np.empty((n_poses * n_beams, 3))
+            view = flat.reshape(n_poses, n_beams, 3)
+            view[:, :, 0] = poses[:, 0, None]
+            view[:, :, 1] = poses[:, 1, None]
+            view[:, :, 2] = poses[:, 2, None] + angles[None, :]
+            pendings.append(pending)
+            flats.append(flat)
+            shapes.append((n_poses, n_beams))
+
+        # Any member's wrapper answers for the whole group: the fold key
+        # pinned the inner method object and the bin geometry, and bin
+        # centres make the result a pure per-query function.
+        shared_method = group[0].session.pf.range_method
+        results = shared_method.calc_ranges(np.concatenate(flats, axis=0))
+
+        offset = 0
+        for req, pending, (n_poses, n_beams) in zip(group, pendings, shapes):
+            count = n_poses * n_beams
+            expected = results[offset:offset + count].reshape(n_poses, n_beams)
+            offset += count
+            est = req.session.pf.complete_update(pending, expected)
+            req.session.num_updates += 1
+            req.pose = est.pose

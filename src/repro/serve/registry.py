@@ -1,0 +1,225 @@
+"""Session lifecycle: create / update / estimate / evict, with TTL.
+
+The :class:`SessionRegistry` is the fleet server's synchronous core —
+everything the async front-end (:mod:`repro.serve.server`) does lands
+here.  It owns the three shared resources of the serving layer:
+
+* the **artifact cache** (:class:`~repro.serve.artifacts.MapArtifactCache`)
+  — map precomputes built once and shared by every session on that map;
+* the **fleet metrics registry** — aggregate counters
+  (``serve.sessions.*``, ``serve.updates``), the active-session gauge
+  and the ``serve.update.latency_ms`` histogram whose ``quantile(0.99)``
+  is the bench's p99 figure, exportable as Prometheus text;
+* the **clock** — injectable (default ``time.monotonic``) so idle-TTL
+  eviction is testable without sleeping.
+
+Eviction is cooperative: :meth:`evict_idle` sweeps sessions whose idle
+time exceeds ``idle_ttl_s``.  The async server calls it on every flush;
+a plain synchronous host can call it on whatever cadence it likes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.serve.artifacts import MapArtifactCache
+from repro.serve.session import LocalizationSession
+from repro.telemetry.export import to_prometheus_text
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["SessionRegistry"]
+
+
+class SessionRegistry:
+    """Registry of live :class:`LocalizationSession` objects.
+
+    Parameters
+    ----------
+    idle_ttl_s:
+        Sessions idle longer than this are removed by
+        :meth:`evict_idle`.  ``None`` disables TTL eviction.
+    max_sessions:
+        Hard cap on live sessions.  When full, :meth:`create` first
+        sweeps expired sessions; if still full it raises
+        ``RuntimeError`` — admission control is the caller's policy.
+    metrics:
+        Fleet :class:`MetricsRegistry`; created internally when omitted.
+    artifact_cache:
+        Shared map-artifact cache; created internally when omitted
+        (wired to the fleet metrics so build/hit counters are visible).
+    clock:
+        Monotonic-seconds callable, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        idle_ttl_s: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        artifact_cache: Optional[MapArtifactCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if idle_ttl_s is not None and idle_ttl_s <= 0:
+            raise ValueError("idle_ttl_s must be positive (or None)")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 (or None)")
+        self.idle_ttl_s = idle_ttl_s
+        self.max_sessions = max_sessions
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.artifact_cache = (
+            artifact_cache
+            if artifact_cache is not None
+            else MapArtifactCache(registry=self.metrics)
+        )
+        self.clock = clock
+        self._sessions: Dict[str, LocalizationSession] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        grid: OccupancyGrid,
+        method: str = "synpf",
+        session_id: Optional[str] = None,
+        initial_pose: Optional[np.ndarray] = None,
+        **overrides,
+    ) -> LocalizationSession:
+        """Admit a new session; returns it (id on ``.session_id``)."""
+        if session_id is not None and session_id in self._sessions:
+            raise ValueError(f"session id {session_id!r} already exists")
+        if (
+            self.max_sessions is not None
+            and len(self._sessions) >= self.max_sessions
+        ):
+            self.evict_idle()
+            if len(self._sessions) >= self.max_sessions:
+                raise RuntimeError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "evict or raise max_sessions"
+                )
+        session = LocalizationSession(
+            grid,
+            method=method,
+            session_id=session_id,
+            registry=self.metrics,
+            artifact_cache=self.artifact_cache,
+            **overrides,
+        )
+        now = self.clock()
+        session.created_at = session.last_access = now
+        if initial_pose is not None:
+            session.initialize(initial_pose)
+        self._sessions[session.session_id] = session
+        self.metrics.counter("serve.sessions.created").inc()
+        self.metrics.gauge("serve.sessions.active").set(len(self._sessions))
+        return session
+
+    def get(self, session_id: str) -> LocalizationSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def list_sessions(self) -> List[Dict]:
+        """Descriptors of every live session, sorted by id."""
+        return [
+            self._sessions[sid].describe() for sid in sorted(self._sessions)
+        ]
+
+    def evict(self, session_id: str, reason: str = "explicit") -> None:
+        """Remove a session (KeyError when unknown)."""
+        self.get(session_id)
+        del self._sessions[session_id]
+        self.metrics.counter(f"serve.sessions.evicted.{reason}").inc()
+        self.metrics.gauge("serve.sessions.active").set(len(self._sessions))
+
+    def evict_idle(self, now: Optional[float] = None) -> List[str]:
+        """Sweep sessions idle past the TTL; returns the evicted ids."""
+        if self.idle_ttl_s is None:
+            return []
+        now = self.clock() if now is None else now
+        expired = [
+            sid
+            for sid, session in self._sessions.items()
+            if session.idle_for(now) > self.idle_ttl_s
+        ]
+        for sid in expired:
+            self.evict(sid, reason="idle")
+        return expired
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        session_id: str,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> np.ndarray:
+        """Route one scan update to a session; returns its pose estimate.
+
+        Per-update wall time lands in the fleet
+        ``serve.update.latency_ms`` histogram — the latency a *tenant*
+        observes, which under the async server includes batching.
+        """
+        session = self.get(session_id)
+        start = self.clock()
+        pose = session.update(delta, scan_ranges, beam_angles)
+        self.observe_update(session, self.clock() - start)
+        return pose
+
+    def observe_update(
+        self, session: LocalizationSession, elapsed_s: float
+    ) -> None:
+        """Record one completed update in the fleet metrics."""
+        session.last_access = self.clock()
+        self.metrics.counter("serve.updates").inc()
+        self.metrics.histogram("serve.update.latency_ms").observe(
+            elapsed_s * 1e3
+        )
+
+    def estimate(self, session_id: str) -> Dict:
+        """Pose + uncertainty snapshot without advancing the filter."""
+        session = self.get(session_id)
+        session.last_access = self.clock()
+        pose = session.pose
+        out = {
+            "session_id": session.session_id,
+            "pose": [float(v) for v in pose],
+            "num_updates": session.num_updates,
+        }
+        if session.pf is not None:
+            from repro.core.pose_estimation import particle_spread
+
+            spread = particle_spread(session.pf.particles, session.pf.weights)
+            out["position_rms"] = float(spread.position_rms)
+            out["std_theta"] = float(spread.std_theta)
+        return out
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def telemetry(self) -> Dict:
+        """JSON-ready fleet snapshot: metrics + artifact-cache stats."""
+        return {
+            "sessions": self.list_sessions(),
+            "artifacts": self.artifact_cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def prometheus(self) -> str:
+        """Fleet metrics in the Prometheus text exposition format."""
+        return to_prometheus_text(self.metrics)

@@ -1,0 +1,169 @@
+"""Async fleet front-end: concurrent sessions over one event loop.
+
+:class:`FleetServer` is the in-process serving surface ROADMAP item 1
+asks for: many tenants (simulated cars, evaluation workers, notebook
+clients) hold sessions concurrently, and their ``update`` calls are
+**microbatched** — requests arriving within ``batch_window_s`` of each
+other (or until ``max_batch`` accumulate) flush together through the
+:class:`~repro.serve.batcher.UpdateBatcher`, so same-map sessions share
+one raycast.
+
+Everything runs on a single event loop; no locks are needed and the
+shared read-only artifacts are safe by construction (see
+:mod:`repro.serve.artifacts`).  Determinism: each session owns its RNG,
+and batching never reorders the per-session stages or changes raycast
+results (the batcher's exactness contract), so a fixed-seed session
+produces the same pose trace no matter how many neighbours it shares
+the loop with — the property ``tests/test_serve.py`` pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.serve.batcher import UpdateBatcher, UpdateRequest
+from repro.serve.registry import SessionRegistry
+
+__all__ = ["FleetServer"]
+
+
+class FleetServer:
+    """Asyncio host for concurrent localization sessions.
+
+    Parameters
+    ----------
+    registry:
+        The synchronous core; created with defaults when omitted.
+    batch_window_s:
+        How long the first pending update waits for companions before a
+        flush.  0 still batches whatever lands in the same loop tick.
+    max_batch:
+        Flush immediately once this many updates are pending.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.batcher = UpdateBatcher(metrics=self.registry.metrics)
+        self._pending: List = []  # (UpdateRequest, Future, enqueued_at)
+        self._flusher: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (thin async shims over the registry)
+    # ------------------------------------------------------------------
+    async def create_session(
+        self,
+        grid: OccupancyGrid,
+        method: str = "synpf",
+        session_id: Optional[str] = None,
+        initial_pose: Optional[np.ndarray] = None,
+        **overrides,
+    ) -> str:
+        self._check_open()
+        session = self.registry.create(
+            grid, method=method, session_id=session_id,
+            initial_pose=initial_pose, **overrides,
+        )
+        return session.session_id
+
+    async def estimate(self, session_id: str) -> Dict:
+        self._check_open()
+        return self.registry.estimate(session_id)
+
+    async def close_session(self, session_id: str) -> None:
+        self._check_open()
+        self.registry.evict(session_id, reason="client")
+
+    async def close(self) -> None:
+        """Flush pending work and refuse further requests."""
+        if self._closed:
+            return
+        if self._flusher is not None:
+            self._flusher.cancel()
+            self._flusher = None
+        await self._flush()
+        self._closed = True
+
+    async def __aenter__(self) -> "FleetServer":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    async def update(
+        self,
+        session_id: str,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> np.ndarray:
+        """Enqueue one scan update; resolves with the pose estimate.
+
+        The await spans enqueue → flush, so the latency recorded per
+        session includes the batching window — what a tenant actually
+        experiences.
+        """
+        self._check_open()
+        session = self.registry.get(session_id)
+        request = UpdateRequest(session, delta, scan_ranges, beam_angles)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((request, future, time.perf_counter()))
+        if len(self._pending) >= self.max_batch:
+            await self._flush()
+        elif self._flusher is None:
+            self._flusher = asyncio.ensure_future(self._flush_after_window())
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _flush_after_window(self) -> None:
+        try:
+            await asyncio.sleep(self.batch_window_s)
+            await self._flush()
+        except asyncio.CancelledError:
+            pass
+
+    async def _flush(self) -> None:
+        if self._flusher is not None:
+            self._flusher.cancel()
+            self._flusher = None
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        requests = [req for req, _, _ in pending]
+        try:
+            self.batcher.flush(requests)
+        except Exception as exc:
+            for _, future, _ in pending:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        for (request, future, enqueued), req in zip(pending, requests):
+            self.registry.observe_update(request.session, done - enqueued)
+            if not future.done():
+                future.set_result(req.pose)
+        self.registry.evict_idle()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("server is closed")

@@ -1,0 +1,296 @@
+"""Regression tests for the PF hot-path correctness fixes (PR 6).
+
+Four bugs a long-lived multi-session server would amplify:
+
+1. **Weight overwrite** — the sensor stage replaced the prior weights
+   with the bare likelihood; on ESS-gated non-resample steps the Bayes
+   posterior must *multiply* prior by likelihood.
+2. **NaN scan propagation** — ``np.clip`` passes NaN through, so one
+   non-finite beam poisoned every weight.
+3. **Lossy beam-selection cache key** — ``(count, first, last)``
+   collides for distinct non-uniform tables sharing endpoints; and an
+   empty table raised an uncontrolled IndexError deep in the layout.
+4. **Augmented-MCL dead recovery** — when the first ``w_avg``
+   underflowed to exactly 0.0 the old ``_w_slow == 0`` seeding test kept
+   re-seeding forever, freezing recovery off precisely when every
+   particle's likelihood had collapsed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import make_synpf, make_vanilla_mcl
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+ZERO = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025)
+
+
+def make_pf(track, seed=0, **overrides):
+    overrides.setdefault("num_particles", 300)
+    overrides.setdefault("num_beams", 20)
+    overrides.setdefault("range_method", "ray_marching")
+    return make_synpf(track.grid, seed=seed, **overrides)
+
+
+def run_scan(track, seed=1):
+    lidar = SimulatedLidar(
+        track.grid, LidarConfig(range_noise_std=0.0, dropout_prob=0.0),
+        seed=seed,
+    )
+    pose = track.centerline.start_pose()
+    return pose, lidar.scan(pose)
+
+
+# ----------------------------------------------------------------------
+# 1. Bayes weight accumulation across non-resample steps
+# ----------------------------------------------------------------------
+class TestWeightAccumulation:
+    def test_matches_brute_force_bayes_reference(self, small_track):
+        """On consecutive non-resample steps the weights must equal
+        ``softmax(sum of per-step log-likelihoods)`` — the brute-force
+        Bayes recursion from a uniform prior.
+        """
+        pose, scan = run_scan(small_track)
+        # ESS fraction 0 can't be configured (validated > 0); a tiny one
+        # keeps the gate from firing so no resample resets the prior.
+        pf = make_pf(small_track, seed=3, resample_ess_fraction=1e-9)
+        pf.initialize(pose)
+
+        recorded = []
+        inner_model = pf.sensor_model
+        real = inner_model.log_likelihood
+
+        def spy(expected, measured):
+            out = real(expected, measured)
+            recorded.append(np.array(out))
+            return out
+
+        inner_model.log_likelihood = spy
+        try:
+            for _ in range(4):
+                est = pf.update(ZERO, scan.ranges, scan.angles)
+                assert not est.resampled
+        finally:
+            inner_model.log_likelihood = real
+
+        cumulative = np.sum(recorded, axis=0)
+        cumulative -= cumulative.max()
+        expected_weights = np.exp(cumulative)
+        expected_weights /= expected_weights.sum()
+        # Tolerances: the sensor model emits float32 log-likelihoods and
+        # the filter renormalises each step (log->exp->log), so the two
+        # accumulation orders drift by ~float32 eps per step; atol clears
+        # weights that underflowed to exactly 0.  The overwrite bug this
+        # regresses produced weights wrong by orders of magnitude.
+        np.testing.assert_allclose(
+            pf.weights, expected_weights, rtol=1e-4, atol=1e-12
+        )
+
+    def test_prior_survives_nonresample_step(self, small_track):
+        """Two different likelihoods applied without a resample must both
+        shape the posterior: weights after (A then B) differ from the
+        weights the bare second likelihood alone would give.
+        """
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=5, resample_ess_fraction=1e-9)
+        pf.initialize(pose)
+        pf.update(ZERO, scan.ranges, scan.angles)
+        after_first = pf.weights.copy()
+        pf.update(ZERO, scan.ranges, scan.angles)
+        after_second = pf.weights.copy()
+
+        # Fresh filter, identical particle cloud, one update only: the
+        # bare-likelihood weights the old overwrite bug produced.
+        pf2 = make_pf(small_track, seed=5, resample_ess_fraction=1e-9)
+        pf2.initialize(pose)
+        pf2.update(ZERO, scan.ranges, scan.angles)
+        # Same seed/config => same particle trajectory, so the second
+        # filter's single-step weights equal the first's first step.
+        np.testing.assert_allclose(pf2.weights, after_first, rtol=1e-12)
+        # ...but the accumulated two-step posterior must be sharper than
+        # (and different from) any single-step likelihood.
+        assert not np.allclose(after_second, after_first)
+
+    def test_weights_remain_normalized(self, small_track):
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=7)
+        pf.initialize(pose)
+        for _ in range(6):
+            pf.update(ZERO, scan.ranges, scan.angles)
+            assert np.all(np.isfinite(pf.weights))
+            assert pf.weights.sum() == pytest.approx(1.0)
+            assert np.all(pf.weights >= 0.0)
+
+
+# ----------------------------------------------------------------------
+# 2. NaN/inf scan survival
+# ----------------------------------------------------------------------
+class TestNonFiniteScans:
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_single_poisoned_beam_survives(self, small_track, poison):
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=11)
+        pf.initialize(pose)
+        ranges = scan.ranges.copy()
+        ranges[::7] = poison
+        est = pf.update(ZERO, ranges, scan.angles)
+        assert np.all(np.isfinite(est.pose))
+        assert np.all(np.isfinite(pf.weights))
+        assert pf.weights.sum() == pytest.approx(1.0)
+
+    def test_full_blackout_scan_survives(self, small_track):
+        """An all-NaN frame (total driver blackout) must not poison the
+        filter: it is treated as an all-max-range "no return" scan, and
+        subsequent good scans recover the estimate.
+        """
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=13)
+        pf.initialize(pose)
+        pf.update(ZERO, scan.ranges, scan.angles)
+        blackout = np.full_like(scan.ranges, np.nan)
+        est = pf.update(ZERO, blackout, scan.angles)
+        assert np.all(np.isfinite(est.pose))
+        assert np.all(np.isfinite(pf.weights))
+        est = pf.update(ZERO, scan.ranges, scan.angles)
+        assert np.hypot(*(est.pose[:2] - pose[:2])) < 0.5
+
+    def test_nonfinite_maps_to_max_range(self, small_track):
+        """The sanitised measurement must equal max_range exactly — the
+        documented RangeMethod "no return" value — not some clip of NaN.
+        """
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=17)
+        pf.initialize(pose)
+        ranges = np.full_like(scan.ranges, np.inf)
+        pending = pf.prepare_update(ZERO, ranges, scan.angles)
+        assert np.all(pending.measured == pf.config.sensor.max_range)
+
+
+# ----------------------------------------------------------------------
+# 3. Beam-selection cache key
+# ----------------------------------------------------------------------
+class TestBeamSelectionCacheKey:
+    def test_distinct_tables_sharing_endpoints_not_aliased(self, small_track):
+        """Two different non-uniform tables with identical (count, first,
+        last) must not share a cached selection — the old endpoint key
+        collided here and silently reused the wrong beams.
+        """
+        pf = make_pf(small_track, layout="uniform", num_beams=10)
+        n = 61
+        uniform = np.linspace(-np.pi / 2, np.pi / 2, n)
+        warped = uniform.copy()
+        warped[1:-1] = np.sign(uniform[1:-1]) * np.abs(uniform[1:-1]) ** 1.5 \
+            * (np.pi / 2) ** -0.5
+        assert warped[0] == uniform[0] and warped[-1] == uniform[-1]
+        sel_uniform = pf.select_beams(uniform)
+        sel_warped = pf.select_beams(warped)
+        # The uniform layout picks evenly spaced *angles*; on the warped
+        # table those live at different indices.  With the old key this
+        # returned the identical cached object.
+        resel_uniform = pf.select_beams(uniform)
+        assert sel_uniform is resel_uniform  # caching still works
+        assert np.any(uniform[sel_warped] != uniform[sel_uniform]) or \
+            np.any(warped[sel_warped] != uniform[sel_uniform])
+        assert len(pf._layout_cache) == 2
+
+    def test_same_table_hits_cache(self, small_track):
+        pf = make_pf(small_track)
+        angles = np.linspace(-1.0, 1.0, 31)
+        first = pf.select_beams(angles)
+        second = pf.select_beams(angles.copy())  # equal content, new object
+        assert first is second
+
+    def test_empty_table_raises_value_error(self, small_track):
+        pf = make_pf(small_track)
+        with pytest.raises(ValueError, match="non-empty"):
+            pf.select_beams(np.array([]))
+
+
+# ----------------------------------------------------------------------
+# 4. Augmented-MCL recovery when w_avg underflows to 0.0
+# ----------------------------------------------------------------------
+class TestAugmentedZeroRecovery:
+    def test_injection_armed_when_averages_collapse(self, small_track):
+        """With both likelihood averages at exactly 0.0 (total collapse)
+        the filter must inject at full strength, not freeze.  The old
+        ``_w_slow > 0`` guard returned 0 injection here forever.
+        """
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=19, augmented=True)
+        pf.initialize(pose)
+        pf.update(ZERO, scan.ranges, scan.angles)
+        # Force the collapsed state the bug froze in, and keep the
+        # collapse going through the next update: a likelihood of -1e6
+        # per particle underflows w_avg to exactly 0, so both EMAs stay
+        # pinned at 0 when the gate is evaluated.
+        pf._w_slow = 0.0
+        pf._w_fast = 0.0
+        pf._w_initialized = True
+        real = pf.sensor_model.log_likelihood
+        pf.sensor_model.log_likelihood = (
+            lambda expected, measured: np.full(expected.shape[0], -1e6)
+        )
+        try:
+            est = pf.update(ZERO, scan.ranges, scan.angles)
+        finally:
+            pf.sensor_model.log_likelihood = real
+        assert pf._last_inject_frac == 1.0
+        assert est.resampled
+
+    def test_zero_first_w_avg_does_not_disarm(self, small_track):
+        """A first update whose w_avg underflows to exactly 0 must still
+        count as seeding the averages: the EMA runs on the next update
+        instead of re-seeding (the old sentinel re-seeded whenever
+        ``_w_slow == 0.0``, wiping the slow average's history).
+        """
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=23, augmented=True)
+        pf.initialize(pose)
+
+        real = pf.sensor_model.log_likelihood
+        pf.sensor_model.log_likelihood = (
+            lambda expected, measured: np.full(expected.shape[0], -1e6)
+        )
+        try:
+            pf.update(ZERO, scan.ranges, scan.angles)
+        finally:
+            pf.sensor_model.log_likelihood = real
+        assert pf._w_initialized
+        assert pf._w_slow == 0.0
+
+        # Next (good) update: EMA pulls both averages up from 0 at their
+        # configured rates rather than re-seeding both to w_avg.
+        pf.update(ZERO, scan.ranges, scan.angles)
+        assert 0.0 < pf._w_slow < pf._w_fast
+
+    def test_healthy_tracking_unaffected(self, small_track):
+        pose, scan = run_scan(small_track)
+        pf = make_pf(small_track, seed=29, augmented=True)
+        pf.initialize(pose)
+        for _ in range(5):
+            pf.update(ZERO, scan.ranges, scan.angles)
+        assert pf._last_inject_frac <= 0.05 or not pf.config.augmented
+        tele = pf.telemetry()
+        assert tele["augmented"]["w_slow"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# Vanilla-MCL sanity: fixes apply to the ablation baseline too
+# ----------------------------------------------------------------------
+def test_vanilla_mcl_shares_fixes(small_track):
+    lidar = SimulatedLidar(
+        small_track.grid,
+        LidarConfig(range_noise_std=0.0, dropout_prob=0.0), seed=31,
+    )
+    pose = small_track.centerline.start_pose()
+    scan = lidar.scan(pose)
+    pf = make_vanilla_mcl(small_track.grid, seed=37, num_particles=300,
+                          num_beams=20, range_method="ray_marching")
+    pf.initialize(pose)
+    ranges = scan.ranges.copy()
+    ranges[0] = np.nan
+    for _ in range(3):
+        pf.update(ZERO, ranges, scan.angles)
+    assert np.all(np.isfinite(pf.weights))
+    assert pf.weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,444 @@
+"""Fleet serving layer tests (``-m serve``; excluded from tier-1).
+
+Covers the ISSUE-6 tentpole contract: session lifecycle and TTL
+eviction, artifact-cache sharing (one build for N sessions), batcher
+equivalence to per-session updates, and concurrent-session determinism
+at fixed seeds.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.maps import generate_track
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.serve import (
+    FleetServer,
+    MapArtifactCache,
+    SessionRegistry,
+    UpdateBatcher,
+    UpdateRequest,
+    map_digest,
+)
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+pytestmark = pytest.mark.serve
+
+ZERO = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025)
+SMALL = dict(num_particles=150, num_beams=15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    track = generate_track(seed=4, mean_radius=5.0, resolution=0.1,
+                           track_width=2.0)
+    lidar = SimulatedLidar(
+        track.grid,
+        LidarConfig(num_beams=181, range_noise_std=0.0, dropout_prob=0.0),
+        seed=1,
+    )
+    start = track.centerline.start_pose()
+    scans = [lidar.scan(start) for _ in range(5)]
+    return track, start, scans
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# Map digest + artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_digest_is_content_addressed(self, world):
+        track, _, _ = world
+        grid = track.grid
+        clone = OccupancyGrid(grid.data.copy(), grid.resolution,
+                              origin=grid.origin)
+        assert map_digest(grid) == map_digest(clone)
+        other = OccupancyGrid(
+            np.zeros((10, 10), dtype=np.int8), grid.resolution
+        )
+        assert map_digest(grid) != map_digest(other)
+        scaled = OccupancyGrid(grid.data.copy(), grid.resolution * 2,
+                               origin=grid.origin)
+        assert map_digest(grid) != map_digest(scaled)
+
+    def test_one_build_for_n_sessions(self, world):
+        """The acceptance-criterion property: N sessions on one map
+        construct the expensive range-method artifacts exactly once.
+        """
+        track, start, _ = world
+        registry = SessionRegistry()
+        n = 5
+        for i in range(n):
+            registry.create(track.grid, range_method="lut", seed=i,
+                            initial_pose=start, lut_theta_bins=40, **SMALL)
+        assert registry.artifact_cache.builds == 1
+        assert registry.artifact_cache.hits == n - 1
+        counters = registry.metrics.counters()
+        assert counters["serve.artifacts.builds"] == 1
+        assert counters["serve.artifacts.hits"] == n - 1
+        # The sessions really do share one table object.
+        sessions = [registry.get(s["session_id"])
+                    for s in registry.list_sessions()]
+        tables = {id(s.pf.range_method) for s in sessions}
+        assert len(tables) == 1
+
+    def test_equal_content_different_objects_share(self, world):
+        track, _, _ = world
+        grid = track.grid
+        clone = OccupancyGrid(grid.data.copy(), grid.resolution,
+                              origin=grid.origin)
+        cache = MapArtifactCache()
+        registry = SessionRegistry(artifact_cache=cache)
+        registry.create(grid, range_method="lut", lut_theta_bins=40, **SMALL)
+        registry.create(clone, range_method="lut", lut_theta_bins=40, **SMALL)
+        assert cache.builds == 1
+        assert cache.hits == 1
+
+    def test_different_signatures_do_not_alias(self, world):
+        track, _, _ = world
+        cache = MapArtifactCache()
+        registry = SessionRegistry(artifact_cache=cache)
+        registry.create(track.grid, range_method="lut",
+                        lut_theta_bins=40, **SMALL)
+        registry.create(track.grid, range_method="lut",
+                        lut_theta_bins=80, **SMALL)
+        registry.create(track.grid, range_method="ray_marching", **SMALL)
+        assert cache.builds == 3
+        assert cache.hits == 0
+
+    def test_dedup_wrapper_not_shared(self, world):
+        """Per-ray methods share the inner caster but keep private dedup
+        wrappers (they carry per-owner counters).
+        """
+        track, start, _ = world
+        registry = SessionRegistry()
+        a = registry.create(track.grid, range_method="ray_marching",
+                            seed=0, initial_pose=start, **SMALL)
+        b = registry.create(track.grid, range_method="ray_marching",
+                            seed=1, initial_pose=start, **SMALL)
+        assert a.pf.range_method is not b.pf.range_method
+        assert a.pf.range_method.inner is b.pf.range_method.inner
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle + eviction
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_create_update_estimate_evict(self, world):
+        track, start, scans = world
+        registry = SessionRegistry()
+        session = registry.create(track.grid, seed=3, initial_pose=start,
+                                  range_method="ray_marching", **SMALL)
+        sid = session.session_id
+        assert sid in registry
+        scan = scans[0]
+        pose = registry.update(sid, ZERO, scan.ranges, scan.angles)
+        assert np.all(np.isfinite(pose))
+        est = registry.estimate(sid)
+        assert est["num_updates"] == 1
+        assert est["position_rms"] > 0.0
+        assert registry.metrics.counters()["serve.updates"] == 1
+        assert (
+            registry.metrics.histogram("serve.update.latency_ms").count == 1
+        )
+        registry.evict(sid)
+        assert sid not in registry
+        with pytest.raises(KeyError, match="unknown session"):
+            registry.update(sid, ZERO, scan.ranges, scan.angles)
+
+    def test_manifest_provenance(self, world):
+        track, start, _ = world
+        registry = SessionRegistry()
+        session = registry.create(track.grid, seed=9, initial_pose=start,
+                                  range_method="ray_marching", **SMALL)
+        manifest = session.manifest
+        assert manifest.extra["session_id"] == session.session_id
+        assert manifest.extra["map"] == session.map_key
+        assert manifest.seeds["localizer"] == 9
+        round_trip = type(manifest).from_dict(manifest.to_dict())
+        assert round_trip.run_id == manifest.run_id
+
+    def test_duplicate_id_rejected(self, world):
+        track, _, _ = world
+        registry = SessionRegistry()
+        registry.create(track.grid, session_id="car-1",
+                        range_method="ray_marching", **SMALL)
+        with pytest.raises(ValueError, match="already exists"):
+            registry.create(track.grid, session_id="car-1",
+                            range_method="ray_marching", **SMALL)
+
+    def test_idle_ttl_eviction(self, world):
+        track, start, scans = world
+        clock = FakeClock()
+        registry = SessionRegistry(idle_ttl_s=30.0, clock=clock)
+        a = registry.create(track.grid, session_id="a", seed=0,
+                            initial_pose=start,
+                            range_method="ray_marching", **SMALL)
+        registry.create(track.grid, session_id="b", seed=1,
+                        initial_pose=start,
+                        range_method="ray_marching", **SMALL)
+        clock.now += 20.0
+        # Touch "a" so only "b" keeps aging.
+        scan = scans[0]
+        registry.update("a", ZERO, scan.ranges, scan.angles)
+        assert registry.evict_idle() == []
+        clock.now += 15.0
+        # "a" idle 15 s, "b" idle 35 s: only "b" expires.
+        assert registry.evict_idle() == ["b"]
+        assert "a" in registry and "b" not in registry
+        counters = registry.metrics.counters()
+        assert counters["serve.sessions.evicted.idle"] == 1
+        assert registry.metrics.gauges()["serve.sessions.active"] == 1
+        assert a.idle_for(clock.now) == pytest.approx(15.0)
+
+    def test_max_sessions_admission(self, world):
+        track, _, _ = world
+        clock = FakeClock()
+        registry = SessionRegistry(idle_ttl_s=10.0, max_sessions=2,
+                                   clock=clock)
+        registry.create(track.grid, session_id="a",
+                        range_method="ray_marching", **SMALL)
+        registry.create(track.grid, session_id="b",
+                        range_method="ray_marching", **SMALL)
+        with pytest.raises(RuntimeError, match="session limit"):
+            registry.create(track.grid, session_id="c",
+                            range_method="ray_marching", **SMALL)
+        # Once the TTL lets the sweep reclaim space, admission succeeds.
+        clock.now += 11.0
+        registry.create(track.grid, session_id="c",
+                        range_method="ray_marching", **SMALL)
+        assert "c" in registry and "a" not in registry
+
+    def test_prometheus_export(self, world):
+        track, start, scans = world
+        registry = SessionRegistry()
+        sid = registry.create(track.grid, seed=0, initial_pose=start,
+                              range_method="ray_marching",
+                              **SMALL).session_id
+        scan = scans[0]
+        registry.update(sid, ZERO, scan.ranges, scan.angles)
+        text = registry.prometheus()
+        assert "repro_serve_updates_total 1" in text
+        assert "repro_serve_update_latency_ms_bucket" in text
+        assert "repro_serve_sessions_active 1" in text
+
+
+# ----------------------------------------------------------------------
+# Batcher equivalence
+# ----------------------------------------------------------------------
+class TestBatcherEquivalence:
+    def _make_sessions(self, registry, grid, start, n, method, seeds):
+        return [
+            registry.create(grid, session_id=f"s{i}", seed=seeds[i],
+                            initial_pose=start, range_method=method, **SMALL)
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("method", ["ray_marching", "lut"])
+    def test_batched_equals_solo(self, world, method):
+        """Folded (or per-session dispatched) batch updates produce
+        bit-identical pose traces to plain sequential updates.
+        """
+        track, start, scans = world
+        seeds = [40, 41, 42, 43]
+
+        solo_reg = SessionRegistry()
+        solo = self._make_sessions(solo_reg, track.grid, start, 4, method,
+                                   seeds)
+        solo_traces = {s.session_id: [] for s in solo}
+        for scan in scans:
+            for s in solo:
+                solo_traces[s.session_id].append(
+                    s.update(ZERO, scan.ranges, scan.angles)
+                )
+
+        batch_reg = SessionRegistry()
+        batched = self._make_sessions(batch_reg, track.grid, start, 4,
+                                      method, seeds)
+        batcher = UpdateBatcher(metrics=batch_reg.metrics)
+        batch_traces = {s.session_id: [] for s in batched}
+        for scan in scans:
+            requests = [
+                UpdateRequest(s, ZERO, scan.ranges, scan.angles)
+                for s in batched
+            ]
+            batcher.flush(requests)
+            for req in requests:
+                batch_traces[req.session.session_id].append(req.pose)
+
+        for sid in solo_traces:
+            for a, b in zip(solo_traces[sid], batch_traces[sid]):
+                np.testing.assert_array_equal(a, b)
+
+        counters = batch_reg.metrics.counters()
+        if method == "ray_marching":
+            # Dedup sessions on a shared map must actually have folded.
+            assert counters["serve.batch.folded"] == 4 * len(scans)
+        else:
+            # Table methods dispatch solo by design (no dedup wrapper).
+            assert counters.get("serve.batch.folded", 0) == 0
+
+    def test_mixed_maps_do_not_fold_together(self, world):
+        track, start, scans = world
+        other = generate_track(seed=12, mean_radius=5.0, resolution=0.1,
+                               track_width=2.0)
+        other_lidar = SimulatedLidar(
+            other.grid,
+            LidarConfig(num_beams=181, range_noise_std=0.0,
+                        dropout_prob=0.0),
+            seed=2,
+        )
+        other_start = other.centerline.start_pose()
+        other_scan = other_lidar.scan(other_start)
+
+        registry = SessionRegistry()
+        a = registry.create(track.grid, seed=1, initial_pose=start,
+                            range_method="ray_marching", **SMALL)
+        b = registry.create(other.grid, seed=1, initial_pose=other_start,
+                            range_method="ray_marching", **SMALL)
+        batcher = UpdateBatcher(metrics=registry.metrics)
+        scan = scans[0]
+        requests = [
+            UpdateRequest(a, ZERO, scan.ranges, scan.angles),
+            UpdateRequest(b, ZERO, other_scan.ranges, other_scan.angles),
+        ]
+        batcher.flush(requests)
+        assert all(np.all(np.isfinite(r.pose)) for r in requests)
+        # Two singleton groups: nothing folded.
+        assert registry.metrics.counters().get("serve.batch.folded", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Async server: concurrency + determinism
+# ----------------------------------------------------------------------
+class TestFleetServer:
+    def test_concurrent_sessions_deterministic(self, world):
+        """A fixed-seed session's pose trace is identical whether it runs
+        alone or interleaved with neighbours on the server — batching
+        must never leak state across tenants.
+        """
+        track, start, scans = world
+
+        async def run_fleet(n_sessions):
+            async with FleetServer(batch_window_s=0.0,
+                                   max_batch=n_sessions) as server:
+                sids = []
+                for i in range(n_sessions):
+                    sids.append(await server.create_session(
+                        track.grid, seed=50 + i, initial_pose=start,
+                        range_method="ray_marching", **SMALL,
+                    ))
+                traces = {sid: [] for sid in sids}
+                for scan in scans:
+                    poses = await asyncio.gather(*[
+                        server.update(sid, ZERO, scan.ranges, scan.angles)
+                        for sid in sids
+                    ])
+                    for sid, pose in zip(sids, poses):
+                        traces[sid].append(pose)
+                return sids[0], traces
+
+        first_alone, traces_alone = asyncio.run(run_fleet(1))
+        first_fleet, traces_fleet = asyncio.run(run_fleet(4))
+        for a, b in zip(traces_alone[first_alone],
+                        traces_fleet[first_fleet]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_lifecycle_and_close(self, world):
+        track, start, scans = world
+
+        async def scenario():
+            server = FleetServer(batch_window_s=0.0)
+            sid = await server.create_session(
+                track.grid, seed=0, initial_pose=start,
+                range_method="ray_marching", **SMALL,
+            )
+            scan = scans[0]
+            pose = await server.update(sid, ZERO, scan.ranges, scan.angles)
+            assert np.all(np.isfinite(pose))
+            est = await server.estimate(sid)
+            assert est["num_updates"] == 1
+            await server.close_session(sid)
+            with pytest.raises(KeyError):
+                await server.estimate(sid)
+            await server.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await server.estimate(sid)
+
+        asyncio.run(scenario())
+
+    def test_batch_window_coalesces(self, world):
+        """Updates issued concurrently within one window flush as one
+        batch (visible as folded raycasts in the fleet counters).
+        """
+        track, start, scans = world
+
+        async def scenario():
+            server = FleetServer(batch_window_s=0.05, max_batch=64)
+            sids = []
+            for i in range(3):
+                sids.append(await server.create_session(
+                    track.grid, seed=60 + i, initial_pose=start,
+                    range_method="ray_marching", **SMALL,
+                ))
+            scan = scans[0]
+            await asyncio.gather(*[
+                server.update(sid, ZERO, scan.ranges, scan.angles)
+                for sid in sids
+            ])
+            await server.close()
+            return server.registry.metrics.counters()
+
+        counters = asyncio.run(scenario())
+        assert counters["serve.batch.requests"] == 3
+        assert counters["serve.batch.folded"] == 3
+
+    def test_artifact_sharing_through_server(self, world):
+        track, start, _ = world
+
+        async def scenario():
+            async with FleetServer() as server:
+                for i in range(4):
+                    await server.create_session(
+                        track.grid, seed=i, initial_pose=start,
+                        range_method="lut", lut_theta_bins=40, **SMALL,
+                    )
+                return server.registry.artifact_cache.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["builds"] == 1
+        assert stats["hits"] == 3
+
+
+# ----------------------------------------------------------------------
+# Bench harness structural gate
+# ----------------------------------------------------------------------
+def test_check_serve_result_structural_gate():
+    from repro.serve.bench import check_serve_result
+
+    good = {
+        "sessions": 4,
+        "configs": {"setup": {"artifact_builds": 1, "artifact_hits": 3}},
+        "speedups": {"artifact_reuse_efficiency": 1.0},
+    }
+    assert check_serve_result(good, None) == []
+    broken = {
+        "sessions": 4,
+        "configs": {"setup": {"artifact_builds": 4, "artifact_hits": 0}},
+        "speedups": {},
+    }
+    failures = check_serve_result(broken, None)
+    assert len(failures) == 2
+    baseline = {"speedups": {"artifact_reuse_efficiency": 1.0}}
+    slow = dict(good, speedups={"artifact_reuse_efficiency": 0.2})
+    assert check_serve_result(slow, baseline, tolerance=0.25)
+    assert check_serve_result(good, baseline, tolerance=0.25) == []
