@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compute-governor control loop: SLO defence under injected pressure.
+
+Runs :func:`repro.govern.bench.run_govern_bench` — one deterministic
+localization workload under the ``spike`` pressure timeline (3x CPU
+co-load overlapping a 2x scan-rate spike), once governed by a
+:class:`~repro.govern.governor.Governor` and once with knobs frozen —
+and writes ``BENCH_govern.json`` next to this file.
+
+The committed record pins the ISSUE-7 tentpole property: the governed
+arm holds the latency budget (``governed_in_budget_fraction``) while
+pose error degrades gracefully (``accuracy_retention`` = ungoverned /
+governed mean error) and the ladder returns to rung 0 after pressure
+lifts.  ``--check`` gates both ratios against the committed baseline
+(±25%) plus the structural control-loop properties; ``--smoke`` is the
+small CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.govern.bench import check_govern_result, run_govern_bench
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_govern.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--updates", type=int, default=None,
+                        help="run length (default: profile's)")
+    parser.add_argument("--particles", type=int, default=None,
+                        help="particle budget (default: profile's)")
+    parser.add_argument("--beams", type=int, default=None,
+                        help="beam count (default: profile's)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast CI configuration")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (BENCH_govern.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on broken control-loop properties or "
+                             "ratio regression")
+    parser.add_argument("--baseline", default=ARTIFACT,
+                        help="baseline JSON for --check "
+                             "(default: committed artifact)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional ratio regression (CI noise)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    result = run_govern_bench(
+        updates=args.updates, particles=args.particles, beams=args.beams,
+        seed=args.seed, smoke=args.smoke,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+
+    budget = result["budget"]
+    print(f"compute governor, {result['updates']} updates "
+          f"({result['particles']} particles x {result['beams']} beams), "
+          f"timeline '{result['timeline']['name']}' "
+          f"(peak {result['timeline']['peak_factor']:.0f}x), budget "
+          f"p{budget['quantile'] * 100:.0f} <= {budget['target_ms']:.1f} ms:")
+    for name in ("governed", "ungoverned"):
+        arm = result["arms"][name]
+        line = (f"  {name:<11} in-budget {arm['in_budget_fraction']:6.1%}  "
+                f"mean err {arm['mean_error_m'] * 100:6.2f} cm  "
+                f"recovery err {arm['mean_error_recovery_m'] * 100:6.2f} cm")
+        if "final_rung" in arm:
+            line += (f"  rung max {arm['max_rung_applied']}"
+                     f" final {arm['final_rung']}")
+        print(line)
+    for key, value in sorted(result["speedups"].items()):
+        print(f"  {key:<32}{value:>6.2f}x")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_govern_result(result, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"check: control-loop properties hold and all ratios within "
+              f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

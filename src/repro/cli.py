@@ -14,7 +14,9 @@ run without writing Python:
 ``scenario``              list / show / run declarative fault scenarios
 ``campaign``              scenario x method x trial robustness scorecard
 ``verify``                differential / metamorphic / golden verification
-``bench``                 benchmarks (raycast / pf / serve) with baseline gates
+``govern``                latency-SLO governor demo under injected pressure
+``bench``                 benchmarks (raycast / pf / serve / govern) with
+                          baseline gates
 ``report``                render a telemetry JSONL run into latency tables
 ``generate-map``          write a synthetic track in ROS map_server format
 ========================  ====================================================
@@ -175,18 +177,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--quiet", action="store_true",
                           help="suppress per-trial progress lines")
 
+    p_govern = sub.add_parser(
+        "govern",
+        help="run the compute governor against a deterministic pressure "
+             "timeline and print the two-arm (governed vs ungoverned) "
+             "summary",
+    )
+    p_govern.add_argument("--updates", type=int, default=None,
+                          help="run length (default: the smoke profile)")
+    p_govern.add_argument("--particles", type=int, default=None)
+    p_govern.add_argument("--beams", type=int, default=None)
+    p_govern.add_argument("--seed", type=int, default=0)
+    p_govern.add_argument("--full", action="store_true",
+                          help="full bench profile instead of smoke")
+    p_govern.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON result here")
+
     p_bench = sub.add_parser(
         "bench",
         help="acceleration-layer benchmarks: raycast throughput / "
-             "PF update latency / fleet serving, with baseline "
-             "regression gating",
+             "PF update latency / fleet serving / compute governor, "
+             "with baseline regression gating",
     )
-    p_bench.add_argument("target", choices=("raycast", "pf", "serve"),
+    p_bench.add_argument("target", choices=("raycast", "pf", "serve",
+                                            "govern"),
                          help="raycast: calc_ranges_pose_batch throughput "
                               "per backend spec; pf: end-to-end SynPF "
                               "update, reference vs accelerated; serve: "
                               "fleet session load test with artifact-cache "
-                              "sharing proof")
+                              "sharing proof; govern: two-arm control-loop "
+                              "run under injected pressure")
     p_bench.add_argument("--particles", type=int, default=1000)
     p_bench.add_argument("--beams", type=int, default=60)
     p_bench.add_argument("--repeats", type=int, default=5,
@@ -198,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--sessions", type=int, default=None,
                          help="concurrent session count (serve target)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="serve target: small fast CI configuration")
+                         help="serve/govern targets: small fast CI "
+                              "configuration")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default=None, metavar="PATH",
                          help="write the JSON result here")
@@ -236,6 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--resolution", type=float, default=0.05)
 
     return parser
+
+
+def _print_govern_result(result) -> None:
+    budget = result["budget"]
+    timeline = result["timeline"]
+    print(f"compute governor, {result['updates']} updates "
+          f"({result['particles']} particles x {result['beams']} beams, "
+          f"{result['method']}), timeline '{timeline['name']}' "
+          f"(peak load {timeline['peak_factor']:.0f}x):")
+    print(f"  budget: p{budget['quantile'] * 100:.0f} <= "
+          f"{budget['target_ms']:.1f} ms "
+          f"(relax below {budget['relax_fraction'] * budget['target_ms']:.1f}"
+          f" ms, dwell {budget['dwell_updates']})")
+    for name in ("governed", "ungoverned"):
+        arm = result["arms"][name]
+        line = (f"  {name:<11} in-budget {arm['in_budget_fraction']:6.1%}"
+                f"  mean err {arm['mean_error_m'] * 100:6.2f} cm"
+                f"  recovery err {arm['mean_error_recovery_m'] * 100:6.2f} cm")
+        if "final_rung" in arm:
+            line += (f"  rung max {arm['max_rung_applied']}"
+                     f" final {arm['final_rung']}")
+        print(line)
+    for key, value in sorted(result["speedups"].items()):
+        print(f"  {key:<40}{value:>6.2f}x")
 
 
 def main(argv=None) -> int:
@@ -513,6 +558,22 @@ def main(argv=None) -> int:
             print(f"\nwrote {args.report}")
         return 0 if report.ok else 1
 
+    if args.command == "govern":
+        import json
+
+        from repro.govern.bench import run_govern_bench
+
+        result = run_govern_bench(
+            updates=args.updates, particles=args.particles,
+            beams=args.beams, seed=args.seed, smoke=not args.full,
+        )
+        _print_govern_result(result)
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.out}")
+        return 0
+
     if args.command == "bench":
         import json
 
@@ -524,6 +585,7 @@ def main(argv=None) -> int:
             "raycast": "benchmarks/BENCH_raycast_throughput.json",
             "pf": "benchmarks/BENCH_pf_update.json",
             "serve": "benchmarks/BENCH_serve.json",
+            "govern": "benchmarks/BENCH_govern.json",
         }[args.target]
         baseline = None
         if args.check:
@@ -535,6 +597,32 @@ def main(argv=None) -> int:
                 print(f"error: cannot read baseline {baseline_path}: {exc}",
                       file=sys.stderr)
                 return 2
+
+        if args.target == "govern":
+            from repro.govern.bench import (
+                check_govern_result, run_govern_bench,
+            )
+
+            # Run length comes from the profile (--smoke or full) so the
+            # committed baseline and the CI smoke run stay comparable;
+            # `repro govern --updates N` is the free-form entry point.
+            result = run_govern_bench(seed=args.seed, smoke=args.smoke)
+            _print_govern_result(result)
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(result, fh, indent=2, sort_keys=True)
+                print(f"wrote {args.out}")
+            if args.check:
+                failures = check_govern_result(
+                    result, baseline, args.tolerance
+                )
+                if failures:
+                    for failure in failures:
+                        print(f"FAIL: {failure}", file=sys.stderr)
+                    return 1
+                print(f"check: control-loop properties hold and all ratios "
+                      f"within {args.tolerance:.0%} of baseline")
+            return 0
 
         if args.target == "serve":
             from repro.serve.bench import check_serve_result, run_serve_bench

@@ -219,6 +219,9 @@ class SynPF:
         self.config.validate()
         self.grid = grid
         self.rng = make_rng(self.config.seed)
+        # A shared (artifact-cache) base range method is read-only by
+        # contract: the runtime-reconfiguration seam must not mutate it.
+        self._owns_base_method = artifact_cache is None
 
         if motion_model is not None:
             self.motion_model = motion_model
@@ -340,6 +343,126 @@ class SynPF:
         self.particles = self._sample_free_space(n)
         self.weights = np.full(n, 1.0 / n)
         self._initialized = True
+
+    # ------------------------------------------------------------------
+    # Runtime reconfiguration (the compute-governor actuation seam)
+    # ------------------------------------------------------------------
+    def _resize_particles(self, target_n: int) -> None:
+        """Weighted resample of the cloud to ``target_n`` particles.
+
+        The same machinery KLD adaptation uses at resample time, applied
+        mid-run: draw ``target_n`` indices in proportion to the current
+        weights, then reset to uniform.  The result is a valid particle
+        approximation of the same posterior at the new budget — weights
+        stay normalized and the count lands exactly on target, which is
+        what :class:`~repro.verify.invariants.InvariantChecker` audits
+        across knob changes.
+        """
+        current = int(self.particles.shape[0])
+        if target_n == current:
+            return
+        idx = resample_indices(
+            self.weights, self.rng, self.config.resample_scheme,
+            size=target_n,
+        )
+        self.particles = self.particles[idx]
+        self.weights = np.full(target_n, 1.0 / target_n)
+
+    def reconfigure(
+        self,
+        num_particles: Optional[int] = None,
+        num_beams: Optional[int] = None,
+        dedup_xy_bin_cells: Optional[float] = None,
+        accel_backend: Optional[str] = None,
+        **ignored,
+    ) -> Dict:
+        """Apply runtime knob changes; returns ``{knob: new_value}`` applied.
+
+        The public actuation seam for :mod:`repro.govern`: every knob that
+        trades accuracy for per-update latency and was previously frozen
+        at construction becomes adjustable between updates.
+
+        * ``num_particles`` — the particle budget.  A fixed-size filter is
+          resized immediately (weighted resample, see
+          :meth:`_resize_particles`); an adaptive (KLD) filter has its
+          band ceiling moved and is shrunk only if it currently exceeds
+          the new ceiling (``kld_n_min`` is clamped to stay <= the
+          budget).
+        * ``num_beams`` — scan-layout subsampling target; the layout
+          selection cache is invalidated so the next update re-selects.
+        * ``dedup_xy_bin_cells`` — raycast dedup bin coarseness (no-op
+          with the dedup wrapper off).  Coarser bins mean fewer casts and
+          a wider substitution envelope.
+        * ``accel_backend`` — compute-kernel choice.  Always switches the
+          sensor-model backend; switches the base range method's backend
+          only when this filter privately owns it (a shared artifact-cache
+          method is read-only, and other sessions may be mid-query).
+
+        Unknown keyword arguments are ignored so a
+        :class:`~repro.govern.knobs.KnobSet` can carry knobs some filter
+        variants lack.  Changes are validated as a whole; a knob equal to
+        its current value is not reported.
+        """
+        applied: Dict = {}
+        if num_particles is not None:
+            target = int(num_particles)
+            if target != self.config.num_particles:
+                self.config = replace(
+                    self.config,
+                    num_particles=target,
+                    kld_n_min=min(self.config.kld_n_min, target),
+                )
+                if self._initialized:
+                    if self.config.adaptive:
+                        if self.particles.shape[0] > target:
+                            self._resize_particles(target)
+                    else:
+                        self._resize_particles(target)
+                applied["num_particles"] = target
+        if num_beams is not None:
+            target = int(num_beams)
+            if target != self.config.num_beams:
+                self.config = replace(self.config, num_beams=target)
+                self._layout_cache.clear()
+                applied["num_beams"] = target
+        if dedup_xy_bin_cells is not None:
+            from repro.accel.dedup import DedupRangeMethod
+
+            coarseness = float(dedup_xy_bin_cells)
+            if coarseness <= 0:
+                raise ValueError("dedup_xy_bin_cells must be positive")
+            method = self.range_method
+            if (
+                isinstance(method, DedupRangeMethod)
+                and coarseness != method.xy_bin_cells
+            ):
+                method.xy_bin_cells = coarseness
+                method._bin_size = self.grid.resolution * coarseness
+                self.config = replace(
+                    self.config, dedup_xy_bin_cells=coarseness
+                )
+                applied["dedup_xy_bin_cells"] = coarseness
+        if accel_backend is not None:
+            from repro.accel.backends import resolve_backend
+
+            resolved = resolve_backend(accel_backend, warn=False)
+            changed = False
+            if self.sensor_model.backend != resolved:
+                self.sensor_model.backend = resolved
+                changed = True
+            base = getattr(self.range_method, "inner", None) or self.range_method
+            if (
+                self._owns_base_method
+                and getattr(base, "backend", None) not in (None, resolved)
+            ):
+                base.backend = resolved
+                changed = True
+            if changed:
+                self.config = replace(self.config, accel_backend=resolved)
+                applied["accel_backend"] = resolved
+        if applied:
+            self.config.validate()
+        return applied
 
     # ------------------------------------------------------------------
     # Update
@@ -514,7 +637,11 @@ class SynPF:
         self._last_inject_frac = inject_frac
         if ess < threshold or inject_frac > 0.05:
             with self.tracer.span("resample"):
-                target_n = current_n
+                # Target the *configured* budget, not the incumbent cloud
+                # size: after a runtime `reconfigure`, current_n may lag
+                # the budget for one step (adaptive growth is also pulled
+                # toward the new ceiling through n_max below).
+                target_n = self.config.num_particles
                 if self.config.adaptive:
                     from repro.core.kld import kld_sample_size, occupied_bins
 

@@ -1,0 +1,43 @@
+"""repro.govern — adaptive compute governance under a latency SLO.
+
+The closed loop that ROADMAP item 5 asks for: hold a per-update latency
+SLO by trading estimator quality for compute at runtime, degrade
+gracefully under pressure, recover when pressure lifts.
+
+Pieces (each in its own module):
+
+* :class:`LatencyBudget` — the SLO: target quantile, hysteresis bands,
+  dwell (``budget``);
+* :class:`KnobSet` / :func:`default_ladder` — the actuators: absolute
+  operating points applied through ``SynPF.reconfigure`` (``knobs``);
+* :class:`GovernorPolicy` — the deterministic control law (``policy``);
+* :class:`Governor` — one filter's closed loop (``governor``);
+* :class:`FleetArbiter` — fleet-coherent floors and load shedding over
+  a :class:`~repro.serve.registry.SessionRegistry` (``fleet``);
+* :class:`PressureInjector` — deterministic fault timelines to test
+  against (``pressure``);
+* :func:`run_govern_bench` — the two-arm control-loop benchmark behind
+  ``repro bench govern`` (``bench``).
+
+See ``docs/governor.md`` for the knob ladder, hysteresis semantics and
+how to read ``benchmarks/BENCH_govern.json``.
+"""
+
+from repro.govern.budget import LatencyBudget
+from repro.govern.fleet import FleetArbiter
+from repro.govern.governor import Governor
+from repro.govern.knobs import KnobSet, default_ladder
+from repro.govern.policy import GovernorPolicy
+from repro.govern.pressure import PressureInjector, PressurePhase, cpu_burn
+
+__all__ = [
+    "LatencyBudget",
+    "KnobSet",
+    "default_ladder",
+    "GovernorPolicy",
+    "Governor",
+    "FleetArbiter",
+    "PressureInjector",
+    "PressurePhase",
+    "cpu_burn",
+]

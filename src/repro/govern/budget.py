@@ -1,0 +1,74 @@
+"""The latency SLO a governor holds: target quantile + hysteresis bands.
+
+A :class:`LatencyBudget` says *what* to hold — "the windowed p99 of
+per-update latency stays under ``target_ms``" — and shapes *when* the
+control loop may act on it:
+
+* **breach band**: the watched quantile above ``target_ms`` calls for
+  degradation (escalate one rung down the knob ladder);
+* **relax band**: the quantile below ``relax_fraction * target_ms``
+  calls for recovery (climb one rung back up).  The gap between the two
+  bands is the hysteresis dead zone that keeps the loop from oscillating
+  when latency hovers near the target;
+* **dwell**: at least ``dwell_updates`` observations must accumulate
+  between actuations, so one knob change's effect is actually *measured*
+  (at the new operating point) before the next change.
+
+The budget is pure policy data — it never reads a clock and has no
+state, which is what keeps the control loop bit-reproducible for a fixed
+latency trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LatencyBudget"]
+
+
+@dataclass(frozen=True)
+class LatencyBudget:
+    """Per-update latency SLO.
+
+    Parameters
+    ----------
+    target_ms:
+        The SLO: the watched latency quantile must stay at or under this.
+    quantile:
+        Which quantile of the recent-latency window is watched
+        (default p99, the figure ``repro bench serve`` commits).
+    relax_fraction:
+        Lower hysteresis band as a fraction of ``target_ms``; recovery
+        is only attempted below it.  Must leave a real dead zone
+        (``0 < relax_fraction < 1``).
+    dwell_updates:
+        Minimum observations between successive actuations.
+    """
+
+    target_ms: float
+    quantile: float = 0.99
+    relax_fraction: float = 0.6
+    dwell_updates: int = 5
+
+    def validate(self) -> None:
+        if self.target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not 0.0 < self.relax_fraction < 1.0:
+            raise ValueError("relax_fraction must be in (0, 1)")
+        if self.dwell_updates < 1:
+            raise ValueError("dwell_updates must be >= 1")
+
+    @property
+    def relax_ms(self) -> float:
+        """Absolute lower hysteresis band."""
+        return self.relax_fraction * self.target_ms
+
+    def breached(self, latency_ms: float) -> bool:
+        """Is this latency above the SLO?"""
+        return latency_ms > self.target_ms
+
+    def relaxed(self, latency_ms: float) -> bool:
+        """Is this latency comfortably below the SLO (recovery band)?"""
+        return latency_ms < self.relax_ms

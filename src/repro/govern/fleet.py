@@ -1,0 +1,139 @@
+"""Fleet-level arbitration: coherent degradation and load shedding.
+
+Per-session governors defend their own SLO, but a fleet under global
+pressure needs *coherent* action: if only the currently-slow sessions
+degrade, the freed cycles just migrate the breach to their neighbours.
+The :class:`FleetArbiter` therefore runs one more hysteresis loop over
+the **fleet-wide** windowed latency quantile
+(:meth:`SessionRegistry.update_latency_quantile`) and pushes its rung to
+every session governor as a *floor* — all sessions step down the ladder
+together, and climb back together when pressure lifts.
+
+When the floor is already at the deepest rung and the fleet quantile
+still breaches for a full dwell period, the ladder is exhausted: the
+arbiter **sheds** — evicts one session (``reason="shed"``, so the
+``serve.sessions.evicted.shed`` counter attributes it) chosen
+deterministically as the least-recently-active, tie-broken by session
+id.  Shedding repeats one session per dwell period until the quantile
+re-enters budget or one session remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.govern.budget import LatencyBudget
+from repro.govern.governor import Governor
+from repro.govern.knobs import default_ladder
+from repro.govern.policy import GovernorPolicy
+
+__all__ = ["FleetArbiter"]
+
+
+class FleetArbiter:
+    """Coherent multi-session governor over one session registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.SessionRegistry` whose
+        sessions are governed (and whose fleet metrics receive the
+        ``govern.*`` families).
+    budget:
+        The fleet SLO; individual governors share it.
+    shed:
+        Whether an exhausted ladder may evict sessions.
+    """
+
+    def __init__(
+        self,
+        registry,
+        budget: LatencyBudget,
+        shed: bool = True,
+    ) -> None:
+        budget.validate()
+        self.registry = registry
+        self.budget = budget
+        self.shed = shed
+        self._governors: Dict[str, Governor] = {}
+        self._floor_policy: Optional[GovernorPolicy] = None
+        self._breach_streak = 0
+
+    # ------------------------------------------------------------------
+    # Session membership
+    # ------------------------------------------------------------------
+    def attach(self, session, ladder=None) -> Optional[Governor]:
+        """Put one session under governance; no-op for non-PF sessions."""
+        pf = getattr(session, "pf", None)
+        if pf is None:
+            return None
+        governor = Governor(
+            pf,
+            self.budget,
+            ladder=ladder if ladder is not None else default_ladder(pf.config),
+            metrics=self.registry.metrics,
+        )
+        if self._floor_policy is None:
+            self._floor_policy = GovernorPolicy(
+                self.budget, len(governor.ladder)
+            )
+        governor.set_floor(self._floor_policy.rung)
+        self._governors[session.session_id] = governor
+        return governor
+
+    def detach(self, session_id: str) -> None:
+        self._governors.pop(session_id, None)
+
+    def governor(self, session_id: str) -> Optional[Governor]:
+        return self._governors.get(session_id)
+
+    def __len__(self) -> int:
+        return len(self._governors)
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def observe(self, session_id: str, latency_ms: float) -> None:
+        """Feed one session's update latency to its governor."""
+        governor = self._governors.get(session_id)
+        if governor is not None:
+            governor.observe(latency_ms)
+
+    def step(self) -> Dict:
+        """One fleet-coherence pass; call once per server flush.
+
+        Returns ``{"floor": int, "decision": str, "shed": [sids]}``.
+        """
+        if self._floor_policy is None:
+            return {"floor": 0, "decision": "hold", "shed": []}
+        fleet_q = self.registry.update_latency_quantile(self.budget.quantile)
+        decision, floor = self._floor_policy.decide(fleet_q)
+        metrics = self.registry.metrics
+        metrics.gauge("govern.fleet.floor").set(floor)
+        for governor in self._governors.values():
+            governor.set_floor(floor)
+        shed_ids = []
+        exhausted = (
+            floor >= self._floor_policy.max_rung
+            and self.budget.breached(fleet_q)
+        )
+        self._breach_streak = self._breach_streak + 1 if exhausted else 0
+        if (
+            self.shed
+            and self._breach_streak >= self.budget.dwell_updates
+            and len(self._governors) > 1
+        ):
+            shed_ids.append(self._shed_one())
+            self._breach_streak = 0
+        return {"floor": floor, "decision": decision, "shed": shed_ids}
+
+    def _shed_one(self) -> str:
+        """Evict the least-recently-active governed session."""
+        victim = min(
+            self._governors,
+            key=lambda sid: (self.registry.get(sid).last_access, sid),
+        )
+        self.registry.evict(victim, reason="shed")
+        self.detach(victim)
+        self.registry.metrics.counter("govern.fleet.shed").inc()
+        return victim

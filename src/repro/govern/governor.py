@@ -1,0 +1,170 @@
+"""The per-filter closed loop: observe latency, walk the ladder, actuate.
+
+A :class:`Governor` binds one :class:`~repro.core.particle_filter.SynPF`
+(via its ``reconfigure`` seam) to a :class:`LatencyBudget` and a knob
+ladder.  Feed it every update's latency through :meth:`observe`; it
+maintains its own recency window, watches the budget's quantile of it,
+asks the :class:`GovernorPolicy` for a rung, and applies the rung's
+:class:`KnobSet` when it changes.
+
+The loop is deterministic end to end: same latency stream in, same
+actuation sequence out.  Wall-clock sources feed it in production
+(``FleetServer``); a modelled latency stream feeds it in the
+bit-reproducible control-loop test.
+
+Telemetry (when a :class:`MetricsRegistry` is given) lands under
+``govern.*``:
+
+* gauges ``govern.rung`` and ``govern.knob.<name>`` — current operating
+  point (last-writer-wins across a fleet; the arbiter's floor keeps
+  fleet members coherent, and per-session detail lives in the decision
+  records);
+* counters ``govern.actuations.escalate`` / ``.relax`` / ``.floor`` —
+  how often the loop moved, and why;
+* counter ``govern.slo.violations`` + histogram
+  ``govern.slo.violation_ms`` — every observation over target, and by
+  how much.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.govern.budget import LatencyBudget
+from repro.govern.knobs import KnobSet, default_ladder
+from repro.govern.policy import GovernorPolicy
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_EDGES_MS,
+    MetricsRegistry,
+    WindowedHistogram,
+)
+
+__all__ = ["Governor"]
+
+# Recency window of the governor's private latency view.  Shorter than
+# the serve-layer default: the loop must see a load shift within a few
+# dwell periods, and an exact quantile over 64 samples is plenty stable.
+GOVERNOR_WINDOW = 64
+
+
+class Governor:
+    """Closed-loop latency governor for one particle filter."""
+
+    def __init__(
+        self,
+        pf,
+        budget: LatencyBudget,
+        ladder: Optional[Sequence[KnobSet]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        window: int = GOVERNOR_WINDOW,
+    ) -> None:
+        budget.validate()
+        self.pf = pf
+        self.budget = budget
+        self.ladder = tuple(
+            ladder if ladder is not None else default_ladder(pf.config)
+        )
+        if not self.ladder:
+            raise ValueError("ladder must have at least one rung")
+        self.policy = GovernorPolicy(budget, len(self.ladder))
+        self.metrics = metrics
+        # Private recency view — not registered: a fleet of governors
+        # would collide on one family name, and the window is per-loop
+        # state anyway.  Fleet-level latency lives in the serve registry.
+        self._window = WindowedHistogram(
+            "govern.latency_ms", DEFAULT_LATENCY_EDGES_MS, window=window
+        )
+        self.floor = 0
+        self._applied_rung = 0
+        # Normalize onto rung 0 (a no-op for the default ladder, which
+        # is built from the filter's own config).
+        self.ladder[0].apply(pf)
+        self._export_operating_point()
+
+    # ------------------------------------------------------------------
+    @property
+    def rung(self) -> int:
+        """The currently applied ladder rung."""
+        return self._applied_rung
+
+    @property
+    def max_rung(self) -> int:
+        return len(self.ladder) - 1
+
+    @property
+    def exhausted(self) -> bool:
+        """At the deepest rung — nothing left to trade locally."""
+        return self._applied_rung >= self.max_rung
+
+    def watched_ms(self) -> float:
+        """Current value of the watched windowed quantile."""
+        return self._window.windowed_quantile(self.budget.quantile)
+
+    # ------------------------------------------------------------------
+    def observe(self, latency_ms: float) -> Dict:
+        """Feed one update's latency; actuate if the policy says so.
+
+        Returns a decision record::
+
+            {"decision", "rung", "watched_ms", "violated", "applied"}
+
+        ``applied`` is the dict of knobs actually changed this step
+        (empty on hold).
+        """
+        latency_ms = float(latency_ms)
+        self._window.observe(latency_ms)
+        violated = self.budget.breached(latency_ms)
+        if violated and self.metrics is not None:
+            self.metrics.counter("govern.slo.violations").inc()
+            self.metrics.histogram("govern.slo.violation_ms").observe(
+                latency_ms - self.budget.target_ms
+            )
+        watched = self.watched_ms()
+        decision, rung = self.policy.decide(watched)
+        if decision != "hold" and self.metrics is not None:
+            self.metrics.counter(f"govern.actuations.{decision}").inc()
+        applied = self._apply(max(rung, self.floor))
+        return {
+            "decision": decision,
+            "rung": self._applied_rung,
+            "watched_ms": watched,
+            "violated": violated,
+            "applied": applied,
+        }
+
+    def set_floor(self, floor: int) -> Dict:
+        """Arbiter hook: clamp the operating point at or below ``floor``.
+
+        Raising the floor degrades immediately (counted as a ``floor``
+        actuation) and re-bases the policy there, so recovery still
+        walks back rung by rung through the relax band.  Lowering the
+        floor releases the clamp; the policy's own rung takes over.
+        """
+        floor = min(max(int(floor), 0), self.max_rung)
+        if floor == self.floor:
+            return {}
+        raised = floor > self.floor
+        self.floor = floor
+        if raised and self.policy.rung < floor:
+            self.policy.force_rung(floor)
+        applied = self._apply(max(self.policy.rung, self.floor))
+        if applied and raised and self.metrics is not None:
+            self.metrics.counter("govern.actuations.floor").inc()
+        return applied
+
+    # ------------------------------------------------------------------
+    def _apply(self, target_rung: int) -> Dict:
+        if target_rung == self._applied_rung:
+            return {}
+        applied = self.ladder[target_rung].apply(self.pf)
+        self._applied_rung = target_rung
+        self._export_operating_point()
+        return applied
+
+    def _export_operating_point(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge("govern.rung").set(self._applied_rung)
+        for knob, value in self.ladder[self._applied_rung].knobs.items():
+            if isinstance(value, (int, float)):
+                self.metrics.gauge(f"govern.knob.{knob}").set(value)

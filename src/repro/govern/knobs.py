@@ -1,0 +1,104 @@
+"""Actuators: named knob settings and the ordered degradation ladder.
+
+A :class:`KnobSet` is one *absolute* operating point of the governed
+knobs — every value it carries is a target setting, not a delta, so
+applying a rung is idempotent and rungs can be jumped in either
+direction (the fleet arbiter's floor does exactly that).  Application
+goes through :meth:`~repro.core.particle_filter.SynPF.reconfigure`, the
+public runtime-reconfiguration seam.
+
+:func:`default_ladder` builds the ordered ladder the default policy
+walks, degrading in ascending accuracy-cost order (the paper's §IV
+compute/accuracy trade, and the order the metamorphic suite bounds):
+
+1. **dedup bin coarseness** — widens the raycast substitution envelope;
+   cheapest in accuracy, saves per-ray work;
+2. **beam count** — scan-layout subsampling; error grows slowly and
+   monotonically (``check_scan_subsample_monotonicity`` is the oracle);
+3. **particle budget** — the big lever, cut last and restored first.
+
+Rung 0 is always the undegraded base configuration; climbing *up* the
+ladder (toward 0) restores quality in the reverse order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["KnobSet", "default_ladder"]
+
+# Knobs a KnobSet may carry; matches SynPF.reconfigure's signature.
+GOVERNED_KNOBS = (
+    "num_particles", "num_beams", "dedup_xy_bin_cells", "accel_backend",
+)
+
+
+@dataclass(frozen=True)
+class KnobSet:
+    """One named, absolute operating point of the governed knobs."""
+
+    name: str
+    knobs: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.knobs) - set(GOVERNED_KNOBS)
+        if unknown:
+            raise ValueError(
+                f"unknown knobs {sorted(unknown)}; "
+                f"governable: {list(GOVERNED_KNOBS)}"
+            )
+
+    def apply(self, pf) -> Dict:
+        """Reconfigure ``pf`` to this operating point.
+
+        Returns the knobs that actually changed (``reconfigure``'s
+        contract) — empty when the filter is already here.
+        """
+        return pf.reconfigure(**self.knobs)
+
+
+def default_ladder(
+    config,
+    min_beams: int = 8,
+    min_particles: int = 64,
+) -> Tuple[KnobSet, ...]:
+    """The ordered degradation ladder for a given base configuration.
+
+    Every rung carries *all* governed quality knobs as absolute values,
+    scaled from the base config and clamped to the floors, so any rung
+    can be applied from any other.  Consecutive rungs that collapse to
+    identical settings (tiny base configs hitting the floors early) are
+    deduplicated, keeping each policy step a real actuation.
+    """
+    p0 = int(config.num_particles)
+    b0 = int(config.num_beams)
+    d0 = float(config.dedup_xy_bin_cells)
+    backend = config.accel_backend
+    floor_b = min(min_beams, b0)
+    floor_p = min(min_particles, p0)
+
+    def rung(name: str, pf: float, bf: float, df: float) -> KnobSet:
+        return KnobSet(name, {
+            "num_particles": max(floor_p, int(round(p0 * pf))),
+            "num_beams": max(floor_b, int(round(b0 * bf))),
+            "dedup_xy_bin_cells": d0 * df,
+            "accel_backend": backend,
+        })
+
+    #              name             particles beams  dedup
+    candidates = (
+        rung("full",                 1.0,      1.0,   1.0),
+        rung("dedup-2x",             1.0,      1.0,   2.0),
+        rung("beams-3/4",            1.0,      0.75,  2.0),
+        rung("beams-1/2",            1.0,      0.5,   4.0),
+        rung("particles-2/3",        2 / 3,    0.5,   4.0),
+        rung("particles-1/2",        0.5,      0.5,   4.0),
+        rung("particles-1/3",        1 / 3,    1 / 3, 4.0),
+        rung("floor",                floor_p / p0, floor_b / b0, 4.0),
+    )
+    ladder = [candidates[0]]
+    for ks in candidates[1:]:
+        if ks.knobs != ladder[-1].knobs:
+            ladder.append(ks)
+    return tuple(ladder)

@@ -1,0 +1,88 @@
+"""The deterministic control law: hysteresis bands over an ordered ladder.
+
+:class:`GovernorPolicy` maps a stream of watched-quantile readings to a
+ladder rung.  It is a pure function of its inputs — no clocks, no
+randomness — which is what makes a governed run bit-reproducible for a
+fixed seed and pressure timeline (the headline property of
+``tests/test_govern.py``):
+
+* reading above the budget's target → **escalate** one rung (degrade);
+* reading below the relax band → **relax** one rung (restore quality);
+* in the dead zone between the bands → **hold**.
+
+Both actions are dwell-gated: at least ``budget.dwell_updates`` readings
+must arrive after an actuation before the next one, so the window
+re-fills with samples measured *at the new operating point* — acting on
+stale samples is how naive governors oscillate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.govern.budget import LatencyBudget
+
+__all__ = ["GovernorPolicy"]
+
+
+class GovernorPolicy:
+    """Hysteresis ladder walker.
+
+    Parameters
+    ----------
+    budget:
+        The :class:`~repro.govern.budget.LatencyBudget` defining the
+        bands and the dwell.
+    num_rungs:
+        Ladder length; rung 0 is full quality, ``num_rungs - 1`` the
+        deepest degradation.
+    """
+
+    def __init__(self, budget: LatencyBudget, num_rungs: int) -> None:
+        budget.validate()
+        if num_rungs < 1:
+            raise ValueError("num_rungs must be >= 1")
+        self.budget = budget
+        self.num_rungs = num_rungs
+        self.rung = 0
+        # Start actionable: the first dwell window is the caller's
+        # warm-up, counted from the first observation.
+        self._since_change = 0
+
+    @property
+    def max_rung(self) -> int:
+        return self.num_rungs - 1
+
+    def decide(self, watched_ms: float) -> Tuple[str, int]:
+        """Feed one watched-quantile reading; returns ``(decision, rung)``.
+
+        ``decision`` is ``"escalate"``, ``"relax"`` or ``"hold"``.
+        """
+        self._since_change += 1
+        if self._since_change < self.budget.dwell_updates:
+            return "hold", self.rung
+        if self.budget.breached(watched_ms) and self.rung < self.max_rung:
+            self.rung += 1
+            self._since_change = 0
+            return "escalate", self.rung
+        if self.budget.relaxed(watched_ms) and self.rung > 0:
+            self.rung -= 1
+            self._since_change = 0
+            return "relax", self.rung
+        return "hold", self.rung
+
+    def force_rung(self, rung: int) -> None:
+        """External actuation (the fleet arbiter's floor): jump to a rung.
+
+        Re-bases the hysteresis walk there — the dwell restarts, and
+        recovery proceeds rung by rung through the relax band as usual.
+        """
+        if not 0 <= rung <= self.max_rung:
+            raise ValueError(f"rung must be in [0, {self.max_rung}]")
+        if rung != self.rung:
+            self.rung = rung
+            self._since_change = 0
+
+    def reset(self) -> None:
+        self.rung = 0
+        self._since_change = 0

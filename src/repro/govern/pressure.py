@@ -1,0 +1,124 @@
+"""Deterministic pressure timelines: CPU co-load and scan-rate spikes.
+
+A :class:`PressureInjector` is the fault source the governor is tested
+against — scenario-style (like :mod:`repro.eval.scenarios`): a fixed
+sequence of :class:`PressurePhase` windows over the update index, each
+scaling two load dimensions:
+
+* ``cpu_factor`` — a co-located tenant stealing cycles: every update
+  inside the phase takes this many times longer for the *same* work;
+* ``scan_factor`` — a sensor-rate spike: updates arrive this many times
+  faster, so the per-update budget effectively shrinks by the factor.
+
+``factors(step)`` is a pure function of the update index, which keeps a
+pressured run bit-reproducible.  For benches that want *real* load
+rather than modelled load, :func:`cpu_burn` spins the CPU for a wall
+duration — useful for the info-only wall-clock arm, never for gated
+metrics (host-dependent).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PressurePhase", "PressureInjector", "cpu_burn"]
+
+
+@dataclass(frozen=True)
+class PressurePhase:
+    """One half-open window ``[start, end)`` of update indices."""
+
+    start: int
+    end: int
+    cpu_factor: float = 1.0
+    scan_factor: float = 1.0
+
+    def validate(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("need 0 <= start < end")
+        if self.cpu_factor < 1.0 or self.scan_factor < 1.0:
+            raise ValueError("pressure factors must be >= 1")
+
+    def active(self, step: int) -> bool:
+        return self.start <= step < self.end
+
+
+class PressureInjector:
+    """A named, deterministic timeline of pressure phases."""
+
+    def __init__(self, phases, name: str = "custom") -> None:
+        self.phases = tuple(phases)
+        for phase in self.phases:
+            phase.validate()
+        self.name = name
+
+    def factors(self, step: int) -> Tuple[float, float]:
+        """``(cpu_factor, scan_factor)`` at one update index.
+
+        Overlapping phases compound multiplicatively — two co-loads
+        stack, a co-load during a scan spike stacks with it.
+        """
+        cpu = scan = 1.0
+        for phase in self.phases:
+            if phase.active(step):
+                cpu *= phase.cpu_factor
+                scan *= phase.scan_factor
+        return cpu, scan
+
+    def load_factor(self, step: int) -> float:
+        """Combined per-update latency multiplier at one index."""
+        cpu, scan = self.factors(step)
+        return cpu * scan
+
+    def peak_factor(self) -> float:
+        """Largest combined multiplier anywhere on the timeline."""
+        if not self.phases:
+            return 1.0
+        marks = {p.start for p in self.phases}
+        return max((self.load_factor(s) for s in marks), default=1.0)
+
+    @classmethod
+    def calm(cls) -> "PressureInjector":
+        """No pressure anywhere — the control arm's timeline."""
+        return cls((), name="calm")
+
+    @classmethod
+    def spike(cls, n_updates: int) -> "PressureInjector":
+        """The headline-test timeline, scaled to a run length.
+
+        Four acts: calm warm-up (first 20%), a 3x CPU co-load
+        (20%–45%), an overlapping 2x scan-rate spike (35%–55%, so the
+        combined peak is 6x in the overlap), then a long calm tail —
+        the governor must degrade through the overlap and climb back to
+        rung 0 before the run ends.
+        """
+        if n_updates < 20:
+            raise ValueError("spike timeline needs >= 20 updates")
+        return cls(
+            (
+                PressurePhase(
+                    n_updates // 5, int(0.45 * n_updates), cpu_factor=3.0
+                ),
+                PressurePhase(
+                    int(0.35 * n_updates), int(0.55 * n_updates),
+                    scan_factor=2.0,
+                ),
+            ),
+            name="spike",
+        )
+
+
+def cpu_burn(duration_s: float) -> int:
+    """Busy-spin the CPU for ``duration_s`` wall seconds.
+
+    Returns the number of loop iterations — a real co-load for wall-clock
+    (info-only) measurements.  Never use in gated or bit-reproducible
+    paths: the iteration count is host- and load-dependent.
+    """
+    end = time.perf_counter() + max(0.0, duration_s)
+    n = 0
+    while time.perf_counter() < end:
+        n += 1
+    return n

@@ -9,8 +9,9 @@ Backs the committed ``benchmarks/BENCH_serve.json``.  Three measurements:
   exactly one artifact build.
 * **direct** — synchronous round-robin updates through the
   :class:`~repro.serve.registry.SessionRegistry`; per-update wall times
-  land in the ``serve.update.latency_ms`` histogram whose
-  ``quantile(0.99)`` is the committed p99 figure.
+  land in the ``serve.update.latency_ms`` windowed histogram, and the
+  committed p99 figure is the registry's recency-window quantile
+  (``update_latency_quantile(0.99)``).
 * **batched** — the same workload through the asyncio
   :class:`~repro.serve.server.FleetServer`, where same-map sessions
   fold their raycasts.
@@ -137,9 +138,11 @@ def run_serve_bench(
             registry.update(sid, delta, scan.ranges, scan.angles)
     direct_s = time.perf_counter() - t0
     total_updates = n_sessions * n_updates
-    hist = registry.metrics.histogram("serve.update.latency_ms")
-    direct_p99_ms = hist.quantile(0.99)
-    direct_p50_ms = hist.quantile(0.50)
+    # Recency-window quantiles (exact, nearest-rank) rather than the
+    # lifetime histogram's bucket interpolation — the same view the
+    # governor watches and serve's p99 reporting commits.
+    direct_p99_ms = registry.update_latency_quantile(0.99)
+    direct_p50_ms = registry.update_latency_quantile(0.50)
 
     # ---- batched: same workload through the async microbatcher ----
     async def _run_batched():

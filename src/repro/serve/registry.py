@@ -8,8 +8,10 @@ here.  It owns the three shared resources of the serving layer:
   — map precomputes built once and shared by every session on that map;
 * the **fleet metrics registry** — aggregate counters
   (``serve.sessions.*``, ``serve.updates``), the active-session gauge
-  and the ``serve.update.latency_ms`` histogram whose ``quantile(0.99)``
-  is the bench's p99 figure, exportable as Prometheus text;
+  and the ``serve.update.latency_ms`` windowed histogram whose recency
+  view (:meth:`SessionRegistry.update_latency_quantile`) is the bench's
+  p99 figure and the governor's feedback signal, exportable as
+  Prometheus text;
 * the **clock** — injectable (default ``time.monotonic``) so idle-TTL
   eviction is testable without sleeping.
 
@@ -97,7 +99,10 @@ class SessionRegistry:
             self.max_sessions is not None
             and len(self._sessions) >= self.max_sessions
         ):
-            self.evict_idle()
+            # Same TTL sweep as the periodic one, but attributed to the
+            # admission path: a "capacity" eviction means a new tenant
+            # displaced an expired one, an "idle" eviction is pure TTL.
+            self.evict_idle(reason="capacity")
             if len(self._sessions) >= self.max_sessions:
                 raise RuntimeError(
                     f"session limit reached ({self.max_sessions}); "
@@ -145,8 +150,17 @@ class SessionRegistry:
         self.metrics.counter(f"serve.sessions.evicted.{reason}").inc()
         self.metrics.gauge("serve.sessions.active").set(len(self._sessions))
 
-    def evict_idle(self, now: Optional[float] = None) -> List[str]:
-        """Sweep sessions idle past the TTL; returns the evicted ids."""
+    def evict_idle(
+        self, now: Optional[float] = None, reason: str = "idle"
+    ) -> List[str]:
+        """Sweep sessions idle past the TTL; returns the evicted ids.
+
+        ``reason`` tags the ``serve.sessions.evicted.*`` counter so fleet
+        metrics can attribute the removal: ``"idle"`` for the periodic
+        TTL sweep, ``"capacity"`` when :meth:`create` sweeps to admit a
+        new tenant (the governor's load-shedding uses ``"shed"`` via
+        :meth:`evict` directly).
+        """
         if self.idle_ttl_s is None:
             return []
         now = self.clock() if now is None else now
@@ -156,7 +170,7 @@ class SessionRegistry:
             if session.idle_for(now) > self.idle_ttl_s
         ]
         for sid in expired:
-            self.evict(sid, reason="idle")
+            self.evict(sid, reason=reason)
         return expired
 
     # ------------------------------------------------------------------
@@ -187,9 +201,23 @@ class SessionRegistry:
         """Record one completed update in the fleet metrics."""
         session.last_access = self.clock()
         self.metrics.counter("serve.updates").inc()
-        self.metrics.histogram("serve.update.latency_ms").observe(
+        # Windowed family: lifetime buckets keep the merge contract,
+        # while update_latency_quantile() reads the recency window —
+        # the view the governor and the bench's p99 react to.
+        self.metrics.windowed_histogram("serve.update.latency_ms").observe(
             elapsed_s * 1e3
         )
+
+    def update_latency_quantile(self, q: float) -> float:
+        """Exact ``q``-quantile of *recent* update latencies (ms).
+
+        Reads the recency window of ``serve.update.latency_ms`` — a
+        sliding view that tracks load shifts, unlike the lifetime
+        histogram whose quantiles converge to the long-run mixture.
+        Returns 0.0 before any update has been recorded.
+        """
+        hist = self.metrics.windowed_histogram("serve.update.latency_ms")
+        return hist.windowed_quantile(q)
 
     def estimate(self, session_id: str) -> Dict:
         """Pose + uncertainty snapshot without advancing the filter."""

@@ -45,6 +45,17 @@ class FleetServer:
         flush.  0 still batches whatever lands in the same loop tick.
     max_batch:
         Flush immediately once this many updates are pending.
+    budget:
+        Optional :class:`~repro.govern.budget.LatencyBudget`.  When
+        given, every particle-filter session gets a per-session
+        :class:`~repro.govern.governor.Governor` and the fleet runs a
+        :class:`~repro.govern.fleet.FleetArbiter` on each flush —
+        coherent degradation under load, shedding when the knob ladder
+        is exhausted (``serve.sessions.evicted.shed``).  ``None`` (the
+        default) keeps serving ungoverned.
+    shed:
+        Whether the arbiter may evict sessions once the ladder is
+        exhausted; ignored without a ``budget``.
     """
 
     def __init__(
@@ -52,6 +63,8 @@ class FleetServer:
         registry: Optional[SessionRegistry] = None,
         batch_window_s: float = 0.002,
         max_batch: int = 64,
+        budget=None,
+        shed: bool = True,
     ) -> None:
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
@@ -61,6 +74,14 @@ class FleetServer:
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.batcher = UpdateBatcher(metrics=self.registry.metrics)
+        if budget is not None:
+            from repro.govern.fleet import FleetArbiter
+
+            self.arbiter: Optional[FleetArbiter] = FleetArbiter(
+                self.registry, budget, shed=shed
+            )
+        else:
+            self.arbiter = None
         self._pending: List = []  # (UpdateRequest, Future, enqueued_at)
         self._flusher: Optional[asyncio.Task] = None
         self._closed = False
@@ -81,6 +102,8 @@ class FleetServer:
             grid, method=method, session_id=session_id,
             initial_pose=initial_pose, **overrides,
         )
+        if self.arbiter is not None:
+            self.arbiter.attach(session)
         return session.session_id
 
     async def estimate(self, session_id: str) -> Dict:
@@ -90,6 +113,8 @@ class FleetServer:
     async def close_session(self, session_id: str) -> None:
         self._check_open()
         self.registry.evict(session_id, reason="client")
+        if self.arbiter is not None:
+            self.arbiter.detach(session_id)
 
     async def close(self) -> None:
         """Flush pending work and refuse further requests."""
@@ -159,10 +184,19 @@ class FleetServer:
             return
         done = time.perf_counter()
         for (request, future, enqueued), req in zip(pending, requests):
-            self.registry.observe_update(request.session, done - enqueued)
+            elapsed = done - enqueued
+            self.registry.observe_update(request.session, elapsed)
+            if self.arbiter is not None:
+                self.arbiter.observe(
+                    request.session.session_id, elapsed * 1e3
+                )
             if not future.done():
                 future.set_result(req.pose)
-        self.registry.evict_idle()
+        if self.arbiter is not None:
+            self.arbiter.step()
+        for sid in self.registry.evict_idle():
+            if self.arbiter is not None:
+                self.arbiter.detach(sid)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -30,10 +30,12 @@ from repro.telemetry.jsonl import TelemetryWriter, read_records
 from repro.telemetry.manifest import RunManifest
 from repro.telemetry.registry import (
     DEFAULT_LATENCY_EDGES_MS,
+    DEFAULT_WINDOW_SIZE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedHistogram,
     merge_snapshots,
     registry_from_snapshot,
 )
@@ -44,6 +46,7 @@ from repro.telemetry.spans import SpanTracer
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_EDGES_MS",
+    "DEFAULT_WINDOW_SIZE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -51,6 +54,7 @@ __all__ = [
     "SpanTracer",
     "Telemetry",
     "TelemetryWriter",
+    "WindowedHistogram",
     "load_run",
     "merge_snapshots",
     "read_records",

@@ -24,14 +24,17 @@ Nothing here touches the wall clock; timing *sources* live in
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedHistogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_EDGES_MS",
+    "DEFAULT_WINDOW_SIZE",
     "merge_snapshots",
     "registry_from_snapshot",
 ]
@@ -157,6 +160,74 @@ class Histogram:
         return hist
 
 
+# Default ring-buffer length of a WindowedHistogram.  At serve's ~40 Hz
+# update rate this is a ~6 s sliding view — long enough for a stable p99
+# estimate, short enough that a load shift is visible within seconds.
+DEFAULT_WINDOW_SIZE = 256
+
+
+class WindowedHistogram(Histogram):
+    """A :class:`Histogram` that additionally keeps the last ``window``
+    raw observations in a ring buffer.
+
+    Lifetime state (``counts``/``sum``/``count``) is untouched: snapshots,
+    merges and :meth:`to_dict` are bit-identical to a plain histogram, so
+    the worker-count-invariance contract of :func:`merge_snapshots` is
+    preserved.  The window exists purely for *recency* queries — a
+    lifetime histogram converges to the long-run distribution and cannot
+    see a load shift, which is exactly what a latency governor must react
+    to.  The window is per-process and deliberately excluded from
+    snapshots and merges (a merged recency view across workers has no
+    meaningful ordering).
+
+    :meth:`windowed_quantile` is an exact nearest-rank quantile over the
+    buffered samples — no bucket interpolation, since the raw values are
+    at hand.
+    """
+
+    __slots__ = ("window", "_recent", "_pos")
+
+    def __init__(
+        self, name: str, edges: Sequence[float],
+        window: int = DEFAULT_WINDOW_SIZE,
+    ) -> None:
+        super().__init__(name, edges)
+        window = int(window)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._recent: List[float] = []
+        self._pos = 0
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        value = float(value)
+        if len(self._recent) < self.window:
+            self._recent.append(value)
+        else:
+            self._recent[self._pos] = value
+        self._pos = (self._pos + 1) % self.window
+
+    @property
+    def windowed_count(self) -> int:
+        """Number of samples currently in the window (<= ``window``)."""
+        return len(self._recent)
+
+    @property
+    def windowed_mean(self) -> float:
+        return sum(self._recent) / len(self._recent) if self._recent else 0.0
+
+    def windowed_quantile(self, q: float) -> float:
+        """Exact nearest-rank ``q``-quantile of the buffered samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._recent:
+            return 0.0
+        data = sorted(self._recent)
+        rank = ceil(q * len(data)) - 1
+        return data[min(max(rank, 0), len(data) - 1)]
+
+
 class MetricsRegistry:
     """Named metric families of one process (or one trial).
 
@@ -192,6 +263,36 @@ class MetricsRegistry:
         if family is None:
             self._check_unused(name, self._histograms)
             family = self._histograms[name] = Histogram(name, edges)
+        elif family.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return family
+
+    def windowed_histogram(
+        self,
+        name: str,
+        edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS,
+        window: int = DEFAULT_WINDOW_SIZE,
+    ) -> WindowedHistogram:
+        """Like :meth:`histogram`, but the family keeps a recency window.
+
+        A windowed family is still a histogram to every other consumer —
+        it lives in the same namespace, snapshots identically, and
+        :meth:`histogram` on the same name returns it.  Upgrading an
+        existing plain family is refused (its observations predate the
+        window and the recency view would silently lie).
+        """
+        family = self._histograms.get(name)
+        if family is None:
+            self._check_unused(name, self._histograms)
+            family = self._histograms[name] = WindowedHistogram(
+                name, edges, window=window
+            )
+        elif not isinstance(family, WindowedHistogram):
+            raise ValueError(
+                f"histogram {name!r} already registered without a window"
+            )
         elif family.edges != tuple(float(e) for e in edges):
             raise ValueError(
                 f"histogram {name!r} already registered with different edges"

@@ -94,6 +94,12 @@ class InvariantChecker:
     * the weighted 2x2 position covariance is PSD (smallest eigenvalue
       above ``-1e-12``).
 
+    Every particle-filter check reads the *live* configuration, so a
+    runtime ``reconfigure`` (the :mod:`repro.govern` actuation seam) is
+    audited against its new values from the very next update; knob
+    transitions are additionally recorded as ``reconfigurations`` events
+    in the telemetry snapshot.
+
     ``strict=True`` raises :class:`InvariantError` at the offending
     update; otherwise violations only accumulate into telemetry, which
     is the right mode for long robustness campaigns where the question
@@ -109,6 +115,14 @@ class InvariantChecker:
         self.consumes_scan = bool(getattr(inner, "consumes_scan", True))
         self._log = _ViolationLog()
         self._step = 0
+        # Runtime-reconfiguration audit: the governed knobs as of the
+        # last audited update.  A change between updates is recorded as
+        # an event (not a violation) and every structural check above
+        # runs against the *new* configuration, so a knob change that
+        # leaves stale state — wrong cloud size, unnormalized weights —
+        # is caught at the very next update.
+        self._last_knobs: Optional[Dict] = None
+        self._reconfigurations: List[Dict] = []
         # Mirror the optional global-recovery surface (the supervisor
         # feature-detects it with hasattr).
         if hasattr(inner, "initialize_global"):
@@ -142,6 +156,7 @@ class InvariantChecker:
             "checked_updates": self._step,
             "violation_counts": dict(sorted(self._log.counts.items())),
             "violations": [v.to_dict() for v in self._log.kept],
+            "reconfigurations": [dict(r) for r in self._reconfigurations],
         }
         return snapshot
 
@@ -157,6 +172,11 @@ class InvariantChecker:
     @property
     def ok(self) -> bool:
         return not self._log.counts
+
+    @property
+    def reconfigurations(self) -> List[Dict]:
+        """Knob-change events observed between audited updates."""
+        return [dict(r) for r in self._reconfigurations]
 
     # -- Checks -------------------------------------------------------------
     def _check(self, pose: np.ndarray) -> List[InvariantViolation]:
@@ -180,8 +200,30 @@ class InvariantChecker:
             found.extend(self._check_particle_filter(pf, step))
         return found
 
+    _GOVERNED_KNOBS = (
+        "num_particles", "num_beams", "dedup_xy_bin_cells", "accel_backend",
+    )
+
+    def _audit_knobs(self, config, step: int) -> None:
+        """Record governed-knob transitions between audited updates."""
+        knobs = {
+            k: getattr(config, k, None) for k in self._GOVERNED_KNOBS
+        }
+        if self._last_knobs is not None and knobs != self._last_knobs:
+            changed = {
+                k: {"from": self._last_knobs[k], "to": v}
+                for k, v in knobs.items()
+                if v != self._last_knobs[k]
+            }
+            if len(self._reconfigurations) < _MAX_KEPT_VIOLATIONS:
+                self._reconfigurations.append(
+                    {"step": step, "changed": changed}
+                )
+        self._last_knobs = knobs
+
     def _check_particle_filter(self, pf, step: int) -> List[InvariantViolation]:
         found: List[InvariantViolation] = []
+        self._audit_knobs(pf.config, step)
         weights = np.asarray(pf.weights, dtype=float)
         particles = np.asarray(pf.particles, dtype=float)
 

@@ -117,11 +117,17 @@ SUBPACKAGES = {
         "rot2d", "transform_points",
     ],
     "repro.telemetry": [
-        "Counter", "Gauge", "Histogram", "MetricsRegistry",
-        "DEFAULT_LATENCY_EDGES_MS", "merge_snapshots",
+        "Counter", "Gauge", "Histogram", "WindowedHistogram",
+        "MetricsRegistry", "DEFAULT_LATENCY_EDGES_MS",
+        "DEFAULT_WINDOW_SIZE", "merge_snapshots",
         "registry_from_snapshot", "SpanTracer", "RunManifest",
         "TelemetryWriter", "read_records", "Telemetry",
         "load_run", "render_report", "to_json", "to_prometheus_text",
+    ],
+    "repro.govern": [
+        "LatencyBudget", "KnobSet", "default_ladder", "GovernorPolicy",
+        "Governor", "FleetArbiter", "PressureInjector", "PressurePhase",
+        "cpu_burn",
     ],
 }
 

@@ -142,6 +142,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "slam"])
 
+    def test_bench_accepts_serve_and_govern_targets(self):
+        for target in ("serve", "govern"):
+            args = build_parser().parse_args(["bench", target, "--smoke"])
+            assert args.target == target
+            assert args.smoke
+
+    def test_govern_defaults(self):
+        args = build_parser().parse_args(["govern"])
+        assert args.updates is None
+        assert args.seed == 0
+        assert not args.full
+
 
 class TestBenchCommand:
     def test_raycast_smoke(self, tmp_path, capsys):
@@ -173,6 +185,28 @@ class TestBenchCommand:
                    "--baseline", str(tmp_path / "missing.json")])
         assert rc == 2
         assert "cannot read baseline" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("target", ["serve", "govern"])
+    def test_check_missing_baseline_exits_2(self, target, tmp_path, capsys):
+        # The baseline is read before the workload runs, so a missing
+        # file fails fast: exit 2, a message, never a traceback.
+        rc = main(["bench", target, "--smoke", "--check",
+                   "--baseline", str(tmp_path / "missing.json")])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "cannot read baseline" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("target", ["serve", "govern"])
+    def test_check_corrupt_baseline_exits_2(self, target, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json at all")
+        rc = main(["bench", target, "--smoke", "--check",
+                   "--baseline", str(path)])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "cannot read baseline" in captured.err
+        assert "Traceback" not in captured.err
 
     def test_check_gates_against_baseline(self, tmp_path, capsys):
         # A baseline demanding an impossible speedup must fail the gate.

@@ -211,3 +211,122 @@ class TestFactories:
             return est.pose
 
         assert np.allclose(run(), run())
+
+
+class TestReconfigure:
+    """The runtime-reconfiguration seam (the repro.govern actuators)."""
+
+    def _pf(self, track, **overrides):
+        overrides.setdefault("num_particles", 200)
+        overrides.setdefault("num_beams", 20)
+        overrides.setdefault("range_method", "ray_marching")
+        pf = make_synpf(track.grid, seed=5, **overrides)
+        pf.initialize(track.centerline.start_pose())
+        return pf
+
+    def test_shrink_preserves_resampling_invariants(self, fine_track):
+        pf = self._pf(fine_track)
+        before_mean = np.average(pf.particles[:, :2], axis=0,
+                                 weights=pf.weights)
+        applied = pf.reconfigure(num_particles=100)
+        assert applied == {"num_particles": 100}
+        assert pf.config.num_particles == 100
+        assert pf.particles.shape == (100, 3)
+        assert pf.weights.shape == (100,)
+        assert pf.weights.sum() == pytest.approx(1.0)
+        assert np.all(pf.weights == pf.weights[0])  # uniform after resample
+        # The resized cloud still approximates the same posterior.
+        after_mean = pf.particles[:, :2].mean(axis=0)
+        assert np.allclose(after_mean, before_mean, atol=0.2)
+
+    def test_grow_resamples_up(self, fine_track):
+        pf = self._pf(fine_track)
+        pf.reconfigure(num_particles=300)
+        assert pf.particles.shape == (300, 3)
+        assert pf.weights.sum() == pytest.approx(1.0)
+
+    def test_update_runs_at_new_budget(self, fine_track):
+        pf = self._pf(fine_track)
+        pf.reconfigure(num_particles=120, num_beams=12)
+        lidar = quiet_lidar(fine_track.grid)
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        est = pf.update(OdometryDelta(0.02, 0, 0, 0.8, 0.025),
+                        scan.ranges, scan.angles)
+        assert np.all(np.isfinite(est.pose))
+        # The resample path lands on the *new* budget, not the stale one.
+        assert pf.particles.shape[0] == 120
+        assert pf.weights.sum() == pytest.approx(1.0)
+
+    def test_kld_n_min_clamped_to_budget(self, fine_track):
+        pf = self._pf(fine_track, num_particles=400, adaptive=True,
+                      kld_n_min=300)
+        pf.reconfigure(num_particles=100)
+        assert pf.config.kld_n_min == 100
+        pf.config.validate()
+
+    def test_adaptive_filter_shrinks_but_never_grows_eagerly(self,
+                                                             fine_track):
+        pf = self._pf(fine_track, num_particles=400, adaptive=True,
+                      kld_n_min=100)
+        assert pf.particles.shape[0] == 400
+        pf.reconfigure(num_particles=200)
+        # Above the new ceiling: shrunk immediately.
+        assert pf.particles.shape[0] == 200
+        pf.reconfigure(num_particles=350)
+        # Below the new ceiling: KLD owns growth, nothing eager happens.
+        assert pf.particles.shape[0] == 200
+        assert pf.config.num_particles == 350
+
+    def test_num_beams_invalidates_layout_cache(self, fine_track):
+        pf = self._pf(fine_track)
+        lidar = quiet_lidar(fine_track.grid)
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        full = pf.select_beams(scan.angles).size
+        pf.reconfigure(num_beams=10)
+        assert pf.config.num_beams == 10
+        reduced = pf.select_beams(scan.angles).size
+        assert reduced < full
+        assert reduced <= 10 + 2  # layout may round by a beam or two
+
+    def test_dedup_coarseness_applies_to_live_wrapper(self, fine_track):
+        from repro.accel.dedup import DedupRangeMethod
+
+        pf = self._pf(fine_track)
+        assert isinstance(pf.range_method, DedupRangeMethod)
+        applied = pf.reconfigure(dedup_xy_bin_cells=2.0)
+        assert applied == {"dedup_xy_bin_cells": 2.0}
+        assert pf.range_method.xy_bin_cells == 2.0
+        assert pf.range_method._bin_size == pytest.approx(
+            fine_track.grid.resolution * 2.0
+        )
+        with pytest.raises(ValueError, match="positive"):
+            pf.reconfigure(dedup_xy_bin_cells=0.0)
+
+    def test_dedup_coarseness_noop_without_wrapper(self, fine_track):
+        pf = self._pf(fine_track, range_method="lut", lut_theta_bins=40)
+        assert pf.reconfigure(dedup_xy_bin_cells=2.0) == {}
+
+    def test_backend_switch_degrades_gracefully(self, fine_track):
+        # "numba" resolves to the numpy reference when numba is absent;
+        # either way the filter must keep producing finite updates.
+        pf = self._pf(fine_track)
+        pf.reconfigure(accel_backend="numba")
+        assert pf.sensor_model.backend in ("numpy", "numba")
+        lidar = quiet_lidar(fine_track.grid)
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        est = pf.update(OdometryDelta(0.02, 0, 0, 0.8, 0.025),
+                        scan.ranges, scan.angles)
+        assert np.all(np.isfinite(est.pose))
+
+    def test_same_values_and_unknown_knobs_are_noops(self, fine_track):
+        pf = self._pf(fine_track)
+        assert pf.reconfigure(num_particles=200, num_beams=20) == {}
+        assert pf.reconfigure(warp_drive=9) == {}
+        assert pf.config.num_particles == 200
+
+    def test_reconfigure_before_initialize(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=200, num_beams=20,
+                        seed=5, range_method="ray_marching")
+        pf.reconfigure(num_particles=80)
+        pf.initialize(fine_track.centerline.start_pose())
+        assert pf.particles.shape[0] == 80

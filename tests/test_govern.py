@@ -1,0 +1,635 @@
+"""Compute-governor tests (``-m govern``; excluded from tier-1).
+
+Covers the ISSUE-7 tentpole contract: the latency budget's hysteresis
+bands, the deterministic policy and knob ladder, the per-filter
+:class:`Governor` closed loop, deterministic pressure timelines, the
+fleet arbiter's coherent floor + shedding, and the headline property —
+under injected pressure the governed arm holds the budget while pose
+error degrades gracefully and recovers, bit-reproducibly for a fixed
+seed and timeline, against an ungoverned comparison arm.
+"""
+
+import asyncio
+from dataclasses import replace
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import ParticleFilterConfig
+from repro.govern import (
+    FleetArbiter,
+    Governor,
+    GovernorPolicy,
+    KnobSet,
+    LatencyBudget,
+    PressureInjector,
+    PressurePhase,
+    default_ladder,
+)
+from repro.maps import generate_track
+from repro.serve import FleetServer, SessionRegistry
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+pytestmark = pytest.mark.govern
+
+ZERO = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025)
+SMALL = dict(num_particles=150, num_beams=15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    track = generate_track(seed=4, mean_radius=5.0, resolution=0.1,
+                           track_width=2.0)
+    lidar = SimulatedLidar(
+        track.grid,
+        LidarConfig(num_beams=181, range_noise_std=0.0, dropout_prob=0.0),
+        seed=1,
+    )
+    start = track.centerline.start_pose()
+    scans = [lidar.scan(start) for _ in range(5)]
+    return track, start, scans
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _FakePF:
+    """Config-only filter double: reconfigure mutates config, no cloud."""
+
+    def __init__(self, **overrides):
+        self.config = ParticleFilterConfig(**overrides)
+        self.applied = []
+
+    def reconfigure(self, **knobs):
+        changed = {
+            k: v for k, v in knobs.items()
+            if getattr(self.config, k, None) != v
+        }
+        if changed:
+            self.config = replace(self.config, **changed)
+            self.applied.append(changed)
+        return changed
+
+
+# ----------------------------------------------------------------------
+# Budget: bands + validation
+# ----------------------------------------------------------------------
+class TestLatencyBudget:
+    def test_bands(self):
+        budget = LatencyBudget(target_ms=20.0, relax_fraction=0.5)
+        assert budget.relax_ms == pytest.approx(10.0)
+        assert budget.breached(20.1) and not budget.breached(20.0)
+        assert budget.relaxed(9.9) and not budget.relaxed(10.0)
+        # Dead zone: neither band claims the middle.
+        assert not budget.breached(15.0) and not budget.relaxed(15.0)
+
+    @pytest.mark.parametrize("bad", [
+        dict(target_ms=0.0),
+        dict(target_ms=10.0, quantile=0.0),
+        dict(target_ms=10.0, quantile=1.5),
+        dict(target_ms=10.0, relax_fraction=0.0),
+        dict(target_ms=10.0, relax_fraction=1.0),
+        dict(target_ms=10.0, dwell_updates=0),
+    ])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            LatencyBudget(**bad).validate()
+
+
+# ----------------------------------------------------------------------
+# Knobs + ladder
+# ----------------------------------------------------------------------
+class TestKnobs:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown knobs"):
+            KnobSet("bad", {"resample_scheme": "stratified"})
+
+    def test_apply_goes_through_reconfigure(self):
+        pf = _FakePF(num_particles=200, num_beams=20)
+        ks = KnobSet("half", {"num_particles": 100, "num_beams": 20})
+        applied = ks.apply(pf)
+        assert applied == {"num_particles": 100}
+        # Absolute operating points are idempotent.
+        assert ks.apply(pf) == {}
+
+    def test_default_ladder_structure(self):
+        config = ParticleFilterConfig(num_particles=300, num_beams=32)
+        ladder = default_ladder(config)
+        # Rung 0 is the undegraded base configuration.
+        assert ladder[0].knobs["num_particles"] == 300
+        assert ladder[0].knobs["num_beams"] == 32
+        assert ladder[0].knobs["dedup_xy_bin_cells"] == pytest.approx(
+            config.dedup_xy_bin_cells
+        )
+        # Compute decreases monotonically down the ladder.
+        particles = [ks.knobs["num_particles"] for ks in ladder]
+        beams = [ks.knobs["num_beams"] for ks in ladder]
+        assert particles == sorted(particles, reverse=True)
+        assert beams == sorted(beams, reverse=True)
+        # Degradation order: dedup coarsens before beams drop before
+        # the particle budget is cut.
+        assert ladder[1].knobs["num_particles"] == 300
+        assert ladder[1].knobs["dedup_xy_bin_cells"] > ladder[0].knobs[
+            "dedup_xy_bin_cells"
+        ]
+        # No consecutive duplicates; every rung is a real actuation.
+        for a, b in zip(ladder, ladder[1:]):
+            assert a.knobs != b.knobs
+
+    def test_default_ladder_respects_floors(self):
+        config = ParticleFilterConfig(num_particles=300, num_beams=32)
+        for ks in default_ladder(config, min_beams=8, min_particles=64):
+            assert ks.knobs["num_particles"] >= 64
+            assert ks.knobs["num_beams"] >= 8
+
+    def test_tiny_config_collapses_but_keeps_base_rung(self):
+        # A filter already at the floors still gets a valid ladder.
+        config = ParticleFilterConfig(num_particles=64, num_beams=8)
+        ladder = default_ladder(config)
+        assert ladder[0].knobs["num_particles"] == 64
+        assert all(ks.knobs["num_particles"] == 64 for ks in ladder)
+        assert all(ks.knobs["num_beams"] == 8 for ks in ladder)
+        # Only the dedup knob still has room, so the ladder is short.
+        assert 2 <= len(ladder) <= 3
+
+
+# ----------------------------------------------------------------------
+# Policy: hysteresis + dwell
+# ----------------------------------------------------------------------
+class TestGovernorPolicy:
+    BUDGET = LatencyBudget(target_ms=10.0, relax_fraction=0.5,
+                           dwell_updates=3)
+
+    def test_dwell_gates_first_actuation(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        assert policy.decide(100.0) == ("hold", 0)
+        assert policy.decide(100.0) == ("hold", 0)
+        assert policy.decide(100.0) == ("escalate", 1)
+
+    def test_escalates_once_per_dwell_period(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        decisions = [policy.decide(100.0)[0] for _ in range(9)]
+        assert decisions == ["hold", "hold", "escalate"] * 3
+        assert policy.rung == 3
+
+    def test_saturates_at_max_rung(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=2)
+        for _ in range(12):
+            policy.decide(100.0)
+        assert policy.rung == policy.max_rung == 1
+
+    def test_relaxes_below_band_only(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        for _ in range(3):
+            policy.decide(100.0)
+        assert policy.rung == 1
+        # Dead zone: between relax_ms (5) and target (10) nothing moves.
+        for _ in range(6):
+            assert policy.decide(7.0)[0] == "hold"
+        assert policy.rung == 1
+        # The dwell elapsed during the holds, so the first relax-band
+        # reading acts immediately; at rung 0 further calm holds.
+        assert policy.decide(2.0) == ("relax", 0)
+        assert policy.decide(2.0) == ("hold", 0)
+
+    def test_never_relaxes_below_rung_zero(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        for _ in range(9):
+            assert policy.decide(1.0) == ("hold", 0)
+
+    def test_force_rung_rebases_dwell(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        policy.force_rung(3)
+        assert policy.rung == 3
+        # Dwell restarts: two holds before the first relax.
+        decisions = [policy.decide(1.0)[0] for _ in range(3)]
+        assert decisions == ["hold", "hold", "relax"]
+        with pytest.raises(ValueError, match="rung must be"):
+            policy.force_rung(4)
+
+    def test_reset(self):
+        policy = GovernorPolicy(self.BUDGET, num_rungs=4)
+        policy.force_rung(2)
+        policy.reset()
+        assert policy.rung == 0
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError, match="num_rungs"):
+            GovernorPolicy(self.BUDGET, num_rungs=0)
+
+
+# ----------------------------------------------------------------------
+# Pressure timelines
+# ----------------------------------------------------------------------
+class TestPressure:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError, match="start < end"):
+            PressurePhase(5, 5).validate()
+        with pytest.raises(ValueError, match=">= 1"):
+            PressurePhase(0, 5, cpu_factor=0.5).validate()
+
+    def test_overlapping_phases_compound(self):
+        injector = PressureInjector((
+            PressurePhase(0, 10, cpu_factor=3.0),
+            PressurePhase(5, 15, scan_factor=2.0),
+        ))
+        assert injector.load_factor(2) == pytest.approx(3.0)
+        assert injector.load_factor(7) == pytest.approx(6.0)
+        assert injector.load_factor(12) == pytest.approx(2.0)
+        assert injector.load_factor(20) == pytest.approx(1.0)
+        assert injector.peak_factor() == pytest.approx(6.0)
+
+    def test_calm_timeline(self):
+        injector = PressureInjector.calm()
+        assert injector.peak_factor() == pytest.approx(1.0)
+        assert all(injector.load_factor(s) == 1.0 for s in range(50))
+
+    def test_spike_timeline_shape(self):
+        n = 100
+        injector = PressureInjector.spike(n)
+        factors = [injector.load_factor(s) for s in range(n)]
+        # Calm warm-up, 6x peak in the overlap, calm recovery tail.
+        assert all(f == 1.0 for f in factors[: n // 5])
+        assert max(factors) == pytest.approx(6.0)
+        assert all(f == 1.0 for f in factors[int(0.55 * n):])
+        # The tail is long enough for a dwell-gated recovery walk.
+        assert sum(1 for f in factors if f == 1.0) >= 0.6 * n
+
+    def test_spike_needs_room(self):
+        with pytest.raises(ValueError, match=">= 20"):
+            PressureInjector.spike(10)
+
+
+# ----------------------------------------------------------------------
+# Governor: the per-filter closed loop
+# ----------------------------------------------------------------------
+class TestGovernor:
+    BUDGET = LatencyBudget(target_ms=10.0, relax_fraction=0.5,
+                           dwell_updates=2)
+
+    def _governor(self, metrics=None, **config):
+        config.setdefault("num_particles", 240)
+        config.setdefault("num_beams", 24)
+        pf = _FakePF(**config)
+        return pf, Governor(pf, self.BUDGET, metrics=metrics, window=8)
+
+    def test_starts_at_base_rung(self):
+        pf, governor = self._governor()
+        assert governor.rung == 0
+        assert not governor.exhausted
+        assert pf.config.num_particles == 240
+
+    def test_escalates_under_sustained_breach(self):
+        pf, governor = self._governor()
+        records = [governor.observe(50.0) for _ in range(10)]
+        assert any(r["decision"] == "escalate" for r in records)
+        assert governor.rung > 0
+        assert all(r["violated"] for r in records)
+        # The filter was actually actuated through the seam.
+        assert pf.applied
+        assert pf.config.dedup_xy_bin_cells > 1.0
+
+    def test_recovers_when_pressure_lifts(self):
+        pf, governor = self._governor()
+        for _ in range(4):
+            governor.observe(50.0)
+        assert governor.rung >= 1
+        # Calm readings flush the window (8 samples), then relax walks
+        # back one rung per dwell period until base.
+        for _ in range(40):
+            governor.observe(1.0)
+        assert governor.rung == 0
+        assert pf.config.num_particles == 240
+        assert pf.config.dedup_xy_bin_cells == pytest.approx(1.0)
+
+    def test_exhausted_at_deepest_rung(self):
+        pf, governor = self._governor()
+        for _ in range(200):
+            governor.observe(500.0)
+        assert governor.rung == governor.max_rung
+        assert governor.exhausted
+
+    def test_telemetry_counters_and_gauges(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        pf, governor = self._governor(metrics=metrics)
+        for _ in range(6):
+            governor.observe(50.0)
+        counters = metrics.counters()
+        assert counters["govern.slo.violations"] == 6
+        assert counters["govern.actuations.escalate"] >= 1
+        gauges = metrics.gauges()
+        assert gauges["govern.rung"] == governor.rung
+        assert gauges["govern.knob.num_particles"] == (
+            governor.ladder[governor.rung].knobs["num_particles"]
+        )
+        # Overshoot histogram records how far past target we landed.
+        hist = metrics.histogram("govern.slo.violation_ms")
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(6 * 40.0)
+
+    def test_floor_clamps_and_releases(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        pf, governor = self._governor(metrics=metrics)
+        applied = governor.set_floor(2)
+        assert applied
+        assert governor.rung == 2
+        assert metrics.counters()["govern.actuations.floor"] == 1
+        # Calm observations cannot relax below the floor.
+        for _ in range(40):
+            governor.observe(1.0)
+        assert governor.rung == 2
+        # Releasing the floor lets the policy walk home.
+        governor.set_floor(0)
+        for _ in range(40):
+            governor.observe(1.0)
+        assert governor.rung == 0
+
+    def test_observe_is_deterministic(self):
+        traces = []
+        latencies = [5.0, 50.0, 50.0, 50.0, 3.0, 3.0, 3.0, 50.0] * 4
+        for _ in range(2):
+            _, governor = self._governor()
+            traces.append([
+                (r["decision"], r["rung"]) for r in
+                (governor.observe(lat) for lat in latencies)
+            ])
+        assert traces[0] == traces[1]
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one rung"):
+            Governor(_FakePF(), self.BUDGET, ladder=())
+
+
+# ----------------------------------------------------------------------
+# Fleet arbiter: coherent floor + shedding
+# ----------------------------------------------------------------------
+class TestFleetArbiter:
+    BUDGET = LatencyBudget(target_ms=16.0, quantile=0.95,
+                           relax_fraction=0.5, dwell_updates=1)
+
+    def _fleet(self, world, n=3, shed=True):
+        track, start, _ = world
+        clock = FakeClock()
+        registry = SessionRegistry(clock=clock)
+        arbiter = FleetArbiter(registry, self.BUDGET, shed=shed)
+        sessions = []
+        for i in range(n):
+            session = registry.create(
+                track.grid, session_id=f"car-{i}", seed=i,
+                initial_pose=start, range_method="ray_marching", **SMALL,
+            )
+            arbiter.attach(session)
+            sessions.append(session)
+        return clock, registry, arbiter, sessions
+
+    def test_attach_skips_non_pf_sessions(self, world):
+        _, registry, arbiter, _ = self._fleet(world, n=1)
+        assert arbiter.attach(SimpleNamespace(pf=None, session_id="x")) is None
+        assert len(arbiter) == 1
+
+    def test_floor_pushes_to_every_governor(self, world):
+        clock, registry, arbiter, sessions = self._fleet(world)
+        for session in sessions:
+            registry.observe_update(session, 0.200)  # 200 ms, breaching
+        out = arbiter.step()
+        assert out["decision"] == "escalate"
+        assert out["floor"] == 1
+        for session in sessions:
+            assert arbiter.governor(session.session_id).rung >= 1
+        assert registry.metrics.gauges()["govern.fleet.floor"] == 1
+
+    def test_floor_relaxes_when_fleet_recovers(self, world):
+        clock, registry, arbiter, sessions = self._fleet(world)
+        for session in sessions:
+            registry.observe_update(session, 0.200)
+        arbiter.step()
+        assert arbiter.step()["floor"] == 2
+        # Flood the fleet window with calm samples; floor walks back.
+        for _ in range(100):
+            for session in sessions:
+                registry.observe_update(session, 0.001)
+        floors = [arbiter.step()["floor"] for _ in range(4)]
+        assert floors[-1] < 2
+
+    def test_sheds_when_ladder_exhausted(self, world):
+        clock, registry, arbiter, sessions = self._fleet(world)
+        max_rung = arbiter.governor("car-0").max_rung
+        # Make car-1 the least-recently-active victim.
+        for session in sessions:
+            registry.observe_update(session, 0.500)
+        clock.now += 10.0
+        for session in sessions:
+            if session.session_id != "car-1":
+                registry.observe_update(session, 0.500)
+        shed = []
+        for _ in range(max_rung + 4):
+            shed.extend(arbiter.step()["shed"])
+        # One session per dwell period, least-recently-active first
+        # (car-1 was not touched after the clock advance; car-0 beats
+        # car-2 on the session-id tie-break), down to the last session.
+        assert shed == ["car-1", "car-0"]
+        assert "car-1" not in registry and "car-0" not in registry
+        assert len(arbiter) == 1
+        counters = registry.metrics.counters()
+        assert counters["serve.sessions.evicted.shed"] == 2
+        assert counters["govern.fleet.shed"] == 2
+        assert registry.metrics.gauges()["govern.fleet.floor"] == max_rung
+
+    def test_shed_disabled_keeps_sessions(self, world):
+        clock, registry, arbiter, sessions = self._fleet(world, shed=False)
+        for session in sessions:
+            registry.observe_update(session, 0.500)
+        for _ in range(30):
+            assert arbiter.step()["shed"] == []
+        assert len(registry) == 3
+
+    def test_never_sheds_last_session(self, world):
+        clock, registry, arbiter, sessions = self._fleet(world, n=1)
+        for session in sessions:
+            registry.observe_update(session, 0.500)
+        for _ in range(30):
+            assert arbiter.step()["shed"] == []
+        assert len(registry) == 1
+
+
+# ----------------------------------------------------------------------
+# Governed fleet server (async) + Prometheus export
+# ----------------------------------------------------------------------
+class TestGovernedFleetServer:
+    def test_govern_metrics_in_prometheus_export(self, world):
+        """Acceptance criterion: a governed fleet run exposes the
+        ``govern.*`` families through the Prometheus exporter.
+        """
+        track, start, scans = world
+        budget = LatencyBudget(target_ms=1e-3, quantile=0.95,
+                               relax_fraction=0.5, dwell_updates=1)
+
+        async def scenario():
+            async with FleetServer(batch_window_s=0.0, max_batch=2,
+                                   budget=budget, shed=False) as server:
+                sids = []
+                for i in range(2):
+                    sids.append(await server.create_session(
+                        track.grid, seed=70 + i, initial_pose=start,
+                        range_method="ray_marching", **SMALL,
+                    ))
+                for scan in scans:
+                    await asyncio.gather(*[
+                        server.update(sid, ZERO, scan.ranges, scan.angles)
+                        for sid in sids
+                    ])
+                return server
+
+        server = asyncio.run(scenario())
+        registry = server.registry
+        counters = registry.metrics.counters()
+        # A 1 µs budget: every real update breaches, the loop actuates.
+        assert counters["govern.slo.violations"] > 0
+        assert counters["govern.actuations.escalate"] >= 1
+        assert registry.metrics.gauges()["govern.fleet.floor"] >= 1
+        text = registry.prometheus()
+        assert "repro_govern_rung" in text
+        assert "repro_govern_fleet_floor" in text
+        assert "repro_govern_slo_violations_total" in text
+        assert "repro_govern_actuations_escalate_total" in text
+        # The governors really degraded the filters.
+        assert all(
+            server.arbiter.governor(sid).rung >= 1
+            for sid in server.arbiter._governors
+        )
+
+    def test_ungoverned_server_has_no_arbiter(self, world):
+        track, _, _ = world
+
+        async def scenario():
+            async with FleetServer() as server:
+                assert server.arbiter is None
+
+        asyncio.run(scenario())
+
+    def test_close_session_detaches_governor(self, world):
+        track, start, _ = world
+        budget = LatencyBudget(target_ms=100.0)
+
+        async def scenario():
+            async with FleetServer(budget=budget) as server:
+                sid = await server.create_session(
+                    track.grid, seed=0, initial_pose=start,
+                    range_method="ray_marching", **SMALL,
+                )
+                assert len(server.arbiter) == 1
+                await server.close_session(sid)
+                assert len(server.arbiter) == 0
+                counters = server.registry.metrics.counters()
+                assert counters["serve.sessions.evicted.client"] == 1
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The headline control-loop property
+# ----------------------------------------------------------------------
+class TestControlLoopBench:
+    @pytest.fixture(scope="class")
+    def smoke_result(self):
+        from repro.govern.bench import run_govern_bench
+
+        return run_govern_bench(smoke=True, seed=0)
+
+    def test_governed_arm_defends_budget(self, smoke_result):
+        arms = smoke_result["arms"]
+        governed, ungoverned = arms["governed"], arms["ungoverned"]
+        # The pressure is real: the frozen arm breaches.
+        assert ungoverned["in_budget_fraction"] < 1.0
+        # The governor defends: strictly more updates in budget.
+        assert (governed["in_budget_fraction"]
+                > ungoverned["in_budget_fraction"])
+        assert governed["slo_violations"] < (
+            smoke_result["updates"]
+            - smoke_result["updates"] * ungoverned["in_budget_fraction"]
+        )
+
+    def test_degrades_gracefully_and_recovers(self, smoke_result):
+        governed = smoke_result["arms"]["governed"]
+        ungoverned = smoke_result["arms"]["ungoverned"]
+        # It actuated under pressure and walked all the way home.
+        assert governed["max_rung_applied"] >= 1
+        assert governed["final_rung"] == 0
+        assert governed["actuations"]["govern.actuations.escalate"] >= 1
+        assert governed["actuations"]["govern.actuations.relax"] >= 1
+        # Graceful: degraded-mode error stays bounded (well under the
+        # track half-width), and the recovery tail converges back to
+        # the same order as the never-degraded arm.
+        assert governed["mean_error_m"] < 0.5
+        assert governed["mean_error_recovery_m"] < (
+            5.0 * max(ungoverned["mean_error_recovery_m"], 0.01)
+        )
+
+    def test_bit_reproducible_for_fixed_seed_and_timeline(self, smoke_result):
+        from repro.govern.bench import run_govern_bench
+
+        again = run_govern_bench(smoke=True, seed=0)
+        for arm in ("governed", "ungoverned"):
+            assert (again["arms"][arm]["trace_digest"]
+                    == smoke_result["arms"][arm]["trace_digest"])
+        assert (again["arms"]["governed"]["actuations"]
+                == smoke_result["arms"]["governed"]["actuations"])
+
+    def test_structural_gate_passes_on_real_result(self, smoke_result):
+        from repro.govern.bench import check_govern_result
+
+        assert check_govern_result(smoke_result, None) == []
+
+    def test_structural_gate_rejects_broken_loops(self):
+        from repro.govern.bench import check_govern_result
+
+        never_pressured = {
+            "arms": {
+                "governed": {"in_budget_fraction": 1.0, "final_rung": 0,
+                             "max_rung_applied": 1},
+                "ungoverned": {"in_budget_fraction": 1.0},
+            },
+        }
+        failures = check_govern_result(never_pressured, None)
+        assert any("nothing to govern" in f for f in failures)
+
+        no_defence = {
+            "arms": {
+                "governed": {"in_budget_fraction": 0.5, "final_rung": 2,
+                             "max_rung_applied": 0},
+                "ungoverned": {"in_budget_fraction": 0.7},
+            },
+        }
+        failures = check_govern_result(no_defence, None)
+        assert any("did not defend" in f for f in failures)
+        assert any("did not recover" in f for f in failures)
+        assert any("never actuated" in f for f in failures)
+
+    def test_model_latency_scales_with_knobs(self):
+        from repro.govern.bench import model_latency_ms
+
+        base = ParticleFilterConfig(num_particles=400, num_beams=40)
+        assert model_latency_ms(base, base, 1.0, base_ms=8.0) == (
+            pytest.approx(8.0)
+        )
+        half = replace(base, num_particles=200)
+        assert model_latency_ms(half, base, 1.0, base_ms=8.0) == (
+            pytest.approx(4.0)
+        )
+        # Load multiplies, dedup coarsening reduces.
+        assert model_latency_ms(base, base, 3.0, base_ms=8.0) == (
+            pytest.approx(24.0)
+        )
+        coarse = replace(base, dedup_xy_bin_cells=4.0)
+        assert model_latency_ms(coarse, base, 1.0, base_ms=8.0) < 8.0

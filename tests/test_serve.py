@@ -218,6 +218,34 @@ class TestLifecycle:
                         range_method="ray_marching", **SMALL)
         assert "c" in registry and "a" not in registry
 
+    def test_eviction_reasons_attributed_separately(self, world):
+        """TTL sweeps, admission sweeps and explicit evictions land in
+        distinct ``serve.sessions.evicted.*`` counters.
+        """
+        track, _, _ = world
+        clock = FakeClock()
+        registry = SessionRegistry(idle_ttl_s=10.0, max_sessions=2,
+                                   clock=clock)
+        registry.create(track.grid, session_id="a",
+                        range_method="ray_marching", **SMALL)
+        clock.now += 11.0
+        # Periodic sweep: "a" expires as a plain idle eviction.
+        assert registry.evict_idle() == ["a"]
+        registry.create(track.grid, session_id="b",
+                        range_method="ray_marching", **SMALL)
+        registry.create(track.grid, session_id="c",
+                        range_method="ray_marching", **SMALL)
+        clock.now += 11.0
+        # Admission at capacity: the sweep that displaces "b" and "c"
+        # is attributed to the capacity path, not the TTL path.
+        registry.create(track.grid, session_id="d",
+                        range_method="ray_marching", **SMALL)
+        registry.evict("d", reason="shed")
+        counters = registry.metrics.counters()
+        assert counters["serve.sessions.evicted.idle"] == 1
+        assert counters["serve.sessions.evicted.capacity"] == 2
+        assert counters["serve.sessions.evicted.shed"] == 1
+
     def test_prometheus_export(self, world):
         track, start, scans = world
         registry = SessionRegistry()

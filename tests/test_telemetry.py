@@ -396,3 +396,113 @@ class TestDefaultEdges:
         hist.observe(1.25)   # the paper's SynPF scan-match latency
         hist.observe(50.0)
         assert hist.counts[-1] == 0  # nothing in overflow
+
+
+class TestWindowedHistogram:
+    """Recency window riding on an unchanged lifetime histogram."""
+
+    def _windowed(self, values, window=4):
+        from repro.telemetry import WindowedHistogram
+
+        hist = WindowedHistogram("lat", EDGES, window=window)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_lifetime_state_bit_identical_to_plain(self):
+        values = [0.25, 0.5, 1.5, 3.0, 8.0, 0.75] * 3
+        windowed = self._windowed(values, window=4)
+        plain = _hist("lat", values)
+        assert windowed.to_dict() == plain.to_dict()
+
+    def test_merge_contract_preserved(self):
+        windowed = self._windowed([0.25, 1.5, 3.0], window=2)
+        other = _hist("lat", [0.5, 8.0])
+        windowed.merge(other)
+        expected = _hist("lat", [0.25, 1.5, 3.0, 0.5, 8.0])
+        assert windowed.to_dict() == expected.to_dict()
+
+    def test_window_evicts_oldest(self):
+        hist = self._windowed([10.0, 10.0, 10.0, 10.0], window=4)
+        assert hist.windowed_mean == pytest.approx(10.0)
+        for _ in range(4):
+            hist.observe(1.0)
+        # The ring buffer now holds only calm samples; lifetime count
+        # still remembers everything.
+        assert hist.windowed_mean == pytest.approx(1.0)
+        assert hist.windowed_count == 4
+        assert hist.count == 8
+
+    def test_windowed_quantile_exact_nearest_rank(self):
+        hist = self._windowed([4.0, 1.0, 3.0, 2.0], window=4)
+        assert hist.windowed_quantile(0.0) == 1.0
+        assert hist.windowed_quantile(0.25) == 1.0
+        assert hist.windowed_quantile(0.5) == 2.0
+        assert hist.windowed_quantile(0.75) == 3.0
+        assert hist.windowed_quantile(0.99) == 4.0
+        assert hist.windowed_quantile(1.0) == 4.0
+
+    def test_windowed_quantile_tracks_load_shift(self):
+        # A lifetime histogram's p99 stays dominated by history; the
+        # window sees the shift as soon as the buffer turns over.
+        hist = self._windowed([1.0] * 100, window=8)
+        for _ in range(8):
+            hist.observe(100.0)
+        assert hist.windowed_quantile(0.99) == 100.0
+
+    def test_empty_and_invalid_queries(self):
+        hist = self._windowed([], window=4)
+        assert hist.windowed_quantile(0.99) == 0.0
+        assert hist.windowed_mean == 0.0
+        assert hist.windowed_count == 0
+        with pytest.raises(ValueError, match="q must be"):
+            hist.windowed_quantile(1.5)
+
+    def test_window_must_be_positive(self):
+        from repro.telemetry import WindowedHistogram
+
+        with pytest.raises(ValueError, match="window"):
+            WindowedHistogram("lat", EDGES, window=0)
+
+    def test_registry_accessor_creates_and_returns_same_family(self):
+        registry = MetricsRegistry()
+        hist = registry.windowed_histogram("serve.lat", EDGES, window=4)
+        hist.observe(1.0)
+        assert registry.windowed_histogram("serve.lat", EDGES) is hist
+        # A windowed family is still a histogram to plain consumers.
+        assert registry.histogram("serve.lat", EDGES) is hist
+        assert "serve.lat" in registry.snapshot()["histograms"]
+
+    def test_registry_refuses_upgrading_plain_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", EDGES).observe(1.0)
+        with pytest.raises(ValueError, match="without a window"):
+            registry.windowed_histogram("lat", EDGES)
+
+    def test_registry_refuses_differing_edges(self):
+        registry = MetricsRegistry()
+        registry.windowed_histogram("lat", EDGES)
+        with pytest.raises(ValueError, match="different edges"):
+            registry.windowed_histogram("lat", (1.0, 2.0))
+
+    def test_snapshot_merge_invariance_with_windows(self):
+        # merge_snapshots over windowed families is bit-identical to the
+        # plain-histogram fold: the window never leaks into snapshots.
+        def snap(values):
+            registry = MetricsRegistry()
+            for v in values:
+                registry.windowed_histogram("lat", EDGES, window=2).observe(v)
+            return registry.snapshot()
+
+        def plain_snap(values):
+            registry = MetricsRegistry()
+            for v in values:
+                registry.histogram("lat", EDGES).observe(v)
+            return registry.snapshot()
+
+        a, b = [0.25, 3.0, 0.5], [8.0, 1.5]
+        merged = merge_snapshots({"t1": snap(a), "t2": snap(b)})
+        plain = merge_snapshots({"t1": plain_snap(a), "t2": plain_snap(b)})
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            plain, sort_keys=True
+        )

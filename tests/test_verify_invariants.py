@@ -209,3 +209,72 @@ class TestParticleFilterInvariants:
         assert record["invariant"] == "weights_normalized"
         assert record["step"] == 1
         assert isinstance(record["value"], float)
+
+
+class TestReconfigurationAudit:
+    """Governed-knob changes between updates are recorded as events and
+    every structural check runs against the live configuration."""
+
+    def _pf(self, n=100):
+        return SimpleNamespace(
+            weights=np.full(n, 1.0 / n),
+            particles=np.tile([1.5, 1.5, 0.0], (n, 1)),
+            config=SimpleNamespace(
+                adaptive=False, num_particles=n, kld_n_min=50,
+                num_beams=20, dedup_xy_bin_cells=1.0,
+                accel_backend="numpy",
+            ),
+        )
+
+    def _checker(self, pf):
+        inner = _FakePose([[1.5, 1.5, 0.0]] * 10)
+        inner.pf = pf
+        return InvariantChecker(inner, walled_room(size=20))
+
+    def test_knob_change_recorded_with_from_to(self):
+        pf = self._pf()
+        checker = self._checker(pf)
+        checker.update(None, None)
+        assert checker.reconfigurations == []
+        # A governor actuates between updates: shrink + coarsen.
+        pf.config.num_particles = 60
+        pf.config.dedup_xy_bin_cells = 2.0
+        pf.weights = np.full(60, 1.0 / 60)
+        pf.particles = np.tile([1.5, 1.5, 0.0], (60, 1))
+        checker.update(None, None)
+        events = checker.reconfigurations
+        assert len(events) == 1
+        assert events[0]["step"] == 2
+        assert events[0]["changed"]["num_particles"] == {
+            "from": 100, "to": 60,
+        }
+        assert events[0]["changed"]["dedup_xy_bin_cells"] == {
+            "from": 1.0, "to": 2.0,
+        }
+        assert "num_beams" not in events[0]["changed"]
+        assert checker.ok  # a clean resize is an event, not a violation
+        snapshot = checker.telemetry()["invariants"]
+        assert snapshot["reconfigurations"] == events
+
+    def test_checks_run_against_live_config(self):
+        pf = self._pf()
+        checker = self._checker(pf)
+        checker.update(None, None)
+        assert checker.ok
+        # The budget changed but the cloud was left stale: the count
+        # check must compare against the *new* configuration.
+        pf.config.num_particles = 60
+        checker.update(None, None)
+        assert "particle_count_conserved" in checker.violation_counts
+
+    def test_stale_weights_after_resize_flagged(self):
+        pf = self._pf()
+        checker = self._checker(pf)
+        checker.update(None, None)
+        # A broken resize that truncates without renormalizing.
+        pf.config.num_particles = 60
+        pf.weights = pf.weights[:60]
+        pf.particles = pf.particles[:60]
+        checker.update(None, None)
+        assert "weights_normalized" in checker.violation_counts
+        assert len(checker.reconfigurations) == 1
