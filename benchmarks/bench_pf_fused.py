@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fused vs staged ``pf_update`` pipeline latency at matched settings.
+
+Runs :func:`repro.accel.bench.run_pf_fused_bench` — the full SynPF
+update cycle on the bench track with ``range_method="ray_marching"``,
+comparing ``accel="staged@numpy+dedup"`` against
+``accel="fused@numpy+dedup"`` (plus ``fused@numba+dedup`` when numba is
+importable) — and writes ``BENCH_pf_fused.json`` next to this file.
+
+Both pipelines are bit-identical (see ``tests/test_fused.py``), so the
+measured ratio is pure execution cost: one packed-int64 key unification
+instead of a three-key lexsort, and sensor scoring gathered in
+representative space instead of materialising the dense ``(P, B)``
+expected-range matrix.  The ISSUE-8 target this records: fused NumPy
+≥1.3× staged on this workload.  ``--check`` gates the measured speedup
+ratios against a committed baseline, same contract as
+``bench_pf_update.py``; ``--smoke`` is the small CI profile used by
+``repro bench pf --fused --smoke --check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.accel.bench import check_against_baseline, run_pf_fused_bench
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_pf_fused.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--particles", type=int, default=1000)
+    parser.add_argument("--beams", type=int, default=60)
+    parser.add_argument("--updates", type=int, default=30)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast CI profile (same configs, "
+                             "fewer updates/repeats)")
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (BENCH_pf_fused.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if a speedup regresses vs the baseline")
+    parser.add_argument("--baseline", default=ARTIFACT,
+                        help="baseline JSON for --check (default: committed artifact)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression (CI noise)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_pf_fused_bench(
+        particles=args.particles, beams=args.beams, updates=args.updates,
+        repeats=args.repeats, warmup=args.warmup, workers=args.workers,
+        seed=args.seed, smoke=args.smoke,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+
+    print(f"SynPF fused vs staged pf_update, {args.particles} particles x "
+          f"{args.beams} beams, ray_marching (median of "
+          f"{result['repeats']} x {result['updates_per_repeat']} updates):")
+    for name, cfg in sorted(result["configs"].items()):
+        print(f"  {name:<12}{cfg['ms_per_update']:>9.2f} ms/update  "
+              f"{cfg['settings']}")
+    for key, value in sorted(result["speedups"].items()):
+        print(f"  {key:<24}{value:>6.2f}x")
+    print(f"wrote {args.out}")
+
+    if baseline is not None:
+        failures = check_against_baseline(result, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"check: all speedups within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

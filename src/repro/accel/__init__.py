@@ -7,6 +7,12 @@
   with graceful fallback when numba is absent;
 * :mod:`repro.accel.dedup` — :class:`DedupRangeMethod`, pose-quantized
   within-batch query deduplication for clustered particle clouds;
+* :mod:`repro.accel.fused` — the fused ``pf_update`` kernel pipeline
+  (packed-key dedup + single representative cast + likelihood gather),
+  bitwise identical to the staged path and registered per backend;
+* :mod:`repro.accel.spec` — :func:`parse_accel_spec`, the unified
+  ``[mode][@backend][+dedup]`` grammar behind the config's ``accel``
+  field;
 * :mod:`repro.accel.bench` — the harness behind ``repro bench`` and the
   committed ``benchmarks/BENCH_*.json`` perf record.
 
@@ -21,11 +27,26 @@ from repro.accel.backends import (
     resolve_backend,
 )
 from repro.accel.dedup import DedupRangeMethod
+from repro.accel.fused import (
+    PF_UPDATE_KERNELS,
+    cast_packed,
+    fused_update_supported,
+    get_pf_update_kernel,
+    pack_query_keys,
+)
+from repro.accel.spec import AccelSpec, parse_accel_spec
 
 __all__ = [
     "KNOWN_BACKENDS",
+    "AccelSpec",
     "available_backends",
     "numba_available",
     "resolve_backend",
     "DedupRangeMethod",
+    "PF_UPDATE_KERNELS",
+    "cast_packed",
+    "fused_update_supported",
+    "get_pf_update_kernel",
+    "pack_query_keys",
+    "parse_accel_spec",
 ]

@@ -11,6 +11,10 @@ and the ``repro bench raycast|pf`` CLI:
 * :func:`run_pf_bench` — end-to-end ``SynPF.update`` latency, reference
   configuration (numpy backend, dedup off) vs accelerated (auto backend,
   dedup on).
+* :func:`run_pf_fused_bench` — the fused ``pf_update`` pipeline vs the
+  staged one at matched settings (``staged@numpy+dedup`` vs
+  ``fused@numpy+dedup``, plus the numba gather when available), backing
+  ``benchmarks/BENCH_pf_fused.json`` and ``repro bench pf --fused``.
 
 Both fan (config × repeat) trials through the
 :class:`~repro.eval.runner.SweepRunner`, so ``--workers N`` reuses the
@@ -40,6 +44,8 @@ __all__ = [
     "default_raycast_specs",
     "run_raycast_bench",
     "run_pf_bench",
+    "default_pf_fused_configs",
+    "run_pf_fused_bench",
     "check_against_baseline",
     "environment_info",
 ]
@@ -267,20 +273,22 @@ def run_pf_bench_trial(spec: TrialSpec) -> Dict:
     }
 
 
-def run_pf_bench(
-    particles: int = 1000,
-    beams: int = 60,
-    updates: int = 30,
-    repeats: int = 5,
-    warmup: int = 3,
-    workers: int = 1,
-    seed: int = 0,
-) -> Dict:
-    """Benchmark the full SynPF update, reference vs accelerated config."""
+def _run_pf_config_sweep(
+    pf_configs: Dict[str, Dict],
+    seed_tag: str,
+    particles: int,
+    beams: int,
+    updates: int,
+    repeats: int,
+    warmup: int,
+    workers: int,
+    seed: int,
+) -> Dict[str, Dict]:
+    """Sweep named SynPF config overrides; per-config median summaries."""
     trial_specs = [
         TrialSpec(
             trial_id=f"pf/{name}/r{r}",
-            seed=derive_seed("bench.pf", seed, name, r),
+            seed=derive_seed(seed_tag, seed, name, r),
             params={
                 "config_name": name,
                 "config": cfg,
@@ -290,12 +298,12 @@ def run_pf_bench(
                 "warmup": warmup,
             },
         )
-        for name, cfg in _PF_CONFIGS.items()
+        for name, cfg in pf_configs.items()
         for r in range(repeats)
     ]
     result = SweepRunner(run_pf_bench_trial, workers=workers).run(trial_specs)
 
-    by_config: Dict[str, List[float]] = {name: [] for name in _PF_CONFIGS}
+    by_config: Dict[str, List[float]] = {name: [] for name in pf_configs}
     accel_blocks: Dict[str, Dict] = {}
     for res in result.results:
         name = res.metrics["config"]
@@ -311,9 +319,26 @@ def run_pf_bench(
             "ms_per_update": t * 1e3,
             "updates_per_s": 1.0 / t,
             "repeats_completed": len(times),
-            "settings": _PF_CONFIGS[name],
+            "settings": pf_configs[name],
             "accel_telemetry": accel_blocks.get(name, {}),
         }
+    return configs
+
+
+def run_pf_bench(
+    particles: int = 1000,
+    beams: int = 60,
+    updates: int = 30,
+    repeats: int = 5,
+    warmup: int = 3,
+    workers: int = 1,
+    seed: int = 0,
+) -> Dict:
+    """Benchmark the full SynPF update, reference vs accelerated config."""
+    configs = _run_pf_config_sweep(
+        _PF_CONFIGS, "bench.pf", particles, beams, updates, repeats,
+        warmup, workers, seed,
+    )
 
     speedups = {}
     if "reference" in configs and "accel" in configs:
@@ -328,6 +353,78 @@ def run_pf_bench(
         "updates_per_repeat": updates,
         "repeats": repeats,
         "workers": workers,
+        "range_method": "ray_marching",
+        "configs": configs,
+        "speedups": speedups,
+        "environment": environment_info(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fused pf_update pipeline vs staged
+# ----------------------------------------------------------------------
+def default_pf_fused_configs() -> Dict[str, Dict]:
+    """Named ``accel`` specs for the fused-vs-staged comparison.
+
+    The primary pair pins ``numpy`` so the committed
+    ``fused_vs_staged`` ratio is comparable across hosts regardless of
+    the numba inventory; dedup is on for *both* sides, isolating the
+    fusion win (single packed-key unification + representative-space
+    sensor gather) from the dedup win already recorded in
+    ``BENCH_pf_update.json``.
+    """
+    configs = {
+        "staged": {"accel": "staged@numpy+dedup"},
+        "fused": {"accel": "fused@numpy+dedup"},
+    }
+    if numba_available():
+        configs["fused_numba"] = {"accel": "fused@numba+dedup"}
+    return configs
+
+
+def run_pf_fused_bench(
+    particles: int = 1000,
+    beams: int = 60,
+    updates: int = 30,
+    repeats: int = 5,
+    warmup: int = 3,
+    workers: int = 1,
+    seed: int = 0,
+    smoke: bool = False,
+) -> Dict:
+    """Benchmark the fused ``pf_update`` pipeline against the staged one.
+
+    Same workload as :func:`run_pf_bench` (converged cloud on the bench
+    track, ``ray_marching``); the two pipelines are bit-identical, so
+    this measures pure execution cost.  ``smoke=True`` shrinks the run
+    for CI wall-clock while keeping the same configs, so
+    ``check_against_baseline`` can still gate the (noisier) ratios
+    against the committed full-profile baseline.
+    """
+    if smoke:
+        updates, repeats, warmup = 10, 2, 2
+    pf_configs = default_pf_fused_configs()
+    configs = _run_pf_config_sweep(
+        pf_configs, "bench.pf_fused", particles, beams, updates, repeats,
+        warmup, workers, seed,
+    )
+
+    speedups = {}
+    staged = configs.get("staged")
+    for name in ("fused", "fused_numba"):
+        if staged is not None and name in configs:
+            speedups[f"{name}_vs_staged"] = (
+                staged["ms_per_update"] / configs[name]["ms_per_update"]
+            )
+
+    return {
+        "benchmark": "pf_fused",
+        "particles": particles,
+        "beams": beams,
+        "updates_per_repeat": updates,
+        "repeats": repeats,
+        "workers": workers,
+        "smoke": smoke,
         "range_method": "ray_marching",
         "configs": configs,
         "speedups": speedups,

@@ -95,6 +95,26 @@ class DedupRangeMethod(RangeMethod):
             "last_hit_rate": self.last_hit_rate,
         }
 
+    def record_batch(self, total: int, cast: int) -> None:
+        """Account one dedup batch executed outside :meth:`calc_ranges`.
+
+        The fused pipeline (:mod:`repro.accel.fused`) computes keys and
+        casts representatives itself; it reports the batch here so the
+        counters, hit-rate gauge and registry metrics stay comparable
+        with the staged path.  Multi-session folds attribute the whole
+        batch to the casting wrapper, matching the fleet batcher's
+        convention for ``calc_ranges`` folds.
+        """
+        if total <= 0:
+            return
+        self.queries_total += int(total)
+        self.queries_cast += int(cast)
+        self.last_hit_rate = 1.0 - cast / total
+        if self._registry is not None:
+            self._registry.counter("accel.dedup.queries_total").inc(int(total))
+            self._registry.counter("accel.dedup.queries_cast").inc(int(cast))
+            self._registry.gauge("accel.dedup.hit_rate").set(self.last_hit_rate)
+
     # ------------------------------------------------------------------
     def calc_ranges(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(np.asarray(queries, dtype=float))

@@ -1,0 +1,250 @@
+"""The fused ``pf_update`` kernel pipeline (batch-first PF core).
+
+The staged SynPF update round-trips through NumPy between stages:
+motion → assemble an ``(P*B, 3)`` float query array → dedup re-derives
+integer bin keys from those floats → 3-key lexsort → cast → scatter →
+sensor gather.  Profiling the staged path (3000 particles × 60 beams,
+ray_marching+dedup) shows the *bookkeeping* dominating: ~22 ms of key
+computation plus ~31 ms of lexsort against ~8 ms of actual ray casting.
+
+The fused pipeline exploits two structural facts the staged path cannot
+see across its stage boundaries:
+
+1. **Per-particle key factorisation** — every beam of a particle shares
+   the particle's sensor position, so the ``(x-bin, y-bin)`` half of the
+   dedup key is a function of the *particle* (P values), not the *query*
+   (P×B values).  Only the theta bin remains per-query.
+2. **Packed single-key dedup** — the three bin keys fit one ``int64``
+   (21+21+log2(theta_bins) bits), so one ``np.unique`` replaces the
+   3-array lexsort + group-boundary scan, and the representative query
+   is decoded *from the key itself* (no gather of per-query floats).
+
+Both transforms are exact: bin keys are identical integers to the staged
+path's, representatives are the same pure function of the key (bin
+centres), and the scatter/gather order matches the staged C-order ravel,
+so the fused update is **bitwise identical** to the staged one — the
+property the fused-vs-staged differential suite pins and the reason
+golden traces survive the default flip without re-recording.
+
+Backend registration follows :mod:`repro.accel.backends`: the only
+backend-differentiated stage is the likelihood gather
+(:func:`get_pf_update_kernel`), resolved through ``resolve_backend`` like
+the raycast and sensor kernels; everything integer-heavy (packing,
+``np.unique``) is NumPy on every backend.
+
+Substitution envelope: the packed key offsets positions by 2^20 bins, so
+poses farther than ``2^20 * bin_size`` from the map origin (≈ 52 km at
+5 cm maps) would alias; such queries are off-map by orders of magnitude
+and already answer ``max_range``.  ``theta_bins`` must stay below 2^21.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.accel.backends import get_numba_kernels, resolve_backend
+from repro.accel.dedup import DedupRangeMethod
+
+__all__ = [
+    "fused_update_supported",
+    "pack_query_keys",
+    "representatives_from_keys",
+    "cast_packed",
+    "get_pf_update_kernel",
+    "PF_UPDATE_KERNELS",
+]
+
+_TWO_PI = 2.0 * np.pi
+# Position bins are offset into [0, 2^21) before packing; see module
+# docstring for the (absurdly large) aliasing envelope this implies.
+_XY_OFFSET = 1 << 20
+_XY_SPAN = 1 << 21
+_MAX_THETA_BINS = 1 << 21
+
+
+def fused_update_supported(method) -> bool:
+    """Whether the fused pipeline applies to this range method.
+
+    Fusion's win is the factorised dedup; without a
+    :class:`~repro.accel.dedup.DedupRangeMethod` wrapper the staged path
+    is already a single vectorised pipeline, so table-driven methods
+    (LUT/GLT) and dedup-off configurations run staged.
+    """
+    return (
+        isinstance(method, DedupRangeMethod)
+        and method.theta_bins < _MAX_THETA_BINS
+    )
+
+
+def pack_query_keys(
+    method: DedupRangeMethod,
+    sensor_x: np.ndarray,
+    sensor_y: np.ndarray,
+    query_theta: np.ndarray,
+    pool=None,
+) -> np.ndarray:
+    """Packed int64 dedup keys for a ``(P,)`` cloud × ``(P, B)`` angles.
+
+    ``sensor_x``/``sensor_y`` are per-particle sensor positions;
+    ``query_theta`` the ``(P, B)`` per-query world headings (already the
+    broadcast ``pose_theta[:, None] + beam_angles[None, :]``).  The bin
+    indices are computed with the exact expressions
+    :meth:`DedupRangeMethod.calc_ranges` uses, so the key set matches the
+    staged path's lexsort groups 1:1.
+    """
+    ox, oy = method.grid.origin[0], method.grid.origin[1]
+    bin_size = method._bin_size
+    theta_bins = method.theta_bins
+    n_particles, n_beams = query_theta.shape
+
+    take = pool.take if pool is not None else (
+        lambda key, shape, dtype=np.float64: np.empty(shape, dtype=dtype)
+    )
+
+    kx = np.floor((sensor_x - ox) / bin_size).astype(np.int64)
+    ky = np.floor((sensor_y - oy) / bin_size).astype(np.int64)
+    # Fold both position bins into one per-particle prefix.
+    pk = take("fused.pk", (n_particles,), np.int64)
+    np.multiply(kx + _XY_OFFSET, _XY_SPAN, out=pk)
+    pk += ky
+    pk += _XY_OFFSET
+
+    # Theta bin per query: mod into [0, 2*pi) then clip the index, the
+    # same guard against the mod() == 2*pi rounding corner as the staged
+    # dedup.
+    kt_f = take("fused.kt_f", (n_particles, n_beams))
+    np.mod(query_theta, _TWO_PI, out=kt_f)
+    kt_f *= theta_bins / _TWO_PI
+    np.floor(kt_f, out=kt_f)
+    kt = take("fused.kt", (n_particles, n_beams), np.int64)
+    kt[:] = kt_f
+    np.clip(kt, 0, theta_bins - 1, out=kt)
+
+    packed = take("fused.packed", (n_particles, n_beams), np.int64)
+    np.multiply(pk[:, None], theta_bins, out=packed)
+    packed += kt
+    return packed.reshape(-1)
+
+
+def representatives_from_keys(
+    method: DedupRangeMethod, keys: np.ndarray
+) -> np.ndarray:
+    """Decode packed keys back into ``(U, 3)`` bin-centre query poses.
+
+    Bitwise identical to the staged representatives: same
+    ``origin + (bin + 0.5) * bin_size`` expressions on the same integer
+    bins.
+    """
+    theta_bins = method.theta_bins
+    kt = keys % theta_bins
+    rest = keys // theta_bins
+    ky = rest % _XY_SPAN - _XY_OFFSET
+    kx = rest // _XY_SPAN - _XY_OFFSET
+    rep = np.empty((keys.shape[0], 3))
+    rep[:, 0] = method.grid.origin[0] + (kx + 0.5) * method._bin_size
+    rep[:, 1] = method.grid.origin[1] + (ky + 0.5) * method._bin_size
+    rep[:, 2] = (kt + 0.5) * (_TWO_PI / theta_bins)
+    return rep
+
+
+def cast_packed(
+    method: DedupRangeMethod, packed: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique → decode → cast: one inner call for a packed key batch.
+
+    Returns ``(rep_ranges, inv)`` where ``rep_ranges[inv]`` reproduces
+    the per-query answer of the staged dedup exactly (bin centres are a
+    pure function of the key, so neither the representative order nor
+    which other queries share the batch can change any query's value —
+    the property that makes multi-session folding exact).
+
+    Dedup counters are *not* recorded here; callers attribute the batch
+    to the wrapper of their choice via
+    :meth:`DedupRangeMethod.record_batch` (the casting wrapper, matching
+    the fleet batcher's convention).
+    """
+    unique_keys, inv = np.unique(packed, return_inverse=True)
+    rep = representatives_from_keys(method, unique_keys)
+    rep_ranges = method.inner.calc_ranges(rep)
+    return rep_ranges, inv
+
+
+# ----------------------------------------------------------------------
+# Backend-registered likelihood gather
+# ----------------------------------------------------------------------
+class NumpyPFUpdateKernel:
+    """Reference fused gather: representative bins → per-particle score.
+
+    Scores ``P`` particles directly from the ``U`` representative ranges
+    plus the scatter map, skipping the staged path's materialisation of
+    the full ``(P, B)`` float range matrix (and its P×B binning).  The
+    table gather and the float32 pairwise row-sum are the exact staged
+    expressions, so scores are bitwise identical.
+    """
+
+    backend = "numpy"
+
+    def gather_log_likelihood(
+        self,
+        sensor_model,
+        rep_ranges: np.ndarray,
+        inv: np.ndarray,
+        measured: np.ndarray,
+        n_beams: int,
+        pool=None,
+    ) -> np.ndarray:
+        take = pool.take if pool is not None else (
+            lambda key, shape, dtype=np.float64: np.empty(shape, dtype=dtype)
+        )
+        meas_bins = sensor_model._to_bins(measured)
+        rep_bins = sensor_model._to_bins(rep_ranges)
+        n_particles = inv.shape[0] // n_beams
+
+        exp_bins = take("fused.exp_bins", (n_particles, n_beams), np.int64)
+        np.take(rep_bins, inv, out=exp_bins.reshape(-1))
+        idx = take("fused.table_idx", (n_particles, n_beams), np.int64)
+        np.multiply(exp_bins, sensor_model._n_bins, out=idx)
+        idx += meas_bins[None, :]
+        log_p = take("fused.log_p", (n_particles, n_beams), np.float32)
+        np.take(sensor_model._flat_table, idx, out=log_p)
+        return log_p.sum(axis=1) / sensor_model.config.squash_factor
+
+
+class NumbaPFUpdateKernel(NumpyPFUpdateKernel):
+    """Numba fused gather: one prange loop over particles.
+
+    Accumulates in float64 like the staged numba sensor kernel (scores
+    agree with NumPy to ~1e-5 relative, inside the resampling noise
+    floor); the packing/unique stages stay NumPy — they are integer sort
+    work numba has no edge on.
+    """
+
+    backend = "numba"
+
+    def gather_log_likelihood(
+        self, sensor_model, rep_ranges, inv, measured, n_beams, pool=None
+    ):
+        kernels = get_numba_kernels()
+        meas_bins = sensor_model._to_bins(measured)
+        rep_bins = sensor_model._to_bins(rep_ranges)
+        return kernels.fused_sensor_log_likelihood(
+            rep_bins,
+            np.ascontiguousarray(inv),
+            meas_bins,
+            sensor_model._log_table,
+            n_beams,
+            sensor_model.config.squash_factor,
+        )
+
+
+PF_UPDATE_KERNELS = {
+    "numpy": NumpyPFUpdateKernel(),
+    "numba": NumbaPFUpdateKernel(),
+}
+
+
+def get_pf_update_kernel(backend: str = "auto"):
+    """The fused-update kernel for ``backend``, via ``resolve_backend``."""
+    return PF_UPDATE_KERNELS[resolve_backend(backend, warn=False)]

@@ -32,6 +32,7 @@ __all__ = [
     "ray_march_ranges",
     "bresenham_ranges",
     "sensor_log_likelihood",
+    "fused_sensor_log_likelihood",
 ]
 
 
@@ -192,5 +193,35 @@ def sensor_log_likelihood(
             elif eb > top:
                 eb = top
             acc += log_table[eb, meas_bins[b]]
+        out[p] = acc / squash_factor
+    return out
+
+
+@njit(parallel=True, cache=True, nogil=True)
+def fused_sensor_log_likelihood(
+    rep_bins,
+    inv,
+    meas_bins,
+    log_table,
+    n_beams,
+    squash_factor,
+):
+    """Fused-pipeline gather: representative bins -> per-particle score.
+
+    ``rep_bins`` are the pre-binned ranges of the ``U`` unique dedup
+    representatives; ``inv`` the ``(P*B,)`` scatter map from
+    ``repro.accel.fused.cast_packed`` (C-order: query ``i`` belongs to
+    particle ``i // n_beams``, beam ``i % n_beams``).  Equivalent to
+    gathering the full ``(P, B)`` expected-range matrix and calling
+    ``sensor_log_likelihood``, without materialising it.  Accumulates in
+    float64, same caveat as ``sensor_log_likelihood``.
+    """
+    n_particles = inv.shape[0] // n_beams
+    out = np.empty(n_particles, dtype=np.float64)
+    for p in prange(n_particles):
+        acc = 0.0
+        base = p * n_beams
+        for b in range(n_beams):
+            acc += log_table[rep_bins[inv[base + b]], meas_bins[b]]
         out[p] = acc / squash_factor
     return out

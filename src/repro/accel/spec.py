@@ -1,0 +1,115 @@
+"""One grammar for every acceleration knob: ``parse_accel_spec``.
+
+Historically :class:`~repro.core.particle_filter.ParticleFilterConfig`
+grew three ad-hoc acceleration knobs — ``accel_backend`` (compute
+kernels), ``raycast_dedup`` (query dedup wrapper), and ``fused``
+(single-pipeline update) — each with its own tri-state convention.  The
+unified ``accel`` spec expresses all three in the same compact grammar
+the raycast factory already uses for range-method specs::
+
+    spec     := [mode] ["@" backend] [flag]
+    mode     := "fused" | "staged" | "auto"
+    backend  := "auto" | "numpy" | "numba"
+    flag     := "+dedup" | "-dedup"
+
+Examples (and what they alias to):
+
+==========================  =============================================
+``"fused@numba+dedup"``     fused=True, accel_backend="numba",
+                            raycast_dedup=True
+``"staged@numpy"``          fused=False, accel_backend="numpy"
+``"numba"``                 accel_backend="numba" (bare backend token)
+``"+dedup"``                raycast_dedup=True
+``"auto"``                  everything resolved per-host (the default)
+==========================  =============================================
+
+A component absent from the spec is *unset* (``None``) and leaves the
+corresponding config field alone; a component present in the spec but
+contradicted by an explicitly non-``"auto"`` per-knob field raises — the
+two spellings must agree or only one may speak.  The three per-knob
+fields remain supported as documented aliases of this grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AccelSpec", "parse_accel_spec"]
+
+_MODES = ("fused", "staged", "auto")
+_BACKENDS = ("auto", "numpy", "numba")
+
+
+@dataclass(frozen=True)
+class AccelSpec:
+    """Parsed acceleration spec; ``None`` components were not specified.
+
+    ``mode`` maps onto the ``fused`` knob (``"fused"`` → ``True``,
+    ``"staged"`` → ``False``, ``"auto"`` → ``"auto"``); ``backend`` onto
+    ``accel_backend``; ``dedup`` onto ``raycast_dedup``.
+    """
+
+    mode: Optional[str] = None  # "fused" | "staged" | "auto"
+    backend: Optional[str] = None  # "auto" | "numpy" | "numba"
+    dedup: Optional[bool] = None  # True | False
+
+    @property
+    def fused(self):
+        """The ``fused`` config value this spec implies (or ``None``)."""
+        if self.mode is None:
+            return None
+        return {"fused": True, "staged": False, "auto": "auto"}[self.mode]
+
+
+def parse_accel_spec(spec: str) -> AccelSpec:
+    """Parse ``[mode][@backend][+dedup|-dedup]`` into an :class:`AccelSpec`.
+
+    Raises ``ValueError`` on unknown tokens or malformed shapes; an empty
+    spec is an error (spell "no opinion" as ``None`` / omit the field).
+    """
+    if not isinstance(spec, str):
+        raise ValueError(f"accel spec must be a string, got {type(spec).__name__}")
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty accel spec")
+
+    dedup: Optional[bool] = None
+    if text.endswith("+dedup"):
+        dedup = True
+        text = text[: -len("+dedup")]
+    elif text.endswith("-dedup"):
+        dedup = False
+        text = text[: -len("-dedup")]
+    if "+" in text or "-" in text:
+        raise ValueError(
+            f"malformed accel spec {spec!r}: the only flag is '+dedup'/'-dedup' "
+            "and it must come last"
+        )
+
+    backend: Optional[str] = None
+    if "@" in text:
+        text, _, backend_token = text.partition("@")
+        if "@" in backend_token:
+            raise ValueError(f"malformed accel spec {spec!r}: multiple '@'")
+        if backend_token not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend_token!r} in accel spec {spec!r}; "
+                f"expected one of {_BACKENDS}"
+            )
+        backend = backend_token
+
+    mode: Optional[str] = None
+    if text:
+        if text in _MODES:
+            mode = text
+        elif text in _BACKENDS and backend is None:
+            # Bare backend token ("numba") — common shorthand.
+            backend = text
+        else:
+            raise ValueError(
+                f"unknown mode {text!r} in accel spec {spec!r}; expected one "
+                f"of {_MODES} (or a bare backend from {_BACKENDS})"
+            )
+
+    return AccelSpec(mode=mode, backend=backend, dedup=dedup)

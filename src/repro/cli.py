@@ -217,9 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep-runner worker processes")
     p_bench.add_argument("--sessions", type=int, default=None,
                          help="concurrent session count (serve target)")
+    p_bench.add_argument("--fused", action="store_true",
+                         help="pf target: benchmark the fused pf_update "
+                              "pipeline vs the staged one "
+                              "(BENCH_pf_fused.json)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="serve/govern targets: small fast CI "
-                              "configuration")
+                         help="serve/govern/pf --fused targets: small "
+                              "fast CI configuration")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default=None, metavar="PATH",
                          help="write the JSON result here")
@@ -578,7 +582,8 @@ def main(argv=None) -> int:
         import json
 
         from repro.accel.bench import (
-            check_against_baseline, run_pf_bench, run_raycast_bench,
+            check_against_baseline, run_pf_bench, run_pf_fused_bench,
+            run_raycast_bench,
         )
 
         default_artifact = {
@@ -587,6 +592,8 @@ def main(argv=None) -> int:
             "serve": "benchmarks/BENCH_serve.json",
             "govern": "benchmarks/BENCH_govern.json",
         }[args.target]
+        if args.target == "pf" and args.fused:
+            default_artifact = "benchmarks/BENCH_pf_fused.json"
         baseline = None
         if args.check:
             baseline_path = args.baseline or default_artifact
@@ -672,6 +679,20 @@ def main(argv=None) -> int:
             for spec, cfg in sorted(result["configs"].items()):
                 print(f"  {spec:<28}{cfg['ms_per_batch']:>9.2f} ms/batch"
                       f"{cfg['queries_per_s']:>12.0f} q/s")
+        elif args.fused:
+            result = run_pf_fused_bench(
+                particles=args.particles, beams=args.beams,
+                updates=args.updates, repeats=args.repeats,
+                workers=args.workers, seed=args.seed, smoke=args.smoke,
+            )
+            print(f"SynPF fused vs staged pf_update, {args.particles} "
+                  f"particles x {args.beams} beams, ray_marching "
+                  f"(median of {result['repeats']} x "
+                  f"{result['updates_per_repeat']} updates"
+                  f"{', smoke profile' if args.smoke else ''}):")
+            for name, cfg in sorted(result["configs"].items()):
+                print(f"  {name:<12}{cfg['ms_per_update']:>9.2f} ms/update  "
+                      f"{cfg['settings']}")
         else:
             result = run_pf_bench(
                 particles=args.particles, beams=args.beams,

@@ -18,10 +18,12 @@ diff-drive + uniform-layout MCL baseline used in ablations.
 
 from repro.core.interfaces import (
     LOCALIZER_METHODS,
+    BatchLocalizer,
     CartographerLocalizer,
     Localizer,
     SynPFLocalizer,
     make_localizer,
+    update_localizers_batch,
 )
 from repro.core.kld import kld_sample_size, occupied_bins
 from repro.core.laser_odometry import IcpConfig, LaserOdometry, icp_match
@@ -32,6 +34,7 @@ from repro.core.motion_models import (
     TumMotionModel,
 )
 from repro.core.odometry_fusion import FusionConfig, OdometryImuEkf
+from repro.core.particle_cloud import BufferPool, ParticleCloud
 from repro.core.particle_filter import (
     ParticleFilterConfig,
     SynPF,
@@ -48,8 +51,10 @@ from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
 from repro.core.supervisor import LocalizationSupervisor, SupervisorConfig
 
 __all__ = [
+    "BatchLocalizer",
     "BeamSensorModel",
     "BoxedScanLayout",
+    "BufferPool",
     "CartographerLocalizer",
     "DiffDriveMotionModel",
     "FusionConfig",
@@ -63,6 +68,7 @@ __all__ = [
     "SynPFLocalizer",
     "OdometryDelta",
     "OdometryImuEkf",
+    "ParticleCloud",
     "ParticleFilterConfig",
     "ScanLayout",
     "SensorModelConfig",
@@ -79,4 +85,5 @@ __all__ = [
     "occupied_bins",
     "particle_spread",
     "resample_indices",
+    "update_localizers_batch",
 ]

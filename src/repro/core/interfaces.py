@@ -23,7 +23,15 @@ signatures — the adapters are the compatibility boundary.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -37,9 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 __all__ = [
     "Localizer",
+    "BatchLocalizer",
     "SynPFLocalizer",
     "CartographerLocalizer",
     "make_localizer",
+    "update_localizers_batch",
     "LOCALIZER_METHODS",
 ]
 
@@ -85,10 +95,28 @@ class Localizer(Protocol):
         ...
 
 
+@runtime_checkable
+class BatchLocalizer(Localizer, Protocol):
+    """Optional capability: localizers whose engine can fold same-map steps.
+
+    A batch-capable localizer exposes ``supports_batch = True`` and the
+    underlying particle filter as ``pf``;
+    :func:`update_localizers_batch` routes conforming instances through
+    :meth:`repro.core.particle_filter.SynPF.update_batch` (one fused
+    kernel invocation for all of them) and falls back to a solo
+    ``update`` loop for everything else — scan matchers and third-party
+    localizers conform to the base protocol unchanged.
+    """
+
+    supports_batch: bool
+    pf: "SynPF"
+
+
 class SynPFLocalizer:
     """:class:`Localizer` over a SynPF (or vanilla-MCL) particle filter."""
 
     consumes_scan = True
+    supports_batch = True
 
     def __init__(self, pf: "SynPF") -> None:
         self.pf = pf
@@ -234,3 +262,44 @@ def make_localizer(
     raise ValueError(
         f"unknown method {method!r}; expected one of {LOCALIZER_METHODS}"
     )
+
+
+def update_localizers_batch(
+    localizers: Sequence[Localizer],
+    deltas: Sequence[OdometryDelta],
+    scans: Sequence["LidarScan"],
+) -> List[np.ndarray]:
+    """One synchronized update across many localizers; returns their poses.
+
+    Batch-capable members (:class:`BatchLocalizer` — the MCL adapters)
+    are stepped through :meth:`SynPF.update_batch
+    <repro.core.particle_filter.SynPF.update_batch>`, which folds every
+    same-map dedup raycast into one fused kernel invocation with
+    bit-identical per-session results.  Everything else — scan matchers,
+    third-party localizers — falls back to a solo ``update`` loop, so
+    heterogeneous fleets work unchanged.
+    """
+    localizers = list(localizers)
+    n = len(localizers)
+    if len(deltas) != n or len(scans) != n:
+        raise ValueError("localizers, deltas and scans must have the same length")
+    poses: List[Optional[np.ndarray]] = [None] * n
+    batchable = [
+        i for i, loc in enumerate(localizers)
+        if isinstance(loc, BatchLocalizer) and getattr(loc, "supports_batch", False)
+    ]
+    if len(batchable) >= 2:
+        from repro.core.particle_filter import SynPF
+
+        estimates = SynPF.update_batch(
+            [localizers[i].pf for i in batchable],
+            [deltas[i] for i in batchable],
+            [scans[i].ranges for i in batchable],
+            [scans[i].angles for i in batchable],
+        )
+        for i, est in zip(batchable, estimates):
+            poses[i] = est.pose
+    for i in range(n):
+        if poses[i] is None:
+            poses[i] = localizers[i].update(deltas[i], scans[i])
+    return poses  # type: ignore[return-value]

@@ -112,6 +112,33 @@ class MotionModel(abc.ABC):
         The input array is not modified.
         """
 
+    def propagate_soa(
+        self,
+        xy: np.ndarray,
+        theta: np.ndarray,
+        delta: OdometryDelta,
+        rng: np.random.Generator,
+        out_xy: np.ndarray,
+        out_theta: np.ndarray,
+    ) -> None:
+        """Structure-of-arrays propagation (the ParticleCloud hot path).
+
+        Same draws in the same order and the same elementwise float
+        expressions as :meth:`propagate`, so results are bitwise
+        identical — only the memory layout differs.  Output arrays may
+        alias the inputs (implementations must materialise every read of
+        an input before writing over it, which plain NumPy expression
+        evaluation already guarantees).  This base implementation
+        round-trips through :meth:`propagate` so third-party AoS models
+        conform unchanged.
+        """
+        particles = np.empty((theta.shape[0], 3))
+        particles[:, :2] = xy
+        particles[:, 2] = theta
+        out = self.propagate(particles, delta, rng)
+        out_xy[:] = out[:, :2]
+        out_theta[:] = out[:, 2]
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -146,7 +173,23 @@ class DiffDriveMotionModel(MotionModel):
         rng: np.random.Generator,
     ) -> np.ndarray:
         particles = np.asarray(particles, dtype=float)
-        n = particles.shape[0]
+        out = np.empty_like(particles)
+        self.propagate_soa(
+            particles[:, :2], particles[:, 2], delta, rng,
+            out[:, :2], out[:, 2],
+        )
+        return out
+
+    def propagate_soa(
+        self,
+        xy: np.ndarray,
+        theta: np.ndarray,
+        delta: OdometryDelta,
+        rng: np.random.Generator,
+        out_xy: np.ndarray,
+        out_theta: np.ndarray,
+    ) -> None:
+        n = theta.shape[0]
         trans = delta.trans
 
         # Decompose the measured delta.  For near-zero translation the
@@ -172,12 +215,13 @@ class DiffDriveMotionModel(MotionModel):
         trans_hat = trans + rng.normal(0.0, std_trans + 1e-12, size=n)
         rot2_hat = rot2 + rng.normal(0.0, std_rot2 + 1e-12, size=n)
 
-        out = np.empty_like(particles)
-        heading = particles[:, 2] + rot1_hat
-        out[:, 0] = particles[:, 0] + trans_hat * np.cos(heading)
-        out[:, 1] = particles[:, 1] + trans_hat * np.sin(heading)
-        out[:, 2] = wrap_to_pi(particles[:, 2] + rot1_hat + rot2_hat)
-        return out
+        # Every input read below lands in a materialised temporary before
+        # the corresponding output column is assigned, so out arrays may
+        # alias the inputs (the in-place ParticleCloud path).
+        heading = theta + rot1_hat
+        out_xy[:, 0] = xy[:, 0] + trans_hat * np.cos(heading)
+        out_xy[:, 1] = xy[:, 1] + trans_hat * np.sin(heading)
+        out_theta[:] = wrap_to_pi(theta + rot1_hat + rot2_hat)
 
 
 @dataclass
@@ -250,7 +294,23 @@ class TumMotionModel(MotionModel):
         rng: np.random.Generator,
     ) -> np.ndarray:
         particles = np.asarray(particles, dtype=float)
-        n = particles.shape[0]
+        out = np.empty_like(particles)
+        self.propagate_soa(
+            particles[:, :2], particles[:, 2], delta, rng,
+            out[:, :2], out[:, 2],
+        )
+        return out
+
+    def propagate_soa(
+        self,
+        xy: np.ndarray,
+        theta: np.ndarray,
+        delta: OdometryDelta,
+        rng: np.random.Generator,
+        out_xy: np.ndarray,
+        out_theta: np.ndarray,
+    ) -> None:
+        n = theta.shape[0]
         dt = delta.dt if delta.dt > 0 else 1.0
         v_meas = delta.velocity if delta.dt > 0 else delta.trans
         steer_meas = self.implied_steering(delta)
@@ -273,7 +333,6 @@ class TumMotionModel(MotionModel):
         # and points ``dtheta/2`` off the initial heading.  numpy's sinc is
         # normalised (sin(pi x)/(pi x)), hence the 2*pi divisor; it handles
         # the straight-line limit (dtheta -> 0) without a special case.
-        heading = particles[:, 2]
         chord = ds * np.sinc(dtheta / (2.0 * np.pi))
         dx_local = chord * np.cos(dtheta / 2.0)
         dy_local = chord * np.sin(dtheta / 2.0)
@@ -282,9 +341,10 @@ class TumMotionModel(MotionModel):
         slip_std = self.sigma_slip_y * abs(v_meas) * dt + 1e-12
         dy_local = dy_local + rng.normal(0.0, slip_std, size=n)
 
-        out = np.empty_like(particles)
-        c, s = np.cos(heading), np.sin(heading)
-        out[:, 0] = particles[:, 0] + c * dx_local - s * dy_local
-        out[:, 1] = particles[:, 1] + s * dx_local + c * dy_local
-        out[:, 2] = wrap_to_pi(heading + dtheta)
-        return out
+        # Materialised temporaries before every aliased write, as in the
+        # diff-drive model: out arrays may be the input views themselves.
+        c, s = np.cos(theta), np.sin(theta)
+        new_theta = wrap_to_pi(theta + dtheta)
+        out_xy[:, 0] = xy[:, 0] + c * dx_local - s * dy_local
+        out_xy[:, 1] = xy[:, 1] + s * dx_local + c * dy_local
+        out_theta[:] = new_theta

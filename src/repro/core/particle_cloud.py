@@ -1,0 +1,274 @@
+"""Structure-of-arrays particle storage for the batch-first PF core.
+
+The filter hot loop touches three quantities per particle — position,
+heading, weight — and the historical ``(N, 3)`` array-of-structs layout
+forced every stage to either strided column reads or fresh
+``np.column_stack`` temporaries.  :class:`ParticleCloud` stores them as
+three **contiguous** arrays instead::
+
+    xy      float64 (N, 2)   world position
+    theta   float64 (N,)     heading, wrapped to (-pi, pi]
+    log_w   float64 (N,)     log of the normalized weights (scratch)
+
+with *capacity-based* backing buffers: the arrays the public views slice
+into are allocated once at the high-water particle count and only
+re-allocated when the cloud grows past it.  Shrinking (the governor's
+``num_particles`` downshift, KLD adaptation) narrows the views and keeps
+the allocation — ``cloud.xy.base`` stays the same object across a
+shrink, which the buffer-pool identity regression test pins.
+
+Weights are canonical in *linear* space (``weights`` always sums to 1 by
+construction of its writers); ``log_weights()`` refreshes the ``log_w``
+scratch from the linear values on demand, so the Bayes accumulation
+``log_w + log_like`` is bitwise identical to the historical
+``np.log(self.weights) + log_like`` expression.
+
+:class:`BufferPool` is the companion scratch allocator: named float/int
+work buffers keyed by name, grown monotonically, handed out as shaped
+views — the fused update pipeline runs allocation-free at steady state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool", "ParticleCloud"]
+
+
+class BufferPool:
+    """Named, monotonically-grown scratch buffers keyed by name.
+
+    ``take(key, shape, dtype)`` returns a view of the flat buffer
+    registered under ``key``, reshaped to ``shape``.  The backing
+    allocation only grows (to the largest element count ever requested
+    for that key), so a steady-state caller — the PF update loop asking
+    for the same shapes every cycle — never allocates after warmup.
+
+    Views are only valid until the next ``take`` of the same key with a
+    *larger* size; callers must not hold them across pool growth.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def take(self, key: str, shape, dtype=np.float64) -> np.ndarray:
+        if np.isscalar(shape):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        size = 1
+        for s in shape:
+            if s < 0:
+                raise ValueError(f"negative dimension in shape {shape}")
+            size *= s
+        dtype = np.dtype(dtype)
+        slot = (key, dtype)
+        buf = self._buffers.get(slot)
+        if buf is None or buf.size < size:
+            buf = np.empty(size, dtype=dtype)
+            self._buffers[slot] = buf
+        return buf[:size].reshape(shape)
+
+    def stats(self) -> Dict[str, int]:
+        """Bytes currently held per key (capacity, not live use)."""
+        out: Dict[str, int] = {}
+        for (key, _dtype), buf in self._buffers.items():
+            out[key] = out.get(key, 0) + buf.nbytes
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+class ParticleCloud:
+    """Contiguous SoA particle state with capacity-preserving resize.
+
+    Parameters
+    ----------
+    n:
+        Initial particle count (also the initial capacity).
+    pool:
+        Optional shared :class:`BufferPool` for transient gather/assembly
+        scratch.  A private pool is created when omitted.
+    """
+
+    def __init__(self, n: int, pool: Optional[BufferPool] = None) -> None:
+        if n < 1:
+            raise ValueError("particle count must be >= 1")
+        self.pool = pool if pool is not None else BufferPool()
+        self._capacity = int(n)
+        self._n = int(n)
+        self._xy = np.zeros((self._capacity, 2))
+        self._theta = np.zeros(self._capacity)
+        self._w = np.full(self._capacity, 1.0 / n)
+        self._log_w = np.empty(self._capacity)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Allocated particle slots (>= ``n``; never shrinks)."""
+        return self._capacity
+
+    def _grow(self, target: int) -> None:
+        """Re-allocate backing buffers at ``target`` capacity, keeping data."""
+        new_xy = np.empty((target, 2))
+        new_theta = np.empty(target)
+        new_w = np.empty(target)
+        keep = min(self._n, target)
+        new_xy[:keep] = self._xy[:keep]
+        new_theta[:keep] = self._theta[:keep]
+        new_w[:keep] = self._w[:keep]
+        self._xy, self._theta, self._w = new_xy, new_theta, new_w
+        self._log_w = np.empty(target)
+        self._capacity = target
+
+    def resize(self, n: int) -> None:
+        """Set the live count to ``n``.
+
+        Shrinking narrows the views over the existing allocation
+        (``xy.base`` identity is preserved); growing past capacity
+        re-allocates exactly once to the new size.  Content beyond the
+        previous count is uninitialised — callers overwrite it.
+        """
+        n = int(n)
+        if n < 1:
+            raise ValueError("particle count must be >= 1")
+        if n > self._capacity:
+            self._grow(n)
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def xy(self) -> np.ndarray:
+        """``(n, 2)`` contiguous position view (writable, live)."""
+        return self._xy[: self._n]
+
+    @property
+    def theta(self) -> np.ndarray:
+        """``(n,)`` contiguous heading view (writable, live)."""
+        return self._theta[: self._n]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``(n,)`` linear normalized weights view (writable, live)."""
+        return self._w[: self._n]
+
+    def log_weights(self) -> np.ndarray:
+        """``log(weights)`` refreshed into the ``log_w`` scratch buffer.
+
+        Recomputed from the canonical linear weights on every call (no
+        incremental maintenance), so external in-place weight edits can
+        never leave a stale log view; the buffer is reused, not
+        re-allocated.  ``-inf`` for exactly-zero weights is deliberate —
+        identical to the historical ``np.log(self.weights)``.
+        """
+        out = self._log_w[: self._n]
+        with np.errstate(divide="ignore"):
+            np.log(self._w[: self._n], out=out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Whole-cloud writers
+    # ------------------------------------------------------------------
+    def set_from_array(self, particles: np.ndarray) -> None:
+        """Load an ``(n, 3)`` pose array; weights keep their values when
+        the count is unchanged and reset to uniform when it differs."""
+        particles = np.asarray(particles, dtype=float)
+        if particles.ndim != 2 or particles.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) particles, got {particles.shape}")
+        n = particles.shape[0]
+        count_changed = n != self._n
+        self.resize(n)
+        self._xy[:n] = particles[:, :2]
+        self._theta[:n] = particles[:, 2]
+        if count_changed:
+            self.set_uniform()
+
+    def set_weights(self, w: np.ndarray) -> None:
+        """Replace the weights; a length change resizes the cloud.
+
+        Keeps legacy whole-array assignment (``pf.weights = ...``)
+        working: assigning a shorter/longer vector adjusts the live count
+        the same way assigning ``pf.particles`` does, preserving the
+        surviving pose prefix.
+        """
+        w = np.asarray(w, dtype=float)
+        if w.ndim != 1:
+            raise ValueError(f"expected 1-D weights, got shape {w.shape}")
+        if w.shape[0] != self._n:
+            # The incoming array may view our own buffer (`pf.weights[:k]`);
+            # materialise it before the views move.
+            w = np.array(w)
+            self.resize(w.shape[0])
+        self._w[: self._n] = w
+
+    def set_uniform(self, n: Optional[int] = None) -> None:
+        """Uniform weights (optionally resizing to ``n`` first)."""
+        if n is not None:
+            self.resize(n)
+        self._w[: self._n] = 1.0 / self._n
+
+    # ------------------------------------------------------------------
+    # Reordering
+    # ------------------------------------------------------------------
+    def gather(self, idx: np.ndarray) -> None:
+        """In-place ``cloud[:] = cloud[idx]`` (resample / resize kernel).
+
+        ``idx`` indexes the current cloud; the result has ``len(idx)``
+        particles.  Staged through pool scratch so a same-size gather
+        allocates nothing and a shrink keeps the backing buffers.
+        Weights are untouched except for the count change — callers
+        always reset them (uniform after resampling).
+        """
+        idx = np.asarray(idx)
+        m = idx.shape[0]
+        tmp_xy = self.pool.take("cloud.gather_xy", (m, 2))
+        tmp_theta = self.pool.take("cloud.gather_theta", (m,))
+        np.take(self._xy[: self._n], idx, axis=0, out=tmp_xy)
+        np.take(self._theta[: self._n], idx, out=tmp_theta)
+        self.resize(m)
+        self._xy[:m] = tmp_xy
+        self._theta[:m] = tmp_theta
+
+    def scatter_poses(self, idx: np.ndarray, poses: np.ndarray) -> None:
+        """``cloud[idx] = poses`` for an ``(k, 3)`` pose block (injection)."""
+        poses = np.asarray(poses, dtype=float)
+        self.xy[idx] = poses[:, :2]
+        self.theta[idx] = poses[:, 2]
+
+    # ------------------------------------------------------------------
+    # AoS interop
+    # ------------------------------------------------------------------
+    def as_array(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Assemble the ``(n, 3)`` array-of-structs pose view.
+
+        Returns a fresh array (or fills ``out``); mutating it does not
+        touch the cloud.  Hot paths that only need one column should use
+        the SoA views instead.
+        """
+        n = self._n
+        if out is None:
+            out = np.empty((n, 3))
+        out[:, :2] = self._xy[:n]
+        out[:, 2] = self._theta[:n]
+        return out
+
+    def memory_bytes(self) -> int:
+        """Backing allocation size (capacity-based, pool excluded)."""
+        return (
+            self._xy.nbytes + self._theta.nbytes + self._w.nbytes
+            + self._log_w.nbytes
+        )

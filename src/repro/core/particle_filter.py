@@ -16,22 +16,53 @@ Every piece is swappable through :class:`ParticleFilterConfig`, which is
 how the ablation benchmarks isolate each design choice;
 :func:`make_vanilla_mcl` is the conventional diff-drive + uniform-layout
 MCL used as the ablation reference point.
+
+Batch-first core
+----------------
+Particle state lives in a :class:`~repro.core.particle_cloud.ParticleCloud`
+(structure-of-arrays, capacity-preserving buffers); ``pf.particles`` /
+``pf.weights`` remain available as array-of-structs compatibility
+properties.  The update itself has two executions:
+
+* **staged** — motion → query assembly → ``calc_ranges_pose_batch`` →
+  sensor scoring, each stage a separate vectorised pass (the reference
+  path, and the only one for table-driven range methods);
+* **fused** — the single :mod:`repro.accel.fused` pipeline: motion →
+  packed dedup keys → one ``np.unique`` → representative cast →
+  likelihood gather, constructed to be *bitwise identical* to the staged
+  path and enabled by default (``fused="auto"``) whenever the range
+  method carries a dedup wrapper.
+
+:meth:`SynPF.update_batch` extends the fused pipeline across filters:
+S same-map sessions execute one synchronized step with a single key
+unification and representative cast — the seam
+:class:`repro.serve.batcher.UpdateBatcher` drives.  The historical
+``prepare_update`` / ``complete_update`` seam is deprecated in its
+favour.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.accel.fused import (
+    cast_packed,
+    fused_update_supported,
+    get_pf_update_kernel,
+    pack_query_keys,
+)
+from repro.accel.spec import parse_accel_spec
 from repro.core.motion_models import (
     DiffDriveMotionModel,
     MotionModel,
     OdometryDelta,
     TumMotionModel,
 )
+from repro.core.particle_cloud import BufferPool, ParticleCloud
 from repro.core.pose_estimation import ParticleSpread, estimate_pose, particle_spread
 from repro.core.resampling import effective_sample_size, resample_indices
 from repro.core.scan_layout import BoxedScanLayout, ScanLayout, UniformScanLayout
@@ -79,6 +110,11 @@ class ParticleFilterConfig:
     boxed_width: float = 2.0
     range_method: str = "lut"  # any spec known to repro.raycast.factory
     lut_theta_bins: int = 120
+    # Unified acceleration spec (repro.accel.spec), e.g. "fused@numba+dedup".
+    # Components present in the spec are folded into the three per-knob
+    # alias fields below by resolved(); None means "speak through the
+    # per-knob fields" (the historical spelling, still fully supported).
+    accel: Optional[str] = None
     # Acceleration layer (repro.accel).  "auto" picks the numba JIT
     # kernels when numba is importable and falls back to the NumPy
     # reference otherwise — on-with-fallback, never a hard requirement.
@@ -91,6 +127,12 @@ class ParticleFilterConfig:
     raycast_dedup: object = "auto"  # True | False | "auto"
     dedup_xy_bin_cells: float = 1.0
     dedup_theta_bins: int = 2048
+    # Fused pf_update pipeline (repro.accel.fused).  "auto" runs it
+    # whenever the range method is dedup-wrapped (where it is bitwise
+    # identical to the staged path and strictly faster); True requests it
+    # (with a documented staged fallback where unsupported); False forces
+    # the staged reference path.
+    fused: object = "auto"  # True | False | "auto"
     resample_scheme: str = "systematic"
     resample_ess_fraction: float = 0.5
     lidar_offset_x: float = 0.27  # sensor mount ahead of the base frame
@@ -134,15 +176,57 @@ class ParticleFilterConfig:
                 raise ValueError(
                     "need 0 < augment_alpha_slow < augment_alpha_fast <= 1"
                 )
+        if self.accel is not None:
+            parse_accel_spec(self.accel)  # raises on malformed specs
         if self.accel_backend not in ("auto", "numpy", "numba"):
             raise ValueError(f"unknown accel backend {self.accel_backend!r}")
         if self.raycast_dedup not in (True, False, "auto"):
             raise ValueError("raycast_dedup must be True, False or 'auto'")
+        if self.fused not in (True, False, "auto"):
+            raise ValueError("fused must be True, False or 'auto'")
         if self.dedup_xy_bin_cells <= 0:
             raise ValueError("dedup_xy_bin_cells must be positive")
         if self.dedup_theta_bins < 1:
             raise ValueError("dedup_theta_bins must be >= 1")
         self.sensor.validate()
+
+    def resolved(self) -> "ParticleFilterConfig":
+        """Fold the unified ``accel`` spec into the per-knob alias fields.
+
+        Idempotent; raises ``ValueError`` when a spec component
+        contradicts an explicitly non-``"auto"`` per-knob value (the two
+        spellings must agree or only one may speak).  ``"auto"``
+        components impose nothing.
+        """
+        if self.accel is None:
+            return self
+        spec = parse_accel_spec(self.accel)
+        updates: Dict = {}
+        if spec.backend is not None and spec.backend != "auto":
+            if self.accel_backend not in ("auto", spec.backend):
+                raise ValueError(
+                    f"accel spec {self.accel!r} conflicts with "
+                    f"accel_backend={self.accel_backend!r}"
+                )
+            updates["accel_backend"] = spec.backend
+        if spec.dedup is not None:
+            if self.raycast_dedup not in ("auto", spec.dedup):
+                raise ValueError(
+                    f"accel spec {self.accel!r} conflicts with "
+                    f"raycast_dedup={self.raycast_dedup!r}"
+                )
+            updates["raycast_dedup"] = spec.dedup
+        mode_fused = spec.fused
+        if mode_fused is not None and mode_fused != "auto":
+            if self.fused not in ("auto", mode_fused):
+                raise ValueError(
+                    f"accel spec {self.accel!r} conflicts with "
+                    f"fused={self.fused!r}"
+                )
+            updates["fused"] = mode_fused
+        if not updates:
+            return self
+        return replace(self, **updates)
 
 
 @dataclass(frozen=True)
@@ -157,14 +241,14 @@ class FilterEstimate:
 
 @dataclass(frozen=True)
 class PendingUpdate:
-    """The raycast workload of one in-flight update.
+    """The raycast workload of one in-flight update (deprecated seam).
 
     Produced by :meth:`SynPF.prepare_update` after the motion stage;
     consumed by :meth:`SynPF.complete_update` once the expected ranges
-    are available.  The split lets a fleet batcher
-    (:mod:`repro.serve.batcher`) fold the raycast stage of many sessions
-    sharing a map into one call while every other stage stays
-    per-session.
+    are available.  The split let a fleet batcher fold the raycast stage
+    of many sessions into one call; :meth:`SynPF.update_batch` now does
+    that fold internally (one fused kernel invocation), and the two-call
+    seam survives only as a deprecated compatibility wrapper.
     """
 
     sensor_poses: np.ndarray  # (P, 3) sensor-frame particle poses
@@ -215,7 +299,7 @@ class SynPF:
         timing: TimingStats | None = None,
         artifact_cache=None,
     ) -> None:
-        self.config = config or ParticleFilterConfig()
+        self.config = (config or ParticleFilterConfig()).resolved()
         self.config.validate()
         self.grid = grid
         self.rng = make_rng(self.config.seed)
@@ -271,6 +355,8 @@ class SynPF:
             artifact_cache=artifact_cache,
             **range_kwargs,
         )
+        self._fused_supported = fused_update_supported(self.range_method)
+        self._fused_kernel = get_pf_update_kernel(self.config.accel_backend)
         self._registry = registry
         if registry is not None:
             # One-shot kernel-selection record: which backend actually won
@@ -280,9 +366,11 @@ class SynPF:
             )
             registry.counter(f"accel.raycast.{raycast_backend}").inc()
             registry.counter(f"accel.sensor.{self.sensor_model.backend}").inc()
+            mode = "fused" if self._use_fused() else "staged"
+            registry.counter(f"accel.pf_update.{mode}").inc()
 
-        self.particles = np.zeros((self.config.num_particles, 3))
-        self.weights = np.full(self.config.num_particles, 1.0 / self.config.num_particles)
+        self.pool = BufferPool()
+        self._cloud = ParticleCloud(self.config.num_particles, pool=self.pool)
         self.timing = timing if timing is not None else TimingStats()
         self.tracer = SpanTracer(timing=self.timing, registry=registry)
         self.num_updates = 0
@@ -301,6 +389,36 @@ class SynPF:
         self._free_cells_cache = None
 
     # ------------------------------------------------------------------
+    # Particle state (SoA cloud + AoS compatibility properties)
+    # ------------------------------------------------------------------
+    @property
+    def cloud(self) -> ParticleCloud:
+        """The structure-of-arrays particle state (the hot-path view)."""
+        return self._cloud
+
+    @property
+    def particles(self) -> np.ndarray:
+        """``(n, 3)`` array-of-structs pose snapshot (compatibility view).
+
+        Assembled fresh on every read — mutate through :attr:`cloud` (or
+        assign a whole array back) rather than writing into the snapshot.
+        """
+        return self._cloud.as_array()
+
+    @particles.setter
+    def particles(self, value: np.ndarray) -> None:
+        self._cloud.set_from_array(value)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``(n,)`` normalized weights (live view into the cloud)."""
+        return self._cloud.weights
+
+    @weights.setter
+    def weights(self, value: np.ndarray) -> None:
+        self._cloud.set_weights(value)
+
+    # ------------------------------------------------------------------
     # Initialisation
     # ------------------------------------------------------------------
     def initialize(self, pose: np.ndarray, std_xy: float | None = None,
@@ -310,11 +428,12 @@ class SynPF:
         n = self.config.num_particles
         std_xy = self.config.init_std_xy if std_xy is None else std_xy
         std_theta = self.config.init_std_theta if std_theta is None else std_theta
-        self.particles = np.empty((n, 3))
-        self.particles[:, 0] = pose[0] + self.rng.normal(0.0, std_xy, n)
-        self.particles[:, 1] = pose[1] + self.rng.normal(0.0, std_xy, n)
-        self.particles[:, 2] = wrap_to_pi(pose[2] + self.rng.normal(0.0, std_theta, n))
-        self.weights = np.full(n, 1.0 / n)
+        cloud = self._cloud
+        cloud.resize(n)
+        cloud.xy[:, 0] = pose[0] + self.rng.normal(0.0, std_xy, n)
+        cloud.xy[:, 1] = pose[1] + self.rng.normal(0.0, std_xy, n)
+        cloud.theta[:] = wrap_to_pi(pose[2] + self.rng.normal(0.0, std_theta, n))
+        cloud.set_uniform()
         self._initialized = True
 
     def _sample_free_space(self, n: int) -> np.ndarray:
@@ -340,8 +459,8 @@ class SynPF:
     def initialize_global(self) -> None:
         """Uniform particle cloud over the map's free space (kidnapped robot)."""
         n = self.config.num_particles
-        self.particles = self._sample_free_space(n)
-        self.weights = np.full(n, 1.0 / n)
+        self._cloud.set_from_array(self._sample_free_space(n))
+        self._cloud.set_uniform()
         self._initialized = True
 
     # ------------------------------------------------------------------
@@ -356,17 +475,19 @@ class SynPF:
         approximation of the same posterior at the new budget — weights
         stay normalized and the count lands exactly on target, which is
         what :class:`~repro.verify.invariants.InvariantChecker` audits
-        across knob changes.
+        across knob changes.  Shrinking narrows the cloud's views over
+        its existing allocation (no buffer churn); only growth past the
+        high-water capacity re-allocates.
         """
-        current = int(self.particles.shape[0])
+        current = self._cloud.n
         if target_n == current:
             return
         idx = resample_indices(
             self.weights, self.rng, self.config.resample_scheme,
             size=target_n,
         )
-        self.particles = self.particles[idx]
-        self.weights = np.full(target_n, 1.0 / target_n)
+        self._cloud.gather(idx)
+        self._cloud.set_uniform()
 
     def reconfigure(
         self,
@@ -394,9 +515,10 @@ class SynPF:
           with the dedup wrapper off).  Coarser bins mean fewer casts and
           a wider substitution envelope.
         * ``accel_backend`` — compute-kernel choice.  Always switches the
-          sensor-model backend; switches the base range method's backend
-          only when this filter privately owns it (a shared artifact-cache
-          method is read-only, and other sessions may be mid-query).
+          sensor-model backend (and the fused-update gather kernel);
+          switches the base range method's backend only when this filter
+          privately owns it (a shared artifact-cache method is read-only,
+          and other sessions may be mid-query).
 
         Unknown keyword arguments are ignored so a
         :class:`~repro.govern.knobs.KnobSet` can carry knobs some filter
@@ -414,7 +536,7 @@ class SynPF:
                 )
                 if self._initialized:
                     if self.config.adaptive:
-                        if self.particles.shape[0] > target:
+                        if self._cloud.n > target:
                             self._resize_particles(target)
                     else:
                         self._resize_particles(target)
@@ -459,6 +581,7 @@ class SynPF:
                 changed = True
             if changed:
                 self.config = replace(self.config, accel_backend=resolved)
+                self._fused_kernel = get_pf_update_kernel(resolved)
                 applied["accel_backend"] = resolved
         if applied:
             self.config.validate()
@@ -484,6 +607,17 @@ class SynPF:
                 beam_angles, self.config.num_beams
             )
         return self._layout_cache[key]
+
+    def _use_fused(self) -> bool:
+        """Whether solo updates run the fused pipeline.
+
+        ``fused=False`` forces the staged reference path; ``True`` and
+        ``"auto"`` run fused wherever the range method supports it
+        (dedup-wrapped traversal methods) and fall back to staged
+        elsewhere — the fallback is silent because the two paths are
+        bitwise identical wherever both exist.
+        """
+        return self.config.fused is not False and self._fused_supported
 
     def update(
         self,
@@ -519,26 +653,28 @@ class SynPF:
         scan_ranges: np.ndarray,
         beam_angles: np.ndarray,
     ) -> FilterEstimate:
-        pending = self.prepare_update(delta, scan_ranges, beam_angles)
+        if self._use_fused():
+            return self._update_fused(delta, scan_ranges, beam_angles)
+        pending = self._prepare_update(delta, scan_ranges, beam_angles)
         with self.tracer.span("raycast"):
             expected = self.range_method.calc_ranges_pose_batch(
                 pending.sensor_poses, pending.angles
             )
-        return self.complete_update(pending, expected)
+        return self._complete_update(pending, expected)
 
-    def prepare_update(
+    # -- shared stages --------------------------------------------------
+    def _motion_and_measure(
         self,
         delta: OdometryDelta,
         scan_ranges: np.ndarray,
         beam_angles: np.ndarray,
-    ) -> PendingUpdate:
-        """Motion stage + raycast workload extraction (batching seam).
+    ):
+        """Motion stage + beam selection + measurement sanitation.
 
-        Runs the motion model, then returns the exact raycast queries the
-        sensor stage needs.  ``_update`` feeds them straight to this
-        filter's own range method; the fleet batcher instead folds many
-        filters' pending queries into one shared call before handing each
-        result back to :meth:`complete_update`.
+        Returns ``(measured, angles)``: the layout-selected sanitised
+        scan and its beam angles.  Shared by the staged, fused and
+        batched executions so every path consumes the rng stream and the
+        scan identically.
         """
         scan_ranges = np.asarray(scan_ranges, dtype=float)
         beam_angles = np.asarray(beam_angles, dtype=float)
@@ -546,9 +682,13 @@ class SynPF:
             raise ValueError("scan_ranges and beam_angles must have the same shape")
         if not self._initialized:
             raise RuntimeError("call initialize() or initialize_global() first")
+        cloud = self._cloud
         with self.tracer.span("motion"):
-            self.particles = self.motion_model.propagate(
-                self.particles, delta, self.rng
+            # In-place SoA propagation: propagate_soa materialises every
+            # input read before writing, so aliasing out onto the cloud's
+            # own views is safe (and allocation-free).
+            self.motion_model.propagate_soa(
+                cloud.xy, cloud.theta, delta, self.rng, cloud.xy, cloud.theta
             )
 
         sel = self.select_beams(beam_angles)
@@ -562,64 +702,48 @@ class SynPF:
             np.isfinite(measured), measured, self.config.sensor.max_range
         )
         measured = np.clip(measured, 0.0, self.config.sensor.max_range)
+        return measured, beam_angles[sel]
 
-        # Rays originate at the sensor, which is mounted ahead of the
-        # base frame the particles (and the published pose) live in.
-        sensor_poses = self.particles.copy()
-        off = self.config.lidar_offset_x
-        if off != 0.0:
-            sensor_poses[:, 0] += off * np.cos(sensor_poses[:, 2])
-            sensor_poses[:, 1] += off * np.sin(sensor_poses[:, 2])
-        return PendingUpdate(
-            sensor_poses=sensor_poses, angles=beam_angles[sel],
-            measured=measured,
-        )
+    def _apply_likelihood(self, log_like: np.ndarray, measured: np.ndarray) -> None:
+        """Bayes weight accumulation (+ augmented-MCL averages).
 
-    def complete_update(
-        self, pending: PendingUpdate, expected: np.ndarray
-    ) -> FilterEstimate:
-        """Sensor, estimation and resample stages of one update.
-
-        ``expected`` is the ``(P, B)`` raycast answer for
-        ``pending.sensor_poses`` × ``pending.angles`` (normally from this
-        filter's own range method; under the fleet batcher, from a shared
-        fold of many sessions' queries).
+        Callers invoke this inside their ``sensor`` span.
         """
-        measured = pending.measured
-        with self.tracer.span("sensor"):
-            log_like = self.sensor_model.log_likelihood(expected, measured)
-            # Bayes recursion: the posterior multiplies the *prior*
-            # weights by the new likelihood.  Resampling is ESS-gated, so
-            # on non-resample steps the prior is informative — overwriting
-            # it with the bare likelihood (the old behaviour) silently
-            # discarded every earlier observation since the last resample.
-            # Accumulate in log space, normalize once.
-            with np.errstate(divide="ignore"):
-                log_post = np.log(self.weights) + log_like
-            log_post -= log_post.max()
-            w = np.exp(log_post)
-            self.weights = w / w.sum()
-            if self.config.augmented:
-                # Geometric-mean per-beam likelihood of the cloud: a
-                # bounded, underflow-free version of Thrun's w_avg.
-                squash = self.config.sensor.squash_factor
-                per_beam = log_like * squash / max(measured.size, 1)
-                w_avg = float(np.exp(per_beam).mean())
-                alpha_s = self.config.augment_alpha_slow
-                alpha_f = self.config.augment_alpha_fast
-                if not self._w_initialized:
-                    self._w_slow = self._w_fast = w_avg
-                    self._w_initialized = True
-                else:
-                    self._w_slow += alpha_s * (w_avg - self._w_slow)
-                    self._w_fast += alpha_f * (w_avg - self._w_fast)
+        # Bayes recursion: the posterior multiplies the *prior*
+        # weights by the new likelihood.  Resampling is ESS-gated, so
+        # on non-resample steps the prior is informative — overwriting
+        # it with the bare likelihood silently discarded every earlier
+        # observation since the last resample.  Accumulate in log space,
+        # normalize once.
+        log_post = self._cloud.log_weights() + log_like
+        log_post -= log_post.max()
+        w = np.exp(log_post)
+        self._cloud.set_weights(w / w.sum())
+        if self.config.augmented:
+            # Geometric-mean per-beam likelihood of the cloud: a
+            # bounded, underflow-free version of Thrun's w_avg.
+            squash = self.config.sensor.squash_factor
+            per_beam = log_like * squash / max(measured.size, 1)
+            w_avg = float(np.exp(per_beam).mean())
+            alpha_s = self.config.augment_alpha_slow
+            alpha_f = self.config.augment_alpha_fast
+            if not self._w_initialized:
+                self._w_slow = self._w_fast = w_avg
+                self._w_initialized = True
+            else:
+                self._w_slow += alpha_s * (w_avg - self._w_slow)
+                self._w_fast += alpha_f * (w_avg - self._w_fast)
 
-        pose = estimate_pose(self.particles, self.weights)
-        spread = particle_spread(self.particles, self.weights)
+    def _estimate_and_resample(self) -> FilterEstimate:
+        """Pose estimation + ESS-gated resample: the tail of every update."""
+        cloud = self._cloud
+        particles = cloud.as_array(self.pool.take("pf.aos", (cloud.n, 3)))
+        pose = estimate_pose(particles, self.weights)
+        spread = particle_spread(particles, self.weights)
         ess = effective_sample_size(self.weights)
 
         resampled = False
-        current_n = self.particles.shape[0]
+        current_n = cloud.n
         threshold = self.config.resample_ess_fraction * current_n
         # Augmented MCL must get its injection chance even when a uniformly
         # *bad* cloud keeps the ESS high (classic AMCL resamples every
@@ -645,7 +769,7 @@ class SynPF:
                 if self.config.adaptive:
                     from repro.core.kld import kld_sample_size, occupied_bins
 
-                    k = occupied_bins(self.particles, self.weights)
+                    k = occupied_bins(particles, self.weights)
                     target_n = kld_sample_size(
                         k,
                         epsilon=self.config.kld_epsilon,
@@ -657,8 +781,8 @@ class SynPF:
                     self.weights, self.rng, self.config.resample_scheme,
                     size=target_n,
                 )
-                self.particles = self.particles[idx]
-                self.weights = np.full(target_n, 1.0 / target_n)
+                cloud.gather(idx)
+                cloud.set_uniform()
 
                 if self.config.augmented:
                     # Kidnapped-robot injection: when recent likelihoods
@@ -666,15 +790,269 @@ class SynPF:
                     # free-space hypotheses in proportion.
                     n_inject = int(inject_frac * target_n)
                     if n_inject > 0:
-                        replace = self.rng.choice(target_n, size=n_inject,
-                                                  replace=False)
-                        self.particles[replace] = self._sample_free_space(
-                            n_inject
+                        pick = self.rng.choice(target_n, size=n_inject,
+                                               replace=False)
+                        cloud.scatter_poses(
+                            pick, self._sample_free_space(n_inject)
                         )
             resampled = True
 
         self.num_updates += 1
         return FilterEstimate(pose, spread, ess, resampled)
+
+    # -- staged execution ----------------------------------------------
+    def _prepare_update(
+        self,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> PendingUpdate:
+        """Motion stage + staged raycast workload extraction."""
+        measured, angles = self._motion_and_measure(
+            delta, scan_ranges, beam_angles
+        )
+        # Rays originate at the sensor, which is mounted ahead of the
+        # base frame the particles (and the published pose) live in.
+        sensor_poses = self._cloud.as_array()
+        off = self.config.lidar_offset_x
+        if off != 0.0:
+            sensor_poses[:, 0] += off * np.cos(sensor_poses[:, 2])
+            sensor_poses[:, 1] += off * np.sin(sensor_poses[:, 2])
+        return PendingUpdate(
+            sensor_poses=sensor_poses, angles=angles, measured=measured,
+        )
+
+    def _complete_update(
+        self, pending: PendingUpdate, expected: np.ndarray
+    ) -> FilterEstimate:
+        """Sensor scoring + estimation/resample on staged raycast output."""
+        measured = pending.measured
+        with self.tracer.span("sensor"):
+            log_like = self.sensor_model.log_likelihood(expected, measured)
+            self._apply_likelihood(log_like, measured)
+        return self._estimate_and_resample()
+
+    def prepare_update(
+        self,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> PendingUpdate:
+        """Deprecated two-call seam; use :meth:`update` / :meth:`update_batch`."""
+        warnings.warn(
+            "SynPF.prepare_update()/complete_update() are deprecated; use "
+            "update() for solo steps or SynPF.update_batch() for multi-"
+            "session folding",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._prepare_update(delta, scan_ranges, beam_angles)
+
+    def complete_update(
+        self, pending: PendingUpdate, expected: np.ndarray
+    ) -> FilterEstimate:
+        """Deprecated two-call seam; use :meth:`update` / :meth:`update_batch`."""
+        warnings.warn(
+            "SynPF.prepare_update()/complete_update() are deprecated; use "
+            "update() for solo steps or SynPF.update_batch() for multi-"
+            "session folding",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._complete_update(pending, expected)
+
+    # -- fused execution -------------------------------------------------
+    def _fused_queries(self, angles: np.ndarray) -> np.ndarray:
+        """Packed dedup keys for the cloud × ``angles`` (pool-backed).
+
+        Mirrors the staged query assembly bit-for-bit: the sensor origin
+        offset uses the same ``pose + off*cos/sin`` expressions, the
+        per-query heading the same ``theta[:, None] + angles[None, :]``
+        broadcast ``calc_ranges_pose_batch`` performs.
+        """
+        cloud = self._cloud
+        n = cloud.n
+        theta = cloud.theta
+        off = self.config.lidar_offset_x
+        if off != 0.0:
+            sx = self.pool.take("pf.sensor_x", (n,))
+            np.cos(theta, out=sx)
+            sx *= off
+            sx += cloud.xy[:, 0]
+            sy = self.pool.take("pf.sensor_y", (n,))
+            np.sin(theta, out=sy)
+            sy *= off
+            sy += cloud.xy[:, 1]
+        else:
+            sx = cloud.xy[:, 0]
+            sy = cloud.xy[:, 1]
+        qt = self.pool.take("pf.query_theta", (n, angles.size))
+        np.add(theta[:, None], angles[None, :], out=qt)
+        return pack_query_keys(self.range_method, sx, sy, qt, pool=self.pool)
+
+    def _gather_log_likelihood(
+        self,
+        rep_ranges: np.ndarray,
+        inv: np.ndarray,
+        measured: np.ndarray,
+        n_beams: int,
+    ) -> np.ndarray:
+        """Per-particle scores from the fused cast's representatives.
+
+        The fast path scores straight from the ``U`` representative
+        ranges via the backend gather kernel — but only when the sensor
+        model is the stock :class:`BeamSensorModel`.  A replaced or
+        monkeypatched ``log_likelihood`` (custom sensor models, test
+        spies) keeps working: the fused path then materialises the same
+        ``(P, B)`` expected-range matrix the staged path feeds it.
+        """
+        sm = self.sensor_model
+        if (
+            type(sm).log_likelihood is BeamSensorModel.log_likelihood
+            and "log_likelihood" not in sm.__dict__
+        ):
+            return self._fused_kernel.gather_log_likelihood(
+                sm, rep_ranges, inv, measured, n_beams, pool=self.pool,
+            )
+        expected = rep_ranges[inv].reshape(-1, n_beams)
+        return sm.log_likelihood(expected, measured)
+
+    def _update_fused(
+        self,
+        delta: OdometryDelta,
+        scan_ranges: np.ndarray,
+        beam_angles: np.ndarray,
+    ) -> FilterEstimate:
+        """The single fused pf_update pipeline (solo session)."""
+        measured, angles = self._motion_and_measure(
+            delta, scan_ranges, beam_angles
+        )
+        method = self.range_method
+        with self.tracer.span("raycast"):
+            packed = self._fused_queries(angles)
+            rep_ranges, inv = cast_packed(method, packed)
+            method.record_batch(packed.size, rep_ranges.size)
+        with self.tracer.span("sensor"):
+            log_like = self._gather_log_likelihood(
+                rep_ranges, inv, measured, angles.size
+            )
+            self._apply_likelihood(log_like, measured)
+        return self._estimate_and_resample()
+
+    # -- batched execution -----------------------------------------------
+    @classmethod
+    def update_batch(
+        cls,
+        filters: Sequence["SynPF"],
+        deltas: Sequence[OdometryDelta],
+        scans: Sequence[np.ndarray],
+        beam_angles,
+    ) -> List[FilterEstimate]:
+        """One synchronized update step across ``S`` same-map sessions.
+
+        The batch-first API: filters sharing a dedup-wrapped range method
+        (same inner method object, same bin geometry — the artifact cache
+        guarantees that on a shared map) execute their raycast stage as
+        **one fused kernel invocation**: every session's packed keys are
+        unified by a single ``np.unique`` and answered by a single
+        representative cast.  Because dedup representatives are bin
+        centres — a pure function of the key — each session's result is
+        bit-identical to what its own solo :meth:`update` would produce;
+        folding changes work, never answers.
+
+        Parameters
+        ----------
+        filters:
+            The ``S`` filters to step.  Non-foldable members (table-driven
+            range methods, ``fused=False``) transparently run their own
+            solo :meth:`update`.
+        deltas:
+            ``S`` per-session :class:`OdometryDelta` values.
+        scans:
+            ``S`` full scans (sequence of ``(B,)`` arrays or an ``(S, B)``
+            array).
+        beam_angles:
+            One shared ``(B,)`` beam-angle table, an ``(S, B)`` array, or
+            a length-``S`` sequence of per-session tables.
+
+        Returns the ``S`` :class:`FilterEstimate` results in input order.
+
+        Telemetry matches the historical folded path: per-session
+        ``motion`` / ``sensor`` / ``resample`` spans fire, but no
+        ``update`` or ``raycast`` span (the shared cast belongs to no
+        single session; dedup counters for the whole fold are attributed
+        to the casting member's wrapper).
+        """
+        filters = list(filters)
+        n_sessions = len(filters)
+        deltas = list(deltas)
+        if len(deltas) != n_sessions or len(scans) != n_sessions:
+            raise ValueError(
+                "filters, deltas and scans must have the same length"
+            )
+        if isinstance(beam_angles, (list, tuple)) and (
+            len(beam_angles) > 0 and np.ndim(beam_angles[0]) >= 1
+        ):
+            angles_list = [np.asarray(a, dtype=float) for a in beam_angles]
+        else:
+            arr = np.asarray(beam_angles, dtype=float)
+            if arr.ndim == 1:
+                angles_list = [arr] * n_sessions
+            elif arr.ndim == 2:
+                angles_list = [arr[i] for i in range(arr.shape[0])]
+            else:
+                raise ValueError(
+                    f"beam_angles must be (B,), (S, B) or a length-S "
+                    f"sequence, got ndim={arr.ndim}"
+                )
+        if len(angles_list) != n_sessions:
+            raise ValueError(
+                f"expected {n_sessions} beam-angle tables, got {len(angles_list)}"
+            )
+
+        results: List[Optional[FilterEstimate]] = [None] * n_sessions
+        groups: Dict = {}
+        solo: List[int] = []
+        for i, f in enumerate(filters):
+            if f._use_fused():
+                m = f.range_method
+                key = (id(m.inner), m.xy_bin_cells, m.theta_bins)
+                groups.setdefault(key, []).append(i)
+            else:
+                solo.append(i)
+
+        for idxs in groups.values():
+            if len(idxs) < 2:
+                # A fold of one gains nothing; run it solo with the full
+                # update/raycast span structure.
+                solo.extend(idxs)
+                continue
+            works = []
+            for i in idxs:
+                f = filters[i]
+                measured, angles = f._motion_and_measure(
+                    deltas[i], scans[i], angles_list[i]
+                )
+                works.append((measured, angles, f._fused_queries(angles)))
+            packed_all = np.concatenate([w[2] for w in works])
+            caster = filters[idxs[0]].range_method
+            rep_ranges, inv = cast_packed(caster, packed_all)
+            caster.record_batch(packed_all.size, rep_ranges.size)
+            offset = 0
+            for i, (measured, angles, packed) in zip(idxs, works):
+                f = filters[i]
+                sub_inv = inv[offset:offset + packed.size]
+                offset += packed.size
+                with f.tracer.span("sensor"):
+                    log_like = f._gather_log_likelihood(
+                        rep_ranges, sub_inv, measured, angles.size
+                    )
+                    f._apply_likelihood(log_like, measured)
+                results[i] = f._estimate_and_resample()
+
+        for i in solo:
+            results[i] = filters[i].update(deltas[i], scans[i], angles_list[i])
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -687,7 +1065,7 @@ class SynPF:
     @property
     def num_particles(self) -> int:
         """Current particle count (varies when ``adaptive`` is on)."""
-        return int(self.particles.shape[0])
+        return self._cloud.n
 
     def latency_ms(self) -> float:
         """Mean per-update wall time — the paper's headline latency metric."""
@@ -715,6 +1093,7 @@ class SynPF:
             ),
             "sensor_backend": self.sensor_model.backend,
             "dedup": inner is not None,
+            "pf_update": "fused" if self._use_fused() else "staged",
         }
         if inner is not None:
             info["dedup_stats"] = method.stats()
@@ -727,6 +1106,10 @@ class SynPF:
             "num_particles": self.num_particles,
             "timing": self.timing.summary(),
             "accel": self.accel_info(),
+            "memory": {
+                "cloud_bytes": self._cloud.memory_bytes(),
+                "pool_bytes": self.pool.total_bytes,
+            },
         }
         if self.config.augmented:
             snapshot["augmented"] = {

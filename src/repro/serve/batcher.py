@@ -1,13 +1,14 @@
-"""Cross-session raycast batching: fold same-map updates into one call.
+"""Cross-session update batching over ``SynPF.update_batch``.
 
 Sessions on the same map at the same instant ask highly overlapping
 raycast questions — racing cars share the track, so their particle
-clouds occupy the same cells.  The batcher exploits the
-``prepare_update`` / ``complete_update`` seam on
-:class:`~repro.core.particle_filter.SynPF`: it runs every session's
-motion stage, **concatenates** their raycast query arrays, answers them
-in a single dedup call, then hands each slice back to its session's
-sensor/resample stages.
+clouds occupy the same cells.  The batcher groups requests by fold key
+and drives the batch-first core directly:
+:meth:`~repro.core.particle_filter.SynPF.update_batch` executes every
+grouped session's step with **one fused kernel invocation** — a single
+packed-key unification and one representative cast for the whole group
+(it previously stitched the ``prepare_update`` / ``complete_update``
+seam together here, now deprecated).
 
 Exact equivalence, not approximation
 ------------------------------------
@@ -21,12 +22,11 @@ queries landed in the bin or in what order — so for every query ``q``::
     dedup(A ∪ B)[q] == dedup(A)[q] == dedup(B)[q]
 
 and the folded result is *bit-identical* to what each session's own
-``calc_ranges_pose_batch`` would have produced.  The flat query arrays
-are assembled with the same broadcasting expressions as
-:meth:`~repro.raycast.base.RangeMethod.calc_ranges_pose_batch`, so not
-even the float association differs.  Sessions that do not qualify
-(table-driven LUT/GLT methods, dedup off, non-PF localizers) simply run
-their own update — the batcher never changes results, only work.
+solo update would have produced (the fused pipeline itself is bitwise
+identical to the staged one; see :mod:`repro.accel.fused`).  Sessions
+that do not qualify (table-driven LUT/GLT methods, dedup off, non-PF
+localizers) simply run their own update — the batcher never changes
+results, only work.
 """
 
 from __future__ import annotations
@@ -133,40 +133,15 @@ class UpdateBatcher:
 
     # ------------------------------------------------------------------
     def _flush_folded(self, group: List[UpdateRequest]) -> None:
-        """One shared raycast for a group of same-map dedup sessions."""
-        pendings = []
-        flats = []
-        shapes = []
-        for req in group:
-            pf = req.session.pf
-            pending = pf.prepare_update(
-                req.delta, req.scan_ranges, req.beam_angles
-            )
-            poses, angles = pending.sensor_poses, pending.angles
-            n_poses, n_beams = poses.shape[0], angles.size
-            # Replicate calc_ranges_pose_batch's buffer fill exactly —
-            # same broadcasting, same float association — so the folded
-            # queries are bit-identical to the solo path's.
-            flat = np.empty((n_poses * n_beams, 3))
-            view = flat.reshape(n_poses, n_beams, 3)
-            view[:, :, 0] = poses[:, 0, None]
-            view[:, :, 1] = poses[:, 1, None]
-            view[:, :, 2] = poses[:, 2, None] + angles[None, :]
-            pendings.append(pending)
-            flats.append(flat)
-            shapes.append((n_poses, n_beams))
+        """One ``update_batch`` step for a group of same-map dedup sessions."""
+        from repro.core.particle_filter import SynPF
 
-        # Any member's wrapper answers for the whole group: the fold key
-        # pinned the inner method object and the bin geometry, and bin
-        # centres make the result a pure per-query function.
-        shared_method = group[0].session.pf.range_method
-        results = shared_method.calc_ranges(np.concatenate(flats, axis=0))
-
-        offset = 0
-        for req, pending, (n_poses, n_beams) in zip(group, pendings, shapes):
-            count = n_poses * n_beams
-            expected = results[offset:offset + count].reshape(n_poses, n_beams)
-            offset += count
-            est = req.session.pf.complete_update(pending, expected)
+        estimates = SynPF.update_batch(
+            [req.session.pf for req in group],
+            [req.delta for req in group],
+            [req.scan_ranges for req in group],
+            [req.beam_angles for req in group],
+        )
+        for req, est in zip(group, estimates):
             req.session.num_updates += 1
             req.pose = est.pose

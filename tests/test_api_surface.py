@@ -61,6 +61,15 @@ SUBPACKAGES = {
         "occupied_bins", "LocalizationSupervisor", "SupervisorConfig",
         "Localizer", "SynPFLocalizer", "CartographerLocalizer",
         "make_localizer", "LOCALIZER_METHODS",
+        "BatchLocalizer", "update_localizers_batch",
+        "BufferPool", "ParticleCloud",
+    ],
+    "repro.accel": [
+        "KNOWN_BACKENDS", "available_backends", "numba_available",
+        "resolve_backend", "DedupRangeMethod", "AccelSpec",
+        "parse_accel_spec", "PF_UPDATE_KERNELS", "cast_packed",
+        "fused_update_supported", "get_pf_update_kernel",
+        "pack_query_keys",
     ],
     "repro.maps": [
         "OccupancyGrid", "Raceline", "TrackSpec", "generate_track",
@@ -147,3 +156,59 @@ def test_subpackage_all_sorted_and_valid(module):
     assert hasattr(mod, "__all__")
     for name in mod.__all__:
         assert getattr(mod, name, None) is not None, f"{module}.{name} broken"
+
+
+class TestSynPFUpdateSurface:
+    """The redesigned batch-first update API and its deprecation seams.
+
+    Supported surface: ``update`` (solo), ``update_batch`` (multi-session
+    fold), ``reconfigure`` (runtime knobs).  Deprecated with warnings:
+    the ``prepare_update``/``complete_update`` two-call seam and
+    ``mean_update_latency_ms``.
+    """
+
+    def test_supported_triple_present(self):
+        from repro.core import SynPF
+
+        assert callable(SynPF.update)
+        assert callable(SynPF.update_batch)
+        assert callable(SynPF.reconfigure)
+
+    def test_batch_localizer_capability(self):
+        from repro.core import BatchLocalizer, SynPFLocalizer
+
+        assert SynPFLocalizer.supports_batch is True
+        assert isinstance(BatchLocalizer, type(importlib.import_module(
+            "repro.core.interfaces").Localizer))
+
+    def test_two_call_seam_warns(self, fine_track):
+        import numpy as np
+
+        from repro.core import OdometryDelta, make_synpf
+
+        pf = make_synpf(fine_track.grid, num_particles=20, num_beams=10,
+                        seed=0, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        delta = OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025)
+        scan = np.full(10, 2.0)
+        angles = np.linspace(-1.0, 1.0, 10)
+        with pytest.warns(DeprecationWarning, match="update_batch"):
+            pending = pf.prepare_update(delta, scan, angles)
+        expected = pf.range_method.calc_ranges_pose_batch(
+            pending.sensor_poses, pending.angles
+        )
+        with pytest.warns(DeprecationWarning, match="update_batch"):
+            pf.complete_update(pending, expected)
+
+    def test_mean_update_latency_ms_warns(self, fine_track):
+        import numpy as np
+
+        from repro.core import OdometryDelta, make_synpf
+
+        pf = make_synpf(fine_track.grid, num_particles=20, num_beams=10,
+                        seed=0, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        pf.update(OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025),
+                  np.full(10, 2.0), np.linspace(-1.0, 1.0, 10))
+        with pytest.warns(DeprecationWarning, match="latency_ms"):
+            assert pf.mean_update_latency_ms() == pf.latency_ms()

@@ -1,0 +1,479 @@
+"""Tests for the fused ``pf_update`` pipeline and the unified accel spec.
+
+The load-bearing property is **bit-identity**: the fused pipeline
+(packed-key dedup → representative cast → likelihood gather) must equal
+the staged reference path to the last bit, per update, for every
+traversal method it covers — that identity is what lets ``fused="auto"``
+default on without re-recording golden traces, and what makes
+multi-session :meth:`SynPF.update_batch` folding exact.  These tests pin
+it end-to-end (fused vs staged, batch vs solo, for ray_marching and
+bresenham), at the kernel layer (packed keys vs the staged lexsort
+groups), and at the API layer (``parse_accel_spec`` grammar, config
+folding and conflicts, deprecated two-call seam).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AccelSpec,
+    cast_packed,
+    fused_update_supported,
+    get_pf_update_kernel,
+    numba_available,
+    pack_query_keys,
+    parse_accel_spec,
+)
+from repro.accel.fused import (
+    NumpyPFUpdateKernel,
+    representatives_from_keys,
+)
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_filter import ParticleFilterConfig, SynPF, make_synpf
+from repro.raycast import make_range_method
+from repro.serve.artifacts import MapArtifactCache
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+from .strategies import free_queries, room_grid
+
+
+# ---------------------------------------------------------------------------
+# parse_accel_spec grammar
+# ---------------------------------------------------------------------------
+class TestParseAccelSpec:
+    @pytest.mark.parametrize("spec,expected", [
+        ("fused@numba+dedup", AccelSpec("fused", "numba", True)),
+        ("staged@numpy", AccelSpec("staged", "numpy", None)),
+        ("staged@numpy-dedup", AccelSpec("staged", "numpy", False)),
+        ("fused", AccelSpec("fused", None, None)),
+        ("numba", AccelSpec(None, "numba", None)),
+        ("numpy+dedup", AccelSpec(None, "numpy", True)),
+        ("+dedup", AccelSpec(None, None, True)),
+        ("-dedup", AccelSpec(None, None, False)),
+        ("auto", AccelSpec("auto", None, None)),
+        ("auto@auto", AccelSpec("auto", "auto", None)),
+        ("@numba", AccelSpec(None, "numba", None)),
+    ])
+    def test_grammar(self, spec, expected):
+        assert parse_accel_spec(spec) == expected
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "turbo", "fused@cuda", "fused@numba@numpy",
+        "fused+dedup@numba", "fused+speed", "numba@numba",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_accel_spec(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError, match="string"):
+            parse_accel_spec(3)
+
+    def test_fused_property_mapping(self):
+        assert parse_accel_spec("fused").fused is True
+        assert parse_accel_spec("staged").fused is False
+        assert parse_accel_spec("auto").fused == "auto"
+        assert parse_accel_spec("numba").fused is None
+
+
+class TestConfigSpecFolding:
+    def test_resolved_folds_all_components(self):
+        cfg = ParticleFilterConfig(accel="staged@numpy+dedup").resolved()
+        assert cfg.fused is False
+        assert cfg.accel_backend == "numpy"
+        assert cfg.raycast_dedup is True
+        assert cfg.accel == "staged@numpy+dedup"  # spec retained
+
+    def test_resolved_is_idempotent(self):
+        cfg = ParticleFilterConfig(accel="fused@numpy").resolved()
+        assert cfg.resolved() == cfg
+
+    def test_absent_components_leave_knobs_alone(self):
+        cfg = ParticleFilterConfig(accel="+dedup", accel_backend="numpy").resolved()
+        assert cfg.raycast_dedup is True
+        assert cfg.accel_backend == "numpy"  # untouched
+        assert cfg.fused == "auto"
+
+    def test_agreeing_knob_is_not_a_conflict(self):
+        cfg = ParticleFilterConfig(accel="staged", fused=False).resolved()
+        assert cfg.fused is False
+
+    @pytest.mark.parametrize("kwargs", [
+        {"accel": "fused", "fused": False},
+        {"accel": "staged@numpy", "accel_backend": "numba"},
+        {"accel": "+dedup", "raycast_dedup": False},
+    ])
+    def test_conflicting_knob_raises(self, kwargs):
+        with pytest.raises(ValueError, match="conflicts"):
+            ParticleFilterConfig(**kwargs).resolved()
+
+    def test_validate_rejects_malformed_spec(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(accel="warp9").validate()
+
+    def test_validate_rejects_bad_fused_value(self):
+        with pytest.raises(ValueError, match="fused"):
+            ParticleFilterConfig(fused="sometimes").validate()
+
+
+# ---------------------------------------------------------------------------
+# Kernel layer: packed keys vs the staged dedup
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dedup_setup():
+    grid = room_grid(seed=23)
+    method = make_range_method("ray_marching+dedup", grid)
+    poses = free_queries(grid, 40, seed=3)
+    angles = np.linspace(-np.pi / 2, np.pi / 2, 9)
+    # The (P*B, 3) query array the staged calc_ranges_pose_batch builds.
+    queries = np.empty((poses.shape[0] * angles.size, 3))
+    queries[:, 0] = np.repeat(poses[:, 0], angles.size)
+    queries[:, 1] = np.repeat(poses[:, 1], angles.size)
+    queries[:, 2] = (poses[:, 2][:, None] + angles[None, :]).reshape(-1)
+    return method, poses, angles, queries
+
+
+class TestPackedKeys:
+    def test_cast_packed_matches_staged_dedup_exactly(self, dedup_setup):
+        method, poses, angles, queries = dedup_setup
+        packed = pack_query_keys(
+            method, poses[:, 0], poses[:, 1],
+            poses[:, 2][:, None] + angles[None, :],
+        )
+        rep_ranges, inv = cast_packed(method, packed)
+        staged = method.calc_ranges(queries)
+        np.testing.assert_array_equal(rep_ranges[inv], staged)
+
+    def test_unique_count_matches_staged_group_count(self, dedup_setup):
+        method, poses, angles, queries = dedup_setup
+        packed = pack_query_keys(
+            method, poses[:, 0], poses[:, 1],
+            poses[:, 2][:, None] + angles[None, :],
+        )
+        rep_ranges, _ = cast_packed(method, packed)
+        before = method.queries_cast
+        method.calc_ranges(queries)
+        assert method.queries_cast - before == rep_ranges.size
+
+    def test_representatives_round_trip_through_keys(self, dedup_setup):
+        method, poses, angles, _ = dedup_setup
+        packed = pack_query_keys(
+            method, poses[:, 0], poses[:, 1],
+            poses[:, 2][:, None] + angles[None, :],
+        )
+        keys = np.unique(packed)
+        rep = representatives_from_keys(method, keys)
+        # Re-packing the bin-centre representatives lands on the same keys.
+        repacked = pack_query_keys(
+            method, rep[:, 0], rep[:, 1], rep[:, 2][:, None]
+        )
+        np.testing.assert_array_equal(repacked, keys)
+
+    def test_record_batch_updates_counters(self, dedup_setup):
+        method, *_ = dedup_setup
+        t0, c0 = method.queries_total, method.queries_cast
+        method.record_batch(100, 7)
+        assert method.queries_total == t0 + 100
+        assert method.queries_cast == c0 + 7
+        assert method.last_hit_rate == pytest.approx(0.93)
+        method.record_batch(0, 0)  # no-op, no ZeroDivisionError
+        assert method.queries_total == t0 + 100
+
+
+class TestFusedSupport:
+    def test_dedup_wrapped_method_supported(self):
+        grid = room_grid(seed=5)
+        assert fused_update_supported(make_range_method("ray_marching+dedup", grid))
+
+    def test_bare_method_not_supported(self):
+        grid = room_grid(seed=5)
+        assert not fused_update_supported(make_range_method("ray_marching", grid))
+
+    def test_kernel_registry_resolution(self):
+        assert get_pf_update_kernel("numpy").backend == "numpy"
+        assert get_pf_update_kernel("auto").backend in ("numpy", "numba")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bit identity
+# ---------------------------------------------------------------------------
+def _drive(pf, track, lidar, steps):
+    """Step a filter along the centerline; returns the estimates."""
+    line = track.centerline
+    delta = OdometryDelta(0.05, 0.0, 0.01, 1.0, 0.025)
+    estimates = []
+    s = 0.0
+    for _ in range(steps):
+        s += 0.05
+        pt = line.point_at(s)
+        pose = np.array([pt[0], pt[1], line.heading_at(s)])
+        scan = lidar.scan(pose)
+        estimates.append(pf.update(delta, scan.ranges, scan.angles))
+    return estimates
+
+
+def _make_pf(track, cache=None, **overrides):
+    overrides.setdefault("num_particles", 300)
+    overrides.setdefault("num_beams", 24)
+    overrides.setdefault("seed", 11)
+    overrides.setdefault("raycast_dedup", True)
+    return SynPF(track.grid, ParticleFilterConfig(**overrides),
+                 artifact_cache=cache)
+
+
+def _assert_same_state(pf_a, pf_b):
+    np.testing.assert_array_equal(pf_a.particles, pf_b.particles)
+    np.testing.assert_array_equal(pf_a.weights, pf_b.weights)
+
+
+@pytest.mark.parametrize("range_method", ["ray_marching", "bresenham"])
+class TestFusedBitIdentity:
+    def test_fused_equals_staged_per_update(self, fine_track, range_method):
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=4,
+        )
+        fused = _make_pf(fine_track, range_method=range_method, fused=True)
+        staged = _make_pf(fine_track, range_method=range_method, fused=False)
+        assert fused._use_fused() and not staged._use_fused()
+        start = fine_track.centerline.start_pose()
+        fused.initialize(start)
+        staged.initialize(start)
+
+        ests_f = _drive(fused, fine_track, lidar, steps=5)
+        lidar_b = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=4,
+        )
+        ests_s = _drive(staged, fine_track, lidar_b, steps=5)
+
+        for ef, es in zip(ests_f, ests_s):
+            np.testing.assert_array_equal(ef.pose, es.pose)
+            assert ef.ess == es.ess
+            assert ef.resampled == es.resampled
+        _assert_same_state(fused, staged)
+        # The property is only meaningful if resampling actually fired
+        # somewhere (the rng-consumption-order-sensitive stage).
+        assert any(e.resampled for e in ests_s)
+
+    def test_update_batch_equals_solo(self, fine_track, range_method):
+        cache = MapArtifactCache()
+        n_sessions, steps = 3, 4
+        batch = [_make_pf(fine_track, cache, range_method=range_method,
+                          seed=20 + i) for i in range(n_sessions)]
+        solo = [_make_pf(fine_track, range_method=range_method, seed=20 + i)
+                for i in range(n_sessions)]
+        # The artifact cache shares one inner method: the fold criterion.
+        assert batch[0].range_method.inner is batch[1].range_method.inner
+
+        line = fine_track.centerline
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=9,
+        )
+        starts = [line.point_at(i * 2.0) for i in range(n_sessions)]
+        poses = [np.array([p[0], p[1], line.heading_at(i * 2.0)])
+                 for i, p in enumerate(starts)]
+        for pf_b, pf_s, pose in zip(batch, solo, poses):
+            pf_b.initialize(pose)
+            pf_s.initialize(pose)
+
+        delta = OdometryDelta(0.05, 0.0, 0.01, 1.0, 0.025)
+        scans = [lidar.scan(pose) for pose in poses]
+        for _ in range(steps):
+            ests_b = SynPF.update_batch(
+                batch,
+                [delta] * n_sessions,
+                [s.ranges for s in scans],
+                [s.angles for s in scans],
+            )
+            ests_s = [pf.update(delta, s.ranges, s.angles)
+                      for pf, s in zip(solo, scans)]
+            for eb, es in zip(ests_b, ests_s):
+                np.testing.assert_array_equal(eb.pose, es.pose)
+                assert eb.resampled == es.resampled
+        for pf_b, pf_s in zip(batch, solo):
+            _assert_same_state(pf_b, pf_s)
+
+
+class TestUpdateBatchRouting:
+    def test_mixed_batch_members_run_solo_and_stay_exact(self, fine_track):
+        # One staged-forced member and one dedup-off member ride along
+        # with two foldable ones; everyone must match their solo twin.
+        cache = MapArtifactCache()
+        configs = [
+            dict(range_method="ray_marching", seed=31),
+            dict(range_method="ray_marching", seed=32),
+            dict(range_method="ray_marching", seed=33, fused=False),
+            dict(range_method="ray_marching", seed=34, raycast_dedup=False),
+        ]
+        batch = [_make_pf(fine_track, cache, **dict(c)) for c in configs]
+        solo = [_make_pf(fine_track, **dict(c)) for c in configs]
+        start = fine_track.centerline.start_pose()
+        for pf in batch + solo:
+            pf.initialize(start)
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=2,
+        )
+        scan = lidar.scan(start)
+        delta = OdometryDelta(0.02, 0.0, 0.0, 0.6, 0.025)
+        ests_b = SynPF.update_batch(batch, [delta] * 4,
+                                    [scan.ranges] * 4, scan.angles)
+        for pf_s, eb in zip(solo, ests_b):
+            es = pf_s.update(delta, scan.ranges, scan.angles)
+            np.testing.assert_array_equal(eb.pose, es.pose)
+        for pf_b, pf_s in zip(batch, solo):
+            _assert_same_state(pf_b, pf_s)
+
+    def test_group_of_one_runs_solo(self, fine_track):
+        pf = _make_pf(fine_track, range_method="ray_marching", seed=41)
+        twin = _make_pf(fine_track, range_method="ray_marching", seed=41)
+        start = fine_track.centerline.start_pose()
+        pf.initialize(start)
+        twin.initialize(start)
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=3,
+        )
+        scan = lidar.scan(start)
+        delta = OdometryDelta(0.02, 0.0, 0.0, 0.6, 0.025)
+        (est,) = SynPF.update_batch([pf], [delta], [scan.ranges], scan.angles)
+        est_t = twin.update(delta, scan.ranges, scan.angles)
+        np.testing.assert_array_equal(est.pose, est_t.pose)
+
+    def test_length_mismatch_raises(self, fine_track):
+        pf = _make_pf(fine_track, range_method="ray_marching")
+        with pytest.raises(ValueError, match="same length"):
+            SynPF.update_batch([pf], [], [], np.zeros(4))
+
+    def test_bad_beam_angles_shape_raises(self, fine_track):
+        pf = _make_pf(fine_track, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        with pytest.raises(ValueError, match="beam_angles"):
+            SynPF.update_batch(
+                [pf], [OdometryDelta(0, 0, 0, 0, 0.025)],
+                [np.zeros(4)], np.zeros((1, 4, 1)),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sensor-model extension point survives fusion
+# ---------------------------------------------------------------------------
+class TestSensorOverrideFallback:
+    def test_instance_override_is_called_on_fused_path(self, fine_track):
+        pf = _make_pf(fine_track, range_method="ray_marching", seed=13)
+        assert pf._use_fused()
+        pf.initialize(fine_track.centerline.start_pose())
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=6,
+        )
+        scan = lidar.scan(fine_track.centerline.start_pose())
+
+        seen = []
+        real = pf.sensor_model.log_likelihood
+
+        def spy(expected, measured):
+            seen.append(expected.shape)
+            return real(expected, measured)
+
+        pf.sensor_model.log_likelihood = spy
+        pf.update(OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025),
+                  scan.ranges, scan.angles)
+        # The override received the full staged-shape expected matrix.
+        assert seen == [(pf.num_particles, pf.config.num_beams)]
+
+
+# ---------------------------------------------------------------------------
+# Deprecated two-call seam
+# ---------------------------------------------------------------------------
+class TestDeprecatedSeam:
+    def test_prepare_complete_warns_and_matches_update(self, fine_track):
+        legacy = _make_pf(fine_track, range_method="ray_marching", seed=17)
+        modern = _make_pf(fine_track, range_method="ray_marching", seed=17)
+        start = fine_track.centerline.start_pose()
+        legacy.initialize(start)
+        modern.initialize(start)
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=8,
+        )
+        scan = lidar.scan(start)
+        delta = OdometryDelta(0.02, 0.0, 0.0, 0.6, 0.025)
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            pending = legacy.prepare_update(delta, scan.ranges, scan.angles)
+        expected = legacy.range_method.calc_ranges_pose_batch(
+            pending.sensor_poses, pending.angles
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            est_legacy = legacy.complete_update(pending, expected)
+
+        est_modern = modern.update(delta, scan.ranges, scan.angles)
+        np.testing.assert_array_equal(est_legacy.pose, est_modern.pose)
+        _assert_same_state(legacy, modern)
+
+
+# ---------------------------------------------------------------------------
+# Numba kernel parity (skips where numba is absent)
+# ---------------------------------------------------------------------------
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaGatherParity:
+    def test_gather_matches_numpy_within_accumulation_noise(self, fine_track):
+        from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
+
+        rng = np.random.default_rng(0)
+        sm = BeamSensorModel(SensorModelConfig(), backend="numpy")
+        n_particles, n_beams, n_reps = 64, 16, 40
+        rep_ranges = rng.uniform(0.0, sm.config.max_range, n_reps)
+        inv = rng.integers(0, n_reps, n_particles * n_beams)
+        measured = rng.uniform(0.0, sm.config.max_range, n_beams)
+
+        ref = get_pf_update_kernel("numpy").gather_log_likelihood(
+            sm, rep_ranges, inv, measured, n_beams
+        )
+        got = get_pf_update_kernel("numba").gather_log_likelihood(
+            sm, rep_ranges, inv, measured, n_beams
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-7)
+
+    def test_numba_kernel_registered(self):
+        assert get_pf_update_kernel("numba").backend == "numba"
+
+
+# ---------------------------------------------------------------------------
+# Telemetry parity
+# ---------------------------------------------------------------------------
+class TestFusedTelemetry:
+    def test_dedup_counters_account_full_batch(self, fine_track):
+        pf = _make_pf(fine_track, range_method="ray_marching", seed=19)
+        pf.initialize(fine_track.centerline.start_pose())
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.01, dropout_prob=0.0), seed=7,
+        )
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        pf.update(OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025),
+                  scan.ranges, scan.angles)
+        stats = pf.range_method.stats()
+        assert stats["queries_total"] == pf.num_particles * pf.config.num_beams
+        assert 0 < stats["queries_cast"] <= stats["queries_total"]
+
+    def test_gather_kernel_pool_reuse(self):
+        # The kernel's pool-backed scratch must not grow at steady state.
+        from repro.core.particle_cloud import BufferPool
+        from repro.core.sensor_models import BeamSensorModel, SensorModelConfig
+
+        rng = np.random.default_rng(1)
+        sm = BeamSensorModel(SensorModelConfig(), backend="numpy")
+        pool = BufferPool()
+        kernel = NumpyPFUpdateKernel()
+        rep_ranges = rng.uniform(0.0, sm.config.max_range, 30)
+        inv = rng.integers(0, 30, 32 * 8)
+        measured = rng.uniform(0.0, sm.config.max_range, 8)
+        kernel.gather_log_likelihood(sm, rep_ranges, inv, measured, 8, pool=pool)
+        held = pool.total_bytes
+        assert held > 0
+        kernel.gather_log_likelihood(sm, rep_ranges, inv, measured, 8, pool=pool)
+        assert pool.total_bytes == held

@@ -1,0 +1,260 @@
+"""Tests for the SoA particle store (``repro.core.particle_cloud``).
+
+Covers the :class:`BufferPool` scratch allocator (steady-state reuse,
+monotonic growth, dtype-keyed slots) and :class:`ParticleCloud`
+(capacity-preserving resize, live views, log-weight refresh, AoS
+interop), plus the integration property ISSUE-8 pins: a runtime
+``reconfigure`` *shrink* of a SynPF must narrow the existing backing
+buffers — ``cloud.xy.base`` identity preserved — not re-allocate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.motion_models import OdometryDelta
+from repro.core.particle_cloud import BufferPool, ParticleCloud
+from repro.core.particle_filter import make_synpf
+from repro.sim.lidar import LidarConfig, SimulatedLidar
+
+
+# ---------------------------------------------------------------------------
+# BufferPool
+# ---------------------------------------------------------------------------
+class TestBufferPool:
+    def test_take_returns_requested_shape_and_dtype(self):
+        pool = BufferPool()
+        a = pool.take("a", (3, 4))
+        assert a.shape == (3, 4) and a.dtype == np.float64
+        b = pool.take("b", 7, np.int64)
+        assert b.shape == (7,) and b.dtype == np.int64
+
+    def test_steady_state_reuses_backing_buffer(self):
+        pool = BufferPool()
+        first = pool.take("k", (100,))
+        again = pool.take("k", (100,))
+        assert again.base is first.base or again is first
+
+    def test_smaller_request_reuses_larger_buffer(self):
+        pool = BufferPool()
+        big = pool.take("k", (100,))
+        backing = big if big.base is None else big.base
+        small = pool.take("k", (10,))
+        assert small.base is backing
+        assert pool.stats()["k"] == 100 * 8
+
+    def test_larger_request_grows(self):
+        pool = BufferPool()
+        pool.take("k", (10,))
+        grown = pool.take("k", (200,))
+        assert grown.shape == (200,)
+        assert pool.stats()["k"] == 200 * 8
+
+    def test_dtype_gets_its_own_slot(self):
+        pool = BufferPool()
+        f = pool.take("k", (8,))
+        i = pool.take("k", (8,), np.int64)
+        assert f.dtype == np.float64 and i.dtype == np.int64
+        # Two slots under one key: stats aggregates both.
+        assert pool.stats()["k"] == 8 * 8 * 2
+        assert pool.total_bytes == 8 * 8 * 2
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            BufferPool().take("k", (-1, 4))
+
+
+# ---------------------------------------------------------------------------
+# ParticleCloud
+# ---------------------------------------------------------------------------
+class TestParticleCloud:
+    def test_initial_state_uniform(self):
+        cloud = ParticleCloud(10)
+        assert len(cloud) == cloud.n == 10
+        assert cloud.capacity == 10
+        np.testing.assert_array_equal(cloud.weights, np.full(10, 0.1))
+        assert cloud.xy.shape == (10, 2) and cloud.theta.shape == (10,)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleCloud(0)
+        with pytest.raises(ValueError):
+            ParticleCloud(5).resize(0)
+
+    def test_views_are_live(self):
+        cloud = ParticleCloud(4)
+        cloud.xy[:, 0] = 1.5
+        cloud.theta[:] = 0.25
+        np.testing.assert_array_equal(cloud.as_array()[:, 0], 1.5)
+        np.testing.assert_array_equal(cloud.as_array()[:, 2], 0.25)
+
+    def test_shrink_preserves_backing_allocation(self):
+        cloud = ParticleCloud(100)
+        xy_base = cloud.xy.base
+        theta_base = cloud.theta.base
+        cloud.resize(30)
+        assert cloud.n == 30 and cloud.capacity == 100
+        assert cloud.xy.base is xy_base
+        assert cloud.theta.base is theta_base
+
+    def test_grow_reallocates_and_keeps_prefix(self):
+        cloud = ParticleCloud(4)
+        cloud.xy[:] = np.arange(8).reshape(4, 2)
+        cloud.theta[:] = np.arange(4)
+        cloud.resize(16)
+        assert cloud.capacity == 16
+        np.testing.assert_array_equal(cloud.xy[:4], np.arange(8).reshape(4, 2))
+        np.testing.assert_array_equal(cloud.theta[:4], np.arange(4))
+
+    def test_log_weights_matches_naive_log(self):
+        cloud = ParticleCloud(4)
+        cloud.set_weights(np.array([0.5, 0.25, 0.25, 0.0]))
+        expected = np.array([np.log(0.5), np.log(0.25), np.log(0.25), -np.inf])
+        np.testing.assert_array_equal(cloud.log_weights(), expected)
+
+    def test_log_weights_reuses_scratch(self):
+        cloud = ParticleCloud(6)
+        first = cloud.log_weights()
+        second = cloud.log_weights()
+        assert second.base is first.base or second is first
+
+    def test_set_from_array_same_count_keeps_weights(self):
+        cloud = ParticleCloud(3)
+        cloud.set_weights(np.array([0.6, 0.3, 0.1]))
+        cloud.set_from_array(np.ones((3, 3)))
+        np.testing.assert_array_equal(cloud.weights, [0.6, 0.3, 0.1])
+
+    def test_set_from_array_count_change_resets_uniform(self):
+        cloud = ParticleCloud(3)
+        cloud.set_from_array(np.zeros((6, 3)))
+        assert cloud.n == 6
+        np.testing.assert_array_equal(cloud.weights, np.full(6, 1 / 6))
+
+    def test_set_from_array_shape_validated(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            ParticleCloud(3).set_from_array(np.zeros((3, 2)))
+
+    def test_set_weights_self_view_shrink(self):
+        # Assigning a slice of the cloud's *own* weight buffer must not
+        # read through moved views mid-copy.
+        cloud = ParticleCloud(8)
+        cloud.set_weights(np.linspace(0.1, 0.8, 8) / np.linspace(0.1, 0.8, 8).sum())
+        expected = np.array(cloud.weights[:3])
+        cloud.set_weights(cloud.weights[:3])
+        assert cloud.n == 3
+        np.testing.assert_array_equal(cloud.weights, expected)
+
+    def test_set_weights_shape_validated(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ParticleCloud(3).set_weights(np.zeros((3, 1)))
+
+    def test_gather_matches_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        cloud = ParticleCloud(20)
+        cloud.xy[:] = rng.normal(size=(20, 2))
+        cloud.theta[:] = rng.normal(size=20)
+        before = cloud.as_array()
+        idx = rng.integers(0, 20, size=12)
+        cloud.gather(idx)
+        assert cloud.n == 12
+        np.testing.assert_array_equal(cloud.as_array(), before[idx])
+
+    def test_gather_same_size_is_allocation_free_at_steady_state(self):
+        pool = BufferPool()
+        cloud = ParticleCloud(50, pool=pool)
+        cloud.gather(np.arange(50))
+        held = pool.total_bytes
+        cloud.gather(np.arange(49, -1, -1))
+        assert pool.total_bytes == held
+
+    def test_scatter_poses(self):
+        cloud = ParticleCloud(5)
+        cloud.scatter_poses(np.array([1, 3]), np.array([[1.0, 2.0, 0.5],
+                                                        [3.0, 4.0, -0.5]]))
+        np.testing.assert_array_equal(cloud.xy[1], [1.0, 2.0])
+        assert cloud.theta[3] == -0.5
+
+    def test_as_array_out_parameter(self):
+        cloud = ParticleCloud(4)
+        cloud.xy[:, 0] = 7.0
+        out = np.empty((4, 3))
+        got = cloud.as_array(out)
+        assert got is out
+        np.testing.assert_array_equal(out[:, 0], 7.0)
+        # Mutating the AoS copy must not touch the cloud.
+        out[:, 0] = -1.0
+        np.testing.assert_array_equal(cloud.xy[:, 0], 7.0)
+
+    def test_memory_bytes_tracks_capacity(self):
+        cloud = ParticleCloud(100)
+        at_100 = cloud.memory_bytes()
+        cloud.resize(10)
+        assert cloud.memory_bytes() == at_100  # capacity, not live count
+
+
+# ---------------------------------------------------------------------------
+# SynPF integration: the buffer-identity regression ISSUE-8 pins
+# ---------------------------------------------------------------------------
+class TestReconfigureBufferReuse:
+    def test_shrink_narrows_views_without_reallocation(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=400, num_beams=30,
+                        seed=5, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        xy_base = pf.cloud.xy.base
+        theta_base = pf.cloud.theta.base
+
+        applied = pf.reconfigure(num_particles=150)
+        assert applied == {"num_particles": 150}
+        assert pf.num_particles == 150
+        assert pf.cloud.capacity == 400
+        assert pf.cloud.xy.base is xy_base
+        assert pf.cloud.theta.base is theta_base
+
+        # And the shrunk filter still updates normally.
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.005, dropout_prob=0.0), seed=0,
+        )
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        est = pf.update(OdometryDelta(0.0, 0.0, 0.0, 0.0, 0.025),
+                        scan.ranges, scan.angles)
+        assert np.all(np.isfinite(est.pose))
+
+    def test_grow_reallocates_to_new_budget(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=100, num_beams=30,
+                        seed=5, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        pf.reconfigure(num_particles=250)
+        assert pf.num_particles == 250
+        assert pf.cloud.capacity >= 250
+
+    def test_update_scratch_pool_stabilises(self, fine_track):
+        # After one update every per-cycle scratch key exists at its
+        # steady-state size; further updates must not grow the pool.
+        pf = make_synpf(fine_track.grid, num_particles=300, num_beams=30,
+                        seed=7, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        lidar = SimulatedLidar(
+            fine_track.grid,
+            LidarConfig(range_noise_std=0.005, dropout_prob=0.0), seed=1,
+        )
+        scan = lidar.scan(fine_track.centerline.start_pose())
+        delta = OdometryDelta(0.01, 0.0, 0.0, 0.4, 0.025)
+        pf.update(delta, scan.ranges, scan.angles)
+        held = pf.pool.total_bytes
+        assert held > 0
+        for _ in range(3):
+            pf.update(delta, scan.ranges, scan.angles)
+        assert pf.pool.total_bytes == held
+
+    def test_legacy_aos_accessors_round_trip(self, fine_track):
+        pf = make_synpf(fine_track.grid, num_particles=50, num_beams=20,
+                        seed=2, range_method="ray_marching")
+        pf.initialize(fine_track.centerline.start_pose())
+        particles = pf.particles
+        assert particles.shape == (50, 3)
+        shifted = particles + [0.1, 0.0, 0.0]
+        pf.particles = shifted
+        np.testing.assert_array_equal(pf.particles, shifted)
+        w = np.full(50, 1.0 / 50)
+        pf.weights = w
+        np.testing.assert_array_equal(pf.weights, w)
