@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Race a localizer through opponent traffic.
+
+Demonstrates the multi-agent layer (``repro.sim.MultiAgentSimulator`` +
+``repro.scenarios.TrafficSpec``): opponent cars share the track, their
+hulls shadow the ego's LiDAR beam-by-beam, and the localizer has to hold
+its estimate while a growing fraction of every scan is car instead of
+map.  By default this runs the traffic-density axis — the same course at
+0, 1, 2 and 4 opponents — and prints how the occluded-beam fraction and
+the localization error move together.
+
+Everything here is also reachable from the command line::
+
+    python -m repro campaign --traffic --smoke --workers 4
+    python -m repro scenario run gauntlet-traffic --resolution 0.1
+
+Run:  python examples/traffic_gauntlet.py                       (~2 min)
+      python examples/traffic_gauntlet.py --method cartographer
+      python examples/traffic_gauntlet.py --scenario gauntlet-traffic
+"""
+
+import argparse
+
+from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+DENSITY_AXIS = ("traffic-density-0", "traffic-density-1",
+                "traffic-density-2", "traffic-density-4")
+
+
+def run_one(name, method, seed, resolution):
+    spec = get_scenario(name)
+    outcome = run_scenario(
+        spec, method=method, seed=seed, num_laps=1, resolution=resolution,
+    )
+    return spec, outcome.summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default=None,
+                        choices=scenario_names(),
+                        help="run one scenario instead of the density axis")
+    parser.add_argument("--method", default="synpf",
+                        choices=("synpf", "cartographer", "vanilla_mcl"))
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--resolution", type=float, default=0.1,
+                        help="track resolution (0.1 = fast, 0.05 = paper)")
+    args = parser.parse_args()
+
+    names = (args.scenario,) if args.scenario else DENSITY_AXIS
+    print(f"method: {args.method}\n")
+    print(f"{'scenario':<20} {'opp':>3} {'occl%':>7} {'occl max%':>9} "
+          f"{'err cm':>8} {'min gap m':>9}  survived")
+    for name in names:
+        spec, summary = run_one(name, args.method, args.seed,
+                                args.resolution)
+        errs = summary["lap_loc_err_cm"]
+        occl = summary.get("occluded_beam_fraction_mean", 0.0)
+        occl_max = summary.get("occluded_beam_fraction_max", 0.0)
+        gap = summary.get("traffic_min_gap_m")
+        print(f"{name:<20} {summary.get('traffic_agents', 0):>3} "
+              f"{100 * occl:>7.2f} {100 * occl_max:>9.2f} "
+              f"{(sum(errs) / len(errs)) if errs else float('nan'):>8.1f} "
+              f"{gap if gap is not None else float('nan'):>9.2f}  "
+              f"{summary['survived']}")
+
+    print(
+        "\nReading: each opponent hull removes map evidence from the scan"
+        "\n(occl% = mean occluded-beam fraction), and the localizer sees"
+        "\nunmapped returns where the cars are.  The density axis shows how"
+        "\nmuch traffic the beam-model localizers absorb before the error"
+        "\nmoves — the robustness question a race stack actually cares"
+        "\nabout.  Full matrix: python -m repro campaign --traffic"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -137,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override num_laps on every scenario")
     p_campaign.add_argument("--resolution", type=float, default=None,
                             help="override track resolution on every scenario")
+    p_campaign.add_argument("--traffic", action="store_true",
+                            help="run the traffic-density axis: the "
+                                 "traffic-density-* scenarios against "
+                                 "synpf and cartographer (explicit "
+                                 "--scenarios/--methods still win)")
+    p_campaign.add_argument("--smoke", action="store_true",
+                            help="fast sanity pass: 1 lap on a coarse "
+                                 "0.1 m grid unless --laps/--resolution "
+                                 "are given explicitly")
     p_campaign.add_argument("--quiet", action="store_true")
 
     p_verify = sub.add_parser(
@@ -490,10 +499,24 @@ def main(argv=None) -> int:
             format_scorecard, run_campaign, save_scorecard, scenario_names,
         )
 
-        names = ([s for s in args.scenarios.split(",") if s]
-                 if args.scenarios else scenario_names())
-        methods = ([m for m in args.methods.split(",") if m]
-                   if args.methods else None)
+        if args.scenarios:
+            names = [s for s in args.scenarios.split(",") if s]
+        elif args.traffic:
+            names = [n for n in scenario_names()
+                     if n.startswith("traffic-density-")]
+        else:
+            names = scenario_names()
+        if args.methods:
+            methods = [m for m in args.methods.split(",") if m]
+        elif args.traffic:
+            methods = ["synpf", "cartographer"]
+        else:
+            methods = None
+        num_laps = args.laps
+        resolution = args.resolution
+        if args.smoke:
+            num_laps = 1 if num_laps is None else num_laps
+            resolution = 0.1 if resolution is None else resolution
 
         def report(stats, record):
             if args.quiet:
@@ -510,7 +533,7 @@ def main(argv=None) -> int:
             names, methods=methods, trials=args.trials, base_seed=args.seed,
             workers=args.workers, timeout_s=args.timeout,
             retries=args.retries, checkpoint_path=args.checkpoint,
-            progress=report, num_laps=args.laps, resolution=args.resolution,
+            progress=report, num_laps=num_laps, resolution=resolution,
         )
         print()
         print(format_scorecard(scorecard))

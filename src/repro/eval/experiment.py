@@ -41,6 +41,7 @@ from repro.eval.perturbations import OdometryPerturbation
 from repro.maps.track_generator import GeneratedTrack
 from repro.sim.controllers import PurePursuitController, SpeedProfile
 from repro.sim.lidar import LidarScan
+from repro.sim.multi_agent import MultiAgentSimulator
 from repro.sim.simulator import SimConfig, Simulator
 from repro.sim.tire import TireModel
 from repro.telemetry import Telemetry
@@ -96,6 +97,10 @@ class ExperimentCondition:
     # track so followers can be built on its raceline).  Obstacles occlude
     # LiDAR beams but are not collision-checked against the ego car.
     obstacle_factory: Optional[Callable] = None
+    # Factory returning dynamics-stepped opponent agents (called with the
+    # track).  When set — even if it returns an empty field — the run uses
+    # the MultiAgentSimulator and the result carries traffic telemetry.
+    traffic_factory: Optional[Callable] = None
 
     def resolved_tire(self) -> TireModel:
         if self.tire is not None:
@@ -148,6 +153,7 @@ class ConditionResult:
     compute_load_percent: float
     crashes: int = 0
     supervisor_telemetry: Optional[Dict] = None
+    traffic_telemetry: Optional[Dict] = None
 
     def _valid_laps(self) -> List[LapRecord]:
         valid = [lap for lap in self.laps if lap.valid]
@@ -199,6 +205,8 @@ class ConditionResult:
         }
         if self.supervisor_telemetry is not None:
             out["supervisor_telemetry"] = self.supervisor_telemetry
+        if self.traffic_telemetry is not None:
+            out["traffic_telemetry"] = self.traffic_telemetry
         return out
 
     @classmethod
@@ -210,6 +218,7 @@ class ConditionResult:
             compute_load_percent=float(data["compute_load_percent"]),
             crashes=int(data.get("crashes", 0)),
             supervisor_telemetry=data.get("supervisor_telemetry"),
+            traffic_telemetry=data.get("traffic_telemetry"),
         )
 
 
@@ -389,7 +398,17 @@ class LapExperiment:
         sim_cfg = dataclasses.replace(
             self.base_config, vehicle=vehicle, seed=condition.seed
         )
-        sim = Simulator(self.track.grid, sim_cfg)
+        if condition.traffic_factory is not None:
+            # Even an empty field goes through the multi-agent scheduler:
+            # it is bit-identical to the single-agent path (pinned by
+            # tests), and keeps traffic telemetry uniformly present
+            # across a density sweep's cells.
+            sim = MultiAgentSimulator(
+                self.track.grid, sim_cfg,
+                agents=condition.traffic_factory(self.track),
+            )
+        else:
+            sim = Simulator(self.track.grid, sim_cfg)
         if condition.obstacle_factory is not None:
             sim.obstacles.extend(condition.obstacle_factory(self.track))
         profile = SpeedProfile(
@@ -605,12 +624,33 @@ class LapExperiment:
         supervisor_telemetry = None
         if isinstance(localizer, _SupervisedLocalizer):
             supervisor_telemetry = localizer.supervisor.telemetry.to_dict()
+        traffic_telemetry = None
+        if isinstance(sim, MultiAgentSimulator):
+            traffic_telemetry = sim.traffic_telemetry()
+            if telemetry is not None:
+                telemetry.counter("traffic.scans").inc(
+                    traffic_telemetry["scans"])
+                telemetry.counter("traffic.scans_occluded").inc(
+                    traffic_telemetry["scans_occluded"])
+                telemetry.counter("traffic.occluded_beams").inc(
+                    traffic_telemetry["occluded_beams"])
+                occ = traffic_telemetry["occlusion_histogram"]
+                hist = telemetry.registry.histogram(
+                    "traffic.occluded_beam_fraction", tuple(occ["edges"])
+                )
+                # The simulator accumulated with the Histogram's own
+                # bisect_left binning; adopt the counts directly.
+                hist.counts = [a + b for a, b in zip(hist.counts,
+                                                     occ["counts"])]
+                hist.sum += float(occ["sum"])
+                hist.count += int(occ["count"])
         if telemetry is not None:
             telemetry.gauge("experiment.latency_ms").set(mean_ms)
             telemetry.gauge("experiment.compute_load_percent").set(load)
             telemetry.flush_metrics(label=condition.label())
         return ConditionResult(condition, laps, mean_ms, load, crashes,
-                               supervisor_telemetry=supervisor_telemetry)
+                               supervisor_telemetry=supervisor_telemetry,
+                               traffic_telemetry=traffic_telemetry)
 
 
 def format_table1(results: List[ConditionResult]) -> str:

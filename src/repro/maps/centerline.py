@@ -187,6 +187,49 @@ class Raceline:
         i = int(np.searchsorted(self.s, s, side="right")) - 1
         return float(self.headings[max(i, 0)])
 
+    def _vertex_heading(self, i: int) -> float:
+        """Tangent direction *at vertex* ``i``: the circular mean of the
+        incoming and outgoing segment headings."""
+        n = len(self)
+        h_in = float(self.headings[(i - 1) % n])
+        h_out = float(self.headings[i % n])
+        return h_in + 0.5 * float(wrap_to_pi(h_out - h_in))
+
+    def smooth_heading_at(self, s: float) -> float:
+        """Tangent direction at ``s``, interpolated between vertex tangents.
+
+        :meth:`heading_at` is piecewise constant (the raw polyline segment
+        heading), so a curve offset by a fixed lateral distance built from
+        it jumps at every vertex — worst at the ``s = 0`` seam.  This
+        variant blends the tangents of the two bounding vertices, making
+        offset curves continuous all the way around the lap.
+        """
+        s = float(s) % self.total_length
+        i = int(np.searchsorted(self.s, s, side="right")) - 1
+        i = max(i, 0)
+        n = len(self)
+        seg = self.s[(i + 1) % n] - self.s[i]
+        if seg <= 0:  # wrap segment
+            seg = self.total_length - self.s[i]
+        t = (s - self.s[i]) / seg if seg > 0 else 0.0
+        h0 = self._vertex_heading(i)
+        h1 = self._vertex_heading((i + 1) % n)
+        return float(wrap_to_pi(h0 + t * wrap_to_pi(h1 - h0)))
+
+    def offset_point_at(self, s: float, offset: float) -> np.ndarray:
+        """Point at arclength ``s`` shifted laterally (positive = left).
+
+        Uses :meth:`smooth_heading_at` for the offset direction, so the
+        offset curve is continuous in ``s`` — including across the lap
+        wraparound seam — which :meth:`point_at` plus the piecewise
+        :meth:`heading_at` normal is not.
+        """
+        point = self.point_at(s)
+        if offset == 0.0:
+            return point
+        heading = self.smooth_heading_at(s)
+        return point + offset * np.array([-np.sin(heading), np.cos(heading)])
+
     def curvature_at(self, s: float) -> float:
         s = float(s) % self.total_length
         i = int(np.searchsorted(self.s, s, side="right")) - 1

@@ -56,6 +56,11 @@ from repro.scenarios.spec import (
     save_scenario,
 )
 from repro.scenarios.timeline import EventLogRecord, Timeline
+from repro.scenarios.traffic import (
+    TrafficSpec,
+    build_traffic_agents,
+    traffic_agent_factory,
+)
 
 __all__ = [
     # events
@@ -84,6 +89,10 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_names",
+    # traffic
+    "TrafficSpec",
+    "build_traffic_agents",
+    "traffic_agent_factory",
     # campaign
     "ScenarioOutcome",
     "run_scenario",

@@ -49,7 +49,10 @@ __all__ = [
 
 # v2: added the merged "telemetry" metrics block (campaign.* counters and
 # fixed-bucket histograms folded over trials in sorted-trial_id order).
-SCORECARD_SCHEMA_VERSION = 2
+# v3: traffic columns — per-cell opponent count and occluded-beam-fraction
+# aggregates, plus traffic.* counters and the occlusion histogram in the
+# merged telemetry block.
+SCORECARD_SCHEMA_VERSION = 3
 
 # Fixed bucket edges for time-to-recover; lap-time and loc-error edges are
 # shared with the lap sweep (repro.eval.runner).
@@ -88,6 +91,7 @@ def _trial_summary(spec: ScenarioSpec, result, event_log: List[Dict]) -> Dict:
         if e.get("end_time") is not None
     ]
     survived = (len(valid) == spec.num_laps and result.crashes == 0)
+    traffic = getattr(result, "traffic_telemetry", None) or {}
     return {
         "survived": bool(survived),
         "laps_completed": len(result.laps),
@@ -107,6 +111,14 @@ def _trial_summary(spec: ScenarioSpec, result, event_log: List[Dict]) -> Dict:
         "recovered_episodes": len(recover_times),
         "time_to_recover_s": [round(t, 9) for t in recover_times],
         "events_fired": sum(1 for r in event_log if r["phase"] == "apply"),
+        "traffic_agents": int(traffic.get("agents", 0)),
+        "traffic_scans_occluded": int(traffic.get("scans_occluded", 0)),
+        "occluded_beam_fraction_mean": round(
+            float(traffic.get("occluded_beam_fraction_mean", 0.0)), 9),
+        "occluded_beam_fraction_max": round(
+            float(traffic.get("occluded_beam_fraction_max", 0.0)), 9),
+        "occlusion_histogram": traffic.get("occlusion_histogram"),
+        "traffic_min_gap_m": traffic.get("min_gap_m"),
     }
 
 
@@ -146,6 +158,14 @@ def run_scenario(
             perturbation, seed=derive_seed(run_seed, spec.name, "perturbation")
         )
 
+    traffic_factory = None
+    if spec.traffic is not None:
+        from repro.scenarios.traffic import traffic_agent_factory
+
+        traffic_factory = traffic_agent_factory(
+            spec.traffic, seed=derive_seed(run_seed, spec.name, "traffic")
+        )
+
     condition = ExperimentCondition(
         method=spec.method,
         odom_quality=spec.odom_quality,
@@ -153,6 +173,7 @@ def run_scenario(
         num_laps=spec.num_laps,
         seed=run_seed,
         perturbation=perturbation,
+        traffic_factory=traffic_factory,
     )
     timeline = Timeline(
         spec.events, seed=derive_seed(run_seed, spec.name, "timeline")
@@ -227,6 +248,20 @@ def _trial_metrics_snapshot(summary: Dict) -> Dict:
     ttr = registry.histogram("time_to_recover_s", RECOVERY_TIME_EDGES_S)
     for value in summary["time_to_recover_s"]:
         ttr.observe(value)
+    registry.counter("traffic.agents").inc(summary.get("traffic_agents", 0))
+    registry.counter("traffic.scans_occluded").inc(
+        summary.get("traffic_scans_occluded", 0)
+    )
+    occ = summary.get("occlusion_histogram")
+    if occ:
+        hist = registry.histogram(
+            "traffic.occluded_beam_fraction", tuple(occ["edges"])
+        )
+        # The simulator binned per-scan fractions with the Histogram's own
+        # bisect_left semantics; adopt its counts rather than re-observing.
+        hist.counts = [int(c) for c in occ["counts"]]
+        hist.sum = float(occ.get("sum", 0.0))
+        hist.count = int(occ.get("count", sum(hist.counts)))
     return registry.snapshot()
 
 
@@ -314,6 +349,10 @@ def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
         recover_times = [v for t in ok for v in t["time_to_recover_s"]]
         recoveries = sum(t["recoveries"] for t in ok)
         episodes = sum(t["divergence_episodes"] for t in ok)
+        # .get defaults keep pre-v3 checkpoint records (no traffic keys)
+        # loadable.
+        occ_mean = [t.get("occluded_beam_fraction_mean", 0.0) for t in ok]
+        occ_max = [t.get("occluded_beam_fraction_max", 0.0) for t in ok]
         out_cells.append({
             "scenario": scenario,
             "method": method,
@@ -329,6 +368,15 @@ def aggregate_scorecard(records: Sequence[TrialRecord]) -> Dict:
             "recovered_episodes": sum(t["recovered_episodes"] for t in ok),
             "time_to_recover_s": _quantiles(recover_times),
             "events_fired": sum(t["events_fired"] for t in ok),
+            "traffic_agents": max(
+                (t.get("traffic_agents", 0) for t in ok), default=0
+            ),
+            "occluded_beam_fraction_mean": (
+                round(float(np.mean(occ_mean)), 9) if occ_mean else 0.0
+            ),
+            "occluded_beam_fraction_max": (
+                round(float(np.max(occ_max)), 9) if occ_max else 0.0
+            ),
         })
     return {
         "schema_version": SCORECARD_SCHEMA_VERSION,
@@ -344,18 +392,22 @@ def format_scorecard(scorecard: Dict) -> str:
     """Human-readable scorecard table (deterministic)."""
     header = (f"{'scenario':<18} {'method':<12} {'trials':>6} {'surv%':>6} "
               f"{'crash':>5} {'locerr p50/p95 cm':>18} {'recov':>5} "
-              f"{'TTR p95 s':>9}")
+              f"{'TTR p95 s':>9} {'opp':>3} {'occl%':>6}")
     lines = [header, "-" * len(header)]
     for cell in scorecard["cells"]:
         loc = cell["loc_err_cm"]
         loc_txt = (f"{loc['p50']:.1f}/{loc['p95']:.1f}" if loc else "--")
         ttr = cell["time_to_recover_s"]
         ttr_txt = f"{ttr['p95']:.2f}" if ttr else "--"
+        opponents = cell.get("traffic_agents", 0)
+        occ = 100.0 * cell.get("occluded_beam_fraction_mean", 0.0)
+        occ_txt = f"{occ:.2f}" if opponents else "--"
         lines.append(
             f"{cell['scenario']:<18} {cell['method']:<12} "
             f"{cell['trials']:>6d} {100 * cell['survival_rate']:>6.1f} "
             f"{cell['crashes']:>5d} {loc_txt:>18} "
-            f"{cell['recoveries']:>5d} {ttr_txt:>9}"
+            f"{cell['recoveries']:>5d} {ttr_txt:>9} "
+            f"{opponents:>3d} {occ_txt:>6}"
         )
     if scorecard["failures"]:
         lines.append("")

@@ -27,6 +27,7 @@ from repro.scenarios.events import (
     SlipBurst,
 )
 from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.traffic import TrafficSpec
 
 __all__ = ["SCENARIO_LIBRARY", "get_scenario", "list_scenarios", "scenario_names"]
 
@@ -183,6 +184,60 @@ def _traffic() -> ScenarioSpec:
 
 
 # ---------------------------------------------------------------------------
+# Traffic density axis — multi-agent racing
+# ---------------------------------------------------------------------------
+def _traffic_density(density: int, policies, description: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"traffic-density-{density}",
+        description=description,
+        odom_quality="HQ",
+        num_laps=2,
+        traffic=TrafficSpec(
+            density=density,
+            policies=tuple(policies),
+            spawn_ahead_s=4.0,
+            spawn_spacing_s=5.0,
+            speed=2.5,
+            lateral_offset=0.3,
+        ),
+        tags=("traffic", "occlusion"),
+    )
+
+
+def _traffic_density_0() -> ScenarioSpec:
+    return _traffic_density(
+        0, ("raceline",),
+        "Traffic axis control cell: the multi-agent scheduler with an "
+        "empty field. Must match the single-agent path bit-for-bit.",
+    )
+
+
+def _traffic_density_1() -> ScenarioSpec:
+    return _traffic_density(
+        1, ("raceline",),
+        "One opponent lapping the raceline ahead of the ego: the minimal "
+        "inter-vehicle occlusion case.",
+    )
+
+
+def _traffic_density_2() -> ScenarioSpec:
+    return _traffic_density(
+        2, ("raceline", "lane_switcher"),
+        "Two opponents, one weaving between lanes: moving occlusion "
+        "sweeping across the beam fan.",
+    )
+
+
+def _traffic_density_4() -> ScenarioSpec:
+    return _traffic_density(
+        4, ("raceline", "blocker", "lane_switcher", "overtaker"),
+        "A full field of four mixed-policy opponents — blocking, weaving "
+        "and overtaking — so a large fraction of every scan is car, not "
+        "map.",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Gauntlets — compound, escalating
 # ---------------------------------------------------------------------------
 def _gauntlet_lq() -> ScenarioSpec:
@@ -224,6 +279,32 @@ def _gauntlet_kidnap() -> ScenarioSpec:
     )
 
 
+def _gauntlet_traffic() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="gauntlet-traffic",
+        description=("Kidnapped in traffic: two opponents occlude the scan "
+                     "while the car teleports mid-lap. The supervisor must "
+                     "relocalize against a map whose evidence is partly "
+                     "blocked by other cars."),
+        odom_quality="HQ",
+        speed_scale=0.6,
+        num_laps=3,
+        supervised=True,
+        events=(
+            KidnapTeleport(offset_s=2.0, rotate=0.45, at_lap=1),
+        ),
+        traffic=TrafficSpec(
+            density=2,
+            policies=("raceline", "lane_switcher"),
+            spawn_ahead_s=4.0,
+            spawn_spacing_s=6.0,
+            speed=2.0,
+            lateral_offset=0.3,
+        ),
+        tags=("gauntlet", "traffic", "kidnap", "supervisor"),
+    )
+
+
 _BUILDERS: Dict[str, Callable[[], ScenarioSpec]] = {
     builder().name: builder
     for builder in (
@@ -236,8 +317,13 @@ _BUILDERS: Dict[str, Callable[[], ScenarioSpec]] = {
         _scan_jitter,
         _kidnap_chicane,
         _traffic,
+        _traffic_density_0,
+        _traffic_density_1,
+        _traffic_density_2,
+        _traffic_density_4,
         _gauntlet_lq,
         _gauntlet_kidnap,
+        _gauntlet_traffic,
     )
 }
 

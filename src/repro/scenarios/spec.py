@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.eval.perturbations import OdometryPerturbation
 from repro.scenarios.events import FaultEvent, event_from_dict, event_to_dict
+from repro.scenarios.traffic import TrafficSpec
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -64,6 +65,11 @@ class ScenarioSpec:
         it mid-run).  ``None`` means a clean identity baseline.
     events:
         The fault timeline (see :mod:`repro.scenarios.events`).
+    traffic:
+        Opponent traffic on the track (see
+        :class:`~repro.scenarios.traffic.TrafficSpec`); ``None`` means an
+        empty track through the single-agent simulator — the pre-traffic
+        behaviour, bit-for-bit.
     """
 
     name: str
@@ -79,6 +85,7 @@ class ScenarioSpec:
     supervised: bool = True
     perturbation: Optional[OdometryPerturbation] = None
     events: Tuple[FaultEvent, ...] = ()
+    traffic: Optional[TrafficSpec] = None
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -113,6 +120,8 @@ class ScenarioSpec:
             raise ValueError("resolution and max_sim_time must be positive")
         for event in self.events:
             event.validate()
+        if self.traffic is not None:
+            self.traffic.validate()
         return self
 
     # -- JSON round trip ------------------------------------------------
@@ -121,7 +130,7 @@ class ScenarioSpec:
         out: Dict = {"__type__": "ScenarioSpec"}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if spec_field.name == "perturbation":
+            if spec_field.name in ("perturbation", "traffic"):
                 out[spec_field.name] = None if value is None else value.to_dict()
             elif spec_field.name == "events":
                 out[spec_field.name] = [event_to_dict(e) for e in value]
@@ -154,6 +163,8 @@ class ScenarioSpec:
             data["perturbation"] = OdometryPerturbation.from_dict(
                 data["perturbation"]
             )
+        if data.get("traffic") is not None:
+            data["traffic"] = TrafficSpec.from_dict(data["traffic"])
         data["events"] = tuple(
             event_from_dict(e) for e in data.get("events", ())
         )
@@ -178,6 +189,8 @@ class ScenarioSpec:
     def summary_line(self) -> str:
         base = (f"{self.name:<18} {self.method:<12} {self.odom_quality:<3} "
                 f"laps={self.num_laps} events={len(self.events)}")
+        if self.traffic is not None:
+            base += f" traffic={self.traffic.density}"
         return base + (f"  [{', '.join(self.tags)}]" if self.tags else "")
 
 

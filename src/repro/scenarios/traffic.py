@@ -1,0 +1,159 @@
+"""The traffic axis of a scenario: opponent density, policy mix, spawning.
+
+A :class:`TrafficSpec` declares the opponent field a scenario races
+against — how many cars, which policies they run, where they spawn and how
+fast they go — as a frozen, JSON-round-trippable value embedded in
+:class:`~repro.scenarios.spec.ScenarioSpec`.  The campaign layer turns it
+into a picklable factory of :class:`~repro.sim.agents.OpponentAgent`
+objects (built worker-side against the track's raceline), seeded through
+:func:`~repro.utils.rng.derive_seed` so the same scenario + seed produces
+the identical opponent field at any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.agents import OpponentAgent, POLICY_REGISTRY, make_policy
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "TrafficSpec",
+    "build_traffic_agents",
+    "traffic_agent_factory",
+]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Opponent traffic for one scenario.
+
+    Attributes
+    ----------
+    density:
+        Number of opponent cars (0 = empty track; the control cell of the
+        traffic-density axis).
+    policies:
+        Policy names cycled over the field: opponent ``i`` runs
+        ``policies[i % len(policies)]``.  See
+        :data:`~repro.sim.agents.POLICY_REGISTRY`.
+    spawn_ahead_s:
+        Arclength of the first spawn ahead of the ego's start line, m.
+    spawn_spacing_s:
+        Arclength between consecutive spawns, m.
+    speed:
+        Nominal opponent pace, m/s (policies scale it: the blocker runs
+        slightly under, the overtaker over).
+    lateral_offset:
+        Characteristic lane magnitude, m; opponents alternate sides.
+    radius:
+        Occlusion/hull radius per opponent, m.
+    seed:
+        Explicit field seed; ``None`` lets the campaign derive one from
+        the run seed (the usual, worker-count-invariant path).
+    """
+
+    density: int = 0
+    policies: Tuple[str, ...] = ("raceline",)
+    spawn_ahead_s: float = 4.0
+    spawn_spacing_s: float = 5.0
+    speed: float = 2.5
+    lateral_offset: float = 0.3
+    radius: float = 0.25
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policies", tuple(self.policies))
+
+    def validate(self) -> "TrafficSpec":
+        if self.density < 0:
+            raise ValueError("traffic density must be >= 0")
+        if not self.policies:
+            raise ValueError("traffic needs at least one policy name")
+        unknown = [p for p in self.policies if p not in POLICY_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown opponent policies {unknown}; "
+                f"available: {sorted(POLICY_REGISTRY)}"
+            )
+        if self.spawn_spacing_s <= 0:
+            raise ValueError("spawn_spacing_s must be positive")
+        if self.speed <= 0:
+            raise ValueError("traffic speed must be positive")
+        if self.radius <= 0:
+            raise ValueError("traffic radius must be positive")
+        return self
+
+    # -- JSON round trip ------------------------------------------------
+    def to_dict(self) -> Dict:
+        out: Dict = {"__type__": "TrafficSpec"}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            out[spec_field.name] = (
+                list(value) if spec_field.name == "policies" else value
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrafficSpec":
+        data = dict(data)
+        tag = data.pop("__type__", "TrafficSpec")
+        if tag != "TrafficSpec":
+            raise ValueError(f"expected a TrafficSpec dict, got {tag!r}")
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown traffic fields: {sorted(unknown)}")
+        data["policies"] = tuple(data.get("policies", ("raceline",)))
+        return cls(**data)
+
+    def with_overrides(self, **overrides) -> "TrafficSpec":
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+
+def build_traffic_agents(spec: TrafficSpec, raceline,
+                         seed: int) -> List[OpponentAgent]:
+    """Instantiate the opponent field a :class:`TrafficSpec` declares.
+
+    Opponent ``i`` spawns at ``spawn_ahead_s + i * spawn_spacing_s`` of
+    arclength, runs ``policies[i % len(policies)]`` with a per-agent seed
+    from ``derive_seed(seed, i, policy)``, and alternates lane side — the
+    layout is a pure function of ``(spec, seed)``.
+    """
+    spec.validate()
+    agents: List[OpponentAgent] = []
+    for i in range(spec.density):
+        name = spec.policies[i % len(spec.policies)]
+        agent_seed = derive_seed(seed, i, name)
+        side = 1.0 if i % 2 == 0 else -1.0
+        policy = make_policy(
+            name, seed=agent_seed, speed=spec.speed,
+            lane=side * spec.lateral_offset,
+        )
+        agents.append(OpponentAgent(
+            raceline, policy,
+            start_s=spec.spawn_ahead_s + i * spec.spawn_spacing_s,
+            radius=spec.radius,
+            agent_id=i,
+        ))
+    return agents
+
+
+def traffic_agent_factory(spec: TrafficSpec, seed: int) -> Callable:
+    """A track-consuming agent factory for the experiment condition.
+
+    The returned callable matches the ``ExperimentCondition``
+    ``traffic_factory`` contract — called with the built track inside the
+    worker process, after the scenario dict has crossed the process
+    boundary as plain data.
+    """
+    spec = spec.validate()
+    field_seed = spec.seed if spec.seed is not None else int(seed)
+
+    def factory(track) -> List[OpponentAgent]:
+        return build_traffic_agents(spec, track.centerline, field_seed)
+
+    return factory

@@ -18,12 +18,27 @@ is the simulated stand-in (see DESIGN.md, substitution table).  The pieces:
 * :mod:`~repro.sim.simulator` — fixed-step scheduler tying it together.
 """
 
+from repro.sim.agents import (
+    BlockerPolicy,
+    LaneSwitcherPolicy,
+    OpponentAgent,
+    OpponentPolicy,
+    OvertakerPolicy,
+    POLICY_REGISTRY,
+    RacelinePolicy,
+    make_policy,
+)
 from repro.sim.controllers import PurePursuitController, SpeedProfile
 from repro.sim.lidar import LidarConfig, LidarScan, SimulatedLidar
+from repro.sim.multi_agent import (
+    MultiAgentSimulator,
+    OCCLUSION_FRACTION_EDGES,
+)
 from repro.sim.obstacles import (
     Obstacle,
     RacelineFollower,
     StaticObstacle,
+    composite_obstacle_ranges,
     ray_disc_ranges,
 )
 from repro.sim.odometry import ImuSensor, OdometryConfig, WheelOdometry
@@ -32,13 +47,24 @@ from repro.sim.tire import TireModel, grip_from_pull_force, pull_force_from_grip
 from repro.sim.vehicle import VehicleParams, VehicleState, Vehicle
 
 __all__ = [
+    "BlockerPolicy",
     "ImuSensor",
+    "LaneSwitcherPolicy",
     "LidarConfig",
     "LidarScan",
+    "MultiAgentSimulator",
+    "OCCLUSION_FRACTION_EDGES",
     "Obstacle",
     "OdometryConfig",
+    "OpponentAgent",
+    "OpponentPolicy",
+    "OvertakerPolicy",
+    "POLICY_REGISTRY",
     "RacelineFollower",
+    "RacelinePolicy",
     "StaticObstacle",
+    "composite_obstacle_ranges",
+    "make_policy",
     "ray_disc_ranges",
     "PurePursuitController",
     "SimConfig",

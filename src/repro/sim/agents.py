@@ -1,0 +1,290 @@
+"""Opponent vehicles: dynamics-stepped cars with simple racing policies.
+
+Real F1TENTH races are head-to-head: a meaningful fraction of every scan
+is *another car*, not the map.  This module generalises the kinematic
+:class:`~repro.sim.obstacles.RacelineFollower` into opponents that run the
+same single-track :class:`~repro.sim.vehicle.Vehicle` dynamics as the ego
+car, steered by pure pursuit toward a lateral lane on the raceline chosen
+by a *policy*:
+
+* ``raceline`` — holds a fixed lane at a fixed speed (the pace car);
+* ``blocker`` — mirrors the ego's lateral position when the ego closes
+  in from behind, defending the inside of the pass;
+* ``lane_switcher`` — toggles between left and right lanes on a fixed
+  period (a weaving backmarker);
+* ``overtaker`` — runs faster than the ego and moves off-line to pass
+  when it catches up.
+
+Every decision is a pure function of ``(time, arclength gap to ego, ego
+lateral offset)`` — no rng is consumed while stepping, so two runs with
+the same construction arguments produce bit-identical trajectories, which
+the campaign's worker-count-invariance contract relies on.
+
+Agents implement the :class:`~repro.sim.obstacles.Obstacle` protocol
+(``position(time)`` / ``radius``), so the LiDAR compositor treats them
+exactly like any other unmapped disc.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.maps.centerline import Raceline
+from repro.sim.obstacles import Obstacle
+from repro.sim.vehicle import Vehicle, VehicleParams
+from repro.utils.angles import wrap_to_pi
+
+__all__ = [
+    "OpponentPolicy",
+    "RacelinePolicy",
+    "BlockerPolicy",
+    "LaneSwitcherPolicy",
+    "OvertakerPolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "OpponentAgent",
+]
+
+
+class OpponentPolicy(abc.ABC):
+    """Chooses ``(target speed, target lane)`` each physics step."""
+
+    kind: str = ""
+    speed: float = 2.5
+
+    @abc.abstractmethod
+    def decide(self, time: float, gap_s: float,
+               ego_d: float) -> Tuple[float, float]:
+        """Return ``(target_speed, lateral_offset)``.
+
+        Parameters
+        ----------
+        time:
+            Simulation time, seconds.
+        gap_s:
+            Forward arclength from this opponent to the ego, wrapped to
+            ``[-L/2, L/2)`` — positive means the ego is ahead.
+        ego_d:
+            The ego's signed lateral offset from the raceline
+            (positive = left).
+        """
+
+
+@dataclass(frozen=True)
+class RacelinePolicy(OpponentPolicy):
+    """Constant speed, constant lane — the pace-car baseline."""
+
+    kind = "raceline"
+    speed: float = 2.5
+    lane: float = 0.0
+
+    def decide(self, time, gap_s, ego_d):
+        return self.speed, self.lane
+
+
+@dataclass(frozen=True)
+class BlockerPolicy(OpponentPolicy):
+    """Defends against an ego attacking from behind.
+
+    While the ego is within ``engage_gap_s`` of arclength *behind*, the
+    blocker mirrors the ego's lateral position (clipped to ``lane_limit``)
+    so the ego always finds a car on its chosen line; otherwise it holds
+    the centre.
+    """
+
+    kind = "blocker"
+    speed: float = 2.2
+    lane_limit: float = 0.35
+    engage_gap_s: float = 4.0
+
+    def decide(self, time, gap_s, ego_d):
+        if -self.engage_gap_s < gap_s < 0.0:
+            return self.speed, float(
+                np.clip(ego_d, -self.lane_limit, self.lane_limit)
+            )
+        return self.speed, 0.0
+
+
+@dataclass(frozen=True)
+class LaneSwitcherPolicy(OpponentPolicy):
+    """Weaves between lanes on a fixed period.
+
+    ``phase_s`` offsets the toggle schedule so a field of switchers spawned
+    from different seeds doesn't move in lockstep; the schedule is a pure
+    function of time — deterministic, no rng while stepping.
+    """
+
+    kind = "lane_switcher"
+    speed: float = 2.4
+    lane_magnitude: float = 0.3
+    period_s: float = 4.0
+    phase_s: float = 0.0
+
+    def decide(self, time, gap_s, ego_d):
+        side = 1.0 if int((time + self.phase_s) // self.period_s) % 2 == 0 \
+            else -1.0
+        return self.speed, side * self.lane_magnitude
+
+
+@dataclass(frozen=True)
+class OvertakerPolicy(OpponentPolicy):
+    """Runs at a higher pace and moves off-line to lap the ego.
+
+    When the ego is ahead within ``engage_gap_s`` (or just passed, within
+    ``clear_gap_s`` behind), the overtaker takes the lane *away* from the
+    ego's current side; clear of traffic it returns to the racing line.
+    """
+
+    kind = "overtaker"
+    speed: float = 3.2
+    pass_lane: float = 0.4
+    engage_gap_s: float = 5.0
+    clear_gap_s: float = 1.5
+
+    def decide(self, time, gap_s, ego_d):
+        if -self.clear_gap_s < gap_s < self.engage_gap_s:
+            side = -1.0 if ego_d >= 0.0 else 1.0
+            return self.speed, side * self.pass_lane
+        return self.speed, 0.0
+
+
+POLICY_REGISTRY: Dict[str, type] = {
+    policy.kind: policy
+    for policy in (RacelinePolicy, BlockerPolicy, LaneSwitcherPolicy,
+                   OvertakerPolicy)
+}
+
+
+def make_policy(name: str, *, seed: int = 0, speed: Optional[float] = None,
+                lane: Optional[float] = None) -> OpponentPolicy:
+    """Build a registered policy, deriving per-instance parameters.
+
+    ``speed`` scales the policy's nominal pace (the overtaker keeps its
+    relative pace advantage); ``lane`` sets the policy's characteristic
+    lateral magnitude.  ``seed`` deterministically picks free parameters
+    such as the lane switcher's phase, so a field of agents built from
+    distinct seeds behaves heterogeneously but reproducibly.
+    """
+    cls = POLICY_REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown opponent policy {name!r}; "
+            f"available: {sorted(POLICY_REGISTRY)}"
+        )
+    kwargs: Dict = {}
+    if name == "raceline":
+        if speed is not None:
+            kwargs["speed"] = float(speed)
+        if lane is not None:
+            kwargs["lane"] = float(lane)
+    elif name == "blocker":
+        if speed is not None:
+            kwargs["speed"] = 0.9 * float(speed)
+        if lane is not None:
+            kwargs["lane_limit"] = abs(float(lane)) or 0.35
+    elif name == "lane_switcher":
+        if speed is not None:
+            kwargs["speed"] = float(speed)
+        if lane is not None:
+            kwargs["lane_magnitude"] = abs(float(lane)) or 0.3
+        # Deterministic per-seed phase in [0, period).
+        kwargs["phase_s"] = (int(seed) % 997) / 997.0 * \
+            LaneSwitcherPolicy.period_s
+    elif name == "overtaker":
+        if speed is not None:
+            kwargs["speed"] = 1.3 * float(speed)
+        if lane is not None:
+            kwargs["pass_lane"] = abs(float(lane)) or 0.4
+    return cls(**kwargs)
+
+
+class OpponentAgent(Obstacle):
+    """One opponent car: bicycle dynamics + pure pursuit toward a lane.
+
+    The agent spawns on the raceline at ``start_s`` facing forward, and on
+    every :meth:`step` (called by the multi-agent simulator *before* the
+    ego advances) asks its policy for a target speed and lane, then steers
+    toward the lane's lookahead point with the same pure-pursuit law the
+    ego controller uses.  Implements the :class:`Obstacle` protocol so the
+    LiDAR compositor occludes beams against it.
+    """
+
+    def __init__(
+        self,
+        raceline: Raceline,
+        policy: OpponentPolicy,
+        start_s: float = 0.0,
+        radius: float = 0.25,
+        params: Optional[VehicleParams] = None,
+        agent_id: int = 0,
+        lookahead_base: float = 0.6,
+        lookahead_gain: float = 0.2,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.raceline = raceline
+        self.policy = policy
+        self.radius = float(radius)
+        self.agent_id = int(agent_id)
+        self.lookahead_base = float(lookahead_base)
+        self.lookahead_gain = float(lookahead_gain)
+        self.vehicle = Vehicle(params or VehicleParams())
+        start = raceline.point_at(start_s)
+        pose = np.array([
+            start[0], start[1], raceline.smooth_heading_at(start_s)
+        ])
+        self.vehicle.reset(pose, speed=float(policy.speed))
+
+    # -- Obstacle protocol ---------------------------------------------
+    def position(self, time: float) -> np.ndarray:
+        state = self.vehicle.state
+        return np.array([state.x, state.y])
+
+    @property
+    def pose(self) -> np.ndarray:
+        return self.vehicle.state.pose()
+
+    @property
+    def speed(self) -> float:
+        return float(self.vehicle.state.v)
+
+    # ------------------------------------------------------------------
+    def step(self, dt: float, time: float, ego_pose: np.ndarray,
+             ego_speed: float) -> None:
+        """Advance this opponent one physics step.
+
+        ``ego_pose``/``ego_speed`` are the ego's *pre-step* state — every
+        agent (ego included) decides on the same snapshot, so the update
+        order of the field cannot leak into the results.
+        """
+        state = self.vehicle.state
+        own_s, _ = self.raceline.project(np.array([state.x, state.y]))
+        own_s = float(own_s[0])
+        ego_s, ego_d = self.raceline.project(np.asarray(ego_pose)[:2])
+        gap_s = self.raceline.progress_difference(float(ego_s[0]), own_s)
+
+        target_speed, lane = self.policy.decide(time, gap_s, float(ego_d[0]))
+
+        ld = self.lookahead_base + self.lookahead_gain * max(state.v, 0.0)
+        target = self.raceline.offset_point_at(own_s + ld, lane)
+        dx = target[0] - state.x
+        dy = target[1] - state.y
+        c, sn = np.cos(state.theta), np.sin(state.theta)
+        y_vehicle = -sn * dx + c * dy
+        actual_ld = max(float(np.hypot(dx, dy)), 1e-6)
+        curvature = 2.0 * y_vehicle / actual_ld ** 2
+        steer = float(np.arctan(self.vehicle.params.wheelbase * curvature))
+        steer = float(np.clip(steer, -self.vehicle.params.max_steer,
+                              self.vehicle.params.max_steer))
+        self.vehicle.step(float(target_speed), steer, dt)
+
+    def heading_error(self) -> float:
+        """|heading - raceline tangent| at the agent's projection (rad)."""
+        state = self.vehicle.state
+        s, _ = self.raceline.project(np.array([state.x, state.y]))
+        tangent = self.raceline.smooth_heading_at(float(s[0]))
+        return abs(float(wrap_to_pi(state.theta - tangent)))

@@ -1,0 +1,133 @@
+"""Multi-vehicle simulation: the ego simulator plus opponent traffic.
+
+:class:`MultiAgentSimulator` extends the single-car
+:class:`~repro.sim.simulator.Simulator` with a field of
+:class:`~repro.sim.agents.OpponentAgent` cars sharing the track.  Each
+physics step first advances every opponent's dynamics (against the ego's
+*pre-step* state, so decision order cannot matter), then advances the ego
+exactly as the base class does.  Opponents are registered in
+``self.obstacles``, so inter-vehicle LiDAR occlusion falls out of the
+existing scan compositing: each opponent hull shadows the map with a
+per-beam min range.
+
+Determinism contract: opponents consume no rng while stepping, and the
+ego's noise streams are untouched by their presence in the schedule —
+with an *empty* agent list the simulator is bit-identical to the
+single-agent :class:`Simulator`, which the tests pin.  The per-scan
+occluded-beam statistics accumulated here are pure functions of the
+composited geometry, so campaign scorecards built on them stay
+worker-count invariant.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.maps.occupancy_grid import OccupancyGrid
+from repro.sim.agents import OpponentAgent
+from repro.sim.simulator import SimConfig, SimFrame, Simulator
+
+__all__ = ["OCCLUSION_FRACTION_EDGES", "MultiAgentSimulator"]
+
+#: Fixed bucket edges for the occluded-beam-fraction histogram.  Shared by
+#: the simulator's accumulation and the campaign telemetry fold so merged
+#: snapshots line up (same contract as the runner's latency edges).
+OCCLUSION_FRACTION_EDGES = (0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+class MultiAgentSimulator(Simulator):
+    """Steps N vehicles on one track; the ego owns sensors and scoring.
+
+    Parameters
+    ----------
+    grid:
+        Ground-truth occupancy grid (shared by every car).
+    config:
+        Ego simulation config (see :class:`~repro.sim.simulator.SimConfig`).
+    agents:
+        Opponent agents.  They occlude the ego's LiDAR but are not
+        collision-checked against the ego (disc obstacles, matching the
+        single-agent obstacle semantics).
+    """
+
+    def __init__(self, grid: OccupancyGrid, config: SimConfig | None = None,
+                 agents: Sequence[OpponentAgent] = ()) -> None:
+        super().__init__(grid, config)
+        self.agents = list(agents)
+        self.obstacles.extend(self.agents)
+        self._traffic_scans = 0
+        self._traffic_scans_occluded = 0
+        self._traffic_beams = 0
+        self._traffic_occluded_beams = 0
+        self._occ_fraction_sum = 0.0
+        self._occ_fraction_max = 0.0
+        # len(edges) + 1 buckets, bisect_left semantics — exactly the
+        # telemetry Histogram's binning, so trial snapshots can adopt the
+        # counts directly.
+        self._occ_fraction_counts = [0] * (len(OCCLUSION_FRACTION_EDGES) + 1)
+        self._min_gap_m = float("inf")
+
+    def step(self, target_speed: float, target_steer: float) -> SimFrame:
+        """Advance the whole field one physics step."""
+        ego_pose = self.state.pose()
+        ego_speed = float(self.state.v)
+        dt = self.config.physics_dt
+        for agent in self.agents:
+            agent.step(dt, self.time, ego_pose, ego_speed)
+        frame = super().step(target_speed, target_steer)
+
+        if self.agents:
+            ego_xy = frame.state.pose()[:2]
+            for agent in self.agents:
+                gap = float(np.hypot(*(agent.position(self.time) - ego_xy)))
+                gap -= agent.radius
+                if gap < self._min_gap_m:
+                    self._min_gap_m = gap
+            if frame.scan is not None:
+                fraction = self.lidar.last_occluded_fraction
+                self._traffic_scans += 1
+                self._traffic_beams += frame.scan.ranges.size
+                self._traffic_occluded_beams += self.lidar.last_occluded_beams
+                self._occ_fraction_sum += fraction
+                if fraction > self._occ_fraction_max:
+                    self._occ_fraction_max = fraction
+                if fraction > 0.0:
+                    self._traffic_scans_occluded += 1
+                self._occ_fraction_counts[
+                    bisect_left(OCCLUSION_FRACTION_EDGES, fraction)
+                ] += 1
+        return frame
+
+    def traffic_telemetry(self) -> Dict:
+        """Deterministic ``traffic.*`` counters for this run.
+
+        Everything here is a function of the simulated geometry only (no
+        wall-clock values), so campaign scorecards folding these stay
+        bit-identical at any worker count.
+        """
+        scans = self._traffic_scans
+        mean = self._occ_fraction_sum / scans if scans else 0.0
+        min_gap: Optional[float] = (
+            round(self._min_gap_m, 9) if np.isfinite(self._min_gap_m)
+            else None
+        )
+        return {
+            "agents": len(self.agents),
+            "policies": [agent.policy.kind for agent in self.agents],
+            "scans": scans,
+            "scans_occluded": self._traffic_scans_occluded,
+            "beams": self._traffic_beams,
+            "occluded_beams": self._traffic_occluded_beams,
+            "occluded_beam_fraction_mean": round(mean, 9),
+            "occluded_beam_fraction_max": round(self._occ_fraction_max, 9),
+            "occlusion_histogram": {
+                "edges": list(OCCLUSION_FRACTION_EDGES),
+                "counts": list(self._occ_fraction_counts),
+                "sum": round(self._occ_fraction_sum, 9),
+                "count": scans,
+            },
+            "min_gap_m": min_gap,
+        }

@@ -28,7 +28,13 @@ import numpy as np
 
 from repro.maps.centerline import Raceline
 
-__all__ = ["Obstacle", "StaticObstacle", "RacelineFollower", "ray_disc_ranges"]
+__all__ = [
+    "Obstacle",
+    "StaticObstacle",
+    "RacelineFollower",
+    "ray_disc_ranges",
+    "composite_obstacle_ranges",
+]
 
 
 class Obstacle(abc.ABC):
@@ -88,14 +94,13 @@ class RacelineFollower(Obstacle):
             raise ValueError("speed must be non-negative")
 
     def position(self, time: float) -> np.ndarray:
+        # offset_point_at (not point_at + the piecewise heading_at normal):
+        # the interpolated offset direction keeps consecutive positions
+        # continuous at every vertex, including the s = 0 wraparound seam,
+        # where the raw segment normal used to produce a ~3x teleport
+        # spike at realistic offsets.
         s = self.start_s + self.speed * time
-        point = self.raceline.point_at(s)
-        if self.lateral_offset != 0.0:
-            heading = self.raceline.heading_at(s)
-            point = point + self.lateral_offset * np.array(
-                [-np.sin(heading), np.cos(heading)]
-            )
-        return point
+        return self.raceline.offset_point_at(s, self.lateral_offset)
 
 
 def ray_disc_ranges(
@@ -132,3 +137,51 @@ def ray_disc_ranges(
     idx = np.flatnonzero(hit)[valid]
     out[idx] = t_near[valid]
     return out
+
+
+def composite_obstacle_ranges(
+    map_ranges: np.ndarray,
+    sensor_pose: np.ndarray,
+    beam_angles: np.ndarray,
+    obstacles,
+    time: float,
+    max_range: float,
+):
+    """Min the map's beam ranges with every obstacle's disc returns.
+
+    Pure geometry, no rng: the composited range of each beam is
+    ``min(map range, nearest obstacle intersection, max_range)``.  Because
+    the per-beam minimum keeps whichever surface is *closer*, an obstacle
+    entirely behind a wall can never shorten a beam — the wall's return
+    already is the minimum — which is the physical shadowing behaviour.
+
+    Parameters
+    ----------
+    map_ranges:
+        Map-only ranges per beam (from the ray caster).
+    sensor_pose:
+        World ``(x, y, theta)`` of the sensor.
+    beam_angles:
+        Beam directions relative to the sensor's forward axis.
+    obstacles:
+        Iterable of :class:`Obstacle`; each is queried at ``time``.
+    max_range:
+        Sensor range cap applied after compositing.
+
+    Returns
+    -------
+    (ranges, occluded):
+        Composited ranges and a boolean mask of the beams an obstacle
+        strictly shortened.
+    """
+    map_ranges = np.asarray(map_ranges, dtype=float)
+    ranges = map_ranges.copy()
+    angles_world = sensor_pose[2] + np.asarray(beam_angles, dtype=float)
+    for obstacle in obstacles:
+        hits = ray_disc_ranges(
+            sensor_pose, angles_world, obstacle.position(time), obstacle.radius
+        )
+        ranges = np.minimum(ranges, hits)
+    ranges = np.minimum(ranges, max_range)
+    occluded = ranges < np.minimum(map_ranges, max_range)
+    return ranges, occluded

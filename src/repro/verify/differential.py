@@ -490,18 +490,24 @@ def localizer_replay_trial(
     n_scans: int,
     localizer_seed: int,
     overrides: Optional[Mapping] = None,
+    traffic: Optional[Mapping] = None,
 ) -> Dict:
     """Replay the shared reference trace through one localizer.
 
     Picklable sweep-trial body: rebuilds the deterministic trace in the
     worker and returns the full estimate sequence (small — one pose per
     scan), so the orchestrator can compute cross-method divergence.
+    ``traffic`` (a TrafficSpec dict) threads opponent occlusion into the
+    traced scans — the golden suite pins one such stream.
     """
     from repro.core.interfaces import make_localizer
     from repro.eval.trace import replay
     from repro.verify.generators import reference_trace
 
-    track, trace = reference_trace(seed=trace_seed, n_scans=n_scans)
+    track, trace = reference_trace(
+        seed=trace_seed, n_scans=n_scans,
+        traffic=dict(traffic) if traffic is not None else None,
+    )
     kwargs = dict(overrides or {})
     if method in ("synpf", "vanilla_mcl"):
         kwargs.setdefault("seed", localizer_seed)

@@ -153,6 +153,7 @@ def reference_trace(
     speed: float = 1.5,
     dt: float = 0.05,
     track=None,
+    traffic: Optional[Dict] = None,
 ):
     """Record a deterministic raceline-following session on a small track.
 
@@ -161,6 +162,13 @@ def reference_trace(
     ``(track, RunTrace)``.  The same arguments always produce the same
     trace bit-for-bit, which is what the metamorphic, differential and
     golden suites replay against.
+
+    ``traffic`` optionally puts opponent cars on the track: a
+    :class:`~repro.scenarios.traffic.TrafficSpec` dict whose agents are
+    stepped between scans and composited into every scan as dynamic
+    occlusion.  The opponents are rng-free, so the traced scan stream
+    stays a pure function of the arguments; ``traffic=None`` is
+    bit-identical to the pre-traffic trace.
     """
     from repro.core.motion_models import OdometryDelta
     from repro.eval.trace import TraceRecorder
@@ -176,6 +184,16 @@ def reference_trace(
         LidarConfig(range_noise_std=range_noise_std, dropout_prob=0.0),
         seed=derive_seed("verify.trace", seed, n_scans),
     )
+    agents = []
+    if traffic is not None:
+        from repro.scenarios.traffic import TrafficSpec, build_traffic_agents
+
+        spec = TrafficSpec.from_dict(traffic)
+        agents = build_traffic_agents(
+            spec, track.centerline,
+            seed=spec.seed if spec.seed is not None
+            else derive_seed("verify.traffic", seed),
+        )
     recorder = TraceRecorder(
         lidar.angles,
         metadata={"seed": str(seed), "track_seed": str(track_seed)},
@@ -187,7 +205,9 @@ def reference_trace(
         pt = line.point_at(s)
         pose_now = np.array([pt[0], pt[1], line.heading_at(s)])
         delta = OdometryDelta.from_poses(pose_prev, pose_now, dt=dt)
-        scan = lidar.scan(pose_now, timestamp=k * dt)
+        for agent in agents:
+            agent.step(dt, (k - 1) * dt, pose_now, speed)
+        scan = lidar.scan(pose_now, timestamp=k * dt, obstacles=agents)
         recorder.append(k * dt, pose_now, delta, scan.ranges)
         pose_prev = pose_now
     return track, recorder.build()

@@ -62,7 +62,7 @@ def golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
 
 def default_golden_specs() -> List[Dict]:
     """The committed reference runs: each localizer on the shared trace."""
-    return [
+    specs = [
         {
             "name": f"reference_{method}",
             "method": method,
@@ -73,6 +73,28 @@ def default_golden_specs() -> List[Dict]:
         }
         for method in ("synpf", "vanilla_mcl", "cartographer")
     ]
+    # One traffic stream: the same trace with two opponents composited
+    # into every scan, pinning the occlusion compositor bit-for-bit.
+    specs.append({
+        "name": "reference_traffic_synpf",
+        "method": "synpf",
+        "trace_seed": 5,
+        "n_scans": 15,
+        "localizer_seed": 11,
+        "tolerance_m": DEFAULT_GOLDEN_TOLERANCE_M,
+        "traffic": {
+            "__type__": "TrafficSpec",
+            "density": 2,
+            "policies": ["raceline", "lane_switcher"],
+            "spawn_ahead_s": 2.0,
+            "spawn_spacing_s": 4.0,
+            "speed": 2.0,
+            "lateral_offset": 0.3,
+            "radius": 0.25,
+            "seed": 13,
+        },
+    })
+    return specs
 
 
 def _replay_spec(spec: Mapping) -> np.ndarray:
@@ -85,6 +107,7 @@ def _replay_spec(spec: Mapping) -> np.ndarray:
         n_scans=int(spec["n_scans"]),
         localizer_seed=int(spec["localizer_seed"]),
         overrides=spec.get("overrides"),
+        traffic=spec.get("traffic"),
     )
     return np.asarray(out["estimates"], dtype=float)
 

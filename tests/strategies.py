@@ -19,6 +19,7 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro.core.motion_models import OdometryDelta
+from repro.sim.obstacles import StaticObstacle
 from repro.verify.generators import (
     random_free_queries,
     random_room_grid,
@@ -32,6 +33,9 @@ __all__ = [
     "grid_seeds",
     "room_grids",
     "scenario_names_st",
+    "disc_obstacles",
+    "disc_fields",
+    "beam_fans",
     "walled_room",
     "room_grid",
     "free_queries",
@@ -82,6 +86,30 @@ def scenario_names_st() -> st.SearchStrategy:
     from repro.scenarios import scenario_names
 
     return st.sampled_from(sorted(scenario_names()))
+
+
+def disc_obstacles(max_abs_xy: float = 8.0, min_radius: float = 0.05,
+                   max_radius: float = 0.6) -> st.SearchStrategy:
+    """Disc obstacles (:class:`StaticObstacle`) at vehicle scale."""
+    return st.tuples(
+        st.floats(min_value=-max_abs_xy, max_value=max_abs_xy),
+        st.floats(min_value=-max_abs_xy, max_value=max_abs_xy),
+        st.floats(min_value=min_radius, max_value=max_radius),
+    ).map(lambda t: StaticObstacle(t[0], t[1], t[2]))
+
+
+def disc_fields(max_discs: int = 4, **kwargs) -> st.SearchStrategy:
+    """Lists of 0..``max_discs`` disc obstacles (an opponent field)."""
+    return st.lists(disc_obstacles(**kwargs), min_size=0,
+                    max_size=max_discs)
+
+
+def beam_fans(max_beams: int = 64) -> st.SearchStrategy:
+    """Sorted relative beam angles spanning at most a full turn."""
+    return st.lists(
+        st.floats(min_value=-np.pi, max_value=np.pi),
+        min_size=1, max_size=max_beams,
+    ).map(lambda angles: np.array(sorted(angles)))
 
 
 # ---------------------------------------------------------------------------

@@ -135,3 +135,62 @@ class TestRaceline:
         point = np.array([radius * np.cos(phi), radius * np.sin(phi)])
         _, d = line.project(point)
         assert d[0] == pytest.approx(offset, abs=0.03)
+
+
+class TestSmoothHeading:
+    """Vertex-interpolated tangents: continuous offset curves at the seam.
+
+    ``heading_at`` is piecewise constant per segment, which makes offset
+    points jump by ``offset * dheading`` at every vertex — worst at the
+    lap-wraparound seam.  ``smooth_heading_at`` interpolates vertex
+    tangents so offset curves move continuously (the opponent-car motion
+    model in ``repro.sim`` depends on this).
+    """
+
+    @pytest.fixture()
+    def circle_line(self):
+        return Raceline.from_waypoints(
+            circle_points(radius=5.0, n=200), spacing=0.05
+        )
+
+    def test_matches_tangent_on_circle(self, circle_line):
+        s_quarter = circle_line.total_length / 4.0
+        assert circle_line.smooth_heading_at(s_quarter) == pytest.approx(
+            np.pi, abs=0.05
+        )
+
+    def test_continuous_across_lap_seam(self, circle_line):
+        total = circle_line.total_length
+        eps = 1e-6
+        before = circle_line.smooth_heading_at(total - eps)
+        after = circle_line.smooth_heading_at(eps)
+        diff = abs((after - before + np.pi) % (2 * np.pi) - np.pi)
+        assert diff < 1e-3
+
+    def test_continuous_at_every_vertex(self, circle_line):
+        eps = 1e-7
+        for s_vertex in circle_line.s[1:50]:
+            lo = circle_line.smooth_heading_at(float(s_vertex) - eps)
+            hi = circle_line.smooth_heading_at(float(s_vertex) + eps)
+            diff = abs((hi - lo + np.pi) % (2 * np.pi) - np.pi)
+            assert diff < 1e-4
+
+    def test_offset_point_at_radius(self, circle_line):
+        # Positive offset = left = inward on a CCW circle.
+        for s in np.linspace(0.0, circle_line.total_length, 17):
+            pt = circle_line.offset_point_at(float(s), 0.4)
+            assert np.hypot(*pt) == pytest.approx(4.6, abs=0.02)
+
+    def test_offset_zero_is_point_at(self, circle_line):
+        for s in (0.0, 3.3, circle_line.total_length - 0.01):
+            assert np.array_equal(
+                circle_line.offset_point_at(s, 0.0), circle_line.point_at(s)
+            )
+
+    def test_offset_curve_continuous_across_seam(self, circle_line):
+        """The historical bug: offset points teleported at the seam."""
+        total = circle_line.total_length
+        eps = 1e-6
+        a = circle_line.offset_point_at(total - eps, 0.4)
+        b = circle_line.offset_point_at(eps, 0.4)
+        assert np.hypot(*(a - b)) < 1e-3

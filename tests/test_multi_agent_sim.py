@@ -1,0 +1,200 @@
+"""Multi-agent simulation: scheduling, occlusion telemetry, fault combos.
+
+The load-bearing contract is the first class: with an empty agent list,
+:class:`~repro.sim.multi_agent.MultiAgentSimulator` must be bit-identical
+to the single-agent :class:`~repro.sim.simulator.Simulator` — same state,
+same odometry, same scan bytes — because the traffic-density campaign's
+density-0 control cell is exactly that comparison.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import make_localizer
+from repro.core.motion_models import OdometryDelta
+from repro.sim import (
+    MultiAgentSimulator,
+    OCCLUSION_FRACTION_EDGES,
+    PurePursuitController,
+    SimConfig,
+    Simulator,
+    SpeedProfile,
+)
+from repro.scenarios import TrafficSpec, traffic_agent_factory
+from repro.verify.invariants import attach_invariants
+
+
+def _controller(track, speed_scale=0.5):
+    line = track.centerline
+    return PurePursuitController(
+        line, SpeedProfile(line, speed_scale=speed_scale)
+    )
+
+
+def _drive(sim, ctrl, n_steps):
+    frames = []
+    for _ in range(n_steps):
+        target_speed, steer = ctrl.control(sim.state.pose(), sim.state.v)
+        frames.append(sim.step(target_speed, steer))
+    return frames
+
+
+def _agents(track, density=2, policies=("raceline", "lane_switcher"),
+            seed=7, **kwargs):
+    spec = TrafficSpec(density=density, policies=policies, **kwargs)
+    return traffic_agent_factory(spec, seed=seed)(track)
+
+
+class TestZeroAgentIdentity:
+    def test_bitwise_identical_to_single_agent_path(self, small_track):
+        solo = Simulator(small_track.grid, SimConfig(seed=3))
+        multi = MultiAgentSimulator(small_track.grid, SimConfig(seed=3),
+                                    agents=())
+        c1, c2 = _controller(small_track), _controller(small_track)
+        for _ in range(600):
+            ts, st = c1.control(solo.state.pose(), solo.state.v)
+            f1 = solo.step(ts, st)
+            ts, st = c2.control(multi.state.pose(), multi.state.v)
+            f2 = multi.step(ts, st)
+            assert (f1.scan is None) == (f2.scan is None)
+            if f1.scan is not None:
+                assert np.array_equal(f1.scan.ranges, f2.scan.ranges)
+            assert np.array_equal(f1.odom_pose, f2.odom_pose)
+        s1, s2 = solo.state, multi.state
+        assert (s1.x, s1.y, s1.theta, s1.v) == (s2.x, s2.y, s2.theta, s2.v)
+
+    def test_zero_agent_telemetry_is_empty(self, small_track):
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=3))
+        _drive(sim, _controller(small_track), 200)
+        tele = sim.traffic_telemetry()
+        assert tele["agents"] == 0
+        assert tele["scans"] == 0
+        assert tele["occluded_beams"] == 0
+        assert tele["min_gap_m"] is None
+
+
+class TestOcclusionTelemetry:
+    def test_counters_are_internally_consistent(self, small_track):
+        agents = _agents(small_track, spawn_ahead_s=2.0,
+                         spawn_spacing_s=4.0, speed=1.5)
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=3),
+                                  agents=agents)
+        frames = _drive(sim, _controller(small_track), 800)
+        n_scans = sum(1 for f in frames if f.scan is not None)
+        tele = sim.traffic_telemetry()
+
+        assert tele["agents"] == 2
+        assert tele["policies"] == ["raceline", "lane_switcher"]
+        assert tele["scans"] == n_scans
+        hist = tele["occlusion_histogram"]
+        assert hist["edges"] == list(OCCLUSION_FRACTION_EDGES)
+        assert sum(hist["counts"]) == n_scans
+        assert hist["count"] == n_scans
+        assert 0 <= tele["scans_occluded"] <= n_scans
+        assert 0 <= tele["occluded_beams"] <= tele["beams"]
+        assert 0.0 <= tele["occluded_beam_fraction_mean"] <= \
+            tele["occluded_beam_fraction_max"] <= 1.0
+
+    def test_nearby_opponent_occludes_beams(self, small_track):
+        agents = _agents(small_track, density=1, policies=("raceline",),
+                         spawn_ahead_s=1.5, speed=1.5)
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=3),
+                                  agents=agents)
+        _drive(sim, _controller(small_track), 400)
+        tele = sim.traffic_telemetry()
+        assert tele["occluded_beams"] > 0
+        assert tele["scans_occluded"] > 0
+        # A close encounter is recorded (may go negative: discs can
+        # overlap — vehicles are not collision-checked against each
+        # other, matching the single-agent obstacle semantics).
+        assert tele["min_gap_m"] is not None
+        assert tele["min_gap_m"] < 2.0
+
+    def test_agents_registered_as_obstacles(self, small_track):
+        agents = _agents(small_track)
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=3),
+                                  agents=agents)
+        for agent in agents:
+            assert agent in sim.obstacles
+
+
+class TestFaultInteraction:
+    """Kidnap + tire swap + traffic, audited by the invariant checker."""
+
+    def test_teleport_and_tire_swap_under_traffic(self, small_track):
+        agents = _agents(small_track, spawn_ahead_s=2.5,
+                         spawn_spacing_s=4.0, speed=1.5)
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=4),
+                                  agents=agents)
+        ctrl = _controller(small_track)
+        line = small_track.centerline
+
+        localizer = make_localizer(
+            "synpf", small_track.grid, seed=2, num_particles=300,
+            num_beams=20, range_method="ray_marching",
+        )
+        checker = attach_invariants(localizer, small_track.grid)
+        checker.initialize(sim.state.pose())
+
+        odom_prev = sim.odometry.pose.copy()
+        t_prev = sim.time
+        for k in range(700):
+            target_speed, steer = ctrl.control(sim.state.pose(),
+                                               sim.state.v)
+            frame = sim.step(target_speed, steer)
+            if frame.scan is not None:
+                delta = OdometryDelta.from_poses(
+                    odom_prev, frame.odom_pose, dt=sim.time - t_prev
+                )
+                checker.update(delta, frame.scan)
+                odom_prev = frame.odom_pose.copy()
+                t_prev = sim.time
+            if k == 250:
+                # Kidnap: jump 1.5 m of arclength down the track.
+                s_now, _ = line.project(sim.state.pose()[None, :2][0])
+                s_new = float(s_now[0]) + 1.5
+                pt = line.point_at(s_new)
+                sim.teleport(np.array([
+                    pt[0], pt[1], line.smooth_heading_at(s_new)
+                ]))
+            if k == 350:
+                # Grip collapse on top of the kidnap.
+                sim.set_tire(dataclasses.replace(sim.tire, mu=0.5))
+
+        assert checker.ok, checker.violation_counts
+        tele = checker.telemetry()["invariants"]
+        assert tele["checked_updates"] > 0
+        assert tele["violation_counts"] == {}
+        # Opponents kept moving through both faults.
+        tt = sim.traffic_telemetry()
+        assert tt["scans"] > 0
+        assert all(a.speed > 0 for a in agents)
+
+    def test_teleport_does_not_touch_agents(self, small_track):
+        agents = _agents(small_track)
+        sim = MultiAgentSimulator(small_track.grid, SimConfig(seed=4),
+                                  agents=agents)
+        _drive(sim, _controller(small_track), 100)
+        before = [a.pose.copy() for a in agents]
+        sim.teleport(np.array([1.0, 2.0, 0.3]))
+        after = [a.pose.copy() for a in agents]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)
+
+
+class TestSeedSensitivity:
+    def test_same_seed_same_field_different_seed_different_phase(
+            self, small_track):
+        a = _agents(small_track, policies=("lane_switcher",), seed=1)
+        b = _agents(small_track, policies=("lane_switcher",), seed=1)
+        c = _agents(small_track, policies=("lane_switcher",), seed=2)
+        assert a[0].policy == b[0].policy
+        assert a[0].policy.phase_s != c[0].policy.phase_s
+
+    def test_explicit_spec_seed_wins_over_run_seed(self, small_track):
+        spec = TrafficSpec(density=1, policies=("lane_switcher",), seed=42)
+        x = traffic_agent_factory(spec, seed=1)(small_track)
+        y = traffic_agent_factory(spec, seed=2)(small_track)
+        assert x[0].policy == y[0].policy

@@ -1,0 +1,161 @@
+"""Property tests for the inter-vehicle occlusion compositor.
+
+The geometric contract of
+:func:`repro.sim.obstacles.composite_obstacle_ranges`: obstacles can only
+*shorten* beams (a hull in front of the wall shadows it; a hull behind
+the wall is invisible), and adding obstacles can only occlude more.  The
+Hypothesis strategies come from ``tests/strategies.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raycast import make_range_method
+from repro.sim.obstacles import (
+    StaticObstacle,
+    composite_obstacle_ranges,
+    ray_disc_ranges,
+)
+
+from tests.strategies import beam_fans, disc_fields, walled_room
+
+MAX_RANGE = 12.0
+
+
+def _composite(map_ranges, pose, angles, obstacles, max_range=MAX_RANGE):
+    return composite_obstacle_ranges(
+        map_ranges, pose, angles, obstacles, time=0.0, max_range=max_range
+    )
+
+
+class TestCompositedRangeBounds:
+    @given(
+        discs=disc_fields(max_discs=4),
+        angles=beam_fans(max_beams=48),
+        x=st.floats(min_value=-5.0, max_value=5.0),
+        y=st.floats(min_value=-5.0, max_value=5.0),
+        theta=st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_composited_never_exceeds_map_only(self, discs, angles, x, y,
+                                               theta):
+        """Per beam: min-compositing can only shorten, never lengthen."""
+        pose = np.array([x, y, theta])
+        map_ranges = np.full(angles.shape, 9.0)
+        ranges, occluded = _composite(map_ranges, pose, angles, discs)
+        capped = np.minimum(map_ranges, MAX_RANGE)
+        assert np.all(ranges <= capped + 1e-12)
+        assert np.all(ranges[~occluded] == capped[~occluded])
+        assert np.all(ranges[occluded] < capped[occluded])
+
+    @given(
+        discs=disc_fields(max_discs=4),
+        angles=beam_fans(max_beams=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_obstacles_is_identity(self, discs, angles):
+        """An empty field leaves the map ranges bit-identical."""
+        pose = np.zeros(3)
+        map_ranges = np.linspace(0.5, 9.0, angles.size)
+        ranges, occluded = _composite(map_ranges, pose, angles, [])
+        assert np.array_equal(ranges, np.minimum(map_ranges, MAX_RANGE))
+        assert not occluded.any()
+        del discs  # drawn to keep example alignment with the other tests
+
+    @given(
+        subset=disc_fields(max_discs=3),
+        extra=disc_fields(max_discs=3),
+        angles=beam_fans(max_beams=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occlusion_monotone_in_obstacle_set(self, subset, extra,
+                                                angles):
+        """At fixed poses, a superset field occludes at least as much."""
+        pose = np.zeros(3)
+        map_ranges = np.full(angles.shape, 8.0)
+        _, occ_sub = _composite(map_ranges, pose, angles, subset)
+        _, occ_sup = _composite(map_ranges, pose, angles, subset + extra)
+        # Per beam: every beam the subset occludes stays occluded.
+        assert np.all(occ_sup[occ_sub])
+        assert occ_sup.sum() >= occ_sub.sum()
+
+
+class TestWallShadowing:
+    @given(
+        bearing=st.floats(min_value=-np.pi, max_value=np.pi),
+        beyond=st.floats(min_value=0.5, max_value=3.0),
+        radius=st.floats(min_value=0.05, max_value=0.4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_obstacle_behind_wall_never_shadows(self, bearing, beyond,
+                                                radius):
+        """A disc fully beyond the wall changes no beam.
+
+        The sensor sits at the centre of a walled room; true map ranges
+        come from exact Bresenham traversal.  A disc whose *near edge* is
+        past the wall along its own bearing is strictly behind the map
+        surface on every beam, so min-compositing must be a no-op.
+        """
+        grid = walled_room(size=60, resolution=1.0 / 6.0)
+        center = np.array([5.0, 5.0])
+        pose = np.array([center[0], center[1], 0.0])
+        angles = np.linspace(-np.pi, np.pi, 180, endpoint=False)
+        rm = make_range_method("bresenham", grid, max_range=MAX_RANGE)
+        map_ranges = rm.calc_range_many_angles(pose, angles)
+
+        wall_range = float(
+            rm.calc_range(pose[0], pose[1], bearing)
+        )
+        dist = wall_range + beyond + radius
+        disc = StaticObstacle(
+            center[0] + dist * np.cos(bearing),
+            center[1] + dist * np.sin(bearing),
+            radius,
+        )
+        ranges, occluded = _composite(map_ranges, pose, angles, [disc])
+        assert not occluded.any()
+        assert np.array_equal(ranges, np.minimum(map_ranges, MAX_RANGE))
+
+    def test_obstacle_in_front_of_wall_shadows(self):
+        """Sanity inverse: a disc inside the room does occlude."""
+        grid = walled_room(size=60, resolution=1.0 / 6.0)
+        pose = np.array([5.0, 5.0, 0.0])
+        angles = np.linspace(-np.pi, np.pi, 360, endpoint=False)
+        rm = make_range_method("bresenham", grid, max_range=MAX_RANGE)
+        map_ranges = rm.calc_range_many_angles(pose, angles)
+        disc = StaticObstacle(7.0, 5.0, 0.3)
+        ranges, occluded = _composite(map_ranges, pose, angles, [disc])
+        assert occluded.any()
+        forward = np.argmin(np.abs(angles))
+        assert ranges[forward] == pytest.approx(1.7, abs=1e-9)
+
+
+class TestRayDiscGeometry:
+    @given(
+        bearing=st.floats(min_value=-np.pi, max_value=np.pi),
+        dist=st.floats(min_value=1.0, max_value=8.0),
+        radius=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_head_on_hit_is_exact(self, bearing, dist, radius):
+        """A beam through the disc centre returns ``dist - radius``."""
+        pose = np.array([0.0, 0.0, 0.0])
+        center = dist * np.array([np.cos(bearing), np.sin(bearing)])
+        hits = ray_disc_ranges(pose, np.array([bearing]), center, radius)
+        assert hits[0] == pytest.approx(dist - radius, rel=1e-9)
+
+    @given(
+        bearing=st.floats(min_value=-np.pi, max_value=np.pi),
+        dist=st.floats(min_value=1.0, max_value=8.0),
+        radius=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_opposite_beam_misses(self, bearing, dist, radius):
+        """The beam pointing away from the disc never intersects it."""
+        pose = np.array([0.0, 0.0, 0.0])
+        center = dist * np.array([np.cos(bearing), np.sin(bearing)])
+        away = bearing + np.pi
+        hits = ray_disc_ranges(pose, np.array([away]), center, radius)
+        assert np.isinf(hits[0])

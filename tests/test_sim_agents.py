@@ -1,0 +1,143 @@
+"""Opponent agents: policies, the policy factory, and lane following."""
+
+import numpy as np
+import pytest
+
+from repro.maps.centerline import Raceline
+from repro.sim.agents import (
+    POLICY_REGISTRY,
+    BlockerPolicy,
+    LaneSwitcherPolicy,
+    OpponentAgent,
+    OvertakerPolicy,
+    RacelinePolicy,
+    make_policy,
+)
+
+
+def circle_line(radius=5.0, n=360):
+    angles = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    pts = radius * np.stack([np.cos(angles), np.sin(angles)], axis=-1)
+    return Raceline.from_waypoints(pts, spacing=0.05)
+
+
+@pytest.fixture(scope="module")
+def line():
+    return circle_line()
+
+
+class TestPolicies:
+    def test_registry_covers_all_kinds(self):
+        assert sorted(POLICY_REGISTRY) == [
+            "blocker", "lane_switcher", "overtaker", "raceline",
+        ]
+
+    def test_raceline_policy_is_constant(self):
+        policy = RacelinePolicy(speed=2.0, lane=0.1)
+        for t in (0.0, 3.7, 100.0):
+            assert policy.decide(t, 5.0, -0.3) == (2.0, 0.1)
+
+    def test_blocker_mirrors_attacking_ego(self):
+        policy = BlockerPolicy(lane_limit=0.3, engage_gap_s=4.0)
+        # Ego 2 m behind (gap negative): mirror its lane, clipped.
+        _, lane = policy.decide(0.0, -2.0, 0.2)
+        assert lane == pytest.approx(0.2)
+        _, lane = policy.decide(0.0, -2.0, 0.9)
+        assert lane == pytest.approx(0.3)
+        # Ego ahead or far behind: hold the centre.
+        assert policy.decide(0.0, 2.0, 0.2)[1] == 0.0
+        assert policy.decide(0.0, -10.0, 0.2)[1] == 0.0
+
+    def test_lane_switcher_toggles_on_period(self):
+        policy = LaneSwitcherPolicy(lane_magnitude=0.25, period_s=4.0)
+        assert policy.decide(1.0, 0.0, 0.0)[1] == pytest.approx(0.25)
+        assert policy.decide(5.0, 0.0, 0.0)[1] == pytest.approx(-0.25)
+        assert policy.decide(9.0, 0.0, 0.0)[1] == pytest.approx(0.25)
+
+    def test_overtaker_moves_away_from_ego_side(self):
+        policy = OvertakerPolicy(pass_lane=0.4, engage_gap_s=5.0)
+        # Ego just ahead on the left: pass on the right.
+        assert policy.decide(0.0, 2.0, 0.2)[1] == pytest.approx(-0.4)
+        # Ego just ahead on the right: pass on the left.
+        assert policy.decide(0.0, 2.0, -0.2)[1] == pytest.approx(0.4)
+        # Clear of traffic: back to the line.
+        assert policy.decide(0.0, 20.0, 0.2)[1] == 0.0
+
+    def test_policies_are_time_pure(self):
+        """Repeated decisions at the same inputs are identical (no rng)."""
+        for name in POLICY_REGISTRY:
+            policy = make_policy(name, seed=3)
+            a = policy.decide(1.25, -1.0, 0.15)
+            b = policy.decide(1.25, -1.0, 0.15)
+            assert a == b
+
+
+class TestMakePolicy:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown opponent policy"):
+            make_policy("rammer")
+
+    def test_speed_scaling_keeps_relative_pace(self):
+        base = 2.0
+        assert make_policy("raceline", speed=base).speed == base
+        assert make_policy("blocker", speed=base).speed == \
+            pytest.approx(0.9 * base)
+        assert make_policy("overtaker", speed=base).speed == \
+            pytest.approx(1.3 * base)
+
+    def test_lane_switcher_phase_derives_from_seed(self):
+        a = make_policy("lane_switcher", seed=1)
+        b = make_policy("lane_switcher", seed=2)
+        same = make_policy("lane_switcher", seed=1)
+        assert a.phase_s != b.phase_s
+        assert a.phase_s == same.phase_s
+        assert 0.0 <= a.phase_s < a.period_s
+
+
+class TestOpponentAgent:
+    def test_spawns_on_raceline_facing_forward(self, line):
+        agent = OpponentAgent(line, RacelinePolicy(speed=2.0), start_s=3.0)
+        start = line.point_at(3.0)
+        assert np.allclose(agent.position(0.0), start)
+        assert agent.pose[2] == pytest.approx(
+            line.smooth_heading_at(3.0), abs=1e-9
+        )
+        assert agent.speed == pytest.approx(2.0)
+
+    def test_follows_lane_around_the_circle(self, line):
+        agent = OpponentAgent(
+            line, RacelinePolicy(speed=2.0, lane=0.2), start_s=0.0
+        )
+        dt = 0.01
+        for k in range(1500):
+            agent.step(dt, k * dt, np.array([100.0, 100.0, 0.0]), 0.0)
+        # The agent holds its lane: 0.2 m left of a 5 m-radius circle
+        # means 4.8 m from the origin (left = inward here).
+        r = float(np.hypot(*agent.position(0.0)))
+        assert r == pytest.approx(4.8, abs=0.1)
+        assert agent.heading_error() < 0.2
+
+    def test_same_arguments_bitwise_identical_trajectories(self, line):
+        def run():
+            agent = OpponentAgent(
+                line, make_policy("lane_switcher", seed=9), start_s=2.0
+            )
+            traj = []
+            for k in range(400):
+                agent.step(0.01, k * 0.01, np.array([1.0, 0.0, 0.0]), 1.5)
+                traj.append(agent.pose)
+            return np.array(traj)
+
+        assert np.array_equal(run(), run())
+
+    def test_implements_obstacle_protocol(self, line):
+        from repro.sim.obstacles import Obstacle
+
+        agent = OpponentAgent(line, RacelinePolicy(), start_s=0.0)
+        assert isinstance(agent, Obstacle)
+        assert agent.radius > 0
+        assert agent.position(0.0).shape == (2,)
+
+    def test_rejects_nonpositive_radius(self, line):
+        with pytest.raises(ValueError, match="radius"):
+            OpponentAgent(line, RacelinePolicy(), radius=0.0)

@@ -91,6 +91,56 @@ class TestObstacleKinds:
             RacelineFollower(line, speed=-1.0)
 
 
+class TestFollowerSeamContinuity:
+    """Regression: the opponent must not teleport at the lap seam.
+
+    ``RacelineFollower.position`` used the piecewise-constant segment
+    heading to place its lateral offset, so the offset point rotated
+    discretely at every vertex — a ~3x position spike at the s=0
+    wraparound for offsets around 0.4 m.  It now routes through
+    ``Raceline.offset_point_at`` (vertex-interpolated tangents); these
+    tests pin the continuous motion.
+    """
+
+    def _max_step(self, follower, t0, t1, dt=1e-3):
+        times = np.arange(t0, t1, dt)
+        pts = np.array([follower.position(t) for t in times])
+        return float(np.linalg.norm(np.diff(pts, axis=0), axis=1).max())
+
+    def test_offset_opponent_crosses_seam_continuously(self):
+        line = circle_line()
+        speed = 3.0
+        follower = RacelineFollower(line, start_s=0.0, speed=speed,
+                                    lateral_offset=0.4)
+        lap_time = line.total_length / speed
+        dt = 1e-3
+        nominal = speed * dt
+        # A window straddling the s=0 seam: steps stay at the nominal
+        # arc-step scale (no teleport).
+        max_step = self._max_step(follower, lap_time - 0.05,
+                                  lap_time + 0.05, dt)
+        assert max_step < 2.0 * nominal
+
+    def test_seam_no_worse_than_interior(self):
+        line = circle_line()
+        speed = 3.0
+        follower = RacelineFollower(line, start_s=0.0, speed=speed,
+                                    lateral_offset=0.4)
+        lap_time = line.total_length / speed
+        seam = self._max_step(follower, lap_time - 0.05, lap_time + 0.05)
+        interior = self._max_step(follower, lap_time * 0.4,
+                                  lap_time * 0.4 + 0.1)
+        assert seam <= interior * 1.5
+
+    def test_zero_offset_unaffected(self):
+        line = circle_line()
+        follower = RacelineFollower(line, start_s=0.0, speed=2.0,
+                                    lateral_offset=0.0)
+        lap_time = line.total_length / 2.0
+        assert self._max_step(follower, lap_time - 0.05,
+                              lap_time + 0.05) < 2.0 * 2.0 * 1e-3
+
+
 class TestLidarWithObstacles:
     def test_obstacle_shortens_beams(self, small_track):
         cfg = LidarConfig(range_noise_std=0.0, dropout_prob=0.0,

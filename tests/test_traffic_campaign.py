@@ -1,0 +1,173 @@
+"""The traffic axis end to end: specs, scenarios, campaign determinism.
+
+The fast layer (spec round trips, catalog shape, factory determinism)
+runs in tier-1.  The full scenario/campaign runs — the worker-count
+invariance of a traffic scorecard, the density-0 control cell matching
+the single-agent path bit-for-bit, the traffic gauntlet firing its
+kidnap while opponents occlude the scan — execute whole simulations and
+carry the ``traffic`` marker (CI runs them via ``pytest -m traffic``).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    TrafficSpec,
+    get_scenario,
+    run_campaign,
+    run_scenario,
+    scenario_names,
+    traffic_agent_factory,
+)
+from repro.scenarios.campaign import SCORECARD_SCHEMA_VERSION
+
+TRAFFIC_KEYS = {
+    "traffic_agents", "traffic_scans_occluded",
+    "occluded_beam_fraction_mean", "occluded_beam_fraction_max",
+    "occlusion_histogram", "traffic_min_gap_m",
+}
+
+
+class TestTrafficSpec:
+    def test_round_trip(self):
+        spec = TrafficSpec(density=3, policies=("raceline", "blocker"),
+                           spawn_ahead_s=3.0, speed=2.2, seed=5)
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert TrafficSpec.from_dict(data) == spec
+
+    def test_rejects_unknown_fields(self):
+        data = TrafficSpec().to_dict()
+        data["ramming"] = True
+        with pytest.raises(ValueError, match="unknown traffic fields"):
+            TrafficSpec.from_dict(data)
+
+    def test_rejects_wrong_type_tag(self):
+        with pytest.raises(ValueError, match="TrafficSpec"):
+            TrafficSpec.from_dict({"__type__": "ScenarioSpec"})
+
+    @pytest.mark.parametrize("bad", [
+        dict(density=-1),
+        dict(policies=()),
+        dict(policies=("rammer",)),
+        dict(spawn_spacing_s=0.0),
+        dict(speed=0.0),
+        dict(radius=0.0),
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ValueError):
+            TrafficSpec(**bad).validate()
+
+    def test_scenario_embeds_traffic(self):
+        spec = get_scenario("traffic-density-2")
+        assert spec.traffic is not None
+        assert spec.traffic.density == 2
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert type(spec).from_dict(data) == spec
+        assert "traffic=2" in spec.summary_line().replace(" ", "")
+
+    def test_catalog_has_the_density_axis(self):
+        names = scenario_names()
+        for name in ("traffic-density-0", "traffic-density-1",
+                     "traffic-density-2", "traffic-density-4",
+                     "gauntlet-traffic"):
+            assert name in names
+        # >= 3 densities x both localizers is the acceptance floor.
+        densities = [get_scenario(n).traffic.density
+                     for n in names if n.startswith("traffic-density-")]
+        assert len(set(densities)) >= 3
+
+    def test_factory_is_deterministic(self, small_track):
+        spec = TrafficSpec(density=2,
+                           policies=("raceline", "lane_switcher"))
+        a = traffic_agent_factory(spec, seed=9)(small_track)
+        b = traffic_agent_factory(spec, seed=9)(small_track)
+        assert len(a) == len(b) == 2
+        for x, y in zip(a, b):
+            assert x.policy == y.policy
+            assert np.array_equal(x.pose, y.pose)
+
+    def test_scorecard_schema_is_v3(self):
+        assert SCORECARD_SCHEMA_VERSION == 3
+
+
+@pytest.mark.traffic
+class TestTrafficScenarioRuns:
+    @pytest.fixture(scope="class")
+    def density1_outcomes(self):
+        spec = get_scenario("traffic-density-1").with_overrides(
+            num_laps=1, resolution=0.1
+        )
+        return [run_scenario(spec, method="synpf", seed=0)
+                for _ in range(2)]
+
+    def test_survives_with_occlusion_recorded(self, density1_outcomes):
+        summary = density1_outcomes[0].summary
+        assert summary["survived"]
+        assert summary["traffic_agents"] == 1
+        assert summary["traffic_scans_occluded"] > 0
+        assert 0.0 < summary["occluded_beam_fraction_mean"] < 0.5
+        hist = summary["occlusion_histogram"]
+        assert sum(hist["counts"]) == hist["count"] > 0
+
+    def test_bit_reproducible_for_fixed_seed(self, density1_outcomes):
+        first, second = density1_outcomes
+        assert first.summary == second.summary
+        assert first.event_log == second.event_log
+
+    def test_density0_matches_single_agent_path(self):
+        """The control cell: same seed, traffic machinery on vs off."""
+        spec0 = get_scenario("traffic-density-0").with_overrides(
+            num_laps=1, resolution=0.1
+        )
+        spec_none = dataclasses.replace(spec0, traffic=None)
+        with_traffic = run_scenario(spec0, method="synpf", seed=0)
+        without = run_scenario(spec_none, method="synpf", seed=0)
+        s0 = {k: v for k, v in with_traffic.summary.items()
+              if k not in TRAFFIC_KEYS}
+        sn = {k: v for k, v in without.summary.items()
+              if k not in TRAFFIC_KEYS}
+        assert s0 == sn
+        assert with_traffic.summary["traffic_agents"] == 0
+        assert with_traffic.summary["occluded_beam_fraction_mean"] == 0.0
+
+    def test_gauntlet_fires_kidnap_in_traffic(self):
+        spec = get_scenario("gauntlet-traffic").with_overrides(
+            num_laps=2, resolution=0.1
+        )
+        outcome = run_scenario(spec, seed=0)
+        assert [r["kind"] for r in outcome.event_log] == ["kidnap"]
+        assert outcome.summary["traffic_agents"] == 2
+        assert outcome.summary["occluded_beam_fraction_mean"] > 0.0
+
+
+@pytest.mark.traffic
+class TestTrafficCampaignDeterminism:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return dict(
+            scenarios=["traffic-density-0", "traffic-density-1"],
+            methods=["synpf"], trials=1, base_seed=7,
+            num_laps=1, resolution=0.1,
+        )
+
+    def test_scorecard_identical_across_worker_counts(self, matrix):
+        card_inline, sweep_inline = run_campaign(**matrix, workers=1)
+        card_pool, sweep_pool = run_campaign(**matrix, workers=4)
+        assert card_inline == card_pool
+        metrics_inline = [r.metrics for r in sweep_inline.results]
+        metrics_pool = [r.metrics for r in sweep_pool.results]
+        assert metrics_inline == metrics_pool
+
+    def test_scorecard_has_traffic_columns(self, matrix):
+        card, sweep = run_campaign(**matrix, workers=1)
+        assert not sweep.failures
+        assert card["schema_version"] == SCORECARD_SCHEMA_VERSION
+        by_scenario = {c["scenario"]: c for c in card["cells"]}
+        assert by_scenario["traffic-density-0"]["traffic_agents"] == 0
+        assert by_scenario["traffic-density-1"]["traffic_agents"] == 1
+        assert by_scenario["traffic-density-1"][
+            "occluded_beam_fraction_mean"] > 0.0
+        assert json.loads(json.dumps(card)) == card

@@ -128,7 +128,7 @@ class TestCommittedGoldens:
         specs = default_golden_specs()
         assert [s["name"] for s in specs] == [
             "reference_synpf", "reference_vanilla_mcl",
-            "reference_cartographer",
+            "reference_cartographer", "reference_traffic_synpf",
         ]
 
     def test_committed_files_exist_for_every_default_spec(self):

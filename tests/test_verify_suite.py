@@ -112,7 +112,7 @@ class TestRunVerify:
         config = VerifyConfig(suite="golden", golden_dir=str(tmp_path))
         report = run_verify(config)
         assert not report.ok
-        assert len(report.trial_failures) == 3
+        assert len(report.trial_failures) == 4
         assert report.trial_failures[0]["error_type"] == "FileNotFoundError"
         text = render_verify_report(report)
         assert "trial failures" in text
